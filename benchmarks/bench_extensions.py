@@ -1,0 +1,137 @@
+"""Extension experiments beyond the paper's evaluation.
+
+Three studies the paper motivates but does not run:
+
+* **SXM power budget** (Section 5): the paper argues its 154 TFLOPS is a
+  lower bound imposed by the PCIe card's 250 W limit and that a 400 W SXM
+  A100 would do better.  The simulator can simply swap the spec.
+* **Input scaling** (Section 5 future work): conditioning data into the
+  FP16 sweet spot via :mod:`repro.core.scaling` and measuring the accuracy
+  gain.
+* **Box #1 on other GPUs**: the reuse-requirement arithmetic that sized
+  FaSTED's tiles, evaluated for the V100 to show the tile choice is
+  A100-specific.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.analysis.tables import format_table
+from repro.core.accuracy import distance_error_stats, overlap_accuracy
+from repro.core.scaling import fit_scaler
+from repro.gpusim.boxone import reuse_requirements
+from repro.gpusim.spec import A100_PCIE, A100_SXM, V100_SXM2
+from repro.kernels.fasted import FastedKernel
+from repro.kernels.gdsjoin import GdsJoinKernel
+
+
+def test_sxm_power_budget_whatif(benchmark):
+    """Conclusion's what-if: the 400 W part sustains a higher clock."""
+
+    def run():
+        rows = []
+        for spec in (A100_PCIE, A100_SXM):
+            k = FastedKernel(spec)
+            t = k.timing(100_000, 4096)
+            rows.append(
+                (
+                    spec.name,
+                    f"{spec.power_budget_w:.0f}",
+                    f"{t.clock_hz / 1e9:.2f}",
+                    f"{t.derived_tflops(k.config.total_flops(100_000, 4096)):.1f}",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ext_sxm_whatif",
+        format_table(
+            ("GPU", "Power (W)", "Clock (GHz)", "TFLOPS"),
+            rows,
+            title="Extension: power-budget what-if (Synth |D|=1e5, d=4096)",
+        ),
+    )
+    pcie_tf = float(rows[0][3])
+    sxm_tf = float(rows[1][3])
+    assert sxm_tf > pcie_tf * 1.1  # the paper's conjecture, quantified
+    assert float(rows[1][2]) > float(rows[0][2])
+
+
+def test_input_scaling_accuracy(benchmark):
+    """Future work: FP16 preconditioning reduces quantization error."""
+    rng = np.random.default_rng(0)
+    # Adversarial-for-FP16 data: large common offset, small spread.
+    centers = rng.normal(0, 2.0, size=(12, 64))
+    data = 900.0 + centers[rng.integers(0, 12, 1500)] + rng.normal(
+        0, 0.3, (1500, 64)
+    )
+    # Calibrate eps onto the distance distribution so the radius sits in a
+    # region with real boundary density (otherwise no pair can flip).
+    from repro.core.selectivity import epsilon_for_selectivity
+
+    eps = epsilon_for_selectivity(data, 48)
+
+    def run():
+        truth = GdsJoinKernel(precision="fp64").self_join(data, eps).result
+        raw = FastedKernel().self_join(data, eps)
+        scaler = fit_scaler(data)
+        scaled_res = FastedKernel().self_join(
+            scaler.transform(data), scaler.transform_radius(eps)
+        )
+        ov_raw = overlap_accuracy(raw, truth)
+        ov_scaled = overlap_accuracy(scaled_res, truth)
+        err_raw = distance_error_stats(raw, truth).std
+        return ov_raw, ov_scaled, err_raw
+
+    ov_raw, ov_scaled, err_raw = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ext_scaling_accuracy",
+        format_table(
+            ("Configuration", "Overlap accuracy"),
+            [("raw FP16 (offset 900)", f"{ov_raw:.5f}"),
+             ("scaled/centred FP16", f"{ov_scaled:.5f}")],
+            title="Extension: input-scaling accuracy study "
+            "(paper Section 5 future work)",
+        ),
+    )
+    # Scaling must help on offset-heavy data, materially.
+    assert ov_scaled > ov_raw
+    assert ov_scaled > 0.995
+    assert err_raw > 0  # raw data does suffer measurable error
+
+
+def test_boxone_across_gpus(benchmark):
+    def run():
+        rows = []
+        for spec in (A100_PCIE, V100_SXM2):
+            req = reuse_requirements(spec)
+            rows.append(
+                (
+                    spec.name,
+                    f"{req.required_l2_reuse:.0f}",
+                    f"{req.required_smem_reuse:.0f}",
+                    req.block_tile_reuse,
+                    req.warp_tile_reuse,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ext_boxone",
+        format_table(
+            ("GPU", "L2 reuse req.", "SMEM reuse req.", "block tile", "warp tile"),
+            rows,
+            title="Extension: Box #1 reuse requirements across GPUs",
+        ),
+    )
+    a100 = reuse_requirements(A100_PCIE)
+    # The paper's numbers: ~98x (L2) and ~35x (SMEM).
+    assert round(a100.required_l2_reuse) in range(95, 101)
+    assert round(a100.required_smem_reuse) in range(33, 37)
+    assert a100.block_tile_sufficient and a100.warp_tile_sufficient
+    # V100's lower FP16 peak relaxes the shared-memory requirement (its
+    # L2 is proportionally slower, so that requirement barely moves).
+    v100 = reuse_requirements(V100_SXM2)
+    assert v100.required_smem_reuse < a100.required_smem_reuse

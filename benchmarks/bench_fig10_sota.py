@@ -1,0 +1,104 @@
+"""Figure 10: end-to-end comparison against the index-supported SOTA.
+
+Runs the full Figure-10 workload on all four real-world surrogates at the
+paper's three selectivity levels: functional joins provide the candidate
+counts, result sizes and short-circuit profiles that the end-to-end
+response-time models consume.  Speedups of FaSTED over each baseline are
+printed next to the paper's (absolute times are not comparable -- the
+surrogates are smaller -- but who-wins and the growth with selectivity
+must reproduce).
+"""
+
+import pytest
+
+from conftest import emit, fig10_sizes
+from repro.analysis.experiments import run_real_dataset
+from repro.analysis.tables import format_table
+
+#: Paper Figure 10 speedups of FaSTED over (MiSTIC, GDS-Join, TED-Join-Index)
+#: at S = 64 / 128 / 256. None = OOM (not shown in the paper's panels).
+PAPER_SPEEDUPS = {
+    "Sift10M": {"MiSTIC": (2.5, 2.8, 3.2), "GDS-Join": (3.9, 4.8, 6.0),
+                "TED-Join-Index": (9.5, 11.0, 14.0)},
+    "Tiny5M": {"MiSTIC": (2.5, 3.7, 5.3), "GDS-Join": (2.5, 3.1, 3.9),
+               "TED-Join-Index": (33.0, 41.0, 51.0)},
+    "Cifar60K": {"MiSTIC": (33.0, 56.0, 49.0), "GDS-Join": (16.0, 30.0, 24.0),
+                 "TED-Join-Index": None},
+    "Gist1M": {"MiSTIC": (14.0, 18.0, 24.0), "GDS-Join": (18.0, 23.0, 28.0),
+               "TED-Join-Index": None},
+}
+
+SELECTIVITIES = (64, 128, 256)
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    sizes = fig10_sizes()
+    return {
+        name: run_real_dataset(
+            name, selectivities=SELECTIVITIES, n=sizes[name], with_accuracy=False
+        )
+        for name in PAPER_SPEEDUPS
+    }
+
+
+def test_fig10_sota_comparison(benchmark, outcomes):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # work in fixture
+    rows = []
+    for name, out in outcomes.items():
+        for row in out.fig10_rows:
+            entry = [f"{name} (n={out.n_points}, d={out.dims})", row.selectivity]
+            for method in ("MiSTIC", "GDS-Join", "TED-Join-Index"):
+                su = row.speedup_over(method)
+                paper = PAPER_SPEEDUPS[name][method]
+                p = (
+                    f"{paper[SELECTIVITIES.index(row.selectivity)]:.1f}"
+                    if paper
+                    else "OOM"
+                )
+                entry.append(f"{su:.1f} (paper {p})" if su else f"OOM (paper {p})")
+            rows.append(entry)
+    emit(
+        "fig10_sota",
+        format_table(
+            ("Dataset", "S", "vs MiSTIC", "vs GDS-Join", "vs TED-Join-Index"),
+            rows,
+            title="Figure 10: FaSTED speedup over index-supported SOTA "
+            "(end-to-end, surrogate scale)",
+        ),
+    )
+
+    growing = total_series = 0
+    for name, out in outcomes.items():
+        speeds = {m: [] for m in ("MiSTIC", "GDS-Join", "TED-Join-Index")}
+        for row in out.fig10_rows:
+            for m in speeds:
+                speeds[m].append(row.speedup_over(m))
+        # FaSTED wins against every supported baseline at every selectivity
+        # -- the paper's headline result ("superior in all experimental
+        # scenarios").
+        for m, vals in speeds.items():
+            if PAPER_SPEEDUPS[name][m] is None:
+                assert all(v is None for v in vals), (name, m)
+                continue
+            assert all(v is not None and v > 1.0 for v in vals), (name, m, vals)
+            total_series += 1
+            growing += max(vals) > vals[0]
+        # TED-Join-Index OOMs exactly where the paper says (d >= 512).
+        if out.dims >= 512:
+            assert PAPER_SPEEDUPS[name]["TED-Join-Index"] is None
+    # Speedup grows with selectivity (paper observation (1)).  At surrogate
+    # scale the trend is noisy (fixed transfer overheads weigh more), so we
+    # require it for the majority of series rather than every one.
+    assert growing >= total_series / 2, (growing, total_series)
+
+
+def test_fasted_response_flat_in_selectivity(benchmark, outcomes):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """Observation (1): FaSTED's kernel time is selectivity-independent."""
+    for name, out in outcomes.items():
+        kernels = [
+            next(o for o in row.outcomes if o.name == "FaSTED").kernel_s
+            for row in out.fig10_rows
+        ]
+        assert max(kernels) <= 1.01 * min(kernels), name

@@ -1,0 +1,63 @@
+"""Figure 8: FaSTED derived TFLOPS vs dataset size and dimensionality.
+
+Regenerates the full |D| x d heatmap of the paper (Synth datasets,
+kernel-only derived TFLOPS) from the timing model and checks its shape:
+throughput grows along both axes, saturates near 150 TFLOPS (~49% of the
+312 TFLOPS FP16-32 peak, power-throttled), and the saturated corner
+requires only |D| >= ~46k at d >= 2048 -- the paper's headline observation.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.analysis.experiments import run_fig8
+from repro.analysis.tables import format_heatmap
+from repro.data.synthetic import SYNTH_DIMS, SYNTH_SIZES
+
+#: Paper Figure 8 values for reference (rows = |D|, cols = d).
+PAPER_FIG8 = np.array([
+    [0, 1, 2, 3, 7, 10, 11],
+    [2, 4, 8, 12, 20, 23, 28],
+    [7, 13, 22, 39, 51, 60, 72],
+    [12, 20, 40, 62, 91, 113, 126],
+    [13, 25, 46, 76, 117, 139, 148],
+    [15, 26, 47, 83, 132, 150, 150],
+    [17, 30, 55, 91, 132, 148, 154],
+    [18, 31, 57, 94, 133, 148, 154],
+    [16, 29, 51, 89, 131, 149, 154],
+    [17, 31, 57, 92, 130, 148, 153],
+])
+
+
+def test_fig8_heatmap(benchmark):
+    result = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    text = format_heatmap(
+        result.tflops,
+        [f"{n:,}" for n in result.sizes],
+        result.dims,
+        title="Figure 8: FaSTED derived TFLOPS (rows: |D|, cols: d)",
+        corner="|D| \\ d",
+    )
+    paper = format_heatmap(
+        PAPER_FIG8,
+        [f"{n:,}" for n in SYNTH_SIZES],
+        SYNTH_DIMS,
+        title="Paper Figure 8 (reported):",
+        corner="|D| \\ d",
+    )
+    emit("fig8_throughput", text + "\n\n" + paper)
+
+    t = result.tflops
+    # Monotone-increasing along d at the largest |D| (paper's scalability).
+    assert np.all(np.diff(t[-1]) >= -3.0)
+    # Saturation corner near the paper's ~150 TFLOPS (49% of peak).
+    assert 135 <= t[-1, -1] <= 170
+    # Paper: |D| >= 46416 and d >= 2048 suffices for ~150 TFLOPS.
+    i46k = SYNTH_SIZES.index(46416)
+    assert t[i46k, SYNTH_DIMS.index(2048)] >= 130
+    # Small/low-d corner is an order of magnitude below saturation.
+    assert t[0, 0] < 15
+    # Cell-wise agreement with the paper where throughput is substantial.
+    mask = PAPER_FIG8 >= 20
+    rel = np.abs(t[mask] - PAPER_FIG8[mask]) / PAPER_FIG8[mask]
+    assert rel.mean() < 0.25, f"mean relative deviation {rel.mean():.2f}"

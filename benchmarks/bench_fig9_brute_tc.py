@@ -1,0 +1,61 @@
+"""Figure 9: brute-force tensor-core throughput vs dimensionality.
+
+FaSTED (FP16-32) against TED-Join-Brute (FP64) on Synth |D|=1e5 across
+d = 64..4096, with the two hardware peaks for context.  Shape checks:
+FaSTED scales up with d toward ~49% of the FP16-32 peak; TED-Join-Brute
+starts at 6.8% of the FP64 peak, declines with d, and OOMs where the paper
+could no longer run it.
+"""
+
+from conftest import emit
+from repro.analysis.experiments import run_fig9
+from repro.analysis.tables import format_table
+
+#: Paper Figure 9 FaSTED series (read off the plot / matching Fig 8 row).
+PAPER_FASTED = {64: 17, 128: 31, 256: 57, 512: 94, 1024: 133, 2048: 150, 4096: 154}
+
+
+def test_fig9_brute_force_throughput(benchmark):
+    result = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+    rows = []
+    for d, f, t in zip(result.dims, result.fasted_tflops, result.tedjoin_tflops):
+        rows.append(
+            (
+                d,
+                f"{f:.1f}",
+                f"{t:.2f}" if t is not None else "OOM",
+                PAPER_FASTED[d],
+            )
+        )
+    emit(
+        "fig9_brute_tc",
+        format_table(
+            ("d", "FaSTED TFLOPS", "TED-Join-Brute TFLOPS", "Paper FaSTED"),
+            rows,
+            title=(
+                "Figure 9: brute-force TC throughput vs d (Synth |D|=1e5)\n"
+                f"peaks: FP16-32 = {result.fp16_peak:.0f} TFLOPS, "
+                f"FP64 TC = {result.fp64_peak:.1f} TFLOPS"
+            ),
+        ),
+    )
+
+    fasted = dict(zip(result.dims, result.fasted_tflops))
+    ted = dict(zip(result.dims, result.tedjoin_tflops))
+    # FaSTED grows with d; within 20% of the paper at every point.
+    vals = [fasted[d] for d in result.dims]
+    assert vals == sorted(vals)
+    for d, v in fasted.items():
+        assert abs(v - PAPER_FASTED[d]) / PAPER_FASTED[d] < 0.20, d
+    # FaSTED reaches ~49% of peak at d=4096 but never exceeds peak.
+    assert 0.42 <= fasted[4096] / result.fp16_peak <= 0.55
+    # TED-Join: 6.8% of FP64 peak at d=64, monotone decline, then OOM.
+    assert ted[64] is not None
+    assert abs(ted[64] / result.fp64_peak - 0.068) < 0.005
+    supported = [t for t in result.tedjoin_tflops if t is not None]
+    assert supported == sorted(supported, reverse=True)
+    assert ted[4096] is None  # paper Table 6's OOM
+    # The headline gap: FaSTED is orders of magnitude faster wherever both run.
+    for d in result.dims:
+        if ted[d] is not None:
+            assert fasted[d] > 10 * ted[d]

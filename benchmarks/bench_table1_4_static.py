@@ -1,0 +1,82 @@
+"""Tables 1-4: configuration and dataset tables.
+
+Tables 1-3 are static (MMA shapes by API, FaSTED's optimized parameters,
+the implementation matrix) and are rendered directly from the package's
+data structures so they cannot drift from the code.  Table 4 is
+data-driven: per-surrogate epsilon values re-calibrated to the paper's
+three selectivity targets, with the measured selectivity of the actual
+join verifying the calibration.
+"""
+
+import pytest
+
+from conftest import emit, fig10_sizes
+from repro.analysis.tables import (
+    format_table,
+    implementation_matrix,
+    implementation_table,
+    mma_shape_table,
+    optimized_parameters_table,
+)
+from repro.core.selectivity import epsilon_for_selectivity
+from repro.data.realworld import DATASETS, load_surrogate
+from repro.kernels.fasted import FastedKernel
+
+
+def test_tables_1_2_3_static(benchmark):
+    text = benchmark.pedantic(
+        lambda: "\n\n".join(
+            [mma_shape_table(), optimized_parameters_table(), implementation_table()]
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("tables_1_2_3", text)
+    rows = implementation_matrix()
+    assert [r[0] for r in rows] == [
+        "FaSTED", "TED-Join-Brute", "TED-Join-Index", "GDS-Join", "MiSTIC",
+    ]
+    # Exactly the brute/index split of paper Table 3.
+    assert [(r[3], r[4]) for r in rows] == [
+        (True, False), (True, False), (False, True), (False, True), (False, True),
+    ]
+    assert "16x8x16 (Used by FaSTED)" in text
+    assert "128x128x64" in text
+
+
+def test_table4_selectivity_calibration(benchmark):
+    sizes = fig10_sizes()
+
+    def run():
+        rows = []
+        checks = []
+        for name, spec in DATASETS.items():
+            data, _ = load_surrogate(name, n=sizes[name])
+            eps_row = [name, sizes[name], spec.paper_d]
+            for s_target in (64, 128, 256):
+                eps = epsilon_for_selectivity(data, s_target)
+                eps_row.append(f"{eps:.4g}")
+                if s_target == 128:  # verify one level with a real join
+                    res = FastedKernel().self_join(
+                        data, eps, store_distances=False
+                    )
+                    checks.append((name, s_target, res.selectivity))
+            rows.append(tuple(eps_row))
+        return rows, checks
+
+    rows, checks = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "table4_selectivity",
+        format_table(
+            ("Dataset", "|D| (surrogate)", "d", "eps(S=64)", "eps(S=128)", "eps(S=256)"),
+            rows,
+            title="Table 4: surrogate datasets with recalibrated epsilon "
+            "(paper's originals are larger; see DESIGN.md)",
+        ),
+    )
+    # Calibration verified by measurement: within 40% of the target
+    # (sampling the distance distribution on a scaled-down surrogate).
+    for name, target, measured in checks:
+        assert 0.6 * target <= measured <= 1.4 * target, (name, measured)
+    # Dimensionalities must match the paper exactly.
+    assert {r[2] for r in rows} == {128, 384, 512, 960}

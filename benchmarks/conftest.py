@@ -1,0 +1,42 @@
+"""Shared benchmark utilities.
+
+Every benchmark regenerates one table/figure of the paper (DESIGN.md
+Section 4 maps them).  Rendered artifacts are printed and also written to
+``results/`` so ``bench_output.txt`` plus ``results/*.txt`` form the full
+reproduction record.  Set ``REPRO_FULL=1`` to run the data-driven
+benchmarks at the larger default surrogate sizes.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: Quick-mode surrogate sizes (minutes-scale full benchmark run).
+QUICK_FIG10_SIZES = {
+    "Sift10M": 4000,
+    "Tiny5M": 3000,
+    "Cifar60K": 3000,
+    "Gist1M": 2000,
+}
+
+
+def full_mode() -> bool:
+    return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+def fig10_sizes() -> dict[str, int]:
+    if full_mode():
+        from repro.analysis.experiments import DEFAULT_FIG10_SIZES
+
+        return dict(DEFAULT_FIG10_SIZES)
+    return dict(QUICK_FIG10_SIZES)
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered artifact and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{'=' * 72}\n{text}\n{'=' * 72}")

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""DBSCAN density clustering on a mixed-precision self-join.
+
+Another of the paper's motivating applications (and the use case of Ji &
+Wang's tensor-core DBSCAN, paper Section 2.4): DBSCAN's expensive step is
+exactly the eps-neighborhood computation FaSTED provides.  This example
+implements DBSCAN *on top of the public self-join API* -- the neighbor
+lists from :func:`repro.self_join` feed a standard core-point expansion --
+and checks that FP16-32 neighborhoods produce the same clustering as FP64.
+
+Run:  python examples/dbscan_clustering.py
+"""
+
+from collections import deque
+
+import numpy as np
+
+from repro import NeighborResult, self_join
+
+
+def dbscan_from_result(result: NeighborResult, min_pts: int) -> np.ndarray:
+    """DBSCAN given a precomputed eps-neighborhood self-join.
+
+    Returns labels: -1 = noise, otherwise a 0-based cluster id.  Neighbor
+    counts include the point itself, matching the classic definition.
+    """
+    n = result.n_points
+    indptr, indices = result.neighbors_csr()
+    n_neighbors = np.diff(indptr) + 1  # + the point itself
+    core = n_neighbors >= min_pts
+    labels = np.full(n, -1, dtype=np.int64)
+    cluster = 0
+    for seed in range(n):
+        if labels[seed] != -1 or not core[seed]:
+            continue
+        labels[seed] = cluster
+        queue = deque([seed])
+        while queue:
+            p = queue.popleft()
+            if not core[p]:
+                continue
+            for q in indices[indptr[p] : indptr[p + 1]]:
+                if labels[q] == -1:
+                    labels[q] = cluster
+                    queue.append(q)
+        cluster += 1
+    return labels
+
+
+def adjusted_agreement(a: np.ndarray, b: np.ndarray) -> float:
+    """Fraction of point pairs on which two clusterings agree."""
+    rng = np.random.default_rng(0)
+    i = rng.integers(0, len(a), 20000)
+    j = rng.integers(0, len(a), 20000)
+    same_a = (a[i] == a[j]) & (a[i] >= 0)
+    same_b = (b[i] == b[j]) & (b[i] >= 0)
+    return float((same_a == same_b).mean())
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    d = 64
+    blobs = [
+        rng.normal(0, 0.4, size=(600, d)) + rng.normal(0, 6, size=d)
+        for _ in range(5)
+    ]
+    noise = rng.uniform(-12, 12, size=(150, d))
+    data = np.concatenate(blobs + [noise])
+    eps, min_pts = 0.4 * np.sqrt(2 * d), 8
+    print(f"DBSCAN on {len(data)} points, {d} dims, eps={eps:.2f}, minPts={min_pts}")
+
+    labels = {}
+    for method, precision in (("fasted", None), ("gds-join", "fp64")):
+        res = self_join(data, eps, method=method, precision=precision)
+        labels[method] = dbscan_from_result(res, min_pts)
+        n_clusters = labels[method].max() + 1
+        n_noise = int((labels[method] == -1).sum())
+        print(
+            f"  {method:9s}: {n_clusters} clusters, {n_noise} noise points"
+        )
+
+    agree = adjusted_agreement(labels["fasted"], labels["gds-join"])
+    print(f"pairwise clustering agreement (FP16-32 vs FP64): {agree:.5f}")
+    assert labels["fasted"].max() == labels["gds-join"].max()
+    assert agree > 0.999
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Quickstart: a mixed-precision distance-similarity self-join.
+
+Reproduces the core FaSTED workflow on synthetic data:
+
+1. generate a dataset,
+2. check it fits the FP16 dynamic range,
+3. calibrate the search radius to a target selectivity (the paper's way of
+   standardizing workloads),
+4. run the FP16-32 self-join,
+5. validate accuracy against the FP64 ground truth,
+6. ask the simulator what this would cost on a real A100.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    epsilon_for_selectivity,
+    overlap_accuracy,
+    self_join,
+)
+from repro.fp.fp16 import dynamic_range_report
+from repro.kernels.fasted import FastedKernel
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    n, d = 4000, 128
+    centers = rng.normal(0, 3.0, size=(16, d))
+    data = centers[rng.integers(0, 16, n)] + rng.normal(0, 0.5, size=(n, d))
+    print(f"dataset: {n} points, {d} dimensions")
+
+    # 1. Is the data FP16-safe?
+    report = dynamic_range_report(data)
+    print(
+        f"FP16 range check: fits={report.fits}, "
+        f"max |x| = {report.max_abs:.2f}, "
+        f"max relative quantization error = {report.max_rel_error:.2e}"
+    )
+
+    # 2. Calibrate eps so each point finds ~64 neighbors on average.
+    eps = epsilon_for_selectivity(data, 64)
+    print(f"calibrated eps = {eps:.4f} for target selectivity S = 64")
+
+    # 3. FaSTED (FP16 storage, FP32 accumulation).
+    result = self_join(data, eps)
+    print(
+        f"FaSTED: {result.pairs_i.size} pairs, "
+        f"measured selectivity = {result.selectivity:.1f}"
+    )
+
+    # 4. FP64 ground truth (GDS-Join in FP64 mode, as in the paper).
+    truth = self_join(data, eps, method="gds-join", precision="fp64")
+    print(f"overlap accuracy vs FP64 (paper Eq. 3): {overlap_accuracy(result, truth):.6f}")
+
+    # 5. What would this cost on the simulated A100?
+    kernel = FastedKernel()
+    timing = kernel.timing(n, d)
+    flops = kernel.config.total_flops(n, d)
+    rt = kernel.response_time(n, d, n_result_pairs=result.pairs_i.size)
+    print(
+        f"simulated A100: kernel {timing.kernel_seconds * 1e3:.2f} ms "
+        f"({timing.derived_tflops(flops):.1f} derived TFLOPS, "
+        f"clock {timing.clock_hz / 1e9:.2f} GHz), "
+        f"end-to-end {rt.total_s * 1e3:.2f} ms"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Throughput explorer: interrogate the A100 timing model.
+
+Walks through the performance side of the reproduction: the Box #1 reuse
+derivation that sized FaSTED's tiles, a miniature Figure-8 sweep, the
+leave-one-out ablation, and the PCIe-vs-SXM power-budget what-if from the
+paper's conclusion.  Everything here is the timing model -- no data is
+generated -- so it runs in milliseconds at the paper's full scales.
+
+Run:  python examples/throughput_explorer.py
+"""
+
+from repro.analysis.experiments import run_fig8, run_table5
+from repro.analysis.tables import format_heatmap, format_table
+from repro.gpusim.boxone import reuse_requirements
+from repro.gpusim.spec import A100_PCIE, A100_SXM
+from repro.kernels.fasted import FastedKernel
+
+
+def main() -> None:
+    # --- Box #1: why the tiles are the size they are -------------------
+    req = reuse_requirements(A100_PCIE)
+    print("Box #1 (A100 PCIe):")
+    print(f"  elements/second at peak : {req.elements_per_second:.3g}")
+    print(f"  required reuse vs L2    : {req.required_l2_reuse:.0f}x")
+    print(f"  required reuse vs SMEM  : {req.required_smem_reuse:.0f}x")
+    print(
+        f"  achieved: block tile {req.block_tile_reuse}x "
+        f"(sufficient={req.block_tile_sufficient}), "
+        f"warp tile {req.warp_tile_reuse}x "
+        f"(sufficient={req.warp_tile_sufficient})"
+    )
+
+    # --- A small Figure-8 sweep ----------------------------------------
+    sizes = (10_000, 100_000, 1_000_000)
+    dims = (128, 512, 2048, 4096)
+    fig8 = run_fig8(sizes=sizes, dims=dims)
+    print()
+    print(
+        format_heatmap(
+            fig8.tflops,
+            [f"{n:,}" for n in sizes],
+            dims,
+            title="Derived TFLOPS (timing model, paper-scale workloads):",
+            corner="|D| \\ d",
+            fmt="{:.0f}",
+        )
+    )
+
+    # --- Table 5 ablation ----------------------------------------------
+    t5 = run_table5()
+    rows = [(r.disabled, f"{r.tflops:.1f}") for r in t5.rows]
+    rows.append(("(all enabled)", f"{t5.baseline_tflops:.1f}"))
+    print()
+    print(format_table(("Disabled optimization", "TFLOPS"), rows))
+
+    # --- The conclusion's SXM what-if -----------------------------------
+    print()
+    print("Power-budget what-if at |D|=1e5, d=4096:")
+    for spec in (A100_PCIE, A100_SXM):
+        k = FastedKernel(spec)
+        t = k.timing(100_000, 4096)
+        tf = t.derived_tflops(k.config.total_flops(100_000, 4096))
+        print(
+            f"  {spec.name:26s} {spec.power_budget_w:4.0f} W -> "
+            f"{t.clock_hz / 1e9:.2f} GHz, {tf:6.1f} TFLOPS"
+            f"{'  (throttled)' if t.throttled else ''}"
+        )
+
+
+if __name__ == "__main__":
+    main()

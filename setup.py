@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+This offline environment lacks the ``wheel`` package, so PEP-517 editable
+installs (``pip install -e .``) cannot build the editable wheel.  This shim
+lets ``python setup.py develop`` (or ``pip install -e . --no-build-isolation``
+with the legacy path) install the package from ``src/`` without network
+access.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,46 @@
+"""FaSTED reproduction: mixed-precision tensor-core Euclidean distances.
+
+A Python reproduction of "Fast and Scalable Mixed Precision Euclidean
+Distance Calculations Using GPU Tensor Cores" (Curless & Gowanlock,
+ICPP 2025) on a simulated A100-class GPU.  See README.md for a tour and
+DESIGN.md for the system inventory and hardware-substitution rationale.
+
+Quickstart::
+
+    import numpy as np
+    from repro import self_join, epsilon_for_selectivity
+
+    data = np.random.default_rng(0).normal(size=(4000, 128))
+    eps = epsilon_for_selectivity(data, 64)
+    result = self_join(data, eps)          # FaSTED, FP16-32
+    print(result.selectivity, result.total_result_size)
+"""
+
+from repro.core import (
+    METHODS,
+    NeighborResult,
+    distance_error_stats,
+    epsilon_for_selectivity,
+    overlap_accuracy,
+    pairwise_sq_dists,
+    self_join,
+)
+from repro.gpusim import A100_PCIE, A100_SXM, DEFAULT_SPEC, V100_SXM2, GpuSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "METHODS",
+    "self_join",
+    "pairwise_sq_dists",
+    "NeighborResult",
+    "epsilon_for_selectivity",
+    "overlap_accuracy",
+    "distance_error_stats",
+    "GpuSpec",
+    "A100_PCIE",
+    "A100_SXM",
+    "V100_SXM2",
+    "DEFAULT_SPEC",
+]

@@ -1,0 +1,37 @@
+"""Experiment drivers and report rendering for the paper's evaluation."""
+
+from repro.analysis.experiments import (
+    DEFAULT_FIG10_SIZES,
+    SELECTIVITIES,
+    run_fig8,
+    run_fig9,
+    run_real_dataset,
+    run_table5,
+    run_table6,
+)
+from repro.analysis.tables import (
+    ascii_histogram,
+    format_heatmap,
+    format_table,
+    implementation_matrix,
+    implementation_table,
+    mma_shape_table,
+    optimized_parameters_table,
+)
+
+__all__ = [
+    "DEFAULT_FIG10_SIZES",
+    "SELECTIVITIES",
+    "run_fig8",
+    "run_fig9",
+    "run_real_dataset",
+    "run_table5",
+    "run_table6",
+    "ascii_histogram",
+    "format_heatmap",
+    "format_table",
+    "implementation_matrix",
+    "implementation_table",
+    "mma_shape_table",
+    "optimized_parameters_table",
+]

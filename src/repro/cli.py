@@ -1,0 +1,140 @@
+"""Command-line interface: ``python -m repro <experiment>``.
+
+Exposes the experiment drivers without writing any Python:
+
+.. code-block:: console
+
+    $ python -m repro fig8                 # throughput heatmap
+    $ python -m repro table5               # leave-one-out ablation
+    $ python -m repro fig9                 # FaSTED vs TED-Join-Brute
+    $ python -m repro table6               # profiler counters
+    $ python -m repro fig10 --dataset Sift10M --n 4000
+    $ python -m repro accuracy --dataset Cifar60K --n 3000
+
+Model-driven experiments run instantly at the paper's full scales; the
+data-driven ones accept ``--n`` to bound the surrogate size.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.experiments import (
+    run_fig8,
+    run_fig9,
+    run_real_dataset,
+    run_table5,
+    run_table6,
+)
+from repro.analysis.tables import format_heatmap, format_table
+from repro.data.realworld import DATASETS
+from repro.gpusim.profiler import format_table as profiler_table
+
+
+def _cmd_fig8(_args) -> str:
+    res = run_fig8()
+    return format_heatmap(
+        res.tflops,
+        [f"{n:,}" for n in res.sizes],
+        res.dims,
+        title="Figure 8: FaSTED derived TFLOPS",
+        corner="|D| \\ d",
+    )
+
+
+def _cmd_table5(_args) -> str:
+    res = run_table5()
+    rows = [(r.disabled, f"{r.tflops:.1f}", r.paper_tflops) for r in res.rows]
+    rows.append(("(all enabled)", f"{res.baseline_tflops:.1f}", res.paper_baseline))
+    return format_table(
+        ("Disabled optimization", "Model TFLOPS", "Paper TFLOPS"),
+        rows,
+        title="Table 5: leave-one-out study",
+    )
+
+
+def _cmd_fig9(_args) -> str:
+    res = run_fig9()
+    rows = [
+        (d, f"{f:.1f}", f"{t:.2f}" if t is not None else "OOM")
+        for d, f, t in zip(res.dims, res.fasted_tflops, res.tedjoin_tflops)
+    ]
+    return format_table(
+        ("d", "FaSTED", "TED-Join-Brute"),
+        rows,
+        title="Figure 9: brute-force TC TFLOPS vs d",
+    )
+
+
+def _cmd_table6(_args) -> str:
+    return profiler_table(run_table6(), title="Table 6: profiler counters")
+
+
+def _cmd_fig10(args) -> str:
+    out = run_real_dataset(args.dataset, n=args.n, with_accuracy=False)
+    rows = []
+    for row in out.fig10_rows:
+        for o in row.outcomes:
+            su = row.speedup_over(o.name)
+            rows.append(
+                (
+                    row.selectivity,
+                    o.name,
+                    f"{o.total_s * 1e3:.2f} ms" if o.total_s else "OOM",
+                    f"{su:.1f}x" if su else "-",
+                )
+            )
+    return format_table(
+        ("S", "Method", "End-to-end", "FaSTED speedup"),
+        rows,
+        title=f"Figure 10 panel: {args.dataset} (n={out.n_points}, d={out.dims})",
+    )
+
+
+def _cmd_accuracy(args) -> str:
+    out = run_real_dataset(
+        args.dataset, n=args.n, with_accuracy=True, with_error_stats=True
+    )
+    rows = [
+        (
+            a.selectivity,
+            f"{a.overlap:.5f}",
+            f"{a.error_stats.mean:+.2e}",
+            f"{a.error_stats.std:.2e}",
+        )
+        for a in out.accuracy
+    ]
+    return format_table(
+        ("S", "Overlap", "Err mean", "Err std"),
+        rows,
+        title=f"Tables 7-8: {args.dataset} accuracy vs FP64",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="FaSTED reproduction experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("fig8", help="throughput heatmap").set_defaults(fn=_cmd_fig8)
+    sub.add_parser("table5", help="ablation study").set_defaults(fn=_cmd_table5)
+    sub.add_parser("fig9", help="FaSTED vs TED-Join-Brute").set_defaults(fn=_cmd_fig9)
+    sub.add_parser("table6", help="profiler counters").set_defaults(fn=_cmd_table6)
+    for name, fn, default_n in (("fig10", _cmd_fig10, 4000), ("accuracy", _cmd_accuracy, 3000)):
+        p = sub.add_parser(name, help=f"{name} on a surrogate dataset")
+        p.add_argument("--dataset", choices=sorted(DATASETS), default="Sift10M")
+        p.add_argument("--n", type=int, default=default_n, help="surrogate size")
+        p.set_defaults(fn=fn)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    print(args.fn(args))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

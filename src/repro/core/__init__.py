@@ -1,0 +1,28 @@
+"""Core public API: self-joins, selectivity calibration, accuracy metrics."""
+
+from repro.core.accuracy import (
+    DistanceErrorStats,
+    distance_error_stats,
+    overlap_accuracy,
+)
+from repro.core.api import METHODS, pairwise_sq_dists, self_join
+from repro.core.results import NeighborResult, from_dense_mask
+from repro.core.selectivity import (
+    epsilon_for_selectivity,
+    measured_selectivity,
+    sampled_pairwise_distances,
+)
+
+__all__ = [
+    "METHODS",
+    "self_join",
+    "pairwise_sq_dists",
+    "NeighborResult",
+    "from_dense_mask",
+    "epsilon_for_selectivity",
+    "measured_selectivity",
+    "sampled_pairwise_distances",
+    "overlap_accuracy",
+    "distance_error_stats",
+    "DistanceErrorStats",
+]

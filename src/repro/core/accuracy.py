@@ -1,0 +1,99 @@
+"""Accuracy metrics for mixed-precision results (paper Section 4.6).
+
+Two measures compare FaSTED's FP16-32 results against an FP64 ground truth
+(the paper uses GDS-Join in FP64 mode):
+
+* **Overlap accuracy** (Eq. 3): mean over points of the Jaccard overlap
+  between the two neighbor sets, with the convention that two empty sets
+  overlap perfectly.
+* **Distance-error statistics** (Table 8 / Figure 11): mean and standard
+  deviation of ``dist_mixed - dist_fp64`` over the pairs present in *both*
+  result sets, plus the raw error vector for histogramming.
+
+Both are implemented with sorted-key set algebra (no Python-level per-pair
+loops), so they scale to millions of result pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.results import NeighborResult
+
+
+def _pair_keys(res: NeighborResult) -> np.ndarray:
+    """Unique int64 key per directed pair (i, j)."""
+    return res.pairs_i * np.int64(res.n_points) + res.pairs_j
+
+
+def overlap_accuracy(res: NeighborResult, truth: NeighborResult) -> float:
+    """Paper Eq. 3: mean per-point intersection-over-union of neighbor sets.
+
+    Points whose neighbor set is empty in both results score 1.0 (the
+    intersection equals the union); any asymmetry scores below 1.
+    """
+    if res.n_points != truth.n_points:
+        raise ValueError("results cover different datasets")
+    n = res.n_points
+    ka = np.unique(_pair_keys(res))
+    kb = np.unique(_pair_keys(truth))
+    common = np.intersect1d(ka, kb, assume_unique=True)
+    cnt_a = np.bincount((ka // n).astype(np.int64), minlength=n)
+    cnt_b = np.bincount((kb // n).astype(np.int64), minlength=n)
+    cnt_common = np.bincount((common // n).astype(np.int64), minlength=n)
+    union = cnt_a + cnt_b - cnt_common
+    scores = np.ones(n, dtype=np.float64)
+    nonempty = union > 0
+    scores[nonempty] = cnt_common[nonempty] / union[nonempty]
+    return float(scores.mean())
+
+
+@dataclass(frozen=True)
+class DistanceErrorStats:
+    """Distance-error summary over pairs common to both result sets."""
+
+    mean: float
+    std: float
+    n_pairs: int
+    errors: np.ndarray  # per-pair dist_mixed - dist_truth (float64)
+
+    def histogram(self, bins: int = 61) -> tuple[np.ndarray, np.ndarray]:
+        """Symmetric histogram of the errors (Figure 11)."""
+        if self.errors.size == 0:
+            return np.zeros(bins), np.linspace(-1, 1, bins + 1)
+        lim = float(np.abs(self.errors).max()) or 1e-12
+        return np.histogram(self.errors, bins=bins, range=(-lim, lim))
+
+
+def distance_error_stats(
+    res: NeighborResult, truth: NeighborResult
+) -> DistanceErrorStats:
+    """Error of computed distances over the intersection of result sets.
+
+    Both results must have been produced with ``store_distances=True``;
+    distances are compared as true (square-rooted) distances, matching the
+    paper's definition ``dist_FaSTED - dist_GDS-Join``.
+    """
+    if res.n_points != truth.n_points:
+        raise ValueError("results cover different datasets")
+    if res.sq_dists.size == 0 or truth.sq_dists.size == 0:
+        raise ValueError("both results must store distances")
+    ka = _pair_keys(res)
+    kb = _pair_keys(truth)
+    # Deduplicate while keeping one distance per key.
+    ua, ia = np.unique(ka, return_index=True)
+    ub, ib = np.unique(kb, return_index=True)
+    common, ca, cb = np.intersect1d(ua, ub, assume_unique=True, return_indices=True)
+    da = np.sqrt(res.sq_dists[ia[ca]].astype(np.float64))
+    db = np.sqrt(truth.sq_dists[ib[cb]].astype(np.float64))
+    err = da - db
+    if err.size == 0:
+        return DistanceErrorStats(0.0, 0.0, 0, err)
+    return DistanceErrorStats(
+        mean=float(err.mean()),
+        std=float(err.std()),
+        n_pairs=int(err.size),
+        errors=err,
+    )

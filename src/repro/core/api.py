@@ -1,0 +1,141 @@
+"""High-level public API of the reproduction.
+
+One-call entry points over the four implementations:
+
+>>> import numpy as np
+>>> from repro import self_join, epsilon_for_selectivity
+>>> data = np.random.default_rng(0).normal(size=(2000, 128))
+>>> eps = epsilon_for_selectivity(data, 64)
+>>> result = self_join(data, eps)                 # FaSTED (FP16-32)
+>>> truth = self_join(data, eps, method="gds-join", precision="fp64")
+
+Methods: ``"fasted"`` (default), ``"ted-join-brute"``, ``"ted-join-index"``,
+``"gds-join"``, ``"mistic"`` -- the five rows of paper Table 3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.results import NeighborResult
+from repro.core.selectivity import epsilon_for_selectivity
+from repro.gpusim.spec import DEFAULT_SPEC, GpuSpec
+
+#: Valid method names (paper Table 3).
+METHODS = ("fasted", "ted-join-brute", "ted-join-index", "gds-join", "mistic")
+
+
+def self_join(
+    data: np.ndarray,
+    eps: float,
+    *,
+    method: str = "fasted",
+    precision: str | None = None,
+    spec: GpuSpec = DEFAULT_SPEC,
+    store_distances: bool = True,
+    seed: int = 0,
+) -> NeighborResult:
+    """Distance-similarity self-join: all pairs within ``eps``.
+
+    Parameters
+    ----------
+    data:
+        ``(n, d)`` dataset.
+    eps:
+        Search radius.
+    method:
+        One of :data:`METHODS`.
+    precision:
+        Only meaningful for ``"gds-join"`` (``"fp32"`` default, ``"fp64"``
+        for the accuracy ground truth).  The other methods have fixed
+        precision per Table 3 (FaSTED: FP16-32; TED-Join: FP64;
+        MiSTIC: FP32).
+    spec:
+        Simulated GPU model (affects only capacity checks functionally).
+    store_distances:
+        Keep per-pair squared distances on the result.
+    seed:
+        Seed for randomized index construction (MiSTIC pivots).
+
+    Returns
+    -------
+    NeighborResult
+        Non-self pairs within ``eps`` (both directions).
+    """
+    if method not in METHODS:
+        raise ValueError(f"method must be one of {METHODS}, got {method!r}")
+    if method == "fasted":
+        from repro.kernels.fasted import FastedKernel
+
+        if precision not in (None, "fp16-32"):
+            raise ValueError("FaSTED is FP16-32 only")
+        return FastedKernel(spec).self_join(
+            data, eps, store_distances=store_distances
+        )
+    if method in ("ted-join-brute", "ted-join-index"):
+        from repro.kernels.tedjoin import TedJoinKernel
+
+        if precision not in (None, "fp64"):
+            raise ValueError("TED-Join is FP64 only")
+        variant = "brute" if method.endswith("brute") else "index"
+        return TedJoinKernel(spec, variant=variant).self_join(
+            data, eps, store_distances=store_distances
+        ).result
+    if method == "gds-join":
+        from repro.kernels.gdsjoin import GdsJoinKernel
+
+        return GdsJoinKernel(spec, precision=precision or "fp32").self_join(
+            data, eps, store_distances=store_distances
+        ).result
+    from repro.kernels.mistic import MisticKernel
+
+    if precision not in (None, "fp32"):
+        raise ValueError("MiSTIC is FP32 only")
+    return MisticKernel(spec, seed=seed).self_join(
+        data, eps, store_distances=store_distances
+    ).result
+
+
+def pairwise_sq_dists(
+    a: np.ndarray, b: np.ndarray, *, precision: str = "fp16-32"
+) -> np.ndarray:
+    """Dense squared-distance matrix between two point sets.
+
+    Exposes the paper's Step 1-3 pipeline as a standalone primitive for
+    applications beyond the self-join (kNN, clustering, outlier detection).
+
+    Parameters
+    ----------
+    a, b:
+        ``(m, d)`` and ``(n, d)`` point sets.
+    precision:
+        ``"fp16-32"`` (FaSTED numerics), ``"fp32"`` or ``"fp64"``.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[1]:
+        raise ValueError("inputs must be 2-D with matching dimensionality")
+    if precision == "fp16-32":
+        from repro.fp.fp16 import quantize_fp16
+        from repro.fp.rounding import rz_sum_squares
+
+        qa, qb = quantize_fp16(a), quantize_fp16(b)
+        sa, sb = rz_sum_squares(a), rz_sum_squares(b)
+        d2 = sa[:, None] + sb[None, :] - 2.0 * (qa @ qb.T)
+    elif precision in ("fp32", "fp64"):
+        dt = np.float32 if precision == "fp32" else np.float64
+        wa, wb = a.astype(dt), b.astype(dt)
+        sa = (wa * wa).sum(axis=1)
+        sb = (wb * wb).sum(axis=1)
+        d2 = sa[:, None] + sb[None, :] - 2.0 * (wa @ wb.T)
+    else:
+        raise ValueError(f"unknown precision {precision!r}")
+    return np.maximum(d2, 0.0, out=np.asarray(d2))
+
+
+__all__ = [
+    "METHODS",
+    "self_join",
+    "pairwise_sq_dists",
+    "epsilon_for_selectivity",
+]

@@ -1,0 +1,130 @@
+"""Result-set containers for distance-similarity self-joins.
+
+A self-join over dataset ``D`` with radius ``eps`` conceptually returns
+``R = {(i, j) : dist(p_i, p_j) <= eps}``.  Following the paper's selectivity
+definition ``S = (|R| - |D|) / |D|`` (Section 4.1.3), the trivial self pairs
+``(i, i)`` are members of ``R``; we store only the non-self pairs and account
+for the diagonal arithmetically, which keeps memory proportional to the
+interesting output.
+
+Pairs are stored as parallel ``int64`` arrays (structure-of-arrays -- the
+HPC-friendly layout) with optional squared distances for accuracy studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class NeighborResult:
+    """Self-join result: non-self pairs within ``eps`` plus metadata.
+
+    Attributes
+    ----------
+    n_points:
+        Dataset size |D|.
+    eps:
+        Search radius used.
+    pairs_i, pairs_j:
+        Parallel arrays of point indices; both directions ``(i, j)`` and
+        ``(j, i)`` are present, matching what a GPU kernel would emit for
+        each query point's neighbor list.
+    sq_dists:
+        Squared distances for each stored pair (optional; empty when the
+        kernel was run with ``store_distances=False``).
+    """
+
+    n_points: int
+    eps: float
+    pairs_i: np.ndarray
+    pairs_j: np.ndarray
+    sq_dists: np.ndarray = field(default_factory=lambda: np.empty(0, np.float32))
+
+    def __post_init__(self) -> None:
+        self.pairs_i = np.asarray(self.pairs_i, dtype=np.int64)
+        self.pairs_j = np.asarray(self.pairs_j, dtype=np.int64)
+        if self.pairs_i.shape != self.pairs_j.shape:
+            raise ValueError("pairs_i and pairs_j must be parallel arrays")
+        if self.sq_dists.size and self.sq_dists.shape != self.pairs_i.shape:
+            raise ValueError("sq_dists must parallel the pair arrays")
+
+    @property
+    def total_result_size(self) -> int:
+        """|R| including the |D| self pairs (the paper's result-set size)."""
+        return int(self.pairs_i.size) + self.n_points
+
+    @property
+    def selectivity(self) -> float:
+        """Paper Eq.: ``S = (|R| - |D|) / |D|`` = mean non-self neighbors."""
+        if self.n_points == 0:
+            return 0.0
+        return self.pairs_i.size / self.n_points
+
+    def neighbor_counts(self) -> np.ndarray:
+        """Number of non-self neighbors of each point."""
+        return np.bincount(self.pairs_i, minlength=self.n_points)
+
+    def neighbor_sets(self) -> list[set[int]]:
+        """Per-point neighbor sets (excluding self).
+
+        Materializes Python sets -- intended for the accuracy metrics on
+        moderate result sizes, not for hot paths.
+        """
+        sets: list[set[int]] = [set() for _ in range(self.n_points)]
+        for i, j in zip(self.pairs_i.tolist(), self.pairs_j.tolist()):
+            sets[i].add(j)
+        return sets
+
+    def neighbors_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """Neighbor lists in CSR form ``(indptr, indices)``, sorted by query.
+
+        The vectorized counterpart of :meth:`neighbor_sets`, used by the
+        overlap-accuracy metric at scale.
+        """
+        order = np.lexsort((self.pairs_j, self.pairs_i))
+        indices = self.pairs_j[order]
+        counts = np.bincount(self.pairs_i, minlength=self.n_points)
+        indptr = np.concatenate(([0], np.cumsum(counts)))
+        return indptr, indices
+
+    def symmetric(self) -> bool:
+        """True when every stored pair appears in both directions."""
+        fwd = set(zip(self.pairs_i.tolist(), self.pairs_j.tolist()))
+        return all((j, i) in fwd for (i, j) in fwd)
+
+    def sorted_copy(self) -> "NeighborResult":
+        """Pairs sorted lexicographically -- convenient for comparisons."""
+        order = np.lexsort((self.pairs_j, self.pairs_i))
+        sq = self.sq_dists[order] if self.sq_dists.size else self.sq_dists
+        return NeighborResult(
+            n_points=self.n_points,
+            eps=self.eps,
+            pairs_i=self.pairs_i[order],
+            pairs_j=self.pairs_j[order],
+            sq_dists=sq,
+        )
+
+
+def from_dense_mask(mask: np.ndarray, eps: float, sq_dists: np.ndarray | None = None) -> NeighborResult:
+    """Build a :class:`NeighborResult` from a dense boolean neighbor mask.
+
+    The diagonal is ignored (self pairs are implicit).  Used by tests and
+    small reference computations.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    if mask.ndim != 2 or mask.shape[0] != mask.shape[1]:
+        raise ValueError("mask must be square")
+    m = mask.copy()
+    np.fill_diagonal(m, False)
+    ii, jj = np.nonzero(m)
+    sq = (
+        np.asarray(sq_dists, dtype=np.float32)[ii, jj]
+        if sq_dists is not None
+        else np.empty(0, np.float32)
+    )
+    return NeighborResult(
+        n_points=mask.shape[0], eps=eps, pairs_i=ii, pairs_j=jj, sq_dists=sq
+    )

@@ -1,0 +1,24 @@
+"""Dataset generation: the Synth grid and real-world surrogates.
+
+The paper evaluates on four public high-dimensional datasets (Sift10M,
+Tiny5M, Cifar60K, Gist1M) and a synthetic family (Table 4).  The public
+datasets are multi-gigabyte downloads unavailable offline, so
+:mod:`repro.data.realworld` generates *surrogates*: clustered feature-like
+data with each original's dimensionality and value range, scaled down in
+cardinality (see DESIGN.md for the substitution argument).  Epsilon values
+are re-calibrated per surrogate to the paper's selectivity targets
+(S in {64, 128, 256}) by :mod:`repro.core.selectivity`, which is exactly
+how the paper standardizes across datasets.
+"""
+
+from repro.data.realworld import DATASETS, DatasetSpec, load_surrogate
+from repro.data.synthetic import SYNTH_DIMS, SYNTH_SIZES, synth_dataset
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "load_surrogate",
+    "SYNTH_DIMS",
+    "SYNTH_SIZES",
+    "synth_dataset",
+]

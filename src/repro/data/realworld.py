@@ -1,0 +1,174 @@
+"""Surrogates for the paper's real-world datasets (Table 4, top).
+
+The originals are standard similarity-search benchmarks:
+
+=========  ==========  =====  ==========================================
+Dataset    |D|         d      Nature
+=========  ==========  =====  ==========================================
+Sift10M    10,000,000  128    SIFT descriptors, uint8-valued 0..255
+Tiny5M      5,000,000  384    Tiny-Images GIST, small positive floats
+Cifar60K       60,000  512    CIFAR GIST descriptors
+Gist1M      1,000,000  960    GIST descriptors
+=========  ==========  =====  ==========================================
+
+They are unavailable offline, so we generate clustered surrogates that
+preserve what the experiments actually exercise:
+
+* the **dimensionality** (drives every kernel's tiling and capacity logic),
+* the **value range** (drives FP16 quantization error -- Sift's 0..255
+  integers stress the FP16 mantissa far more than Gist's ~0.1 floats,
+  which is why Sift and Cifar bracket the paper's accuracy results),
+* **local clustering** (drives index pruning effectiveness and makes the
+  selectivity-epsilon relationship realistic).
+
+Cardinalities are scaled down to keep a pure-NumPy functional join
+tractable; every experiment recalibrates epsilon to the paper's selectivity
+targets, so the *relative* behaviour across methods is preserved (DESIGN.md
+Section 2 documents this substitution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Descriptor tying a paper dataset to its surrogate generator.
+
+    Attributes
+    ----------
+    name:
+        Paper name (e.g. ``"Sift10M"``).
+    paper_n, paper_d:
+        The original cardinality/dimensionality (Table 4).
+    surrogate_n:
+        Scaled-down cardinality used in this reproduction.
+    paper_eps:
+        The paper's epsilon values for S in (64, 128, 256) -- recorded for
+        reference; surrogates recalibrate their own.
+    generator:
+        Callable ``(n, d, seed) -> (n, d) float array``.
+    """
+
+    name: str
+    paper_n: int
+    paper_d: int
+    surrogate_n: int
+    paper_eps: tuple[float, float, float]
+    generator: Callable[[int, int, int], np.ndarray]
+
+
+def _clustered(
+    n: int,
+    d: int,
+    seed: int,
+    *,
+    n_clusters: int,
+    center_scale: float,
+    noise_scale: float,
+    variance_decay: float,
+    offset: float = 0.0,
+    clip: tuple[float, float] | None = None,
+    integer: bool = False,
+) -> np.ndarray:
+    """Mixture-of-Gaussians feature surrogate.
+
+    Per-dimension standard deviations decay as ``(1 + k)^-variance_decay``
+    (sorted descending), giving the anisotropic variance profile real
+    descriptor datasets show -- which is what makes variance-ordered
+    indexing and short-circuiting effective.
+    """
+    rng = np.random.default_rng(seed)
+    dim_scale = (1.0 + np.arange(d)) ** (-variance_decay)
+    centers = rng.normal(0.0, center_scale, size=(n_clusters, d)) * dim_scale
+    sizes = rng.dirichlet(np.full(n_clusters, 2.0))
+    assign = rng.choice(n_clusters, size=n, p=sizes)
+    pts = centers[assign] + rng.normal(0.0, noise_scale, size=(n, d)) * dim_scale
+    pts = pts + offset
+    if clip is not None:
+        np.clip(pts, clip[0], clip[1], out=pts)
+    if integer:
+        pts = np.rint(pts)
+    return pts.astype(np.float64)
+
+
+def _sift(n: int, d: int, seed: int) -> np.ndarray:
+    """SIFT-like: integer-valued gradient histograms in 0..255."""
+    return _clustered(
+        n, d, seed,
+        n_clusters=64, center_scale=45.0, noise_scale=18.0,
+        variance_decay=0.25, offset=60.0, clip=(0.0, 255.0), integer=True,
+    )
+
+
+def _tiny(n: int, d: int, seed: int) -> np.ndarray:
+    """Tiny5M-like: small positive GIST energies."""
+    return _clustered(
+        n, d, seed,
+        n_clusters=48, center_scale=0.055, noise_scale=0.02,
+        variance_decay=0.35, offset=0.11, clip=(0.0, 1.0),
+    )
+
+
+def _cifar(n: int, d: int, seed: int) -> np.ndarray:
+    """Cifar60K-like: GIST descriptors with moderate spread."""
+    return _clustered(
+        n, d, seed,
+        n_clusters=40, center_scale=0.16, noise_scale=0.06,
+        variance_decay=0.30, offset=0.32, clip=(0.0, 2.0),
+    )
+
+
+def _gist(n: int, d: int, seed: int) -> np.ndarray:
+    """Gist1M-like: 960-dim GIST descriptors."""
+    return _clustered(
+        n, d, seed,
+        n_clusters=56, center_scale=0.10, noise_scale=0.035,
+        variance_decay=0.35, offset=0.20, clip=(0.0, 1.5),
+    )
+
+
+#: Registry keyed by paper dataset name.
+DATASETS: dict[str, DatasetSpec] = {
+    "Sift10M": DatasetSpec(
+        "Sift10M", 10_000_000, 128, 20_000, (122.5, 136.5, 152.5), _sift
+    ),
+    "Tiny5M": DatasetSpec(
+        "Tiny5M", 5_000_000, 384, 10_000, (0.1831, 0.2045, 0.2275), _tiny
+    ),
+    "Cifar60K": DatasetSpec(
+        "Cifar60K", 60_000, 512, 6_000, (0.6289, 0.6591, 0.6914), _cifar
+    ),
+    "Gist1M": DatasetSpec(
+        "Gist1M", 1_000_000, 960, 6_000, (0.4736, 0.5292, 0.5937), _gist
+    ),
+}
+
+
+def load_surrogate(
+    name: str, *, n: int | None = None, seed: int = 7
+) -> tuple[np.ndarray, DatasetSpec]:
+    """Generate the surrogate for a paper dataset.
+
+    Parameters
+    ----------
+    name:
+        One of ``DATASETS``'s keys.
+    n:
+        Override the surrogate cardinality (e.g. smaller for quick tests).
+    seed:
+        Generation seed.
+
+    Returns
+    -------
+    (data, spec):
+        The ``(n, d)`` float64 array and the dataset descriptor.
+    """
+    spec = DATASETS[name]
+    size = spec.surrogate_n if n is None else int(n)
+    data = spec.generator(size, spec.paper_d, seed)
+    return data, spec

@@ -1,0 +1,51 @@
+"""Mixed-precision floating-point arithmetic for tensor-core simulation.
+
+This package provides the numerical semantics FaSTED relies on:
+
+* :mod:`repro.fp.fp16` -- IEEE binary16 quantization of input coordinates,
+  overflow/dynamic-range diagnostics.
+* :mod:`repro.fp.rounding` -- round-toward-zero (RZ) reductions matching the
+  behaviour of NVIDIA tensor-core internal accumulation (Fasi et al., 2021),
+  used both for the squared-norm precompute (paper Step 1) and for the
+  fragment-exact MMA path.
+* :mod:`repro.fp.mma` -- fragment-level matrix-multiply-accumulate: the
+  ``m16n8k16`` FP16-32 instruction used by FaSTED, the ``m8n8k4`` FP64
+  instruction used by TED-Join, and a fast vectorized FP16-32 GEMM used for
+  large functional runs.
+
+All functions are pure and operate on NumPy arrays.
+"""
+
+from repro.fp.fp16 import (
+    FP16_MAX,
+    dynamic_range_report,
+    fp16_overflow_mask,
+    quantize_fp16,
+    to_fp16,
+)
+from repro.fp.mma import (
+    gemm_fp16_32,
+    mma_m8n8k4_f64,
+    mma_m16n8k16,
+)
+from repro.fp.rounding import (
+    round_toward_zero_f32,
+    rz_sum,
+    rz_sum_squares,
+    tc_accumulate_rz,
+)
+
+__all__ = [
+    "FP16_MAX",
+    "dynamic_range_report",
+    "fp16_overflow_mask",
+    "quantize_fp16",
+    "to_fp16",
+    "gemm_fp16_32",
+    "mma_m8n8k4_f64",
+    "mma_m16n8k16",
+    "round_toward_zero_f32",
+    "rz_sum",
+    "rz_sum_squares",
+    "tc_accumulate_rz",
+]

@@ -1,0 +1,131 @@
+"""Fragment-level matrix-multiply-accumulate (MMA) simulation.
+
+Two tensor-core instructions are modeled:
+
+* ``mma.sync.aligned.m16n8k16.f32.f16.f16.f32`` -- the FP16-32 instruction
+  FaSTED is built on (paper Listing 2): ``A`` is a 16x16 FP16 fragment of
+  point coordinates, ``B`` a 16x8 FP16 fragment of (transposed) query
+  coordinates, and ``C``/``D`` 16x8 FP32 accumulators.
+* ``wmma m8n8k4`` FP64 -- the double-precision building block of TED-Join
+  (Gallet & Gowanlock, 2022).
+
+Fragment-exact mode applies the per-step round-toward-zero accumulation of
+:mod:`repro.fp.rounding`; the fast path uses a single FP32 GEMM, which matches
+the exact path to within one or two ulps of the final accumulator and is what
+large functional runs use (the difference is far below the FP16 quantization
+error that dominates the accuracy experiments).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fp.rounding import HMMA_STEP_K, tc_accumulate_rz
+
+#: (m, n, k) shape of the FP16-32 PTX mma instruction used by FaSTED.
+MMA_SHAPE_FP16 = (16, 8, 16)
+
+#: (m, n, k) shape of the FP64 WMMA fragment used by TED-Join.
+MMA_SHAPE_FP64 = (8, 8, 4)
+
+
+def mma_m16n8k16(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray | None = None,
+    *,
+    exact_rz: bool = True,
+) -> np.ndarray:
+    """Compute ``D = A x B + C`` for one 16x8x16 FP16-32 fragment.
+
+    Parameters
+    ----------
+    a:
+        ``(16, 16)`` FP16 fragment (rows of points x 16-dim k-slice).
+    b:
+        ``(16, 8)`` FP16 fragment (16-dim k-slice x columns of query points).
+        Note the PTX instruction takes B column-major ("row.col"); here the
+        mathematical orientation is explicit instead.
+    c:
+        ``(16, 8)`` FP32 accumulator; zeros when omitted.
+    exact_rz:
+        When True, reproduce the hardware's 4-term round-toward-zero
+        accumulation sequence exactly; when False, use a single FP32 GEMM.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(16, 8)`` float32 fragment ``D``.
+    """
+    m, n, k = MMA_SHAPE_FP16
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != (m, k):
+        raise ValueError(f"A fragment must be {(m, k)}, got {a.shape}")
+    if b.shape != (k, n):
+        raise ValueError(f"B fragment must be {(k, n)}, got {b.shape}")
+    a32 = a.astype(np.float16).astype(np.float32)
+    b32 = b.astype(np.float16).astype(np.float32)
+    if c is None:
+        c = np.zeros((m, n), dtype=np.float32)
+    d = np.asarray(c, dtype=np.float32)
+    if not exact_rz:
+        return d + a32 @ b32
+    # Hardware: k=16 is executed as four sequential k=4 HMMA steps, each
+    # accumulating 4 exact products plus the running value with one RZ.
+    for start in range(0, k, HMMA_STEP_K):
+        # products[i, j, t] = a[i, start+t] * b[start+t, j], exact in FP32.
+        prods = (
+            a32[:, start : start + HMMA_STEP_K, None]
+            * b32[None, start : start + HMMA_STEP_K, :]
+        ).transpose(0, 2, 1)
+        d = tc_accumulate_rz(d, prods)
+    return d
+
+
+def mma_m8n8k4_f64(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray | None = None,
+) -> np.ndarray:
+    """Compute ``D = A x B + C`` for one 8x8x4 FP64 WMMA fragment.
+
+    FP64 tensor cores on the A100 produce IEEE-correct fused results, so a
+    plain float64 GEMM is bit-faithful here.
+    """
+    m, n, k = MMA_SHAPE_FP64
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != (m, k):
+        raise ValueError(f"A fragment must be {(m, k)}, got {a.shape}")
+    if b.shape != (k, n):
+        raise ValueError(f"B fragment must be {(k, n)}, got {b.shape}")
+    if c is None:
+        c = np.zeros((m, n), dtype=np.float64)
+    return np.asarray(c, dtype=np.float64) + a @ b
+
+
+def gemm_fp16_32(a: np.ndarray, b_t: np.ndarray) -> np.ndarray:
+    """Vectorized FP16-32 GEMM fast path: ``A @ B^T`` with FP32 accumulation.
+
+    Operands are quantized through FP16 (the storage format) and multiplied
+    in FP32 (the accumulate format).  This is the bulk path used when
+    computing full block tiles functionally; per-fragment RZ detail is
+    available through :func:`mma_m16n8k16` for validation.
+
+    Parameters
+    ----------
+    a:
+        ``(m, d)`` array of point coordinates.
+    b_t:
+        ``(n, d)`` array of query-point coordinates (row-major; transposed
+        internally, matching the Q^T layout FaSTED stages in shared memory).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(m, n)`` float32 array of inner products.
+    """
+    a32 = np.asarray(a).astype(np.float16).astype(np.float32)
+    b32 = np.asarray(b_t).astype(np.float16).astype(np.float32)
+    return a32 @ b32.T

@@ -1,0 +1,143 @@
+"""Round-toward-zero (RZ) arithmetic matching tensor-core accumulation.
+
+NVIDIA tensor cores do not use round-to-nearest-even for the internal
+accumulation of an MMA step.  Fasi, Higham, Mikaitis & Pranesh ("Numerical
+behavior of NVIDIA tensor cores", PeerJ CS 2021) established experimentally
+that on Volta/Turing/Ampere the five-term sum of one HMMA step
+(``c + a0*b0 + a1*b1 + a2*b2 + a3*b3``) is computed with full-precision
+products and the final normalization *truncates* (rounds toward zero) to
+FP32.  The FaSTED paper matches this behaviour in its CUDA-core squared-norm
+precompute ("All summations round towards zero to match TC rounding",
+Step 1 of Section 3.1).
+
+This module implements:
+
+* :func:`round_toward_zero_f32` -- correctly-rounded-toward-zero conversion of
+  float64 values to float32 (vectorized).
+* :func:`tc_accumulate_rz` -- one hardware accumulation step: exact multi-term
+  sum followed by a single RZ normalization to FP32.
+* :func:`rz_sum` / :func:`rz_sum_squares` -- sequential chunked RZ reductions
+  used for the ``s_i = sum_k p_{i,k}^2`` precompute.
+
+Exactness argument: FP16 inputs convert to FP32 exactly, FP16xFP16 products
+are exactly representable in FP32 (22-bit significand product fits in 24
+bits), and a sum of <= 2**29 FP32 values is exactly representable in float64
+(53-bit significand vs 24-bit operands), so carrying the "infinitely precise"
+intermediate sum in float64 is *exact* for every chunk size used here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Number of k-terms accumulated per hardware HMMA step (k=4 for FP16-32).
+HMMA_STEP_K = 4
+
+
+def round_toward_zero_f32(x: np.ndarray | float) -> np.ndarray:
+    """Round float64 value(s) to float32 using round-toward-zero.
+
+    NumPy's ``astype(float32)`` rounds to nearest-even; hardware RZ never
+    increases magnitude.  We first round to nearest and then step one ulp
+    toward zero whenever the nearest-rounding overshot the true magnitude.
+
+    Parameters
+    ----------
+    x:
+        Scalar or array of float64 values (exact intermediate sums).
+
+    Returns
+    -------
+    numpy.ndarray
+        float32 array: the representable value of largest magnitude that does
+        not exceed ``|x|`` (i.e. truncation of the significand).
+    """
+    x64 = np.asarray(x, dtype=np.float64)
+    f32 = x64.astype(np.float32)
+    # Where |f32| > |x| the nearest rounding moved away from zero: pull back
+    # one ulp toward zero. Comparing in float64 is exact because every float32
+    # is exactly representable in float64.
+    overshoot = np.abs(f32.astype(np.float64)) > np.abs(x64)
+    if np.any(overshoot):
+        pulled = np.nextafter(f32, np.float32(0.0))
+        f32 = np.where(overshoot, pulled, f32)
+    return f32
+
+
+def tc_accumulate_rz(c: np.ndarray, products: np.ndarray) -> np.ndarray:
+    """One tensor-core accumulation step: ``RZ_f32(c + sum(products))``.
+
+    ``products`` holds the exact FP32 products of one HMMA step along its
+    last axis; the sum is carried exactly in float64 and truncated once, as
+    the hardware does (Fasi et al., 2021).
+
+    Parameters
+    ----------
+    c:
+        FP32 accumulator fragment, any shape ``S``.
+    products:
+        Array of shape ``S + (k,)`` with the exact products of this step.
+
+    Returns
+    -------
+    numpy.ndarray
+        Updated FP32 accumulator, shape ``S``.
+    """
+    exact = c.astype(np.float64) + products.astype(np.float64).sum(axis=-1)
+    return round_toward_zero_f32(exact)
+
+
+def rz_sum(values: np.ndarray, axis: int = -1, step: int = HMMA_STEP_K) -> np.ndarray:
+    """Chunked sequential sum with RZ normalization after every chunk.
+
+    Models a reduction performed with tensor-core rounding semantics: the
+    running FP32 accumulator is truncated after each ``step``-term group.
+    For non-negative inputs the result never exceeds the exact sum (each
+    truncation only reduces magnitude) -- a property verified by the test
+    suite.
+
+    Parameters
+    ----------
+    values:
+        Input array; the reduction runs along ``axis``.
+    axis:
+        Axis to reduce.
+    step:
+        Number of terms folded in per RZ normalization (hardware uses 4).
+
+    Returns
+    -------
+    numpy.ndarray
+        float32 array with ``axis`` removed.
+    """
+    v = np.moveaxis(np.asarray(values, dtype=np.float64), axis, -1)
+    n = v.shape[-1]
+    acc = np.zeros(v.shape[:-1], dtype=np.float32)
+    for start in range(0, n, step):
+        chunk = v[..., start : start + step].sum(axis=-1)
+        acc = round_toward_zero_f32(acc.astype(np.float64) + chunk)
+    return acc
+
+
+def rz_sum_squares(points: np.ndarray, step: int = HMMA_STEP_K) -> np.ndarray:
+    """Squared Euclidean norms ``s_i = sum_k p_{i,k}^2`` with RZ rounding.
+
+    This is Step 1 of the FaSTED pipeline: computed on CUDA cores from the
+    FP16-quantized coordinates, rounding toward zero to match the tensor-core
+    rounding of the cross-term GEMM so the recombination
+    ``dist^2 = s_i + s_j - 2 a_ij`` does not introduce a systematic bias.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` array; will be quantized through FP16 before squaring.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n,)`` float32 array of squared norms.
+    """
+    from repro.fp.fp16 import quantize_fp16
+
+    q = quantize_fp16(points).astype(np.float64)
+    return rz_sum(q * q, axis=-1, step=step)

@@ -1,0 +1,29 @@
+"""A behavioral and timing simulator of an A100-class tensor-core GPU.
+
+This is the substrate substituting for the paper's physical hardware (see
+DESIGN.md Section 2).  It has two faces:
+
+* **Functional** -- shared memory with real bank-conflict accounting
+  (:mod:`~repro.gpusim.smem`), the Eq.-2 XOR swizzle
+  (:mod:`~repro.gpusim.swizzle`), ``ldmatrix`` phase semantics
+  (:mod:`~repro.gpusim.ldmatrix`), PTX register-fragment layouts
+  (:mod:`~repro.gpusim.fragments`) and an LRU L2 model
+  (:mod:`~repro.gpusim.l2cache`).  These move real FP16 data and are what
+  the correctness tests exercise.
+* **Timing** -- a calibrated analytic model
+  (:mod:`~repro.gpusim.timing`, :mod:`~repro.gpusim.pipeline`,
+  :mod:`~repro.gpusim.occupancy`, :mod:`~repro.gpusim.power`,
+  :mod:`~repro.gpusim.workqueue`) that converts instruction/traffic counts
+  into kernel seconds, derived TFLOPS, and Nsight-style counters
+  (:mod:`~repro.gpusim.profiler`).
+"""
+
+from repro.gpusim.spec import A100_PCIE, A100_SXM, DEFAULT_SPEC, V100_SXM2, GpuSpec
+
+__all__ = [
+    "A100_PCIE",
+    "A100_SXM",
+    "DEFAULT_SPEC",
+    "V100_SXM2",
+    "GpuSpec",
+]

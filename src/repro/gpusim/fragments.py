@@ -1,0 +1,164 @@
+"""PTX register-fragment layouts for tensor-core MMA instructions.
+
+The ``mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32`` instruction
+(paper Listing 2) distributes its operand matrices across the 32 threads of
+a warp in a fixed pattern defined by the PTX ISA.  FaSTED's correctness
+depends on ``ldmatrix`` delivering data in exactly this pattern, so we model
+the layouts explicitly and test that scatter followed by gather is the
+identity.
+
+Thread indexing follows the PTX convention: ``group = lane // 4`` selects a
+row (or column for B), ``tid = lane % 4`` selects a pair of adjacent
+elements.
+
+The module also records the WMMA-API-visible shapes of paper Table 1, used
+to document why FaSTED needs PTX (the 16x8x16 shape is PTX-only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Lanes per warp.
+WARP_SIZE = 32
+
+
+@dataclass(frozen=True)
+class MmaShape:
+    """An (m, n, k) MMA tile shape and which APIs expose it (paper Table 1)."""
+
+    m: int
+    n: int
+    k: int
+    wmma_api: bool
+    ptx_mma: bool
+
+    @property
+    def label(self) -> str:
+        return f"{self.m}x{self.n}x{self.k}"
+
+
+#: Paper Table 1: FP16-32 matrix shapes by API.
+SUPPORTED_SHAPES: tuple[MmaShape, ...] = (
+    MmaShape(16, 16, 16, wmma_api=True, ptx_mma=False),
+    MmaShape(32, 8, 16, wmma_api=True, ptx_mma=False),
+    MmaShape(8, 32, 16, wmma_api=True, ptx_mma=False),
+    MmaShape(8, 8, 4, wmma_api=False, ptx_mma=True),
+    MmaShape(16, 8, 8, wmma_api=False, ptx_mma=True),
+    MmaShape(16, 8, 16, wmma_api=False, ptx_mma=True),
+)
+
+#: The shape FaSTED uses (PTX-only).
+FASTED_SHAPE = SUPPORTED_SHAPES[-1]
+
+
+def a_fragment_owner(row: np.ndarray, col: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Owner of element ``A[row, col]`` of a 16x16 FP16 A fragment.
+
+    Returns ``(lane, register_halfword)`` where ``register_halfword`` indexes
+    the 8 halfwords (4 x 32-bit registers) each lane holds.
+
+    Layout per the PTX ISA for ``m16n8k16`` row-major A: lane group
+    ``row % 8`` rows pair with ``row + 8``; halfwords 0-1 cover columns
+    ``2*tid, 2*tid+1`` of the low k-half, 4-5 the high k-half, 2-3 and 6-7
+    the ``row + 8`` copies.
+    """
+    row = np.asarray(row)
+    col = np.asarray(col)
+    lane = (row % 8) * 4 + (col % 8) // 2
+    half = (col % 2) + 2 * (row // 8) + 4 * (col // 8)
+    return lane, half
+
+
+def b_fragment_owner(row: np.ndarray, col: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Owner of element ``B[row, col]`` of a 16x8 (k x n) FP16 B fragment.
+
+    Returns ``(lane, register_halfword)`` with 4 halfwords (2 registers) per
+    lane; column-major ("col") operand per Listing 2.  Lane ``4*col + t``
+    holds rows ``2t, 2t+1`` (halfwords 0-1) and ``2t+8, 2t+9`` (halfwords
+    2-3) of column ``col``.
+    """
+    row = np.asarray(row)
+    col = np.asarray(col)
+    lane = col * 4 + (row % 8) // 2
+    half = (row % 2) + 2 * (row // 8)
+    return lane, half
+
+
+def c_fragment_owner(row: np.ndarray, col: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Owner of element ``C[row, col]`` of a 16x8 FP32 accumulator fragment.
+
+    Returns ``(lane, register)`` with 4 FP32 registers per lane: registers
+    0-1 hold columns ``2*tid, 2*tid+1`` of row ``group``, registers 2-3 the
+    same columns of row ``group + 8``.
+    """
+    row = np.asarray(row)
+    col = np.asarray(col)
+    lane = (row % 8) * 4 + col // 2
+    reg = (col % 2) + 2 * (row // 8)
+    return lane, reg
+
+
+def scatter_a(matrix: np.ndarray) -> np.ndarray:
+    """Distribute a 16x16 FP16 matrix into per-lane registers.
+
+    Returns a ``(32, 8)`` float16 array: ``out[lane, half]``.
+    """
+    if matrix.shape != (16, 16):
+        raise ValueError(f"A fragment is 16x16, got {matrix.shape}")
+    out = np.zeros((WARP_SIZE, 8), dtype=np.float16)
+    rows, cols = np.meshgrid(np.arange(16), np.arange(16), indexing="ij")
+    lane, half = a_fragment_owner(rows, cols)
+    out[lane, half] = matrix.astype(np.float16)
+    return out
+
+
+def gather_a(regs: np.ndarray) -> np.ndarray:
+    """Reassemble the 16x16 matrix from per-lane A registers."""
+    if regs.shape != (WARP_SIZE, 8):
+        raise ValueError(f"A registers are (32, 8), got {regs.shape}")
+    rows, cols = np.meshgrid(np.arange(16), np.arange(16), indexing="ij")
+    lane, half = a_fragment_owner(rows, cols)
+    return regs[lane, half]
+
+
+def scatter_b(matrix: np.ndarray) -> np.ndarray:
+    """Distribute a 16x8 FP16 B matrix into per-lane registers (32, 4)."""
+    if matrix.shape != (16, 8):
+        raise ValueError(f"B fragment is 16x8, got {matrix.shape}")
+    out = np.zeros((WARP_SIZE, 4), dtype=np.float16)
+    rows, cols = np.meshgrid(np.arange(16), np.arange(8), indexing="ij")
+    lane, half = b_fragment_owner(rows, cols)
+    out[lane, half] = matrix.astype(np.float16)
+    return out
+
+
+def gather_b(regs: np.ndarray) -> np.ndarray:
+    """Reassemble the 16x8 B matrix from per-lane registers."""
+    if regs.shape != (WARP_SIZE, 4):
+        raise ValueError(f"B registers are (32, 4), got {regs.shape}")
+    rows, cols = np.meshgrid(np.arange(16), np.arange(8), indexing="ij")
+    lane, half = b_fragment_owner(rows, cols)
+    return regs[lane, half]
+
+
+def scatter_c(matrix: np.ndarray) -> np.ndarray:
+    """Distribute a 16x8 FP32 accumulator into per-lane registers (32, 4)."""
+    if matrix.shape != (16, 8):
+        raise ValueError(f"C fragment is 16x8, got {matrix.shape}")
+    out = np.zeros((WARP_SIZE, 4), dtype=np.float32)
+    rows, cols = np.meshgrid(np.arange(16), np.arange(8), indexing="ij")
+    lane, reg = c_fragment_owner(rows, cols)
+    out[lane, reg] = matrix.astype(np.float32)
+    return out
+
+
+def gather_c(regs: np.ndarray) -> np.ndarray:
+    """Reassemble the 16x8 accumulator from per-lane C registers."""
+    if regs.shape != (WARP_SIZE, 4):
+        raise ValueError(f"C registers are (32, 4), got {regs.shape}")
+    rows, cols = np.meshgrid(np.arange(16), np.arange(8), indexing="ij")
+    lane, reg = c_fragment_owner(rows, cols)
+    return regs[lane, reg]

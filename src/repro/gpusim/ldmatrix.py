@@ -1,0 +1,129 @@
+"""The ``ldmatrix`` shared-memory -> register instruction (paper Listing 1).
+
+``ldmatrix.sync.aligned.x4.m8n8.shared.b16`` loads four 8x8 FP16 submatrices
+from shared memory into a warp's registers in **four phases**; each phase is
+one 128-byte transaction in which 8 threads each read one 16-byte chunk
+(paper Figure 7a).  A phase completes in a single transaction only when the
+eight chunks hit eight distinct bank groups -- the property the XOR swizzle
+guarantees and the row-major layout violates (8-way conflict).
+
+Two services are provided:
+
+* :func:`phase_chunk_addresses` / :func:`count_transactions` -- the address
+  stream of each phase under a given layout, used by the timing model to
+  derive the shared-memory conflict multiplier analytically.
+* :func:`load_p_fragment` / :func:`load_q_fragment` -- functional loads that
+  pull actual FP16 values out of a :class:`repro.gpusim.smem.SharedMemory`
+  and return the 16x16 (or 16x8) matrix an MMA consumes, while the memory
+  object accounts transactions.  Tests verify the round trip
+  global -> swizzled smem -> ldmatrix equals the original data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim.smem import CHUNKS_PER_ROW, SharedMemory
+from repro.gpusim.swizzle import LayoutFn, load_phase_addresses
+
+#: Phases per ldmatrix.x4 instruction.
+PHASES_X4 = 4
+
+#: Threads cooperating in one phase (one 128 B transaction).
+THREADS_PER_PHASE = 8
+
+
+def phase_chunk_addresses(
+    layout_fn: LayoutFn, base_row: int, n_rows: int, slice_offset: int
+) -> list[np.ndarray]:
+    """Chunk addresses of each ldmatrix phase for an ``n_rows`` x 16 tile.
+
+    A 16x16 A fragment (``n_rows=16``) issues 4 phases: rows 0-7 slice
+    ``slice_offset``, rows 8-15 slice ``slice_offset``, rows 0-7 slice
+    ``slice_offset+1``, rows 8-15 slice ``slice_offset+1`` (paper Figure 7a
+    with dimensions 1-8 / 9-16).  A 16x8 B fragment uses the ``x2`` variant
+    (2 phases) but the per-phase pattern is identical.
+
+    Parameters
+    ----------
+    layout_fn:
+        Swizzled or row-major layout.
+    base_row:
+        First point row of the fragment within the block fragment.
+    n_rows:
+        16 for an A (``x4``) load, 8 for a ``x2`` load.
+    slice_offset:
+        Index of the first 8-dimension slice covered by this fragment's
+        16-dimension k-slice.
+
+    Returns
+    -------
+    list of numpy.ndarray
+        One address vector (8 chunk addresses) per phase.
+    """
+    phases = []
+    for s in range(2):  # two 8-dim slices make the 16-dim k-slice
+        for r in range(0, n_rows, THREADS_PER_PHASE):
+            phases.append(
+                load_phase_addresses(layout_fn, base_row + r, slice_offset + s)
+            )
+    return phases
+
+
+def count_transactions(layout_fn: LayoutFn, base_row: int, n_rows: int, slice_offset: int) -> int:
+    """Total serialized transactions for one ldmatrix under ``layout_fn``."""
+    from repro.gpusim.smem import conflict_degree
+
+    return sum(
+        conflict_degree(addrs)
+        for addrs in phase_chunk_addresses(layout_fn, base_row, n_rows, slice_offset)
+    )
+
+
+def _load_rows(
+    smem: SharedMemory,
+    layout_fn: LayoutFn,
+    base_row: int,
+    n_rows: int,
+    slice_offset: int,
+) -> np.ndarray:
+    """Load an ``n_rows x 16`` FP16 tile via ldmatrix phases."""
+    out = np.zeros((n_rows, 16), dtype=np.float16)
+    for s in range(2):
+        for r in range(0, n_rows, THREADS_PER_PHASE):
+            addrs = load_phase_addresses(layout_fn, base_row + r, slice_offset + s)
+            values, _ = smem.load_phase(addrs)
+            out[r : r + THREADS_PER_PHASE, 8 * s : 8 * s + 8] = values
+    return out
+
+
+def load_p_fragment(
+    smem: SharedMemory, layout_fn: LayoutFn, base_row: int, kslice: int
+) -> np.ndarray:
+    """Load a 16x16 P register fragment (points x dims) from shared memory.
+
+    Parameters
+    ----------
+    smem:
+        Shared memory holding a block fragment stored with ``layout_fn``.
+    layout_fn:
+        The layout used at store time (must match to read back correctly).
+    base_row:
+        First of the 16 point rows.
+    kslice:
+        Which 16-dimension k-slice (0..3 within a 64-dim block fragment).
+    """
+    return _load_rows(smem, layout_fn, base_row, 16, 2 * kslice)
+
+
+def load_q_fragment(
+    smem: SharedMemory, layout_fn: LayoutFn, base_row: int, kslice: int
+) -> np.ndarray:
+    """Load a 16x8 Q register fragment (dims x query points), transposed.
+
+    The Q block fragment is stored point-major like P; the ldmatrix
+    ``.trans`` variant delivers it transposed into registers, so the result
+    is the ``(16, 8)`` k x n operand of :func:`repro.fp.mma.mma_m16n8k16`.
+    """
+    rows = _load_rows(smem, layout_fn, base_row, 8, 2 * kslice)
+    return rows.T.copy()

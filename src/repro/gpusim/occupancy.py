@@ -1,0 +1,98 @@
+"""Block residency (occupancy) arithmetic (paper Section 3.3.6).
+
+FaSTED deliberately sizes its block tile, k-slice width and pipeline depth
+to leave *exactly* enough shared memory and registers for two blocks to
+reside on each SM simultaneously -- one block's tensor-core work hides the
+other's memory stalls.  This module computes how many blocks fit, given the
+per-block resource footprint, using the standard CUDA occupancy rules
+(minimum over the shared-memory, register, thread and block limits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.spec import GpuSpec
+
+
+@dataclass(frozen=True)
+class BlockResources:
+    """Per-block resource footprint of a kernel.
+
+    Attributes
+    ----------
+    threads_per_block:
+        Thread count (FaSTED: 4 warps = 128 threads).
+    registers_per_thread:
+        32-bit registers per thread, including accumulator fragments.
+    smem_bytes_per_block:
+        Static + dynamic shared memory per block.
+    """
+
+    threads_per_block: int
+    registers_per_thread: int
+    smem_bytes_per_block: int
+
+    @property
+    def registers_per_block(self) -> int:
+        # Hardware allocates registers in warp-granular chunks of 256.
+        per_warp = self.registers_per_thread * 32
+        granule = 256
+        rounded = -(-per_warp // granule) * granule
+        return rounded * (self.threads_per_block // 32)
+
+
+def blocks_per_sm(spec: GpuSpec, res: BlockResources) -> int:
+    """Number of blocks of this footprint that fit on one SM.
+
+    Returns 0 when a single block cannot launch (e.g. TED-Join's shared
+    memory demand beyond the configurable limit -- the paper's "OOM" case).
+    """
+    if res.smem_bytes_per_block > spec.smem_max_block_bytes:
+        return 0
+    if res.registers_per_block > spec.registers_per_sm:
+        return 0
+    by_smem = (
+        spec.smem_max_block_bytes // res.smem_bytes_per_block
+        if res.smem_bytes_per_block
+        else spec.max_blocks_per_sm
+    )
+    by_regs = (
+        spec.registers_per_sm // res.registers_per_block
+        if res.registers_per_block
+        else spec.max_blocks_per_sm
+    )
+    by_threads = spec.max_threads_per_sm // res.threads_per_block
+    return max(0, min(by_smem, by_regs, by_threads, spec.max_blocks_per_sm))
+
+
+def fasted_block_resources(
+    *,
+    block_points: int = 128,
+    block_k: int = 64,
+    pipeline_depth: int = 2,
+    warps_per_block: int = 4,
+    warp_tile_m: int = 64,
+    warp_tile_n: int = 64,
+    async_copy: bool = True,
+) -> BlockResources:
+    """Resource footprint of a FaSTED block (paper Table 2 defaults).
+
+    Shared memory: ``pipeline_depth`` stages of two block fragments
+    (``block_points x block_k`` FP16 each).  Registers: per-thread share of
+    the warp-tile FP32 accumulators (``warp_m x warp_n / 32``) plus operand
+    fragments and addressing temporaries; synchronous copies stage data
+    through registers, adding pressure (part of why the paper's
+    ``memcpy_async`` matters).
+    """
+    stage_bytes = 2 * block_points * block_k * 2  # P^bf + Q^bf, FP16
+    smem = pipeline_depth * stage_bytes
+    acc_regs = (warp_tile_m * warp_tile_n) // 32  # FP32 accumulators/thread
+    operand_regs = 4 + 2 + 16  # A/B fragments + addressing/loop temporaries
+    staging = 0 if async_copy else 24  # sync-copy staging registers
+    regs = acc_regs + operand_regs + staging
+    return BlockResources(
+        threads_per_block=32 * warps_per_block,
+        registers_per_thread=regs,
+        smem_bytes_per_block=smem,
+    )

@@ -1,0 +1,85 @@
+"""Global->shared copy pipeline model (paper Sections 3.3.4-3.3.5).
+
+Three data-path regimes are modeled for the per-k-chunk iteration of a
+block tile:
+
+* **Asynchronous, multi-stage** (the FaSTED default): ``cuda::memcpy_async``
+  into a ``pipeline_depth``-deep ring of shared-memory stages; the copy of
+  chunk ``i+1`` overlaps the tensor-core consumption of chunk ``i``, so the
+  iteration costs ``max(compute, memory)`` plus a small stage-commit
+  synchronization.
+* **Asynchronous, single-stage**: copies still bypass L1/registers, but with
+  a single buffer the next chunk's copy can only be issued after compute on
+  the current chunk finishes; a fraction of the memory time is exposed.
+* **Synchronous**: data moves global -> L2 -> L1 -> registers -> shared;
+  no overlap is possible (the libcudacxx pipeline cannot wrap synchronous
+  copies -- paper footnote 9) and each byte crosses the register file,
+  costing extra issue bandwidth and latency.
+
+The numbers produced are *cycles at the current clock* for one iteration of
+one block; the caller supplies component costs from the timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Data-path configuration of a kernel's copy pipeline."""
+
+    async_copy: bool = True
+    depth: int = 2
+
+    def __post_init__(self) -> None:
+        if self.depth < 1:
+            raise ValueError("pipeline depth must be >= 1")
+
+
+#: Fraction of the memory time left exposed with a single-stage async buffer.
+SINGLE_STAGE_EXPOSURE = 0.055
+
+#: Multiplier on memory time for the synchronous (L1 + register file) path.
+SYNC_COPY_PENALTY = 4.2
+
+#: Cycles for the pipeline commit/wait + block-wide barrier per iteration.
+STAGE_SYNC_CYCLES = 96.0
+
+
+def iteration_cycles(
+    compute_cycles: float,
+    memory_cycles: float,
+    config: PipelineConfig,
+) -> float:
+    """Cycles for one steady-state k-chunk iteration of one block.
+
+    Parameters
+    ----------
+    compute_cycles:
+        Tensor-core + shared-memory-load + issue time for one chunk.
+    memory_cycles:
+        Global-memory/L2 service time for one chunk's block fragments.
+    config:
+        Data-path regime.
+    """
+    if compute_cycles < 0 or memory_cycles < 0:
+        raise ValueError("cycle counts must be non-negative")
+    if config.async_copy and config.depth >= 2:
+        return max(compute_cycles, memory_cycles) + STAGE_SYNC_CYCLES
+    if config.async_copy:
+        exposed = memory_cycles * SINGLE_STAGE_EXPOSURE
+        return max(compute_cycles, memory_cycles) + exposed + STAGE_SYNC_CYCLES
+    # Synchronous copies: serial, penalized, and barrier-heavy.
+    return compute_cycles + memory_cycles * SYNC_COPY_PENALTY + 2 * STAGE_SYNC_CYCLES
+
+
+def fill_cycles(memory_cycles: float, config: PipelineConfig) -> float:
+    """Pipeline warm-up cost paid once per block tile (prologue).
+
+    The first ``depth`` chunks must land in shared memory before the first
+    MMA can issue; with asynchronous copies the stages fill back-to-back.
+    """
+    stages = config.depth if config.async_copy else 1
+    penalty = 1.0 if config.async_copy else SYNC_COPY_PENALTY
+    return stages * memory_cycles * penalty

@@ -1,0 +1,103 @@
+"""Board-power and clock-throttle model (paper Sections 4.4 and 5).
+
+The paper discovered that FaSTED's sustained FP16-32 throughput is limited
+by the PCIe A100's 250 W power budget: at |D|=1e5, d=4096 the profiler
+shows 64% tensor-pipe utilization but the clock is throttled from 1.41 GHz
+to 1.12 GHz, capping derived throughput near 154 TFLOPS (49% of peak).  The
+conclusion argues a 400 W SXM part would do better -- an experiment our
+simulator can actually run.
+
+Model: board power is a static floor plus dynamic components proportional
+to tensor-pipe and DRAM utilization, all scaling with the cube of the clock
+ratio (voltage tracks frequency).  The governor picks the largest clock
+whose predicted power fits the budget:
+
+    P(r) = P_static + r^3 * (base + a_tc * u_tc + a_mem * u_mem)
+    r    = min(1, cbrt((budget - P_static) / (base + a_tc*u_tc + a_mem*u_mem)))
+
+Constants are calibrated against Table 6 (clock 1.40/1.37/1.12 GHz at
+tensor utilizations ~2%/10%/64%).  Additionally, very short kernels run
+before the clock has ramped to boost at all; :func:`ramped_average_clock`
+models the boost ramp so microsecond-scale kernels (the small-|D| rows of
+Figure 8) see a lower effective clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.spec import GpuSpec
+
+#: Static (leakage + fans + HBM refresh) power in watts.
+P_STATIC_W = 40.0
+
+#: Dynamic power at boost clock independent of our utilization counters.
+P_BASE_W = 190.0
+
+#: Dynamic power at boost clock per unit tensor-pipe utilization.
+P_TC_W = 320.0
+
+#: Dynamic power at boost clock per unit DRAM utilization.
+P_MEM_W = 150.0
+
+#: Clock the GPU idles at before a kernel burst ramps it up (Hz).
+IDLE_CLOCK_HZ = 585e6
+
+#: Time constant of the boost ramp (seconds).
+BOOST_RAMP_S = 1.5e-3
+
+
+@dataclass(frozen=True)
+class PowerState:
+    """Resolved clock/power operating point for a kernel."""
+
+    clock_hz: float
+    power_w: float
+    throttled: bool
+
+    @property
+    def clock_ghz(self) -> float:
+        return self.clock_hz / 1e9
+
+
+def throttled_clock(spec: GpuSpec, tc_util: float, mem_util: float) -> PowerState:
+    """Steady-state clock under the power budget for given utilizations.
+
+    Parameters
+    ----------
+    spec:
+        GPU model (provides boost clock and power budget).
+    tc_util:
+        Tensor-pipe utilization in [0, 1] (fraction of cycles a tensor core
+        has work), the quantity Nsight calls "Pipe Tensor Cycles Active".
+    mem_util:
+        DRAM bandwidth utilization in [0, 1].
+    """
+    tc_util = min(max(tc_util, 0.0), 1.0)
+    mem_util = min(max(mem_util, 0.0), 1.0)
+    dyn_at_boost = P_BASE_W + P_TC_W * tc_util + P_MEM_W * mem_util
+    headroom = spec.power_budget_w - P_STATIC_W
+    if headroom <= 0:
+        raise ValueError("power budget below static floor")
+    ratio = min(1.0, (headroom / dyn_at_boost) ** (1.0 / 3.0))
+    clock = spec.boost_clock_hz * ratio
+    power = P_STATIC_W + ratio**3 * dyn_at_boost
+    return PowerState(clock_hz=clock, power_w=power, throttled=ratio < 0.999)
+
+
+def ramped_average_clock(target_hz: float, kernel_seconds: float) -> float:
+    """Average clock over a kernel that starts at idle and boosts.
+
+    The clock rises exponentially from :data:`IDLE_CLOCK_HZ` toward
+    ``target_hz`` with time constant :data:`BOOST_RAMP_S`; the average over
+    ``kernel_seconds`` is the effective rate short kernels experience.
+    Kernels much longer than the ramp see ``target_hz`` unchanged.
+    """
+    import math
+
+    if kernel_seconds <= 0:
+        return IDLE_CLOCK_HZ
+    t = kernel_seconds / BOOST_RAMP_S
+    # mean of target - (target-idle) * exp(-x) over x in [0, t]
+    mean_gap = (1.0 - math.exp(-t)) / t
+    return target_hz - (target_hz - IDLE_CLOCK_HZ) * mean_gap

@@ -1,0 +1,105 @@
+"""Nsight-Compute-style profiler report (paper Table 6).
+
+The simulator's timing resolver already computes every counter Table 6
+reports; this module packages them in the same units and layout so the
+benchmark harness can print a table directly comparable to the paper:
+
+=====================================  =======================
+Metric                                 Source
+=====================================  =======================
+DRAM Throughput (%)                    timing.dram_utilization
+SMEM Throughput (%)                    timing.smem_utilization
+Bank Conflicts (%)                     ldmatrix transaction model
+L2 Hit Rate (%)                        work-queue cache model
+TC Pipe Utilization (%)                timing.tc_utilization
+Clock Speed (GHz)                      power model
+=====================================  =======================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.timing import KernelTiming
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """One profiled kernel configuration (one column of Table 6)."""
+
+    label: str
+    dram_throughput_pct: float
+    smem_throughput_pct: float
+    bank_conflict_pct: float
+    l2_hit_rate_pct: float
+    tc_pipe_utilization_pct: float
+    clock_ghz: float
+    oom: bool = False
+
+    ROWS = (
+        "DRAM Throughput (%)",
+        "SMEM Throughput (%)",
+        "Bank Conflicts (%)",
+        "L2 Hit Rate (%)",
+        "TC Pipe Utilization (%)",
+        "Clock Speed (GHz)",
+    )
+
+    def values(self) -> tuple[str, ...]:
+        """Row values formatted like the paper ("OOM" for failed configs)."""
+        if self.oom:
+            return tuple("OOM" for _ in self.ROWS)
+        return (
+            f"{self.dram_throughput_pct:.2f}",
+            f"{self.smem_throughput_pct:.1f}",
+            f"{self.bank_conflict_pct:.1f}",
+            f"{self.l2_hit_rate_pct:.1f}",
+            f"{self.tc_pipe_utilization_pct:.1f}",
+            f"{self.clock_ghz:.2f}",
+        )
+
+
+def report_from_timing(label: str, timing: KernelTiming) -> ProfileReport:
+    """Convert a resolved :class:`KernelTiming` into a profiler report."""
+    return ProfileReport(
+        label=label,
+        dram_throughput_pct=100.0 * timing.dram_utilization,
+        smem_throughput_pct=100.0 * timing.smem_utilization,
+        bank_conflict_pct=100.0 * timing.bank_conflict_rate,
+        l2_hit_rate_pct=100.0 * timing.l2_hit_rate,
+        tc_pipe_utilization_pct=100.0 * timing.tc_utilization,
+        clock_ghz=timing.clock_hz / 1e9,
+    )
+
+
+def oom_report(label: str) -> ProfileReport:
+    """Report for a configuration that exceeds shared memory (paper "OOM")."""
+    return ProfileReport(
+        label=label,
+        dram_throughput_pct=0.0,
+        smem_throughput_pct=0.0,
+        bank_conflict_pct=0.0,
+        l2_hit_rate_pct=0.0,
+        tc_pipe_utilization_pct=0.0,
+        clock_ghz=0.0,
+        oom=True,
+    )
+
+
+def format_table(reports: list[ProfileReport], title: str = "") -> str:
+    """Render reports side by side as an ASCII table (Table 6 layout)."""
+    header = ["Metric"] + [r.label for r in reports]
+    rows = [header]
+    for i, name in enumerate(ProfileReport.ROWS):
+        rows.append([name] + [r.values()[i] for r in reports])
+    widths = [max(len(r[c]) for r in rows) for c in range(len(header))]
+    lines = []
+    if title:
+        lines.append(title)
+    for j, row in enumerate(rows):
+        lines.append(
+            "  ".join(cell.ljust(widths[c]) for c, cell in enumerate(row))
+        )
+        if j == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,178 @@
+"""Shared-memory bank model with conflict accounting.
+
+An SM's shared memory is organized as 32 banks of 4-byte words; a warp-wide
+access completes in one transaction only if every bank is touched by at most
+one distinct address.  FaSTED's entire swizzling scheme (paper Section 3.3.8)
+exists to make both the global->shared stores and the ``ldmatrix`` loads
+conflict-free, while TED-Join's WMMA access pattern suffers >= 75% replay
+rates (paper Table 6).
+
+This module provides:
+
+* address -> bank arithmetic (:func:`bank_of_byte`, :func:`bank_group_of_chunk`),
+* conflict-degree computation for arbitrary per-thread address vectors
+  (:func:`conflict_degree`),
+* a functional :class:`SharedMemory` that actually stores FP16 values so the
+  swizzled layout can be validated end to end (store from "global" order,
+  load via ``ldmatrix`` phases, recover the original fragment), while
+  counting the transactions and replays every access generates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Number of shared-memory banks on every CUDA-capable GPU since Kepler.
+NUM_BANKS = 32
+
+#: Width of one bank word in bytes.
+BANK_WIDTH = 4
+
+#: FaSTED moves data in 16-byte (8 x FP16) chunks; one chunk spans 4 banks.
+CHUNK_BYTES = 16
+
+#: Number of 16-byte chunks per 128-byte shared-memory row.
+CHUNKS_PER_ROW = 8
+
+
+def bank_of_byte(byte_addr: int | np.ndarray) -> int | np.ndarray:
+    """Bank index (0..31) serving a byte address."""
+    return (np.asarray(byte_addr) // BANK_WIDTH) % NUM_BANKS
+
+
+def bank_group_of_chunk(chunk_addr: int | np.ndarray) -> int | np.ndarray:
+    """Bank *group* (0..7) of a 16-byte chunk address.
+
+    A 16-byte access touches 4 consecutive banks; the 32 banks therefore form
+    8 groups of 4, and two 16-byte accesses conflict iff they land in the
+    same group at different addresses.  Chunk addresses are in units of
+    :data:`CHUNK_BYTES`.
+    """
+    return np.asarray(chunk_addr) % CHUNKS_PER_ROW
+
+
+def conflict_degree(chunk_addrs: np.ndarray) -> int:
+    """Worst-case replay count for one phase of 16-byte accesses.
+
+    Parameters
+    ----------
+    chunk_addrs:
+        1-D array of chunk addresses (units of 16 B) accessed simultaneously
+        by the threads of one transaction phase (8 threads for ``ldmatrix``).
+
+    Returns
+    -------
+    int
+        The number of serialized transactions required: 1 when conflict-free,
+        up to ``len(chunk_addrs)`` for a fully conflicting access.  Identical
+        addresses broadcast and do not conflict.
+    """
+    addrs = np.asarray(chunk_addrs)
+    if addrs.size == 0:
+        return 1
+    groups = bank_group_of_chunk(addrs)
+    worst = 1
+    for g in np.unique(groups):
+        distinct = np.unique(addrs[groups == g]).size
+        worst = max(worst, int(distinct))
+    return worst
+
+
+@dataclass
+class SmemStats:
+    """Transaction accounting for one :class:`SharedMemory` instance."""
+
+    store_phases: int = 0
+    store_transactions: int = 0
+    load_phases: int = 0
+    load_transactions: int = 0
+
+    @property
+    def store_conflict_rate(self) -> float:
+        """Fraction of store transactions that were conflict replays."""
+        if self.store_transactions == 0:
+            return 0.0
+        return 1.0 - self.store_phases / self.store_transactions
+
+    @property
+    def load_conflict_rate(self) -> float:
+        """Fraction of load transactions that were conflict replays."""
+        if self.load_transactions == 0:
+            return 0.0
+        return 1.0 - self.load_phases / self.load_transactions
+
+    @property
+    def conflict_rate(self) -> float:
+        """Overall replay fraction, the quantity Table 6 reports."""
+        phases = self.store_phases + self.load_phases
+        txns = self.store_transactions + self.load_transactions
+        if txns == 0:
+            return 0.0
+        return 1.0 - phases / txns
+
+
+@dataclass
+class SharedMemory:
+    """A functional, bank-aware shared-memory array of FP16 chunks.
+
+    Storage is modeled at chunk (16 B / 8 halfword) granularity because that
+    is the unit FaSTED's data path moves: global loads, swizzled stores, and
+    ``ldmatrix`` phases all operate on 16-byte slices.
+
+    Parameters
+    ----------
+    n_chunks:
+        Capacity in 16-byte chunks.
+    aligned:
+        When False, models a 64-byte-misaligned allocation (the situation
+        paper Section 3.3.9 fixes with ``__align__(128)``): every chunk's
+        effective bank group is shifted by half a row, which breaks the
+        swizzle's conflict-freedom guarantee for half of the phases.
+    """
+
+    n_chunks: int
+    aligned: bool = True
+    stats: SmemStats = field(default_factory=SmemStats)
+
+    def __post_init__(self) -> None:
+        self._data = np.zeros((self.n_chunks, CHUNK_BYTES // 2), dtype=np.float16)
+
+    @property
+    def misalignment_shift(self) -> int:
+        """Bank-group shift introduced by a misaligned allocation."""
+        return 0 if self.aligned else CHUNKS_PER_ROW // 2
+
+    def _effective_addrs(self, chunk_addrs: np.ndarray) -> np.ndarray:
+        return np.asarray(chunk_addrs) + self.misalignment_shift
+
+    def store_phase(self, chunk_addrs: np.ndarray, values: np.ndarray) -> int:
+        """Store one phase of 16-byte chunks; returns transactions used.
+
+        Parameters
+        ----------
+        chunk_addrs:
+            ``(t,)`` chunk addresses, one per storing thread.
+        values:
+            ``(t, 8)`` FP16 values, 8 halfwords per chunk.
+        """
+        chunk_addrs = np.asarray(chunk_addrs)
+        values = np.asarray(values, dtype=np.float16)
+        degree = conflict_degree(self._effective_addrs(chunk_addrs))
+        self._data[chunk_addrs] = values
+        self.stats.store_phases += 1
+        self.stats.store_transactions += degree
+        return degree
+
+    def load_phase(self, chunk_addrs: np.ndarray) -> tuple[np.ndarray, int]:
+        """Load one phase of 16-byte chunks; returns (values, transactions)."""
+        chunk_addrs = np.asarray(chunk_addrs)
+        degree = conflict_degree(self._effective_addrs(chunk_addrs))
+        self.stats.load_phases += 1
+        self.stats.load_transactions += degree
+        return self._data[chunk_addrs].copy(), degree
+
+    def reset_stats(self) -> None:
+        """Zero the transaction counters (storage contents are kept)."""
+        self.stats = SmemStats()

@@ -1,0 +1,180 @@
+"""GPU hardware specifications used by the simulator.
+
+The numbers for the A100 follow the values the paper itself works with
+(Section 1, Box #1 and Section 4.1.1): 312 TFLOPS FP16-32 tensor-core peak,
+19.5 TFLOPS FP64 tensor-core / FP32 CUDA-core peak, 1.5 TB/s global-memory
+bandwidth, 6.4 TB/s L2 bandwidth, 17.9 TB/s aggregate shared-memory
+bandwidth, 108 SMs with 192 KB unified L1/shared storage, and a 250 W power
+budget on the PCIe model (400 W on SXM).
+
+Everything downstream (Box #1 reuse arithmetic, the timing model, the power
+throttle) reads these fields instead of hard-coding constants, which is what
+makes the "what if we had an SXM A100" experiment from the paper's
+conclusion a one-line change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.gpusim import units
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Datasheet description of a tensor-core GPU.
+
+    Attributes
+    ----------
+    name:
+        Human-readable model name.
+    sm_count:
+        Number of streaming multiprocessors.
+    tensor_cores_per_sm:
+        Tensor cores per SM (equals the number of warp schedulers on A100).
+    warp_schedulers_per_sm:
+        Warp schedulers per SM; FaSTED runs one warp tile per scheduler.
+    boost_clock_hz:
+        Maximum boost clock in Hz; the power model may throttle below this.
+    fp16_tc_flops:
+        Peak FP16-multiply / FP32-accumulate tensor-core throughput (FLOP/s).
+    fp64_tc_flops:
+        Peak FP64 tensor-core throughput (FLOP/s).
+    fp32_cuda_flops:
+        Peak FP32 CUDA-core throughput (FLOP/s).
+    dram_bandwidth:
+        Global-memory bandwidth (B/s).
+    l2_bandwidth:
+        L2-cache bandwidth (B/s).
+    l2_size_bytes:
+        L2 capacity in bytes.
+    smem_bandwidth:
+        Aggregate shared-memory bandwidth across the GPU (B/s).
+    smem_per_sm_bytes:
+        Unified L1/shared storage per SM (bytes).
+    smem_max_block_bytes:
+        Maximum shared memory configurable for kernel use per SM.
+    registers_per_sm:
+        32-bit registers per SM.
+    max_threads_per_sm:
+        Thread-residency limit per SM.
+    max_blocks_per_sm:
+        Hardware block-residency limit per SM.
+    power_budget_w:
+        Board power limit in watts; exceeding it throttles the clock.
+    pcie_bandwidth:
+        Host<->device transfer bandwidth (B/s), used by end-to-end models.
+    """
+
+    name: str
+    sm_count: int
+    tensor_cores_per_sm: int
+    warp_schedulers_per_sm: int
+    boost_clock_hz: float
+    fp16_tc_flops: float
+    fp64_tc_flops: float
+    fp32_cuda_flops: float
+    dram_bandwidth: float
+    l2_bandwidth: float
+    l2_size_bytes: int
+    smem_bandwidth: float
+    smem_per_sm_bytes: int
+    smem_max_block_bytes: int
+    registers_per_sm: int
+    max_threads_per_sm: int
+    max_blocks_per_sm: int
+    power_budget_w: float
+    pcie_bandwidth: float
+
+    # ---- Derived quantities -------------------------------------------------
+
+    @property
+    def fp16_tc_flops_per_cycle(self) -> float:
+        """GPU-wide FP16-32 FLOP per cycle at any clock."""
+        return self.fp16_tc_flops / self.boost_clock_hz
+
+    @property
+    def fp16_tc_flops_per_cycle_per_sm(self) -> float:
+        """Per-SM FP16-32 FLOP per cycle."""
+        return self.fp16_tc_flops_per_cycle / self.sm_count
+
+    @property
+    def fp64_tc_flops_per_cycle_per_sm(self) -> float:
+        """Per-SM FP64 tensor-core FLOP per cycle."""
+        return self.fp64_tc_flops / self.boost_clock_hz / self.sm_count
+
+    @property
+    def dram_bytes_per_cycle(self) -> float:
+        """GPU-wide DRAM bytes per cycle at boost clock."""
+        return self.dram_bandwidth / self.boost_clock_hz
+
+    @property
+    def l2_bytes_per_cycle(self) -> float:
+        """GPU-wide L2 bytes per cycle at boost clock."""
+        return self.l2_bandwidth / self.boost_clock_hz
+
+    @property
+    def smem_bytes_per_cycle_per_sm(self) -> float:
+        """Per-SM shared-memory bytes per cycle at boost clock."""
+        return self.smem_bandwidth / self.boost_clock_hz / self.sm_count
+
+    def with_power_budget(self, watts: float) -> "GpuSpec":
+        """Return a copy with a different board power limit."""
+        return replace(self, power_budget_w=watts)
+
+
+#: The evaluation platform of the paper: A100 PCIe, 40 GiB, 250 W.
+A100_PCIE = GpuSpec(
+    name="NVIDIA A100 PCIe 40GB",
+    sm_count=108,
+    tensor_cores_per_sm=4,
+    warp_schedulers_per_sm=4,
+    boost_clock_hz=units.ghz(1.41),
+    fp16_tc_flops=units.tflops(312.0),
+    fp64_tc_flops=units.tflops(19.5),
+    fp32_cuda_flops=units.tflops(19.5),
+    dram_bandwidth=units.tb_per_s(1.5),
+    l2_bandwidth=units.tb_per_s(6.4),
+    l2_size_bytes=40 * units.MB,
+    smem_bandwidth=units.tb_per_s(17.9),
+    smem_per_sm_bytes=192 * units.KIB,
+    smem_max_block_bytes=164 * units.KIB,
+    registers_per_sm=65536,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    power_budget_w=250.0,
+    pcie_bandwidth=25 * units.GB,
+)
+
+#: The SXM variant the conclusion speculates about: 400 W power budget.
+A100_SXM = replace(
+    A100_PCIE,
+    name="NVIDIA A100 SXM4 40GB",
+    power_budget_w=400.0,
+    dram_bandwidth=units.tb_per_s(1.555),
+)
+
+#: Volta-generation reference (no cp.async, smaller SMEM) for what-if runs.
+V100_SXM2 = GpuSpec(
+    name="NVIDIA V100 SXM2 32GB",
+    sm_count=80,
+    tensor_cores_per_sm=8,
+    warp_schedulers_per_sm=4,
+    boost_clock_hz=units.ghz(1.53),
+    fp16_tc_flops=units.tflops(125.0),
+    fp64_tc_flops=units.tflops(7.8),
+    fp32_cuda_flops=units.tflops(15.7),
+    dram_bandwidth=units.tb_per_s(0.9),
+    l2_bandwidth=units.tb_per_s(2.5),
+    l2_size_bytes=6 * units.MB,
+    smem_bandwidth=units.tb_per_s(13.5),
+    smem_per_sm_bytes=128 * units.KIB,
+    smem_max_block_bytes=96 * units.KIB,
+    registers_per_sm=65536,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    power_budget_w=300.0,
+    pcie_bandwidth=16 * units.GB,
+)
+
+DEFAULT_SPEC = A100_PCIE

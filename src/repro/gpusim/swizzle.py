@@ -1,0 +1,114 @@
+"""XOR swizzling of shared-memory addresses (paper Eq. 2, Figures 5-6).
+
+FaSTED stores a block fragment (128 points x 64 dimensions of FP16 data) in
+shared memory.  Data arrives from global memory in row-major order -- point
+``i`` contributes eight 8-dimension chunks ``s = 0..7`` -- and is stored at
+the *swizzled* chunk address
+
+    A_dest = 8 * i + (s XOR (i mod 8))                          (Eq. 2)
+
+(0-based form of the paper's ``8 (i-1) + s XOR ((i-1) mod 8)``).  Because
+XOR with a constant permutes ``0..7``, each point's row still occupies its
+own 8 chunks, but the chunk -> bank-group assignment rotates per row, which
+simultaneously:
+
+* keeps global->shared stores conflict-free (each store phase writes 8
+  chunks of 8 *different* points at the *same* slice, hitting 8 distinct
+  groups), and
+* makes every ``ldmatrix`` phase (8 threads reading the same slice column of
+  8 consecutive points) hit 8 distinct groups as well.
+
+The plain row-major layout satisfies the first property but fails the second
+with 8-way conflicts -- exactly the contrast of paper Figures 5-7.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.gpusim.smem import CHUNKS_PER_ROW
+
+#: A layout maps (point_row, slice_index) -> chunk address in shared memory.
+LayoutFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def swizzled_chunk_addr(
+    point_row: np.ndarray | int, slice_idx: np.ndarray | int
+) -> np.ndarray:
+    """Swizzled shared-memory chunk address of Eq. 2 (0-based).
+
+    Parameters
+    ----------
+    point_row:
+        Row index of the point within the block fragment (0-based).
+    slice_idx:
+        8-dimension slice index within the point's 64-dimension k-slice
+        (0..7).
+
+    Returns
+    -------
+    numpy.ndarray
+        Chunk address(es) in units of 16 bytes.
+    """
+    i = np.asarray(point_row)
+    s = np.asarray(slice_idx)
+    return CHUNKS_PER_ROW * i + (s ^ (i % CHUNKS_PER_ROW))
+
+
+def row_major_chunk_addr(
+    point_row: np.ndarray | int, slice_idx: np.ndarray | int
+) -> np.ndarray:
+    """Unswizzled (naive row-major) chunk address, used by the ablation."""
+    i = np.asarray(point_row)
+    s = np.asarray(slice_idx)
+    return CHUNKS_PER_ROW * i + s
+
+
+def unswizzle_chunk_addr(chunk_addr: np.ndarray | int) -> tuple[np.ndarray, np.ndarray]:
+    """Invert :func:`swizzled_chunk_addr`: chunk address -> (row, slice).
+
+    XOR with ``i mod 8`` is an involution given the row, and the row is
+    recoverable from the address alone (``addr // 8``), so the swizzle is a
+    bijection on every row -- the property hypothesis tests verify.
+    """
+    addr = np.asarray(chunk_addr)
+    i = addr // CHUNKS_PER_ROW
+    s = (addr % CHUNKS_PER_ROW) ^ (i % CHUNKS_PER_ROW)
+    return i, s
+
+
+def layout(swizzled: bool) -> LayoutFn:
+    """Return the layout function for a configuration flag."""
+    return swizzled_chunk_addr if swizzled else row_major_chunk_addr
+
+
+def store_phase_addresses(layout_fn: LayoutFn, point_row: int) -> np.ndarray:
+    """Chunk addresses written by one global->shared store phase.
+
+    Mirrors paper Figure 5: 8 threads cooperatively store the eight
+    8-dimension slices of *one* point's 64-dimension k-slice (thread ``t``
+    holds slice ``t``).  Because the slices of a single row always occupy 8
+    distinct bank groups -- swizzled or not -- stores are conflict-free in
+    both layouts, which is why the paper notes swizzling "is not required"
+    for stores and exists for the ``ldmatrix`` *loads*.
+    """
+    slices = np.arange(CHUNKS_PER_ROW, dtype=np.int64)
+    rows = np.full(slices.shape, point_row, dtype=np.int64)
+    return layout_fn(rows, slices)
+
+
+def load_phase_addresses(
+    layout_fn: LayoutFn, first_row: int, slice_idx: int
+) -> np.ndarray:
+    """Chunk addresses read by one ``ldmatrix`` phase.
+
+    Mirrors paper Figure 7a: 8 threads read the *same* 8-dimension slice of
+    8 consecutive points (rows ``first_row .. first_row+7``).  Row-major
+    placement puts all eight in one bank group (8-way conflict); the swizzle
+    spreads them across all eight groups.
+    """
+    rows = first_row + np.arange(CHUNKS_PER_ROW, dtype=np.int64)
+    slices = np.full(rows.shape, slice_idx, dtype=np.int64)
+    return layout_fn(rows, slices)

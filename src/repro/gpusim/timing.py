@@ -1,0 +1,196 @@
+"""Kernel timing assembly: resource demands -> seconds and derived TFLOPS.
+
+This is the simulator's roofline-with-structure core.  A kernel is
+described as a grid of identical *tiles*; each tile runs ``chunks_per_tile``
+steady-state iterations (one per k-chunk) plus a prologue (pipeline fill)
+and an epilogue (distance recombination, filtering, result writes).  Each
+iteration of one block demands:
+
+* tensor-core cycles (at the per-block share of the SM's tensor throughput),
+* shared-memory load cycles (``ldmatrix`` traffic, inflated by the bank
+  conflict multiplier when the swizzle is disabled),
+* instruction-issue cycles,
+* global-memory bytes (split between DRAM and L2 by the hit rate), and
+* shared-memory store bytes (the async-copy landing traffic).
+
+Compute-side cycles scale with the core clock; memory-side service rates do
+not, so throttling the clock changes the balance -- the model resolves the
+operating point (clock, power, iteration time) by fixed-point iteration
+with :mod:`repro.gpusim.power`, then applies the boost-ramp correction for
+very short kernels and wave quantization for grids that do not fill the
+GPU.  Utilization counters matching Nsight's definitions fall out of the
+same arithmetic and feed :mod:`repro.gpusim.profiler`.
+
+All cycle figures in a :class:`ResourceDemand` are *boost-clock* cycles for
+*one block*; the resolver rescales them internally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim import pipeline as pipeline_mod
+from repro.gpusim.pipeline import PipelineConfig
+from repro.gpusim.power import ramped_average_clock, throttled_clock
+from repro.gpusim.spec import GpuSpec
+
+
+@dataclass(frozen=True)
+class ResourceDemand:
+    """Per-k-chunk, per-block resource demand (boost-clock cycles / bytes)."""
+
+    tc_cycles: float
+    smem_load_cycles: float
+    issue_cycles: float
+    gmem_bytes: float
+    smem_store_bytes: float
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Whole-kernel cost description handed to :func:`resolve_timing`."""
+
+    n_tiles: int
+    chunks_per_tile: int
+    demand: ResourceDemand
+    epilogue_cycles: float
+    pipeline: PipelineConfig
+    grid_blocks: int
+    blocks_per_sm: int
+    l2_hit_rate: float
+    fixed_overhead_s: float = 0.0
+    bank_conflict_rate: float = 0.0
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Resolved timing and the profiler-visible counters."""
+
+    seconds: float
+    kernel_seconds: float
+    clock_hz: float
+    power_w: float
+    throttled: bool
+    tc_utilization: float
+    dram_utilization: float
+    smem_utilization: float
+    l2_hit_rate: float
+    bank_conflict_rate: float
+    iteration_cycles: float
+    tile_cycles: float
+
+    def derived_tflops(self, total_flops: float) -> float:
+        """Paper's "derived TFLOPS": total operations / measured time."""
+        if self.seconds <= 0:
+            return 0.0
+        return total_flops / self.seconds / 1e12
+
+
+def _memory_cycles(
+    spec: GpuSpec,
+    demand: ResourceDemand,
+    l2_hit: float,
+    active_blocks: int,
+    clock_ratio: float,
+) -> tuple[float, float, float]:
+    """(memory path cycles, dram cycles, smem store cycles) at current clock.
+
+    Bandwidth shares are GPU-wide rates divided across active blocks; in
+    units of *current-clock* cycles the per-cycle share grows as the clock
+    drops (bytes per second is clock-invariant).
+    """
+    blocks = max(active_blocks, 1)
+    clock = spec.boost_clock_hz * clock_ratio
+    dram_share = spec.dram_bandwidth / clock / blocks
+    l2_share = spec.l2_bandwidth / clock / blocks
+    smem_share = spec.smem_bandwidth / clock / spec.sm_count
+    per_sm_blocks = max(1, blocks // spec.sm_count) if blocks >= spec.sm_count else 1
+    smem_share_pb = smem_share / per_sm_blocks
+
+    dram_cycles = demand.gmem_bytes * (1.0 - l2_hit) / dram_share
+    l2_cycles = demand.gmem_bytes / l2_share
+    store_cycles = demand.smem_store_bytes / smem_share_pb
+    return max(dram_cycles, l2_cycles) + store_cycles, dram_cycles, store_cycles
+
+
+def _compute_cycles(demand: ResourceDemand) -> float:
+    """Compute-path cycles (clock-scaled; constant in cycle units)."""
+    return demand.tc_cycles + demand.smem_load_cycles + demand.issue_cycles
+
+
+def resolve_timing(
+    spec: GpuSpec,
+    cost: KernelCost,
+    *,
+    power_iterations: int = 4,
+) -> KernelTiming:
+    """Resolve the kernel's operating point and total runtime.
+
+    The fixed point couples three quantities: iteration time determines
+    utilization; utilization determines the throttled clock; the clock
+    rebalances compute (cycle-fixed) against memory (time-fixed) and thus
+    iteration time.  A handful of damped iterations converges.
+    """
+    active_blocks = min(
+        cost.grid_blocks,
+        spec.sm_count * max(cost.blocks_per_sm, 1),
+        max(cost.n_tiles, 1),
+    )
+    tiles_per_block = -(-cost.n_tiles // max(active_blocks, 1))
+
+    clock_ratio = 1.0
+    tc_util = 0.0
+    dram_util = 0.0
+    iter_cycles = 0.0
+    tile_cycles = 1.0
+    power = None
+    for _ in range(max(power_iterations, 1)):
+        mem_cycles, dram_cycles, _store = _memory_cycles(
+            spec, cost.demand, cost.l2_hit_rate, active_blocks, clock_ratio
+        )
+        compute = _compute_cycles(cost.demand)
+        iter_cycles = pipeline_mod.iteration_cycles(compute, mem_cycles, cost.pipeline)
+        fill = pipeline_mod.fill_cycles(mem_cycles, cost.pipeline)
+        tile_cycles = fill + cost.chunks_per_tile * iter_cycles + cost.epilogue_cycles
+        tc_util = cost.chunks_per_tile * cost.demand.tc_cycles / tile_cycles
+        dram_util = cost.chunks_per_tile * dram_cycles / tile_cycles
+        # DRAM utilization counter is GPU-wide: per-block share already
+        # divides by active blocks, so the per-block cycle fraction is the
+        # aggregate utilization.
+        power = throttled_clock(spec, tc_util, dram_util)
+        new_ratio = power.clock_hz / spec.boost_clock_hz
+        clock_ratio = 0.5 * clock_ratio + 0.5 * new_ratio
+
+    clock = spec.boost_clock_hz * clock_ratio
+    kernel_cycles = tiles_per_block * tile_cycles
+    kernel_seconds = kernel_cycles / clock
+
+    # Short kernels never reach the boosted clock: apply the ramp average
+    # and re-time once.
+    avg_clock = ramped_average_clock(clock, kernel_seconds)
+    if avg_clock < clock:
+        kernel_seconds = kernel_cycles / avg_clock
+        clock = avg_clock
+
+    mem_cycles, _, store_cycles = _memory_cycles(
+        spec, cost.demand, cost.l2_hit_rate, active_blocks, clock_ratio
+    )
+    smem_cycles_total = (
+        cost.demand.smem_load_cycles + store_cycles
+    ) * cost.chunks_per_tile
+    smem_util = min(1.0, smem_cycles_total / tile_cycles)
+
+    return KernelTiming(
+        seconds=kernel_seconds + cost.fixed_overhead_s,
+        kernel_seconds=kernel_seconds,
+        clock_hz=clock,
+        power_w=power.power_w if power else 0.0,
+        throttled=power.throttled if power else False,
+        tc_utilization=min(1.0, tc_util),
+        dram_utilization=min(1.0, dram_util),
+        smem_utilization=smem_util,
+        l2_hit_rate=cost.l2_hit_rate,
+        bank_conflict_rate=cost.bank_conflict_rate,
+        iteration_cycles=iter_cycles,
+        tile_cycles=tile_cycles,
+    )

@@ -1,0 +1,46 @@
+"""Unit helpers for the GPU simulator.
+
+All internal bookkeeping uses base SI units (bytes, seconds, Hz, FLOP/s).
+These helpers keep magnitudes readable at call sites and centralize the
+conversion factors so datasheet numbers are entered exactly once.
+"""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+KB = 10**3
+MB = 10**6
+GB = 10**9
+TB = 10**12
+
+GHZ = 10**9
+
+TFLOPS = 10**12
+
+
+def tb_per_s(x: float) -> float:
+    """Convert TB/s to B/s."""
+    return x * TB
+
+
+def ghz(x: float) -> float:
+    """Convert GHz to Hz."""
+    return x * GHZ
+
+
+def tflops(x: float) -> float:
+    """Convert TFLOP/s to FLOP/s."""
+    return x * TFLOPS
+
+
+def as_tflops(flops_per_s: float) -> float:
+    """Convert FLOP/s to TFLOP/s for reporting."""
+    return flops_per_s / TFLOPS
+
+
+def bytes_per_cycle(bandwidth_b_per_s: float, clock_hz: float) -> float:
+    """Bandwidth expressed as bytes per clock cycle."""
+    return bandwidth_b_per_s / clock_hz

@@ -1,0 +1,17 @@
+"""Indexing structures used by the index-supported baselines.
+
+* :mod:`repro.index.grid` -- the epsilon-width grid over a prefix of
+  (variance-ordered) dimensions used by GDS-Join and TED-Join-Index.
+* :mod:`repro.index.mstree` -- MiSTIC's multi-space partitioning: the same
+  coordinate grid tightened by metric (pivot ring) pruning.
+
+Both indexes are *functional*: they produce real candidate sets on real
+data, which both the functional baseline joins and the timing models
+consume (candidate counts are the dominant term of an index-supported
+method's response time).
+"""
+
+from repro.index.grid import GridIndex
+from repro.index.mstree import MultiSpaceTree
+
+__all__ = ["GridIndex", "MultiSpaceTree"]

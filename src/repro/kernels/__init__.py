@@ -1,0 +1,26 @@
+"""The four modeled GPU implementations (paper Table 3).
+
+==================  ======  =========  ============================
+Implementation      Cores   Precision  Scenario
+==================  ======  =========  ============================
+FaSTED              Tensor  FP16-32    brute force
+TED-Join-Brute      Tensor  FP64       brute force
+TED-Join-Index      Tensor  FP64       index-supported
+GDS-Join            CUDA    FP32       index-supported
+MiSTIC              CUDA    FP32       index-supported
+==================  ======  =========  ============================
+"""
+
+from repro.kernels.fasted import FastedConfig, FastedKernel, FastedOptimizations
+from repro.kernels.gdsjoin import GdsJoinKernel
+from repro.kernels.mistic import MisticKernel
+from repro.kernels.tedjoin import TedJoinKernel
+
+__all__ = [
+    "FastedConfig",
+    "FastedKernel",
+    "FastedOptimizations",
+    "GdsJoinKernel",
+    "MisticKernel",
+    "TedJoinKernel",
+]

@@ -1,0 +1,79 @@
+"""Shared infrastructure for the four modeled GPU implementations.
+
+Each implementation (FaSTED, TED-Join x2, GDS-Join, MiSTIC) provides:
+
+* a **functional** path that computes the actual self-join result on real
+  data (NumPy, with the precision semantics of the implementation), and
+* a **timing** path that models its end-to-end response time on the
+  simulated GPU, matching the paper's measurement methodology
+  (Section 4.1.1): *all* overheads are included -- host<->device transfers,
+  index construction, kernel time, and storing the result set in host
+  memory.
+
+This module holds the pieces common to all of them: the response-time
+breakdown container and the transfer/result-storage cost helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.spec import GpuSpec
+
+#: Host memory store bandwidth for materializing result pairs (B/s).
+HOST_STORE_BANDWIDTH = 12e9
+
+#: Fixed per-launch overhead (driver + launch + sync), seconds.
+LAUNCH_OVERHEAD_S = 20e-6
+
+#: Bytes per result pair on the device->host path (two int32 indices).
+PAIR_BYTES = 8
+
+
+@dataclass(frozen=True)
+class ResponseTime:
+    """End-to-end response-time breakdown (seconds).
+
+    Mirrors the paper's "total end-to-end response time ... includes all
+    associated overheads for each method (e.g., index construction and
+    transferring data to/from the GPU)" (Figure 10 caption).
+    """
+
+    h2d_s: float
+    index_build_s: float
+    kernel_s: float
+    d2h_s: float
+    host_store_s: float
+    overhead_s: float
+
+    @property
+    def total_s(self) -> float:
+        return (
+            self.h2d_s
+            + self.index_build_s
+            + self.kernel_s
+            + self.d2h_s
+            + self.host_store_s
+            + self.overhead_s
+        )
+
+
+def h2d_seconds(spec: GpuSpec, n_points: int, dims: int, elem_bytes: int) -> float:
+    """Host-to-device transfer time for the dataset."""
+    return n_points * dims * elem_bytes / spec.pcie_bandwidth + LAUNCH_OVERHEAD_S
+
+
+def result_transfer_seconds(
+    spec: GpuSpec, n_pairs: int, *, batch_bytes: int = 16 * 10**9
+) -> tuple[float, float]:
+    """(device->host, host store) time for ``n_pairs`` result pairs.
+
+    Result sets larger than ``batch_bytes`` are moved in batches with one
+    launch/sync overhead each, the way GDS-Join/MiSTIC batch their output
+    (paper Section 4.1.2).
+    """
+    bytes_total = n_pairs * PAIR_BYTES
+    n_batches = max(1, -(-bytes_total // batch_bytes))
+    d2h = bytes_total / spec.pcie_bandwidth + n_batches * LAUNCH_OVERHEAD_S
+    store = bytes_total / HOST_STORE_BANDWIDTH
+    return d2h, store

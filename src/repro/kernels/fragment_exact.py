@@ -1,0 +1,108 @@
+"""Fragment-exact FaSTED tile computation through the simulated data path.
+
+The fast functional path (:meth:`repro.kernels.fasted.FastedKernel.self_join`)
+computes tiles with one NumPy GEMM.  This module computes a block tile the
+way the hardware does -- and *through the simulated hardware*:
+
+1. the P and Q block fragments are stored into :class:`SharedMemory` with
+   the Eq.-2 swizzle via cp.async-style store phases,
+2. every warp's register fragments are loaded back with ``ldmatrix`` phase
+   semantics (conflict-counted),
+3. each 16x8x16 ``mma.sync`` runs with per-step round-toward-zero
+   accumulation (:func:`repro.fp.mma.mma_m16n8k16`),
+4. distances are recombined with RZ norms, matching the rounding mode.
+
+It is orders of magnitude slower than the fast path and exists as the
+executable specification: the test suite checks that both paths agree to
+FP32 accumulation-order tolerance on random tiles, and that the whole tile
+generated zero bank conflicts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fp.mma import mma_m16n8k16
+from repro.fp.rounding import rz_sum_squares
+from repro.gpusim.ldmatrix import load_p_fragment, load_q_fragment
+from repro.gpusim.smem import SharedMemory
+from repro.gpusim.swizzle import layout, store_phase_addresses
+
+
+def stage_block_fragment(
+    coords: np.ndarray, *, swizzled: bool = True, aligned: bool = True
+) -> SharedMemory:
+    """Store a ``(points, 64)`` FP16 k-slice into simulated shared memory.
+
+    Mirrors the cp.async store phases of paper Figure 5: one phase per
+    point row, eight threads writing the row's eight 8-dim slices.
+    """
+    coords = np.asarray(coords, dtype=np.float16)
+    if coords.ndim != 2 or coords.shape[1] != 64:
+        raise ValueError("block fragment must be (points, 64)")
+    smem = SharedMemory(n_chunks=coords.shape[0] * 8, aligned=aligned)
+    lay = layout(swizzled)
+    for p in range(coords.shape[0]):
+        smem.store_phase(store_phase_addresses(lay, p), coords[p].reshape(8, 8))
+    return smem
+
+
+def block_tile_inner_products(
+    p_block: np.ndarray,
+    q_block: np.ndarray,
+    *,
+    swizzled: bool = True,
+) -> tuple[np.ndarray, int]:
+    """Accumulate a (P-points x Q-points) inner-product tile via fragments.
+
+    Parameters
+    ----------
+    p_block:
+        ``(mp, d)`` coordinates; ``mp`` a multiple of 16, ``d`` of 64.
+    q_block:
+        ``(mq, d)`` coordinates; ``mq`` a multiple of 8.
+    swizzled:
+        Shared-memory layout flag (both layouts are functionally correct;
+        the transaction counts differ).
+
+    Returns
+    -------
+    (tile, transactions):
+        ``(mp, mq)`` float32 inner products accumulated with tensor-core
+        rounding, and the total shared-memory load transactions used.
+    """
+    p_block = np.asarray(p_block)
+    q_block = np.asarray(q_block)
+    mp, d = p_block.shape
+    mq = q_block.shape[0]
+    if mp % 16 or mq % 8 or d % 64 or q_block.shape[1] != d:
+        raise ValueError("tile shape must be (16a, 64c) x (8b, 64c)")
+    lay = layout(swizzled)
+    acc = np.zeros((mp, mq), dtype=np.float32)
+    transactions = 0
+    for k0 in range(0, d, 64):
+        p_smem = stage_block_fragment(p_block[:, k0 : k0 + 64], swizzled=swizzled)
+        q_smem = stage_block_fragment(q_block[:, k0 : k0 + 64], swizzled=swizzled)
+        for ks in range(4):  # four 16-dim k-slices per 64-dim chunk
+            for pr in range(0, mp, 16):
+                a = load_p_fragment(p_smem, lay, pr, ks)
+                for qr in range(0, mq, 8):
+                    b = load_q_fragment(q_smem, lay, qr, ks)
+                    acc[pr : pr + 16, qr : qr + 8] = mma_m16n8k16(
+                        a, b, acc[pr : pr + 16, qr : qr + 8]
+                    )
+        transactions += (
+            p_smem.stats.load_transactions + q_smem.stats.load_transactions
+        )
+    return acc, transactions
+
+
+def block_tile_sq_dists(
+    p_block: np.ndarray, q_block: np.ndarray, *, swizzled: bool = True
+) -> np.ndarray:
+    """Full fragment-exact squared-distance tile (Steps 1-3, RZ throughout)."""
+    inner, _ = block_tile_inner_products(p_block, q_block, swizzled=swizzled)
+    s_p = rz_sum_squares(np.asarray(p_block, dtype=np.float64))
+    s_q = rz_sum_squares(np.asarray(q_block, dtype=np.float64))
+    d2 = s_p[:, None] + s_q[None, :] - 2.0 * inner
+    return np.maximum(d2, 0.0, out=d2)

@@ -1,0 +1,171 @@
+"""GDS-Join: grid-indexed CUDA-core self-join (paper Section 2.6).
+
+The FP32 reference baseline (and, in FP64 mode, the accuracy ground truth
+of paper Section 4.6).  Functionally: a :class:`repro.index.grid.GridIndex`
+generates per-cell candidate sets and distances are computed only against
+candidates, with the precision requested.  Timing: index construction +
+short-circuiting CUDA-core distance pass (measured candidate counts and
+short-circuit profile) + batched result transfers, per the paper's
+end-to-end methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.results import NeighborResult
+from repro.gpusim.spec import DEFAULT_SPEC, GpuSpec
+from repro.index.grid import GridIndex, variance_order
+from repro.kernels.base import (
+    LAUNCH_OVERHEAD_S,
+    ResponseTime,
+    h2d_seconds,
+    result_transfer_seconds,
+)
+from repro.kernels.cudacore import (
+    ShortCircuitProfile,
+    cuda_kernel_seconds,
+    grid_build_seconds,
+    short_circuit_profile,
+)
+
+#: Fraction of FP32 peak a tuned gather-heavy CUDA-core kernel sustains;
+#: covers divergence and imperfect intra/inter-warp load balance (the
+#: weaknesses MiSTIC improves on).  Calibrated against Figure 10.
+GDS_EFFICIENCY = 0.065
+
+
+@dataclass
+class GdsJoinResult:
+    """Functional result plus the statistics the timing model consumes."""
+
+    result: NeighborResult
+    total_candidates: int
+    profile: ShortCircuitProfile
+    n_indexed_dims: int
+
+
+class GdsJoinKernel:
+    """GDS-Join on the simulated GPU.
+
+    Parameters
+    ----------
+    spec:
+        GPU model.
+    precision:
+        ``"fp32"`` (paper baseline) or ``"fp64"`` (accuracy ground truth).
+    n_index_dims:
+        Indexed dimension count (grid fan-out is 3^r).
+    """
+
+    def __init__(
+        self,
+        spec: GpuSpec = DEFAULT_SPEC,
+        *,
+        precision: str = "fp32",
+        n_index_dims: int = 6,
+    ) -> None:
+        if precision not in {"fp32", "fp64"}:
+            raise ValueError("precision must be 'fp32' or 'fp64'")
+        self.spec = spec
+        self.precision = precision
+        self.n_index_dims = n_index_dims
+
+    @property
+    def _dtype(self) -> np.dtype:
+        return np.dtype(np.float32 if self.precision == "fp32" else np.float64)
+
+    def self_join(
+        self, data: np.ndarray, eps: float, *, store_distances: bool = True
+    ) -> GdsJoinResult:
+        """Index-supported self-join; returns result + cost statistics."""
+        data = np.ascontiguousarray(data, dtype=np.float64)
+        n = data.shape[0]
+        index = GridIndex(data, eps, n_dims=self.n_index_dims)
+        work = data.astype(self._dtype)
+        eps2 = self._dtype.type(float(eps) ** 2)
+
+        out_i, out_j, out_d = [], [], []
+        total_candidates = 0
+        sample_i, sample_j = [], []
+        chunk = max(1, 2_000_000 // max(data.shape[1], 1))
+        for members, candidates in index.iter_cells():
+            if members.size == 0 or candidates.size == 0:
+                continue
+            total_candidates += members.size * candidates.size
+            if len(sample_i) < 64:  # keep some candidate pairs for profiling
+                take = min(candidates.size, 32)
+                sample_i.append(np.repeat(members, take))
+                sample_j.append(np.tile(candidates[:take], members.size))
+            wm = work[members]
+            # Distance via the norm expansion in the working precision,
+            # chunked to bound temporaries.  (The real CUDA-core kernel
+            # accumulates differences; in FP64 the two are equivalent to
+            # ~1e-13 relative, and in FP32 the expansion's extra rounding
+            # is two orders of magnitude below the FP16 effects the
+            # accuracy study measures -- see tests/test_gdsjoin.py.)
+            sm = (wm * wm).sum(axis=1)
+            for c0 in range(0, candidates.size, chunk):
+                cand = candidates[c0 : c0 + chunk]
+                wc = work[cand]
+                sc = (wc * wc).sum(axis=1)
+                d2 = sm[:, None] + sc[None, :] - 2.0 * (wm @ wc.T)
+                np.maximum(d2, 0.0, out=d2)
+                mask = d2 <= eps2
+                mi, cj = np.nonzero(mask)
+                gi = members[mi]
+                gj = cand[cj]
+                keep = gi != gj
+                out_i.append(gi[keep])
+                out_j.append(gj[keep])
+                if store_distances:
+                    out_d.append(d2[mi, cj][keep].astype(np.float32))
+        pairs_i = np.concatenate(out_i) if out_i else np.empty(0, np.int64)
+        pairs_j = np.concatenate(out_j) if out_j else np.empty(0, np.int64)
+        sq = (
+            np.concatenate(out_d)
+            if (store_distances and out_d)
+            else np.empty(0, np.float32)
+        )
+        result = NeighborResult(
+            n_points=n, eps=float(eps), pairs_i=pairs_i, pairs_j=pairs_j, sq_dists=sq
+        )
+        cand_pairs = (
+            np.concatenate(sample_i) if sample_i else np.empty(0, np.int64),
+            np.concatenate(sample_j) if sample_j else np.empty(0, np.int64),
+        )
+        profile = short_circuit_profile(
+            data, eps, cand_pairs, order=variance_order(data)
+        )
+        return GdsJoinResult(
+            result=result,
+            total_candidates=total_candidates,
+            profile=profile,
+            n_indexed_dims=index.r,
+        )
+
+    def response_time(
+        self,
+        n: int,
+        d: int,
+        *,
+        total_candidates: int,
+        profile: ShortCircuitProfile,
+        n_result_pairs: int,
+    ) -> ResponseTime:
+        """End-to-end response time from measured join statistics."""
+        elem = self._dtype.itemsize
+        kernel = cuda_kernel_seconds(
+            self.spec, total_candidates, d, profile, GDS_EFFICIENCY
+        )
+        d2h, store = result_transfer_seconds(self.spec, n_result_pairs)
+        return ResponseTime(
+            h2d_s=h2d_seconds(self.spec, n, d, elem),
+            index_build_s=grid_build_seconds(self.spec, n, self.n_index_dims),
+            kernel_s=kernel,
+            d2h_s=d2h,
+            host_store_s=store,
+            overhead_s=LAUNCH_OVERHEAD_S,
+        )

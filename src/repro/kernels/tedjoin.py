@@ -1,0 +1,253 @@
+"""TED-Join: FP64 tensor-core Euclidean distances (Gallet & Gowanlock 2022).
+
+The only prior tensor-core Euclidean-distance algorithm; FaSTED's direct
+competitor (paper Sections 2.5, 4.4).  It uses the WMMA API's 8x8x4 FP64
+fragments and stages whole points in shared memory, which produces the
+three weaknesses the paper measures:
+
+* **Shared-memory capacity** scales with ``d`` (whole points are staged),
+  so the kernel OOMs beyond ``d = 384`` even after the paper's L1-carveout
+  modification (and beyond ``d = 128`` unmodified).
+* **WMMA's rigid access patterns** cause massive bank conflicts (92.3% at
+  d=128, 75% at d=256 -- paper Table 6), unfixable without the PTX-level
+  control FaSTED uses.
+* **Throughput declines with d** as the shrinking shared-memory tile kills
+  data reuse: 6.8% of FP64 peak at d=64, decreasing thereafter.
+
+Functional path: exact FP64 arithmetic (brute force, or grid-index
+candidates for the Index variant).  Timing path: the efficiency curve
+``eff(d) = EFF64 * (64 / d)^DECAY`` anchored at the paper's measured 6.8%
+with the structural occupancy/OOM logic above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.results import NeighborResult
+from repro.gpusim.occupancy import BlockResources, blocks_per_sm
+from repro.gpusim.spec import DEFAULT_SPEC, GpuSpec
+from repro.index.grid import GridIndex
+from repro.kernels.base import (
+    LAUNCH_OVERHEAD_S,
+    ResponseTime,
+    h2d_seconds,
+    result_transfer_seconds,
+)
+from repro.kernels.cudacore import ShortCircuitProfile, grid_build_seconds
+
+#: Points (query tile + candidate tile) staged in shared memory, FP64.
+TED_SMEM_POINTS = 46
+
+#: Original TED-Join static shared-memory budget (no L1 carveout), bytes.
+TED_UNMODIFIED_SMEM = 48 * 1024
+
+#: Fraction of FP64 tensor-core peak at d=64 (paper Section 4.4: 6.8%).
+TED_EFF64 = 0.068
+
+#: Efficiency decay exponent with dimensionality (fitted to the Figure 9
+#: decline of TED-Join-Brute).
+TED_DECAY = 0.45
+
+#: WMMA bank-conflict degree by dimensionality (paper Table 6: 92.3% at
+#: d=128 and 75.0% at d=256 correspond to 13-way and 4-way replays).
+def wmma_conflict_degree(d: int) -> int:
+    return 13 if d <= 128 else 4
+
+
+@dataclass
+class TedJoinResult:
+    """Functional result plus statistics for the timing model."""
+
+    result: NeighborResult
+    total_candidates: int
+    profile: ShortCircuitProfile | None
+
+
+class TedJoinKernel:
+    """TED-Join (FP64 WMMA) on the simulated GPU.
+
+    Parameters
+    ----------
+    spec:
+        GPU model.
+    variant:
+        ``"brute"`` (Scenario 1) or ``"index"`` (Scenario 2, grid-backed).
+    modified:
+        Apply the paper's L1-carveout modification raising the
+        shared-memory budget from 48 KB to the configurable maximum
+        (extends support from d<=128 to d<=384).
+    """
+
+    def __init__(
+        self,
+        spec: GpuSpec = DEFAULT_SPEC,
+        *,
+        variant: str = "brute",
+        modified: bool = True,
+    ) -> None:
+        if variant not in {"brute", "index"}:
+            raise ValueError("variant must be 'brute' or 'index'")
+        self.spec = spec
+        self.variant = variant
+        self.modified = modified
+
+    # ------------------------------------------------------------------
+    # Capacity model
+    # ------------------------------------------------------------------
+
+    def smem_bytes(self, d: int) -> int:
+        """Shared memory per block: whole staged points, FP64."""
+        return TED_SMEM_POINTS * d * 8
+
+    def supports(self, d: int) -> bool:
+        """False when the configuration OOMs (paper's failure mode)."""
+        limit = self.spec.smem_max_block_bytes if self.modified else TED_UNMODIFIED_SMEM
+        return self.smem_bytes(d) <= limit
+
+    def occupancy(self, d: int) -> int:
+        """Blocks per SM at this dimensionality (0 = OOM)."""
+        if not self.supports(d):
+            return 0
+        res = BlockResources(
+            threads_per_block=256,
+            registers_per_thread=64,
+            smem_bytes_per_block=self.smem_bytes(d),
+        )
+        return blocks_per_sm(self.spec, res)
+
+    # ------------------------------------------------------------------
+    # Functional path (exact FP64)
+    # ------------------------------------------------------------------
+
+    def self_join(
+        self, data: np.ndarray, eps: float, *, store_distances: bool = True
+    ) -> TedJoinResult:
+        """FP64-exact self-join (norm-expansion form, as TED-Join computes).
+
+        Raises :class:`MemoryError` when the dimensionality exceeds the
+        shared-memory capacity, mirroring the hardware failure.
+        """
+        data = np.ascontiguousarray(data, dtype=np.float64)
+        n, d = data.shape
+        if not self.supports(d):
+            raise MemoryError(
+                f"TED-Join ({'modified' if self.modified else 'original'}) "
+                f"exceeds shared memory at d={d}"
+            )
+        eps2 = float(eps) ** 2
+        s = (data * data).sum(axis=1)
+        if self.variant == "brute":
+            out_i, out_j, out_d = [], [], []
+            block = 2048
+            for r0 in range(0, n, block):
+                r1 = min(r0 + block, n)
+                d2 = s[r0:r1, None] + s[None, :] - 2.0 * (data[r0:r1] @ data.T)
+                np.maximum(d2, 0.0, out=d2)
+                mask = d2 <= eps2
+                mask[np.arange(r0, r1) - r0, np.arange(r0, r1)] = False
+                ii, jj = np.nonzero(mask)
+                out_i.append(ii.astype(np.int64) + r0)
+                out_j.append(jj.astype(np.int64))
+                if store_distances:
+                    out_d.append(d2[ii, jj].astype(np.float32))
+            result = NeighborResult(
+                n_points=n,
+                eps=float(eps),
+                pairs_i=np.concatenate(out_i) if out_i else np.empty(0, np.int64),
+                pairs_j=np.concatenate(out_j) if out_j else np.empty(0, np.int64),
+                sq_dists=(
+                    np.concatenate(out_d)
+                    if (store_distances and out_d)
+                    else np.empty(0, np.float32)
+                ),
+            )
+            return TedJoinResult(
+                result=result, total_candidates=n * n, profile=None
+            )
+        # Index variant: grid candidates, FP64 distances, 8x8 tile padding.
+        index = GridIndex(data, eps)
+        out_i, out_j, out_d = [], [], []
+        total_candidates = 0
+        for members, candidates in index.iter_cells():
+            if members.size == 0 or candidates.size == 0:
+                continue
+            # WMMA quantization: work is dispatched in 8x8 point tiles.
+            padded = (-(-members.size // 8) * 8) * (-(-candidates.size // 8) * 8)
+            total_candidates += padded
+            d2 = (
+                s[members][:, None]
+                + s[candidates][None, :]
+                - 2.0 * (data[members] @ data[candidates].T)
+            )
+            np.maximum(d2, 0.0, out=d2)
+            mask = d2 <= eps2
+            mi, cj = np.nonzero(mask)
+            gi = members[mi]
+            gj = candidates[cj]
+            keep = gi != gj
+            out_i.append(gi[keep])
+            out_j.append(gj[keep])
+            if store_distances:
+                out_d.append(d2[mi, cj][keep].astype(np.float32))
+        result = NeighborResult(
+            n_points=n,
+            eps=float(eps),
+            pairs_i=np.concatenate(out_i) if out_i else np.empty(0, np.int64),
+            pairs_j=np.concatenate(out_j) if out_j else np.empty(0, np.int64),
+            sq_dists=(
+                np.concatenate(out_d)
+                if (store_distances and out_d)
+                else np.empty(0, np.float32)
+            ),
+        )
+        return TedJoinResult(
+            result=result, total_candidates=total_candidates, profile=None
+        )
+
+    # ------------------------------------------------------------------
+    # Timing path
+    # ------------------------------------------------------------------
+
+    def efficiency(self, d: int) -> float:
+        """Fraction of FP64 tensor-core peak sustained at dimensionality d."""
+        if not self.supports(d):
+            return 0.0
+        return TED_EFF64 * (64.0 / max(d, 64)) ** TED_DECAY
+
+    def derived_tflops(self, n: int, d: int) -> float:
+        """Kernel-only derived TFLOPS for the brute-force variant (Fig. 9)."""
+        if not self.supports(d):
+            return 0.0
+        return self.efficiency(d) * self.spec.fp64_tc_flops / 1e12
+
+    def kernel_seconds(self, total_pair_work: float, d: int) -> float:
+        """Kernel time for ``total_pair_work`` point-pair comparisons.
+
+        The Index variant short-circuits at 8x8-tile granularity, which the
+        candidate padding already accounts for; the work here is full-depth
+        FP64 MACs over the padded candidate pairs.
+        """
+        if not self.supports(d):
+            return float("inf")
+        flops = 2.0 * total_pair_work * d
+        return flops / (self.spec.fp64_tc_flops * self.efficiency(d))
+
+    def response_time(
+        self, n: int, d: int, *, total_pair_work: float, n_result_pairs: int
+    ) -> ResponseTime:
+        """End-to-end response time (Figure 10 methodology)."""
+        build = (
+            grid_build_seconds(self.spec, n, 6) if self.variant == "index" else 0.0
+        )
+        d2h, store = result_transfer_seconds(self.spec, n_result_pairs)
+        return ResponseTime(
+            h2d_s=h2d_seconds(self.spec, n, d, 8),
+            index_build_s=build,
+            kernel_s=self.kernel_seconds(total_pair_work, d),
+            d2h_s=d2h,
+            host_store_s=store,
+            overhead_s=LAUNCH_OVERHEAD_S,
+        )

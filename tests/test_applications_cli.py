@@ -1,0 +1,131 @@
+"""Tests for the application utilities and the CLI."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import build_parser, main
+from repro.core.api import self_join
+from repro.core.applications import (
+    epsilon_neighborhood_counts,
+    knn_outlier_scores,
+    knn_search,
+    knn_self,
+)
+
+
+def _blobs(n=300, d=24, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(0, 4, size=(5, d))
+    return centers[rng.integers(0, 5, n)] + rng.normal(0, 0.4, size=(n, d))
+
+
+class TestKnnSearch:
+    def test_matches_bruteforce_fp64(self):
+        data = _blobs(seed=1)
+        queries = data[:20]
+        idx, dist = knn_search(queries, data, 5, precision="fp64")
+        d2 = ((queries[:, None, :] - data[None, :, :]) ** 2).sum(axis=2)
+        # Compare distances (exact up to expansion rounding) and neighbor
+        # sets; index *order* may differ at exact-tie boundaries.
+        assert np.allclose(dist, np.sqrt(np.sort(d2, axis=1)[:, :5]), atol=1e-6)
+        ref = np.argsort(d2, axis=1)[:, :5]
+        agree = np.mean(
+            [len(set(a) & set(b)) / 5 for a, b in zip(idx, ref)]
+        )
+        assert agree > 0.99
+
+    def test_mixed_precision_agrees_on_indices(self):
+        data = _blobs(seed=2)
+        i64, _ = knn_search(data[:30], data, 8, precision="fp64")
+        i16, _ = knn_search(data[:30], data, 8, precision="fp16-32")
+        # Neighbor *sets* agree almost always; ordering may differ at ties.
+        agree = np.mean(
+            [len(set(a) & set(b)) / 8 for a, b in zip(i64, i16)]
+        )
+        assert agree > 0.97
+
+    def test_distances_sorted(self):
+        data = _blobs(seed=3)
+        _, dist = knn_search(data[:10], data, 7)
+        assert np.all(np.diff(dist, axis=1) >= -1e-9)
+
+    def test_block_invariance(self):
+        data = _blobs(seed=4)
+        a = knn_search(data[:50], data, 4, block=7)[0]
+        b = knn_search(data[:50], data, 4, block=1000)[0]
+        assert np.array_equal(a, b)
+
+    @given(st.integers(1, 10))
+    @settings(max_examples=10, deadline=None)
+    def test_k_shape_property(self, k):
+        data = _blobs(60, 8, seed=5)
+        idx, dist = knn_search(data[:9], data, k)
+        assert idx.shape == (9, k) and dist.shape == (9, k)
+
+    def test_k_validation(self):
+        data = _blobs(20, 4, seed=6)
+        with pytest.raises(ValueError):
+            knn_search(data, data, 0)
+        with pytest.raises(ValueError):
+            knn_search(data, data, 21)
+
+
+class TestKnnSelfAndOutliers:
+    def test_self_excluded(self):
+        data = _blobs(seed=7)
+        idx, dist = knn_self(data, 3)
+        for i in range(len(data)):
+            assert i not in idx[i]
+        assert np.all(dist > 0) or np.any(dist == 0)  # duplicates allowed
+
+    def test_outlier_scores_flag_planted_outlier(self):
+        data = _blobs(seed=8)
+        data[0] = 100.0  # plant an extreme outlier
+        scores = knn_outlier_scores(data, k=8)
+        assert scores[0] == scores.max()
+        assert scores[0] > 5 * np.median(scores)
+
+    def test_outlier_scores_precision_agreement(self):
+        data = _blobs(seed=9)
+        s64 = knn_outlier_scores(data, k=8, precision="fp64")
+        s16 = knn_outlier_scores(data, k=8, precision="fp16-32")
+        # Rank correlation of the top decile must be strong.
+        top64 = set(np.argsort(s64)[-30:])
+        top16 = set(np.argsort(s16)[-30:])
+        assert len(top64 & top16) >= 27
+
+    def test_neighborhood_counts(self):
+        data = _blobs(seed=10)
+        res = self_join(data, 2.0, store_distances=False)
+        counts = epsilon_neighborhood_counts(res)
+        assert counts.min() >= 1  # every point counts itself
+        assert counts.sum() == res.pairs_i.size + len(data)
+
+
+class TestCli:
+    def test_parser_commands(self):
+        parser = build_parser()
+        for cmd in ("fig8", "table5", "fig9", "table6"):
+            args = parser.parse_args([cmd])
+            assert callable(args.fn)
+
+    def test_model_commands_run(self, capsys):
+        assert main(["table5"]) == 0
+        out = capsys.readouterr().out
+        assert "warp_tile" in out
+
+    def test_fig9_output(self, capsys):
+        assert main(["fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "OOM" in out  # TED-Join at high d
+
+    def test_data_command_small(self, capsys):
+        assert main(["accuracy", "--dataset", "Sift10M", "--n", "600"]) == 0
+        out = capsys.readouterr().out
+        assert "Overlap" in out
+
+    def test_dataset_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig10", "--dataset", "MNIST"])

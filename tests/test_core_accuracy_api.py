@@ -1,0 +1,200 @@
+"""Tests for accuracy metrics, scaling and the public API (repro.core)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.accuracy import distance_error_stats, overlap_accuracy
+from repro.core.api import METHODS, pairwise_sq_dists, self_join
+from repro.core.results import NeighborResult
+from repro.core.scaling import Fp16Scaler, fit_scaler
+from repro.fp.fp16 import FP16_MAX, dynamic_range_report
+
+
+def _res(n, pairs, dists=None):
+    ii = np.array([p[0] for p in pairs], dtype=np.int64)
+    jj = np.array([p[1] for p in pairs], dtype=np.int64)
+    sq = (
+        np.asarray(dists, dtype=np.float32)
+        if dists is not None
+        else np.empty(0, np.float32)
+    )
+    return NeighborResult(n_points=n, eps=1.0, pairs_i=ii, pairs_j=jj, sq_dists=sq)
+
+
+class TestOverlapAccuracy:
+    def test_identical_sets_score_one(self):
+        r = _res(6, [(0, 1), (1, 0), (2, 3), (3, 2)])
+        assert overlap_accuracy(r, r) == 1.0
+
+    def test_empty_sets_score_one(self):
+        assert overlap_accuracy(_res(4, []), _res(4, [])) == 1.0
+
+    def test_disjoint_sets(self):
+        a = _res(4, [(0, 1), (1, 0)])
+        b = _res(4, [(2, 3), (3, 2)])
+        # Points 0-3 each have IoU 0; no point scores 1.
+        assert overlap_accuracy(a, b) == 0.0
+
+    def test_partial_overlap_known_value(self):
+        a = _res(3, [(0, 1), (0, 2)])
+        b = _res(3, [(0, 1)])
+        # Point 0: |{1} ∩ {1,2}| / |{1,2}| = 0.5; points 1, 2 both empty->1.
+        assert overlap_accuracy(a, b) == pytest.approx((0.5 + 1 + 1) / 3)
+
+    def test_size_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            overlap_accuracy(_res(3, []), _res(4, []))
+
+    @given(st.integers(2, 20), st.integers(0, 10**6))
+    @settings(max_examples=50, deadline=None)
+    def test_bounds_and_symmetry(self, n, seed):
+        rng = np.random.default_rng(seed)
+        def rand_res():
+            m = rng.integers(0, 3 * n)
+            ii = rng.integers(0, n, m)
+            jj = rng.integers(0, n, m)
+            keep = ii != jj
+            return _res(n, list(zip(ii[keep], jj[keep])))
+        a, b = rand_res(), rand_res()
+        v = overlap_accuracy(a, b)
+        assert 0.0 <= v <= 1.0
+        assert v == pytest.approx(overlap_accuracy(b, a))
+
+
+class TestDistanceErrorStats:
+    def test_identical_zero_error(self):
+        r = _res(4, [(0, 1), (1, 0)], dists=[1.0, 1.0])
+        stats = distance_error_stats(r, r)
+        assert stats.mean == 0.0 and stats.std == 0.0
+        assert stats.n_pairs == 2
+
+    def test_known_error(self):
+        a = _res(4, [(0, 1)], dists=[1.21])
+        b = _res(4, [(0, 1)], dists=[1.0])
+        stats = distance_error_stats(a, b)
+        assert stats.mean == pytest.approx(0.1, abs=1e-6)
+
+    def test_only_common_pairs_compared(self):
+        a = _res(4, [(0, 1), (2, 3)], dists=[1.0, 4.0])
+        b = _res(4, [(0, 1)], dists=[1.0])
+        assert distance_error_stats(a, b).n_pairs == 1
+
+    def test_requires_distances(self):
+        with pytest.raises(ValueError):
+            distance_error_stats(_res(4, [(0, 1)]), _res(4, [(0, 1)]))
+
+    def test_histogram(self):
+        a = _res(4, [(0, 1), (1, 0), (2, 3)], dists=[1.1, 0.95, 2.0])
+        b = _res(4, [(0, 1), (1, 0), (2, 3)], dists=[1.0, 1.0, 2.0])
+        counts, edges = distance_error_stats(a, b).histogram(bins=11)
+        assert counts.sum() == 3
+        assert edges[0] == -edges[-1]  # symmetric range
+
+
+class TestScaling:
+    def test_fit_centers_and_scales(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(1000, 1, size=(500, 8))
+        scaler = fit_scaler(data)
+        out = scaler.transform(data)
+        assert abs(out.mean()) < 1.0
+        assert np.abs(out).max() == pytest.approx(0.25 * FP16_MAX, rel=1e-6)
+
+    def test_distances_preserved_exactly_in_fp64(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(50, 5, size=(100, 16))
+        scaler = fit_scaler(data)
+        t = scaler.transform(data)
+        d_orig = np.sqrt(((data[0] - data[1]) ** 2).sum())
+        d_t = np.sqrt(((t[0] - t[1]) ** 2).sum())
+        assert d_t == pytest.approx(scaler.transform_radius(d_orig), rel=1e-12)
+
+    def test_inverse_transform(self):
+        data = np.random.default_rng(2).normal(10, 2, size=(50, 4))
+        scaler = fit_scaler(data)
+        back = scaler.inverse_transform(scaler.transform(data))
+        assert np.allclose(back, data, rtol=1e-12)
+
+    def test_scaling_improves_quantization(self):
+        """The paper's future-work hypothesis, verified."""
+        rng = np.random.default_rng(3)
+        data = rng.normal(3000, 1, size=(200, 8))  # large offset, small spread
+        raw = dynamic_range_report(data).max_rel_error
+        scaled = fit_scaler(data).transform(data)
+        # Compare absolute quantization error of the *differences* scale.
+        def dist_err(x, scale=1.0):
+            q = x.astype(np.float16).astype(np.float64)
+            d_q = np.sqrt(((q[0] - q[1]) ** 2).sum()) / scale
+            d = np.sqrt(((x[0] - x[1]) ** 2).sum()) / scale
+            return abs(d_q - d)
+        s = fit_scaler(data)
+        assert dist_err(s.transform(data), s.scale) < dist_err(data)
+
+    def test_all_zero_data(self):
+        scaler = fit_scaler(np.zeros((10, 3)))
+        assert scaler.scale == 1.0
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            fit_scaler(np.ones((4, 2)), target_fraction=0.0)
+
+
+class TestPublicApi:
+    @pytest.fixture(scope="class")
+    def data(self):
+        rng = np.random.default_rng(4)
+        centers = rng.normal(0, 4, size=(6, 24))
+        return centers[rng.integers(0, 6, 250)] + rng.normal(0, 0.3, (250, 24))
+
+    def test_methods_tuple_matches_table3(self):
+        assert METHODS == (
+            "fasted", "ted-join-brute", "ted-join-index", "gds-join", "mistic"
+        )
+
+    def test_all_methods_agree(self, data):
+        eps = 2.5
+        results = {m: self_join(data, eps, method=m) for m in METHODS}
+        truth = set(
+            zip(
+                results["ted-join-brute"].pairs_i.tolist(),
+                results["ted-join-brute"].pairs_j.tolist(),
+            )
+        )
+        for m, res in results.items():
+            got = set(zip(res.pairs_i.tolist(), res.pairs_j.tolist()))
+            sym = got.symmetric_difference(truth)
+            assert len(sym) <= 0.01 * max(len(truth), 1), m
+
+    def test_unknown_method(self, data):
+        with pytest.raises(ValueError):
+            self_join(data, 1.0, method="faiss")
+
+    def test_precision_validation(self, data):
+        with pytest.raises(ValueError):
+            self_join(data, 1.0, method="fasted", precision="fp64")
+        with pytest.raises(ValueError):
+            self_join(data, 1.0, method="mistic", precision="fp64")
+
+    def test_gds_fp64_ground_truth_mode(self, data):
+        res = self_join(data, 2.5, method="gds-join", precision="fp64")
+        assert res.n_points == len(data)
+
+    def test_pairwise_sq_dists_precisions(self):
+        rng = np.random.default_rng(5)
+        a, b = rng.normal(size=(20, 16)), rng.normal(size=(15, 16))
+        d64 = pairwise_sq_dists(a, b, precision="fp64")
+        d32 = pairwise_sq_dists(a, b, precision="fp32")
+        d16 = pairwise_sq_dists(a, b, precision="fp16-32")
+        assert d64.shape == (20, 15)
+        assert np.allclose(d32, d64, rtol=1e-4, atol=1e-4)
+        assert np.allclose(d16, d64, rtol=2e-2, atol=2e-2)
+        ref = ((a[:, None, :] - b[None, :, :]) ** 2).sum(axis=2)
+        assert np.allclose(d64, ref, rtol=1e-10, atol=1e-10)
+
+    def test_pairwise_validation(self):
+        with pytest.raises(ValueError):
+            pairwise_sq_dists(np.zeros((3, 4)), np.zeros((3, 5)))
+        with pytest.raises(ValueError):
+            pairwise_sq_dists(np.zeros((3, 4)), np.zeros((3, 4)), precision="int8")

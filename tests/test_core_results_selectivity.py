@@ -1,0 +1,120 @@
+"""Tests for result containers and selectivity calibration (repro.core)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.results import NeighborResult, from_dense_mask
+from repro.core.selectivity import (
+    epsilon_for_selectivity,
+    measured_selectivity,
+    sampled_pairwise_distances,
+)
+
+
+def _result(n=10, pairs=((0, 1), (1, 0), (2, 3), (3, 2))):
+    ii = np.array([p[0] for p in pairs], dtype=np.int64)
+    jj = np.array([p[1] for p in pairs], dtype=np.int64)
+    return NeighborResult(n_points=n, eps=1.0, pairs_i=ii, pairs_j=jj)
+
+
+class TestNeighborResult:
+    def test_selectivity_definition(self):
+        """S = (|R| - |D|) / |D| with self pairs implicit in |R|."""
+        res = _result()
+        assert res.selectivity == 0.4
+        assert res.total_result_size == 4 + 10
+
+    def test_mismatched_arrays_raise(self):
+        with pytest.raises(ValueError):
+            NeighborResult(5, 1.0, np.zeros(3, np.int64), np.zeros(2, np.int64))
+
+    def test_sq_dists_must_parallel(self):
+        with pytest.raises(ValueError):
+            NeighborResult(
+                5, 1.0, np.zeros(2, np.int64), np.zeros(2, np.int64),
+                sq_dists=np.zeros(3, np.float32),
+            )
+
+    def test_neighbor_counts(self):
+        counts = _result().neighbor_counts()
+        assert counts.tolist() == [1, 1, 1, 1, 0, 0, 0, 0, 0, 0]
+
+    def test_neighbor_sets(self):
+        sets = _result().neighbor_sets()
+        assert sets[0] == {1} and sets[2] == {3} and sets[5] == set()
+
+    def test_csr_matches_sets(self):
+        res = _result(pairs=((0, 1), (0, 3), (1, 0), (3, 0), (1, 3), (3, 1)))
+        indptr, indices = res.neighbors_csr()
+        sets = res.neighbor_sets()
+        for i in range(res.n_points):
+            assert set(indices[indptr[i] : indptr[i + 1]].tolist()) == sets[i]
+
+    def test_symmetric(self):
+        assert _result().symmetric()
+        assert not _result(pairs=((0, 1),)).symmetric()
+
+    def test_sorted_copy(self):
+        res = _result(pairs=((3, 2), (0, 1), (2, 3), (1, 0)))
+        s = res.sorted_copy()
+        assert s.pairs_i.tolist() == [0, 1, 2, 3]
+
+    @given(st.integers(2, 30), st.integers(0, 10**6))
+    @settings(max_examples=50, deadline=None)
+    def test_from_dense_mask_properties(self, n, seed):
+        rng = np.random.default_rng(seed)
+        mask = rng.random((n, n)) < 0.3
+        mask |= mask.T  # symmetrize
+        res = from_dense_mask(mask, eps=1.0)
+        assert res.symmetric()
+        assert np.all(res.pairs_i != res.pairs_j)
+        off_diag = mask.copy()
+        np.fill_diagonal(off_diag, False)
+        assert res.pairs_i.size == off_diag.sum()
+
+    def test_from_dense_mask_validation(self):
+        with pytest.raises(ValueError):
+            from_dense_mask(np.zeros((3, 4), dtype=bool), 1.0)
+
+
+class TestSelectivityCalibration:
+    def test_achieves_target_on_gaussian(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(3000, 16))
+        for target in (16, 64):
+            eps = epsilon_for_selectivity(data, target, sample=512)
+            # Verify against exact neighbor counts.
+            d2 = ((data[:500, None, :] - data[None, :, :]) ** 2).sum(axis=2)
+            counts = (d2 <= eps * eps).sum(axis=1) - 1
+            measured = counts.mean()
+            assert 0.6 * target <= measured <= 1.6 * target
+
+    def test_monotone_in_target(self):
+        data = np.random.default_rng(1).normal(size=(1000, 8))
+        e1 = epsilon_for_selectivity(data, 8)
+        e2 = epsilon_for_selectivity(data, 64)
+        assert e2 > e1
+
+    def test_validation(self):
+        data = np.zeros((100, 4))
+        with pytest.raises(ValueError):
+            epsilon_for_selectivity(data, 0)
+        with pytest.raises(ValueError):
+            epsilon_for_selectivity(data, 99)
+
+    def test_measured_selectivity(self):
+        assert measured_selectivity(640, 10) == 64.0
+        assert measured_selectivity(0, 0) == 0.0
+
+    def test_sampled_distances_shape(self):
+        data = np.random.default_rng(2).normal(size=(200, 4))
+        d = sampled_pairwise_distances(data, sample=50)
+        assert d.shape == (50 * 199,)
+        assert np.all(d >= 0)
+
+    def test_sample_larger_than_n(self):
+        data = np.random.default_rng(3).normal(size=(40, 4))
+        d = sampled_pairwise_distances(data, sample=100)
+        assert d.shape == (40 * 39,)

@@ -1,0 +1,103 @@
+"""Tests for dataset generation (repro.data)."""
+
+import numpy as np
+import pytest
+
+from repro.data.realworld import DATASETS, load_surrogate
+from repro.data.synthetic import SYNTH_DIMS, SYNTH_SIZES, synth_dataset
+from repro.fp.fp16 import dynamic_range_report
+
+
+class TestSynthGrid:
+    def test_sizes_match_table4(self):
+        """|D| = 10^(3 + n/3): 1000 ... 1,000,000."""
+        assert SYNTH_SIZES[0] == 1000
+        assert SYNTH_SIZES[-1] == 1_000_000
+        assert SYNTH_SIZES[3] == 10_000
+        assert len(SYNTH_SIZES) == 10
+
+    def test_dims_match_table4(self):
+        assert SYNTH_DIMS == (64, 128, 256, 512, 1024, 2048, 4096)
+
+
+class TestSynthDataset:
+    def test_shape_and_dtype(self):
+        data = synth_dataset(100, 32)
+        assert data.shape == (100, 32)
+        assert data.dtype == np.float32
+
+    def test_deterministic(self):
+        assert np.array_equal(synth_dataset(50, 8, seed=3), synth_dataset(50, 8, seed=3))
+
+    def test_seeds_differ(self):
+        assert not np.array_equal(
+            synth_dataset(50, 8, seed=1), synth_dataset(50, 8, seed=2)
+        )
+
+    def test_fp16_safe_range(self):
+        data = synth_dataset(1000, 16)
+        assert dynamic_range_report(data).fits
+
+    def test_clustered_mode(self):
+        data = synth_dataset(500, 8, clustered=True)
+        # Clustered data has higher kurtosis structure: inter-point distance
+        # distribution should be multi-modal; at minimum, valid shape/range.
+        assert data.shape == (500, 8)
+        assert np.isfinite(data).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synth_dataset(0, 8)
+        with pytest.raises(ValueError):
+            synth_dataset(8, 0)
+
+
+class TestSurrogates:
+    def test_registry_matches_table4(self):
+        specs = {(s.paper_n, s.paper_d) for s in DATASETS.values()}
+        assert (10_000_000, 128) in specs  # Sift10M
+        assert (5_000_000, 384) in specs  # Tiny5M
+        assert (60_000, 512) in specs  # Cifar60K
+        assert (1_000_000, 960) in specs  # Gist1M
+
+    def test_paper_eps_recorded(self):
+        assert DATASETS["Sift10M"].paper_eps == (122.5, 136.5, 152.5)
+        assert DATASETS["Gist1M"].paper_eps == (0.4736, 0.5292, 0.5937)
+
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_generation(self, name):
+        data, spec = load_surrogate(name, n=500)
+        assert data.shape == (500, spec.paper_d)
+        assert np.isfinite(data).all()
+        assert dynamic_range_report(data).fits
+
+    def test_sift_is_integer_valued_0_255(self):
+        """SIFT descriptors are uint8 histograms: integers in [0, 255]."""
+        data, _ = load_surrogate("Sift10M", n=1000)
+        assert np.array_equal(data, np.rint(data))
+        assert data.min() >= 0 and data.max() <= 255
+
+    def test_gist_like_small_positive(self):
+        data, _ = load_surrogate("Gist1M", n=1000)
+        assert data.min() >= 0
+        assert data.max() <= 2.0
+
+    def test_deterministic(self):
+        a, _ = load_surrogate("Tiny5M", n=300, seed=5)
+        b, _ = load_surrogate("Tiny5M", n=300, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_clustered_structure(self):
+        """Surrogates must have local structure (nearer than uniform)."""
+        data, _ = load_surrogate("Cifar60K", n=2000)
+        rng = np.random.default_rng(0)
+        i = rng.integers(0, 2000, 200)
+        j = rng.integers(0, 2000, 200)
+        d2 = ((data[i] - data[j]) ** 2).sum(axis=1)
+        # Clustered: same-cluster pairs are far closer than the typical
+        # (cross-cluster) pair, so the distance distribution is bimodal.
+        assert d2.min() < 0.3 * np.median(d2)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_surrogate("MNIST")

@@ -1,0 +1,102 @@
+"""Tests for FP16 quantization helpers (repro.fp.fp16)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fp.fp16 import (
+    FP16_MAX,
+    FP16_MIN_NORMAL,
+    dynamic_range_report,
+    fp16_overflow_mask,
+    quantize_fp16,
+    to_fp16,
+)
+
+
+class TestToFp16:
+    def test_dtype(self):
+        out = to_fp16(np.array([1.0, 2.0]))
+        assert out.dtype == np.float16
+
+    def test_exact_values_preserved(self):
+        # Small integers and powers of two are exact in FP16.
+        vals = np.array([0.0, 1.0, -2.0, 0.5, 1024.0, -0.25])
+        assert np.array_equal(to_fp16(vals).astype(np.float64), vals)
+
+    def test_overflow_to_inf(self):
+        out = to_fp16(np.array([1e6, -1e6]))
+        assert np.isinf(out[0]) and out[0] > 0
+        assert np.isinf(out[1]) and out[1] < 0
+
+    def test_fp16_max_is_finite(self):
+        assert np.isfinite(to_fp16(np.array([FP16_MAX]))[0])
+
+    def test_shape_preserved(self):
+        assert to_fp16(np.zeros((3, 4, 5))).shape == (3, 4, 5)
+
+
+class TestQuantize:
+    def test_returns_float32(self):
+        assert quantize_fp16(np.array([1.1])).dtype == np.float32
+
+    def test_idempotent(self):
+        x = np.linspace(-100, 100, 1001)
+        q1 = quantize_fp16(x)
+        q2 = quantize_fp16(q1)
+        assert np.array_equal(q1, q2)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-60000, max_value=60000, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_relative_error_bound(self, vals):
+        """Quantization error of normal-range values <= FP16 unit roundoff."""
+        x = np.array(vals, dtype=np.float64)
+        normal = np.abs(x) >= FP16_MIN_NORMAL
+        q = quantize_fp16(x).astype(np.float64)
+        u = 2.0**-11  # half-precision unit roundoff
+        rel = np.abs(q[normal] - x[normal]) / np.abs(x[normal])
+        assert np.all(rel <= u)
+
+
+class TestOverflowMask:
+    def test_basic(self):
+        x = np.array([0.0, FP16_MAX, FP16_MAX * 1.01, -1e9])
+        assert fp16_overflow_mask(x).tolist() == [False, False, True, True]
+
+
+class TestDynamicRangeReport:
+    def test_well_scaled_data_fits(self):
+        rng = np.random.default_rng(0)
+        rep = dynamic_range_report(rng.normal(0, 10, size=(100, 8)))
+        assert rep.fits
+        assert rep.n_overflow == 0
+        assert rep.max_rel_error <= 2.0**-11
+        assert rep.recommended_scale == 1.0
+
+    def test_overflowing_data(self):
+        rep = dynamic_range_report(np.array([1e5, 1.0]))
+        assert not rep.fits
+        assert rep.n_overflow == 1
+        assert rep.recommended_scale < 1.0
+        # Applying the recommended scale must eliminate overflow.
+        rep2 = dynamic_range_report(np.array([1e5, 1.0]) * rep.recommended_scale)
+        assert rep2.fits
+
+    def test_subnormal_counted(self):
+        rep = dynamic_range_report(np.array([1e-6, 1.0]))
+        assert rep.n_subnormal == 1
+
+    def test_empty(self):
+        rep = dynamic_range_report(np.array([]))
+        assert rep.fits and rep.max_abs == 0.0
+
+    def test_all_zero(self):
+        rep = dynamic_range_report(np.zeros(10))
+        assert rep.fits and rep.recommended_scale == 1.0

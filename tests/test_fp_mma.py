@@ -1,0 +1,118 @@
+"""Tests for fragment-level MMA simulation (repro.fp.mma)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fp.mma import (
+    MMA_SHAPE_FP16,
+    MMA_SHAPE_FP64,
+    gemm_fp16_32,
+    mma_m8n8k4_f64,
+    mma_m16n8k16,
+)
+
+
+def _rand(shape, seed=0, scale=1.0):
+    return np.random.default_rng(seed).normal(0, scale, size=shape)
+
+
+class TestMmaFp16Shapes:
+    def test_shape_constants(self):
+        assert MMA_SHAPE_FP16 == (16, 8, 16)
+        assert MMA_SHAPE_FP64 == (8, 8, 4)
+
+    def test_bad_a_shape_raises(self):
+        with pytest.raises(ValueError, match="A fragment"):
+            mma_m16n8k16(np.zeros((8, 16)), np.zeros((16, 8)))
+
+    def test_bad_b_shape_raises(self):
+        with pytest.raises(ValueError, match="B fragment"):
+            mma_m16n8k16(np.zeros((16, 16)), np.zeros((8, 8)))
+
+    def test_output_shape_dtype(self):
+        d = mma_m16n8k16(_rand((16, 16)), _rand((16, 8)))
+        assert d.shape == (16, 8) and d.dtype == np.float32
+
+
+class TestMmaFp16Numerics:
+    def test_against_fp64_reference(self):
+        a, b = _rand((16, 16), 1), _rand((16, 8), 2)
+        d = mma_m16n8k16(a, b)
+        ref = a.astype(np.float16).astype(np.float64) @ b.astype(np.float16).astype(
+            np.float64
+        )
+        assert np.allclose(d, ref, rtol=1e-5, atol=1e-6)
+
+    def test_accumulator_added(self):
+        a, b = _rand((16, 16), 3), _rand((16, 8), 4)
+        c = np.full((16, 8), 100.0, dtype=np.float32)
+        d0 = mma_m16n8k16(a, b)
+        d1 = mma_m16n8k16(a, b, c)
+        assert np.allclose(d1 - d0, 100.0, atol=1e-3)
+
+    def test_exact_vs_fast_path_close(self):
+        a, b = _rand((16, 16), 5), _rand((16, 8), 6)
+        exact = mma_m16n8k16(a, b, exact_rz=True)
+        fast = mma_m16n8k16(a, b, exact_rz=False)
+        # Differ only by accumulation-order rounding: a few FP32 ulps.
+        assert np.allclose(exact, fast, rtol=1e-5, atol=1e-5)
+
+    def test_rz_never_exceeds_exact_for_nonneg(self):
+        rng = np.random.default_rng(7)
+        a = rng.uniform(0, 2, (16, 16))
+        b = rng.uniform(0, 2, (16, 8))
+        d = mma_m16n8k16(a, b, exact_rz=True).astype(np.float64)
+        ref = a.astype(np.float16).astype(np.float64) @ b.astype(np.float16).astype(
+            np.float64
+        )
+        assert np.all(d <= ref + 1e-9)
+
+    def test_identity_times_identity_prefix(self):
+        a = np.eye(16, 16)
+        b = np.zeros((16, 8))
+        b[:8, :8] = np.eye(8)
+        d = mma_m16n8k16(a, b)
+        assert np.array_equal(d[:8], np.eye(8, dtype=np.float32))
+        assert np.all(d[8:] == 0)
+
+
+class TestMmaFp64:
+    def test_exactness(self):
+        a, b = _rand((8, 4), 8), _rand((4, 8), 9)
+        c = _rand((8, 8), 10)
+        assert np.array_equal(mma_m8n8k4_f64(a, b, c), a @ b + c)
+
+    def test_bad_shapes(self):
+        with pytest.raises(ValueError):
+            mma_m8n8k4_f64(np.zeros((4, 8)), np.zeros((4, 8)))
+        with pytest.raises(ValueError):
+            mma_m8n8k4_f64(np.zeros((8, 4)), np.zeros((8, 4)))
+
+
+class TestGemmFp16_32:
+    def test_matches_quantized_matmul(self):
+        a, b = _rand((20, 33), 11), _rand((15, 33), 12)
+        out = gemm_fp16_32(a, b)
+        ref = a.astype(np.float16).astype(np.float32) @ b.astype(np.float16).astype(
+            np.float32
+        ).T
+        assert np.array_equal(out, ref)
+
+    @given(
+        st.integers(1, 24), st.integers(1, 24), st.integers(1, 48),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_shape_property(self, m, n, d, seed):
+        rng = np.random.default_rng(seed)
+        out = gemm_fp16_32(rng.normal(size=(m, d)), rng.normal(size=(n, d)))
+        assert out.shape == (m, n) and out.dtype == np.float32
+
+    def test_consistent_with_fragment_mma(self):
+        """The fast GEMM path and fragment MMA agree to FP32 rounding."""
+        a, b = _rand((16, 16), 13), _rand((8, 16), 14)
+        fast = gemm_fp16_32(a, b)
+        frag = mma_m16n8k16(a, b.T, exact_rz=False)
+        assert np.allclose(fast, frag, rtol=1e-6, atol=1e-6)

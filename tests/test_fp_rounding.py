@@ -1,0 +1,118 @@
+"""Tests for round-toward-zero arithmetic (repro.fp.rounding)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fp.rounding import (
+    round_toward_zero_f32,
+    rz_sum,
+    rz_sum_squares,
+    tc_accumulate_rz,
+)
+
+finite_floats = st.floats(
+    min_value=-1e30, max_value=1e30, allow_nan=False, allow_infinity=False
+)
+
+
+class TestRoundTowardZero:
+    def test_representable_values_unchanged(self):
+        vals = np.array([0.0, 1.0, -1.5, 2.0**-20, 3.0], dtype=np.float32)
+        out = round_toward_zero_f32(vals.astype(np.float64))
+        assert np.array_equal(out, vals)
+
+    def test_truncates_positive(self):
+        # 1 + 2^-25 is between 1.0 and nextafter(1.0): RZ gives exactly 1.0.
+        x = 1.0 + 2.0**-25
+        assert round_toward_zero_f32(x) == np.float32(1.0)
+
+    def test_truncates_negative_toward_zero(self):
+        x = -(1.0 + 2.0**-25)
+        assert round_toward_zero_f32(x) == np.float32(-1.0)
+
+    def test_value_just_above_representable_midpoint(self):
+        # Round-to-nearest would go up; RZ must not.
+        one_plus = np.nextafter(np.float32(1.0), np.float32(2.0))
+        mid = (1.0 + float(one_plus)) / 2.0 + 1e-12
+        assert round_toward_zero_f32(mid) == np.float32(1.0)
+
+    @given(finite_floats)
+    @settings(max_examples=300, deadline=None)
+    def test_never_increases_magnitude(self, x):
+        out = float(round_toward_zero_f32(x))
+        assert abs(out) <= abs(x) or np.isinf(out)
+
+    @given(finite_floats)
+    @settings(max_examples=300, deadline=None)
+    def test_within_one_ulp(self, x):
+        out = np.float32(round_toward_zero_f32(x))
+        nearest = np.float64(x).astype(np.float32)
+        # RZ result is either the nearest rounding or one ulp toward zero.
+        assert out == nearest or out == np.nextafter(nearest, np.float32(0.0))
+
+
+class TestRzSum:
+    def test_exact_small_integers(self):
+        x = np.arange(16, dtype=np.float64)
+        assert rz_sum(x) == np.float32(x.sum())
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+            min_size=1,
+            max_size=64,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_nonneg_rz_le_exact(self, vals):
+        """For non-negative input, truncation only loses mass."""
+        x = np.array(vals)
+        assert float(rz_sum(x)) <= x.sum() + 1e-30
+
+    def test_axis_handling(self):
+        x = np.ones((3, 8))
+        out = rz_sum(x, axis=1)
+        assert out.shape == (3,)
+        assert np.all(out == 8.0)
+
+    def test_step_one_matches_sequential(self):
+        x = np.array([1.0, 2.0**-24, 2.0**-24, 2.0**-24])
+        # step=1: each tiny addend is truncated away against 1.0.
+        assert rz_sum(x, step=1) == np.float32(1.0)
+
+
+class TestTcAccumulate:
+    def test_zero_accumulator(self):
+        c = np.zeros((2, 2), dtype=np.float32)
+        prods = np.ones((2, 2, 4), dtype=np.float32)
+        out = tc_accumulate_rz(c, prods)
+        assert np.all(out == 4.0)
+
+    def test_single_rz_per_step(self):
+        # c=1, products sum to 2^-25: exact sum 1+2^-25 truncates to 1.
+        c = np.array([1.0], dtype=np.float32)
+        prods = np.full((1, 4), 2.0**-27, dtype=np.float32)
+        out = tc_accumulate_rz(c, prods)
+        assert out[0] == np.float32(1.0)
+
+
+class TestRzSumSquares:
+    def test_matches_exact_for_integers(self):
+        pts = np.array([[1.0, 2.0, 3.0, 4.0]])
+        assert rz_sum_squares(pts)[0] == np.float32(30.0)
+
+    def test_quantizes_through_fp16(self):
+        # 0.1 is not exact in FP16; the norm must use the quantized value.
+        pts = np.array([[0.1]])
+        q = np.float16(0.1).astype(np.float64)
+        assert abs(float(rz_sum_squares(pts)[0]) - q * q) < 1e-9
+
+    @given(st.integers(min_value=1, max_value=64), st.integers(0, 2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_le_exact_norm(self, d, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(0, 10, size=(4, d))
+        q = pts.astype(np.float16).astype(np.float64)
+        exact = (q * q).sum(axis=1)
+        assert np.all(rz_sum_squares(pts).astype(np.float64) <= exact + 1e-12)

@@ -1,0 +1,105 @@
+"""Tests for PTX register-fragment layouts (repro.gpusim.fragments)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim.fragments import (
+    FASTED_SHAPE,
+    SUPPORTED_SHAPES,
+    WARP_SIZE,
+    a_fragment_owner,
+    b_fragment_owner,
+    c_fragment_owner,
+    gather_a,
+    gather_b,
+    gather_c,
+    scatter_a,
+    scatter_b,
+    scatter_c,
+)
+
+
+class TestTable1:
+    def test_six_shapes(self):
+        assert len(SUPPORTED_SHAPES) == 6
+
+    def test_fasted_uses_16x8x16_ptx_only(self):
+        assert (FASTED_SHAPE.m, FASTED_SHAPE.n, FASTED_SHAPE.k) == (16, 8, 16)
+        assert FASTED_SHAPE.ptx_mma and not FASTED_SHAPE.wmma_api
+
+    def test_wmma_shapes_match_paper(self):
+        wmma = {(s.m, s.n, s.k) for s in SUPPORTED_SHAPES if s.wmma_api}
+        assert wmma == {(16, 16, 16), (32, 8, 16), (8, 32, 16)}
+
+    def test_ptx_shapes_match_paper(self):
+        ptx = {(s.m, s.n, s.k) for s in SUPPORTED_SHAPES if s.ptx_mma}
+        assert ptx == {(8, 8, 4), (16, 8, 8), (16, 8, 16)}
+
+    def test_labels(self):
+        assert SUPPORTED_SHAPES[0].label == "16x16x16"
+
+
+class TestOwnership:
+    def test_a_ownership_is_bijective(self):
+        rows, cols = np.meshgrid(np.arange(16), np.arange(16), indexing="ij")
+        lane, half = a_fragment_owner(rows, cols)
+        assert lane.min() >= 0 and lane.max() < WARP_SIZE
+        slots = set(zip(lane.ravel().tolist(), half.ravel().tolist()))
+        assert len(slots) == 256  # every (lane, halfword) used exactly once
+
+    def test_b_ownership_is_bijective(self):
+        rows, cols = np.meshgrid(np.arange(16), np.arange(8), indexing="ij")
+        lane, half = b_fragment_owner(rows, cols)
+        slots = set(zip(lane.ravel().tolist(), half.ravel().tolist()))
+        assert len(slots) == 128
+
+    def test_c_ownership_is_bijective(self):
+        rows, cols = np.meshgrid(np.arange(16), np.arange(8), indexing="ij")
+        lane, reg = c_fragment_owner(rows, cols)
+        slots = set(zip(lane.ravel().tolist(), reg.ravel().tolist()))
+        assert len(slots) == 128
+
+    def test_a_lane_groups(self):
+        # PTX: lane group (lane // 4) owns rows (group, group + 8).
+        lane, _ = a_fragment_owner(np.array([3]), np.array([0]))
+        assert lane[0] // 4 == 3
+        lane, _ = a_fragment_owner(np.array([11]), np.array([0]))
+        assert lane[0] // 4 == 3  # row 11 = 3 + 8 shares the group
+
+
+class TestScatterGather:
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_a_roundtrip(self, seed):
+        m = np.random.default_rng(seed).normal(size=(16, 16)).astype(np.float16)
+        assert np.array_equal(gather_a(scatter_a(m)), m)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_b_roundtrip(self, seed):
+        m = np.random.default_rng(seed).normal(size=(16, 8)).astype(np.float16)
+        assert np.array_equal(gather_b(scatter_b(m)), m)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_c_roundtrip(self, seed):
+        m = np.random.default_rng(seed).normal(size=(16, 8)).astype(np.float32)
+        assert np.array_equal(gather_c(scatter_c(m)), m)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            scatter_a(np.zeros((8, 16)))
+        with pytest.raises(ValueError):
+            gather_a(np.zeros((16, 8)))
+        with pytest.raises(ValueError):
+            scatter_b(np.zeros((8, 16)))
+        with pytest.raises(ValueError):
+            scatter_c(np.zeros((8, 8)))
+
+    def test_register_counts_match_ptx(self):
+        """A: 4 regs (8 halves); B: 2 regs (4 halves); C/D: 4 FP32 regs."""
+        assert scatter_a(np.zeros((16, 16))).shape == (32, 8)
+        assert scatter_b(np.zeros((16, 8))).shape == (32, 4)
+        assert scatter_c(np.zeros((16, 8))).shape == (32, 4)

@@ -1,0 +1,139 @@
+"""Tests for the L2 cache model and tile work queue (l2cache, workqueue)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim.l2cache import L2Cache
+from repro.gpusim.workqueue import (
+    analytic_l2_hit_rate,
+    ordered_tiles,
+    row_major_order,
+    simulate_l2_hit_rate,
+    square_order,
+)
+
+
+class TestL2Cache:
+    def test_cold_miss_then_hit(self):
+        c = L2Cache(size_bytes=1 << 20)
+        assert not c.access_line(0)
+        assert c.access_line(0)
+        assert c.stats.hits == 1 and c.stats.misses == 1
+        assert c.stats.hit_rate == 0.5
+
+    def test_lru_eviction(self):
+        # 2 sets x 2 ways of 128 B lines = 512 B cache.
+        c = L2Cache(size_bytes=512, associativity=2)
+        assert c.n_sets == 2
+        c.access_line(0)  # set 0
+        c.access_line(2)  # set 0
+        c.access_line(4)  # set 0 -> evicts line 0
+        assert not c.access_line(0)  # miss: was evicted
+        assert c.access_line(4)  # hit: most recent survives
+
+    def test_associativity_isolates_sets(self):
+        c = L2Cache(size_bytes=512, associativity=2)
+        c.access_line(1)  # set 1
+        c.access_line(0)
+        c.access_line(2)
+        c.access_line(4)  # set 0 churns
+        assert c.access_line(1)  # set 1 untouched
+
+    def test_access_bytes_spans_lines(self):
+        c = L2Cache(size_bytes=1 << 20)
+        hits, misses = c.access_bytes(0, 256)  # 2 lines
+        assert (hits, misses) == (0, 2)
+        hits, misses = c.access_bytes(100, 100)  # crosses line boundary
+        assert hits == 2 and misses == 0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            L2Cache(size_bytes=0)
+
+    def test_reset(self):
+        c = L2Cache(size_bytes=1 << 20)
+        c.access_line(0)
+        c.reset_stats()
+        assert c.stats.accesses == 0
+
+
+class TestOrderings:
+    @given(st.integers(1, 12), st.integers(1, 12), st.integers(1, 9))
+    @settings(max_examples=100, deadline=None)
+    def test_square_order_covers_all_tiles_once(self, np_, nq, shape):
+        tiles = list(square_order(np_, nq, shape))
+        assert len(tiles) == np_ * nq
+        assert len(set(tiles)) == np_ * nq
+
+    @given(st.integers(1, 12), st.integers(1, 12))
+    @settings(max_examples=50, deadline=None)
+    def test_row_major_covers_all_tiles_once(self, np_, nq):
+        tiles = list(row_major_order(np_, nq))
+        assert tiles == [(i, j) for i in range(np_) for j in range(nq)]
+
+    def test_square_order_locality(self):
+        """Within one 8x8 square, only 8 distinct P rows / Q cols appear."""
+        tiles = list(square_order(32, 32, 8))
+        window = tiles[:64]
+        assert len({i for i, _ in window}) == 8
+        assert len({j for _, j in window}) == 8
+
+    def test_row_major_locality_is_poor(self):
+        tiles = list(row_major_order(32, 32))
+        window = tiles[:64]
+        assert len({j for _, j in window}) == 32  # sweeps all Q columns
+
+    def test_ordered_tiles_dispatch(self):
+        assert list(ordered_tiles(4, 4, square=False)) == list(row_major_order(4, 4))
+        assert list(ordered_tiles(4, 4, square=True, shape=2)) == list(
+            square_order(4, 4, 2)
+        )
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            list(square_order(4, 4, 0))
+
+
+class TestHitRates:
+    def test_simulated_square_beats_row_major_when_spilling(self):
+        """The paper's Section 3.3.1 claim, measured on the cache model.
+
+        Parameters chosen so one 8x8 dispatch square's working set
+        (16 fragments) fits in L2 while a full tile row's (1 + 32
+        fragments) does not -- the regime the square ordering targets.
+        """
+        kwargs = dict(
+            n_points=4096, dims=64, l2_size_bytes=400_000, max_tiles=1024
+        )
+        sq = simulate_l2_hit_rate(square=True, **kwargs)
+        rm = simulate_l2_hit_rate(square=False, **kwargs)
+        assert sq > rm + 0.2
+
+    def test_simulated_square_hit_rate_near_seven_eighths(self):
+        rate = simulate_l2_hit_rate(
+            n_points=2048, dims=128, l2_size_bytes=40_000_000, max_tiles=2000
+        )
+        assert 0.8 <= rate <= 0.95
+
+    @given(
+        st.integers(256, 100_000),
+        st.sampled_from([64, 128, 512, 4096]),
+        st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_analytic_rate_in_unit_interval(self, n, d, square):
+        h = analytic_l2_hit_rate(n, d, square=square)
+        assert 0.0 <= h <= 1.0
+
+    def test_analytic_square_beats_row_major_at_scale(self):
+        sq = analytic_l2_hit_rate(100_000, 4096, square=True)
+        rm = analytic_l2_hit_rate(100_000, 4096, square=False)
+        assert sq > rm + 0.2
+
+    def test_analytic_matches_paper_range(self):
+        """Paper Table 6: FaSTED L2 hit rate 84-90% at |D|=1e5."""
+        for d in (128, 256, 4096):
+            h = analytic_l2_hit_rate(100_000, d, square=True)
+            assert 0.82 <= h <= 0.92

@@ -1,0 +1,102 @@
+"""Tests for the ldmatrix phase model (repro.gpusim.ldmatrix)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim.ldmatrix import (
+    PHASES_X4,
+    count_transactions,
+    load_p_fragment,
+    load_q_fragment,
+    phase_chunk_addresses,
+)
+from repro.gpusim.smem import SharedMemory
+from repro.gpusim.swizzle import layout, store_phase_addresses
+
+
+def _fill_smem(data: np.ndarray, swizzled: bool = True) -> SharedMemory:
+    """Store a (rows, 64) FP16 block fragment the way cp.async phases do."""
+    smem = SharedMemory(n_chunks=data.shape[0] * 8)
+    lay = layout(swizzled)
+    for p in range(data.shape[0]):
+        smem.store_phase(store_phase_addresses(lay, p), data[p].reshape(8, 8))
+    return smem
+
+
+@pytest.fixture(scope="module")
+def block_fragment():
+    rng = np.random.default_rng(42)
+    return rng.standard_normal((128, 64)).astype(np.float16)
+
+
+class TestTransactionCounts:
+    def test_swizzled_x4_is_four_transactions(self):
+        assert count_transactions(layout(True), 0, 16, 0) == PHASES_X4
+
+    def test_row_major_x4_is_32_transactions(self):
+        # 4 phases x 8-way conflict each (paper Section 3.3.8).
+        assert count_transactions(layout(False), 0, 16, 0) == PHASES_X4 * 8
+
+    def test_phase_structure(self):
+        phases = phase_chunk_addresses(layout(True), 0, 16, 0)
+        assert len(phases) == 4
+        assert all(p.shape == (8,) for p in phases)
+
+    @given(st.integers(0, 6), st.integers(0, 3))
+    @settings(max_examples=50, deadline=None)
+    def test_any_fragment_position_conflict_free(self, row16, kslice):
+        txns = count_transactions(layout(True), row16 * 16, 16, 2 * kslice)
+        assert txns == PHASES_X4
+
+
+class TestFunctionalLoads:
+    def test_p_fragment_roundtrip(self, block_fragment):
+        smem = _fill_smem(block_fragment)
+        lay = layout(True)
+        for base in (0, 16, 48, 112):
+            for ks in range(4):
+                frag = load_p_fragment(smem, lay, base, ks)
+                expected = block_fragment[base : base + 16, 16 * ks : 16 * ks + 16]
+                assert np.array_equal(frag, expected)
+
+    def test_q_fragment_is_transposed(self, block_fragment):
+        smem = _fill_smem(block_fragment)
+        lay = layout(True)
+        frag = load_q_fragment(smem, lay, 8, 1)
+        expected = block_fragment[8:16, 16:32].T
+        assert frag.shape == (16, 8)
+        assert np.array_equal(frag, expected)
+
+    def test_row_major_roundtrip_still_correct(self, block_fragment):
+        """The unswizzled layout is slow (conflicts) but not wrong."""
+        smem = _fill_smem(block_fragment, swizzled=False)
+        frag = load_p_fragment(smem, layout(False), 32, 2)
+        assert np.array_equal(frag, block_fragment[32:48, 32:48])
+
+    def test_layout_mismatch_corrupts(self, block_fragment):
+        """Reading with the wrong layout returns permuted data."""
+        smem = _fill_smem(block_fragment, swizzled=True)
+        frag = load_p_fragment(smem, layout(False), 16, 0)
+        assert not np.array_equal(frag, block_fragment[16:32, :16])
+
+
+class TestConflictAccounting:
+    def test_swizzled_tile_zero_conflict_rate(self, block_fragment):
+        smem = _fill_smem(block_fragment, swizzled=True)
+        smem.reset_stats()
+        lay = layout(True)
+        for base in range(0, 128, 16):
+            for ks in range(4):
+                load_p_fragment(smem, lay, base, ks)
+        assert smem.stats.conflict_rate == 0.0
+
+    def test_row_major_tile_conflict_rate(self, block_fragment):
+        smem = _fill_smem(block_fragment, swizzled=False)
+        smem.reset_stats()
+        lay = layout(False)
+        for base in range(0, 128, 16):
+            load_p_fragment(smem, lay, base, 0)
+        # Every phase is an 8-way replay: rate = 1 - 1/8 (paper-scale).
+        assert smem.stats.conflict_rate == pytest.approx(1 - 1 / 8)

@@ -1,0 +1,102 @@
+"""Tests for occupancy and pipeline models (occupancy, pipeline)."""
+
+import pytest
+
+from repro.gpusim.occupancy import (
+    BlockResources,
+    blocks_per_sm,
+    fasted_block_resources,
+)
+from repro.gpusim.pipeline import (
+    PipelineConfig,
+    SINGLE_STAGE_EXPOSURE,
+    STAGE_SYNC_CYCLES,
+    SYNC_COPY_PENALTY,
+    fill_cycles,
+    iteration_cycles,
+)
+from repro.gpusim.spec import A100_PCIE
+
+
+class TestFastedResources:
+    def test_default_config_fits_two_blocks(self):
+        """Paper Section 3.3.6: the configuration targets 2 blocks/SM."""
+        res = fasted_block_resources()
+        assert blocks_per_sm(A100_PCIE, res) == 2
+
+    def test_smem_footprint(self):
+        # 2 stages x 2 fragments x 128 points x 64 dims x 2 B = 128 KiB.
+        res = fasted_block_resources()
+        assert res.smem_bytes_per_block == 2 * 2 * 128 * 64 * 2
+
+    def test_sync_copy_adds_register_pressure(self):
+        sync = fasted_block_resources(async_copy=False)
+        asn = fasted_block_resources(async_copy=True)
+        assert sync.registers_per_thread > asn.registers_per_thread
+
+    def test_single_stage_halves_smem(self):
+        one = fasted_block_resources(pipeline_depth=1)
+        two = fasted_block_resources(pipeline_depth=2)
+        assert one.smem_bytes_per_block * 2 == two.smem_bytes_per_block
+
+
+class TestBlocksPerSm:
+    def test_oom_returns_zero(self):
+        res = BlockResources(128, 32, A100_PCIE.smem_max_block_bytes + 1)
+        assert blocks_per_sm(A100_PCIE, res) == 0
+
+    def test_register_limited(self):
+        res = BlockResources(1024, 64, 0)
+        # 1024 threads x 64 regs = 65536 = the whole SM register file.
+        assert blocks_per_sm(A100_PCIE, res) == 1
+
+    def test_thread_limited(self):
+        res = BlockResources(1024, 16, 0)
+        assert blocks_per_sm(A100_PCIE, res) == 2  # 2048 threads / 1024
+
+    def test_register_granularity_rounds_up(self):
+        res = BlockResources(32, 1, 0)
+        # 32 regs raw -> rounded to a 256-register warp granule.
+        assert res.registers_per_block == 256
+
+
+class TestPipeline:
+    def test_two_stage_is_max_plus_sync(self):
+        cfg = PipelineConfig(async_copy=True, depth=2)
+        assert iteration_cycles(1000, 400, cfg) == 1000 + STAGE_SYNC_CYCLES
+        assert iteration_cycles(400, 1000, cfg) == 1000 + STAGE_SYNC_CYCLES
+
+    def test_single_stage_exposes_memory(self):
+        cfg1 = PipelineConfig(async_copy=True, depth=1)
+        cfg2 = PipelineConfig(async_copy=True, depth=2)
+        assert iteration_cycles(1000, 400, cfg1) == pytest.approx(
+            1000 + 400 * SINGLE_STAGE_EXPOSURE + STAGE_SYNC_CYCLES
+        )
+        assert iteration_cycles(1000, 400, cfg1) > iteration_cycles(1000, 400, cfg2)
+
+    def test_sync_is_serial_and_penalized(self):
+        cfg = PipelineConfig(async_copy=False, depth=1)
+        assert iteration_cycles(1000, 400, cfg) == pytest.approx(
+            1000 + 400 * SYNC_COPY_PENALTY + 2 * STAGE_SYNC_CYCLES
+        )
+
+    def test_regime_ordering(self):
+        """async 2-stage <= async 1-stage <= sync, for any workload."""
+        for c, m in [(100, 100), (2000, 500), (500, 2000)]:
+            t2 = iteration_cycles(c, m, PipelineConfig(True, 2))
+            t1 = iteration_cycles(c, m, PipelineConfig(True, 1))
+            ts = iteration_cycles(c, m, PipelineConfig(False, 1))
+            assert t2 <= t1 <= ts
+
+    def test_fill_scales_with_depth(self):
+        assert fill_cycles(100, PipelineConfig(True, 2)) == 200
+        assert fill_cycles(100, PipelineConfig(True, 1)) == 100
+        assert fill_cycles(100, PipelineConfig(False, 1)) == pytest.approx(
+            100 * SYNC_COPY_PENALTY
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(depth=0)
+        with pytest.raises(ValueError):
+            iteration_cycles(-1, 0, PipelineConfig())

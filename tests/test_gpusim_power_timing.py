@@ -1,0 +1,153 @@
+"""Tests for power throttling and timing resolution (power, timing, boxone)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim.boxone import reuse_requirements
+from repro.gpusim.pipeline import PipelineConfig
+from repro.gpusim.power import (
+    IDLE_CLOCK_HZ,
+    PowerState,
+    ramped_average_clock,
+    throttled_clock,
+)
+from repro.gpusim.spec import A100_PCIE, A100_SXM, V100_SXM2
+from repro.gpusim.timing import KernelCost, ResourceDemand, resolve_timing
+
+
+class TestPowerModel:
+    def test_low_utilization_near_boost(self):
+        state = throttled_clock(A100_PCIE, 0.02, 0.01)
+        assert state.clock_hz > 0.97 * A100_PCIE.boost_clock_hz
+
+    def test_high_utilization_throttles(self):
+        """Paper Table 6: 64% TC utilization throttles 1.41 -> ~1.12 GHz."""
+        state = throttled_clock(A100_PCIE, 0.64, 0.16)
+        assert state.throttled
+        assert 1.05e9 <= state.clock_hz <= 1.20e9
+
+    def test_power_never_exceeds_budget(self):
+        for u in (0.0, 0.3, 0.6, 1.0):
+            state = throttled_clock(A100_PCIE, u, u / 2)
+            assert state.power_w <= A100_PCIE.power_budget_w + 1e-6
+
+    @given(st.floats(0, 1), st.floats(0, 1))
+    @settings(max_examples=100, deadline=None)
+    def test_clock_bounds(self, tc, mem):
+        state = throttled_clock(A100_PCIE, tc, mem)
+        assert 0 < state.clock_hz <= A100_PCIE.boost_clock_hz
+
+    @given(st.floats(0, 0.9))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_utilization(self, u):
+        low = throttled_clock(A100_PCIE, u, 0.1)
+        high = throttled_clock(A100_PCIE, u + 0.1, 0.1)
+        assert high.clock_hz <= low.clock_hz + 1e-6
+
+    def test_sxm_throttles_less(self):
+        """The conclusion's what-if: a 400 W SXM sustains a higher clock."""
+        pcie = throttled_clock(A100_PCIE, 0.64, 0.16)
+        sxm = throttled_clock(A100_SXM, 0.64, 0.16)
+        assert sxm.clock_hz > pcie.clock_hz
+
+    def test_budget_below_static_raises(self):
+        with pytest.raises(ValueError):
+            throttled_clock(A100_PCIE.with_power_budget(10.0), 0.5, 0.1)
+
+
+class TestBoostRamp:
+    def test_long_kernel_reaches_target(self):
+        assert ramped_average_clock(1.4e9, 1.0) == pytest.approx(1.4e9, rel=0.01)
+
+    def test_short_kernel_near_idle(self):
+        avg = ramped_average_clock(1.4e9, 1e-6)
+        assert avg < IDLE_CLOCK_HZ * 1.1
+
+    def test_monotone_in_duration(self):
+        prev = 0.0
+        for t in (1e-5, 1e-4, 1e-3, 1e-2, 1e-1):
+            cur = ramped_average_clock(1.4e9, t)
+            assert cur >= prev
+            prev = cur
+
+
+def _cost(**overrides):
+    demand = ResourceDemand(
+        tc_cycles=2048,
+        smem_load_cycles=1024,
+        issue_cycles=120,
+        gmem_bytes=32768,
+        smem_store_bytes=32768,
+    )
+    base = dict(
+        n_tiles=10_000,
+        chunks_per_tile=16,
+        demand=demand,
+        epilogue_cycles=5000,
+        pipeline=PipelineConfig(True, 2),
+        grid_blocks=216,
+        blocks_per_sm=2,
+        l2_hit_rate=0.875,
+    )
+    base.update(overrides)
+    return KernelCost(**base)
+
+
+class TestResolveTiming:
+    def test_basic_sanity(self):
+        t = resolve_timing(A100_PCIE, _cost())
+        assert t.seconds > 0
+        assert 0 < t.tc_utilization <= 1
+        assert 0 <= t.dram_utilization <= 1
+        assert t.clock_hz <= A100_PCIE.boost_clock_hz
+
+    def test_derived_tflops_below_peak(self):
+        t = resolve_timing(A100_PCIE, _cost())
+        flops = 10_000 * 16 * 2 * 128 * 128 * 64
+        assert t.derived_tflops(flops) < A100_PCIE.fp16_tc_flops / 1e12
+
+    def test_more_chunks_better_utilization(self):
+        short = resolve_timing(A100_PCIE, _cost(chunks_per_tile=1))
+        long = resolve_timing(A100_PCIE, _cost(chunks_per_tile=64))
+        assert long.tc_utilization > short.tc_utilization
+
+    def test_low_hit_rate_slows_kernel(self):
+        good = resolve_timing(A100_PCIE, _cost(l2_hit_rate=0.9))
+        bad = resolve_timing(A100_PCIE, _cost(l2_hit_rate=0.1))
+        assert bad.seconds >= good.seconds
+
+    def test_fixed_overhead_added(self):
+        t0 = resolve_timing(A100_PCIE, _cost())
+        t1 = resolve_timing(A100_PCIE, _cost(fixed_overhead_s=0.5))
+        assert t1.seconds == pytest.approx(t0.seconds + 0.5, rel=1e-6)
+
+    def test_small_grid_wave_quantization(self):
+        few = resolve_timing(A100_PCIE, _cost(n_tiles=217))
+        one_wave = resolve_timing(A100_PCIE, _cost(n_tiles=216))
+        # 217 tiles need two waves of 216 blocks: ~2x the kernel time.
+        assert few.kernel_seconds > 1.5 * one_wave.kernel_seconds
+
+
+class TestBoxOne:
+    def test_paper_numbers(self):
+        """Box #1: ~98x reuse vs L2, ~35x vs shared memory."""
+        req = reuse_requirements(A100_PCIE)
+        assert req.required_l2_reuse == pytest.approx(98, rel=0.03)
+        assert req.required_smem_reuse == pytest.approx(35, rel=0.03)
+
+    def test_fasted_tiles_satisfy_requirements(self):
+        req = reuse_requirements(A100_PCIE)
+        assert req.block_tile_sufficient  # 128 > 98
+        assert req.warp_tile_p_reuse == 8
+        assert req.warp_tile_q_reuse == 4
+        assert req.warp_tile_sufficient  # 32-ish vs 35 via combined grid
+
+    def test_smaller_block_tile_fails(self):
+        req = reuse_requirements(A100_PCIE, block_points=64)
+        assert not req.block_tile_sufficient
+
+    def test_v100_requirements_differ(self):
+        a100 = reuse_requirements(A100_PCIE)
+        v100 = reuse_requirements(V100_SXM2)
+        assert v100.required_l2_reuse != a100.required_l2_reuse

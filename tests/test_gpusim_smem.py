@@ -1,0 +1,115 @@
+"""Tests for the shared-memory bank model (repro.gpusim.smem)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim.smem import (
+    BANK_WIDTH,
+    CHUNKS_PER_ROW,
+    NUM_BANKS,
+    SharedMemory,
+    bank_group_of_chunk,
+    bank_of_byte,
+    conflict_degree,
+)
+
+
+class TestBankArithmetic:
+    def test_bank_of_byte_wraps(self):
+        assert bank_of_byte(0) == 0
+        assert bank_of_byte(4) == 1
+        assert bank_of_byte(BANK_WIDTH * NUM_BANKS) == 0
+
+    def test_bank_group_wraps(self):
+        assert bank_group_of_chunk(0) == 0
+        assert bank_group_of_chunk(7) == 7
+        assert bank_group_of_chunk(8) == 0
+
+    def test_vectorized(self):
+        groups = bank_group_of_chunk(np.arange(16))
+        assert groups.tolist() == list(range(8)) * 2
+
+
+class TestConflictDegree:
+    def test_distinct_groups_no_conflict(self):
+        assert conflict_degree(np.arange(8)) == 1
+
+    def test_same_address_broadcast(self):
+        # Identical addresses broadcast -- not a conflict.
+        assert conflict_degree(np.zeros(8, dtype=int)) == 1
+
+    def test_full_conflict(self):
+        # 8 distinct addresses in the same group: 8-way serialization.
+        assert conflict_degree(np.arange(8) * 8) == 8
+
+    def test_partial_conflict(self):
+        addrs = np.array([0, 8, 1, 2, 3, 4, 5, 6])  # two in group 0
+        assert conflict_degree(addrs) == 2
+
+    def test_empty(self):
+        assert conflict_degree(np.array([], dtype=int)) == 1
+
+    @given(st.lists(st.integers(0, 1023), min_size=1, max_size=8))
+    @settings(max_examples=200, deadline=None)
+    def test_degree_bounds(self, addrs):
+        deg = conflict_degree(np.array(addrs))
+        assert 1 <= deg <= len(addrs)
+
+    @given(st.lists(st.integers(0, 1023), min_size=1, max_size=8))
+    @settings(max_examples=200, deadline=None)
+    def test_degree_invariant_under_permutation(self, addrs):
+        a = np.array(addrs)
+        rng = np.random.default_rng(0)
+        assert conflict_degree(a) == conflict_degree(rng.permutation(a))
+
+
+class TestSharedMemory:
+    def test_store_load_roundtrip(self):
+        smem = SharedMemory(n_chunks=64)
+        vals = np.arange(8 * 8, dtype=np.float16).reshape(8, 8)
+        addrs = np.arange(8) * 8
+        smem.store_phase(addrs, vals)
+        out, deg = smem.load_phase(addrs)
+        assert np.array_equal(out, vals)
+        assert deg == 8  # all in group 0: fully conflicting
+
+    def test_stats_accumulate(self):
+        smem = SharedMemory(n_chunks=64)
+        smem.store_phase(np.arange(8), np.zeros((8, 8), dtype=np.float16))
+        smem.load_phase(np.arange(8))
+        assert smem.stats.store_phases == 1
+        assert smem.stats.store_transactions == 1
+        assert smem.stats.load_phases == 1
+        assert smem.stats.load_transactions == 1
+        assert smem.stats.conflict_rate == 0.0
+
+    def test_conflict_rate_definition(self):
+        smem = SharedMemory(n_chunks=128)
+        smem.load_phase(np.arange(8) * 8)  # 8-way conflict
+        # 1 phase, 8 transactions -> 7/8 replays.
+        assert smem.stats.conflict_rate == pytest.approx(1 - 1 / 8)
+
+    def test_reset_stats_keeps_data(self):
+        smem = SharedMemory(n_chunks=16)
+        vals = np.ones((8, 8), dtype=np.float16)
+        smem.store_phase(np.arange(8), vals)
+        smem.reset_stats()
+        assert smem.stats.store_phases == 0
+        out, _ = smem.load_phase(np.arange(8))
+        assert np.array_equal(out, vals)
+
+    def test_misaligned_shift(self):
+        aligned = SharedMemory(n_chunks=16)
+        misaligned = SharedMemory(n_chunks=16, aligned=False)
+        assert aligned.misalignment_shift == 0
+        assert misaligned.misalignment_shift == CHUNKS_PER_ROW // 2
+
+
+class TestPaperConstants:
+    def test_32_banks_4_bytes(self):
+        """Paper Section 3.3.8: 'Shared memory contains 32 discrete 4B banks'."""
+        assert NUM_BANKS == 32
+        assert BANK_WIDTH == 4
+        assert CHUNKS_PER_ROW * 16 == NUM_BANKS * BANK_WIDTH  # 128 B row

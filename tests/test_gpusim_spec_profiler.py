@@ -1,0 +1,92 @@
+"""Tests for GPU specs, profiler rendering and the transfer-cost model."""
+
+import pytest
+
+from repro.gpusim.profiler import ProfileReport, format_table, oom_report, report_from_timing
+from repro.gpusim.spec import A100_PCIE, A100_SXM, V100_SXM2
+from repro.gpusim import units
+from repro.kernels.base import (
+    PAIR_BYTES,
+    h2d_seconds,
+    result_transfer_seconds,
+)
+from repro.kernels.fasted import FastedKernel
+
+
+class TestUnits:
+    def test_conversions(self):
+        assert units.tb_per_s(1.5) == 1.5e12
+        assert units.ghz(1.41) == 1.41e9
+        assert units.tflops(312) == 3.12e14
+        assert units.as_tflops(1.56e14) == 156.0
+        assert units.bytes_per_cycle(1.41e9 * 10, 1.41e9) == 10.0
+
+
+class TestSpecs:
+    def test_a100_derived_rates(self):
+        # 312 TFLOPS at 1.41 GHz over 108 SMs ~ 2049 FLOP/cycle/SM.
+        per_sm = A100_PCIE.fp16_tc_flops_per_cycle_per_sm
+        assert 2000 < per_sm < 2100
+        assert A100_PCIE.dram_bytes_per_cycle == pytest.approx(1.5e12 / 1.41e9)
+
+    def test_sxm_differs_only_where_expected(self):
+        assert A100_SXM.power_budget_w == 400.0
+        assert A100_SXM.sm_count == A100_PCIE.sm_count
+        assert A100_SXM.fp16_tc_flops == A100_PCIE.fp16_tc_flops
+
+    def test_v100_generation(self):
+        assert V100_SXM2.fp16_tc_flops == 125e12
+        assert V100_SXM2.sm_count == 80
+
+    def test_with_power_budget(self):
+        s = A100_PCIE.with_power_budget(300.0)
+        assert s.power_budget_w == 300.0
+        assert A100_PCIE.power_budget_w == 250.0  # frozen original
+
+
+class TestProfilerRendering:
+    def test_report_from_timing(self):
+        t = FastedKernel().timing(50_000, 256)
+        rep = report_from_timing("FaSTED d=256", t)
+        assert rep.label == "FaSTED d=256"
+        assert 0 <= rep.tc_pipe_utilization_pct <= 100
+        assert len(rep.values()) == len(ProfileReport.ROWS) == 6
+
+    def test_oom_report_renders_oom(self):
+        rep = oom_report("TED d=4096")
+        assert rep.oom
+        assert set(rep.values()) == {"OOM"}
+
+    def test_format_table_structure(self):
+        t = FastedKernel().timing(50_000, 128)
+        text = format_table(
+            [report_from_timing("a", t), oom_report("b")], title="T6"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T6"
+        assert "Bank Conflicts (%)" in text
+        assert "OOM" in text
+        # header + separator + 6 metric rows
+        assert len(lines) == 2 + 1 + 6
+
+
+class TestTransferModel:
+    def test_h2d_scales_with_bytes(self):
+        a = h2d_seconds(A100_PCIE, 10_000, 128, 2)
+        b = h2d_seconds(A100_PCIE, 20_000, 128, 2)
+        assert b > a
+
+    def test_result_transfer_batching(self):
+        # A result set above one batch pays extra launch overheads.
+        small_d2h, small_store = result_transfer_seconds(A100_PCIE, 10**6)
+        big_d2h, big_store = result_transfer_seconds(
+            A100_PCIE, 5 * 10**9, batch_bytes=10**9
+        )
+        assert big_d2h > small_d2h
+        assert big_store > small_store
+        # Store time is bytes / host bandwidth exactly.
+        assert small_store == pytest.approx(10**6 * PAIR_BYTES / 12e9)
+
+    def test_zero_pairs_still_has_launch_cost(self):
+        d2h, store = result_transfer_seconds(A100_PCIE, 0)
+        assert d2h > 0 and store == 0.0

@@ -1,0 +1,86 @@
+"""Tests for the XOR swizzle, Eq. 2 and Figures 5-6 (repro.gpusim.swizzle)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim.smem import CHUNKS_PER_ROW, bank_group_of_chunk, conflict_degree
+from repro.gpusim.swizzle import (
+    layout,
+    load_phase_addresses,
+    row_major_chunk_addr,
+    store_phase_addresses,
+    swizzled_chunk_addr,
+    unswizzle_chunk_addr,
+)
+
+
+class TestEquation2:
+    def test_matches_paper_figure6(self):
+        """Figure 6: row i's slice s lands in bank group s XOR (i mod 8)."""
+        for i in range(8):
+            for s in range(8):
+                addr = swizzled_chunk_addr(i, s)
+                assert bank_group_of_chunk(addr) == (s ^ i)
+
+    def test_row_zero_unchanged(self):
+        # XOR with 0: the first point's row is stored unswizzled.
+        for s in range(8):
+            assert swizzled_chunk_addr(0, s) == s
+
+    def test_rows_stay_in_their_region(self):
+        # Swizzling permutes within a row's 8 chunks, never across rows.
+        for i in range(32):
+            addrs = swizzled_chunk_addr(np.full(8, i), np.arange(8))
+            assert addrs.min() == 8 * i and addrs.max() == 8 * i + 7
+
+    @given(st.integers(0, 10**6), st.integers(0, 7))
+    @settings(max_examples=300, deadline=None)
+    def test_unswizzle_inverts(self, i, s):
+        addr = swizzled_chunk_addr(i, s)
+        ri, rs = unswizzle_chunk_addr(addr)
+        assert (ri, rs) == (i, s)
+
+    @given(st.integers(0, 10**4))
+    @settings(max_examples=200, deadline=None)
+    def test_bijection_per_row(self, i):
+        addrs = swizzled_chunk_addr(np.full(8, i), np.arange(8))
+        assert len(set(addrs.tolist())) == 8
+
+
+class TestConflictProperties:
+    def test_ldmatrix_phase_conflict_free_swizzled(self):
+        """Paper's central claim: every load phase hits 8 distinct groups."""
+        lay = layout(True)
+        for base in range(0, 120, 8):
+            for s in range(8):
+                assert conflict_degree(load_phase_addresses(lay, base, s)) == 1
+
+    def test_ldmatrix_phase_8way_row_major(self):
+        """Figure 5 contrast: row-major gives 8-way conflicts on loads."""
+        lay = layout(False)
+        for s in range(8):
+            assert conflict_degree(load_phase_addresses(lay, 0, s)) == 8
+
+    def test_store_phase_conflict_free_both_layouts(self):
+        """Stores are conflict-free with or without the swizzle (Sec 3.3.8)."""
+        for swz in (True, False):
+            lay = layout(swz)
+            for i in range(16):
+                assert conflict_degree(store_phase_addresses(lay, i)) == 1
+
+    @given(st.integers(0, 15), st.integers(0, 7))
+    @settings(max_examples=100, deadline=None)
+    def test_load_phase_property(self, block, s):
+        """Any aligned 8-row load phase is conflict-free when swizzled."""
+        addrs = load_phase_addresses(layout(True), block * 8, s)
+        assert conflict_degree(addrs) == 1
+
+
+class TestLayoutSelector:
+    def test_selects(self):
+        assert layout(True) is swizzled_chunk_addr
+        assert layout(False) is row_major_chunk_addr
+
+    def test_row_major_identity(self):
+        assert row_major_chunk_addr(3, 5) == 3 * CHUNKS_PER_ROW + 5

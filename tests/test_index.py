@@ -1,0 +1,151 @@
+"""Tests for the grid index and multi-space tree (repro.index)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.grid import GridIndex, variance_order
+from repro.index.mstree import MultiSpaceTree
+
+
+def _clustered(n=300, d=12, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(0, 4, size=(6, d))
+    return centers[rng.integers(0, 6, n)] + rng.normal(0, 0.3, size=(n, d))
+
+
+def _true_neighbor_pairs(data, eps):
+    d2 = ((data[:, None, :] - data[None, :, :]) ** 2).sum(axis=2)
+    mask = d2 <= eps * eps
+    np.fill_diagonal(mask, False)
+    return set(zip(*np.nonzero(mask)))
+
+
+class TestVarianceOrder:
+    def test_orders_by_decreasing_variance(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=(500, 4)) * np.array([1.0, 10.0, 0.1, 5.0])
+        order = variance_order(data)
+        assert order.tolist() == [1, 3, 0, 2]
+
+    def test_permutation(self):
+        data = np.random.default_rng(2).normal(size=(50, 7))
+        assert sorted(variance_order(data).tolist()) == list(range(7))
+
+
+class TestGridIndex:
+    def test_candidates_cover_all_neighbors(self):
+        """Index safety: every true neighbor pair is a candidate pair."""
+        data = _clustered(seed=3)
+        eps = 1.5
+        index = GridIndex(data, eps, n_dims=4)
+        cand_pairs = set()
+        for members, candidates in index.iter_cells():
+            for m in members:
+                cand_pairs.update((int(m), int(c)) for c in candidates)
+        for pair in _true_neighbor_pairs(data, eps):
+            assert pair in cand_pairs
+
+    @given(st.integers(0, 10**6), st.floats(0.3, 3.0), st.integers(1, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_candidate_superset_property(self, seed, eps, r):
+        data = _clustered(100, 8, seed)
+        index = GridIndex(data, eps, n_dims=r)
+        cand = {}
+        for members, candidates in index.iter_cells():
+            cset = set(candidates.tolist())
+            for m in members:
+                cand[int(m)] = cset
+        for i, j in _true_neighbor_pairs(data, eps):
+            assert j in cand[i]
+
+    def test_cells_partition_points(self):
+        data = _clustered(seed=4)
+        index = GridIndex(data, 1.0)
+        seen = []
+        for members, _ in index.iter_cells():
+            seen.extend(members.tolist())
+        assert sorted(seen) == list(range(len(data)))
+
+    def test_stats(self):
+        data = _clustered(seed=5)
+        index = GridIndex(data, 1.0, n_dims=3)
+        stats = index.stats()
+        assert stats.n_points == len(data)
+        assert stats.n_indexed_dims == 3
+        assert stats.total_candidates >= stats.n_points  # self is a candidate
+        assert stats.mean_candidates >= 1.0
+
+    def test_indexed_dims_capped_by_d(self):
+        data = _clustered(50, 4, seed=6)
+        assert GridIndex(data, 1.0, n_dims=10).r == 4
+
+    def test_invalid_eps(self):
+        with pytest.raises(ValueError):
+            GridIndex(_clustered(10, 4, 7), 0.0)
+
+    def test_large_eps_single_cell(self):
+        data = _clustered(seed=8)
+        index = GridIndex(data, 1e6)
+        stats = index.stats()
+        assert stats.total_candidates == len(data) ** 2
+
+
+class TestMultiSpaceTree:
+    def test_candidate_mask_covers_neighbors(self):
+        """Triangle-inequality + bin safety: no true neighbor is pruned."""
+        data = _clustered(seed=9)
+        eps = 1.5
+        tree = MultiSpaceTree(data, eps, n_levels=4, n_candidates=10)
+        truth = _true_neighbor_pairs(data, eps)
+        for i, j in truth:
+            assert tree.candidate_mask_for(i)[j], (i, j)
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_neighbor_safety_property(self, seed):
+        data = _clustered(80, 6, seed)
+        eps = 1.2
+        tree = MultiSpaceTree(data, eps, n_levels=3, n_candidates=8, seed=seed)
+        for i, j in _true_neighbor_pairs(data, eps):
+            assert tree.candidate_mask_for(i)[j]
+
+    def test_self_always_candidate(self):
+        data = _clustered(seed=10)
+        tree = MultiSpaceTree(data, 1.0)
+        for i in (0, 17, 99):
+            assert tree.candidate_mask_for(i)[i]
+
+    def test_more_levels_prune_more(self):
+        data = _clustered(500, 16, seed=11)
+        t2 = MultiSpaceTree(data, 0.8, n_levels=2, n_candidates=10)
+        t6 = MultiSpaceTree(data, 0.8, n_levels=6, n_candidates=10)
+        c2 = t2.candidate_counts(np.arange(50)).sum()
+        c6 = t6.candidate_counts(np.arange(50)).sum()
+        assert c6 <= c2
+
+    def test_iter_groups_covers_all_points(self):
+        data = _clustered(seed=12)
+        tree = MultiSpaceTree(data, 1.0)
+        members_seen = []
+        for members, candidates in tree.iter_groups(group=64):
+            members_seen.extend(members.tolist())
+            # The block's candidate superset must include its own members.
+            assert set(members.tolist()) <= set(candidates.tolist())
+        assert sorted(members_seen) == list(range(len(data)))
+
+    def test_total_candidates_sampling(self):
+        data = _clustered(200, 8, seed=13)
+        tree = MultiSpaceTree(data, 1.0)
+        exact = int(tree.candidate_counts().sum())
+        sampled = tree.total_candidates(sample_size=400)  # > n: exact path
+        assert sampled == exact
+
+    def test_construction_counts_evaluations(self):
+        tree = MultiSpaceTree(_clustered(seed=14), 1.0, n_levels=3, n_candidates=10)
+        assert tree.construction_evaluations == 3 * 10
+
+    def test_invalid_eps(self):
+        with pytest.raises(ValueError):
+            MultiSpaceTree(_clustered(20, 4, 15), -1.0)

@@ -1,0 +1,105 @@
+"""Cross-module integration tests: the full pipeline, end to end."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    epsilon_for_selectivity,
+    overlap_accuracy,
+    distance_error_stats,
+    self_join,
+)
+from repro.core.scaling import fit_scaler
+from repro.data.realworld import load_surrogate
+from repro.fp.fp16 import FP16_MAX
+from repro.kernels.fasted import FastedKernel
+from repro.kernels.fragment_exact import block_tile_sq_dists
+
+
+@pytest.fixture(scope="module")
+def clustered():
+    rng = np.random.default_rng(0)
+    centers = rng.normal(0, 4, size=(10, 40))
+    return centers[rng.integers(0, 10, 600)] + rng.normal(0, 0.4, size=(600, 40))
+
+
+class TestPipeline:
+    def test_calibrate_join_validate(self, clustered):
+        eps = epsilon_for_selectivity(clustered, 32)
+        res = self_join(clustered, eps)
+        truth = self_join(clustered, eps, method="gds-join", precision="fp64")
+        assert 20 <= res.selectivity <= 48
+        assert overlap_accuracy(res, truth) > 0.99
+        stats = distance_error_stats(res, truth)
+        assert abs(stats.mean) < max(3 * stats.std, 1e-9)
+
+    def test_fp16_error_analytic_bound(self, clustered):
+        """Distance error bounded by first-order FP16 perturbation theory.
+
+        Quantizing coordinates perturbs each by at most u*|x| (u = 2^-11);
+        the distance perturbs by at most ||delta_p|| + ||delta_q|| plus the
+        FP32 accumulation noise.
+        """
+        eps = epsilon_for_selectivity(clustered, 32)
+        res = self_join(clustered, eps)
+        truth = self_join(clustered, eps, method="ted-join-brute")
+        stats = distance_error_stats(res, truth)
+        u = 2.0**-11
+        norms = np.sqrt((clustered**2).sum(axis=1))
+        bound = 2 * u * norms.max() + 1e-3 * eps
+        assert np.abs(stats.errors).max() <= 3 * bound
+
+    def test_scaled_pipeline_equivalent(self, clustered):
+        """Scaling + radius mapping returns the same pair set (same FP16
+        relative precision regime on well-conditioned data)."""
+        eps = epsilon_for_selectivity(clustered, 16)
+        scaler = fit_scaler(clustered, center=False, target_fraction=0.001)
+        res_raw = self_join(clustered, eps, store_distances=False)
+        res_scaled = self_join(
+            scaler.transform(clustered),
+            scaler.transform_radius(eps),
+            store_distances=False,
+        )
+        a = set(zip(res_raw.pairs_i.tolist(), res_raw.pairs_j.tolist()))
+        b = set(zip(res_scaled.pairs_i.tolist(), res_scaled.pairs_j.tolist()))
+        # Power-of-two-ish scale factors preserve FP16 rounding almost
+        # everywhere; allow a whisker of boundary flips.
+        assert len(a.symmetric_difference(b)) <= 0.01 * max(len(a), 1)
+
+
+class TestCrossMethodAgreement:
+    @given(st.integers(0, 10**6), st.sampled_from([8, 24, 72]))
+    @settings(max_examples=8, deadline=None)
+    def test_all_methods_same_pairs(self, seed, selectivity):
+        rng = np.random.default_rng(seed)
+        centers = rng.normal(0, 3, size=(6, 24))
+        data = centers[rng.integers(0, 6, 300)] + rng.normal(0, 0.4, (300, 24))
+        eps = epsilon_for_selectivity(data, selectivity, sample=200)
+        truth = self_join(data, eps, method="ted-join-brute", store_distances=False)
+        for method in ("fasted", "gds-join", "mistic", "ted-join-index"):
+            res = self_join(data, eps, method=method, store_distances=False)
+            assert overlap_accuracy(res, truth) > 0.98, method
+
+
+class TestFragmentVsFastEquivalence:
+    def test_tilewise_agreement_on_surrogate(self):
+        """The simulated-hardware path and the fast path agree on real data."""
+        data, _ = load_surrogate("Sift10M", n=32)
+        scaled = data[:, :64] / 16.0  # one k-chunk, FP16-safe products
+        d2_frag = block_tile_sq_dists(scaled[:16], scaled[16:32])
+        k = FastedKernel()
+        q = scaled
+        s = k.precompute_norms(q, mode="rz")
+        d2_fast = k.tile_sq_dists(q[:16], q[16:32], s[:16], s[16:32])
+        assert np.allclose(d2_frag, d2_fast, rtol=1e-4, atol=1e-2)
+
+
+class TestFp16SafetyOnSurrogates:
+    @pytest.mark.parametrize("name", ["Sift10M", "Tiny5M", "Cifar60K", "Gist1M"])
+    def test_no_overflow_anywhere_in_pipeline(self, name):
+        data, _ = load_surrogate(name, n=400)
+        assert np.abs(data).max() < FP16_MAX
+        res = self_join(data, epsilon_for_selectivity(data, 8))
+        assert np.isfinite(res.sq_dists).all()

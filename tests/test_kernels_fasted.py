@@ -1,0 +1,216 @@
+"""Tests for the FaSTED kernel (repro.kernels.fasted, fragment_exact)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fp.mma import gemm_fp16_32
+from repro.kernels.fasted import FastedConfig, FastedKernel, FastedOptimizations
+from repro.kernels.fragment_exact import (
+    block_tile_inner_products,
+    block_tile_sq_dists,
+)
+
+
+def _data(n=300, d=48, seed=0, scale=1.0):
+    return np.random.default_rng(seed).normal(0, scale, size=(n, d))
+
+
+def _brute_fp64_pairs(data, eps):
+    d2 = ((data[:, None, :] - data[None, :, :]) ** 2).sum(axis=2)
+    mask = d2 <= eps * eps
+    np.fill_diagonal(mask, False)
+    return set(zip(*np.nonzero(mask)))
+
+
+class TestConfig:
+    def test_defaults_match_table2(self):
+        cfg = FastedConfig()
+        assert cfg.block_points == 128
+        assert cfg.block_k == 64
+        assert (cfg.warp_tile_m, cfg.warp_tile_n) == (64, 64)
+        assert cfg.warps_per_block == 4
+        assert cfg.dispatch_shape == 8
+        assert cfg.blocks_per_sm == 2
+        assert cfg.pipeline_depth == 2
+
+    def test_padding(self):
+        cfg = FastedConfig()
+        assert cfg.padded_points(1) == 128
+        assert cfg.padded_points(128) == 128
+        assert cfg.padded_points(129) == 256
+        assert cfg.padded_dims(65) == 128  # paper Section 4.2 zero-padding
+        assert cfg.chunks_per_tile(65) == 2
+
+    def test_tile_count(self):
+        cfg = FastedConfig()
+        assert cfg.n_tiles(256) == 4
+        assert cfg.n_tiles(1000) == 64
+
+    def test_total_flops_uses_padded_sizes(self):
+        cfg = FastedConfig()
+        assert cfg.total_flops(100, 60) == 2.0 * 128 * 128 * 64
+
+
+class TestOptimizationFlags:
+    def test_leave_one_out_has_eight_entries(self):
+        loo = FastedOptimizations.leave_one_out()
+        assert len(loo) == 8
+        for name, opts in loo.items():
+            assert getattr(opts, name) is False
+
+    def test_async_disables_pipeline_too(self):
+        """Paper footnote 9: sync copies cannot be pipelined."""
+        opts = FastedOptimizations().disable("memcpy_async")
+        assert not opts.memcpy_async and not opts.multistage_pipeline
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            FastedOptimizations().disable("turbo_mode")
+
+
+class TestFunctionalSelfJoin:
+    def test_matches_fp64_brute_force(self):
+        data = _data(200, 32, seed=1)
+        eps = 6.0
+        res = FastedKernel().self_join(data, eps)
+        got = set(zip(res.pairs_i.tolist(), res.pairs_j.tolist()))
+        want = _brute_fp64_pairs(data, eps)
+        # FP16 rounding may flip pairs within a narrow band of the radius.
+        boundary = {
+            (i, j)
+            for (i, j) in got.symmetric_difference(want)
+            if abs(np.sqrt(((data[i] - data[j]) ** 2).sum()) - eps) < 0.01
+        }
+        assert got.symmetric_difference(want) == boundary
+
+    def test_result_symmetric(self):
+        res = FastedKernel().self_join(_data(150, 16, 2), 5.0)
+        pairs = set(zip(res.pairs_i.tolist(), res.pairs_j.tolist()))
+        assert all((j, i) in pairs for (i, j) in pairs)
+
+    def test_no_self_pairs(self):
+        res = FastedKernel().self_join(_data(100, 8, 3), 100.0)
+        assert np.all(res.pairs_i != res.pairs_j)
+
+    def test_blocking_invariance(self):
+        """Row-block size is a performance knob: results must not change."""
+        data = _data(300, 24, 4)
+        a = FastedKernel().self_join(data, 4.0, row_block=64).sorted_copy()
+        b = FastedKernel().self_join(data, 4.0, row_block=999).sorted_copy()
+        assert np.array_equal(a.pairs_i, b.pairs_i)
+        assert np.array_equal(a.pairs_j, b.pairs_j)
+
+    def test_store_distances_flag(self):
+        data = _data(80, 8, 5)
+        with_d = FastedKernel().self_join(data, 3.0, store_distances=True)
+        without = FastedKernel().self_join(data, 3.0, store_distances=False)
+        assert with_d.sq_dists.size == with_d.pairs_i.size
+        assert without.sq_dists.size == 0
+
+    @given(st.floats(0.5, 2.0), st.floats(1.01, 2.0), st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_eps_monotonicity(self, eps, factor, seed):
+        data = np.random.default_rng(seed).normal(size=(120, 12))
+        small = FastedKernel().self_join(data, eps, store_distances=False)
+        large = FastedKernel().self_join(data, eps * factor, store_distances=False)
+        sp = set(zip(small.pairs_i.tolist(), small.pairs_j.tolist()))
+        lp = set(zip(large.pairs_i.tolist(), large.pairs_j.tolist()))
+        assert sp <= lp
+
+    def test_zero_result(self):
+        res = FastedKernel().self_join(_data(64, 8, 6), 1e-9)
+        assert res.pairs_i.size == 0
+        assert res.selectivity == 0.0
+
+
+class TestMatchedRounding:
+    def test_norm_modes(self):
+        data = _data(50, 64, 7, scale=10)
+        k = FastedKernel()
+        near = k.precompute_norms(data, mode="nearest")
+        rz = k.precompute_norms(data, mode="rz")
+        assert np.all(rz.astype(np.float64) <= near.astype(np.float64) + 1e-3)
+        with pytest.raises(ValueError):
+            k.precompute_norms(data, mode="stochastic")
+
+    def test_fast_path_is_unbiased(self):
+        """Matched round-nearest norms + GEMM: no systematic distance bias."""
+        data = _data(400, 96, 8)
+        # Typical pairwise distance is sqrt(2 * 96) ~ 13.9; eps=14 keeps
+        # roughly half the pairs, giving a large error sample.
+        res = FastedKernel().self_join(data, 14.0)
+        exact = np.sqrt(
+            ((data[res.pairs_i] - data[res.pairs_j]) ** 2).sum(axis=1)
+        )
+        err = np.sqrt(res.sq_dists.astype(np.float64)) - exact
+        # Bias well below the noise scale (paper Table 8's property).
+        assert abs(err.mean()) < 0.2 * err.std() + 1e-9
+
+
+class TestFragmentExactPath:
+    def test_matches_fast_gemm(self):
+        rng = np.random.default_rng(9)
+        p = rng.normal(size=(32, 64))
+        q = rng.normal(size=(16, 64))
+        tile, txns = block_tile_inner_products(p, q)
+        ref = gemm_fp16_32(p, q)
+        assert np.allclose(tile, ref, rtol=1e-5, atol=1e-5)
+        # Swizzled path: conflict-free, so transactions == phases.  P is
+        # loaded once per (k-slice, row block) = 8 x4-ldmatrix (4 phases
+        # each); Q is re-read per P row block = 16 x2-loads (2 phases each).
+        assert txns == 8 * 4 + 16 * 2
+
+    def test_row_major_same_values_more_transactions(self):
+        rng = np.random.default_rng(10)
+        p = rng.normal(size=(16, 64))
+        q = rng.normal(size=(8, 64))
+        t_sw, n_sw = block_tile_inner_products(p, q, swizzled=True)
+        t_rm, n_rm = block_tile_inner_products(p, q, swizzled=False)
+        assert np.array_equal(t_sw, t_rm)
+        assert n_rm == 8 * n_sw  # 8-way conflicts on every phase
+
+    def test_sq_dists_match_self_join(self):
+        rng = np.random.default_rng(11)
+        pts = rng.normal(size=(16, 64))
+        d2 = block_tile_sq_dists(pts, pts)
+        exact = ((pts[:, None, :] - pts[None, :, :]) ** 2).sum(axis=2)
+        assert np.allclose(d2, exact, atol=0.05)
+        assert np.allclose(np.diag(d2), 0.0, atol=1e-3)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            block_tile_inner_products(np.zeros((15, 64)), np.zeros((8, 64)))
+        with pytest.raises(ValueError):
+            block_tile_inner_products(np.zeros((16, 60)), np.zeros((8, 60)))
+
+
+class TestTimingInterface:
+    def test_timing_reasonable(self):
+        k = FastedKernel()
+        t = k.timing(10_000, 256)
+        assert t.seconds > 0
+        assert t.tc_utilization < 1.0
+
+    def test_tflops_increase_with_d(self):
+        k = FastedKernel()
+        vals = [k.derived_tflops(100_000, d) for d in (64, 256, 1024, 4096)]
+        assert vals == sorted(vals)
+
+    def test_tflops_increase_with_n_then_saturate(self):
+        k = FastedKernel()
+        small = k.derived_tflops(1_000, 4096)
+        big = k.derived_tflops(100_000, 4096)
+        assert big > small
+
+    def test_every_ablation_hurts(self):
+        base = FastedKernel().derived_tflops(100_000, 4096)
+        for name, opts in FastedOptimizations.leave_one_out().items():
+            k = FastedKernel(config=FastedConfig(opts=opts))
+            assert k.derived_tflops(100_000, 4096) < base, name
+
+    def test_response_time_components(self):
+        rt = FastedKernel().response_time(10_000, 128, n_result_pairs=640_000)
+        assert rt.h2d_s > 0 and rt.kernel_s > 0 and rt.d2h_s > 0
+        assert rt.total_s >= rt.kernel_s
