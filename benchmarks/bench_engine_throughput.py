@@ -1,0 +1,162 @@
+"""Join-engine throughput benchmark: the perf trajectory for future PRs.
+
+Measures, at the standard working point (n=4096):
+
+* ``rz_sum_squares`` at d=256 -- current implementation vs the seed
+  (nextafter-per-chunk) implementation, with a bit-identity check.
+* TED-Join-Brute self-join at d=64 -- engine (symmetric tiles) vs the seed
+  full-matrix loop, with a bit-identity check.
+* Pairs/sec of every kernel's self-join at d=64.
+
+Writes ``BENCH_engine.json`` at the repository root.  Run standalone:
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import statistics
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.selectivity import epsilon_for_selectivity
+from repro.fp import native
+from repro.fp.fp16 import to_fp16
+from repro.fp.rounding import round_toward_zero_f32_reference, rz_sum_squares
+from repro.kernels.fasted import FastedKernel
+from repro.kernels.gdsjoin import GdsJoinKernel
+from repro.kernels.mistic import MisticKernel
+from repro.kernels.reference import joins_bit_identical, seed_ted_brute_join
+from repro.kernels.tedjoin import TedJoinKernel
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+N_POINTS = 4096
+RZ_DIMS = 256
+JOIN_DIMS = 64
+SELECTIVITY = 64
+
+
+# ----------------------------------------------------------------------
+# Seed implementations (pre-engine), kept verbatim as the baseline
+# ----------------------------------------------------------------------
+
+
+def seed_rz_sum_squares(points: np.ndarray, step: int = 4) -> np.ndarray:
+    q = to_fp16(points).astype(np.float32).astype(np.float64)
+    v = q * q
+    acc = np.zeros(v.shape[:-1], dtype=np.float32)
+    for start in range(0, v.shape[-1], step):
+        chunk = v[..., start : start + step].sum(axis=-1)
+        acc = round_toward_zero_f32_reference(acc.astype(np.float64) + chunk)
+    return acc
+
+
+# ----------------------------------------------------------------------
+
+
+def median_seconds(fn, *, reps: int = 5, warmup: int = 1) -> float:
+    for _ in range(warmup):
+        fn()
+    times = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return statistics.median(times)
+
+
+def bench_rz(rng: np.random.Generator) -> dict:
+    pts = rng.normal(size=(N_POINTS, RZ_DIMS))
+    new = rz_sum_squares(pts)
+    seed = seed_rz_sum_squares(pts)
+    identical = bool(
+        np.array_equal(new.view(np.uint32), seed.view(np.uint32))
+    )
+    t_seed = median_seconds(lambda: seed_rz_sum_squares(pts))
+    t_new = median_seconds(lambda: rz_sum_squares(pts), reps=9)
+    return {
+        "n": N_POINTS,
+        "d": RZ_DIMS,
+        "seed_seconds": t_seed,
+        "engine_seconds": t_new,
+        "speedup": t_seed / t_new,
+        "bit_identical": identical,
+        "native_kernel": native.available(),
+    }
+
+
+def bench_ted_brute(data: np.ndarray, eps: float) -> dict:
+    kern = TedJoinKernel(variant="brute")
+    new = kern.self_join(data, eps).result
+    seed = seed_ted_brute_join(data, eps)
+    identical = joins_bit_identical(new, seed)
+    t_seed = median_seconds(lambda: seed_ted_brute_join(data, eps), reps=5)
+    t_new = median_seconds(lambda: kern.self_join(data, eps), reps=5)
+    return {
+        "n": N_POINTS,
+        "d": JOIN_DIMS,
+        "seed_seconds": t_seed,
+        "engine_seconds": t_new,
+        "speedup": t_seed / t_new,
+        "bit_identical": identical,
+        "result_pairs": int(new.pairs_i.size),
+    }
+
+
+def bench_kernels(data: np.ndarray, eps: float) -> dict:
+    runs = {
+        "fasted": lambda: FastedKernel().self_join(data, eps),
+        "ted-join-brute": lambda: TedJoinKernel(variant="brute")
+        .self_join(data, eps)
+        .result,
+        "ted-join-index": lambda: TedJoinKernel(variant="index")
+        .self_join(data, eps)
+        .result,
+        "gds-join": lambda: GdsJoinKernel().self_join(data, eps).result,
+        "mistic": lambda: MisticKernel().self_join(data, eps).result,
+    }
+    out = {}
+    for name, fn in runs.items():
+        pairs = int(fn().pairs_i.size)
+        seconds = median_seconds(fn, reps=3)
+        out[name] = {
+            "seconds": seconds,
+            "result_pairs": pairs,
+            "pairs_per_sec": pairs / seconds if seconds else float("inf"),
+        }
+    return out
+
+
+def main() -> dict:
+    rng = np.random.default_rng(0)
+    data = rng.normal(size=(N_POINTS, JOIN_DIMS))
+    eps = float(epsilon_for_selectivity(data, SELECTIVITY))
+    report = {
+        "config": {
+            "n": N_POINTS,
+            "join_d": JOIN_DIMS,
+            "rz_d": RZ_DIMS,
+            "eps": eps,
+            "target_selectivity": SELECTIVITY,
+            "numpy": np.__version__,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "native_rz_kernel": native.available(),
+        },
+        "rz_sum_squares": bench_rz(rng),
+        "ted_join_brute": bench_ted_brute(data, eps),
+        "kernel_pairs_per_sec": bench_kernels(data, eps),
+    }
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {OUT_PATH}")
+    return report
+
+
+if __name__ == "__main__":
+    main()

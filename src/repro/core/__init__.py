@@ -6,7 +6,12 @@ from repro.core.accuracy import (
     overlap_accuracy,
 )
 from repro.core.api import METHODS, pairwise_sq_dists, self_join
-from repro.core.results import NeighborResult, from_dense_mask
+from repro.core.engine import (
+    candidate_self_join,
+    norm_expansion_sq_dists,
+    symmetric_self_join,
+)
+from repro.core.results import NeighborResult, PairAccumulator, from_dense_mask
 from repro.core.selectivity import (
     epsilon_for_selectivity,
     measured_selectivity,
@@ -18,7 +23,11 @@ __all__ = [
     "self_join",
     "pairwise_sq_dists",
     "NeighborResult",
+    "PairAccumulator",
     "from_dense_mask",
+    "symmetric_self_join",
+    "candidate_self_join",
+    "norm_expansion_sq_dists",
     "epsilon_for_selectivity",
     "measured_selectivity",
     "sampled_pairwise_distances",

@@ -130,7 +130,7 @@ def pairwise_sq_dists(
         d2 = sa[:, None] + sb[None, :] - 2.0 * (wa @ wb.T)
     else:
         raise ValueError(f"unknown precision {precision!r}")
-    return np.maximum(d2, 0.0, out=np.asarray(d2))
+    return np.maximum(d2, 0.0, out=d2)
 
 
 __all__ = [

@@ -1,0 +1,231 @@
+"""Shared vectorized join-engine: the functional hot path of every kernel.
+
+Architecture
+------------
+All four simulated kernels (FaSTED, TED-Join, GDS-Join, MiSTIC) compute the
+same thing functionally -- "which candidate pairs are within ``eps``" -- and
+before this module existed each re-implemented its own tile loop, its own
+Python-list pair accumulation, and its own diagonal/mirror bookkeeping.  The
+engine factors that shell out so a kernel only supplies the *numerics*: a
+callback producing the squared-distance block for a tile or candidate group,
+in whatever precision that kernel models (FP16-32, FP32, FP64).
+
+Two execution shapes cover every kernel:
+
+* :func:`symmetric_self_join` -- dense/brute kernels.  The point set is cut
+  into ``row_block`` tiles and only the upper triangle of the tile grid
+  (``c0 >= r0``) is computed; off-diagonal tiles are mirrored into both
+  pair directions, halving the GEMM work.  ``dist(i, j) == dist(j, i)``
+  holds bitwise for every precision here because float addition is
+  commutative and BLAS dot products do not depend on the operand block's
+  position, so mirroring is *bit-identical* to computing the full matrix
+  (tests/test_engine.py pins this against re-implementations of the seed
+  kernels).  Tiles can optionally be dispatched to a thread pool
+  (``workers``); NumPy/BLAS release the GIL for the heavy ops, results are
+  committed in deterministic tile order either way.
+
+* :func:`candidate_self_join` -- index-backed kernels.  Iterates
+  ``(members, candidates)`` groups from a grid/tree index, evaluates the
+  kernel's distance block per group (optionally chunking very wide
+  candidate lists to bound temporaries), filters by ``eps^2``, drops self
+  pairs, and accumulates.
+
+Both shapes emit into a :class:`repro.core.results.PairAccumulator` --
+preallocated, geometrically grown arrays -- instead of per-tile Python
+lists, and hand back the accumulator so the kernel can attach its own
+metadata (padded candidate counts, short-circuit profiles) via the
+``on_group`` hook without re-iterating the index.
+
+The timing paths of the kernels are untouched: the engine is purely the
+functional executor (ROADMAP lists "engine-backed timing-path reuse" as a
+follow-on).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Iterator
+
+import numpy as np
+
+from repro.core.results import PairAccumulator
+
+#: ``tile_fn(r0, r1, c0, c1)`` returns the squared-distance block for points
+#: ``[r0:r1]`` x ``[c0:c1]`` in the kernel's working precision.
+TileFn = Callable[[int, int, int, int], np.ndarray]
+
+#: ``dist_fn(members, candidates)`` returns the squared-distance block for
+#: two index arrays into the dataset.
+GroupDistFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def norm_expansion_sq_dists(
+    s_row: np.ndarray, s_col: np.ndarray, gram: np.ndarray
+) -> np.ndarray:
+    """``max(0, (s_i + s_j) - 2*gram)`` computed in place on ``gram``.
+
+    The shared Step-3 recombination of every kernel.  Elementwise order is
+    exactly ``(s_row[:, None] + s_col[None, :]) - 2.0 * gram`` so results
+    are bit-identical to the naive expression in any precision, but only
+    one temporary (the broadcast norm sum) is allocated; the scale,
+    subtract, and clamp reuse the gram buffer.
+    """
+    t = s_row[:, None] + s_col[None, :]
+    np.multiply(gram, 2.0, out=gram)
+    np.subtract(t, gram, out=gram)
+    return np.maximum(gram, 0.0, out=gram)
+
+
+def iter_symmetric_tiles(
+    n: int, row_block: int
+) -> Iterator[tuple[int, int, int, int]]:
+    """Upper-triangle tile coordinates ``(r0, r1, c0, c1)`` with ``c0 >= r0``."""
+    for r0 in range(0, n, row_block):
+        r1 = min(r0 + row_block, n)
+        for c0 in range(r0, n, row_block):
+            yield r0, r1, c0, min(c0 + row_block, n)
+
+
+def _extract_tile(
+    tile_fn: TileFn,
+    eps2: float,
+    store_distances: bool,
+    tile: tuple[int, int, int, int],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """Evaluate one tile and extract its in-range pairs (global indices)."""
+    r0, r1, c0, c1 = tile
+    d2 = tile_fn(r0, r1, c0, c1)
+    mask = d2 <= eps2
+    if c0 == r0:
+        np.fill_diagonal(mask, False)
+    ii, jj = np.nonzero(mask)
+    gi = ii.astype(np.int64)
+    gi += r0
+    gj = jj.astype(np.int64)
+    gj += c0
+    dd = d2[ii, jj].astype(np.float32) if store_distances else None
+    return gi, gj, dd
+
+
+def symmetric_self_join(
+    n: int,
+    eps2: float,
+    tile_fn: TileFn,
+    *,
+    row_block: int = 2048,
+    store_distances: bool = True,
+    workers: int = 0,
+) -> PairAccumulator:
+    """Tiled self-join over the upper triangle of the tile grid.
+
+    Only tiles with ``c0 >= r0`` are evaluated; for off-diagonal tiles both
+    pair directions are emitted from the one evaluation.  Diagonal tiles
+    already contain both directions and get their self-pair diagonal
+    cleared.
+
+    Parameters
+    ----------
+    n:
+        Number of points.
+    eps2:
+        Squared radius in the kernel's working precision (pairs with
+        ``d2 <= eps2`` are kept, matching every kernel's seed semantics).
+    tile_fn:
+        Kernel numerics; see :data:`TileFn`.
+    row_block:
+        Tile edge (performance knob only -- results are identical for any
+        value).
+    store_distances:
+        Track per-pair squared distances.
+    workers:
+        When > 1, evaluate tiles in a thread pool of this size (off by
+        default).  BLAS/NumPy release the GIL for the heavy ops; pairs are
+        committed in tile order, so results are deterministic and identical
+        to the serial path.
+    """
+    acc = PairAccumulator(store_distances=store_distances)
+    tiles = list(iter_symmetric_tiles(n, row_block))
+
+    def commit(
+        tile: tuple[int, int, int, int],
+        extracted: tuple[np.ndarray, np.ndarray, np.ndarray | None],
+    ) -> None:
+        gi, gj, dd = extracted
+        acc.append(gi, gj, dd)
+        if tile[2] != tile[0]:  # mirrored direction of an off-diagonal tile
+            acc.append(gj, gi, dd)
+
+    if workers and workers > 1 and len(tiles) > 1:
+        # Windowed submission: keep only ~2x workers tiles in flight so
+        # finished-but-uncommitted results never pile up (commit order is
+        # still strictly tile order -> deterministic output).
+        window = 2 * int(workers)
+        pending: deque = deque()
+        with ThreadPoolExecutor(max_workers=int(workers)) as pool:
+            for tile in tiles:
+                pending.append(
+                    (tile, pool.submit(_extract_tile, tile_fn, eps2, store_distances, tile))
+                )
+                if len(pending) >= window:
+                    head, fut = pending.popleft()
+                    commit(head, fut.result())
+            while pending:
+                head, fut = pending.popleft()
+                commit(head, fut.result())
+    else:
+        for tile in tiles:
+            commit(tile, _extract_tile(tile_fn, eps2, store_distances, tile))
+    return acc
+
+
+def candidate_self_join(
+    groups: Iterable[tuple[np.ndarray, np.ndarray]],
+    dist_fn: GroupDistFn,
+    eps2: float,
+    *,
+    store_distances: bool = True,
+    candidate_chunk: int | None = None,
+    on_group: Callable[[np.ndarray, np.ndarray], None] | None = None,
+) -> PairAccumulator:
+    """Index-backed self-join over ``(members, candidates)`` groups.
+
+    Parameters
+    ----------
+    groups:
+        Iterable of ``(members, candidates)`` global-index arrays, as
+        produced by ``GridIndex.iter_cells`` or ``MultiSpaceTree.iter_groups``.
+    dist_fn:
+        Kernel numerics; see :data:`GroupDistFn`.
+    eps2:
+        Squared radius in the kernel's working precision.
+    store_distances:
+        Track per-pair squared distances.
+    candidate_chunk:
+        Evaluate at most this many candidates per ``dist_fn`` call to bound
+        the temporary block (None: whole group at once).
+    on_group:
+        Statistics hook invoked once per nonempty group *before* evaluation
+        -- kernels use it to tally candidate counts / sampling without a
+        second index pass.
+    """
+    acc = PairAccumulator(store_distances=store_distances)
+    for members, candidates in groups:
+        if members.size == 0 or candidates.size == 0:
+            continue
+        if on_group is not None:
+            on_group(members, candidates)
+        chunk = candidate_chunk or candidates.size
+        for c0 in range(0, candidates.size, chunk):
+            cand = candidates[c0 : c0 + chunk]
+            d2 = dist_fn(members, cand)
+            mask = d2 <= eps2
+            mi, cj = np.nonzero(mask)
+            gi = members[mi]
+            gj = cand[cj]
+            keep = gi != gj
+            dd = None
+            if store_distances:
+                dd = d2[mi, cj][keep].astype(np.float32)
+            acc.append(gi[keep], gj[keep], dd)
+    return acc

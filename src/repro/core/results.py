@@ -9,6 +9,9 @@ interesting output.
 
 Pairs are stored as parallel ``int64`` arrays (structure-of-arrays -- the
 HPC-friendly layout) with optional squared distances for accuracy studies.
+:class:`PairAccumulator` is the builder used by the join engine: a
+preallocated, geometrically grown buffer that replaces per-tile Python-list
+appends plus one big ``concatenate`` with amortized O(1) bulk copies.
 """
 
 from __future__ import annotations
@@ -105,6 +108,98 @@ class NeighborResult:
             pairs_i=self.pairs_i[order],
             pairs_j=self.pairs_j[order],
             sq_dists=sq,
+        )
+
+
+class PairAccumulator:
+    """Growable structure-of-arrays buffer for join result pairs.
+
+    The join kernels emit pairs tile by tile; collecting them in Python
+    lists and concatenating at the end costs one object + one array header
+    per tile and a full extra copy at finalization.  This accumulator keeps
+    three preallocated arrays (``i``, ``j``, optional squared distance) and
+    doubles capacity on demand, so emitting a tile is a bounds check plus
+    bulk slice assignments.
+
+    Parameters
+    ----------
+    store_distances:
+        Track a float32 squared distance per pair.
+    capacity:
+        Initial capacity in pairs.
+    """
+
+    __slots__ = ("_i", "_j", "_d", "_size")
+
+    def __init__(self, *, store_distances: bool = True, capacity: int = 1024) -> None:
+        capacity = max(int(capacity), 1)
+        self._i = np.empty(capacity, dtype=np.int64)
+        self._j = np.empty(capacity, dtype=np.int64)
+        self._d = np.empty(capacity, dtype=np.float32) if store_distances else None
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def store_distances(self) -> bool:
+        return self._d is not None
+
+    @property
+    def capacity(self) -> int:
+        return self._i.size
+
+    def _reserve(self, extra: int) -> None:
+        need = self._size + extra
+        cap = self._i.size
+        if need <= cap:
+            return
+        while cap < need:
+            cap *= 2
+        for name in ("_i", "_j", "_d"):
+            old = getattr(self, name)
+            if old is None:
+                continue
+            new = np.empty(cap, dtype=old.dtype)
+            new[: self._size] = old[: self._size]
+            setattr(self, name, new)
+
+    def append(
+        self,
+        pairs_i: np.ndarray,
+        pairs_j: np.ndarray,
+        sq_dists: np.ndarray | None = None,
+    ) -> None:
+        """Bulk-append parallel pair arrays (and distances when tracked)."""
+        m = len(pairs_i)
+        if len(pairs_j) != m:
+            raise ValueError("pairs_i and pairs_j must be parallel arrays")
+        if self._d is not None and (sq_dists is None or len(sq_dists) != m):
+            raise ValueError("sq_dists required (and parallel) when tracked")
+        if m == 0:
+            return
+        self._reserve(m)
+        s, e = self._size, self._size + m
+        self._i[s:e] = pairs_i
+        self._j[s:e] = pairs_j
+        if self._d is not None:
+            self._d[s:e] = sq_dists
+        self._size = e
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Compacted ``(pairs_i, pairs_j, sq_dists)`` copies."""
+        sq = (
+            self._d[: self._size].copy()
+            if self._d is not None
+            else np.empty(0, np.float32)
+        )
+        return self._i[: self._size].copy(), self._j[: self._size].copy(), sq
+
+    def finalize(self, n_points: int, eps: float) -> NeighborResult:
+        """Build the :class:`NeighborResult` and release the buffers."""
+        pairs_i, pairs_j, sq = self.arrays()
+        return NeighborResult(
+            n_points=n_points, eps=eps, pairs_i=pairs_i, pairs_j=pairs_j, sq_dists=sq
         )
 
 

@@ -1,0 +1,83 @@
+/* Native fast path for the FaSTED squared-norm precompute.
+ *
+ * Implements rz_sum_squares (repro/fp/rounding.py) as one fused pass:
+ * FP16-grid quantization, exact per-chunk sums of squares, and the
+ * round-toward-zero float32 normalization after every chunk.
+ *
+ * Bit-exactness contract (validated against the NumPy implementation and
+ * the nextafter oracle in tests/test_fp_rounding.py):
+ *
+ * - quant_f16 returns exactly numpy `x.astype(float16).astype(float64)`:
+ *   round-to-nearest-even onto the binary16 grid, computed in the float64
+ *   domain so no double rounding can occur.  Normal-range values round via
+ *   integer mantissa rounding (carry propagates into the exponent, which
+ *   also realizes the 65520 -> inf overflow after the >= 65536 check);
+ *   subnormal-range values (|x| < 2^-14) round via the magic-constant
+ *   trick: adding 1.5*2^28 forces the FPU to round at the absolute
+ *   2^-24 grid spacing of binary16 subnormals.  Requires the default
+ *   round-to-nearest FP environment and strict IEEE semantics (never
+ *   compile this file with -ffast-math).
+ *
+ * - The RZ normalization uses the mantissa-mask identity: for values that
+ *   are zero, inf, NaN, or inside the float32 normal range, truncating a
+ *   float64 toward zero onto the float32 grid is clearing the low 29
+ *   mantissa bits.  Sums of squares of binary16 values satisfy this
+ *   structurally: a nonzero square is at least 2^-48 (far above the
+ *   2^-126 float32 normal boundary) and the total stays far below 2^128.
+ */
+
+#include <math.h>
+#include <stdint.h>
+#include <string.h>
+
+static inline uint64_t d2u(double x) {
+    uint64_t u;
+    memcpy(&u, &x, sizeof u);
+    return u;
+}
+
+static inline double u2d(uint64_t u) {
+    double x;
+    memcpy(&x, &u, sizeof u);
+    return x;
+}
+
+/* Round a float64 to the binary16 grid (RNE), returned as float64. */
+static inline double quant_f16(double x) {
+    uint64_t b = d2u(x);
+    uint64_t mag = b & 0x7FFFFFFFFFFFFFFFULL;
+    if (mag >= 0x7FF0000000000000ULL) /* inf or NaN: unchanged */
+        return x;
+    if (u2d(mag) < 0x1p-14) { /* binary16 subnormal range */
+        const double C = 0x1.8p+28; /* 1.5 * 2^28: ulp(C) == 2^-24 */
+        return (x + C) - C;
+    }
+    /* RNE to a 10-bit significand: add the rounding increment (half ulp,
+     * minus one when the kept lsb is even so ties go to even) and clear
+     * the 42 discarded mantissa bits; a carry bumps the exponent. */
+    uint64_t r = (b + 0x1FFFFFFFFFFULL + ((b >> 42) & 1ULL)) &
+                 ~((uint64_t)0x3FFFFFFFFFFULL);
+    double q = u2d(r);
+    if (fabs(q) >= 65536.0) /* rounded past binary16's largest finite */
+        return copysign(INFINITY, x);
+    return q;
+}
+
+/* out[i] = RZ-chunked sum of squares of the FP16-quantized row i. */
+void rz_sum_squares_f16grid(const double *pts, long long n, long long d,
+                            long long step, float *out) {
+    for (long long i = 0; i < n; i++) {
+        const double *row = pts + i * d;
+        double acc = 0.0;
+        for (long long c = 0; c < d; c += step) {
+            long long e = c + step < d ? c + step : d;
+            double s = 0.0;
+            for (long long t = c; t < e; t++) {
+                double q = quant_f16(row[t]);
+                s += q * q;
+            }
+            acc = u2d(d2u(acc + s) & 0xFFFFFFFFE0000000ULL);
+        }
+        out[i] = (float)acc;
+    }
+}

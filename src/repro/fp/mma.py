@@ -73,6 +73,9 @@ def mma_m16n8k16(
         return d + a32 @ b32
     # Hardware: k=16 is executed as four sequential k=4 HMMA steps, each
     # accumulating 4 exact products plus the running value with one RZ.
+    # The per-step sum order is kept exactly as the reference accumulation
+    # (ascending k within the step): products of mixed magnitudes can span
+    # more than 53 bits, so reduction order matters for bit-identity.
     for start in range(0, k, HMMA_STEP_K):
         # products[i, j, t] = a[i, start+t] * b[start+t, j], exact in FP32.
         prods = (

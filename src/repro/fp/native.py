@@ -1,0 +1,175 @@
+"""Optional native (C) fast path for the RZ squared-norm precompute.
+
+The NumPy implementation of :func:`repro.fp.rounding.rz_sum_squares` is
+vectorized but still pays several full-array passes (FP16 cast, widening,
+einsum, truncation chain).  This module JIT-builds ``_rz_native.c`` -- a
+single fused pass over the data -- with whatever C compiler the host has,
+and exposes it through :func:`rz_sum_squares_native`.
+
+Design rules:
+
+* **Always optional.**  Any failure (no compiler, sandboxed tmp, odd
+  platform) degrades silently to ``None`` and callers fall back to the
+  NumPy path.  ``REPRO_NATIVE=0`` disables the build outright.
+* **Bit-exact or absent.**  The C kernel implements the same verified bit
+  algorithm as the NumPy path (see the header comment in ``_rz_native.c``);
+  tests/test_fp_rounding.py cross-checks it against the oracle whenever the
+  build succeeds.
+* **Cached.**  The shared object lands in a private (0700, ownership
+  checked) per-user cache directory, keyed by a hash of the C source and
+  the compile environment, so rebuilds only happen when either changes and
+  no attacker-controlled path is ever dlopen'ed.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import platform
+import subprocess
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+_SOURCE = Path(__file__).with_name("_rz_native.c")
+
+#: Build/load attempted (the result may be None).
+_tried = False
+_lib: ctypes.CDLL | None = None
+
+
+def _cache_dir() -> Path | None:
+    """Private per-user build cache; never trust shared world-writable dirs.
+
+    The shared object is later dlopen'ed, so the directory must be owned by
+    us and not writable by others -- otherwise another local user could
+    plant a library at the predictable path.
+    """
+    if not hasattr(os, "getuid"):
+        # Non-POSIX platform: no meaningful ownership check is possible,
+        # so the native path stays off and NumPy serves every call.
+        return None
+    base = Path(tempfile.gettempdir()) / f"repro-native-{os.getuid()}"
+    try:
+        base.mkdir(mode=0o700, exist_ok=True)
+        st = base.stat()
+        if st.st_uid != os.getuid() or (st.st_mode & 0o022):
+            return None
+    except OSError:
+        return None
+    return base
+
+
+def _build() -> ctypes.CDLL | None:
+    if os.environ.get("REPRO_NATIVE", "1") == "0":
+        return None
+    try:
+        src = _SOURCE.read_text()
+    except OSError:
+        return None
+    cache = _cache_dir()
+    if cache is None:
+        return None
+    # Key on source AND the compile environment: -march=native objects are
+    # not portable across machines sharing a filesystem, and 'x86_64' alone
+    # does not distinguish microarchitectures -- fold in the host's CPU
+    # identity (/proc/cpuinfo model+flags) and hostname so heterogeneous
+    # nodes sharing a tempdir never dlopen each other's builds.
+    cpu = f"{platform.machine()}\0{platform.node()}"
+    try:
+        with open("/proc/cpuinfo") as fh:
+            for line in fh:
+                if not line.strip():
+                    break  # end of the first processor block
+                if line.startswith(("model name", "flags", "Features")):
+                    cpu += "\0" + line.strip()
+    except OSError:
+        pass
+    tag = hashlib.sha256(
+        f"{src}\0{os.environ.get('CC', 'cc')}\0{cpu}".encode()
+    ).hexdigest()[:16]
+    so_path = cache / f"rz_native_{tag}.so"
+    if not so_path.exists():
+        tmp = so_path.with_suffix(f".{os.getpid()}.tmp")
+        cmd = [
+            os.environ.get("CC", "cc"),
+            "-O3",
+            "-march=native",
+            "-fno-math-errno",
+            "-shared",
+            "-fPIC",
+            str(_SOURCE),
+            "-o",
+            str(tmp),
+            "-lm",
+        ]
+        try:
+            subprocess.run(
+                cmd, check=True, capture_output=True, timeout=60
+            )
+            os.replace(tmp, so_path)  # atomic: concurrent builders agree
+        except (OSError, subprocess.SubprocessError):
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return None
+    try:
+        lib = ctypes.CDLL(str(so_path))
+        fn = lib.rz_sum_squares_f16grid
+        fn.restype = None
+        fn.argtypes = [
+            ctypes.POINTER(ctypes.c_double),
+            ctypes.c_longlong,
+            ctypes.c_longlong,
+            ctypes.c_longlong,
+            ctypes.POINTER(ctypes.c_float),
+        ]
+        return lib
+    except (OSError, AttributeError):
+        return None
+
+
+def _get() -> ctypes.CDLL | None:
+    global _tried, _lib
+    if not _tried:
+        _lib = _build()
+        _tried = True
+    return _lib
+
+
+def available() -> bool:
+    """True when the native kernel built and loaded on this host."""
+    return _get() is not None
+
+
+def rz_sum_squares_native(points: np.ndarray, step: int) -> np.ndarray | None:
+    """Fused native ``rz_sum_squares`` or ``None`` when unavailable.
+
+    Accepts any 2-D array; inputs are staged to C-contiguous float64
+    (a no-op for the common case).
+    """
+    lib = _get()
+    if lib is None:
+        return None
+    pts = np.ascontiguousarray(points, dtype=np.float64)
+    if pts.ndim != 2 or step < 1 or step >= 8:
+        # The C loop sums chunk terms in ascending order, which matches
+        # NumPy's reduction only below its 8-term pairwise threshold;
+        # longer (non-default) steps stay on the NumPy path.
+        return None
+    n, d = pts.shape
+    out = np.empty(n, dtype=np.float32)
+    if n and d:
+        lib.rz_sum_squares_f16grid(
+            pts.ctypes.data_as(ctypes.POINTER(ctypes.c_double)),
+            n,
+            d,
+            step,
+            out.ctypes.data_as(ctypes.POINTER(ctypes.c_float)),
+        )
+    elif n:
+        out[:] = 0.0
+    return out

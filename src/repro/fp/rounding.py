@@ -13,7 +13,9 @@ Step 1 of Section 3.1).
 This module implements:
 
 * :func:`round_toward_zero_f32` -- correctly-rounded-toward-zero conversion of
-  float64 values to float32 (vectorized).
+  float64 values to float32 (vectorized, branch-free bit manipulation).
+* :func:`round_toward_zero_f32_reference` -- the original ``nextafter``-based
+  implementation, kept as the oracle the bit-twiddling path is tested against.
 * :func:`tc_accumulate_rz` -- one hardware accumulation step: exact multi-term
   sum followed by a single RZ normalization to FP32.
 * :func:`rz_sum` / :func:`rz_sum_squares` -- sequential chunked RZ reductions
@@ -24,6 +26,26 @@ are exactly representable in FP32 (22-bit significand product fits in 24
 bits), and a sum of <= 2**29 FP32 values is exactly representable in float64
 (53-bit significand vs 24-bit operands), so carrying the "infinitely precise"
 intermediate sum in float64 is *exact* for every chunk size used here.
+
+Performance notes
+-----------------
+The RZ conversion exploits the sign-magnitude layout of IEEE floats: the
+round-to-nearest float32 either equals the RZ result or overshoots it by
+exactly one ulp, and stepping one ulp toward zero is a *decrement of the raw
+float32 bit pattern* (valid for normals, subnormals, and inf -> FLT_MAX
+alike).  Subtracting the boolean overshoot mask from the ``uint32`` view
+therefore replaces the old ``np.nextafter``/``np.where`` branch with a single
+branch-free integer op -- the dominant cost of the seed implementation.
+
+The chunked reductions additionally avoid per-chunk float32 round trips
+whenever the data allows: for values whose running sums stay inside the
+float32 *normal* range (the sum-of-squares case by construction), RZ to
+float32 of a float64 intermediate is plain mantissa truncation, i.e. clearing
+the low 29 bits of the float64 view -- the accumulator never has to leave
+float64, and one ``bitwise_and`` per chunk replaces the whole convert /
+compare / correct sequence.  All chunk sums are precomputed up front in a
+few strided vectorized adds (preserving the seed's per-chunk reduction
+order) instead of one slice-sum per chunk.
 """
 
 from __future__ import annotations
@@ -33,13 +55,50 @@ import numpy as np
 #: Number of k-terms accumulated per hardware HMMA step (k=4 for FP16-32).
 HMMA_STEP_K = 4
 
+#: float64 has 52 explicit mantissa bits, float32 has 23: truncating a
+#: float64 value to the float32 grid clears the low 29 bits -- valid while
+#: the value is zero, inf, nan, or inside the float32 *normal* exponent
+#: range (subnormal float32 results need coarser truncation).
+_TRUNC_MASK = np.uint64(0xFFFF_FFFF_E000_0000)
+
+#: Smallest positive normal float32 (2**-126): below this, mantissa-mask
+#: truncation of the float64 view is no longer the float32 RZ result.
+_F32_MIN_NORMAL = float(np.finfo(np.float32).tiny)
+
+#: 2**128: float64 values at or above this exceed the float32 exponent
+#: range even after truncation.
+_F32_SUP = float(2.0**128)
+
+
+def round_toward_zero_f32_reference(x: np.ndarray | float) -> np.ndarray:
+    """Reference RZ conversion via ``nextafter`` (the oracle used in tests).
+
+    Semantically identical to :func:`round_toward_zero_f32`; kept because its
+    correctness is obvious from the IEEE-754 definitions: round to nearest,
+    then step one ulp toward zero whenever the nearest rounding overshot the
+    true magnitude.
+    """
+    x64 = np.asarray(x, dtype=np.float64)
+    with np.errstate(over="ignore"):
+        f32 = x64.astype(np.float32)
+    overshoot = np.abs(f32.astype(np.float64)) > np.abs(x64)
+    if np.any(overshoot):
+        pulled = np.nextafter(f32, np.float32(0.0))
+        f32 = np.where(overshoot, pulled, f32)
+    return f32
+
 
 def round_toward_zero_f32(x: np.ndarray | float) -> np.ndarray:
     """Round float64 value(s) to float32 using round-toward-zero.
 
     NumPy's ``astype(float32)`` rounds to nearest-even; hardware RZ never
-    increases magnitude.  We first round to nearest and then step one ulp
-    toward zero whenever the nearest-rounding overshot the true magnitude.
+    increases magnitude.  The nearest rounding either equals the RZ result
+    or overshoots it by exactly one ulp, and one ulp toward zero is a raw
+    bit-pattern decrement (IEEE floats are sign-magnitude ordered), so the
+    correction is ``bits -= overshoot`` -- branch-free and allocation-light,
+    with no ``nextafter`` libm call.  ``inf - 1`` in bit space is FLT_MAX,
+    which is exactly the RZ result for finite values beyond the float32
+    range; NaN never registers as overshooting.
 
     Parameters
     ----------
@@ -53,14 +112,13 @@ def round_toward_zero_f32(x: np.ndarray | float) -> np.ndarray:
         not exceed ``|x|`` (i.e. truncation of the significand).
     """
     x64 = np.asarray(x, dtype=np.float64)
-    f32 = x64.astype(np.float32)
-    # Where |f32| > |x| the nearest rounding moved away from zero: pull back
-    # one ulp toward zero. Comparing in float64 is exact because every float32
-    # is exactly representable in float64.
+    with np.errstate(over="ignore"):
+        f32 = x64.astype(np.float32)
+    # Comparing in float64 is exact because every float32 is exactly
+    # representable in float64.
     overshoot = np.abs(f32.astype(np.float64)) > np.abs(x64)
-    if np.any(overshoot):
-        pulled = np.nextafter(f32, np.float32(0.0))
-        f32 = np.where(overshoot, pulled, f32)
+    bits = f32.view(np.uint32)
+    np.subtract(bits, overshoot, out=bits, casting="unsafe")
     return f32
 
 
@@ -87,6 +145,107 @@ def tc_accumulate_rz(c: np.ndarray, products: np.ndarray) -> np.ndarray:
     return round_toward_zero_f32(exact)
 
 
+def _chunk_sums(v: np.ndarray, step: int) -> np.ndarray:
+    """Exact float64 chunk sums, chunk-major: ``out[t] = v[..., t*step:(t+1)*step].sum``.
+
+    A ragged tail chunk is summed at its true length: np.sum's reduction
+    tree depends on the axis length (sequential below 8 elements, 8-way
+    pairwise above), so padding the tail to ``step`` would change the
+    association of inexact sums and break bit-identity with the seed's
+    per-chunk slice sums.  Full chunks reduce over a length-``step`` axis
+    exactly as the seed's slices do.  (einsum is avoided throughout for the
+    same reason -- its multi-accumulator reduction reorders inexact sums,
+    and even FP16 squares can span more than 53 bits within one chunk.)
+    """
+    n = v.shape[-1]
+    n_chunks = -(-n // step)
+    full = (n // step) * step
+    with np.errstate(invalid="ignore", over="ignore"):
+        if step < 8 and full:
+            # Sequential-order fast path: np.sum over an axis shorter than
+            # 8 accumulates terms in ascending order, which is exactly a
+            # chain of in-place adds over the strided term slices -- one
+            # vectorized add per term instead of a slow tiny-axis reduce.
+            body = v[..., 0:full:step].astype(np.float64, copy=True)
+            for t in range(1, step):
+                np.add(body, v[..., t:full:step], out=body)
+        elif full:
+            body = v[..., :full].reshape(v.shape[:-1] + (n // step, step)).sum(axis=-1)
+        else:
+            body = np.zeros(v.shape[:-1] + (0,), dtype=np.float64)
+        if full != n:
+            tail = v[..., full:].sum(axis=-1)
+            body = np.concatenate([body, tail[..., None]], axis=-1)
+    assert body.shape[-1] == n_chunks
+    return np.ascontiguousarray(np.moveaxis(body, -1, 0))
+
+
+def _masked_reduce_safe(chunk_sums: np.ndarray) -> bool:
+    """True when mantissa-mask truncation is exact for this reduction.
+
+    Sufficient conditions: every chunk sum is non-negative (so running sums
+    never cancel back into the float32 subnormal range) and every nonzero
+    chunk sum is at least FLT_MIN_NORMAL, with the total staying below
+    2**128.  Then each partial sum is 0, inf, nan-free and inside the
+    float32 normal range, where RZ == clear-low-29-bits of the float64 view.
+    """
+    lo = chunk_sums.min()
+    if not lo >= 0.0:  # also rejects NaN
+        return False
+    if not np.all((chunk_sums >= _F32_MIN_NORMAL) | (chunk_sums == 0.0)):
+        return False
+    with np.errstate(over="ignore", invalid="ignore"):
+        total = chunk_sums.sum(axis=0).max()
+    # Monotone non-negative prefixes are bounded by the total, so a finite
+    # total below 2**128 keeps every partial sum in truncation-safe range.
+    # (An infinite total could hide finite prefixes beyond 2**128, where
+    # the RZ result is FLT_MAX, not a masked float64 -- fall back.)
+    return bool(np.isfinite(total)) and total < _F32_SUP
+
+
+def _rz_reduce(chunk_sums: np.ndarray, *, assume_safe: bool = False) -> np.ndarray:
+    """Sequential RZ reduction over chunk-major exact float64 chunk sums.
+
+    ``assume_safe=True`` skips the :func:`_masked_reduce_safe` scan for
+    callers that guarantee its preconditions structurally (sums of squares
+    of FP16 values are 0, +inf, or >= 2**-48, and bounded by d * 65504**2).
+    """
+    n_chunks = chunk_sums.shape[0]
+    shape = chunk_sums.shape[1:]
+    if chunk_sums.size == 0:
+        # Zero-size batch (e.g. an empty leading dimension): nothing to
+        # reduce, and the safety scan below cannot run on empty arrays.
+        return np.zeros(shape, dtype=np.float32)
+    if assume_safe or _masked_reduce_safe(chunk_sums):
+        # Truncation-by-masking: the accumulator lives in float64 and every
+        # RZ normalization is one bitwise_and clearing the low 29 mantissa
+        # bits (exact for 0 / inf / nan / normal-range values, which the
+        # guard established).  Two ufunc calls per chunk, no casts.
+        acc = np.zeros(shape, dtype=np.float64)
+        bits = acc.view(np.uint64)
+        for t in range(n_chunks):
+            np.add(acc, chunk_sums[t], out=acc)
+            np.bitwise_and(bits, _TRUNC_MASK, out=bits)
+        return acc.astype(np.float32)
+    # General path: float32 accumulator with the branch-free decrement
+    # correction of round_toward_zero_f32, using preallocated scratch.
+    f32 = np.zeros(shape, dtype=np.float32)
+    bits = f32.view(np.uint32)
+    acc64 = np.empty(shape, dtype=np.float64)
+    mag64 = np.empty(shape, dtype=np.float64)
+    over = np.empty(shape, dtype=bool)
+    with np.errstate(over="ignore", invalid="ignore"):
+        for t in range(n_chunks):
+            np.add(f32, chunk_sums[t], out=acc64)  # exact: f32 widens exactly
+            np.copyto(f32, acc64, casting="unsafe")  # round to nearest
+            np.copyto(mag64, f32, casting="unsafe")  # back to f64, exact
+            np.abs(mag64, out=mag64)
+            np.abs(acc64, out=acc64)
+            np.greater(mag64, acc64, out=over)
+            np.subtract(bits, over, out=bits, casting="unsafe")
+    return f32
+
+
 def rz_sum(values: np.ndarray, axis: int = -1, step: int = HMMA_STEP_K) -> np.ndarray:
     """Chunked sequential sum with RZ normalization after every chunk.
 
@@ -95,6 +254,11 @@ def rz_sum(values: np.ndarray, axis: int = -1, step: int = HMMA_STEP_K) -> np.nd
     For non-negative inputs the result never exceeds the exact sum (each
     truncation only reduces magnitude) -- a property verified by the test
     suite.
+
+    The chunk sums are precomputed in one vectorized pass and the sequential
+    truncation chain runs in two ufunc calls per chunk (see the module
+    docstring); results are bit-identical to the one-chunk-at-a-time seed
+    implementation for every input.
 
     Parameters
     ----------
@@ -111,12 +275,9 @@ def rz_sum(values: np.ndarray, axis: int = -1, step: int = HMMA_STEP_K) -> np.nd
         float32 array with ``axis`` removed.
     """
     v = np.moveaxis(np.asarray(values, dtype=np.float64), axis, -1)
-    n = v.shape[-1]
-    acc = np.zeros(v.shape[:-1], dtype=np.float32)
-    for start in range(0, n, step):
-        chunk = v[..., start : start + step].sum(axis=-1)
-        acc = round_toward_zero_f32(acc.astype(np.float64) + chunk)
-    return acc
+    if v.shape[-1] == 0:
+        return np.zeros(v.shape[:-1], dtype=np.float32)
+    return _rz_reduce(_chunk_sums(v, step))
 
 
 def rz_sum_squares(points: np.ndarray, step: int = HMMA_STEP_K) -> np.ndarray:
@@ -126,6 +287,14 @@ def rz_sum_squares(points: np.ndarray, step: int = HMMA_STEP_K) -> np.ndarray:
     FP16-quantized coordinates, rounding toward zero to match the tensor-core
     rounding of the cross-term GEMM so the recombination
     ``dist^2 = s_i + s_j - 2 a_ij`` does not introduce a systematic bias.
+
+    The whole pipeline is vectorized: quantization widens FP16 -> float64
+    exactly, squares are exact elementwise, chunk sums run in the seed's
+    sequential term order (one strided add per term -- squares of mixed
+    magnitudes can span more than 53 bits, so reduction *order* matters for
+    bit-identity), and the RZ chain runs on the always-safe mantissa-mask
+    path (a nonzero square of an FP16 value is at least 2**-48, far above
+    the float32 subnormal boundary, and the total cannot reach 2**128).
 
     Parameters
     ----------
@@ -137,7 +306,28 @@ def rz_sum_squares(points: np.ndarray, step: int = HMMA_STEP_K) -> np.ndarray:
     numpy.ndarray
         ``(n,)`` float32 array of squared norms.
     """
-    from repro.fp.fp16 import quantize_fp16
+    from repro.fp.fp16 import to_fp16
 
-    q = quantize_fp16(points).astype(np.float64)
-    return rz_sum(q * q, axis=-1, step=step)
+    points = np.asarray(points)
+    if points.ndim != 2:
+        # Rank-agnostic fallback (single points, batched stacks): reduce
+        # over the last axis exactly like the (n, d) hot path.
+        q = to_fp16(points).astype(np.float64)
+        return rz_sum(q * q, axis=-1, step=step)
+    from repro.fp.native import rz_sum_squares_native
+
+    native = rz_sum_squares_native(points, step)
+    if native is not None:
+        return native
+
+    q = to_fp16(points).astype(np.float64)  # exact widening of the FP16 grid
+    n, d = q.shape
+    if d == 0 or n == 0:
+        return np.zeros(n, dtype=np.float32)
+    with np.errstate(invalid="ignore"):
+        chunk_sums = _chunk_sums(q * q, step)  # squares exact elementwise
+    # Squares never cancel, so a NaN in the input is the only way a chunk
+    # sum goes NaN; inf coordinates square to +inf, which the masked path
+    # truncates exactly.  One cheap reduce decides instead of a full scan.
+    safe = not bool(np.isnan(chunk_sums.max()))
+    return _rz_reduce(chunk_sums, assume_safe=safe)

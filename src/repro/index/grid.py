@@ -13,7 +13,14 @@ The same structure backs TED-Join-Index's candidate generation.
 The implementation is fully vectorized: cell ids are computed with one
 ``floordiv`` + row hashing, points are grouped by sorting, and candidates
 are produced per *cell* (every point in a cell shares its candidate set),
-which is exactly how the GPU algorithms batch their work.
+which is exactly how the GPU algorithms batch their work.  Neighbor-cell
+adjacency is resolved in one batched pass: occupied cells are encoded to
+scalar keys whose numeric order equals the lexicographic cell order, and
+all ``cells x 3^r`` neighbor probes become a single ``np.searchsorted``
+over the sorted keys (chunked to bound temporaries) instead of 3^r Python
+dict lookups per cell.  The adjacency is built once and shared by
+candidate generation and :meth:`GridIndex.stats`, and per-cell candidate
+arrays requested through :meth:`GridIndex.candidates_of_cell` are cached.
 """
 
 from __future__ import annotations
@@ -22,6 +29,16 @@ from dataclasses import dataclass
 from itertools import product
 
 import numpy as np
+
+#: Probe-matrix budget for the batched adjacency pass (cells per chunk is
+#: derived from this so a chunk's ``cells x 3^r`` int64 block stays small).
+_ADJACENCY_CHUNK_ELEMS = 4_000_000
+
+#: Cap on the total int64 entries retained by the per-cell candidate-array
+#: cache (~32 MB).  On dense data the sum of all candidate arrays is
+#: O(n^2); the cache keeps hot cells fast without letting a scan over
+#: every cell pin that much memory.
+_CAND_CACHE_MAX_ELEMS = 4_000_000
 
 
 def variance_order(data: np.ndarray) -> np.ndarray:
@@ -93,45 +110,180 @@ class GridIndex:
         change = np.any(np.diff(sorted_cells, axis=0) != 0, axis=1)
         starts = np.concatenate(([0], np.nonzero(change)[0] + 1))
         ends = np.concatenate((starts[1:], [self.n_points]))
-        self._cell_keys = [tuple(sorted_cells[s]) for s in starts]
-        self._cell_slices = {
-            key: (int(s), int(e)) for key, s, e in zip(self._cell_keys, starts, ends)
-        }
+        self._starts = starts
+        self._ends = ends
+        #: Occupied cell coordinates in lexicographic order, shape (C, r).
+        self._unique = np.ascontiguousarray(sorted_cells[starts])
+        self._cell_keys = [tuple(row) for row in self._unique]
+        #: Single key -> occupied-cell-index mapping; slices come from
+        #: _starts/_ends so there is one source of truth for cell extents.
+        self._cell_id = {key: i for i, key in enumerate(self._cell_keys)}
+        # Lazily built batched adjacency (CSR over occupied-cell indices)
+        # and the per-cell candidate-array cache it feeds.
+        self._nbr_indptr: np.ndarray | None = None
+        self._nbr_cells: np.ndarray | None = None
+        self._cand_cache: dict[int, np.ndarray] = {}
+        self._cand_cache_elems = 0
+
+    # ------------------------------------------------------------------
+    # Batched neighbor-cell adjacency
+    # ------------------------------------------------------------------
+
+    def _encode(self) -> tuple[np.ndarray, np.ndarray] | None:
+        """Scalar cell keys preserving lexicographic order, or None.
+
+        Encodes each occupied cell as a mixed-radix integer with one digit
+        per indexed dimension; digit ranges leave one-slot margins so every
+        ±1 neighbor offset stays a valid (collision-free) encoding.  Returns
+        ``(keys, offset_deltas)`` or None when the coordinate spans are so
+        wide the encoding would overflow int64 (pathological eps).
+        """
+        unique = self._unique
+        mins = unique.min(axis=0)
+        maxs = unique.max(axis=0)
+        # Overflow guard must run in float64 *before* any int64 span math:
+        # extreme coordinate ranges (|cell| ~ 2**62) would wrap the int64
+        # subtraction itself and corrupt the keys silently.
+        spans_f = maxs.astype(np.float64) - mins.astype(np.float64) + 3.0
+        if float(np.prod(spans_f)) >= 2.0**62:
+            return None
+        spans = maxs - mins + 3  # +2: margin for +-1 probes (now wrap-safe)
+        strides = np.ones(self.r, dtype=np.int64)
+        for k in range(self.r - 2, -1, -1):
+            strides[k] = strides[k + 1] * spans[k + 1]
+        keys = ((unique - mins + 1) * strides).sum(axis=1)
+        offsets = np.array(
+            list(product((-1, 0, 1), repeat=self.r)), dtype=np.int64
+        ).reshape(-1, self.r)
+        deltas = (offsets * strides).sum(axis=1)
+        return keys, deltas
+
+    def _build_adjacency(self) -> None:
+        """One vectorized pass resolving every cell's 3^r neighbor probes."""
+        if self._nbr_indptr is not None:
+            return
+        n_cells = len(self._cell_keys)
+        encoded = self._encode() if n_cells else None
+        if encoded is None:
+            # Fallback for degenerate geometry: per-cell dict probes in the
+            # same (-1, 0, 1)-product order.
+            rows: list[list[int]] = []
+            for key in self._cell_keys:
+                hits = []
+                for offset in product((-1, 0, 1), repeat=self.r):
+                    nkey = tuple(k + o for k, o in zip(key, offset))
+                    ci = self._cell_id.get(nkey)
+                    if ci is not None:
+                        hits.append(ci)
+                rows.append(hits)
+            counts = np.array([len(h) for h in rows], dtype=np.int64)
+            self._nbr_indptr = np.concatenate(([0], np.cumsum(counts)))
+            self._nbr_cells = np.array(
+                [c for h in rows for c in h], dtype=np.int64
+            )
+            return
+        keys, deltas = encoded
+        fan = deltas.size
+        chunk = max(1, _ADJACENCY_CHUNK_ELEMS // fan)
+        counts = np.empty(n_cells, dtype=np.int64)
+        hit_chunks: list[np.ndarray] = []
+        for b0 in range(0, n_cells, chunk):
+            b1 = min(b0 + chunk, n_cells)
+            probes = keys[b0:b1, None] + deltas[None, :]
+            idx = np.searchsorted(keys, probes.ravel())
+            np.clip(idx, 0, n_cells - 1, out=idx)
+            valid = (keys[idx] == probes.ravel()).reshape(b1 - b0, fan)
+            counts[b0:b1] = valid.sum(axis=1)
+            # Row-major selection keeps the probe (offset-product) order
+            # within each cell, matching the reference iteration order.
+            hit_chunks.append(idx.reshape(b1 - b0, fan)[valid])
+        self._nbr_indptr = np.concatenate(([0], np.cumsum(counts)))
+        self._nbr_cells = (
+            np.concatenate(hit_chunks) if hit_chunks else np.empty(0, np.int64)
+        )
+
+    def _neighbor_cells(self, cell_index: int) -> np.ndarray:
+        """Occupied-cell indices adjacent to one cell (itself included)."""
+        self._build_adjacency()
+        s, e = self._nbr_indptr[cell_index], self._nbr_indptr[cell_index + 1]
+        return self._nbr_cells[s:e]
 
     # ------------------------------------------------------------------
 
     def points_in_cell(self, key: tuple[int, ...]) -> np.ndarray:
         """Original indices of the points in one cell."""
-        se = self._cell_slices.get(key)
-        if se is None:
+        ci = self._cell_id.get(tuple(key))
+        if ci is None:
             return np.empty(0, dtype=np.int64)
-        s, e = se
-        return self._sort[s:e]
+        return self._sort[self._starts[ci] : self._ends[ci]]
+
+    def _candidates_of_index(self, cell_index: int, *, cache: bool) -> np.ndarray:
+        cached = self._cand_cache.get(cell_index)
+        if cached is not None:
+            return cached
+        nbrs = self._neighbor_cells(cell_index)
+        out = np.concatenate(
+            [self._sort[self._starts[b] : self._ends[b]] for b in nbrs]
+        ) if nbrs.size else np.empty(0, dtype=np.int64)
+        if cache and self._cand_cache_elems + out.size <= _CAND_CACHE_MAX_ELEMS:
+            # Cached arrays are handed out on every later query: freeze
+            # them so an in-place edit by a caller fails loudly instead of
+            # silently corrupting the index.
+            out.flags.writeable = False
+            self._cand_cache[cell_index] = out
+            self._cand_cache_elems += out.size
+        return out
 
     def candidates_of_cell(self, key: tuple[int, ...]) -> np.ndarray:
-        """Candidate indices for a cell: points in the 3^r adjacent cells."""
+        """Candidate indices for a cell: points in the 3^r adjacent cells.
+
+        The key does not have to be occupied -- a query point can land in
+        an empty cell whose neighbors hold points.  Occupied-cell queries
+        are cached and reuse the batched adjacency; the returned array may
+        be that shared cache entry and is then read-only (copy it before
+        mutating).  Empty-cell queries probe the neighbor offsets directly
+        (unbounded key space, so no cache) and return fresh arrays.
+        """
+        key = tuple(key)
+        ci = self._cell_id.get(key)
+        if ci is not None:
+            return self._candidates_of_index(ci, cache=True)
         chunks = []
         for offset in product((-1, 0, 1), repeat=self.r):
-            nkey = tuple(k + o for k, o in zip(key, offset))
-            se = self._cell_slices.get(nkey)
-            if se is not None:
-                chunks.append(self._sort[se[0] : se[1]])
+            nb = self._cell_id.get(tuple(k + o for k, o in zip(key, offset)))
+            if nb is not None:
+                chunks.append(self._sort[self._starts[nb] : self._ends[nb]])
         if not chunks:
             return np.empty(0, dtype=np.int64)
         return np.concatenate(chunks)
 
     def iter_cells(self):
-        """Yield ``(members, candidates)`` index arrays per nonempty cell."""
-        for key in self._cell_keys:
-            yield self.points_in_cell(key), self.candidates_of_cell(key)
+        """Yield ``(members, candidates)`` index arrays per nonempty cell.
+
+        Bulk scans reuse any cached arrays but do not populate the cache
+        (one transient candidate array at a time keeps memory bounded,
+        matching the kernels' streaming consumption).
+        """
+        self._build_adjacency()
+        for ci in range(len(self._cell_keys)):
+            members = self._sort[self._starts[ci] : self._ends[ci]]
+            yield members, self._candidates_of_index(ci, cache=False)
 
     def stats(self) -> GridStats:
-        """Candidate-count statistics (drives the baselines' cost models)."""
-        total = 0
-        for key in self._cell_keys:
-            members = self._cell_slices[key]
-            n_members = members[1] - members[0]
-            total += n_members * int(self.candidates_of_cell(key).size)
+        """Candidate-count statistics (drives the baselines' cost models).
+
+        Computed from the shared adjacency in a few reductions -- candidate
+        arrays are never materialized (nor recomputed) for this.
+        """
+        self._build_adjacency()
+        member_counts = self._ends - self._starts
+        if member_counts.size:
+            cand_sizes = np.add.reduceat(
+                member_counts[self._nbr_cells], self._nbr_indptr[:-1]
+            )
+            total = int((member_counts * cand_sizes).sum())
+        else:
+            total = 0
         return GridStats(
             n_points=self.n_points,
             n_indexed_dims=self.r,

@@ -26,6 +26,7 @@ from dataclasses import dataclass, fields, replace
 
 import numpy as np
 
+from repro.core.engine import norm_expansion_sq_dists, symmetric_self_join
 from repro.core.results import NeighborResult
 from repro.fp.fp16 import quantize_fp16
 from repro.fp.mma import gemm_fp16_32
@@ -164,9 +165,7 @@ class FastedKernel:
         Returns squared distances, clamped at zero (FP16 rounding can push
         tiny distances negative).
         """
-        a = gemm_fp16_32(p_block, q_block)
-        d2 = s_p[:, None] + s_q[None, :] - 2.0 * a
-        return np.maximum(d2, 0.0, out=d2)
+        return norm_expansion_sq_dists(s_p, s_q, gemm_fp16_32(p_block, q_block))
 
     def self_join(
         self,
@@ -175,8 +174,14 @@ class FastedKernel:
         *,
         store_distances: bool = True,
         row_block: int = 2048,
+        workers: int = 0,
     ) -> NeighborResult:
         """Compute the distance-similarity self-join with FaSTED numerics.
+
+        The tile loop runs on the shared symmetric executor
+        (:func:`repro.core.engine.symmetric_self_join`): only ``c0 >= r0``
+        tiles are evaluated and off-diagonal tiles are mirrored, exactly as
+        the GPU kernel's work queue does.
 
         Parameters
         ----------
@@ -189,7 +194,11 @@ class FastedKernel:
             experiments; costs one float32 per pair).
         row_block:
             Functional blocking factor for the NumPy GEMM -- a performance
-            knob only, results are identical for any value.
+            knob only: the pair set is identical for any value (low-order
+            distance bits can vary with BLAS tile-shape specialization).
+        workers:
+            Optional thread-pool width for tile dispatch (engine feature,
+            off by default; results are identical either way).
         """
         data = np.ascontiguousarray(data, dtype=np.float64)
         n = data.shape[0]
@@ -199,44 +208,20 @@ class FastedKernel:
         # ties resolve the same way as in an FP64 reference.
         eps2 = np.float32(float(eps) ** 2)
 
-        out_i: list[np.ndarray] = []
-        out_j: list[np.ndarray] = []
-        out_d: list[np.ndarray] = []
-        for r0 in range(0, n, row_block):
-            r1 = min(r0 + row_block, n)
-            # Exploit symmetry: only tiles with c0 >= r0, mirror afterwards.
-            for c0 in range(r0, n, row_block):
-                c1 = min(c0 + row_block, n)
-                d2 = s[r0:r1, None] + s[None, c0:c1] - 2.0 * (
-                    q16[r0:r1] @ q16[c0:c1].T
-                )
-                np.maximum(d2, 0.0, out=d2)
-                mask = d2 <= eps2
-                if c0 == r0:
-                    np.fill_diagonal(mask, False)
-                ii, jj = np.nonzero(mask)
-                gi = ii.astype(np.int64) + r0
-                gj = jj.astype(np.int64) + c0
-                out_i.append(gi)
-                out_j.append(gj)
-                if c0 != r0:  # mirrored direction
-                    out_i.append(gj)
-                    out_j.append(gi)
-                if store_distances:
-                    dd = d2[ii, jj].astype(np.float32)
-                    out_d.append(dd)
-                    if c0 != r0:
-                        out_d.append(dd)
-        pairs_i = np.concatenate(out_i) if out_i else np.empty(0, np.int64)
-        pairs_j = np.concatenate(out_j) if out_j else np.empty(0, np.int64)
-        sq = (
-            np.concatenate(out_d).astype(np.float32)
-            if (store_distances and out_d)
-            else np.empty(0, np.float32)
+        def tile(r0: int, r1: int, c0: int, c1: int) -> np.ndarray:
+            return norm_expansion_sq_dists(
+                s[r0:r1], s[c0:c1], q16[r0:r1] @ q16[c0:c1].T
+            )
+
+        acc = symmetric_self_join(
+            n,
+            eps2,
+            tile,
+            row_block=row_block,
+            store_distances=store_distances,
+            workers=workers,
         )
-        return NeighborResult(
-            n_points=n, eps=float(eps), pairs_i=pairs_i, pairs_j=pairs_j, sq_dists=sq
-        )
+        return acc.finalize(n, float(eps))
 
     # ------------------------------------------------------------------
     # Timing path

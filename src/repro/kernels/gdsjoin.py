@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.engine import candidate_self_join, norm_expansion_sq_dists
 from repro.core.results import NeighborResult
 from repro.gpusim.spec import DEFAULT_SPEC, GpuSpec
 from repro.index.grid import GridIndex, variance_order
@@ -80,58 +81,61 @@ class GdsJoinKernel:
     def self_join(
         self, data: np.ndarray, eps: float, *, store_distances: bool = True
     ) -> GdsJoinResult:
-        """Index-supported self-join; returns result + cost statistics."""
+        """Index-supported self-join; returns result + cost statistics.
+
+        Runs on the shared candidate-group executor
+        (:func:`repro.core.engine.candidate_self_join`); the candidate
+        tally and profiling sample ride along via the ``on_group`` hook.
+        """
         data = np.ascontiguousarray(data, dtype=np.float64)
         n = data.shape[0]
         index = GridIndex(data, eps, n_dims=self.n_index_dims)
         work = data.astype(self._dtype)
         eps2 = self._dtype.type(float(eps) ** 2)
 
-        out_i, out_j, out_d = [], [], []
         total_candidates = 0
         sample_i, sample_j = [], []
-        chunk = max(1, 2_000_000 // max(data.shape[1], 1))
-        for members, candidates in index.iter_cells():
-            if members.size == 0 or candidates.size == 0:
-                continue
+
+        def on_group(members: np.ndarray, candidates: np.ndarray) -> None:
+            nonlocal total_candidates
             total_candidates += members.size * candidates.size
             if len(sample_i) < 64:  # keep some candidate pairs for profiling
                 take = min(candidates.size, 32)
                 sample_i.append(np.repeat(members, take))
                 sample_j.append(np.tile(candidates[:take], members.size))
-            wm = work[members]
+
+        # The engine chunks wide candidate lists, calling dist() several
+        # times per group with the *same* members array: hoist the member
+        # gather + norms across those calls (memo keyed by the live array).
+        group_state: dict[str, np.ndarray] = {}
+
+        def dist(members: np.ndarray, cand: np.ndarray) -> np.ndarray:
             # Distance via the norm expansion in the working precision,
-            # chunked to bound temporaries.  (The real CUDA-core kernel
-            # accumulates differences; in FP64 the two are equivalent to
-            # ~1e-13 relative, and in FP32 the expansion's extra rounding
-            # is two orders of magnitude below the FP16 effects the
-            # accuracy study measures -- see tests/test_gdsjoin.py.)
-            sm = (wm * wm).sum(axis=1)
-            for c0 in range(0, candidates.size, chunk):
-                cand = candidates[c0 : c0 + chunk]
-                wc = work[cand]
-                sc = (wc * wc).sum(axis=1)
-                d2 = sm[:, None] + sc[None, :] - 2.0 * (wm @ wc.T)
-                np.maximum(d2, 0.0, out=d2)
-                mask = d2 <= eps2
-                mi, cj = np.nonzero(mask)
-                gi = members[mi]
-                gj = cand[cj]
-                keep = gi != gj
-                out_i.append(gi[keep])
-                out_j.append(gj[keep])
-                if store_distances:
-                    out_d.append(d2[mi, cj][keep].astype(np.float32))
-        pairs_i = np.concatenate(out_i) if out_i else np.empty(0, np.int64)
-        pairs_j = np.concatenate(out_j) if out_j else np.empty(0, np.int64)
-        sq = (
-            np.concatenate(out_d)
-            if (store_distances and out_d)
-            else np.empty(0, np.float32)
+            # chunked (candidate_chunk) to bound temporaries.  (The real
+            # CUDA-core kernel accumulates differences; in FP64 the two are
+            # equivalent to ~1e-13 relative, and in FP32 the expansion's
+            # extra rounding is two orders of magnitude below the FP16
+            # effects the accuracy study measures.)
+            if group_state.get("members") is not members:
+                wm = work[members]
+                group_state["members"] = members
+                group_state["wm"] = wm
+                group_state["sm"] = (wm * wm).sum(axis=1)
+            wm = group_state["wm"]
+            sm = group_state["sm"]
+            wc = work[cand]
+            sc = (wc * wc).sum(axis=1)
+            return norm_expansion_sq_dists(sm, sc, wm @ wc.T)
+
+        acc = candidate_self_join(
+            index.iter_cells(),
+            dist,
+            eps2,
+            store_distances=store_distances,
+            candidate_chunk=max(1, 2_000_000 // max(data.shape[1], 1)),
+            on_group=on_group,
         )
-        result = NeighborResult(
-            n_points=n, eps=float(eps), pairs_i=pairs_i, pairs_j=pairs_j, sq_dists=sq
-        )
+        result = acc.finalize(n, float(eps))
         cand_pairs = (
             np.concatenate(sample_i) if sample_i else np.empty(0, np.int64),
             np.concatenate(sample_j) if sample_j else np.empty(0, np.int64),

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.engine import candidate_self_join, norm_expansion_sq_dists
 from repro.core.results import NeighborResult
 from repro.gpusim.spec import DEFAULT_SPEC, GpuSpec
 from repro.index.mstree import MultiSpaceTree
@@ -75,37 +76,23 @@ class MisticKernel:
         eps2 = np.float32(float(eps) ** 2)
 
         sq_norms = np.einsum("nd,nd->n", work, work)
-        out_i, out_j, out_d = [], [], []
-        for members, candidates in tree.iter_groups(group=group):
-            if candidates.size == 0:
-                continue
+
+        def dist(members: np.ndarray, candidates: np.ndarray) -> np.ndarray:
             # Norm-expansion distances (see gdsjoin.py for the precision
             # argument); BLAS-backed, so group size only bounds memory.
-            d2 = (
-                sq_norms[members][:, None]
-                + sq_norms[candidates][None, :]
-                - 2.0 * (work[members] @ work[candidates].T)
+            return norm_expansion_sq_dists(
+                sq_norms[members],
+                sq_norms[candidates],
+                work[members] @ work[candidates].T,
             )
-            np.maximum(d2, 0.0, out=d2)
-            mask = d2 <= eps2
-            mi, cj = np.nonzero(mask)
-            gi = members[mi]
-            gj = candidates[cj]
-            keep = gi != gj
-            out_i.append(gi[keep])
-            out_j.append(gj[keep])
-            if store_distances:
-                out_d.append(d2[mi, cj][keep].astype(np.float32))
-        pairs_i = np.concatenate(out_i) if out_i else np.empty(0, np.int64)
-        pairs_j = np.concatenate(out_j) if out_j else np.empty(0, np.int64)
-        sq = (
-            np.concatenate(out_d)
-            if (store_distances and out_d)
-            else np.empty(0, np.float32)
+
+        acc = candidate_self_join(
+            tree.iter_groups(group=group),
+            dist,
+            eps2,
+            store_distances=store_distances,
         )
-        result = NeighborResult(
-            n_points=n, eps=float(eps), pairs_i=pairs_i, pairs_j=pairs_j, sq_dists=sq
-        )
+        result = acc.finalize(n, float(eps))
         total_candidates = tree.total_candidates()
         rng = np.random.default_rng(self.seed)
         qi = rng.integers(0, n, size=min(n, 256))

@@ -1,0 +1,161 @@
+"""Seed (pre-engine) reference join implementations and bit-identity helpers.
+
+The join engine's contract is *bit-identity with the seed implementations*:
+the plain tile/cell loops the kernels ran before the shared executor
+existed.  Those loops are preserved here verbatim as the single source of
+truth that both the test suite (tests/test_engine.py) and the perf
+benchmark (benchmarks/bench_engine_throughput.py) compare against -- one
+copy, so the pinned baseline cannot silently drift between the two.
+
+These are reference implementations, not fallbacks: nothing in the library
+calls them at runtime.  They follow the same spirit as
+:func:`repro.fp.rounding.round_toward_zero_f32_reference`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.results import NeighborResult
+from repro.fp.fp16 import quantize_fp16
+
+
+def canon(res: NeighborResult) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Lexicographically ordered ``(pairs_i, pairs_j, sq_dists)``."""
+    order = np.lexsort((res.pairs_j, res.pairs_i))
+    sq = res.sq_dists[order] if res.sq_dists.size else res.sq_dists
+    return res.pairs_i[order], res.pairs_j[order], sq
+
+
+def joins_bit_identical(a: NeighborResult, b: NeighborResult) -> bool:
+    """Same pair set (order-insensitive) and bitwise-equal distances."""
+    ai, aj, ad = canon(a)
+    bi, bj, bd = canon(b)
+    return (
+        np.array_equal(ai, bi)
+        and np.array_equal(aj, bj)
+        and np.array_equal(ad.view(np.uint32), bd.view(np.uint32))
+    )
+
+
+def seed_fasted_join(
+    data: np.ndarray, eps: float, row_block: int = 2048
+) -> NeighborResult:
+    """Seed FaSTED functional path: symmetric tiles, Python-list collection."""
+    data = np.ascontiguousarray(data, dtype=np.float64)
+    n = data.shape[0]
+    q16 = quantize_fp16(data)
+    s = (q16 * q16).sum(axis=1, dtype=np.float32)
+    eps2 = np.float32(float(eps) ** 2)
+    out_i, out_j, out_d = [], [], []
+    for r0 in range(0, n, row_block):
+        r1 = min(r0 + row_block, n)
+        for c0 in range(r0, n, row_block):
+            c1 = min(c0 + row_block, n)
+            d2 = s[r0:r1, None] + s[None, c0:c1] - 2.0 * (
+                q16[r0:r1] @ q16[c0:c1].T
+            )
+            np.maximum(d2, 0.0, out=d2)
+            mask = d2 <= eps2
+            if c0 == r0:
+                np.fill_diagonal(mask, False)
+            ii, jj = np.nonzero(mask)
+            gi = ii.astype(np.int64) + r0
+            gj = jj.astype(np.int64) + c0
+            out_i.append(gi)
+            out_j.append(gj)
+            if c0 != r0:
+                out_i.append(gj)
+                out_j.append(gi)
+            dd = d2[ii, jj].astype(np.float32)
+            out_d.append(dd)
+            if c0 != r0:
+                out_d.append(dd)
+    return NeighborResult(
+        n_points=n,
+        eps=float(eps),
+        pairs_i=np.concatenate(out_i) if out_i else np.empty(0, np.int64),
+        pairs_j=np.concatenate(out_j) if out_j else np.empty(0, np.int64),
+        sq_dists=np.concatenate(out_d) if out_d else np.empty(0, np.float32),
+    )
+
+
+def seed_ted_brute_join(
+    data: np.ndarray, eps: float, block: int = 2048
+) -> NeighborResult:
+    """Seed TED-Join brute: full n x n matrix, no symmetry."""
+    data = np.ascontiguousarray(data, dtype=np.float64)
+    n = data.shape[0]
+    eps2 = float(eps) ** 2
+    s = (data * data).sum(axis=1)
+    out_i, out_j, out_d = [], [], []
+    for r0 in range(0, n, block):
+        r1 = min(r0 + block, n)
+        d2 = s[r0:r1, None] + s[None, :] - 2.0 * (data[r0:r1] @ data.T)
+        np.maximum(d2, 0.0, out=d2)
+        mask = d2 <= eps2
+        mask[np.arange(r0, r1) - r0, np.arange(r0, r1)] = False
+        ii, jj = np.nonzero(mask)
+        out_i.append(ii.astype(np.int64) + r0)
+        out_j.append(jj.astype(np.int64))
+        out_d.append(d2[ii, jj].astype(np.float32))
+    return NeighborResult(
+        n_points=n,
+        eps=float(eps),
+        pairs_i=np.concatenate(out_i) if out_i else np.empty(0, np.int64),
+        pairs_j=np.concatenate(out_j) if out_j else np.empty(0, np.int64),
+        sq_dists=np.concatenate(out_d) if out_d else np.empty(0, np.float32),
+    )
+
+
+def seed_candidate_join(
+    data: np.ndarray,
+    eps: float,
+    groups,
+    work_dtype,
+    *,
+    einsum_norms: bool = False,
+) -> NeighborResult:
+    """Seed per-cell candidate loop shared by TED-index / GDS / MiSTIC.
+
+    ``einsum_norms`` mirrors MiSTIC's seed, which precomputed norms with
+    einsum; the others used a row sum (reduction order differs, so each
+    kernel is mirrored exactly).
+    """
+    data = np.ascontiguousarray(data, dtype=np.float64)
+    n = data.shape[0]
+    work = data.astype(work_dtype)
+    eps2 = (
+        work_dtype(float(eps) ** 2)
+        if work_dtype is not np.float64
+        else float(eps) ** 2
+    )
+    if einsum_norms:
+        s = np.einsum("nd,nd->n", work, work)
+    else:
+        s = (work * work).sum(axis=1)
+    out_i, out_j, out_d = [], [], []
+    for members, candidates in groups:
+        if members.size == 0 or candidates.size == 0:
+            continue
+        d2 = (
+            s[members][:, None]
+            + s[candidates][None, :]
+            - 2.0 * (work[members] @ work[candidates].T)
+        )
+        np.maximum(d2, 0.0, out=d2)
+        mask = d2 <= eps2
+        mi, cj = np.nonzero(mask)
+        gi = members[mi]
+        gj = candidates[cj]
+        keep = gi != gj
+        out_i.append(gi[keep])
+        out_j.append(gj[keep])
+        out_d.append(d2[mi, cj][keep].astype(np.float32))
+    return NeighborResult(
+        n_points=n,
+        eps=float(eps),
+        pairs_i=np.concatenate(out_i) if out_i else np.empty(0, np.int64),
+        pairs_j=np.concatenate(out_j) if out_j else np.empty(0, np.int64),
+        sq_dists=np.concatenate(out_d) if out_d else np.empty(0, np.float32),
+    )

@@ -26,6 +26,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.engine import (
+    candidate_self_join,
+    norm_expansion_sq_dists,
+    symmetric_self_join,
+)
 from repro.core.results import NeighborResult
 from repro.gpusim.occupancy import BlockResources, blocks_per_sm
 from repro.gpusim.spec import DEFAULT_SPEC, GpuSpec
@@ -123,9 +128,24 @@ class TedJoinKernel:
     # ------------------------------------------------------------------
 
     def self_join(
-        self, data: np.ndarray, eps: float, *, store_distances: bool = True
+        self,
+        data: np.ndarray,
+        eps: float,
+        *,
+        store_distances: bool = True,
+        workers: int = 0,
     ) -> TedJoinResult:
         """FP64-exact self-join (norm-expansion form, as TED-Join computes).
+
+        Both variants run on the shared join engine: the brute variant on
+        the symmetric tiled executor (``c0 >= r0`` tiles mirrored -- FP64
+        dot products are position-independent in BLAS, so this is
+        bit-identical to evaluating the full matrix at half the GEMM work),
+        the index variant on the candidate-group executor.  ``workers``
+        parallelizes the brute variant's tile dispatch only; the index
+        variant's candidate pass is always serial.  The modeled hardware
+        cost is unchanged: TED-Join itself evaluates all ``n^2``
+        candidates.
 
         Raises :class:`MemoryError` when the dimensionality exceeds the
         shared-memory capacity, mirroring the hardware failure.
@@ -140,71 +160,51 @@ class TedJoinKernel:
         eps2 = float(eps) ** 2
         s = (data * data).sum(axis=1)
         if self.variant == "brute":
-            out_i, out_j, out_d = [], [], []
-            block = 2048
-            for r0 in range(0, n, block):
-                r1 = min(r0 + block, n)
-                d2 = s[r0:r1, None] + s[None, :] - 2.0 * (data[r0:r1] @ data.T)
-                np.maximum(d2, 0.0, out=d2)
-                mask = d2 <= eps2
-                mask[np.arange(r0, r1) - r0, np.arange(r0, r1)] = False
-                ii, jj = np.nonzero(mask)
-                out_i.append(ii.astype(np.int64) + r0)
-                out_j.append(jj.astype(np.int64))
-                if store_distances:
-                    out_d.append(d2[ii, jj].astype(np.float32))
-            result = NeighborResult(
-                n_points=n,
-                eps=float(eps),
-                pairs_i=np.concatenate(out_i) if out_i else np.empty(0, np.int64),
-                pairs_j=np.concatenate(out_j) if out_j else np.empty(0, np.int64),
-                sq_dists=(
-                    np.concatenate(out_d)
-                    if (store_distances and out_d)
-                    else np.empty(0, np.float32)
-                ),
+
+            def tile(r0: int, r1: int, c0: int, c1: int) -> np.ndarray:
+                return norm_expansion_sq_dists(
+                    s[r0:r1], s[c0:c1], data[r0:r1] @ data[c0:c1].T
+                )
+
+            acc = symmetric_self_join(
+                n,
+                eps2,
+                tile,
+                row_block=1024,
+                store_distances=store_distances,
+                workers=workers,
             )
             return TedJoinResult(
-                result=result, total_candidates=n * n, profile=None
+                result=acc.finalize(n, float(eps)),
+                total_candidates=n * n,
+                profile=None,
             )
         # Index variant: grid candidates, FP64 distances, 8x8 tile padding.
         index = GridIndex(data, eps)
-        out_i, out_j, out_d = [], [], []
         total_candidates = 0
-        for members, candidates in index.iter_cells():
-            if members.size == 0 or candidates.size == 0:
-                continue
+
+        def on_group(members: np.ndarray, candidates: np.ndarray) -> None:
             # WMMA quantization: work is dispatched in 8x8 point tiles.
+            nonlocal total_candidates
             padded = (-(-members.size // 8) * 8) * (-(-candidates.size // 8) * 8)
             total_candidates += padded
-            d2 = (
-                s[members][:, None]
-                + s[candidates][None, :]
-                - 2.0 * (data[members] @ data[candidates].T)
+
+        def dist(members: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+            return norm_expansion_sq_dists(
+                s[members], s[candidates], data[members] @ data[candidates].T
             )
-            np.maximum(d2, 0.0, out=d2)
-            mask = d2 <= eps2
-            mi, cj = np.nonzero(mask)
-            gi = members[mi]
-            gj = candidates[cj]
-            keep = gi != gj
-            out_i.append(gi[keep])
-            out_j.append(gj[keep])
-            if store_distances:
-                out_d.append(d2[mi, cj][keep].astype(np.float32))
-        result = NeighborResult(
-            n_points=n,
-            eps=float(eps),
-            pairs_i=np.concatenate(out_i) if out_i else np.empty(0, np.int64),
-            pairs_j=np.concatenate(out_j) if out_j else np.empty(0, np.int64),
-            sq_dists=(
-                np.concatenate(out_d)
-                if (store_distances and out_d)
-                else np.empty(0, np.float32)
-            ),
+
+        acc = candidate_self_join(
+            index.iter_cells(),
+            dist,
+            eps2,
+            store_distances=store_distances,
+            on_group=on_group,
         )
         return TedJoinResult(
-            result=result, total_candidates=total_candidates, profile=None
+            result=acc.finalize(n, float(eps)),
+            total_candidates=total_candidates,
+            profile=None,
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,279 @@
+"""Tests for the shared join engine (repro.core.engine, PairAccumulator).
+
+The centerpiece is the bit-identity suite: every kernel's self-join routed
+through the engine must reproduce the seed (pre-engine) implementation
+exactly -- same pair set and bitwise-equal squared distances -- on
+fixed-seed datasets across d in {32, 64, 128}.  The seed algorithms live
+in :mod:`repro.kernels.reference` (shared with the benchmark so the pinned
+baseline cannot drift), giving the engine an independent executor to be
+checked against.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import (
+    candidate_self_join,
+    norm_expansion_sq_dists,
+    symmetric_self_join,
+)
+from repro.core.results import NeighborResult, PairAccumulator
+from repro.core.selectivity import epsilon_for_selectivity
+from repro.index.grid import GridIndex
+from repro.index.mstree import MultiSpaceTree
+from repro.kernels.fasted import FastedKernel
+from repro.kernels.gdsjoin import GdsJoinKernel
+from repro.kernels.mistic import MisticKernel
+from repro.kernels.reference import (
+    canon as _canon,
+)
+from repro.kernels.reference import (
+    seed_candidate_join,
+    seed_fasted_join,
+    seed_ted_brute_join,
+)
+from repro.kernels.tedjoin import TedJoinKernel
+
+
+def _dataset(d, n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(0, 4, size=(6, d))
+    return centers[rng.integers(0, 6, n)] + rng.normal(0, 0.5, size=(n, d))
+
+
+def assert_bit_identical(a: NeighborResult, b: NeighborResult):
+    """Same pair set (order-insensitive) and bitwise-equal distances."""
+    ai, aj, ad = _canon(a)
+    bi, bj, bd = _canon(b)
+    np.testing.assert_array_equal(ai, bi)
+    np.testing.assert_array_equal(aj, bj)
+    assert np.array_equal(ad.view(np.uint32), bd.view(np.uint32))
+
+
+# ----------------------------------------------------------------------
+# Kernel bit-identity through the engine
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("d", [32, 64, 128])
+class TestKernelBitIdentity:
+    def test_fasted(self, d):
+        data = _dataset(d)
+        eps = epsilon_for_selectivity(data, 24)
+        got = FastedKernel().self_join(data, eps)
+        assert_bit_identical(got, seed_fasted_join(data, eps))
+
+    def test_ted_join_brute(self, d):
+        data = _dataset(d, seed=1)
+        eps = epsilon_for_selectivity(data, 24)
+        got = TedJoinKernel(variant="brute").self_join(data, eps).result
+        assert_bit_identical(got, seed_ted_brute_join(data, eps))
+
+    def test_ted_join_index(self, d):
+        data = _dataset(d, seed=2)
+        eps = epsilon_for_selectivity(data, 24)
+        got = TedJoinKernel(variant="index").self_join(data, eps).result
+        ref = seed_candidate_join(
+            data, eps, GridIndex(data, eps).iter_cells(), np.float64
+        )
+        assert_bit_identical(got, ref)
+
+    def test_gds_join(self, d):
+        data = _dataset(d, seed=3)
+        eps = epsilon_for_selectivity(data, 24)
+        got = GdsJoinKernel().self_join(data, eps).result
+        ref = seed_candidate_join(
+            data, eps, GridIndex(data, eps).iter_cells(), np.float32
+        )
+        assert_bit_identical(got, ref)
+
+    def test_mistic(self, d):
+        data = _dataset(d, seed=4)
+        eps = epsilon_for_selectivity(data, 24)
+        got = MisticKernel().self_join(data, eps).result
+        tree = MultiSpaceTree(data, eps, n_levels=6, n_candidates=38, seed=0)
+        ref = seed_candidate_join(
+            data, eps, tree.iter_groups(group=512), np.float32, einsum_norms=True
+        )
+        assert_bit_identical(got, ref)
+
+
+class TestEngineExecution:
+    def test_row_block_invariance(self):
+        """Tiling is a performance knob: the pair set must not change.
+
+        (FP32 GEMMs reassociate the k-reduction per tile shape, so
+        distances are compared to a small float32 tolerance, while the
+        FP64 TED path below stays strictly bit-identical.)
+        """
+        data = _dataset(48, seed=5)
+        eps = epsilon_for_selectivity(data, 16)
+        base = _canon(FastedKernel().self_join(data, eps))
+        for rb in (64, 100, 1000, 10_000):
+            got = _canon(FastedKernel().self_join(data, eps, row_block=rb))
+            np.testing.assert_array_equal(base[0], got[0])
+            np.testing.assert_array_equal(base[1], got[1])
+            np.testing.assert_allclose(base[2], got[2], rtol=1e-3, atol=1e-3)
+
+    def test_ted_row_block_bit_invariance(self):
+        data = _dataset(48, seed=5)
+        eps = epsilon_for_selectivity(data, 16)
+        base = TedJoinKernel(variant="brute").self_join(data, eps).result
+        for rb in (64, 100, 10_000):
+
+            def tile(r0, r1, c0, c1, _d=np.ascontiguousarray(data)):
+                s = (_d * _d).sum(axis=1)
+                return norm_expansion_sq_dists(
+                    s[r0:r1], s[c0:c1], _d[r0:r1] @ _d[c0:c1].T
+                )
+
+            acc = symmetric_self_join(
+                len(data), float(eps) ** 2, tile, row_block=rb
+            )
+            assert_bit_identical(base, acc.finalize(len(data), float(eps)))
+
+    def test_workers_identical_to_serial(self):
+        data = _dataset(32, n=600, seed=6)
+        eps = epsilon_for_selectivity(data, 16)
+        serial = FastedKernel().self_join(data, eps, row_block=128)
+        threaded = FastedKernel().self_join(
+            data, eps, row_block=128, workers=4
+        )
+        # Deterministic commit order: identical arrays, not just same set.
+        np.testing.assert_array_equal(serial.pairs_i, threaded.pairs_i)
+        np.testing.assert_array_equal(serial.pairs_j, threaded.pairs_j)
+        assert np.array_equal(
+            serial.sq_dists.view(np.uint32), threaded.sq_dists.view(np.uint32)
+        )
+
+    def test_ted_brute_workers(self):
+        data = _dataset(32, n=500, seed=7)
+        eps = epsilon_for_selectivity(data, 16)
+        a = TedJoinKernel(variant="brute").self_join(data, eps).result
+        b = TedJoinKernel(variant="brute").self_join(data, eps, workers=3).result
+        assert_bit_identical(a, b)
+
+    def test_store_distances_off(self):
+        data = _dataset(32, n=200, seed=8)
+        eps = epsilon_for_selectivity(data, 8)
+        with_d = FastedKernel().self_join(data, eps)
+        without = FastedKernel().self_join(data, eps, store_distances=False)
+        assert without.sq_dists.size == 0
+        ai = np.lexsort((with_d.pairs_j, with_d.pairs_i))
+        bi = np.lexsort((without.pairs_j, without.pairs_i))
+        np.testing.assert_array_equal(with_d.pairs_i[ai], without.pairs_i[bi])
+        np.testing.assert_array_equal(with_d.pairs_j[ai], without.pairs_j[bi])
+
+    def test_empty_result(self):
+        data = _dataset(16, n=50, seed=9) * 100.0  # spread out, tiny eps
+        res = symmetric_self_join(
+            50,
+            np.float32(1e-12),
+            lambda r0, r1, c0, c1: np.full((r1 - r0, c1 - c0), 1.0, np.float32),
+            row_block=16,
+        )
+        assert len(res) == 0
+        out = res.finalize(50, 1e-6)
+        assert out.pairs_i.size == 0 and out.sq_dists.size == 0
+
+    def test_candidate_chunking_invariance(self):
+        data = _dataset(24, n=300, seed=10)
+        eps = epsilon_for_selectivity(data, 16)
+        index = GridIndex(data, eps)
+        work = data.astype(np.float64)
+        s = (work * work).sum(axis=1)
+
+        def dist(members, cand):
+            return norm_expansion_sq_dists(
+                s[members], s[cand], work[members] @ work[cand].T
+            )
+
+        eps2 = float(eps) ** 2
+        whole = candidate_self_join(index.iter_cells(), dist, eps2)
+        chunked = candidate_self_join(
+            index.iter_cells(), dist, eps2, candidate_chunk=7
+        )
+        assert_bit_identical(whole.finalize(300, eps), chunked.finalize(300, eps))
+
+    def test_on_group_sees_every_nonempty_group(self):
+        data = _dataset(16, n=150, seed=11)
+        eps = epsilon_for_selectivity(data, 8)
+        index = GridIndex(data, eps)
+        seen = []
+        candidate_self_join(
+            index.iter_cells(),
+            lambda m, c: np.zeros((m.size, c.size)),
+            -1.0,  # keep nothing
+            on_group=lambda m, c: seen.append((m.size, c.size)),
+        )
+        expect = [
+            (m.size, c.size)
+            for m, c in index.iter_cells()
+            if m.size and c.size
+        ]
+        assert seen == expect
+
+
+class TestNormExpansion:
+    def test_bit_identical_to_naive(self):
+        rng = np.random.default_rng(0)
+        for dt in (np.float32, np.float64):
+            a = rng.normal(size=(40, 16)).astype(dt)
+            b = rng.normal(size=(30, 16)).astype(dt)
+            sa = (a * a).sum(axis=1)
+            sb = (b * b).sum(axis=1)
+            g = a @ b.T
+            naive = sa[:, None] + sb[None, :] - dt(2.0) * g
+            naive = np.maximum(naive, 0.0)
+            got = norm_expansion_sq_dists(sa, sb, g.copy())
+            assert got.dtype == dt
+            assert np.array_equal(
+                naive.view(np.uint32 if dt is np.float32 else np.uint64),
+                got.view(np.uint32 if dt is np.float32 else np.uint64),
+            )
+
+
+class TestPairAccumulator:
+    def test_growth_and_finalize(self):
+        acc = PairAccumulator(capacity=2)
+        rng = np.random.default_rng(0)
+        all_i, all_j, all_d = [], [], []
+        for _ in range(20):
+            m = int(rng.integers(0, 50))
+            gi = rng.integers(0, 1000, m)
+            gj = rng.integers(0, 1000, m)
+            dd = rng.random(m).astype(np.float32)
+            acc.append(gi, gj, dd)
+            all_i.append(gi)
+            all_j.append(gj)
+            all_d.append(dd)
+        res = acc.finalize(1000, 0.5)
+        np.testing.assert_array_equal(res.pairs_i, np.concatenate(all_i))
+        np.testing.assert_array_equal(res.pairs_j, np.concatenate(all_j))
+        np.testing.assert_array_equal(res.sq_dists, np.concatenate(all_d))
+
+    def test_no_distances_mode(self):
+        acc = PairAccumulator(store_distances=False)
+        acc.append(np.array([1, 2]), np.array([3, 4]))
+        assert len(acc) == 2
+        res = acc.finalize(5, 1.0)
+        assert res.sq_dists.size == 0
+
+    def test_requires_parallel_arrays(self):
+        acc = PairAccumulator()
+        with pytest.raises(ValueError):
+            acc.append(np.array([1]), np.array([1, 2]), np.array([0.1], np.float32))
+        with pytest.raises(ValueError):
+            acc.append(np.array([1]), np.array([2]))  # missing distances
+
+    def test_empty_append_is_noop(self):
+        acc = PairAccumulator()
+        acc.append(np.empty(0, np.int64), np.empty(0, np.int64), np.empty(0, np.float32))
+        assert len(acc) == 0
+        assert acc.capacity == 1024
+
+    def test_capacity_doubles(self):
+        acc = PairAccumulator(capacity=4)
+        acc.append(np.arange(5), np.arange(5), np.zeros(5, np.float32))
+        assert acc.capacity >= 5
+        assert len(acc) == 5

@@ -1,11 +1,20 @@
-"""Tests for round-toward-zero arithmetic (repro.fp.rounding)."""
+"""Tests for round-toward-zero arithmetic (repro.fp.rounding).
+
+The bit-twiddling fast paths (decrement-correction conversion, mantissa-mask
+reduction, native kernel) are all validated against
+``round_toward_zero_f32_reference`` -- the original ``nextafter``-based
+implementation kept as the oracle.
+"""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.fp import native
 from repro.fp.rounding import (
     round_toward_zero_f32,
+    round_toward_zero_f32_reference,
     rz_sum,
     rz_sum_squares,
     tc_accumulate_rz,
@@ -50,6 +59,211 @@ class TestRoundTowardZero:
         nearest = np.float64(x).astype(np.float32)
         # RZ result is either the nearest rounding or one ulp toward zero.
         assert out == nearest or out == np.nextafter(nearest, np.float32(0.0))
+
+
+def _assert_bits_equal(got: np.ndarray, want: np.ndarray) -> None:
+    """Bitwise float32 equality with NaN treated as equal to NaN."""
+    got = np.asarray(got, np.float32).ravel()
+    want = np.asarray(want, np.float32).ravel()
+    assert got.shape == want.shape
+    gn, wn = np.isnan(got), np.isnan(want)
+    assert np.array_equal(gn, wn)
+    assert np.array_equal(got.view(np.uint32)[~gn], want.view(np.uint32)[~wn])
+
+
+class TestBitTwiddleAgainstOracle:
+    """The fast RZ conversion must agree with the nextafter oracle bitwise."""
+
+    #: Hand-picked adversarial float64 inputs (see ISSUE satellite): float32
+    #: subnormals, negatives, exact grid points, exact rounding ties, signed
+    #: zeros, inf/nan, overflow, and the normal/subnormal boundary.
+    EDGE_VALUES = [
+        0.0,
+        -0.0,
+        np.inf,
+        -np.inf,
+        np.nan,
+        1.0,
+        -1.0,
+        1.0 + 2.0**-25,  # just above a float32 grid point
+        -(1.0 + 2.0**-25),
+        1.0 + 2.0**-24,  # exact tie between 1.0 and nextafter(1.0)
+        -(1.0 + 2.0**-24),
+        1.0 + 3.0 * 2.0**-24,  # exact value on the odd side of the grid
+        float(np.finfo(np.float32).max),  # largest normal, exact
+        float(np.finfo(np.float32).max) * (1 + 2.0**-25),  # overshoots to inf
+        3.5e38,  # between f32 max and 2**128
+        2.0**128,
+        -(2.0**128),
+        1e308,
+        float(np.finfo(np.float32).tiny),  # smallest normal, exact
+        float(np.finfo(np.float32).tiny) * (1 - 2.0**-25),  # straddles boundary
+        float(np.finfo(np.float32).tiny) * (1 + 2.0**-30),
+        -float(np.finfo(np.float32).tiny) * (1 - 2.0**-30),
+        2.0**-149,  # smallest f32 subnormal, exact
+        2.0**-149 * 1.5,  # tie between subnormals
+        2.0**-149 * 0.5,  # tie between 0 and the smallest subnormal
+        2.0**-149 * 0.4999,  # truncates to zero
+        -(2.0**-149 * 0.4999),
+        2.0**-140,  # subnormal region, exact
+        2.0**-140 + 2.0**-165,  # subnormal region, inexact
+        -(2.0**-140 + 2.0**-165),
+        5e-324,  # smallest float64 subnormal
+        -5e-324,
+    ]
+
+    def test_edge_values(self):
+        x = np.array(self.EDGE_VALUES, dtype=np.float64)
+        _assert_bits_equal(
+            round_toward_zero_f32(x), round_toward_zero_f32_reference(x)
+        )
+
+    def test_scalar_inputs(self):
+        for v in self.EDGE_VALUES:
+            _assert_bits_equal(
+                round_toward_zero_f32(v), round_toward_zero_f32_reference(v)
+            )
+
+    @given(st.floats(allow_nan=True, allow_infinity=True, width=64))
+    @settings(max_examples=500, deadline=None)
+    def test_agrees_everywhere(self, v):
+        _assert_bits_equal(
+            round_toward_zero_f32(v), round_toward_zero_f32_reference(v)
+        )
+
+    @given(st.integers(0, 2**31 - 1), st.integers(-60, 60))
+    @settings(max_examples=200, deadline=None)
+    def test_random_scales(self, seed, exp):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=64) * 2.0**exp
+        _assert_bits_equal(
+            round_toward_zero_f32(x), round_toward_zero_f32_reference(x)
+        )
+
+    def test_oracle_semantics_unchanged(self):
+        """The oracle itself still never increases magnitude."""
+        x = np.array(self.EDGE_VALUES, dtype=np.float64)
+        out = round_toward_zero_f32_reference(x).astype(np.float64)
+        finite = np.isfinite(x)
+        assert np.all(np.abs(out[finite]) <= np.abs(x[finite]))
+
+
+class TestRzSumFastPaths:
+    """rz_sum's masked/general fast paths vs a direct oracle-based loop."""
+
+    @staticmethod
+    def _oracle_rz_sum(values, step):
+        v = np.asarray(values, dtype=np.float64)
+        acc = np.zeros(v.shape[:-1], dtype=np.float32)
+        with np.errstate(invalid="ignore", over="ignore"):
+            for start in range(0, v.shape[-1], step):
+                chunk = v[..., start : start + step].sum(axis=-1)
+                acc = round_toward_zero_f32_reference(
+                    acc.astype(np.float64) + chunk
+                )
+        return acc
+
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 8))
+    @settings(max_examples=100, deadline=None)
+    def test_nonnegative_masked_path(self, seed, step):
+        rng = np.random.default_rng(seed)
+        v = rng.uniform(0, 1e3, size=(8, int(rng.integers(1, 40))))
+        _assert_bits_equal(rz_sum(v, step=step), self._oracle_rz_sum(v, step))
+
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 8))
+    @settings(max_examples=100, deadline=None)
+    def test_signed_general_path(self, seed, step):
+        rng = np.random.default_rng(seed)
+        scale = 10.0 ** rng.integers(-40, 30)
+        v = rng.normal(size=(8, int(rng.integers(1, 40)))) * scale
+        _assert_bits_equal(rz_sum(v, step=step), self._oracle_rz_sum(v, step))
+
+    def test_ragged_tail_keeps_seed_reduction_order(self):
+        """A short tail chunk must sum at its true length: padding it to
+        ``step`` would switch np.sum from sequential to 8-way pairwise
+        association and shift inexact sums by an ulp (found by review)."""
+        v = np.array(
+            [[-2.14828911e01, -7.82808578e-04, 2.29153905e00,
+              -2.49389428e-03, -9.05780077e-07]]
+        )
+        for step in (8, 16):
+            _assert_bits_equal(rz_sum(v, step=step), self._oracle_rz_sum(v, step))
+
+    @given(st.integers(0, 2**31 - 1), st.integers(8, 16))
+    @settings(max_examples=100, deadline=None)
+    def test_ragged_tail_random(self, seed, step):
+        rng = np.random.default_rng(seed)
+        d = int(rng.integers(1, 3 * step))  # frequently ragged
+        v = rng.normal(size=(6, d)) * 10.0 ** rng.integers(-6, 6, size=(6, d))
+        _assert_bits_equal(rz_sum(v, step=step), self._oracle_rz_sum(v, step))
+
+    def test_cancellation_into_subnormals(self):
+        # Forces the general path: partial sums dip below 2**-126.
+        v = np.array([[1.0, -1.0 + 2.0**-140, 2.0**-140, -(2.0**-141)]])
+        for step in (1, 2, 4):
+            _assert_bits_equal(
+                rz_sum(v, step=step), self._oracle_rz_sum(v, step)
+            )
+
+    def test_inf_nan_columns(self):
+        v = np.array(
+            [
+                [np.inf, 1.0, 2.0, 3.0],
+                [np.nan, 1.0, 2.0, 3.0],
+                [np.inf, -np.inf, 1.0, 2.0],
+                [1e300, 1e300, 1e300, 1e300],
+            ]
+        )
+        _assert_bits_equal(rz_sum(v, step=4), self._oracle_rz_sum(v, 4))
+
+    def test_empty_axis(self):
+        out = rz_sum(np.empty((3, 0)), axis=-1)
+        assert out.shape == (3,)
+        assert np.all(out == 0.0)
+
+
+class TestNativeKernel:
+    """The optional C kernel must be bit-identical to the NumPy paths."""
+
+    @pytest.mark.skipif(not native.available(), reason="no C compiler")
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_numpy_path(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 30))
+        d = int(rng.integers(1, 70))
+        pts = rng.normal(size=(n, d)) * 10.0 ** rng.integers(-40, 8)
+        got = native.rz_sum_squares_native(pts, 4)
+        from repro.fp.fp16 import to_fp16
+
+        q = to_fp16(pts).astype(np.float64)
+        want = TestRzSumFastPaths._oracle_rz_sum(q * q, 4)
+        _assert_bits_equal(got, want)
+
+    @pytest.mark.skipif(not native.available(), reason="no C compiler")
+    def test_edge_coordinates(self):
+        pts = np.array(
+            [
+                [65504.0, 65519.0, 65520.0, 1e30],  # f16 max / overflow
+                [np.inf, -np.inf, np.nan, 1.0],
+                [2.0**-24, 2.0**-25, 5.96e-8, 6.2e-5],  # f16 subnormals
+                [0.0, -0.0, 1e-300, 2.0**-14],
+            ]
+        )
+        got = native.rz_sum_squares_native(pts, 4)
+        from repro.fp.fp16 import to_fp16
+
+        q = to_fp16(pts).astype(np.float64)
+        want = TestRzSumFastPaths._oracle_rz_sum(q * q, 4)
+        _assert_bits_equal(got, want)
+
+    def test_disabled_by_env(self, monkeypatch):
+        # The public entry must work regardless of native availability.
+        pts = np.random.default_rng(0).normal(size=(16, 32))
+        expected = rz_sum_squares(pts)
+        monkeypatch.setattr(native, "_lib", None)
+        monkeypatch.setattr(native, "_tried", True)
+        _assert_bits_equal(rz_sum_squares(pts), expected)
 
 
 class TestRzSum:
@@ -98,6 +312,17 @@ class TestTcAccumulate:
 
 
 class TestRzSumSquares:
+    def test_rank_agnostic(self):
+        """Non-2-D inputs keep working (single points, batched stacks)."""
+        rng = np.random.default_rng(0)
+        one = rng.normal(size=11)
+        batch = rng.normal(size=(2, 5, 11))
+        q1 = one.astype(np.float16).astype(np.float64)
+        _assert_bits_equal(rz_sum_squares(one), rz_sum(q1 * q1, axis=-1))
+        out = rz_sum_squares(batch)
+        assert out.shape == (2, 5)
+        _assert_bits_equal(out[1, 3], rz_sum_squares(batch[1, 3:4])[0])
+
     def test_matches_exact_for_integers(self):
         pts = np.array([[1.0, 2.0, 3.0, 4.0]])
         assert rz_sum_squares(pts)[0] == np.float32(30.0)

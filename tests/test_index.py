@@ -91,6 +91,34 @@ class TestGridIndex:
         stats = index.stats()
         assert stats.total_candidates == len(data) ** 2
 
+    def test_candidates_of_unoccupied_cell(self):
+        """A query landing in an empty cell still sees occupied neighbors."""
+        data = np.array([[0.5], [2.5]])
+        index = GridIndex(data, 1.0, n_dims=1)
+        # Cell (1,) is empty but adjacent to both occupied cells (0,), (2,).
+        assert sorted(index.candidates_of_cell((1,)).tolist()) == [0, 1]
+        # A far-away empty cell has no candidates.
+        assert index.candidates_of_cell((100,)).size == 0
+
+    def test_extreme_coordinate_spans(self):
+        """int64-wrap-prone cell ranges must fall back, not drop pairs."""
+        data = np.array([[-9.0e18], [-9.0e18 + 0.6], [9.0e18]])
+        index = GridIndex(data, 1.0, n_dims=1)
+        pairs = set()
+        for members, candidates in index.iter_cells():
+            for m in members:
+                pairs.update((int(m), int(c)) for c in candidates)
+        # Points 0 and 1 share a cell: both directions must be candidates.
+        assert (0, 1) in pairs and (1, 0) in pairs
+
+    def test_stats_after_queries_consistent(self):
+        data = _clustered(seed=20)
+        index = GridIndex(data, 1.0, n_dims=3)
+        before = index.stats().total_candidates
+        for key in index._cell_keys[:5]:
+            index.candidates_of_cell(key)
+        assert index.stats().total_candidates == before
+
 
 class TestMultiSpaceTree:
     def test_candidate_mask_covers_neighbors(self):
