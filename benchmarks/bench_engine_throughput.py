@@ -7,8 +7,14 @@ Measures, at the standard working point (n=4096):
 * TED-Join-Brute self-join at d=64 -- engine (symmetric tiles) vs the seed
   full-matrix loop, with a bit-identity check.
 * Pairs/sec of every kernel's self-join at d=64.
+* The out-of-core streaming executor vs the in-memory engine at the same
+  tile plan (bit-identity + peak-resident-vs-budget check, mmap-backed).
+* The batched candidate executor vs per-group GEMMs on the fine-grid
+  workload (``fine_grid_dataset``, small eps -> thousands of tiny cells).
 
-Writes ``BENCH_engine.json`` at the repository root.  Run standalone:
+Writes ``BENCH_engine.json`` at the repository root (see
+docs/BENCHMARKS.md for the workflow: extend this file, never replace it).
+Run standalone:
 
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py
 """
@@ -18,19 +24,27 @@ from __future__ import annotations
 import json
 import platform
 import statistics
+import tempfile
 import time
 from pathlib import Path
 
 import numpy as np
 
+from repro.core.engine import TilePlan
 from repro.core.selectivity import epsilon_for_selectivity
+from repro.data.source import MmapNpySource
+from repro.data.synthetic import fine_grid_dataset
 from repro.fp import native
 from repro.fp.fp16 import to_fp16
 from repro.fp.rounding import round_toward_zero_f32_reference, rz_sum_squares
 from repro.kernels.fasted import FastedKernel
 from repro.kernels.gdsjoin import GdsJoinKernel
 from repro.kernels.mistic import MisticKernel
-from repro.kernels.reference import joins_bit_identical, seed_ted_brute_join
+from repro.kernels.reference import (
+    canon,
+    joins_bit_identical,
+    seed_ted_brute_join,
+)
 from repro.kernels.tedjoin import TedJoinKernel
 
 OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
@@ -39,6 +53,12 @@ N_POINTS = 4096
 RZ_DIMS = 256
 JOIN_DIMS = 64
 SELECTIVITY = 64
+
+#: Streaming benchmark: resident-block budget (well under the dataset).
+STREAM_BUDGET_BYTES = 1 << 20
+
+#: Batched-executor benchmark: small-eps selectivity target.
+BATCHED_SELECTIVITY = 8
 
 
 # ----------------------------------------------------------------------
@@ -68,6 +88,25 @@ def median_seconds(fn, *, reps: int = 5, warmup: int = 1) -> float:
         fn()
         times.append(time.perf_counter() - t0)
     return statistics.median(times)
+
+
+def interleaved_medians(fn_a, fn_b, *, reps: int = 7) -> tuple[float, float]:
+    """Median seconds of two competitors measured alternately.
+
+    Interleaving keeps slow drift of the host (shared VM, thermal state)
+    from landing entirely on one side of an A/B comparison.
+    """
+    fn_a()
+    fn_b()
+    times_a, times_b = [], []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn_a()
+        times_a.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        fn_b()
+        times_b.append(time.perf_counter() - t0)
+    return statistics.median(times_a), statistics.median(times_b)
 
 
 def bench_rz(rng: np.random.Generator) -> dict:
@@ -132,6 +171,97 @@ def bench_kernels(data: np.ndarray, eps: float) -> dict:
     return out
 
 
+def bench_streaming(data: np.ndarray, eps: float) -> dict:
+    """Out-of-core executor vs in-memory engine at the same tile plan.
+
+    FaSTED numerics; the dataset is served from a memory-mapped ``.npy``
+    and the tile plan derived from ``STREAM_BUDGET_BYTES`` (a fraction of
+    the dataset), so the streamed peak-resident check is meaningful.  The
+    in-memory run uses the same ``row_block`` -- the configuration where
+    streaming is bit-identical (FP32 GEMMs reassociate across different
+    tile shapes; see docs/ARCHITECTURE.md).
+    """
+    data = np.ascontiguousarray(data, dtype=np.float64)
+    plan = TilePlan.from_budget(data.shape[0], data.shape[1], STREAM_BUDGET_BYTES)
+    kern = FastedKernel()
+    with tempfile.TemporaryDirectory() as td:
+        path = Path(td) / "bench_stream.npy"
+        np.save(path, data)
+        source = MmapNpySource(path)
+        mem = kern.self_join(data, eps, row_block=plan.row_block)
+        streamed, stats = kern.self_join_stream(
+            source, eps, memory_budget_bytes=STREAM_BUDGET_BYTES
+        )
+        identical = joins_bit_identical(mem, streamed)
+        t_mem, t_stream = interleaved_medians(
+            lambda: kern.self_join(data, eps, row_block=plan.row_block),
+            lambda: kern.self_join_stream(
+                source, eps, memory_budget_bytes=STREAM_BUDGET_BYTES
+            ),
+        )
+    return {
+        "n": data.shape[0],
+        "d": data.shape[1],
+        "kernel": "fasted",
+        "memory_budget_bytes": STREAM_BUDGET_BYTES,
+        "dataset_bytes": int(data.nbytes),
+        "row_block": plan.row_block,
+        "blocks_loaded": stats.blocks_loaded,
+        "peak_resident_bytes": stats.peak_resident_bytes,
+        "within_budget": bool(stats.peak_resident_bytes <= STREAM_BUDGET_BYTES),
+        "in_memory_seconds": t_mem,
+        "streaming_seconds": t_stream,
+        "streaming_overhead": t_stream / t_mem,
+        "bit_identical": identical,
+        "result_pairs": int(streamed.pairs_i.size),
+    }
+
+
+def bench_candidate_batched() -> dict:
+    """Batched vs per-group candidate executor at small eps.
+
+    Runs the index-backed kernels on ``fine_grid_dataset`` -- anisotropic
+    micro-clusters whose variance-ordered grid prefix shatters into
+    thousands of tiny cells at small eps, the regime where per-group
+    GEMMs degenerate to call overhead.
+    """
+    data = fine_grid_dataset(N_POINTS, JOIN_DIMS, seed=0)
+    eps = float(epsilon_for_selectivity(data, BATCHED_SELECTIVITY))
+    out: dict = {
+        "n": N_POINTS,
+        "d": JOIN_DIMS,
+        "eps": eps,
+        "target_selectivity": BATCHED_SELECTIVITY,
+        "kernels": {},
+    }
+    runs = {
+        "gds-join": lambda batched: GdsJoinKernel()
+        .self_join(data, eps, batched=batched)
+        .result,
+        "ted-join-index": lambda batched: TedJoinKernel(variant="index")
+        .self_join(data, eps, batched=batched)
+        .result,
+    }
+    for name, fn in runs.items():
+        plain = fn(False)
+        batched = fn(True)
+        ap, bp = canon(plain), canon(batched)
+        pair_equal = bool(
+            np.array_equal(ap[0], bp[0]) and np.array_equal(ap[1], bp[1])
+        )
+        t_plain, t_batched = interleaved_medians(
+            lambda: fn(False), lambda: fn(True)
+        )
+        out["kernels"][name] = {
+            "unbatched_seconds": t_plain,
+            "batched_seconds": t_batched,
+            "speedup": t_plain / t_batched,
+            "pair_set_equal": pair_equal,
+            "result_pairs": int(plain.pairs_i.size),
+        }
+    return out
+
+
 def main() -> dict:
     rng = np.random.default_rng(0)
     data = rng.normal(size=(N_POINTS, JOIN_DIMS))
@@ -151,6 +281,8 @@ def main() -> dict:
         "rz_sum_squares": bench_rz(rng),
         "ted_join_brute": bench_ted_brute(data, eps),
         "kernel_pairs_per_sec": bench_kernels(data, eps),
+        "streaming": bench_streaming(data, eps),
+        "candidate_batched": bench_candidate_batched(),
     }
     OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))

@@ -3,7 +3,8 @@
 A Python reproduction of "Fast and Scalable Mixed Precision Euclidean
 Distance Calculations Using GPU Tensor Cores" (Curless & Gowanlock,
 ICPP 2025) on a simulated A100-class GPU.  See README.md for a tour and
-DESIGN.md for the system inventory and hardware-substitution rationale.
+docs/ARCHITECTURE.md for the system layering and the engine's execution
+shapes (in-memory, out-of-core streaming, batched candidate GEMMs).
 
 Quickstart::
 
@@ -18,12 +19,14 @@ Quickstart::
 
 from repro.core import (
     METHODS,
+    STREAMABLE_METHODS,
     NeighborResult,
     distance_error_stats,
     epsilon_for_selectivity,
     overlap_accuracy,
     pairwise_sq_dists,
     self_join,
+    self_join_stream,
 )
 from repro.gpusim import A100_PCIE, A100_SXM, DEFAULT_SPEC, V100_SXM2, GpuSpec
 
@@ -32,7 +35,9 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     "METHODS",
+    "STREAMABLE_METHODS",
     "self_join",
+    "self_join_stream",
     "pairwise_sq_dists",
     "NeighborResult",
     "epsilon_for_selectivity",

@@ -10,15 +10,22 @@ Exposes the experiment drivers without writing any Python:
     $ python -m repro table6               # profiler counters
     $ python -m repro fig10 --dataset Sift10M --n 4000
     $ python -m repro accuracy --dataset Cifar60K --n 3000
+    $ python -m repro join --n 20000 --d 64 --stream --memory-budget 4
+    $ python -m repro join --method gds-join --batched --selectivity 8
 
 Model-driven experiments run instantly at the paper's full scales; the
-data-driven ones accept ``--n`` to bound the surrogate size.
+data-driven ones accept ``--n`` to bound the surrogate size.  ``join``
+runs one functional self-join end to end -- on synthetic data, a ``.npy``
+file, or a chunk directory (``--data``) -- optionally out-of-core
+(``--stream`` / ``--memory-budget``, in MiB) or with the batched candidate
+executor (``--batched``).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.analysis.experiments import (
     run_fig8,
@@ -112,6 +119,109 @@ def _cmd_accuracy(args) -> str:
     )
 
 
+def _calibration_sample(source, target: int = 4096):
+    """Rows for epsilon calibration, drawn from blocks spread across the
+    dataset -- on-disk data is often written in cluster or sorted order,
+    so a prefix would calibrate to one dense region's density."""
+    import numpy as np
+
+    if source.n <= target:
+        return source.materialize()
+    k = 8
+    per = target // k
+    starts = np.linspace(0, source.n - per, k).astype(np.int64)
+    return np.concatenate(
+        [source.load_block(int(s), int(s) + per) for s in starts]
+    )
+
+
+def _cmd_join(args) -> str:
+    from repro.core.api import STREAMABLE_METHODS, self_join, self_join_stream
+    from repro.core.selectivity import epsilon_for_selectivity
+    from repro.data.source import as_source
+    from repro.data.synthetic import synth_dataset
+
+    if args.data is not None:
+        source = as_source(args.data)
+    else:
+        source = as_source(
+            synth_dataset(args.n, args.d, seed=args.seed, clustered=True)
+        )
+    if args.memory_budget is not None and args.memory_budget <= 0:
+        raise SystemExit("error: --memory-budget must be a positive number of MiB")
+    budget = (
+        int(args.memory_budget * (1 << 20)) if args.memory_budget else None
+    )
+    stream = bool(args.stream or budget)
+    if stream and args.method not in STREAMABLE_METHODS:
+        raise SystemExit(
+            f"error: --stream/--memory-budget need one of {STREAMABLE_METHODS}; "
+            f"{args.method} must materialize the dataset to build its index"
+        )
+    if args.batched and args.method in STREAMABLE_METHODS:
+        raise SystemExit(
+            "error: --batched applies to the index-backed methods "
+            "(ted-join-index, gds-join, mistic)"
+        )
+    if args.eps is not None:
+        eps = args.eps
+    else:
+        cal = _calibration_sample(source)
+        # epsilon_for_selectivity targets S neighbors *within the data it
+        # is given*; when calibrating on a subsample the quantile must be
+        # rescaled to the full cardinality or the realized selectivity
+        # would overshoot by ~n/sample.
+        target = args.selectivity
+        if cal.shape[0] < source.n:
+            target = max(
+                target * (cal.shape[0] - 1) / (source.n - 1), 1e-6
+            )
+        eps = float(epsilon_for_selectivity(cal, target))
+    lines = [
+        f"dataset: n={source.n} d={source.dim} "
+        f"({source.nbytes / (1 << 20):.1f} MiB as float64)",
+        f"method: {args.method}  eps={eps:.4f}"
+        + (f"  (calibrated for S={args.selectivity})" if args.eps is None else ""),
+    ]
+    t0 = time.perf_counter()
+    if stream:
+        result, stats = self_join_stream(
+            source, eps, method=args.method, memory_budget_bytes=budget
+        )
+        elapsed = time.perf_counter() - t0
+        plan = stats.plan
+        lines.append(
+            f"streaming: row_block={plan.row_block} "
+            f"({plan.n_blocks} blocks, {plan.n_tiles} tiles, "
+            f"{stats.blocks_loaded} block loads)"
+        )
+        lines.append(
+            f"peak resident blocks: {stats.peak_resident_bytes / (1 << 20):.2f} MiB"
+            + (
+                f" (budget {budget / (1 << 20):.2f} MiB)"
+                if budget is not None
+                else ""
+            )
+        )
+    else:
+        # stream=False pins the in-memory path even under REPRO_STREAM=1;
+        # the data is already materialized here, re-streaming it would be
+        # pure (and unreported) extra work.
+        result = self_join(
+            source.materialize(), eps, method=args.method,
+            batched=args.batched, stream=False,
+        )
+        elapsed = time.perf_counter() - t0
+        if args.batched:
+            lines.append("candidate executor: batched (padded batch GEMMs)")
+    lines.append(
+        f"result: {result.pairs_i.size} pairs "
+        f"(selectivity {result.selectivity:.1f}) in {elapsed:.3f} s "
+        f"({result.pairs_i.size / max(elapsed, 1e-9):,.0f} pairs/s)"
+    )
+    return "\n".join(lines)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -127,6 +237,40 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--dataset", choices=sorted(DATASETS), default="Sift10M")
         p.add_argument("--n", type=int, default=default_n, help="surrogate size")
         p.set_defaults(fn=fn)
+    j = sub.add_parser(
+        "join", help="run one self-join (optionally streaming / batched)"
+    )
+    j.add_argument(
+        "--method",
+        choices=("fasted", "ted-join-brute", "ted-join-index", "gds-join", "mistic"),
+        default="fasted",
+    )
+    j.add_argument(
+        "--data",
+        default=None,
+        help=".npy file or chunk directory (default: synthetic clustered data)",
+    )
+    j.add_argument("--n", type=int, default=8192, help="synthetic dataset size")
+    j.add_argument("--d", type=int, default=64, help="synthetic dimensionality")
+    j.add_argument("--seed", type=int, default=0)
+    j.add_argument("--eps", type=float, default=None, help="search radius")
+    j.add_argument(
+        "--selectivity", type=int, default=64,
+        help="target mean neighbors used to calibrate eps when --eps is absent",
+    )
+    j.add_argument(
+        "--stream", action="store_true",
+        help="run out-of-core (brute methods only; bit-identical)",
+    )
+    j.add_argument(
+        "--memory-budget", type=float, default=None, metavar="MIB",
+        help="resident-block budget in MiB (implies --stream)",
+    )
+    j.add_argument(
+        "--batched", action="store_true",
+        help="batched candidate executor (index-backed methods)",
+    )
+    j.set_defaults(fn=_cmd_join)
     return parser
 
 

@@ -5,10 +5,19 @@ from repro.core.accuracy import (
     distance_error_stats,
     overlap_accuracy,
 )
-from repro.core.api import METHODS, pairwise_sq_dists, self_join
+from repro.core.api import (
+    METHODS,
+    STREAMABLE_METHODS,
+    pairwise_sq_dists,
+    self_join,
+    self_join_stream,
+)
 from repro.core.engine import (
+    TilePlan,
+    batched_candidate_self_join,
     candidate_self_join,
     norm_expansion_sq_dists,
+    streaming_self_join,
     symmetric_self_join,
 )
 from repro.core.results import NeighborResult, PairAccumulator, from_dense_mask
@@ -20,13 +29,18 @@ from repro.core.selectivity import (
 
 __all__ = [
     "METHODS",
+    "STREAMABLE_METHODS",
     "self_join",
+    "self_join_stream",
     "pairwise_sq_dists",
     "NeighborResult",
     "PairAccumulator",
     "from_dense_mask",
+    "TilePlan",
     "symmetric_self_join",
     "candidate_self_join",
+    "batched_candidate_self_join",
+    "streaming_self_join",
     "norm_expansion_sq_dists",
     "epsilon_for_selectivity",
     "measured_selectivity",

@@ -11,22 +11,38 @@ One-call entry points over the four implementations:
 
 Methods: ``"fasted"`` (default), ``"ted-join-brute"``, ``"ted-join-index"``,
 ``"gds-join"``, ``"mistic"`` -- the five rows of paper Table 3.
+
+``data`` may also be a :class:`repro.data.source.DatasetSource` (or a path
+to a ``.npy`` file / chunk directory); with ``stream=True`` the brute
+methods then run out-of-core, holding only ``memory_budget_bytes`` of the
+dataset resident (docs/ARCHITECTURE.md describes the dataflow).  Setting
+the environment variable ``REPRO_STREAM=1`` flips the default to streaming
+wherever it is defined -- the CI streaming leg runs the test suite that way.
 """
 
 from __future__ import annotations
+
+import os
+from pathlib import Path
 
 import numpy as np
 
 from repro.core.results import NeighborResult
 from repro.core.selectivity import epsilon_for_selectivity
+from repro.data.source import DatasetSource, as_source
 from repro.gpusim.spec import DEFAULT_SPEC, GpuSpec
 
 #: Valid method names (paper Table 3).
 METHODS = ("fasted", "ted-join-brute", "ted-join-index", "gds-join", "mistic")
 
+#: Methods with an out-of-core (streaming) execution mode: the brute-force
+#: kernels.  The index-backed methods must see the whole dataset to build
+#: their grid/tree, so they always materialize.
+STREAMABLE_METHODS = ("fasted", "ted-join-brute")
+
 
 def self_join(
-    data: np.ndarray,
+    data: np.ndarray | DatasetSource | str | Path,
     eps: float,
     *,
     method: str = "fasted",
@@ -34,13 +50,19 @@ def self_join(
     spec: GpuSpec = DEFAULT_SPEC,
     store_distances: bool = True,
     seed: int = 0,
+    stream: bool | None = None,
+    memory_budget_bytes: int | None = None,
+    batched: bool = False,
 ) -> NeighborResult:
     """Distance-similarity self-join: all pairs within ``eps``.
 
     Parameters
     ----------
     data:
-        ``(n, d)`` dataset.
+        ``(n, d)`` dataset -- an ndarray, a
+        :class:`~repro.data.source.DatasetSource`, or a path to a ``.npy``
+        file / chunk directory (coerced with
+        :func:`repro.data.source.as_source`).
     eps:
         Search radius.
     method:
@@ -56,6 +78,19 @@ def self_join(
         Keep per-pair squared distances on the result.
     seed:
         Seed for randomized index construction (MiSTIC pivots).
+    stream:
+        Run out-of-core (:data:`STREAMABLE_METHODS` only; bit-identical to
+        the in-memory path).  ``None`` (default) follows the
+        ``REPRO_STREAM`` environment variable where streaming is defined.
+        Explicitly passing ``True`` for an index-backed method raises.
+    memory_budget_bytes:
+        Bound on resident streamed-block bytes; the tile plan is derived
+        from it (:meth:`repro.core.engine.TilePlan.from_budget`).  Implies
+        ``stream=True`` (a budget cannot be honored by materializing), so
+        passing it for an index-backed method raises.
+    batched:
+        Index-backed methods only: fuse small candidate groups into padded
+        batch GEMMs (same pair set, faster at small eps).
 
     Returns
     -------
@@ -64,6 +99,39 @@ def self_join(
     """
     if method not in METHODS:
         raise ValueError(f"method must be one of {METHODS}, got {method!r}")
+    streamable = method in STREAMABLE_METHODS
+    if memory_budget_bytes is not None:
+        if stream is False:
+            raise ValueError(
+                "memory_budget_bytes cannot be honored with stream=False "
+                "(materializing ignores the budget)"
+            )
+        stream = True  # a budget can only be honored by streaming
+    if stream is None:
+        stream = streamable and os.environ.get("REPRO_STREAM", "0") == "1"
+    elif stream and not streamable:
+        raise ValueError(
+            f"stream=True (or memory_budget_bytes) is only supported for "
+            f"{STREAMABLE_METHODS}; index-backed methods must materialize "
+            "the dataset"
+        )
+    if batched and streamable:
+        raise ValueError("batched=True applies to index-backed methods only")
+
+    if stream:
+        result, _stats = self_join_stream(
+            data,
+            eps,
+            method=method,
+            precision=precision,
+            spec=spec,
+            store_distances=store_distances,
+            memory_budget_bytes=memory_budget_bytes,
+        )
+        return result
+    if not isinstance(data, np.ndarray):
+        data = as_source(data).materialize()
+
     if method == "fasted":
         from repro.kernels.fasted import FastedKernel
 
@@ -79,21 +147,69 @@ def self_join(
             raise ValueError("TED-Join is FP64 only")
         variant = "brute" if method.endswith("brute") else "index"
         return TedJoinKernel(spec, variant=variant).self_join(
-            data, eps, store_distances=store_distances
+            data, eps, store_distances=store_distances,
+            **({"batched": True} if variant == "index" and batched else {}),
         ).result
     if method == "gds-join":
         from repro.kernels.gdsjoin import GdsJoinKernel
 
         return GdsJoinKernel(spec, precision=precision or "fp32").self_join(
-            data, eps, store_distances=store_distances
+            data, eps, store_distances=store_distances, batched=batched
         ).result
     from repro.kernels.mistic import MisticKernel
 
     if precision not in (None, "fp32"):
         raise ValueError("MiSTIC is FP32 only")
     return MisticKernel(spec, seed=seed).self_join(
-        data, eps, store_distances=store_distances
+        data, eps, store_distances=store_distances, batched=batched
     ).result
+
+
+def self_join_stream(
+    data: np.ndarray | DatasetSource | str | Path,
+    eps: float,
+    *,
+    method: str = "fasted",
+    precision: str | None = None,
+    spec: GpuSpec = DEFAULT_SPEC,
+    store_distances: bool = True,
+    memory_budget_bytes: int | None = None,
+):
+    """Out-of-core self-join returning ``(NeighborResult, StreamStats)``.
+
+    The streaming counterpart of :func:`self_join` for callers that need
+    the residency statistics (peak resident bytes, blocks loaded) --
+    ``python -m repro join --stream`` reports them from here.  Only
+    :data:`STREAMABLE_METHODS` stream; results are bit-identical to the
+    in-memory path at the same tile plan.
+    """
+    if method not in STREAMABLE_METHODS:
+        raise ValueError(
+            f"method must be one of {STREAMABLE_METHODS} to stream, got {method!r}"
+        )
+    source = as_source(data)
+    if method == "fasted":
+        from repro.kernels.fasted import FastedKernel
+
+        if precision not in (None, "fp16-32"):
+            raise ValueError("FaSTED is FP16-32 only")
+        return FastedKernel(spec).self_join_stream(
+            source,
+            eps,
+            store_distances=store_distances,
+            memory_budget_bytes=memory_budget_bytes,
+        )
+    from repro.kernels.tedjoin import TedJoinKernel
+
+    if precision not in (None, "fp64"):
+        raise ValueError("TED-Join is FP64 only")
+    joined, stats = TedJoinKernel(spec, variant="brute").self_join_stream(
+        source,
+        eps,
+        store_distances=store_distances,
+        memory_budget_bytes=memory_budget_bytes,
+    )
+    return joined.result, stats
 
 
 def pairwise_sq_dists(
@@ -135,7 +251,9 @@ def pairwise_sq_dists(
 
 __all__ = [
     "METHODS",
+    "STREAMABLE_METHODS",
     "self_join",
+    "self_join_stream",
     "pairwise_sq_dists",
     "epsilon_for_selectivity",
 ]

@@ -28,24 +28,38 @@ Two execution shapes cover every kernel:
   ``(members, candidates)`` groups from a grid/tree index, evaluates the
   kernel's distance block per group (optionally chunking very wide
   candidate lists to bound temporaries), filters by ``eps^2``, drops self
-  pairs, and accumulates.
+  pairs, and accumulates.  Its batched sibling
+  :func:`batched_candidate_self_join` concatenates many *small* groups
+  into one padded batch GEMM per flush -- the host analogue of how the
+  paper's GPU kernels dispatch work in fixed 8x8 tiles -- which lifts the
+  index-backed kernels at small eps, where per-group GEMMs degenerate to
+  Python-call overhead.
 
-Both shapes emit into a :class:`repro.core.results.PairAccumulator` --
+A third shape extends the symmetric executor past resident memory:
+:func:`streaming_self_join` drives the same tile geometry from a
+:class:`repro.data.source.DatasetSource`, scheduling row-block loads with a
+:class:`TilePlan`, prefetching the next block on a background thread while
+the current GEMM runs, and holding at most a handful of blocks resident
+(``O(row_block * d)``) -- bit-identical to the in-memory path (see
+docs/ARCHITECTURE.md for the dataflow and the bit-identity argument).
+
+All shapes emit into a :class:`repro.core.results.PairAccumulator` --
 preallocated, geometrically grown arrays -- instead of per-tile Python
 lists, and hand back the accumulator so the kernel can attach its own
 metadata (padded candidate counts, short-circuit profiles) via the
 ``on_group`` hook without re-iterating the index.
 
-The timing paths of the kernels are untouched: the engine is purely the
-functional executor (ROADMAP lists "engine-backed timing-path reuse" as a
-follow-on).
+The timing paths of the kernels still walk their own tile geometry;
+ROADMAP lists "engine-backed timing-path reuse" as a follow-on.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable, Iterator
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator
 
 import numpy as np
 
@@ -58,6 +72,20 @@ TileFn = Callable[[int, int, int, int], np.ndarray]
 #: ``dist_fn(members, candidates)`` returns the squared-distance block for
 #: two index arrays into the dataset.
 GroupDistFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+#: Default bound on the elements of one candidate-group distance block;
+#: callers chunk the candidate axis so a temporary stays ~this many
+#: elements regardless of cell density (shared by the per-group executor,
+#: the batched executor's large-group bypass, and the kernels).
+GROUP_CHUNK_ELEMS = 2_000_000
+
+#: ``prepare(raw_block)`` turns a loaded float64 row block into the kernel's
+#: per-block working state (e.g. quantized coordinates + precomputed norms).
+BlockPrepareFn = Callable[[np.ndarray], Any]
+
+#: ``block_sq_dists(row_state, col_state)`` returns the squared-distance
+#: block between two prepared blocks in the kernel's working precision.
+BlockDistFn = Callable[[Any, Any], np.ndarray]
 
 
 def norm_expansion_sq_dists(
@@ -87,15 +115,14 @@ def iter_symmetric_tiles(
             yield r0, r1, c0, min(c0 + row_block, n)
 
 
-def _extract_tile(
-    tile_fn: TileFn,
+def _extract_pairs(
+    d2: np.ndarray,
+    r0: int,
+    c0: int,
     eps2: float,
     store_distances: bool,
-    tile: tuple[int, int, int, int],
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
-    """Evaluate one tile and extract its in-range pairs (global indices)."""
-    r0, r1, c0, c1 = tile
-    d2 = tile_fn(r0, r1, c0, c1)
+    """Extract the in-range pairs (global indices) of one evaluated tile."""
     mask = d2 <= eps2
     if c0 == r0:
         np.fill_diagonal(mask, False)
@@ -106,6 +133,17 @@ def _extract_tile(
     gj += c0
     dd = d2[ii, jj].astype(np.float32) if store_distances else None
     return gi, gj, dd
+
+
+def _extract_tile(
+    tile_fn: TileFn,
+    eps2: float,
+    store_distances: bool,
+    tile: tuple[int, int, int, int],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """Evaluate one tile and extract its in-range pairs (global indices)."""
+    r0, r1, c0, c1 = tile
+    return _extract_pairs(tile_fn(r0, r1, c0, c1), r0, c0, eps2, store_distances)
 
 
 def symmetric_self_join(
@@ -179,6 +217,246 @@ def symmetric_self_join(
     return acc
 
 
+@dataclass(frozen=True)
+class TilePlan:
+    """Schedule of row-block loads for an out-of-core symmetric self-join.
+
+    The plan owns the tile geometry of the streaming executor: the dataset
+    is cut into ``ceil(n / row_block)`` row blocks, and the upper triangle
+    of the block grid (``cj >= ri``) is evaluated exactly like
+    :func:`iter_symmetric_tiles` does in memory -- the two paths share the
+    same tile coordinates, which is half of the bit-identity argument
+    (docs/ARCHITECTURE.md has the other half).
+
+    A block is loaded once per *row stripe* it participates in: processing
+    row block ``ri`` loads block ``ri`` (kept resident for the whole
+    stripe) and then streams column blocks ``ri+1 .. nb-1`` through, each
+    discarded after its tile.  Peak residency is therefore bounded by
+    :data:`RESIDENT_BLOCKS` blocks regardless of ``n``.
+    """
+
+    n: int
+    row_block: int
+
+    #: Worst-case simultaneously resident blocks: the pinned row block, the
+    #: current column block, and the prefetched next block (whose raw
+    #: float64 form and prepared state briefly coexist inside ``prepare``).
+    RESIDENT_BLOCKS = 4
+
+    def __post_init__(self) -> None:
+        if self.n < 0 or self.row_block <= 0:
+            raise ValueError("need n >= 0 and row_block > 0")
+
+    @classmethod
+    def from_budget(
+        cls, n: int, dim: int, memory_budget_bytes: int, *, itemsize: int = 8
+    ) -> "TilePlan":
+        """Choose ``row_block`` so peak resident data fits the budget.
+
+        The budget covers the streamed blocks only (``RESIDENT_BLOCKS``
+        float64 blocks of ``row_block`` rows, plus one spare column per row
+        for the per-block norm vectors); the result pairs themselves grow
+        with the join's output and are accounted separately by
+        ``PairAccumulator.nbytes``.
+        """
+        if memory_budget_bytes <= 0:
+            raise ValueError("memory_budget_bytes must be positive")
+        per_row = max(1, (dim + 1) * itemsize)
+        row_block = memory_budget_bytes // (cls.RESIDENT_BLOCKS * per_row)
+        return cls(n=n, row_block=int(max(1, min(row_block, max(n, 1)))))
+
+    @property
+    def n_blocks(self) -> int:
+        return -(-self.n // self.row_block) if self.n else 0
+
+    @property
+    def n_tiles(self) -> int:
+        nb = self.n_blocks
+        return nb * (nb + 1) // 2
+
+    def block_bounds(self, bi: int) -> tuple[int, int]:
+        """Row range ``(r0, r1)`` of block ``bi``."""
+        r0 = bi * self.row_block
+        return r0, min(r0 + self.row_block, self.n)
+
+    def blocks(self) -> Iterator[tuple[int, int]]:
+        for bi in range(self.n_blocks):
+            yield self.block_bounds(bi)
+
+    def tiles(self) -> Iterator[tuple[int, int]]:
+        """Upper-triangle block-index pairs ``(ri, cj)`` in execution order."""
+        for ri in range(self.n_blocks):
+            for cj in range(ri, self.n_blocks):
+                yield ri, cj
+
+    def peak_resident_bytes(self, dim: int, *, itemsize: int = 8) -> int:
+        """Upper bound on simultaneously resident streamed-block bytes."""
+        return self.RESIDENT_BLOCKS * self.row_block * (dim + 1) * itemsize
+
+
+@dataclass
+class StreamStats:
+    """What the streaming executor actually did (for tests and reporting)."""
+
+    plan: TilePlan
+    blocks_loaded: int = 0
+    tiles_evaluated: int = 0
+    peak_resident_bytes: int = 0
+    _resident_bytes: int = field(default=0, repr=False)
+    _lock: Any = field(default_factory=threading.Lock, repr=False)
+
+    def _acquire(self, nbytes: int) -> None:
+        # The prefetch thread and the main loop both account blocks.
+        with self._lock:
+            self._resident_bytes += nbytes
+            if self._resident_bytes > self.peak_resident_bytes:
+                self.peak_resident_bytes = self._resident_bytes
+
+    def _release(self, nbytes: int) -> None:
+        with self._lock:
+            self._resident_bytes -= nbytes
+
+
+def _state_nbytes(state: Any) -> int:
+    """Total ndarray bytes reachable from a prepared block state."""
+    if isinstance(state, np.ndarray):
+        return state.nbytes
+    if isinstance(state, (tuple, list)):
+        return sum(_state_nbytes(s) for s in state)
+    return 0
+
+
+def streaming_self_join(
+    source,
+    eps2: float,
+    prepare: BlockPrepareFn,
+    block_sq_dists: BlockDistFn,
+    *,
+    plan: TilePlan | None = None,
+    row_block: int = 2048,
+    memory_budget_bytes: int | None = None,
+    store_distances: bool = True,
+    prefetch: bool = True,
+) -> tuple[PairAccumulator, StreamStats]:
+    """Out-of-core symmetric self-join over a :class:`~repro.data.source.DatasetSource`.
+
+    Same tile geometry and pair extraction as :func:`symmetric_self_join`,
+    but the dataset never has to be resident: row blocks are loaded from
+    ``source`` on demand following a :class:`TilePlan`, the next block is
+    prefetched on a background thread while the current tile's GEMM runs,
+    and at most :data:`TilePlan.RESIDENT_BLOCKS` blocks are alive at once.
+    Results are bit-identical to the in-memory executor for the kernels'
+    numerics (per-row preparation and per-tile GEMM shapes are unchanged;
+    tests/test_streaming.py pins this).
+
+    Parameters
+    ----------
+    source:
+        :class:`repro.data.source.DatasetSource` (or anything exposing
+        ``n``, ``dim`` and ``load_block``).
+    eps2:
+        Squared radius in the kernel's working precision.
+    prepare:
+        Per-block kernel state builder; see :data:`BlockPrepareFn`.  Called
+        once per block *load* (on the prefetch thread when prefetching).
+    block_sq_dists:
+        Kernel numerics over two prepared states; see :data:`BlockDistFn`.
+    plan:
+        Explicit tile plan; overrides ``row_block``/``memory_budget_bytes``.
+    row_block:
+        Tile edge when no plan/budget is given.
+    memory_budget_bytes:
+        When given, derive the plan with :meth:`TilePlan.from_budget` so
+        peak resident streamed data stays under the budget.
+    store_distances:
+        Track per-pair squared distances.
+    prefetch:
+        Overlap the next block's load+prepare with the current GEMM
+        (single background thread; deterministic commit order either way).
+
+    Returns
+    -------
+    (PairAccumulator, StreamStats)
+        The accumulated pairs and the observed load/residency statistics.
+    """
+    n, dim = int(source.n), int(source.dim)
+    if plan is None:
+        if memory_budget_bytes is not None:
+            plan = TilePlan.from_budget(n, dim, int(memory_budget_bytes))
+        else:
+            plan = TilePlan(n=n, row_block=int(row_block))
+    stats = StreamStats(plan=plan)
+    acc = PairAccumulator(store_distances=store_distances)
+    nb = plan.n_blocks
+    if nb == 0:
+        return acc, stats
+
+    def load(bi: int) -> tuple[Any, int]:
+        r0, r1 = plan.block_bounds(bi)
+        raw = source.load_block(r0, r1)
+        stats._acquire(raw.nbytes)
+        state = prepare(raw)
+        nbytes = _state_nbytes(state)
+        stats._acquire(nbytes)
+        stats._release(raw.nbytes)  # raw block dies with this frame
+        stats.blocks_loaded += 1
+        return state, nbytes
+
+    # Block-load sequence: row block ri, then its column blocks ri+1..nb-1,
+    # for each row stripe.  A 1-deep pipeline prefetches loads[k+1] while
+    # tile k computes.
+    loads: list[int] = []
+    for ri in range(nb):
+        loads.append(ri)
+        loads.extend(range(ri + 1, nb))
+    pool = ThreadPoolExecutor(max_workers=1) if prefetch and len(loads) > 1 else None
+    try:
+        futures: deque = deque()
+        cursor = 0
+
+        def schedule_next() -> None:
+            nonlocal cursor
+            if pool is not None and cursor < len(loads):
+                futures.append(pool.submit(load, loads[cursor]))
+                cursor += 1
+
+        def next_block() -> tuple[Any, int]:
+            nonlocal cursor
+            if pool is None:
+                blk = load(loads[cursor])
+                cursor += 1
+                return blk
+            if not futures:
+                schedule_next()
+            blk = futures.popleft().result()
+            schedule_next()  # keep the pipeline primed
+            return blk
+
+        schedule_next()
+        for ri in range(nb):
+            row_state, row_nbytes = next_block()
+            r0, r1 = plan.block_bounds(ri)
+            for cj in range(ri, nb):
+                if cj == ri:
+                    col_state, col_nbytes = row_state, 0
+                else:
+                    col_state, col_nbytes = next_block()
+                c0, _c1 = plan.block_bounds(cj)
+                d2 = block_sq_dists(row_state, col_state)
+                gi, gj, dd = _extract_pairs(d2, r0, c0, eps2, store_distances)
+                acc.append(gi, gj, dd)
+                if c0 != r0:
+                    acc.append(gj, gi, dd)
+                stats.tiles_evaluated += 1
+                if col_nbytes:
+                    stats._release(col_nbytes)
+            stats._release(row_nbytes)
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=True)
+    return acc, stats
+
+
 def candidate_self_join(
     groups: Iterable[tuple[np.ndarray, np.ndarray]],
     dist_fn: GroupDistFn,
@@ -218,14 +496,179 @@ def candidate_self_join(
         chunk = candidate_chunk or candidates.size
         for c0 in range(0, candidates.size, chunk):
             cand = candidates[c0 : c0 + chunk]
-            d2 = dist_fn(members, cand)
-            mask = d2 <= eps2
-            mi, cj = np.nonzero(mask)
-            gi = members[mi]
-            gj = cand[cj]
-            keep = gi != gj
-            dd = None
-            if store_distances:
-                dd = d2[mi, cj][keep].astype(np.float32)
-            acc.append(gi[keep], gj[keep], dd)
+            _emit_group_pairs(
+                acc, dist_fn(members, cand), members, cand, eps2, store_distances
+            )
+    return acc
+
+
+def _emit_group_pairs(
+    acc: PairAccumulator,
+    d2: np.ndarray,
+    members: np.ndarray,
+    candidates: np.ndarray,
+    eps2: float,
+    store_distances: bool,
+) -> None:
+    """Filter one evaluated candidate block and append its non-self pairs.
+
+    The single definition of the group pair-extraction semantics (eps2
+    inclusive, self pairs dropped, float32 distances) shared by the
+    per-group executor and the batched executor's large-group bypass.
+    """
+    mask = d2 <= eps2
+    mi, cj = np.nonzero(mask)
+    gi = members[mi]
+    gj = candidates[cj]
+    keep = gi != gj
+    dd = d2[mi, cj][keep].astype(np.float32) if store_distances else None
+    acc.append(gi[keep], gj[keep], dd)
+
+
+def batched_candidate_self_join(
+    groups: Iterable[tuple[np.ndarray, np.ndarray]],
+    work: np.ndarray,
+    sq_norms: np.ndarray,
+    eps2: float,
+    *,
+    store_distances: bool = True,
+    batch_elems: int = 1 << 20,
+    max_batch_groups: int = 512,
+    single_elems: int = 1 << 12,
+    min_fill: float = 0.35,
+    on_group: Callable[[np.ndarray, np.ndarray], None] | None = None,
+) -> PairAccumulator:
+    """Index-backed self-join with small groups fused into padded batch GEMMs.
+
+    :func:`candidate_self_join` issues one GEMM per ``(members,
+    candidates)`` group; at small eps the grid degenerates into thousands
+    of tiny groups and the join becomes Python-call overhead, not BLAS.
+    This executor buffers consecutive small groups and evaluates each
+    buffer as **one padded batch GEMM** -- groups are zero-padded to the
+    buffer's max member/candidate counts and multiplied as a stacked
+    ``(g, M, d) @ (g, d, C)`` ``np.matmul``, the host analogue of the GPU
+    kernels dispatching fixed 8x8 tiles.  Padded rows carry ``+inf`` norms
+    so they can never pass the ``eps^2`` filter; real entries go through
+    the exact same norm-expansion recombination as the per-group path.
+
+    The pair *set* matches :func:`candidate_self_join` on the same groups
+    (tests/test_streaming.py pins this); individual low-order distance
+    bits may differ in FP32 because BLAS may reassociate differently for
+    the padded shapes, which is the same caveat as ``row_block`` changes
+    on the symmetric executor.
+
+    Parameters
+    ----------
+    groups:
+        Iterable of ``(members, candidates)`` global-index arrays.  Feeding
+        size-sorted groups (``GridIndex.iter_cells(order="size")``) keeps
+        padding waste low.
+    work:
+        ``(n, d)`` dataset in the kernel's working precision.
+    sq_norms:
+        ``(n,)`` squared norms of ``work`` rows, in the same precision and
+        reduction order the kernel's per-group path uses.
+    eps2:
+        Squared radius in the kernel's working precision.
+    store_distances:
+        Track per-pair squared distances.
+    batch_elems:
+        Flush a buffer before its padded ``g * M * C`` distance block would
+        exceed this many elements.
+    max_batch_groups:
+        Hard cap on groups per flush (bounds the Python-side gather loop).
+    single_elems:
+        Groups whose own ``members * candidates`` exceeds this bypass
+        batching and run as one plain GEMM -- a group that large amortizes
+        its own BLAS call, and padding it would waste more than the call
+        overhead it saves.
+    min_fill:
+        Flush before the buffer's fill ratio (real ``sum(m*c)`` over
+        padded ``g * M * C``) would drop below this -- the guard that
+        keeps heterogeneous group shapes from turning padding into more
+        work than batching saves.
+    on_group:
+        Statistics hook, called once per nonempty group in input order.
+    """
+    acc = PairAccumulator(store_distances=store_distances)
+    d = work.shape[1]
+    norm_dtype = sq_norms.dtype
+    # Bypassed (large) groups chunk their candidate axis like the
+    # per-group executor does, so a dense cell cannot blow up a single
+    # (members x candidates) temporary.
+    single_chunk = max(1, GROUP_CHUNK_ELEMS // max(d, 1))
+
+    def run_single(members: np.ndarray, candidates: np.ndarray) -> None:
+        wm = work[members]
+        sm = sq_norms[members]
+        for c0 in range(0, candidates.size, single_chunk):
+            cand = candidates[c0 : c0 + single_chunk]
+            d2 = norm_expansion_sq_dists(sm, sq_norms[cand], wm @ work[cand].T)
+            _emit_group_pairs(acc, d2, members, cand, eps2, store_distances)
+
+    batch: list[tuple[np.ndarray, np.ndarray]] = []
+    batch_m = batch_c = batch_fill = 0
+
+    def flush() -> None:
+        nonlocal batch, batch_m, batch_c, batch_fill
+        if not batch:
+            return
+        if len(batch) == 1:
+            run_single(*batch[0])
+            batch, batch_m, batch_c, batch_fill = [], 0, 0, 0
+            return
+        g = len(batch)
+        p = np.zeros((g, batch_m, d), dtype=work.dtype)
+        q = np.zeros((g, batch_c, d), dtype=work.dtype)
+        sm = np.full((g, batch_m), np.inf, dtype=norm_dtype)
+        sc = np.full((g, batch_c), np.inf, dtype=norm_dtype)
+        mi_idx = np.zeros((g, batch_m), dtype=np.int64)
+        cj_idx = np.zeros((g, batch_c), dtype=np.int64)
+        for k, (members, candidates) in enumerate(batch):
+            m, c = members.size, candidates.size
+            p[k, :m] = work[members]
+            q[k, :c] = work[candidates]
+            sm[k, :m] = sq_norms[members]
+            sc[k, :c] = sq_norms[candidates]
+            mi_idx[k, :m] = members
+            cj_idx[k, :c] = candidates
+        gram = np.matmul(p, q.transpose(0, 2, 1))
+        # Same elementwise order as norm_expansion_sq_dists, batched.
+        t = sm[:, :, None] + sc[:, None, :]
+        np.multiply(gram, 2.0, out=gram)
+        np.subtract(t, gram, out=gram)
+        np.maximum(gram, 0.0, out=gram)
+        # Padded rows/cols have inf norms -> inf distance -> filtered here.
+        mask = gram <= eps2
+        gk, mi, cj = np.nonzero(mask)
+        gi = mi_idx[gk, mi]
+        gj = cj_idx[gk, cj]
+        keep = gi != gj
+        dd = gram[gk, mi, cj][keep].astype(np.float32) if store_distances else None
+        acc.append(gi[keep], gj[keep], dd)
+        batch, batch_m, batch_c, batch_fill = [], 0, 0, 0
+
+    for members, candidates in groups:
+        if members.size == 0 or candidates.size == 0:
+            continue
+        if on_group is not None:
+            on_group(members, candidates)
+        mc = members.size * candidates.size
+        if mc > single_elems:
+            flush()  # preserve group order across the two paths
+            run_single(members, candidates)
+            continue
+        new_m = max(batch_m, members.size)
+        new_c = max(batch_c, candidates.size)
+        padded = (len(batch) + 1) * new_m * new_c
+        if batch and (
+            padded > batch_elems
+            or len(batch) >= max_batch_groups
+            or (batch_fill + mc) < min_fill * padded
+        ):
+            flush()
+            new_m, new_c = members.size, candidates.size
+        batch.append((members, candidates))
+        batch_m, batch_c, batch_fill = new_m, new_c, batch_fill + mc
+    flush()
     return acc

@@ -149,6 +149,12 @@ class PairAccumulator:
     def capacity(self) -> int:
         return self._i.size
 
+    @property
+    def nbytes(self) -> int:
+        """Currently allocated buffer bytes (the streaming memory reports
+        account result growth separately from the streamed blocks)."""
+        return self._i.nbytes + self._j.nbytes + (self._d.nbytes if self._d is not None else 0)
+
     def _reserve(self, extra: int) -> None:
         need = self._size + extra
         cap = self._i.size

@@ -9,10 +9,28 @@ cardinality (see DESIGN.md for the substitution argument).  Epsilon values
 are re-calibrated per surrogate to the paper's selectivity targets
 (S in {64, 128, 256}) by :mod:`repro.core.selectivity`, which is exactly
 how the paper standardizes across datasets.
+
+:mod:`repro.data.source` adds block-addressable *dataset sources* (in-memory,
+memory-mapped ``.npy``, chunked ``.npy`` directories) -- the storage layer of
+the out-of-core streaming executor -- and :mod:`repro.data.synthetic` the
+``fine_grid_dataset`` workload the batched candidate executor targets.
 """
 
 from repro.data.realworld import DATASETS, DatasetSpec, load_surrogate
-from repro.data.synthetic import SYNTH_DIMS, SYNTH_SIZES, synth_dataset
+from repro.data.source import (
+    ArraySource,
+    ChunkedNpySource,
+    DatasetSource,
+    MmapNpySource,
+    as_source,
+    write_chunked_npy,
+)
+from repro.data.synthetic import (
+    SYNTH_DIMS,
+    SYNTH_SIZES,
+    fine_grid_dataset,
+    synth_dataset,
+)
 
 __all__ = [
     "DATASETS",
@@ -21,4 +39,11 @@ __all__ = [
     "SYNTH_DIMS",
     "SYNTH_SIZES",
     "synth_dataset",
+    "fine_grid_dataset",
+    "DatasetSource",
+    "ArraySource",
+    "MmapNpySource",
+    "ChunkedNpySource",
+    "write_chunked_npy",
+    "as_source",
 ]

@@ -21,6 +21,12 @@ This module implements:
 * :func:`rz_sum` / :func:`rz_sum_squares` -- sequential chunked RZ reductions
   used for the ``s_i = sum_k p_{i,k}^2`` precompute.
 
+Three interchangeable implementations back these functions -- an optional
+JIT-built C kernel (:mod:`repro.fp.native`, disable with ``REPRO_NATIVE=0``),
+the branch-free NumPy path here, and the ``nextafter`` oracle -- every level
+bit-identical to the others; docs/ARCHITECTURE.md ("The RZ fallback chain")
+documents how they are selected.
+
 Exactness argument: FP16 inputs convert to FP32 exactly, FP16xFP16 products
 are exactly representable in FP32 (22-bit significand product fits in 24
 bits), and a sum of <= 2**29 FP32 values is exactly representable in float64

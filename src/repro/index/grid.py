@@ -257,15 +257,33 @@ class GridIndex:
             return np.empty(0, dtype=np.int64)
         return np.concatenate(chunks)
 
-    def iter_cells(self):
+    def iter_cells(self, *, order: str = "lex"):
         """Yield ``(members, candidates)`` index arrays per nonempty cell.
 
         Bulk scans reuse any cached arrays but do not populate the cache
         (one transient candidate array at a time keeps memory bounded,
         matching the kernels' streaming consumption).
+
+        Parameters
+        ----------
+        order:
+            ``"lex"`` (default): lexicographic cell order, the reference
+            iteration order every bit-identity test pins.  ``"size"``:
+            cells sorted by (member count, candidate-cell fan-in) so
+            consecutive cells have similar padded shapes -- what the
+            batched executor (:func:`repro.core.engine.batched_candidate_self_join`)
+            wants, since one batch's padding waste is set by its largest
+            group.  The pair *set* is order-independent.
         """
         self._build_adjacency()
-        for ci in range(len(self._cell_keys)):
+        cells = range(len(self._cell_keys))
+        if order == "size":
+            member_counts = self._ends - self._starts
+            fan_in = np.diff(self._nbr_indptr)
+            cells = np.lexsort((fan_in, member_counts))
+        elif order != "lex":
+            raise ValueError("order must be 'lex' or 'size'")
+        for ci in cells:
             members = self._sort[self._starts[ci] : self._ends[ci]]
             yield members, self._candidates_of_index(ci, cache=False)
 

@@ -26,8 +26,14 @@ from dataclasses import dataclass, fields, replace
 
 import numpy as np
 
-from repro.core.engine import norm_expansion_sq_dists, symmetric_self_join
+from repro.core.engine import (
+    StreamStats,
+    norm_expansion_sq_dists,
+    streaming_self_join,
+    symmetric_self_join,
+)
 from repro.core.results import NeighborResult
+from repro.data.source import DatasetSource, as_source
 from repro.fp.fp16 import quantize_fp16
 from repro.fp.mma import gemm_fp16_32
 from repro.fp.rounding import rz_sum_squares
@@ -222,6 +228,53 @@ class FastedKernel:
             workers=workers,
         )
         return acc.finalize(n, float(eps))
+
+    def self_join_stream(
+        self,
+        source: DatasetSource,
+        eps: float,
+        *,
+        store_distances: bool = True,
+        row_block: int = 2048,
+        memory_budget_bytes: int | None = None,
+        prefetch: bool = True,
+    ) -> tuple[NeighborResult, StreamStats]:
+        """Out-of-core self-join with FaSTED numerics (bit-identical).
+
+        Runs on :func:`repro.core.engine.streaming_self_join`: row blocks
+        are loaded from ``source`` on demand, quantization and the Step-1
+        norms are computed per block (both are row-local operations, so the
+        values match the resident path exactly), and only
+        ``O(row_block * d)`` rows stay in memory.  Pass
+        ``memory_budget_bytes`` to have the tile plan derived from a
+        resident-set budget instead of a block size.
+
+        Returns the result plus the :class:`~repro.core.engine.StreamStats`
+        (blocks loaded, observed peak resident bytes).
+        """
+        source = as_source(source)
+        eps2 = np.float32(float(eps) ** 2)
+
+        def prepare(block: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+            q = quantize_fp16(block)
+            return q, (q * q).sum(axis=1, dtype=np.float32)
+
+        def block_sq_dists(row_state, col_state) -> np.ndarray:
+            qr, sr = row_state
+            qc, sc = col_state
+            return norm_expansion_sq_dists(sr, sc, qr @ qc.T)
+
+        acc, stats = streaming_self_join(
+            source,
+            eps2,
+            prepare,
+            block_sq_dists,
+            row_block=row_block,
+            memory_budget_bytes=memory_budget_bytes,
+            store_distances=store_distances,
+            prefetch=prefetch,
+        )
+        return acc.finalize(source.n, float(eps)), stats
 
     # ------------------------------------------------------------------
     # Timing path

@@ -15,7 +15,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.engine import candidate_self_join, norm_expansion_sq_dists
+from repro.core.engine import (
+    GROUP_CHUNK_ELEMS,
+    batched_candidate_self_join,
+    candidate_self_join,
+    norm_expansion_sq_dists,
+)
 from repro.core.results import NeighborResult
 from repro.gpusim.spec import DEFAULT_SPEC, GpuSpec
 from repro.index.grid import GridIndex, variance_order
@@ -79,13 +84,22 @@ class GdsJoinKernel:
         return np.dtype(np.float32 if self.precision == "fp32" else np.float64)
 
     def self_join(
-        self, data: np.ndarray, eps: float, *, store_distances: bool = True
+        self,
+        data: np.ndarray,
+        eps: float,
+        *,
+        store_distances: bool = True,
+        batched: bool = False,
     ) -> GdsJoinResult:
         """Index-supported self-join; returns result + cost statistics.
 
-        Runs on the shared candidate-group executor
-        (:func:`repro.core.engine.candidate_self_join`); the candidate
-        tally and profiling sample ride along via the ``on_group`` hook.
+        Runs on the shared candidate-group executors: per-group GEMMs
+        (:func:`repro.core.engine.candidate_self_join`, the default, pinned
+        bit-identical to the seed loop) or -- with ``batched=True`` --
+        small neighboring cell groups fused into padded batch GEMMs
+        (:func:`repro.core.engine.batched_candidate_self_join`; same pair
+        set, faster at small eps).  The candidate tally and profiling
+        sample ride along via the ``on_group`` hook either way.
         """
         data = np.ascontiguousarray(data, dtype=np.float64)
         n = data.shape[0]
@@ -103,6 +117,34 @@ class GdsJoinKernel:
                 take = min(candidates.size, 32)
                 sample_i.append(np.repeat(members, take))
                 sample_j.append(np.tile(candidates[:take], members.size))
+
+        if batched:
+            sq_norms = (work * work).sum(axis=1)
+            # The executor consumes size-sorted cells (better batch
+            # packing), but the profiling sample must be drawn the same
+            # way as the per-group path -- the first cells in *lex*
+            # order -- or the short-circuit profile (and the timing model
+            # built on it) would skew toward the smallest cells.
+            for members, candidates in index.iter_cells():
+                if len(sample_i) >= 64:
+                    break
+                if members.size and candidates.size:
+                    on_group(members, candidates)
+            total_candidates = 0  # re-tallied in full by the executor
+
+            def tally(members: np.ndarray, candidates: np.ndarray) -> None:
+                nonlocal total_candidates
+                total_candidates += members.size * candidates.size
+
+            acc = batched_candidate_self_join(
+                index.iter_cells(order="size"),
+                work,
+                sq_norms,
+                eps2,
+                store_distances=store_distances,
+                on_group=tally,
+            )
+            return self._finalize(acc, data, eps, total_candidates, sample_i, sample_j, index)
 
         # The engine chunks wide candidate lists, calling dist() several
         # times per group with the *same* members array: hoist the member
@@ -132,10 +174,16 @@ class GdsJoinKernel:
             dist,
             eps2,
             store_distances=store_distances,
-            candidate_chunk=max(1, 2_000_000 // max(data.shape[1], 1)),
+            candidate_chunk=max(1, GROUP_CHUNK_ELEMS // max(data.shape[1], 1)),
             on_group=on_group,
         )
-        result = acc.finalize(n, float(eps))
+        return self._finalize(acc, data, eps, total_candidates, sample_i, sample_j, index)
+
+    def _finalize(
+        self, acc, data, eps, total_candidates, sample_i, sample_j, index
+    ) -> GdsJoinResult:
+        """Shared epilogue: result + short-circuit profile + statistics."""
+        result = acc.finalize(data.shape[0], float(eps))
         cand_pairs = (
             np.concatenate(sample_i) if sample_i else np.empty(0, np.int64),
             np.concatenate(sample_j) if sample_j else np.empty(0, np.int64),

@@ -15,7 +15,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.engine import candidate_self_join, norm_expansion_sq_dists
+from repro.core.engine import (
+    batched_candidate_self_join,
+    candidate_self_join,
+    norm_expansion_sq_dists,
+)
 from repro.core.results import NeighborResult
 from repro.gpusim.spec import DEFAULT_SPEC, GpuSpec
 from repro.index.mstree import MultiSpaceTree
@@ -64,8 +68,14 @@ class MisticKernel:
         *,
         store_distances: bool = True,
         group: int = 512,
+        batched: bool = False,
     ) -> MisticResult:
-        """Index-supported self-join; returns result + cost statistics."""
+        """Index-supported self-join; returns result + cost statistics.
+
+        ``batched`` fuses small tree groups into padded batch GEMMs
+        (:func:`repro.core.engine.batched_candidate_self_join`) -- same
+        pair set, faster when ``group`` is small or eps prunes hard.
+        """
         data = np.ascontiguousarray(data, dtype=np.float64)
         n = data.shape[0]
         tree = MultiSpaceTree(
@@ -77,21 +87,31 @@ class MisticKernel:
 
         sq_norms = np.einsum("nd,nd->n", work, work)
 
-        def dist(members: np.ndarray, candidates: np.ndarray) -> np.ndarray:
-            # Norm-expansion distances (see gdsjoin.py for the precision
-            # argument); BLAS-backed, so group size only bounds memory.
-            return norm_expansion_sq_dists(
-                sq_norms[members],
-                sq_norms[candidates],
-                work[members] @ work[candidates].T,
+        if batched:
+            acc = batched_candidate_self_join(
+                tree.iter_groups(group=group),
+                work,
+                sq_norms,
+                eps2,
+                store_distances=store_distances,
             )
+        else:
 
-        acc = candidate_self_join(
-            tree.iter_groups(group=group),
-            dist,
-            eps2,
-            store_distances=store_distances,
-        )
+            def dist(members: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+                # Norm-expansion distances (see gdsjoin.py for the precision
+                # argument); BLAS-backed, so group size only bounds memory.
+                return norm_expansion_sq_dists(
+                    sq_norms[members],
+                    sq_norms[candidates],
+                    work[members] @ work[candidates].T,
+                )
+
+            acc = candidate_self_join(
+                tree.iter_groups(group=group),
+                dist,
+                eps2,
+                store_distances=store_distances,
+            )
         result = acc.finalize(n, float(eps))
         total_candidates = tree.total_candidates()
         rng = np.random.default_rng(self.seed)

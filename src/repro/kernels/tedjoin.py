@@ -27,11 +27,15 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.engine import (
+    StreamStats,
+    batched_candidate_self_join,
     candidate_self_join,
     norm_expansion_sq_dists,
+    streaming_self_join,
     symmetric_self_join,
 )
 from repro.core.results import NeighborResult
+from repro.data.source import DatasetSource, as_source
 from repro.gpusim.occupancy import BlockResources, blocks_per_sm
 from repro.gpusim.spec import DEFAULT_SPEC, GpuSpec
 from repro.index.grid import GridIndex
@@ -127,6 +131,60 @@ class TedJoinKernel:
     # Functional path (exact FP64)
     # ------------------------------------------------------------------
 
+    def self_join_stream(
+        self,
+        source: DatasetSource,
+        eps: float,
+        *,
+        store_distances: bool = True,
+        row_block: int = 1024,
+        memory_budget_bytes: int | None = None,
+        prefetch: bool = True,
+    ) -> tuple[TedJoinResult, StreamStats]:
+        """Out-of-core FP64 brute self-join (bit-identical to resident).
+
+        Brute variant only: the index variant needs the whole dataset to
+        build its grid, so it has no out-of-core mode.  Per-block state is
+        the contiguous FP64 block plus its row norms (row-local, hence
+        value-identical to the resident precompute); peak residency is
+        bounded by the :class:`~repro.core.engine.TilePlan`.
+        """
+        if self.variant != "brute":
+            raise ValueError("streaming is only defined for the brute variant")
+        source = as_source(source)
+        if not self.supports(source.dim):
+            raise MemoryError(
+                f"TED-Join ({'modified' if self.modified else 'original'}) "
+                f"exceeds shared memory at d={source.dim}"
+            )
+        eps2 = float(eps) ** 2
+
+        def prepare(block: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+            return block, (block * block).sum(axis=1)
+
+        def block_sq_dists(row_state, col_state) -> np.ndarray:
+            dr, sr = row_state
+            dc, sc = col_state
+            return norm_expansion_sq_dists(sr, sc, dr @ dc.T)
+
+        acc, stats = streaming_self_join(
+            source,
+            eps2,
+            prepare,
+            block_sq_dists,
+            row_block=row_block,
+            memory_budget_bytes=memory_budget_bytes,
+            store_distances=store_distances,
+            prefetch=prefetch,
+        )
+        n = source.n
+        result = TedJoinResult(
+            result=acc.finalize(n, float(eps)),
+            total_candidates=n * n,
+            profile=None,
+        )
+        return result, stats
+
     def self_join(
         self,
         data: np.ndarray,
@@ -134,6 +192,7 @@ class TedJoinKernel:
         *,
         store_distances: bool = True,
         workers: int = 0,
+        batched: bool = False,
     ) -> TedJoinResult:
         """FP64-exact self-join (norm-expansion form, as TED-Join computes).
 
@@ -143,9 +202,11 @@ class TedJoinKernel:
         bit-identical to evaluating the full matrix at half the GEMM work),
         the index variant on the candidate-group executor.  ``workers``
         parallelizes the brute variant's tile dispatch only; the index
-        variant's candidate pass is always serial.  The modeled hardware
-        cost is unchanged: TED-Join itself evaluates all ``n^2``
-        candidates.
+        variant's candidate pass is always serial.  ``batched`` routes the
+        index variant through the padded batch-GEMM executor
+        (:func:`repro.core.engine.batched_candidate_self_join`) -- same
+        pair set, faster at small eps.  The modeled hardware cost is
+        unchanged: TED-Join itself evaluates all ``n^2`` candidates.
 
         Raises :class:`MemoryError` when the dimensionality exceeds the
         shared-memory capacity, mirroring the hardware failure.
@@ -189,18 +250,29 @@ class TedJoinKernel:
             padded = (-(-members.size // 8) * 8) * (-(-candidates.size // 8) * 8)
             total_candidates += padded
 
-        def dist(members: np.ndarray, candidates: np.ndarray) -> np.ndarray:
-            return norm_expansion_sq_dists(
-                s[members], s[candidates], data[members] @ data[candidates].T
+        if batched:
+            acc = batched_candidate_self_join(
+                index.iter_cells(order="size"),
+                data,
+                s,
+                eps2,
+                store_distances=store_distances,
+                on_group=on_group,
             )
+        else:
 
-        acc = candidate_self_join(
-            index.iter_cells(),
-            dist,
-            eps2,
-            store_distances=store_distances,
-            on_group=on_group,
-        )
+            def dist(members: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+                return norm_expansion_sq_dists(
+                    s[members], s[candidates], data[members] @ data[candidates].T
+                )
+
+            acc = candidate_self_join(
+                index.iter_cells(),
+                dist,
+                eps2,
+                store_distances=store_distances,
+                on_group=on_group,
+            )
         return TedJoinResult(
             result=acc.finalize(n, float(eps)),
             total_candidates=total_candidates,

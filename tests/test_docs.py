@@ -1,0 +1,81 @@
+"""Documentation integrity: the docs layer must track the code.
+
+Runs the same reference checker as the CI docs job
+(``tools/check_docs.py``) over ``README.md`` and ``docs/*.md``, so a PR
+that moves or deletes a referenced file fails tier-1 locally, and pins
+the structural claims README makes (CLI command table, benchmark keys).
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "tools" / "check_docs.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_docs_exist():
+    assert (REPO_ROOT / "README.md").is_file()
+    assert (REPO_ROOT / "docs" / "ARCHITECTURE.md").is_file()
+    assert (REPO_ROOT / "docs" / "BENCHMARKS.md").is_file()
+
+
+def test_no_dangling_references():
+    checker = _load_checker()
+    errors = []
+    for doc in checker.default_docs():
+        errors.extend(checker.check_file(doc))
+    assert not errors, "\n".join(errors)
+
+
+def test_checker_catches_dangling(tmp_path):
+    checker = _load_checker()
+    bad = tmp_path / "bad.md"
+    bad.write_text(
+        "see `src/repro/does_not_exist.py` and [doc](missing/file.md)\n"
+        "but `python -m repro fig8` and `np.matmul` are not paths\n"
+    )
+    errors = checker.check_file(bad)
+    assert len(errors) == 2
+    assert "does_not_exist" in errors[0]
+
+
+def test_readme_lists_every_cli_command():
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        from repro.cli import build_parser
+    finally:
+        sys.path.pop(0)
+    readme = (REPO_ROOT / "README.md").read_text()
+    sub = next(
+        a for a in build_parser()._actions
+        if a.__class__.__name__ == "_SubParsersAction"
+    )
+    for command in sub.choices:
+        assert f"python -m repro {command}" in readme, (
+            f"README command table is missing `python -m repro {command}`"
+        )
+
+
+def test_readme_mentions_committed_bench_entries():
+    """README's speedup table and BENCH_engine.json must not drift apart."""
+    bench = json.loads((REPO_ROOT / "BENCH_engine.json").read_text())
+    readme = (REPO_ROOT / "README.md").read_text()
+    assert "rz_sum_squares" in readme and "rz_sum_squares" in bench
+    for key in ("streaming", "candidate_batched"):
+        assert key in bench, f"BENCH_engine.json lost its `{key}` entry"
+    assert bench["streaming"]["bit_identical"] is True
+    assert bench["streaming"]["within_budget"] is True
+    speedups = [
+        k["speedup"] for k in bench["candidate_batched"]["kernels"].values()
+    ]
+    assert max(speedups) >= 1.3, "batched executor no longer lifts any kernel"

@@ -1,0 +1,448 @@
+"""Tests for the out-of-core streaming executor and the batched candidate
+executor (repro.core.engine.streaming_self_join / batched_candidate_self_join,
+repro.data.source).
+
+The streaming contract is *bit-identity with the in-memory engine at the
+same tile plan*: per-block preparation is row-local and per-tile GEMM
+shapes are unchanged, so streamed results must match the resident path
+bitwise -- including when the dataset is served from a memory-mapped
+``.npy`` (or a chunk directory) and is deliberately larger than the
+configured memory budget.  The batched executor's contract is weaker by
+design: the *pair set* matches the per-group path, while FP32 low-order
+distance bits may differ (BLAS may reassociate for the padded shapes).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.api import self_join, self_join_stream
+from repro.core.engine import (
+    TilePlan,
+    batched_candidate_self_join,
+    candidate_self_join,
+    iter_symmetric_tiles,
+    norm_expansion_sq_dists,
+    streaming_self_join,
+)
+from repro.core.selectivity import epsilon_for_selectivity
+from repro.data.source import (
+    ArraySource,
+    ChunkedNpySource,
+    MmapNpySource,
+    as_source,
+    write_chunked_npy,
+)
+from repro.data.synthetic import fine_grid_dataset
+from repro.index.grid import GridIndex
+from repro.kernels.fasted import FastedKernel
+from repro.kernels.gdsjoin import GdsJoinKernel
+from repro.kernels.mistic import MisticKernel
+from repro.kernels.reference import canon, joins_bit_identical
+from repro.kernels.tedjoin import TedJoinKernel
+
+
+def _dataset(d, n=500, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(0, 4, size=(6, d))
+    return centers[rng.integers(0, 6, n)] + rng.normal(0, 0.5, size=(n, d))
+
+
+def assert_pair_sets_equal(a, b):
+    ai, aj, _ = canon(a)
+    bi, bj, _ = canon(b)
+    np.testing.assert_array_equal(ai, bi)
+    np.testing.assert_array_equal(aj, bj)
+
+
+# ----------------------------------------------------------------------
+# TilePlan
+# ----------------------------------------------------------------------
+
+
+class TestTilePlan:
+    def test_matches_in_memory_tiling(self):
+        plan = TilePlan(n=1000, row_block=128)
+        from_plan = [
+            (
+                *plan.block_bounds(ri),
+                *plan.block_bounds(cj),
+            )
+            for ri, cj in plan.tiles()
+        ]
+        expect = [
+            (r0, r1, c0, c1)
+            for r0, r1, c0, c1 in iter_symmetric_tiles(1000, 128)
+        ]
+        assert [(a, b, c, d) for a, b, c, d in from_plan] == expect
+        assert plan.n_tiles == len(expect)
+
+    def test_from_budget_respects_bound(self):
+        n, d, budget = 10_000, 64, 1 << 20
+        plan = TilePlan.from_budget(n, d, budget)
+        assert plan.peak_resident_bytes(d) <= budget
+        assert plan.row_block >= 1
+
+    def test_from_budget_tiny_budget_still_progresses(self):
+        plan = TilePlan.from_budget(100, 4096, 1024)
+        assert plan.row_block == 1  # floor: one row per block
+        assert plan.n_blocks == 100
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            TilePlan(n=10, row_block=0)
+        with pytest.raises(ValueError):
+            TilePlan.from_budget(10, 8, 0)
+
+
+# ----------------------------------------------------------------------
+# Dataset sources
+# ----------------------------------------------------------------------
+
+
+class TestSources:
+    def test_array_source_blocks(self):
+        data = _dataset(16, n=37)
+        src = ArraySource(data)
+        np.testing.assert_array_equal(src.load_block(5, 20), data[5:20])
+        np.testing.assert_array_equal(src.materialize(), data)
+        assert src.shape == data.shape
+        with pytest.raises(IndexError):
+            src.load_block(0, 38)
+
+    def test_mmap_npy_source(self, tmp_path):
+        data = _dataset(8, n=50).astype(np.float32)  # non-float64 on disk
+        path = tmp_path / "data.npy"
+        np.save(path, data)
+        src = MmapNpySource(path)
+        got = src.load_block(10, 30)
+        assert got.dtype == np.float64 and got.flags.c_contiguous
+        np.testing.assert_array_equal(got, data[10:30].astype(np.float64))
+
+    def test_chunked_source_round_trip(self, tmp_path):
+        data = _dataset(8, n=103)
+        src = write_chunked_npy(tmp_path / "chunks", data, rows_per_chunk=10)
+        assert src.n == 103 and src.dim == 8
+        # A block spanning several chunk boundaries.
+        np.testing.assert_array_equal(src.load_block(7, 95), data[7:95])
+        np.testing.assert_array_equal(src.materialize(), data)
+
+    def test_chunked_source_without_manifest(self, tmp_path):
+        data = _dataset(8, n=45)
+        d = tmp_path / "chunks"
+        write_chunked_npy(d, data, rows_per_chunk=20)
+        (d / "chunks.json").unlink()
+        src = ChunkedNpySource(d)
+        np.testing.assert_array_equal(src.materialize(), data)
+
+    def test_as_source_dispatch(self, tmp_path):
+        data = _dataset(8, n=20)
+        assert isinstance(as_source(data), ArraySource)
+        path = tmp_path / "d.npy"
+        np.save(path, data)
+        assert isinstance(as_source(str(path)), MmapNpySource)
+        cdir = tmp_path / "chunks"
+        write_chunked_npy(cdir, data, rows_per_chunk=7)
+        assert isinstance(as_source(cdir), ChunkedNpySource)
+        src = ArraySource(data)
+        assert as_source(src) is src
+
+
+# ----------------------------------------------------------------------
+# Streaming bit-identity
+# ----------------------------------------------------------------------
+
+
+class TestStreamingBitIdentity:
+    def test_fasted_array_source(self):
+        data = _dataset(48)
+        eps = epsilon_for_selectivity(data, 16)
+        mem = FastedKernel().self_join(data, eps, row_block=128)
+        got, stats = FastedKernel().self_join_stream(
+            ArraySource(data), eps, row_block=128
+        )
+        assert joins_bit_identical(mem, got)
+        assert stats.blocks_loaded == stats.plan.n_tiles  # each tile: 1 load
+
+    def test_fasted_mmap_larger_than_budget(self, tmp_path):
+        """The headline contract: dataset > budget, bit-identical, bounded."""
+        data = _dataset(64, n=900, seed=1)
+        path = tmp_path / "big.npy"
+        np.save(path, data)
+        source = MmapNpySource(path)
+        budget = 128 * 1024
+        assert source.nbytes > budget  # deliberately larger than the budget
+        plan = TilePlan.from_budget(source.n, source.dim, budget)
+        mem = FastedKernel().self_join(data, eps := epsilon_for_selectivity(data, 16), row_block=plan.row_block)
+        got, stats = FastedKernel().self_join_stream(
+            source, eps, memory_budget_bytes=budget
+        )
+        assert joins_bit_identical(mem, got)
+        assert stats.peak_resident_bytes <= budget
+        assert stats.plan.n_blocks > TilePlan.RESIDENT_BLOCKS
+
+    def test_ted_brute_chunked_larger_than_budget(self, tmp_path):
+        data = _dataset(32, n=700, seed=2)
+        source = write_chunked_npy(tmp_path / "chunks", data, rows_per_chunk=64)
+        budget = 128 * 1024
+        assert source.nbytes > budget
+        eps = epsilon_for_selectivity(data, 16)
+        # FP64 tile geometry is bit-invariant across row_block (pinned by
+        # tests/test_engine.py), so compare against the default path.
+        mem = TedJoinKernel(variant="brute").self_join(data, eps).result
+        got, stats = TedJoinKernel(variant="brute").self_join_stream(
+            source, eps, memory_budget_bytes=budget
+        )
+        assert joins_bit_identical(mem, got.result)
+        assert stats.peak_resident_bytes <= budget
+
+    def test_prefetch_off_identical(self):
+        data = _dataset(32, n=400, seed=3)
+        eps = epsilon_for_selectivity(data, 12)
+        a, _ = FastedKernel().self_join_stream(
+            ArraySource(data), eps, row_block=100, prefetch=True
+        )
+        b, _ = FastedKernel().self_join_stream(
+            ArraySource(data), eps, row_block=100, prefetch=False
+        )
+        # Same commit order, not just the same set.
+        np.testing.assert_array_equal(a.pairs_i, b.pairs_i)
+        np.testing.assert_array_equal(a.pairs_j, b.pairs_j)
+        assert np.array_equal(a.sq_dists.view(np.uint32), b.sq_dists.view(np.uint32))
+
+    def test_store_distances_off(self):
+        data = _dataset(24, n=200, seed=4)
+        eps = epsilon_for_selectivity(data, 8)
+        got, _ = FastedKernel().self_join_stream(
+            ArraySource(data), eps, row_block=64, store_distances=False
+        )
+        assert got.sq_dists.size == 0
+        mem = FastedKernel().self_join(data, eps, row_block=64)
+        assert_pair_sets_equal(mem, got)
+
+    def test_streaming_engine_generic(self):
+        """streaming_self_join with trivial numerics == symmetric result."""
+        data = _dataset(16, n=150, seed=5).astype(np.float64)
+        s = (data * data).sum(axis=1)
+        eps2 = float(epsilon_for_selectivity(data, 8)) ** 2
+
+        def prepare(block):
+            return block, (block * block).sum(axis=1)
+
+        def dists(row, col):
+            return norm_expansion_sq_dists(row[1], col[1], row[0] @ col[0].T)
+
+        acc, stats = streaming_self_join(
+            ArraySource(data), eps2, prepare, dists, row_block=40
+        )
+        from repro.core.engine import symmetric_self_join
+
+        def tile(r0, r1, c0, c1):
+            return norm_expansion_sq_dists(
+                s[r0:r1], s[c0:c1], data[r0:r1] @ data[c0:c1].T
+            )
+
+        ref = symmetric_self_join(150, eps2, tile, row_block=40)
+        a = acc.finalize(150, 1.0)
+        b = ref.finalize(150, 1.0)
+        assert joins_bit_identical(a, b)
+        assert stats.tiles_evaluated == stats.plan.n_tiles
+
+    def test_ted_index_variant_refuses_streaming(self):
+        with pytest.raises(ValueError):
+            TedJoinKernel(variant="index").self_join_stream(
+                ArraySource(_dataset(16, n=50)), 1.0
+            )
+
+
+# ----------------------------------------------------------------------
+# API-level streaming
+# ----------------------------------------------------------------------
+
+
+class TestApiStreaming:
+    def test_stream_flag_matches_in_memory(self):
+        data = _dataset(32, n=300, seed=6)
+        eps = float(epsilon_for_selectivity(data, 12))
+        mem = self_join(data, eps)
+        streamed = self_join(data, eps, stream=True)
+        assert joins_bit_identical(mem, streamed)
+
+    def test_stream_from_path(self, tmp_path):
+        data = _dataset(32, n=300, seed=6)
+        eps = float(epsilon_for_selectivity(data, 12))
+        path = tmp_path / "d.npy"
+        np.save(path, data)
+        mem = self_join(data, eps, method="ted-join-brute")
+        streamed = self_join(
+            path, eps, method="ted-join-brute", stream=True,
+            memory_budget_bytes=96 * 1024,
+        )
+        assert joins_bit_identical(mem, streamed)
+
+    def test_materializes_source_for_index_methods(self, tmp_path):
+        data = _dataset(24, n=250, seed=7)
+        eps = float(epsilon_for_selectivity(data, 8))
+        path = tmp_path / "d.npy"
+        np.save(path, data)
+        mem = self_join(data, eps, method="gds-join")
+        via_path = self_join(str(path), eps, method="gds-join")
+        assert joins_bit_identical(mem, via_path)
+
+    def test_memory_budget_implies_stream(self, tmp_path):
+        """An explicit budget must never be answered by materializing."""
+        data = _dataset(32, n=300, seed=6)
+        eps = float(epsilon_for_selectivity(data, 12))
+        path = tmp_path / "d.npy"
+        np.save(path, data)
+        budget = 96 * 1024
+        plan = TilePlan.from_budget(300, 32, budget)
+        mem = FastedKernel().self_join(data, eps, row_block=plan.row_block)
+        got = self_join(path, eps, memory_budget_bytes=budget)  # no stream=
+        assert joins_bit_identical(mem, got)
+
+    def test_self_join_stream_returns_stats(self):
+        data = _dataset(24, n=220, seed=9)
+        eps = float(epsilon_for_selectivity(data, 8))
+        result, stats = self_join_stream(
+            data, eps, method="ted-join-brute", memory_budget_bytes=64 * 1024
+        )
+        assert stats.peak_resident_bytes <= 64 * 1024
+        assert joins_bit_identical(
+            result, self_join(data, eps, method="ted-join-brute")
+        )
+        with pytest.raises(ValueError):
+            self_join_stream(data, eps, method="mistic")
+
+    def test_stream_rejected_for_index_methods(self):
+        data = _dataset(16, n=60)
+        with pytest.raises(ValueError):
+            self_join(data, 1.0, method="gds-join", stream=True)
+        with pytest.raises(ValueError):
+            self_join(data, 1.0, method="gds-join", memory_budget_bytes=1 << 20)
+        with pytest.raises(ValueError):
+            # A budget cannot be honored by the materializing path.
+            self_join(data, 1.0, stream=False, memory_budget_bytes=1 << 20)
+
+    def test_batched_rejected_for_brute_methods(self):
+        data = _dataset(16, n=60)
+        with pytest.raises(ValueError):
+            self_join(data, 1.0, method="fasted", batched=True)
+
+    def test_env_default(self, monkeypatch):
+        data = _dataset(24, n=200, seed=8)
+        eps = float(epsilon_for_selectivity(data, 8))
+        mem = self_join(data, eps)
+        monkeypatch.setenv("REPRO_STREAM", "1")
+        streamed = self_join(data, eps)
+        assert joins_bit_identical(mem, streamed)
+        # Index methods quietly keep materializing under the env default.
+        idx = self_join(data, eps, method="gds-join")
+        assert idx.n_points == 200
+
+
+# ----------------------------------------------------------------------
+# Batched candidate executor
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("d", [32, 64])
+class TestBatchedCandidateExecutor:
+    def test_gds_join_pair_set(self, d):
+        data = fine_grid_dataset(800, d, seed=d)
+        eps = float(epsilon_for_selectivity(data, 8))
+        plain = GdsJoinKernel().self_join(data, eps, batched=False).result
+        batched = GdsJoinKernel().self_join(data, eps, batched=True).result
+        assert_pair_sets_equal(plain, batched)
+        ad, bd = canon(plain)[2], canon(batched)[2]
+        # FP32 norm expansion: absolute error scales with the squared-norm
+        # magnitude (~1e4 here), not the small distances, so the tolerance
+        # is a few ulps of the norms -- same caveat as row_block changes.
+        np.testing.assert_allclose(ad, bd, rtol=1e-3, atol=0.05)
+
+    def test_ted_index_pair_set(self, d):
+        data = fine_grid_dataset(700, d, seed=d + 1)
+        eps = float(epsilon_for_selectivity(data, 8))
+        plain = TedJoinKernel(variant="index").self_join(data, eps, batched=False)
+        batched = TedJoinKernel(variant="index").self_join(data, eps, batched=True)
+        assert_pair_sets_equal(plain.result, batched.result)
+        # The 8x8-padded candidate tally must not depend on the executor.
+        assert plain.total_candidates == batched.total_candidates
+
+    def test_mistic_pair_set(self, d):
+        data = fine_grid_dataset(600, d, seed=d + 2)
+        eps = float(epsilon_for_selectivity(data, 8))
+        plain = MisticKernel().self_join(data, eps, batched=False).result
+        batched = MisticKernel().self_join(data, eps, batched=True).result
+        assert_pair_sets_equal(plain, batched)
+
+
+class TestBatchedEngine:
+    def _setup(self, n=400, d=24, seed=9):
+        data = fine_grid_dataset(n, d, seed=seed)
+        eps = float(epsilon_for_selectivity(data, 8))
+        index = GridIndex(data, eps)
+        work = np.ascontiguousarray(data, dtype=np.float64)
+        s = (work * work).sum(axis=1)
+        return data, eps, index, work, s
+
+    def test_matches_per_group_executor(self):
+        data, eps, index, work, s = self._setup()
+        eps2 = float(eps) ** 2
+
+        def dist(members, cand):
+            return norm_expansion_sq_dists(
+                s[members], s[cand], work[members] @ work[cand].T
+            )
+
+        plain = candidate_self_join(index.iter_cells(), dist, eps2)
+        batched = batched_candidate_self_join(
+            index.iter_cells(order="size"), work, s, eps2
+        )
+        a = plain.finalize(data.shape[0], eps)
+        b = batched.finalize(data.shape[0], eps)
+        # FP64 norm expansion: even the distances agree bitwise here.
+        assert joins_bit_identical(a, b)
+
+    def test_forced_tiny_batches(self):
+        """Pathological knobs (every group flushes alone) still correct."""
+        data, eps, index, work, s = self._setup(n=250)
+        eps2 = float(eps) ** 2
+        batched = batched_candidate_self_join(
+            index.iter_cells(), work, s, eps2, batch_elems=1, single_elems=1
+        )
+
+        def dist(members, cand):
+            return norm_expansion_sq_dists(
+                s[members], s[cand], work[members] @ work[cand].T
+            )
+
+        plain = candidate_self_join(index.iter_cells(), dist, eps2)
+        assert joins_bit_identical(
+            plain.finalize(250, eps), batched.finalize(250, eps)
+        )
+
+    def test_on_group_sees_every_group_in_order(self):
+        data, eps, index, work, s = self._setup(n=300)
+        seen = []
+        batched_candidate_self_join(
+            index.iter_cells(),
+            work,
+            s,
+            -1.0,  # keep nothing
+            on_group=lambda m, c: seen.append((m.size, c.size)),
+        )
+        expect = [
+            (m.size, c.size) for m, c in index.iter_cells() if m.size and c.size
+        ]
+        assert seen == expect
+
+    def test_size_order_same_pair_set(self):
+        data, eps, index, work, s = self._setup(n=350, seed=11)
+        eps2 = float(eps) ** 2
+        lex = batched_candidate_self_join(index.iter_cells(), work, s, eps2)
+        size = batched_candidate_self_join(
+            index.iter_cells(order="size"), work, s, eps2
+        )
+        assert joins_bit_identical(
+            lex.finalize(350, eps), size.finalize(350, eps)
+        )

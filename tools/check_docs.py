@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Documentation reference checker: fail on dangling file paths.
+
+Scans ``README.md`` and ``docs/*.md`` (or the files given on the command
+line) for references to repository files and verifies each one exists:
+
+* inline-code tokens that look like repository paths -- contain a ``/``
+  and only path characters (so prose, shell commands, and Python
+  expressions are never misread as paths);
+* relative markdown link targets ``[text](path)`` (external ``http(s)``
+  links and ``#`` anchors are skipped).
+
+Paths are resolved against the repository root first, then against the
+referencing document's directory.  A trailing ``/`` means the reference
+must be a directory.
+
+Used by the CI docs job::
+
+    python tools/check_docs.py
+
+Exit status 0 when every reference resolves, 1 otherwise (each dangling
+reference is reported with its file and line).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline code span: `...` (no backticks inside).
+_CODE_RE = re.compile(r"`([^`\n]+)`")
+
+#: Markdown link target: [text](target).
+_LINK_RE = re.compile(r"\[[^\]\n]*\]\(([^)\s]+)\)")
+
+#: A code token is treated as a repo path only when it is purely
+#: path-shaped AND contains a directory separator; bare file names
+#: (`data.npy`), commands, and dotted Python names are skipped.
+_PATH_TOKEN_RE = re.compile(r"^[A-Za-z0-9_.\-][A-Za-z0-9_.\-/]*/[A-Za-z0-9_.\-/]*$")
+
+
+def default_docs() -> list[Path]:
+    docs = [REPO_ROOT / "README.md"]
+    docs.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [d for d in docs if d.exists()]
+
+
+def iter_references(text: str):
+    """Yield ``(line_number, reference)`` for every checkable reference."""
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in _CODE_RE.finditer(line):
+            token = match.group(1).strip()
+            if _PATH_TOKEN_RE.match(token):
+                yield lineno, token
+        for match in _LINK_RE.finditer(line):
+            target = match.group(1).split("#", 1)[0].strip()
+            if not target or "://" in target or target.startswith("mailto:"):
+                continue
+            yield lineno, target
+
+
+def check_file(doc: Path) -> list[str]:
+    """Return error strings for the dangling references of one document."""
+    errors = []
+    for lineno, ref in iter_references(doc.read_text()):
+        want_dir = ref.endswith("/")
+        candidates = [REPO_ROOT / ref, doc.parent / ref]
+        ok = any(
+            c.is_dir() if want_dir else c.exists() for c in candidates
+        )
+        if not ok:
+            try:
+                shown = doc.relative_to(REPO_ROOT)
+            except ValueError:  # document outside the repository
+                shown = doc
+            errors.append(f"{shown}:{lineno}: dangling reference `{ref}`")
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    docs = [Path(a).resolve() for a in args] if args else default_docs()
+    errors: list[str] = []
+    checked = 0
+    for doc in docs:
+        if not doc.exists():
+            errors.append(f"{doc}: document not found")
+            continue
+        checked += 1
+        errors.extend(check_file(doc))
+    for err in errors:
+        print(err, file=sys.stderr)
+    print(f"checked {checked} document(s): "
+          + ("OK" if not errors else f"{len(errors)} dangling reference(s)"))
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
