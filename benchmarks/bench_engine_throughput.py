@@ -11,6 +11,10 @@ Measures, at the standard working point (n=4096):
   tile plan (bit-identity + peak-resident-vs-budget check, mmap-backed).
 * The batched candidate executor vs per-group GEMMs on the fine-grid
   workload (``fine_grid_dataset``, small eps -> thousands of tiny cells).
+* The two-source streaming executor (``streaming_join``) vs the in-memory
+  rectangular executor at the same tile plan (bit-identity + budget).
+* The source-backed index join (``GridIndex.from_source`` build + row
+  gathers) vs the in-memory grid-indexed self-join (bit-identity).
 
 Writes ``BENCH_engine.json`` at the repository root (see
 docs/BENCHMARKS.md for the workflow: extend this file, never replace it).
@@ -30,9 +34,9 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.engine import TilePlan
+from repro.core.engine import RectTilePlan, TilePlan
 from repro.core.selectivity import epsilon_for_selectivity
-from repro.data.source import MmapNpySource
+from repro.data.source import MmapNpySource, write_chunked_npy
 from repro.data.synthetic import fine_grid_dataset
 from repro.fp import native
 from repro.fp.fp16 import to_fp16
@@ -217,6 +221,97 @@ def bench_streaming(data: np.ndarray, eps: float) -> dict:
     }
 
 
+def bench_two_source(rng: np.random.Generator, eps: float) -> dict:
+    """Two-source streaming executor vs in-memory rect executor, same plan.
+
+    FaSTED numerics; both datasets are served from memory-mapped ``.npy``
+    files and the rectangular tile plan is derived from
+    ``STREAM_BUDGET_BYTES`` (a fraction of either dataset), so the
+    peak-resident check covers both sources.  The in-memory run uses the
+    same block edges -- the configuration where streaming is bit-identical
+    (same FP32 GEMM tile shapes; see docs/ARCHITECTURE.md).
+    """
+    a = rng.normal(size=(N_POINTS, JOIN_DIMS))
+    b = rng.normal(size=(N_POINTS, JOIN_DIMS))
+    plan = RectTilePlan.from_budget(
+        a.shape[0], b.shape[0], JOIN_DIMS, STREAM_BUDGET_BYTES
+    )
+    kern = FastedKernel()
+    with tempfile.TemporaryDirectory() as td:
+        path_a, path_b = Path(td) / "a.npy", Path(td) / "b.npy"
+        np.save(path_a, a)
+        np.save(path_b, b)
+        src_a, src_b = MmapNpySource(path_a), MmapNpySource(path_b)
+        mem = kern.join(a, b, eps, row_block=plan.row_block, col_block=plan.col_block)
+        streamed, stats = kern.join_stream(
+            src_a, src_b, eps, memory_budget_bytes=STREAM_BUDGET_BYTES
+        )
+        identical = joins_bit_identical(mem, streamed)
+        t_mem, t_stream = interleaved_medians(
+            lambda: kern.join(
+                a, b, eps, row_block=plan.row_block, col_block=plan.col_block
+            ),
+            lambda: kern.join_stream(
+                src_a, src_b, eps, memory_budget_bytes=STREAM_BUDGET_BYTES
+            ),
+        )
+    return {
+        "n_a": a.shape[0],
+        "n_b": b.shape[0],
+        "d": JOIN_DIMS,
+        "kernel": "fasted",
+        "memory_budget_bytes": STREAM_BUDGET_BYTES,
+        "dataset_bytes": int(a.nbytes + b.nbytes),
+        "row_block": plan.row_block,
+        "col_block": plan.col_block,
+        "blocks_loaded": stats.blocks_loaded,
+        "peak_resident_bytes": stats.peak_resident_bytes,
+        "within_budget": bool(stats.peak_resident_bytes <= STREAM_BUDGET_BYTES),
+        "in_memory_seconds": t_mem,
+        "streaming_seconds": t_stream,
+        "streaming_overhead": t_stream / t_mem,
+        "bit_identical": identical,
+        "result_pairs": int(streamed.pairs_i.size),
+    }
+
+
+def bench_streaming_index(data: np.ndarray, eps: float) -> dict:
+    """Source-backed index join vs the in-memory grid-indexed self-join.
+
+    GDS-Join builds its grid out of core (``GridIndex.from_source``:
+    streamed cell-key encoding + external counting sort over the chunked
+    source) and gathers candidate rows on demand, against the ordinary
+    in-memory ``self_join`` -- bit-identical by construction; the overhead
+    is the price of the streamed build passes and per-group gathers.
+    """
+    data = np.ascontiguousarray(data, dtype=np.float64)
+    kern = GdsJoinKernel()
+    row_block = 1024
+    with tempfile.TemporaryDirectory() as td:
+        source = write_chunked_npy(Path(td) / "chunks", data, rows_per_chunk=512)
+        mem = kern.self_join(data, eps).result
+        streamed, stats = kern.self_join_source(source, eps, row_block=row_block)
+        identical = joins_bit_identical(mem, streamed.result)
+        t_mem, t_stream = interleaved_medians(
+            lambda: kern.self_join(data, eps),
+            lambda: kern.self_join_source(source, eps, row_block=row_block),
+            reps=3,
+        )
+    return {
+        "n": data.shape[0],
+        "d": data.shape[1],
+        "kernel": "gds-join",
+        "row_block": row_block,
+        "build_blocks_loaded": stats.blocks_loaded,
+        "peak_resident_bytes": stats.peak_resident_bytes,
+        "in_memory_seconds": t_mem,
+        "streaming_seconds": t_stream,
+        "streaming_overhead": t_stream / t_mem,
+        "bit_identical": identical,
+        "result_pairs": int(streamed.result.pairs_i.size),
+    }
+
+
 def bench_candidate_batched() -> dict:
     """Batched vs per-group candidate executor at small eps.
 
@@ -283,6 +378,8 @@ def main() -> dict:
         "kernel_pairs_per_sec": bench_kernels(data, eps),
         "streaming": bench_streaming(data, eps),
         "candidate_batched": bench_candidate_batched(),
+        "two_source": bench_two_source(rng, eps),
+        "streaming_index": bench_streaming_index(data, eps),
     }
     OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))

@@ -20,9 +20,12 @@ Quickstart::
 from repro.core import (
     METHODS,
     STREAMABLE_METHODS,
+    JoinResult,
     NeighborResult,
     distance_error_stats,
     epsilon_for_selectivity,
+    join,
+    join_stream,
     overlap_accuracy,
     pairwise_sq_dists,
     self_join,
@@ -38,8 +41,11 @@ __all__ = [
     "STREAMABLE_METHODS",
     "self_join",
     "self_join_stream",
+    "join",
+    "join_stream",
     "pairwise_sq_dists",
     "NeighborResult",
+    "JoinResult",
     "epsilon_for_selectivity",
     "overlap_accuracy",
     "distance_error_stats",

@@ -12,12 +12,16 @@ Exposes the experiment drivers without writing any Python:
     $ python -m repro accuracy --dataset Cifar60K --n 3000
     $ python -m repro join --n 20000 --d 64 --stream --memory-budget 4
     $ python -m repro join --method gds-join --batched --selectivity 8
+    $ python -m repro join A.npy B_chunks/ --stream --memory-budget 4
 
 Model-driven experiments run instantly at the paper's full scales; the
 data-driven ones accept ``--n`` to bound the surrogate size.  ``join``
-runs one functional self-join end to end -- on synthetic data, a ``.npy``
-file, or a chunk directory (``--data``) -- optionally out-of-core
-(``--stream`` / ``--memory-budget``, in MiB) or with the batched candidate
+runs one functional join end to end: with no positional datasets a
+self-join on synthetic data (or ``--data``), with one positional a
+self-join on that dataset, and with two positionals the **two-source**
+join ``A x B`` (each a ``.npy`` file or chunk directory) -- optionally
+out-of-core (``--stream`` / ``--memory-budget``, in MiB) or, for
+self-joins on the index-backed methods, with the batched candidate
 executor (``--batched``).
 """
 
@@ -136,17 +140,38 @@ def _calibration_sample(source, target: int = 4096):
 
 
 def _cmd_join(args) -> str:
-    from repro.core.api import STREAMABLE_METHODS, self_join, self_join_stream
+    from repro.core.api import (
+        STREAMABLE_METHODS,
+        join,
+        join_stream,
+        self_join,
+        self_join_stream,
+    )
     from repro.core.selectivity import epsilon_for_selectivity
     from repro.data.source import as_source
     from repro.data.synthetic import synth_dataset
 
-    if args.data is not None:
-        source = as_source(args.data)
+    if args.data is not None and args.data_a is not None:
+        raise SystemExit("error: give datasets positionally OR via --data, not both")
+    two_source = args.data_b is not None
+    if two_source:
+        source = as_source(args.data_a)
+        source_b = as_source(args.data_b)
+        if source.dim != source_b.dim:
+            raise SystemExit(
+                f"error: A and B dimensionalities disagree "
+                f"({source.dim} != {source_b.dim})"
+            )
     else:
-        source = as_source(
-            synth_dataset(args.n, args.d, seed=args.seed, clustered=True)
-        )
+        source_b = None
+        if args.data_a is not None:
+            source = as_source(args.data_a)
+        elif args.data is not None:
+            source = as_source(args.data)
+        else:
+            source = as_source(
+                synth_dataset(args.n, args.d, seed=args.seed, clustered=True)
+            )
     if args.memory_budget is not None and args.memory_budget <= 0:
         raise SystemExit("error: --memory-budget must be a positive number of MiB")
     budget = (
@@ -156,45 +181,68 @@ def _cmd_join(args) -> str:
     if stream and args.method not in STREAMABLE_METHODS:
         raise SystemExit(
             f"error: --stream/--memory-budget need one of {STREAMABLE_METHODS}; "
-            f"{args.method} must materialize the dataset to build its index"
+            f"{args.method} materializes here (its out-of-core mode is the "
+            "kernel-level self_join_source)"
         )
-    if args.batched and args.method in STREAMABLE_METHODS:
+    if args.batched and (two_source or args.method in STREAMABLE_METHODS):
         raise SystemExit(
-            "error: --batched applies to the index-backed methods "
+            "error: --batched applies to index-backed self-joins "
             "(ted-join-index, gds-join, mistic)"
         )
     if args.eps is not None:
         eps = args.eps
     else:
-        cal = _calibration_sample(source)
+        # Calibrate against the set being searched: B for a two-source
+        # join (the target is matches per A point in B's density), the
+        # dataset itself for a self-join.
+        cal_src = source_b if two_source else source
+        cal = _calibration_sample(cal_src)
         # epsilon_for_selectivity targets S neighbors *within the data it
         # is given*; when calibrating on a subsample the quantile must be
         # rescaled to the full cardinality or the realized selectivity
         # would overshoot by ~n/sample.
         target = args.selectivity
-        if cal.shape[0] < source.n:
+        if cal.shape[0] < cal_src.n:
             target = max(
-                target * (cal.shape[0] - 1) / (source.n - 1), 1e-6
+                target * (cal.shape[0] - 1) / (cal_src.n - 1), 1e-6
             )
         eps = float(epsilon_for_selectivity(cal, target))
     lines = [
-        f"dataset: n={source.n} d={source.dim} "
-        f"({source.nbytes / (1 << 20):.1f} MiB as float64)",
+        (
+            f"datasets: A n={source.n}, B n={source_b.n}, d={source.dim} "
+            f"({(source.nbytes + source_b.nbytes) / (1 << 20):.1f} MiB as float64)"
+            if two_source
+            else f"dataset: n={source.n} d={source.dim} "
+            f"({source.nbytes / (1 << 20):.1f} MiB as float64)"
+        ),
         f"method: {args.method}  eps={eps:.4f}"
         + (f"  (calibrated for S={args.selectivity})" if args.eps is None else ""),
     ]
     t0 = time.perf_counter()
     if stream:
-        result, stats = self_join_stream(
-            source, eps, method=args.method, memory_budget_bytes=budget
-        )
+        if two_source:
+            result, stats = join_stream(
+                source, source_b, eps, method=args.method,
+                memory_budget_bytes=budget,
+            )
+            plan = stats.plan
+            geometry = (
+                f"row_block={plan.row_block} col_block={plan.col_block} "
+                f"({plan.n_row_blocks}x{plan.n_col_blocks} blocks, "
+                f"{plan.n_tiles} tiles, {stats.blocks_loaded} block loads)"
+            )
+        else:
+            result, stats = self_join_stream(
+                source, eps, method=args.method, memory_budget_bytes=budget
+            )
+            plan = stats.plan
+            geometry = (
+                f"row_block={plan.row_block} "
+                f"({plan.n_blocks} blocks, {plan.n_tiles} tiles, "
+                f"{stats.blocks_loaded} block loads)"
+            )
         elapsed = time.perf_counter() - t0
-        plan = stats.plan
-        lines.append(
-            f"streaming: row_block={plan.row_block} "
-            f"({plan.n_blocks} blocks, {plan.n_tiles} tiles, "
-            f"{stats.blocks_loaded} block loads)"
-        )
+        lines.append(f"streaming: {geometry}")
         lines.append(
             f"peak resident blocks: {stats.peak_resident_bytes / (1 << 20):.2f} MiB"
             + (
@@ -207,16 +255,27 @@ def _cmd_join(args) -> str:
         # stream=False pins the in-memory path even under REPRO_STREAM=1;
         # the data is already materialized here, re-streaming it would be
         # pure (and unreported) extra work.
-        result = self_join(
-            source.materialize(), eps, method=args.method,
-            batched=args.batched, stream=False,
-        )
+        if two_source:
+            result = join(
+                source.materialize(), source_b.materialize(), eps,
+                method=args.method, stream=False,
+            )
+        else:
+            result = self_join(
+                source.materialize(), eps, method=args.method,
+                batched=args.batched, stream=False,
+            )
         elapsed = time.perf_counter() - t0
         if args.batched:
             lines.append("candidate executor: batched (padded batch GEMMs)")
     lines.append(
         f"result: {result.pairs_i.size} pairs "
-        f"(selectivity {result.selectivity:.1f}) in {elapsed:.3f} s "
+        + (
+            f"(mean matches/query {result.selectivity:.1f}) "
+            if two_source
+            else f"(selectivity {result.selectivity:.1f}) "
+        )
+        + f"in {elapsed:.3f} s "
         f"({result.pairs_i.size / max(elapsed, 1e-9):,.0f} pairs/s)"
     )
     return "\n".join(lines)
@@ -238,7 +297,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--n", type=int, default=default_n, help="surrogate size")
         p.set_defaults(fn=fn)
     j = sub.add_parser(
-        "join", help="run one self-join (optionally streaming / batched)"
+        "join",
+        help="run one join: self-join, or two-source A x B "
+        "(optionally streaming / batched)",
+    )
+    j.add_argument(
+        "data_a", nargs="?", default=None, metavar="A",
+        help="left dataset (.npy file or chunk directory); alone: self-join",
+    )
+    j.add_argument(
+        "data_b", nargs="?", default=None, metavar="B",
+        help="right dataset; given, the command runs the two-source join A x B",
     )
     j.add_argument(
         "--method",
@@ -248,7 +317,8 @@ def build_parser() -> argparse.ArgumentParser:
     j.add_argument(
         "--data",
         default=None,
-        help=".npy file or chunk directory (default: synthetic clustered data)",
+        help="legacy alias for the A positional "
+        "(default: synthetic clustered data)",
     )
     j.add_argument("--n", type=int, default=8192, help="synthetic dataset size")
     j.add_argument("--d", type=int, default=64, help="synthetic dimensionality")

@@ -8,19 +8,30 @@ from repro.core.accuracy import (
 from repro.core.api import (
     METHODS,
     STREAMABLE_METHODS,
+    join,
+    join_stream,
     pairwise_sq_dists,
     self_join,
     self_join_stream,
 )
 from repro.core.engine import (
+    RectTilePlan,
     TilePlan,
     batched_candidate_self_join,
+    candidate_join,
     candidate_self_join,
     norm_expansion_sq_dists,
+    rect_join,
+    streaming_join,
     streaming_self_join,
     symmetric_self_join,
 )
-from repro.core.results import NeighborResult, PairAccumulator, from_dense_mask
+from repro.core.results import (
+    JoinResult,
+    NeighborResult,
+    PairAccumulator,
+    from_dense_mask,
+)
 from repro.core.selectivity import (
     epsilon_for_selectivity,
     measured_selectivity,
@@ -32,15 +43,22 @@ __all__ = [
     "STREAMABLE_METHODS",
     "self_join",
     "self_join_stream",
+    "join",
+    "join_stream",
     "pairwise_sq_dists",
     "NeighborResult",
+    "JoinResult",
     "PairAccumulator",
     "from_dense_mask",
     "TilePlan",
+    "RectTilePlan",
     "symmetric_self_join",
     "candidate_self_join",
+    "candidate_join",
     "batched_candidate_self_join",
     "streaming_self_join",
+    "streaming_join",
+    "rect_join",
     "norm_expansion_sq_dists",
     "epsilon_for_selectivity",
     "measured_selectivity",

@@ -3,21 +3,28 @@
 One-call entry points over the four implementations:
 
 >>> import numpy as np
->>> from repro import self_join, epsilon_for_selectivity
+>>> from repro import self_join, join, epsilon_for_selectivity
 >>> data = np.random.default_rng(0).normal(size=(2000, 128))
 >>> eps = epsilon_for_selectivity(data, 64)
 >>> result = self_join(data, eps)                 # FaSTED (FP16-32)
 >>> truth = self_join(data, eps, method="gds-join", precision="fp64")
+>>> queries = np.random.default_rng(1).normal(size=(500, 128))
+>>> matches = join(queries, data, eps)            # two-source A x B
 
 Methods: ``"fasted"`` (default), ``"ted-join-brute"``, ``"ted-join-index"``,
 ``"gds-join"``, ``"mistic"`` -- the five rows of paper Table 3.
 
-``data`` may also be a :class:`repro.data.source.DatasetSource` (or a path
-to a ``.npy`` file / chunk directory); with ``stream=True`` the brute
-methods then run out-of-core, holding only ``memory_budget_bytes`` of the
-dataset resident (docs/ARCHITECTURE.md describes the dataflow).  Setting
-the environment variable ``REPRO_STREAM=1`` flips the default to streaming
-wherever it is defined -- the CI streaming leg runs the test suite that way.
+Datasets may also be :class:`repro.data.source.DatasetSource` instances
+(or paths to ``.npy`` files / chunk directories); with ``stream=True`` the
+brute methods then run out-of-core, holding only ``memory_budget_bytes``
+of the data resident (docs/ARCHITECTURE.md describes the dataflow -- for
+:func:`self_join` the symmetric :class:`~repro.core.engine.TilePlan`, for
+:func:`join` the rectangular :class:`~repro.core.engine.RectTilePlan`).
+Setting the environment variable ``REPRO_STREAM=1`` flips the default to
+streaming wherever it is defined -- the CI streaming leg runs the test
+suite that way.  The index-backed methods materialize here; their
+out-of-core modes (streamed grid/tree build + source row gathers) are the
+kernel-level ``self_join_source`` entry points.
 """
 
 from __future__ import annotations
@@ -27,7 +34,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.results import NeighborResult
+from repro.core.results import JoinResult, NeighborResult, PairAccumulator
 from repro.core.selectivity import epsilon_for_selectivity
 from repro.data.source import DatasetSource, as_source
 from repro.gpusim.spec import DEFAULT_SPEC, GpuSpec
@@ -35,9 +42,11 @@ from repro.gpusim.spec import DEFAULT_SPEC, GpuSpec
 #: Valid method names (paper Table 3).
 METHODS = ("fasted", "ted-join-brute", "ted-join-index", "gds-join", "mistic")
 
-#: Methods with an out-of-core (streaming) execution mode: the brute-force
-#: kernels.  The index-backed methods must see the whole dataset to build
-#: their grid/tree, so they always materialize.
+#: Methods with a tiled out-of-core (streaming) execution mode here: the
+#: brute-force kernels.  The index-backed methods materialize at this API
+#: level; out of core they run through their kernels' ``self_join_source``
+#: (out-of-core grid/tree build via ``GridIndex.from_source`` /
+#: ``MultiSpaceTree.from_source`` + on-demand source row gathers).
 STREAMABLE_METHODS = ("fasted", "ted-join-brute")
 
 
@@ -212,6 +221,194 @@ def self_join_stream(
     return joined.result, stats
 
 
+def join(
+    a: np.ndarray | DatasetSource | str | Path,
+    b: np.ndarray | DatasetSource | str | Path,
+    eps: float,
+    *,
+    method: str = "fasted",
+    precision: str | None = None,
+    spec: GpuSpec = DEFAULT_SPEC,
+    store_distances: bool = True,
+    seed: int = 0,
+    stream: bool | None = None,
+    memory_budget_bytes: int | None = None,
+) -> JoinResult:
+    """Two-source distance-similarity join: pairs ``(i in A, j in B)``.
+
+    The general A x B counterpart of :func:`self_join`: every returned
+    pair relates a point of the left set ``a`` to a point of the right
+    set ``b`` (one direction only -- there is no diagonal and nothing is
+    mirrored).  The brute methods run the rectangular tiled executor;
+    the index-backed methods build their grid/tree over **B** and drop
+    A's points into it.
+
+    Parameters
+    ----------
+    a, b:
+        ``(n_a, d)`` / ``(n_b, d)`` datasets -- ndarrays,
+        :class:`~repro.data.source.DatasetSource` instances, or paths.
+        Dimensionalities must match.
+    eps:
+        Search radius.
+    method, precision, spec, store_distances, seed:
+        As for :func:`self_join`.
+    stream:
+        Run out-of-core (:data:`STREAMABLE_METHODS` only; bit-identical to
+        the in-memory path at the same tile plan).  ``None`` follows
+        ``REPRO_STREAM`` where streaming is defined; explicitly passing
+        ``True`` for an index-backed method raises.
+    memory_budget_bytes:
+        Bound on resident streamed-block bytes
+        (:meth:`repro.core.engine.RectTilePlan.from_budget`); implies
+        ``stream=True``.
+
+    Returns
+    -------
+    JoinResult
+        Pairs within ``eps``, indices into A and B respectively.
+    """
+    if method not in METHODS:
+        raise ValueError(f"method must be one of {METHODS}, got {method!r}")
+    streamable = method in STREAMABLE_METHODS
+    if memory_budget_bytes is not None:
+        if stream is False:
+            raise ValueError(
+                "memory_budget_bytes cannot be honored with stream=False "
+                "(materializing ignores the budget)"
+            )
+        stream = True  # a budget can only be honored by streaming
+    if stream is None:
+        stream = streamable and os.environ.get("REPRO_STREAM", "0") == "1"
+    elif stream and not streamable:
+        raise ValueError(
+            f"stream=True (or memory_budget_bytes) is only supported for "
+            f"{STREAMABLE_METHODS}; index-backed methods materialize here "
+            "(their out-of-core mode is the kernel-level self_join_source)"
+        )
+
+    if stream:
+        result, _stats = join_stream(
+            a,
+            b,
+            eps,
+            method=method,
+            precision=precision,
+            spec=spec,
+            store_distances=store_distances,
+            memory_budget_bytes=memory_budget_bytes,
+        )
+        return result
+    if not isinstance(a, np.ndarray):
+        a = as_source(a).materialize()
+    if not isinstance(b, np.ndarray):
+        b = as_source(b).materialize()
+
+    if method == "fasted":
+        from repro.kernels.fasted import FastedKernel
+
+        if precision not in (None, "fp16-32"):
+            raise ValueError("FaSTED is FP16-32 only")
+        return FastedKernel(spec).join(a, b, eps, store_distances=store_distances)
+    if method in ("ted-join-brute", "ted-join-index"):
+        from repro.kernels.tedjoin import TedJoinKernel
+
+        if precision not in (None, "fp64"):
+            raise ValueError("TED-Join is FP64 only")
+        variant = "brute" if method.endswith("brute") else "index"
+        return TedJoinKernel(spec, variant=variant).join(
+            a, b, eps, store_distances=store_distances
+        )
+    if method == "gds-join":
+        from repro.kernels.gdsjoin import GdsJoinKernel
+
+        return GdsJoinKernel(spec, precision=precision or "fp32").join(
+            a, b, eps, store_distances=store_distances
+        )
+    from repro.kernels.mistic import MisticKernel
+
+    if precision not in (None, "fp32"):
+        raise ValueError("MiSTIC is FP32 only")
+    return MisticKernel(spec, seed=seed).join(
+        a, b, eps, store_distances=store_distances
+    )
+
+
+def join_stream(
+    a: np.ndarray | DatasetSource | str | Path,
+    b: np.ndarray | DatasetSource | str | Path,
+    eps: float,
+    *,
+    method: str = "fasted",
+    precision: str | None = None,
+    spec: GpuSpec = DEFAULT_SPEC,
+    store_distances: bool = True,
+    memory_budget_bytes: int | None = None,
+    spill_threshold_bytes: int | None = None,
+    spill_dir: str | Path | None = None,
+):
+    """Out-of-core two-source join returning ``(JoinResult, StreamStats)``.
+
+    The streaming counterpart of :func:`join` for callers that need the
+    residency statistics -- ``python -m repro join A B --stream`` reports
+    them from here.  Only :data:`STREAMABLE_METHODS` stream; results are
+    bit-identical to the in-memory path at the same tile plan.
+
+    ``spill_threshold_bytes`` (optionally with ``spill_dir``) routes the
+    result through a disk-spilling
+    :class:`~repro.core.results.PairAccumulator`, bounding resident
+    *result* memory during accumulation as the tile plan bounds the
+    streamed blocks (the returned ``JoinResult`` still materializes; use
+    the engine's accumulator directly with
+    ``PairAccumulator.iter_chunks`` when even that cannot fit).
+    """
+    if method not in STREAMABLE_METHODS:
+        raise ValueError(
+            f"method must be one of {STREAMABLE_METHODS} to stream, got {method!r}"
+        )
+    source_a, source_b = as_source(a), as_source(b)
+    acc = None
+    if spill_threshold_bytes is not None:
+        acc = PairAccumulator(
+            store_distances=store_distances,
+            spill_threshold_bytes=spill_threshold_bytes,
+            spill_dir=spill_dir,
+        )
+    try:
+        if method == "fasted":
+            from repro.kernels.fasted import FastedKernel
+
+            if precision not in (None, "fp16-32"):
+                raise ValueError("FaSTED is FP16-32 only")
+            return FastedKernel(spec).join_stream(
+                source_a,
+                source_b,
+                eps,
+                store_distances=store_distances,
+                memory_budget_bytes=memory_budget_bytes,
+                acc=acc,
+            )
+        from repro.kernels.tedjoin import TedJoinKernel
+
+        if precision not in (None, "fp64"):
+            raise ValueError("TED-Join is FP64 only")
+        return TedJoinKernel(spec, variant="brute").join_stream(
+            source_a,
+            source_b,
+            eps,
+            store_distances=store_distances,
+            memory_budget_bytes=memory_budget_bytes,
+            acc=acc,
+        )
+    except BaseException:
+        # Never strand spill chunks when the stream dies mid-join (I/O
+        # error, interrupt): the accumulator was created here, so it is
+        # cleaned up here.  Successful runs clean up in finalize_join.
+        if acc is not None:
+            acc.cleanup()
+        raise
+
+
 def pairwise_sq_dists(
     a: np.ndarray, b: np.ndarray, *, precision: str = "fp16-32"
 ) -> np.ndarray:
@@ -254,6 +451,8 @@ __all__ = [
     "STREAMABLE_METHODS",
     "self_join",
     "self_join_stream",
+    "join",
+    "join_stream",
     "pairwise_sq_dists",
     "epsilon_for_selectivity",
 ]

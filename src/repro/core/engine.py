@@ -43,6 +43,17 @@ the current GEMM runs, and holding at most a handful of blocks resident
 (``O(row_block * d)``) -- bit-identical to the in-memory path (see
 docs/ARCHITECTURE.md for the dataflow and the bit-identity argument).
 
+The fourth shape generalizes all of this to **two-source joins** ``A x B``:
+:func:`rect_join` is the in-memory rectangular executor (every tile of the
+``A``-rows x ``B``-cols grid is evaluated -- no symmetry to exploit, no
+diagonal to clear, pairs emitted in one direction only) and
+:func:`streaming_join` is its out-of-core form, driven by a rectangular
+:class:`RectTilePlan` with independent row/column block schedules and
+prefetch across both sources.  :func:`candidate_join` is the two-source
+candidate-group executor (grid/tree candidates from the right set per
+query group of the left set; index equality does *not* mean identity, so
+no self pairs are dropped).
+
 All shapes emit into a :class:`repro.core.results.PairAccumulator` --
 preallocated, geometrically grown arrays -- instead of per-tile Python
 lists, and hand back the accumulator so the kernel can attach its own
@@ -121,10 +132,18 @@ def _extract_pairs(
     c0: int,
     eps2: float,
     store_distances: bool,
+    *,
+    clear_diagonal: bool | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
-    """Extract the in-range pairs (global indices) of one evaluated tile."""
+    """Extract the in-range pairs (global indices) of one evaluated tile.
+
+    ``clear_diagonal`` defaults to the self-join convention (the diagonal
+    of an ``r0 == c0`` tile holds self pairs); two-source executors pass
+    ``False`` because a coincidental ``r0 == c0`` relates *different*
+    points of the two sets.
+    """
     mask = d2 <= eps2
-    if c0 == r0:
+    if clear_diagonal if clear_diagonal is not None else c0 == r0:
         np.fill_diagonal(mask, False)
     ii, jj = np.nonzero(mask)
     gi = ii.astype(np.int64)
@@ -296,9 +315,14 @@ class TilePlan:
 
 @dataclass
 class StreamStats:
-    """What the streaming executor actually did (for tests and reporting)."""
+    """What a streaming executor actually did (for tests and reporting).
 
-    plan: TilePlan
+    ``plan`` is a :class:`TilePlan` for self-joins and a
+    :class:`RectTilePlan` for two-source joins; source-backed index builds
+    (``GridIndex.from_source``) account their pass loads here too.
+    """
+
+    plan: Any
     blocks_loaded: int = 0
     tiles_evaluated: int = 0
     peak_resident_bytes: int = 0
@@ -337,6 +361,7 @@ def streaming_self_join(
     memory_budget_bytes: int | None = None,
     store_distances: bool = True,
     prefetch: bool = True,
+    acc: PairAccumulator | None = None,
 ) -> tuple[PairAccumulator, StreamStats]:
     """Out-of-core symmetric self-join over a :class:`~repro.data.source.DatasetSource`.
 
@@ -373,6 +398,12 @@ def streaming_self_join(
     prefetch:
         Overlap the next block's load+prepare with the current GEMM
         (single background thread; deterministic commit order either way).
+    acc:
+        Emit into this accumulator instead of a fresh one -- the hook for
+        disk-spilling accumulators
+        (``PairAccumulator(spill_threshold_bytes=...)``) when the output
+        itself outgrows memory.  ``store_distances`` is ignored when an
+        accumulator is supplied.
 
     Returns
     -------
@@ -386,7 +417,9 @@ def streaming_self_join(
         else:
             plan = TilePlan(n=n, row_block=int(row_block))
     stats = StreamStats(plan=plan)
-    acc = PairAccumulator(store_distances=store_distances)
+    if acc is None:
+        acc = PairAccumulator(store_distances=store_distances)
+    store_distances = acc.store_distances
     nb = plan.n_blocks
     if nb == 0:
         return acc, stats
@@ -457,6 +490,298 @@ def streaming_self_join(
     return acc, stats
 
 
+@dataclass(frozen=True)
+class RectTilePlan:
+    """Schedule of block loads for an out-of-core two-source join ``A x B``.
+
+    The rectangular counterpart of :class:`TilePlan`: the left set's
+    ``n_rows`` rows are cut into ``row_block``-sized blocks and the right
+    set's ``n_cols`` rows into ``col_block``-sized blocks, independently --
+    there is no symmetry to exploit, so **every** ``(ri, cj)`` block pair
+    is a tile and nothing is mirrored.  Processing row block ``ri`` pins it
+    for the whole stripe while all of ``B``'s column blocks stream through,
+    so ``A`` is read once and ``B`` once per row stripe; peak residency is
+    bounded by :data:`RESIDENT_BLOCKS` blocks regardless of either size.
+    """
+
+    n_rows: int
+    n_cols: int
+    row_block: int
+    col_block: int
+
+    #: Worst-case simultaneously resident blocks: the pinned row block, the
+    #: current column block, and the prefetched next block (whose raw
+    #: float64 form and prepared state briefly coexist inside ``prepare``).
+    RESIDENT_BLOCKS = 4
+
+    def __post_init__(self) -> None:
+        if self.n_rows < 0 or self.n_cols < 0:
+            raise ValueError("need n_rows >= 0 and n_cols >= 0")
+        if self.row_block <= 0 or self.col_block <= 0:
+            raise ValueError("row_block and col_block must be positive")
+
+    @classmethod
+    def from_budget(
+        cls,
+        n_rows: int,
+        n_cols: int,
+        dim: int,
+        memory_budget_bytes: int,
+        *,
+        itemsize: int = 8,
+    ) -> "RectTilePlan":
+        """Choose equal block edges so peak resident data fits the budget.
+
+        Same accounting as :meth:`TilePlan.from_budget`: the budget covers
+        the :data:`RESIDENT_BLOCKS` streamed float64 blocks (plus one spare
+        column per row for per-block norm vectors); result growth is
+        accounted separately by ``PairAccumulator.nbytes``.
+        """
+        if memory_budget_bytes <= 0:
+            raise ValueError("memory_budget_bytes must be positive")
+        per_row = max(1, (dim + 1) * itemsize)
+        block = memory_budget_bytes // (cls.RESIDENT_BLOCKS * per_row)
+        block = int(max(1, block))
+        return cls(
+            n_rows=n_rows,
+            n_cols=n_cols,
+            row_block=min(block, max(n_rows, 1)),
+            col_block=min(block, max(n_cols, 1)),
+        )
+
+    @property
+    def n_row_blocks(self) -> int:
+        return -(-self.n_rows // self.row_block) if self.n_rows else 0
+
+    @property
+    def n_col_blocks(self) -> int:
+        return -(-self.n_cols // self.col_block) if self.n_cols else 0
+
+    @property
+    def n_tiles(self) -> int:
+        return self.n_row_blocks * self.n_col_blocks
+
+    def row_bounds(self, ri: int) -> tuple[int, int]:
+        """Row range ``(r0, r1)`` of left-set block ``ri``."""
+        r0 = ri * self.row_block
+        return r0, min(r0 + self.row_block, self.n_rows)
+
+    def col_bounds(self, cj: int) -> tuple[int, int]:
+        """Row range ``(c0, c1)`` of right-set block ``cj``."""
+        c0 = cj * self.col_block
+        return c0, min(c0 + self.col_block, self.n_cols)
+
+    def tiles(self) -> Iterator[tuple[int, int]]:
+        """Block-index pairs ``(ri, cj)`` in execution order (row-major)."""
+        for ri in range(self.n_row_blocks):
+            for cj in range(self.n_col_blocks):
+                yield ri, cj
+
+    def peak_resident_bytes(self, dim: int, *, itemsize: int = 8) -> int:
+        """Upper bound on simultaneously resident streamed-block bytes."""
+        edge = max(self.row_block, self.col_block)
+        return self.RESIDENT_BLOCKS * edge * (dim + 1) * itemsize
+
+
+def iter_rect_tiles(
+    n_rows: int, n_cols: int, row_block: int, col_block: int
+) -> Iterator[tuple[int, int, int, int]]:
+    """All tile coordinates ``(r0, r1, c0, c1)`` of the A x B grid, row-major."""
+    for r0 in range(0, n_rows, row_block):
+        r1 = min(r0 + row_block, n_rows)
+        for c0 in range(0, n_cols, col_block):
+            yield r0, r1, c0, min(c0 + col_block, n_cols)
+
+
+def rect_join(
+    n_rows: int,
+    n_cols: int,
+    eps2: float,
+    tile_fn: TileFn,
+    *,
+    row_block: int = 2048,
+    col_block: int | None = None,
+    store_distances: bool = True,
+    acc: PairAccumulator | None = None,
+) -> PairAccumulator:
+    """In-memory two-source join: every tile of the rectangular grid.
+
+    The A x B counterpart of :func:`symmetric_self_join`.  ``tile_fn(r0,
+    r1, c0, c1)`` returns the squared-distance block between rows
+    ``[r0:r1]`` of the left set and rows ``[c0:c1]`` of the right set;
+    pairs are emitted in the single direction ``(i in A, j in B)`` and the
+    tile diagonal is *never* cleared -- equal indices address different
+    points of the two sets.
+    """
+    if acc is None:
+        acc = PairAccumulator(store_distances=store_distances)
+    store_distances = acc.store_distances
+    if col_block is None:
+        col_block = row_block
+    for r0, r1, c0, c1 in iter_rect_tiles(n_rows, n_cols, row_block, col_block):
+        gi, gj, dd = _extract_pairs(
+            tile_fn(r0, r1, c0, c1), r0, c0, eps2, store_distances,
+            clear_diagonal=False,
+        )
+        acc.append(gi, gj, dd)
+    return acc
+
+
+def streaming_join(
+    source_a,
+    source_b,
+    eps2: float,
+    prepare: BlockPrepareFn,
+    block_sq_dists: BlockDistFn,
+    *,
+    plan: RectTilePlan | None = None,
+    row_block: int = 2048,
+    col_block: int | None = None,
+    memory_budget_bytes: int | None = None,
+    store_distances: bool = True,
+    prefetch: bool = True,
+    acc: PairAccumulator | None = None,
+) -> tuple[PairAccumulator, StreamStats]:
+    """Out-of-core two-source join over two :class:`~repro.data.source.DatasetSource`\\ s.
+
+    Same tile geometry and pair extraction as :func:`rect_join`, but
+    neither dataset has to be resident: each row block of ``source_a`` is
+    pinned for one stripe while all of ``source_b``'s column blocks stream
+    through, with the next block (of either source -- the prefetch
+    pipeline spans both) loaded and prepared on a background thread while
+    the current tile's GEMM runs.  At most
+    :data:`RectTilePlan.RESIDENT_BLOCKS` blocks are alive at once, and
+    results are bit-identical to :func:`rect_join` at the same plan for
+    the kernels' numerics (per-block preparation is row-local and per-tile
+    GEMM shapes are unchanged; tests/test_two_source.py pins this).
+
+    Parameters
+    ----------
+    source_a, source_b:
+        Left (query) and right dataset sources; their dimensionalities
+        must match.
+    eps2:
+        Squared radius in the kernel's working precision.
+    prepare:
+        Per-block kernel state builder, applied to blocks of *both*
+        sources; see :data:`BlockPrepareFn`.
+    block_sq_dists:
+        Kernel numerics over a prepared A-block and B-block.
+    plan:
+        Explicit rectangular plan; overrides
+        ``row_block``/``col_block``/``memory_budget_bytes``.
+    row_block, col_block:
+        Independent block edges when no plan/budget is given
+        (``col_block`` defaults to ``row_block``).
+    memory_budget_bytes:
+        Derive the plan with :meth:`RectTilePlan.from_budget` so peak
+        resident streamed data stays under the budget.
+    store_distances:
+        Track per-pair squared distances (ignored when ``acc`` is given).
+    prefetch:
+        Overlap the next block's load+prepare with the current GEMM.
+    acc:
+        Emit into this accumulator (e.g. a disk-spilling one) instead of a
+        fresh in-memory accumulator.
+
+    Returns
+    -------
+    (PairAccumulator, StreamStats)
+        Accumulated ``(i in A, j in B)`` pairs plus load/residency stats.
+    """
+    n_a, dim_a = int(source_a.n), int(source_a.dim)
+    n_b, dim_b = int(source_b.n), int(source_b.dim)
+    if dim_a != dim_b:
+        raise ValueError(
+            f"source dimensionalities disagree: {dim_a} != {dim_b}"
+        )
+    if plan is None:
+        if memory_budget_bytes is not None:
+            plan = RectTilePlan.from_budget(
+                n_a, n_b, dim_a, int(memory_budget_bytes)
+            )
+        else:
+            plan = RectTilePlan(
+                n_rows=n_a,
+                n_cols=n_b,
+                row_block=int(row_block),
+                col_block=int(col_block if col_block is not None else row_block),
+            )
+    stats = StreamStats(plan=plan)
+    if acc is None:
+        acc = PairAccumulator(store_distances=store_distances)
+    store_distances = acc.store_distances
+    nbr, nbc = plan.n_row_blocks, plan.n_col_blocks
+    if nbr == 0 or nbc == 0:
+        return acc, stats
+
+    def load(which: str, bi: int) -> tuple[Any, int]:
+        if which == "a":
+            r0, r1 = plan.row_bounds(bi)
+            raw = source_a.load_block(r0, r1)
+        else:
+            c0, c1 = plan.col_bounds(bi)
+            raw = source_b.load_block(c0, c1)
+        stats._acquire(raw.nbytes)
+        state = prepare(raw)
+        nbytes = _state_nbytes(state)
+        stats._acquire(nbytes)
+        stats._release(raw.nbytes)  # raw block dies with this frame
+        stats.blocks_loaded += 1
+        return state, nbytes
+
+    # Block-load sequence: row block ri of A, then every column block of B,
+    # per row stripe.  The 1-deep prefetch pipeline spans both sources --
+    # while the last tile of a stripe computes, the *next A row block* is
+    # already loading.
+    loads: list[tuple[str, int]] = []
+    for ri in range(nbr):
+        loads.append(("a", ri))
+        loads.extend(("b", cj) for cj in range(nbc))
+    pool = ThreadPoolExecutor(max_workers=1) if prefetch and len(loads) > 1 else None
+    try:
+        futures: deque = deque()
+        cursor = 0
+
+        def schedule_next() -> None:
+            nonlocal cursor
+            if pool is not None and cursor < len(loads):
+                futures.append(pool.submit(load, *loads[cursor]))
+                cursor += 1
+
+        def next_block() -> tuple[Any, int]:
+            nonlocal cursor
+            if pool is None:
+                blk = load(*loads[cursor])
+                cursor += 1
+                return blk
+            if not futures:
+                schedule_next()
+            blk = futures.popleft().result()
+            schedule_next()  # keep the pipeline primed
+            return blk
+
+        schedule_next()
+        for ri in range(nbr):
+            row_state, row_nbytes = next_block()
+            r0, _r1 = plan.row_bounds(ri)
+            for cj in range(nbc):
+                col_state, col_nbytes = next_block()
+                c0, _c1 = plan.col_bounds(cj)
+                d2 = block_sq_dists(row_state, col_state)
+                gi, gj, dd = _extract_pairs(
+                    d2, r0, c0, eps2, store_distances, clear_diagonal=False
+                )
+                acc.append(gi, gj, dd)
+                stats.tiles_evaluated += 1
+                stats._release(col_nbytes)
+            stats._release(row_nbytes)
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=True)
+    return acc, stats
+
+
 def candidate_self_join(
     groups: Iterable[tuple[np.ndarray, np.ndarray]],
     dist_fn: GroupDistFn,
@@ -509,20 +834,67 @@ def _emit_group_pairs(
     candidates: np.ndarray,
     eps2: float,
     store_distances: bool,
+    *,
+    drop_self: bool = True,
 ) -> None:
-    """Filter one evaluated candidate block and append its non-self pairs.
+    """Filter one evaluated candidate block and append its in-range pairs.
 
     The single definition of the group pair-extraction semantics (eps2
-    inclusive, self pairs dropped, float32 distances) shared by the
-    per-group executor and the batched executor's large-group bypass.
+    inclusive, float32 distances) shared by the per-group executor, the
+    batched executor's large-group bypass, and the two-source executor.
+    ``drop_self`` removes ``gi == gj`` pairs -- the self-join convention;
+    two-source joins keep them because equal indices address different
+    points.
     """
     mask = d2 <= eps2
     mi, cj = np.nonzero(mask)
     gi = members[mi]
     gj = candidates[cj]
-    keep = gi != gj
-    dd = d2[mi, cj][keep].astype(np.float32) if store_distances else None
-    acc.append(gi[keep], gj[keep], dd)
+    if drop_self:
+        keep = gi != gj
+        gi, gj = gi[keep], gj[keep]
+        dd = d2[mi, cj][keep].astype(np.float32) if store_distances else None
+    else:
+        dd = d2[mi, cj].astype(np.float32) if store_distances else None
+    acc.append(gi, gj, dd)
+
+
+def candidate_join(
+    groups: Iterable[tuple[np.ndarray, np.ndarray]],
+    dist_fn: GroupDistFn,
+    eps2: float,
+    *,
+    store_distances: bool = True,
+    candidate_chunk: int | None = None,
+    on_group: Callable[[np.ndarray, np.ndarray], None] | None = None,
+    acc: PairAccumulator | None = None,
+) -> PairAccumulator:
+    """Index-backed two-source join over ``(queries, candidates)`` groups.
+
+    The A x B counterpart of :func:`candidate_self_join`: ``groups`` pairs
+    query-point indices (into the left set) with candidate indices (into
+    the right set), as produced by ``GridIndex.iter_join_groups`` /
+    ``MultiSpaceTree.iter_join_groups``, and ``dist_fn(queries,
+    candidates)`` returns the cross-set squared-distance block.  Identical
+    filtering semantics except that no self pairs exist to drop -- equal
+    indices address different points of the two sets.
+    """
+    if acc is None:
+        acc = PairAccumulator(store_distances=store_distances)
+    store_distances = acc.store_distances
+    for members, candidates in groups:
+        if members.size == 0 or candidates.size == 0:
+            continue
+        if on_group is not None:
+            on_group(members, candidates)
+        chunk = candidate_chunk or candidates.size
+        for c0 in range(0, candidates.size, chunk):
+            cand = candidates[c0 : c0 + chunk]
+            _emit_group_pairs(
+                acc, dist_fn(members, cand), members, cand, eps2,
+                store_distances, drop_self=False,
+            )
+    return acc
 
 
 def batched_candidate_self_join(

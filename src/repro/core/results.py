@@ -1,22 +1,33 @@
-"""Result-set containers for distance-similarity self-joins.
+"""Result-set containers for distance-similarity joins.
 
 A self-join over dataset ``D`` with radius ``eps`` conceptually returns
 ``R = {(i, j) : dist(p_i, p_j) <= eps}``.  Following the paper's selectivity
 definition ``S = (|R| - |D|) / |D|`` (Section 4.1.3), the trivial self pairs
 ``(i, i)`` are members of ``R``; we store only the non-self pairs and account
 for the diagonal arithmetically, which keeps memory proportional to the
-interesting output.
+interesting output.  A two-source join ``A x B`` (:class:`JoinResult`) has
+no diagonal: every stored pair ``(i, j)`` relates point ``i`` of the left
+set to point ``j`` of the right set, one direction only.
 
 Pairs are stored as parallel ``int64`` arrays (structure-of-arrays -- the
 HPC-friendly layout) with optional squared distances for accuracy studies.
 :class:`PairAccumulator` is the builder used by the join engine: a
 preallocated, geometrically grown buffer that replaces per-tile Python-list
-appends plus one big ``concatenate`` with amortized O(1) bulk copies.
+appends plus one big ``concatenate`` with amortized O(1) bulk copies.  For
+joins whose output outgrows RAM the accumulator can **spill to disk**
+(``spill_threshold_bytes``): whenever the live buffer passes the threshold
+it is written out as one chunk of ``.npy`` files and reset, so resident
+result memory stays bounded by roughly the threshold while
+:meth:`PairAccumulator.arrays` still presents one transparently
+concatenated result (and :meth:`PairAccumulator.iter_chunks` lets
+out-of-core consumers process the chunks without ever concatenating).
 """
 
 from __future__ import annotations
 
+import tempfile
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -111,6 +122,59 @@ class NeighborResult:
         )
 
 
+@dataclass
+class JoinResult:
+    """Two-source join result: pairs ``(i in A, j in B)`` within ``eps``.
+
+    Unlike :class:`NeighborResult` there is no diagonal to account for and
+    no mirrored direction: index ``i`` addresses the left (query) set and
+    ``j`` the right (indexed/streamed) set, so ``(i, j)`` and ``(j, i)``
+    would be different pairs.  The field names mirror ``NeighborResult``
+    so order-insensitive comparison helpers
+    (``repro.kernels.reference.canon`` / ``joins_bit_identical``) work on
+    both.
+    """
+
+    n_left: int
+    n_right: int
+    eps: float
+    pairs_i: np.ndarray  # indices into the left set A
+    pairs_j: np.ndarray  # indices into the right set B
+    sq_dists: np.ndarray = field(default_factory=lambda: np.empty(0, np.float32))
+
+    def __post_init__(self) -> None:
+        self.pairs_i = np.asarray(self.pairs_i, dtype=np.int64)
+        self.pairs_j = np.asarray(self.pairs_j, dtype=np.int64)
+        if self.pairs_i.shape != self.pairs_j.shape:
+            raise ValueError("pairs_i and pairs_j must be parallel arrays")
+        if self.sq_dists.size and self.sq_dists.shape != self.pairs_i.shape:
+            raise ValueError("sq_dists must parallel the pair arrays")
+
+    @property
+    def selectivity(self) -> float:
+        """Mean matches per left point (the two-source analogue of S)."""
+        if self.n_left == 0:
+            return 0.0
+        return self.pairs_i.size / self.n_left
+
+    def match_counts(self) -> np.ndarray:
+        """Number of right-set matches of each left point."""
+        return np.bincount(self.pairs_i, minlength=self.n_left)
+
+    def sorted_copy(self) -> "JoinResult":
+        """Pairs sorted lexicographically -- convenient for comparisons."""
+        order = np.lexsort((self.pairs_j, self.pairs_i))
+        sq = self.sq_dists[order] if self.sq_dists.size else self.sq_dists
+        return JoinResult(
+            n_left=self.n_left,
+            n_right=self.n_right,
+            eps=self.eps,
+            pairs_i=self.pairs_i[order],
+            pairs_j=self.pairs_j[order],
+            sq_dists=sq,
+        )
+
+
 class PairAccumulator:
     """Growable structure-of-arrays buffer for join result pairs.
 
@@ -121,25 +185,63 @@ class PairAccumulator:
     doubles capacity on demand, so emitting a tile is a bounds check plus
     bulk slice assignments.
 
+    With ``spill_threshold_bytes`` set, the accumulator spills: whenever
+    the *used* buffer bytes reach the threshold after an append, the live
+    pairs are written out as one chunk of ``.npy`` files
+    (``spill_00000_i.npy`` / ``_j.npy`` / ``_d.npy`` under ``spill_dir``)
+    and the in-memory buffer is reset to its initial capacity.  Append
+    order is preserved across chunks, so a spilling run yields exactly the
+    same :meth:`arrays` as a non-spilling one (pinned by
+    tests/test_two_source.py); only the resident footprint changes.
+    Spilled files are removed by :meth:`cleanup` (called automatically by
+    the finalizers); the directory itself is removed only when the
+    accumulator created it.
+
     Parameters
     ----------
     store_distances:
         Track a float32 squared distance per pair.
     capacity:
         Initial capacity in pairs.
+    spill_threshold_bytes:
+        Spill the live buffer to disk once its used bytes reach this
+        (None: never spill -- the default, fully in-memory behavior).
+    spill_dir:
+        Directory for spill chunks (created if missing).  When None and
+        spilling is enabled, a private temporary directory is created and
+        removed again by :meth:`cleanup`.
     """
 
-    __slots__ = ("_i", "_j", "_d", "_size")
+    __slots__ = (
+        "_i", "_j", "_d", "_size", "_initial_capacity",
+        "_spill_threshold", "_spill_dir", "_spill_dir_owned", "_chunks",
+        "_spilled_pairs",
+    )
 
-    def __init__(self, *, store_distances: bool = True, capacity: int = 1024) -> None:
+    def __init__(
+        self,
+        *,
+        store_distances: bool = True,
+        capacity: int = 1024,
+        spill_threshold_bytes: int | None = None,
+        spill_dir: str | Path | None = None,
+    ) -> None:
         capacity = max(int(capacity), 1)
         self._i = np.empty(capacity, dtype=np.int64)
         self._j = np.empty(capacity, dtype=np.int64)
         self._d = np.empty(capacity, dtype=np.float32) if store_distances else None
         self._size = 0
+        self._initial_capacity = capacity
+        if spill_threshold_bytes is not None and spill_threshold_bytes <= 0:
+            raise ValueError("spill_threshold_bytes must be positive")
+        self._spill_threshold = spill_threshold_bytes
+        self._spill_dir = Path(spill_dir) if spill_dir is not None else None
+        self._spill_dir_owned = False
+        self._chunks: list[tuple[Path, Path, Path | None, int]] = []
+        self._spilled_pairs = 0
 
     def __len__(self) -> int:
-        return self._size
+        return self._spilled_pairs + self._size
 
     @property
     def store_distances(self) -> bool:
@@ -151,9 +253,27 @@ class PairAccumulator:
 
     @property
     def nbytes(self) -> int:
-        """Currently allocated buffer bytes (the streaming memory reports
-        account result growth separately from the streamed blocks)."""
+        """Currently allocated *resident* buffer bytes (spilled chunks are
+        on disk; the streaming memory reports account result growth
+        separately from the streamed blocks)."""
         return self._i.nbytes + self._j.nbytes + (self._d.nbytes if self._d is not None else 0)
+
+    @property
+    def n_spill_chunks(self) -> int:
+        return len(self._chunks)
+
+    @property
+    def spilled_pairs(self) -> int:
+        return self._spilled_pairs
+
+    def _pair_bytes(self) -> int:
+        """Bytes one stored pair occupies in the live buffer (from the
+        buffers' own dtypes, so the spill accounting can never drift)."""
+        return (
+            self._i.itemsize
+            + self._j.itemsize
+            + (self._d.itemsize if self._d is not None else 0)
+        )
 
     def _reserve(self, extra: int) -> None:
         need = self._size + extra
@@ -169,6 +289,37 @@ class PairAccumulator:
             new = np.empty(cap, dtype=old.dtype)
             new[: self._size] = old[: self._size]
             setattr(self, name, new)
+
+    def _ensure_spill_dir(self) -> Path:
+        if self._spill_dir is None:
+            self._spill_dir = Path(tempfile.mkdtemp(prefix="repro-spill-"))
+            self._spill_dir_owned = True
+        else:
+            self._spill_dir.mkdir(parents=True, exist_ok=True)
+        return self._spill_dir
+
+    def _spill(self) -> None:
+        """Write the live pairs out as one chunk and reset the buffer."""
+        if self._size == 0:
+            return
+        directory = self._ensure_spill_dir()
+        k = len(self._chunks)
+        path_i = directory / f"spill_{k:05d}_i.npy"
+        path_j = directory / f"spill_{k:05d}_j.npy"
+        np.save(path_i, self._i[: self._size])
+        np.save(path_j, self._j[: self._size])
+        path_d = None
+        if self._d is not None:
+            path_d = directory / f"spill_{k:05d}_d.npy"
+            np.save(path_d, self._d[: self._size])
+        self._chunks.append((path_i, path_j, path_d, self._size))
+        self._spilled_pairs += self._size
+        self._size = 0
+        if self._i.size > self._initial_capacity:  # release the grown buffer
+            self._i = np.empty(self._initial_capacity, dtype=np.int64)
+            self._j = np.empty(self._initial_capacity, dtype=np.int64)
+            if self._d is not None:
+                self._d = np.empty(self._initial_capacity, dtype=np.float32)
 
     def append(
         self,
@@ -191,21 +342,104 @@ class PairAccumulator:
         if self._d is not None:
             self._d[s:e] = sq_dists
         self._size = e
+        if (
+            self._spill_threshold is not None
+            and self._size * self._pair_bytes() >= self._spill_threshold
+        ):
+            self._spill()
+
+    def iter_chunks(self):
+        """Yield ``(pairs_i, pairs_j, sq_dists)`` per chunk, append order.
+
+        Spilled chunks are loaded one at a time, followed by the live
+        tail -- the consumption path for results too large to concatenate
+        (at most one chunk is resident per step).  ``sq_dists`` is an empty
+        array when distances are not tracked.
+        """
+        empty = np.empty(0, np.float32)
+        for path_i, path_j, path_d, _count in self._chunks:
+            yield (
+                np.load(path_i),
+                np.load(path_j),
+                np.load(path_d) if path_d is not None else empty,
+            )
+        if self._size:
+            sq = self._d[: self._size].copy() if self._d is not None else empty
+            yield self._i[: self._size].copy(), self._j[: self._size].copy(), sq
 
     def arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Compacted ``(pairs_i, pairs_j, sq_dists)`` copies."""
+        """Compacted ``(pairs_i, pairs_j, sq_dists)`` copies.
+
+        With spilled chunks this transparently concatenates them with the
+        live tail (materializing the full result -- use
+        :meth:`iter_chunks` when that cannot fit in memory).
+        """
+        if not self._chunks:
+            sq = (
+                self._d[: self._size].copy()
+                if self._d is not None
+                else np.empty(0, np.float32)
+            )
+            return self._i[: self._size].copy(), self._j[: self._size].copy(), sq
+        parts = list(self.iter_chunks())
+        if not parts:
+            return (
+                np.empty(0, np.int64),
+                np.empty(0, np.int64),
+                np.empty(0, np.float32),
+            )
+        pairs_i = np.concatenate([p[0] for p in parts])
+        pairs_j = np.concatenate([p[1] for p in parts])
         sq = (
-            self._d[: self._size].copy()
+            np.concatenate([p[2] for p in parts])
             if self._d is not None
             else np.empty(0, np.float32)
         )
-        return self._i[: self._size].copy(), self._j[: self._size].copy(), sq
+        return pairs_i, pairs_j, sq
+
+    def __enter__(self) -> "PairAccumulator":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Context-manager form for engine-level users: guarantees the
+        # spill chunks are removed even when the join raises mid-stream.
+        self.cleanup()
+
+    def cleanup(self) -> None:
+        """Delete spill chunk files (and the spill dir when it was created
+        by this accumulator).  Idempotent; called by the finalizers."""
+        for path_i, path_j, path_d, _count in self._chunks:
+            for p in (path_i, path_j, path_d):
+                if p is not None:
+                    p.unlink(missing_ok=True)
+        self._chunks = []
+        if self._spill_dir_owned and self._spill_dir is not None:
+            try:
+                self._spill_dir.rmdir()
+            except OSError:
+                pass
+            self._spill_dir = None
+            self._spill_dir_owned = False
 
     def finalize(self, n_points: int, eps: float) -> NeighborResult:
         """Build the :class:`NeighborResult` and release the buffers."""
         pairs_i, pairs_j, sq = self.arrays()
+        self.cleanup()
         return NeighborResult(
             n_points=n_points, eps=eps, pairs_i=pairs_i, pairs_j=pairs_j, sq_dists=sq
+        )
+
+    def finalize_join(self, n_left: int, n_right: int, eps: float) -> "JoinResult":
+        """Build the two-source :class:`JoinResult` and release the buffers."""
+        pairs_i, pairs_j, sq = self.arrays()
+        self.cleanup()
+        return JoinResult(
+            n_left=n_left,
+            n_right=n_right,
+            eps=eps,
+            pairs_i=pairs_i,
+            pairs_j=pairs_j,
+            sq_dists=sq,
         )
 
 

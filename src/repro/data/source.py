@@ -66,6 +66,34 @@ class DatasetSource:
         """Return rows ``[r0:r1]`` as a fresh C-contiguous float64 array."""
         raise NotImplementedError
 
+    def take(self, indices: np.ndarray) -> np.ndarray:
+        """Gather arbitrary rows as a fresh C-contiguous float64 array.
+
+        The random-access primitive the index-backed candidate executors
+        use to evaluate ``(members, candidates)`` groups against on-disk
+        data (``GridIndex.from_source``-built indexes hand out row indices,
+        not rows).  Rows come back in the order of ``indices``; duplicate
+        indices are allowed.  The generic implementation loads one
+        contiguous covering run at a time, so only the touched row ranges
+        are ever resident; subclasses override it with direct gathers.
+        """
+        indices = self._check_indices(indices)
+        if indices.size == 0:
+            return np.empty((0, self.dim), dtype=np.float64)
+        out = np.empty((indices.size, self.dim), dtype=np.float64)
+        order = np.argsort(indices, kind="stable")
+        sorted_idx = indices[order]
+        # Run boundaries in one shot (a gap > 1 ends a contiguous cover);
+        # the Python loop below is O(runs), not O(indices).
+        breaks = np.nonzero(np.diff(sorted_idx) > 1)[0] + 1
+        bounds = np.concatenate(([0], breaks, [sorted_idx.size]))
+        for run_start, run_end in zip(bounds[:-1], bounds[1:]):
+            lo = int(sorted_idx[run_start])
+            hi = int(sorted_idx[run_end - 1]) + 1
+            block = self.load_block(lo, hi)
+            out[order[run_start:run_end]] = block[sorted_idx[run_start:run_end] - lo]
+        return out
+
     def materialize(self) -> np.ndarray:
         """Load the entire dataset (for the non-streaming / index paths)."""
         return self.load_block(0, self.n)
@@ -73,6 +101,12 @@ class DatasetSource:
     def _check_block(self, r0: int, r1: int) -> None:
         if not (0 <= r0 <= r1 <= self.n):
             raise IndexError(f"block [{r0}:{r1}] out of range for n={self.n}")
+
+    def _check_indices(self, indices: np.ndarray) -> np.ndarray:
+        indices = np.asarray(indices, dtype=np.int64).ravel()
+        if indices.size and (indices.min() < 0 or indices.max() >= self.n):
+            raise IndexError(f"row indices out of range for n={self.n}")
+        return indices
 
 
 class ArraySource(DatasetSource):
@@ -92,6 +126,10 @@ class ArraySource(DatasetSource):
         # and the streaming residency accounting assumes private blocks.
         return np.array(self._data[r0:r1], dtype=np.float64, order="C", copy=True)
 
+    def take(self, indices: np.ndarray) -> np.ndarray:
+        indices = self._check_indices(indices)
+        return np.ascontiguousarray(self._data[indices], dtype=np.float64)
+
 
 class MmapNpySource(DatasetSource):
     """Single ``.npy`` file, memory-mapped; blocks are copied out on demand."""
@@ -108,6 +146,12 @@ class MmapNpySource(DatasetSource):
         # copy=True: never hand out views of the file mapping (see
         # ArraySource.load_block).
         return np.array(self._mmap[r0:r1], dtype=np.float64, order="C", copy=True)
+
+    def take(self, indices: np.ndarray) -> np.ndarray:
+        indices = self._check_indices(indices)
+        # Fancy indexing a memmap copies only the touched rows (the OS
+        # pages in just those file regions), never the whole file.
+        return np.ascontiguousarray(self._mmap[indices], dtype=np.float64)
 
 
 class ChunkedNpySource(DatasetSource):
@@ -160,6 +204,19 @@ class ChunkedNpySource(DatasetSource):
             out[lo - r0 : hi - r0] = chunk[lo - c0 : hi - c0]
             row = hi
             first += 1
+        return out
+
+    def take(self, indices: np.ndarray) -> np.ndarray:
+        indices = self._check_indices(indices)
+        out = np.empty((indices.size, self.dim), dtype=np.float64)
+        if indices.size == 0:
+            return out
+        # Group the gather by owning chunk so each chunk is mapped once.
+        owner = np.searchsorted(self._starts, indices, side="right") - 1
+        for ci in np.unique(owner):
+            sel = owner == ci
+            chunk = np.load(self._paths[int(ci)], mmap_mode="r")
+            out[sel] = chunk[indices[sel] - int(self._starts[int(ci)])]
         return out
 
 

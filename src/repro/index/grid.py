@@ -21,6 +21,16 @@ over the sorted keys (chunked to bound temporaries) instead of 3^r Python
 dict lookups per cell.  The adjacency is built once and shared by
 candidate generation and :meth:`GridIndex.stats`, and per-cell candidate
 arrays requested through :meth:`GridIndex.candidates_of_cell` are cached.
+
+The grid can also be built **out of core** (:meth:`GridIndex.from_source`):
+the dataset streams through in row blocks -- variance, cell-coordinate
+spans and the scalar cell keys are each computed in one streamed pass, and
+the point grouping is an external *counting sort* over the row blocks --
+so only ``O(n)`` key/permutation state plus one block is ever resident,
+never the ``(n, d)`` float64 dataset.  The resulting index groups points
+exactly like the in-memory constructor (both sorts are stable by the same
+key order), so candidate iteration -- and therefore the kernels' join
+results -- is identical (pinned by tests/test_two_source.py).
 """
 
 from __future__ import annotations
@@ -29,6 +39,9 @@ from dataclasses import dataclass
 from itertools import product
 
 import numpy as np
+
+#: Default row-block edge for the streamed (out-of-core) build passes.
+_SOURCE_ROW_BLOCK = 65536
 
 #: Probe-matrix budget for the batched adjacency pass (cells per chunk is
 #: derived from this so a chunk's ``cells x 3^r`` int64 block stays small).
@@ -49,6 +62,71 @@ def variance_order(data: np.ndarray) -> np.ndarray:
     running distance sum first, so non-neighbors are rejected early.
     """
     return np.argsort(-np.var(np.asarray(data, dtype=np.float64), axis=0), kind="stable")
+
+
+def _group_by_cells(
+    cells: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Stable lexicographic grouping of rows by their cell coordinates.
+
+    Returns ``(sort, starts, ends, sorted_cells)``: the permutation
+    ordering rows by cell (stable, so within-cell order is original row
+    order) and the per-cell slice bounds into it.  The single definition
+    of the grouping semantics shared by the in-memory build, the
+    ``from_source`` overflow fallback, and external-query grouping -- the
+    streamed counting sort of :meth:`GridIndex.from_source` reproduces it
+    exactly, which is what the bit-identity contract rests on.
+    """
+    sort = np.lexsort(cells.T[::-1])
+    sorted_cells = cells[sort]
+    change = np.any(np.diff(sorted_cells, axis=0) != 0, axis=1)
+    starts = np.concatenate(([0], np.nonzero(change)[0] + 1))
+    ends = np.concatenate((starts[1:], [cells.shape[0]]))
+    return sort, starts, ends, sorted_cells
+
+
+def _iter_source_blocks(source, row_block: int, stats=None):
+    """Yield ``(r0, r1, block)`` over a source, accounting residency.
+
+    ``stats`` is an optional ``repro.core.engine.StreamStats`` (duck-typed:
+    ``_acquire`` / ``_release`` / ``blocks_loaded``); each block is
+    released once the consumer advances, so at most one block is charged.
+    """
+    for r0 in range(0, source.n, row_block):
+        r1 = min(r0 + row_block, source.n)
+        block = source.load_block(r0, r1)
+        if stats is not None:
+            stats._acquire(block.nbytes)
+            stats.blocks_loaded += 1
+        try:
+            yield r0, r1, block
+        finally:
+            if stats is not None:
+                stats._release(block.nbytes)
+
+
+def variance_order_from_source(
+    source, *, row_block: int = _SOURCE_ROW_BLOCK, stats=None
+) -> np.ndarray:
+    """Streamed :func:`variance_order`: two passes (mean, squared devs).
+
+    Summation order differs from ``np.var`` over the resident array, so
+    the per-dimension variances can differ in their last float64 bits; the
+    *ordering* -- all that the grid consumes -- matches unless two
+    dimensions' variances tie to within rounding.
+    """
+    n, d = int(source.n), int(source.dim)
+    if n == 0:
+        return np.arange(d)
+    total = np.zeros(d, dtype=np.float64)
+    for _r0, _r1, block in _iter_source_blocks(source, row_block, stats):
+        total += block.sum(axis=0)
+    mean = total / n
+    ssd = np.zeros(d, dtype=np.float64)
+    for _r0, _r1, block in _iter_source_blocks(source, row_block, stats):
+        diff = block - mean
+        ssd += (diff * diff).sum(axis=0)
+    return np.argsort(-(ssd / n), kind="stable")
 
 
 @dataclass
@@ -96,24 +174,49 @@ class GridIndex:
             raise ValueError("data must be (n, d)")
         if eps <= 0:
             raise ValueError("eps must be positive")
-        self.eps = float(eps)
-        self.n_points = data.shape[0]
-        self.order = (
-            variance_order(data) if reorder else np.arange(data.shape[1])
-        )
-        self.r = int(min(n_dims, data.shape[1]))
-        proj = data[:, self.order[: self.r]]
-        self._cells = np.floor(proj / self.eps).astype(np.int64)
+        n, d = data.shape
+        order = variance_order(data) if reorder else np.arange(d)
+        r = int(min(n_dims, d))
+        proj = data[:, order[:r]]
+        self._cells = np.floor(proj / float(eps)).astype(np.int64)
         # Group points by cell via lexicographic sort.
-        self._sort = np.lexsort(self._cells.T[::-1])
-        sorted_cells = self._cells[self._sort]
-        change = np.any(np.diff(sorted_cells, axis=0) != 0, axis=1)
-        starts = np.concatenate(([0], np.nonzero(change)[0] + 1))
-        ends = np.concatenate((starts[1:], [self.n_points]))
+        sort, starts, ends, sorted_cells = _group_by_cells(self._cells)
+        self._install(
+            eps=float(eps),
+            n_points=n,
+            n_dims_data=d,
+            order=order,
+            r=r,
+            sort=sort,
+            starts=starts,
+            ends=ends,
+            unique=np.ascontiguousarray(sorted_cells[starts]),
+        )
+
+    def _install(
+        self,
+        *,
+        eps: float,
+        n_points: int,
+        n_dims_data: int,
+        order: np.ndarray,
+        r: int,
+        sort: np.ndarray,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        unique: np.ndarray,
+    ) -> None:
+        """Common tail of both constructors: grouped state + lazy caches."""
+        self.eps = eps
+        self.n_points = n_points
+        self.n_dims_data = n_dims_data
+        self.order = order
+        self.r = r
+        self._sort = sort
         self._starts = starts
         self._ends = ends
         #: Occupied cell coordinates in lexicographic order, shape (C, r).
-        self._unique = np.ascontiguousarray(sorted_cells[starts])
+        self._unique = unique
         self._cell_keys = [tuple(row) for row in self._unique]
         #: Single key -> occupied-cell-index mapping; slices come from
         #: _starts/_ends so there is one source of truth for cell extents.
@@ -124,6 +227,155 @@ class GridIndex:
         self._nbr_cells: np.ndarray | None = None
         self._cand_cache: dict[int, np.ndarray] = {}
         self._cand_cache_elems = 0
+
+    @classmethod
+    def from_source(
+        cls,
+        source,
+        eps: float,
+        n_dims: int = 6,
+        *,
+        reorder: bool = True,
+        row_block: int = _SOURCE_ROW_BLOCK,
+        stats=None,
+    ) -> "GridIndex":
+        """Out-of-core grid build: the dataset streams through in row blocks.
+
+        Equivalent to ``GridIndex(source.materialize(), eps, n_dims)``
+        without ever holding the ``(n, d)`` float64 dataset: the streamed
+        passes keep one ``row_block`` block resident and the build state is
+        ``O(n)`` (scalar cell keys + the point permutation) plus the
+        occupied-cell structures every grid holds anyway.
+
+        Pipeline (each step one pass over ``source``):
+
+        1. streamed variance -> dimension order
+           (:func:`variance_order_from_source`; see its note on ordering
+           ties -- cell *assignment* is bit-exact either way);
+        2. cell-coordinate spans (per-dimension min/max of
+           ``floor(proj / eps)``);
+        3. streamed **cell-key encoding**: each row's cell encoded to one
+           mixed-radix int64 whose numeric order equals the lexicographic
+           cell order;
+        4. external **counting sort over row blocks**: unique keys +
+           counts give each cell's slot range, then every block's rows are
+           placed at their cell cursors (stable: blocks in order,
+           stable argsort within a block) -- producing exactly the
+           permutation the in-memory ``np.lexsort`` yields.
+
+        When the coordinate spans are too wide for the int64 encoding
+        (pathological eps), the build falls back to materializing the
+        ``(n, r)`` cell-coordinate array and lexsorting it -- still never
+        the dataset itself.
+
+        Parameters
+        ----------
+        source:
+            ``DatasetSource`` (or anything :func:`repro.data.source.as_source`
+            accepts).
+        eps, n_dims, reorder:
+            As for the in-memory constructor.
+        row_block:
+            Rows per streamed block.
+        stats:
+            Optional ``repro.core.engine.StreamStats`` accounting the pass
+            loads (block residency + ``blocks_loaded``).
+        """
+        from repro.data.source import as_source
+
+        source = as_source(source)
+        if eps <= 0:
+            raise ValueError("eps must be positive")
+        n, d = int(source.n), int(source.dim)
+        order = (
+            variance_order_from_source(source, row_block=row_block, stats=stats)
+            if reorder
+            else np.arange(d)
+        )
+        r = int(min(n_dims, d))
+        proj_dims = order[:r]
+        eps = float(eps)
+
+        obj = cls.__new__(cls)
+        if n == 0:
+            obj._install(
+                eps=eps, n_points=0, n_dims_data=d, order=order, r=r,
+                sort=np.empty(0, np.int64),
+                starts=np.empty(0, np.int64), ends=np.empty(0, np.int64),
+                unique=np.empty((0, r), np.int64),
+            )
+            return obj
+
+        def block_cells(block: np.ndarray) -> np.ndarray:
+            # Identical elementwise op on identical float64 values, so the
+            # coordinates are bit-exactly those of the in-memory build.
+            return np.floor(block[:, proj_dims] / eps).astype(np.int64)
+
+        # Pass: per-dimension cell-coordinate spans.
+        mins = np.full(r, np.iinfo(np.int64).max, dtype=np.int64)
+        maxs = np.full(r, np.iinfo(np.int64).min, dtype=np.int64)
+        for _r0, _r1, block in _iter_source_blocks(source, row_block, stats):
+            cells = block_cells(block)
+            np.minimum(mins, cells.min(axis=0), out=mins)
+            np.maximum(maxs, cells.max(axis=0), out=maxs)
+
+        # Overflow guard in float64 (cf. GridIndex._encode): extreme spans
+        # would wrap the int64 key arithmetic.
+        spans_f = maxs.astype(np.float64) - mins.astype(np.float64) + 3.0
+        if r and float(np.prod(spans_f)) >= 2.0**62:
+            # Fallback: materialize the (n, r) coordinates and lexsort --
+            # same grouping, O(n*r) resident instead of O(n).
+            cells = np.empty((n, r), dtype=np.int64)
+            for r0, r1, block in _iter_source_blocks(source, row_block, stats):
+                cells[r0:r1] = block_cells(block)
+            sort, starts, ends, sorted_cells = _group_by_cells(cells)
+            obj._install(
+                eps=eps, n_points=n, n_dims_data=d, order=order, r=r,
+                sort=sort, starts=starts, ends=ends,
+                unique=np.ascontiguousarray(sorted_cells[starts]),
+            )
+            return obj
+
+        spans = maxs - mins + 3  # +-1 probe margins, matching _encode
+        strides = np.ones(max(r, 1), dtype=np.int64)[:r]
+        for k in range(r - 2, -1, -1):
+            strides[k] = strides[k + 1] * spans[k + 1]
+
+        # Pass: streamed cell-key encoding (numeric key order == lex order).
+        keys = np.empty(n, dtype=np.int64)
+        for r0, r1, block in _iter_source_blocks(source, row_block, stats):
+            keys[r0:r1] = ((block_cells(block) - mins + 1) * strides).sum(axis=1)
+
+        ukeys, counts = np.unique(keys, return_counts=True)
+        starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        ends = starts + counts
+
+        # External counting sort over row blocks: place each block's rows
+        # at their cell cursors.  Stable (blocks in order, stable argsort
+        # within each block), so the permutation equals np.lexsort's.
+        sort = np.empty(n, dtype=np.int64)
+        cursors = starts.copy()
+        for b0 in range(0, n, row_block):
+            kb = keys[b0 : b0 + row_block]
+            ci = np.searchsorted(ukeys, kb)
+            blk_order = np.argsort(ci, kind="stable")
+            cs = ci[blk_order]
+            run_start = np.concatenate(([0], np.nonzero(np.diff(cs))[0] + 1))
+            run_len = np.diff(np.concatenate((run_start, [cs.size])))
+            ranks = np.arange(cs.size) - np.repeat(run_start, run_len)
+            sort[cursors[cs] + ranks] = b0 + blk_order
+            cursors += np.bincount(ci, minlength=ukeys.size)
+
+        # Decode the unique keys back to cell coordinates (exact ints).
+        unique = np.empty((ukeys.size, r), dtype=np.int64)
+        for k in range(r):
+            unique[:, k] = (ukeys // strides[k]) % spans[k] + mins[k] - 1
+
+        obj._install(
+            eps=eps, n_points=n, n_dims_data=d, order=order, r=r,
+            sort=sort, starts=starts, ends=ends, unique=unique,
+        )
+        return obj
 
     # ------------------------------------------------------------------
     # Batched neighbor-cell adjacency
@@ -286,6 +538,44 @@ class GridIndex:
         for ci in cells:
             members = self._sort[self._starts[ci] : self._ends[ci]]
             yield members, self._candidates_of_index(ci, cache=False)
+
+    def iter_join_groups(self, queries, *, row_block: int = _SOURCE_ROW_BLOCK):
+        """Yield ``(query_members, candidates)`` for an external query set.
+
+        The two-source (A x B) counterpart of :meth:`iter_cells`: this
+        index was built over the *right* set B; ``queries`` is the left
+        set A (an ndarray, a ``DatasetSource``, or a path).  Each query
+        point is dropped into B's grid -- projected with **B's** variance
+        order and cell width -- queries sharing a cell are grouped, and
+        the group's candidates are the B points of the 3^r adjacent cells
+        (:meth:`candidates_of_cell`, which handles unoccupied query cells).
+        Yields ``(A-index array, B-index array)`` groups for
+        :func:`repro.core.engine.candidate_join`; query cell coordinates
+        are computed in streamed row blocks, so A never has to be resident
+        (the ``O(n_A)`` cell/permutation state is).
+        """
+        from repro.data.source import as_source
+
+        src = as_source(queries)
+        if int(src.dim) != int(self.n_dims_data):
+            raise ValueError(
+                f"query dimensionality {src.dim} != indexed {self.n_dims_data}"
+            )
+        nq = int(src.n)
+        if nq == 0:
+            return
+        proj_dims = self.order[: self.r]
+        qcells = np.empty((nq, self.r), dtype=np.int64)
+        for r0 in range(0, nq, row_block):
+            r1 = min(r0 + row_block, nq)
+            block = src.load_block(r0, r1)
+            qcells[r0:r1] = np.floor(block[:, proj_dims] / self.eps).astype(
+                np.int64
+            )
+        qsort, starts, ends, sorted_cells = _group_by_cells(qcells)
+        for s, e in zip(starts, ends):
+            members = qsort[s:e]
+            yield members, self.candidates_of_cell(tuple(sorted_cells[s]))
 
     def stats(self) -> GridStats:
         """Candidate-count statistics (drives the baselines' cost models).

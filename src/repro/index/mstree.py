@@ -23,7 +23,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.index.grid import variance_order
+from repro.index.grid import (
+    _SOURCE_ROW_BLOCK,
+    _iter_source_blocks,
+    variance_order,
+    variance_order_from_source,
+)
 
 
 @dataclass(frozen=True)
@@ -33,6 +38,9 @@ class _Level:
     kind: str  # "coord" | "metric"
     param: int  # dimension index (coord) or pivot row (metric)
     bins: np.ndarray  # per-point ring/cell index at this level
+    #: Pivot coordinates for metric levels (needed to bin *external* query
+    #: points for two-source joins); None for coordinate levels.
+    pivot_point: np.ndarray | None = None
 
 
 def _score(bins: np.ndarray) -> float:
@@ -104,11 +112,94 @@ class MultiSpaceTree:
                 s = _score(bins)
                 self.construction_evaluations += 1
                 if s < best_score:
-                    best, best_score = _Level("metric", int(pivot), bins), s
+                    best, best_score = (
+                        _Level("metric", int(pivot), bins, data[pivot].copy()),
+                        s,
+                    )
             assert best is not None
             self.levels.append(best)
             if best.kind == "coord":
                 used_dims.add(best.param)
+
+    @classmethod
+    def from_source(
+        cls,
+        source,
+        eps: float,
+        n_levels: int = 6,
+        n_candidates: int = 38,
+        seed: int = 0,
+        *,
+        row_block: int = _SOURCE_ROW_BLOCK,
+        stats=None,
+    ) -> "MultiSpaceTree":
+        """Out-of-core tree build: every candidate evaluation streams blocks.
+
+        Equivalent to ``MultiSpaceTree(source.materialize(), eps, ...)``
+        without ever holding the ``(n, d)`` dataset: per-candidate bin
+        arrays are computed block by block (coordinate bins are a
+        single-column floor-divide; metric bins need only the pivot row,
+        gathered with ``source.take``), so resident state is the ``O(n)``
+        bin arrays plus one block.  Bins are row-local, so they -- and
+        hence the chosen levels -- are bit-exactly the in-memory build's
+        (modulo the streamed-variance ordering note on
+        :func:`repro.index.grid.variance_order_from_source`).  The many
+        streamed passes *are* MiSTIC's incremental-construction cost.
+        """
+        from repro.data.source import as_source
+
+        source = as_source(source)
+        if eps <= 0:
+            raise ValueError("eps must be positive")
+        obj = cls.__new__(cls)
+        obj.eps = float(eps)
+        obj.n_points, obj.dims = int(source.n), int(source.dim)
+        rng = np.random.default_rng(seed)
+        order = variance_order_from_source(source, row_block=row_block, stats=stats)
+        obj.levels = []
+        used_dims: set[int] = set()
+        n_coord = max(1, n_candidates // 2)
+        n_metric = max(1, n_candidates - n_coord)
+        obj.construction_evaluations = 0
+
+        def coord_bins(dim: int) -> np.ndarray:
+            bins = np.empty(obj.n_points, dtype=np.int64)
+            for r0, r1, block in _iter_source_blocks(source, row_block, stats):
+                bins[r0:r1] = np.floor(block[:, dim] / obj.eps).astype(np.int64)
+            return bins
+
+        def metric_bins(pivot_point: np.ndarray) -> np.ndarray:
+            bins = np.empty(obj.n_points, dtype=np.int64)
+            for r0, r1, block in _iter_source_blocks(source, row_block, stats):
+                dist = np.sqrt(((block - pivot_point) ** 2).sum(axis=1))
+                bins[r0:r1] = np.floor(dist / obj.eps).astype(np.int64)
+            return bins
+
+        for _ in range(n_levels):
+            best: _Level | None = None
+            best_score = np.inf
+            coord_dims = [d for d in order if int(d) not in used_dims][:n_coord]
+            for dim in coord_dims:
+                bins = coord_bins(int(dim))
+                s = _score(bins)
+                obj.construction_evaluations += 1
+                if s < best_score:
+                    best, best_score = _Level("coord", int(dim), bins), s
+            for pivot in rng.integers(0, obj.n_points, size=n_metric):
+                pivot_point = source.take(np.array([pivot]))[0]
+                bins = metric_bins(pivot_point)
+                s = _score(bins)
+                obj.construction_evaluations += 1
+                if s < best_score:
+                    best, best_score = (
+                        _Level("metric", int(pivot), bins, pivot_point),
+                        s,
+                    )
+            assert best is not None
+            obj.levels.append(best)
+            if best.kind == "coord":
+                used_dims.add(best.param)
+        return obj
 
     # ------------------------------------------------------------------
 
@@ -159,5 +250,57 @@ class MultiSpaceTree:
             block_mask = np.ones(self.n_points, dtype=bool)
             for level in self.levels:
                 b = level.bins[members]
+                block_mask &= (level.bins >= b.min() - 1) & (level.bins <= b.max() + 1)
+            yield members, np.nonzero(block_mask)[0]
+
+    def query_bins(self, queries: np.ndarray) -> list[np.ndarray]:
+        """Per-level bin indices of *external* query points.
+
+        Coordinate levels floor-divide the level's dimension; metric
+        levels ring the stored pivot point.  The same +-1 window property
+        holds for external points: a query's neighbors in the indexed set
+        lie within one bin at every level (eps-width bins; triangle
+        inequality for rings).
+        """
+        queries = np.ascontiguousarray(np.asarray(queries, dtype=np.float64))
+        bins = []
+        for level in self.levels:
+            if level.kind == "coord":
+                qb = np.floor(queries[:, level.param] / self.eps).astype(np.int64)
+            else:
+                dist = np.sqrt(((queries - level.pivot_point) ** 2).sum(axis=1))
+                qb = np.floor(dist / self.eps).astype(np.int64)
+            bins.append(qb)
+        return bins
+
+    def iter_join_groups(self, queries, group: int = 1024, *, row_block: int = _SOURCE_ROW_BLOCK):
+        """Yield ``(query_members, candidates)`` for an external query set.
+
+        The two-source counterpart of :meth:`iter_groups`: this tree
+        indexes the right set B; ``queries`` is the left set A (ndarray,
+        source, or path).  Query blocks are binned per level
+        (:meth:`query_bins`, computed in streamed row blocks) and each
+        block's candidates are the B points inside the block's +-1 bin
+        window at every level -- a superset of the exact union, with the
+        exact filter happening in the join's distance computation.
+        """
+        from repro.data.source import as_source
+
+        src = as_source(queries)
+        if int(src.dim) != int(self.dims):
+            raise ValueError(
+                f"query dimensionality {src.dim} != indexed {self.dims}"
+            )
+        nq = int(src.n)
+        qbins = [np.empty(nq, dtype=np.int64) for _ in self.levels]
+        for r0 in range(0, nq, row_block):
+            r1 = min(r0 + row_block, nq)
+            for dst, qb in zip(qbins, self.query_bins(src.load_block(r0, r1))):
+                dst[r0:r1] = qb
+        for start in range(0, nq, group):
+            members = np.arange(start, min(start + group, nq))
+            block_mask = np.ones(self.n_points, dtype=bool)
+            for level, qb in zip(self.levels, qbins):
+                b = qb[members]
                 block_mask &= (level.bins >= b.min() - 1) & (level.bins <= b.max() + 1)
             yield members, np.nonzero(block_mask)[0]

@@ -29,10 +29,12 @@ import numpy as np
 from repro.core.engine import (
     StreamStats,
     norm_expansion_sq_dists,
+    rect_join,
+    streaming_join,
     streaming_self_join,
     symmetric_self_join,
 )
-from repro.core.results import NeighborResult
+from repro.core.results import JoinResult, NeighborResult, PairAccumulator
 from repro.data.source import DatasetSource, as_source
 from repro.fp.fp16 import quantize_fp16
 from repro.fp.mma import gemm_fp16_32
@@ -254,10 +256,7 @@ class FastedKernel:
         """
         source = as_source(source)
         eps2 = np.float32(float(eps) ** 2)
-
-        def prepare(block: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-            q = quantize_fp16(block)
-            return q, (q * q).sum(axis=1, dtype=np.float32)
+        prepare = self._block_state
 
         def block_sq_dists(row_state, col_state) -> np.ndarray:
             qr, sr = row_state
@@ -275,6 +274,108 @@ class FastedKernel:
             prefetch=prefetch,
         )
         return acc.finalize(source.n, float(eps)), stats
+
+    # ------------------------------------------------------------------
+    # Two-source joins (A x B)
+    # ------------------------------------------------------------------
+
+    def _block_state(self, block: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-block FaSTED state: FP16-grid coordinates + Step-1 norms.
+
+        Row-local, so block-wise preparation is value-identical to slicing
+        a whole-dataset precompute -- the bit-identity lever shared by the
+        streaming self-join and the two-source executors.
+        """
+        q = quantize_fp16(block)
+        return q, (q * q).sum(axis=1, dtype=np.float32)
+
+    def join(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        eps: float,
+        *,
+        store_distances: bool = True,
+        row_block: int = 2048,
+        col_block: int | None = None,
+    ) -> JoinResult:
+        """Two-source join with FaSTED numerics: pairs ``(i in A, j in B)``.
+
+        Runs on the rectangular executor (:func:`repro.core.engine.rect_join`):
+        every tile of the A-rows x B-cols grid is evaluated, nothing is
+        mirrored and no diagonal is cleared -- equal indices address
+        different points.  ``row_block``/``col_block`` are performance
+        knobs only for the pair set (FP32 low-order distance bits vary
+        with BLAS tile shapes, as for the self-join).
+        """
+        a = np.ascontiguousarray(a, dtype=np.float64)
+        b = np.ascontiguousarray(b, dtype=np.float64)
+        if a.shape[1] != b.shape[1]:
+            raise ValueError("A and B dimensionalities must match")
+        qa, sa = self._block_state(a)
+        qb, sb = self._block_state(b)
+        eps2 = np.float32(float(eps) ** 2)
+
+        def tile(r0: int, r1: int, c0: int, c1: int) -> np.ndarray:
+            return norm_expansion_sq_dists(
+                sa[r0:r1], sb[c0:c1], qa[r0:r1] @ qb[c0:c1].T
+            )
+
+        acc = rect_join(
+            a.shape[0],
+            b.shape[0],
+            eps2,
+            tile,
+            row_block=row_block,
+            col_block=col_block,
+            store_distances=store_distances,
+        )
+        return acc.finalize_join(a.shape[0], b.shape[0], float(eps))
+
+    def join_stream(
+        self,
+        source_a: DatasetSource,
+        source_b: DatasetSource,
+        eps: float,
+        *,
+        store_distances: bool = True,
+        row_block: int = 2048,
+        col_block: int | None = None,
+        memory_budget_bytes: int | None = None,
+        prefetch: bool = True,
+        acc: PairAccumulator | None = None,
+    ) -> tuple[JoinResult, StreamStats]:
+        """Out-of-core two-source join (bit-identical to :meth:`join` at
+        the same tile plan).
+
+        Runs on :func:`repro.core.engine.streaming_join`: A's row blocks
+        are pinned stripe by stripe while B's column blocks stream
+        through, with prefetch spanning both sources.  Pass ``acc`` (e.g.
+        a disk-spilling :class:`~repro.core.results.PairAccumulator`) when
+        the output itself outgrows memory.
+        """
+        source_a, source_b = as_source(source_a), as_source(source_b)
+        eps2 = np.float32(float(eps) ** 2)
+
+        def block_sq_dists(row_state, col_state) -> np.ndarray:
+            qr, sr = row_state
+            qc, sc = col_state
+            return norm_expansion_sq_dists(sr, sc, qr @ qc.T)
+
+        out, stats = streaming_join(
+            source_a,
+            source_b,
+            eps2,
+            self._block_state,
+            block_sq_dists,
+            row_block=row_block,
+            col_block=col_block,
+            memory_budget_bytes=memory_budget_bytes,
+            store_distances=store_distances,
+            prefetch=prefetch,
+            acc=acc,
+        )
+        return out.finalize_join(source_a.n, source_b.n, float(eps)), stats
 
     # ------------------------------------------------------------------
     # Timing path

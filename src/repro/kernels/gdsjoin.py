@@ -3,10 +3,16 @@
 The FP32 reference baseline (and, in FP64 mode, the accuracy ground truth
 of paper Section 4.6).  Functionally: a :class:`repro.index.grid.GridIndex`
 generates per-cell candidate sets and distances are computed only against
-candidates, with the precision requested.  Timing: index construction +
-short-circuiting CUDA-core distance pass (measured candidate counts and
-short-circuit profile) + batched result transfers, per the paper's
-end-to-end methodology.
+candidates, with the precision requested.  The index can be built from an
+in-memory ndarray or **out of core** from a
+:class:`~repro.data.source.DatasetSource` (``GridIndex.from_source``; see
+:meth:`GdsJoinKernel.self_join_source`), in which case candidate rows are
+gathered from the source on demand and the dataset is never resident.
+Two-source joins (:meth:`GdsJoinKernel.join`) drop the left set's points
+into the right set's grid.  Timing: index construction + short-circuiting
+CUDA-core distance pass (measured candidate counts and short-circuit
+profile) + batched result transfers, per the paper's end-to-end
+methodology.
 """
 
 from __future__ import annotations
@@ -17,11 +23,14 @@ import numpy as np
 
 from repro.core.engine import (
     GROUP_CHUNK_ELEMS,
+    StreamStats,
+    TilePlan,
     batched_candidate_self_join,
+    candidate_join,
     candidate_self_join,
     norm_expansion_sq_dists,
 )
-from repro.core.results import NeighborResult
+from repro.core.results import JoinResult, NeighborResult
 from repro.gpusim.spec import DEFAULT_SPEC, GpuSpec
 from repro.index.grid import GridIndex, variance_order
 from repro.kernels.base import (
@@ -178,6 +187,156 @@ class GdsJoinKernel:
             on_group=on_group,
         )
         return self._finalize(acc, data, eps, total_candidates, sample_i, sample_j, index)
+
+    def self_join_source(
+        self,
+        source,
+        eps: float,
+        *,
+        store_distances: bool = True,
+        row_block: int = 65536,
+        memory_budget_bytes: int | None = None,
+    ) -> tuple[GdsJoinResult, StreamStats]:
+        """Self-join against a source: out-of-core grid build + row gathers.
+
+        The grid comes from ``GridIndex.from_source`` (streamed cell-key
+        encoding + external counting sort -- the ``(n, d)`` dataset is
+        never resident) and the candidate executor gathers member and
+        candidate rows on demand with ``source.take``, converting to the
+        working precision per gather exactly as the in-memory path
+        converts per slice.  Cell iteration order, per-group norms and
+        GEMM shapes are unchanged, so the result is **bit-identical** to
+        :meth:`self_join` on the materialized data (pinned by
+        tests/test_two_source.py).  The short-circuit profile is measured
+        on the gathered sample rows, so the timing statistics ride along
+        as usual.
+
+        Returns ``(GdsJoinResult, StreamStats)``; the stats account the
+        build passes' block loads plus the executor's transient gathers.
+        """
+        from repro.data.source import as_source
+
+        source = as_source(source)
+        n, d = int(source.n), int(source.dim)
+        if memory_budget_bytes is not None:
+            row_block = TilePlan.from_budget(n, d, int(memory_budget_bytes)).row_block
+        stats = StreamStats(plan=TilePlan(n=n, row_block=row_block))
+        index = GridIndex.from_source(
+            source, eps, n_dims=self.n_index_dims, row_block=row_block,
+            stats=stats,
+        )
+        eps2 = self._dtype.type(float(eps) ** 2)
+
+        total_candidates = 0
+        sample_i, sample_j = [], []
+
+        def on_group(members: np.ndarray, candidates: np.ndarray) -> None:
+            nonlocal total_candidates
+            total_candidates += members.size * candidates.size
+            if len(sample_i) < 64:
+                take = min(candidates.size, 32)
+                sample_i.append(np.repeat(members, take))
+                sample_j.append(np.tile(candidates[:take], members.size))
+
+        # Same member-gather memoization as the in-memory path: the engine
+        # chunks wide candidate lists, re-calling dist() with the same
+        # members array.
+        group_state: dict[str, np.ndarray] = {}
+
+        def dist(members: np.ndarray, cand: np.ndarray) -> np.ndarray:
+            if group_state.get("members") is not members:
+                wm = source.take(members).astype(self._dtype)
+                group_state["members"] = members
+                group_state["wm"] = wm
+                group_state["sm"] = (wm * wm).sum(axis=1)
+            wm = group_state["wm"]
+            sm = group_state["sm"]
+            wc = source.take(cand).astype(self._dtype)
+            stats._acquire(wm.nbytes + wc.nbytes)
+            try:
+                sc = (wc * wc).sum(axis=1)
+                return norm_expansion_sq_dists(sm, sc, wm @ wc.T)
+            finally:
+                stats._release(wm.nbytes + wc.nbytes)
+
+        acc = candidate_self_join(
+            index.iter_cells(),
+            dist,
+            eps2,
+            store_distances=store_distances,
+            candidate_chunk=max(1, GROUP_CHUNK_ELEMS // max(d, 1)),
+            on_group=on_group,
+        )
+        result = self._finalize_source(
+            acc, source, eps, total_candidates, sample_i, sample_j, index
+        )
+        return result, stats
+
+    def join(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        eps: float,
+        *,
+        store_distances: bool = True,
+    ) -> JoinResult:
+        """Two-source grid join: pairs ``(i in A, j in B)`` within ``eps``.
+
+        The grid indexes **B**; A's points are dropped into it with B's
+        variance order and cell width (``GridIndex.iter_join_groups``) and
+        each query group is evaluated against the 3^r adjacent cells'
+        B points by the two-source candidate executor
+        (:func:`repro.core.engine.candidate_join` -- no self pairs exist
+        to drop).  Functional path only; timing stays self-join-scoped.
+        """
+        a = np.ascontiguousarray(a, dtype=np.float64)
+        b = np.ascontiguousarray(b, dtype=np.float64)
+        if a.shape[1] != b.shape[1]:
+            raise ValueError("A and B dimensionalities must match")
+        index = GridIndex(b, eps, n_dims=self.n_index_dims)
+        wa = a.astype(self._dtype)
+        wb = b.astype(self._dtype)
+        sa = (wa * wa).sum(axis=1)
+        sb = (wb * wb).sum(axis=1)
+        eps2 = self._dtype.type(float(eps) ** 2)
+
+        def dist(members: np.ndarray, cand: np.ndarray) -> np.ndarray:
+            return norm_expansion_sq_dists(
+                sa[members], sb[cand], wa[members] @ wb[cand].T
+            )
+
+        acc = candidate_join(
+            index.iter_join_groups(a),
+            dist,
+            eps2,
+            store_distances=store_distances,
+            candidate_chunk=max(1, GROUP_CHUNK_ELEMS // max(a.shape[1], 1)),
+        )
+        return acc.finalize_join(a.shape[0], b.shape[0], float(eps))
+
+    def _finalize_source(
+        self, acc, source, eps, total_candidates, sample_i, sample_j, index
+    ) -> GdsJoinResult:
+        """Source-mode epilogue: profile measured on gathered sample rows."""
+        result = acc.finalize(source.n, float(eps))
+        si = np.concatenate(sample_i) if sample_i else np.empty(0, np.int64)
+        sj = np.concatenate(sample_j) if sample_j else np.empty(0, np.int64)
+        # Compact the sampled pair indices so the profile touches only the
+        # sampled rows, not the dataset.
+        uniq, inv = np.unique(np.concatenate((si, sj)), return_inverse=True)
+        sample_rows = source.take(uniq)
+        profile = short_circuit_profile(
+            sample_rows,
+            eps,
+            (inv[: si.size], inv[si.size :]),
+            order=index.order,
+        )
+        return GdsJoinResult(
+            result=result,
+            total_candidates=total_candidates,
+            profile=profile,
+            n_indexed_dims=index.r,
+        )
 
     def _finalize(
         self, acc, data, eps, total_candidates, sample_i, sample_j, index

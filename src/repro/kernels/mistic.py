@@ -16,11 +16,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.engine import (
+    StreamStats,
+    TilePlan,
     batched_candidate_self_join,
+    candidate_join,
     candidate_self_join,
     norm_expansion_sq_dists,
 )
-from repro.core.results import NeighborResult
+from repro.core.results import JoinResult, NeighborResult
 from repro.gpusim.spec import DEFAULT_SPEC, GpuSpec
 from repro.index.mstree import MultiSpaceTree
 from repro.kernels.base import (
@@ -135,6 +138,130 @@ class MisticKernel:
             profile=profile,
             construction_evaluations=tree.construction_evaluations,
         )
+
+    def self_join_source(
+        self,
+        source,
+        eps: float,
+        *,
+        store_distances: bool = True,
+        group: int = 512,
+        row_block: int = 65536,
+        memory_budget_bytes: int | None = None,
+    ) -> tuple[MisticResult, StreamStats]:
+        """Self-join against a source: streamed tree build + row gathers.
+
+        The multi-space tree is built out of core
+        (``MultiSpaceTree.from_source``: every candidate-partition
+        evaluation is one streamed pass, which *is* MiSTIC's incremental
+        construction cost) and the candidate executor gathers group rows
+        on demand with ``source.take``; per-row FP32 conversion and norms
+        match the in-memory precompute bit for bit, so the result is
+        bit-identical to :meth:`self_join` on the materialized data
+        (pinned by tests/test_two_source.py).
+        """
+        from repro.data.source import as_source
+
+        source = as_source(source)
+        n, d = int(source.n), int(source.dim)
+        if memory_budget_bytes is not None:
+            row_block = TilePlan.from_budget(n, d, int(memory_budget_bytes)).row_block
+        stats = StreamStats(plan=TilePlan(n=n, row_block=row_block))
+        tree = MultiSpaceTree.from_source(
+            source, eps, n_levels=MISTIC_LEVELS, n_candidates=MISTIC_CANDIDATES,
+            seed=self.seed, row_block=row_block, stats=stats,
+        )
+        eps2 = np.float32(float(eps) ** 2)
+
+        def dist(members: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+            wm = source.take(members).astype(np.float32)
+            wc = source.take(candidates).astype(np.float32)
+            stats._acquire(wm.nbytes + wc.nbytes)
+            try:
+                return norm_expansion_sq_dists(
+                    np.einsum("nd,nd->n", wm, wm),
+                    np.einsum("nd,nd->n", wc, wc),
+                    wm @ wc.T,
+                )
+            finally:
+                stats._release(wm.nbytes + wc.nbytes)
+
+        acc = candidate_self_join(
+            tree.iter_groups(group=group),
+            dist,
+            eps2,
+            store_distances=store_distances,
+        )
+        result = acc.finalize(n, float(eps))
+        total_candidates = tree.total_candidates()
+        rng = np.random.default_rng(self.seed)
+        qi = rng.integers(0, n, size=min(n, 256))
+        cand_i, cand_j = [], []
+        for q in qi[:64]:
+            cm = np.nonzero(tree.candidate_mask_for(int(q)))[0]
+            cand_i.append(np.full(cm.size, q))
+            cand_j.append(cm)
+        si = np.concatenate(cand_i) if cand_i else np.empty(0, np.int64)
+        sj = np.concatenate(cand_j) if cand_j else np.empty(0, np.int64)
+        # Compact the sampled pair indices so the profile gathers only the
+        # sampled rows, never the dataset.
+        uniq, inv = np.unique(np.concatenate((si, sj)), return_inverse=True)
+        profile = short_circuit_profile(
+            source.take(uniq), eps, (inv[: si.size], inv[si.size :])
+        )
+        return (
+            MisticResult(
+                result=result,
+                total_candidates=total_candidates,
+                profile=profile,
+                construction_evaluations=tree.construction_evaluations,
+            ),
+            stats,
+        )
+
+    def join(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        eps: float,
+        *,
+        store_distances: bool = True,
+        group: int = 512,
+    ) -> JoinResult:
+        """Two-source tree join: pairs ``(i in A, j in B)`` within ``eps``.
+
+        The tree indexes **B**; blocks of A's points are binned per level
+        (``MultiSpaceTree.iter_join_groups`` -- coordinate floor-divides
+        plus pivot rings, both valid for external points) and evaluated
+        against the +-1 window candidates by the two-source candidate
+        executor.  Functional path only; timing stays self-join-scoped.
+        """
+        a = np.ascontiguousarray(a, dtype=np.float64)
+        b = np.ascontiguousarray(b, dtype=np.float64)
+        if a.shape[1] != b.shape[1]:
+            raise ValueError("A and B dimensionalities must match")
+        tree = MultiSpaceTree(
+            b, eps, n_levels=MISTIC_LEVELS, n_candidates=MISTIC_CANDIDATES,
+            seed=self.seed,
+        )
+        wa = a.astype(np.float32)
+        wb = b.astype(np.float32)
+        sa = np.einsum("nd,nd->n", wa, wa)
+        sb = np.einsum("nd,nd->n", wb, wb)
+        eps2 = np.float32(float(eps) ** 2)
+
+        def dist(members: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+            return norm_expansion_sq_dists(
+                sa[members], sb[candidates], wa[members] @ wb[candidates].T
+            )
+
+        acc = candidate_join(
+            tree.iter_join_groups(a, group=group),
+            dist,
+            eps2,
+            store_distances=store_distances,
+        )
+        return acc.finalize_join(a.shape[0], b.shape[0], float(eps))
 
     def response_time(
         self,

@@ -28,13 +28,17 @@ import numpy as np
 
 from repro.core.engine import (
     StreamStats,
+    TilePlan,
     batched_candidate_self_join,
+    candidate_join,
     candidate_self_join,
     norm_expansion_sq_dists,
+    rect_join,
+    streaming_join,
     streaming_self_join,
     symmetric_self_join,
 )
-from repro.core.results import NeighborResult
+from repro.core.results import JoinResult, NeighborResult, PairAccumulator
 from repro.data.source import DatasetSource, as_source
 from repro.gpusim.occupancy import BlockResources, blocks_per_sm
 from repro.gpusim.spec import DEFAULT_SPEC, GpuSpec
@@ -143,14 +147,19 @@ class TedJoinKernel:
     ) -> tuple[TedJoinResult, StreamStats]:
         """Out-of-core FP64 brute self-join (bit-identical to resident).
 
-        Brute variant only: the index variant needs the whole dataset to
-        build its grid, so it has no out-of-core mode.  Per-block state is
-        the contiguous FP64 block plus its row norms (row-local, hence
-        value-identical to the resident precompute); peak residency is
-        bounded by the :class:`~repro.core.engine.TilePlan`.
+        Brute variant only; the index variant's out-of-core mode is
+        :meth:`self_join_source`, which builds its grid with the streamed
+        ``GridIndex.from_source`` and gathers candidate rows from the
+        source.  Per-block state here is the contiguous FP64 block plus
+        its row norms (row-local, hence value-identical to the resident
+        precompute); peak residency is bounded by the
+        :class:`~repro.core.engine.TilePlan`.
         """
         if self.variant != "brute":
-            raise ValueError("streaming is only defined for the brute variant")
+            raise ValueError(
+                "brute-variant streaming only; use self_join_source for the "
+                "index variant's out-of-core mode"
+            )
         source = as_source(source)
         if not self.supports(source.dim):
             raise MemoryError(
@@ -278,6 +287,202 @@ class TedJoinKernel:
             total_candidates=total_candidates,
             profile=None,
         )
+
+    # ------------------------------------------------------------------
+    # Two-source joins and source-backed index joins
+    # ------------------------------------------------------------------
+
+    def join(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        eps: float,
+        *,
+        store_distances: bool = True,
+        row_block: int = 1024,
+        col_block: int | None = None,
+    ) -> JoinResult:
+        """Two-source FP64 join: pairs ``(i in A, j in B)`` within ``eps``.
+
+        Brute variant: rectangular tiled executor
+        (:func:`repro.core.engine.rect_join`) -- every A-row x B-col tile,
+        one pair direction, no diagonal handling.  Index variant: grid
+        built over **B**, A's points dropped into it
+        (``GridIndex.iter_join_groups``), candidates evaluated with the
+        two-source candidate executor (no self-pair drop -- equal indices
+        address different points).  Functional path only; the timing
+        models remain self-join-scoped.
+        """
+        a = np.ascontiguousarray(a, dtype=np.float64)
+        b = np.ascontiguousarray(b, dtype=np.float64)
+        if a.shape[1] != b.shape[1]:
+            raise ValueError("A and B dimensionalities must match")
+        d = a.shape[1]
+        if not self.supports(d):
+            raise MemoryError(
+                f"TED-Join ({'modified' if self.modified else 'original'}) "
+                f"exceeds shared memory at d={d}"
+            )
+        eps2 = float(eps) ** 2
+        sa = (a * a).sum(axis=1)
+        sb = (b * b).sum(axis=1)
+        if self.variant == "brute":
+
+            def tile(r0: int, r1: int, c0: int, c1: int) -> np.ndarray:
+                return norm_expansion_sq_dists(
+                    sa[r0:r1], sb[c0:c1], a[r0:r1] @ b[c0:c1].T
+                )
+
+            acc = rect_join(
+                a.shape[0],
+                b.shape[0],
+                eps2,
+                tile,
+                row_block=row_block,
+                col_block=col_block,
+                store_distances=store_distances,
+            )
+            return acc.finalize_join(a.shape[0], b.shape[0], float(eps))
+        index = GridIndex(b, eps)
+
+        def dist(members: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+            return norm_expansion_sq_dists(
+                sa[members], sb[candidates], a[members] @ b[candidates].T
+            )
+
+        acc = candidate_join(
+            index.iter_join_groups(a),
+            dist,
+            eps2,
+            store_distances=store_distances,
+        )
+        return acc.finalize_join(a.shape[0], b.shape[0], float(eps))
+
+    def join_stream(
+        self,
+        source_a: DatasetSource,
+        source_b: DatasetSource,
+        eps: float,
+        *,
+        store_distances: bool = True,
+        row_block: int = 1024,
+        col_block: int | None = None,
+        memory_budget_bytes: int | None = None,
+        prefetch: bool = True,
+        acc: PairAccumulator | None = None,
+    ) -> tuple[JoinResult, StreamStats]:
+        """Out-of-core two-source FP64 join (brute variant; bit-identical
+        to :meth:`join` at the same tile plan).
+
+        A's row blocks pin stripe by stripe while B's column blocks stream
+        through (:func:`repro.core.engine.streaming_join`); ``acc`` admits
+        a disk-spilling accumulator for outputs larger than RAM.
+        """
+        if self.variant != "brute":
+            raise ValueError(
+                "brute-variant streaming only; the index variant joins "
+                "sources via GridIndex.from_source (see self_join_source)"
+            )
+        source_a, source_b = as_source(source_a), as_source(source_b)
+        if not self.supports(source_a.dim):
+            raise MemoryError(
+                f"TED-Join ({'modified' if self.modified else 'original'}) "
+                f"exceeds shared memory at d={source_a.dim}"
+            )
+        eps2 = float(eps) ** 2
+
+        def prepare(block: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+            return block, (block * block).sum(axis=1)
+
+        def block_sq_dists(row_state, col_state) -> np.ndarray:
+            dr, sr = row_state
+            dc, sc = col_state
+            return norm_expansion_sq_dists(sr, sc, dr @ dc.T)
+
+        out, stats = streaming_join(
+            source_a,
+            source_b,
+            eps2,
+            prepare,
+            block_sq_dists,
+            row_block=row_block,
+            col_block=col_block,
+            memory_budget_bytes=memory_budget_bytes,
+            store_distances=store_distances,
+            prefetch=prefetch,
+            acc=acc,
+        )
+        return out.finalize_join(source_a.n, source_b.n, float(eps)), stats
+
+    def self_join_source(
+        self,
+        source: DatasetSource,
+        eps: float,
+        *,
+        store_distances: bool = True,
+        row_block: int = 65536,
+        memory_budget_bytes: int | None = None,
+    ) -> tuple[TedJoinResult, StreamStats]:
+        """Index-variant self-join against a source (out-of-core grid build).
+
+        The grid is built with ``GridIndex.from_source`` -- streamed
+        cell-key encoding plus an external counting sort, never holding
+        the ``(n, d)`` dataset -- and the candidate executor gathers
+        member/candidate rows on demand with ``source.take``.  Per-row
+        norms and per-group GEMM shapes are unchanged, so the result is
+        bit-identical to :meth:`self_join` on the materialized data
+        (pinned by tests/test_two_source.py).
+        """
+        if self.variant != "index":
+            raise ValueError(
+                "self_join_source is the index variant's source mode; the "
+                "brute variant streams via self_join_stream"
+            )
+        source = as_source(source)
+        n, d = int(source.n), int(source.dim)
+        if not self.supports(d):
+            raise MemoryError(
+                f"TED-Join ({'modified' if self.modified else 'original'}) "
+                f"exceeds shared memory at d={d}"
+            )
+        if memory_budget_bytes is not None:
+            row_block = TilePlan.from_budget(n, d, int(memory_budget_bytes)).row_block
+        stats = StreamStats(plan=TilePlan(n=n, row_block=row_block))
+        index = GridIndex.from_source(
+            source, eps, row_block=row_block, stats=stats
+        )
+        eps2 = float(eps) ** 2
+        total_candidates = 0
+
+        def on_group(members: np.ndarray, candidates: np.ndarray) -> None:
+            nonlocal total_candidates
+            padded = (-(-members.size // 8) * 8) * (-(-candidates.size // 8) * 8)
+            total_candidates += padded
+
+        def dist(members: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+            dm = source.take(members)
+            dc = source.take(candidates)
+            stats._acquire(dm.nbytes + dc.nbytes)
+            try:
+                return norm_expansion_sq_dists(
+                    (dm * dm).sum(axis=1), (dc * dc).sum(axis=1), dm @ dc.T
+                )
+            finally:
+                stats._release(dm.nbytes + dc.nbytes)
+
+        acc = candidate_self_join(
+            index.iter_cells(),
+            dist,
+            eps2,
+            store_distances=store_distances,
+            on_group=on_group,
+        )
+        result = TedJoinResult(
+            result=acc.finalize(n, float(eps)),
+            total_candidates=total_candidates,
+            profile=None,
+        )
+        return result, stats
 
     # ------------------------------------------------------------------
     # Timing path

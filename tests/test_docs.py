@@ -71,7 +71,7 @@ def test_readme_mentions_committed_bench_entries():
     bench = json.loads((REPO_ROOT / "BENCH_engine.json").read_text())
     readme = (REPO_ROOT / "README.md").read_text()
     assert "rz_sum_squares" in readme and "rz_sum_squares" in bench
-    for key in ("streaming", "candidate_batched"):
+    for key in ("streaming", "candidate_batched", "two_source", "streaming_index"):
         assert key in bench, f"BENCH_engine.json lost its `{key}` entry"
     assert bench["streaming"]["bit_identical"] is True
     assert bench["streaming"]["within_budget"] is True
@@ -79,3 +79,73 @@ def test_readme_mentions_committed_bench_entries():
         k["speedup"] for k in bench["candidate_batched"]["kernels"].values()
     ]
     assert max(speedups) >= 1.3, "batched executor no longer lifts any kernel"
+
+
+def test_two_source_bench_entries():
+    """The two-source and source-backed-index entries keep their contracts."""
+    bench = json.loads((REPO_ROOT / "BENCH_engine.json").read_text())
+    two = bench["two_source"]
+    assert two["bit_identical"] is True
+    assert two["within_budget"] is True
+    assert two["peak_resident_bytes"] <= two["memory_budget_bytes"]
+    assert two["dataset_bytes"] > two["memory_budget_bytes"]  # really out-of-core
+    idx = bench["streaming_index"]
+    assert idx["bit_identical"] is True
+    assert idx["build_blocks_loaded"] > 0
+
+
+def test_cli_two_source_help():
+    """The join subcommand keeps its two-dataset positional form."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        from repro.cli import build_parser
+    finally:
+        sys.path.pop(0)
+    sub = next(
+        a for a in build_parser()._actions
+        if a.__class__.__name__ == "_SubParsersAction"
+    )
+    join = sub.choices["join"]
+    positionals = [a.dest for a in join._get_positional_actions()]
+    assert positionals == ["data_a", "data_b"]
+    help_text = join.format_help()
+    assert "two-source join A x B" in " ".join(help_text.split())
+    for flag in ("--stream", "--memory-budget", "--batched", "--method"):
+        assert flag in help_text
+
+
+def test_readme_documents_two_source_cli():
+    readme = (REPO_ROOT / "README.md").read_text()
+    assert "join A.npy B_chunks/ --stream --memory-budget" in readme
+
+
+def test_checker_catches_cli_flag_drift():
+    """check_docs must flag unknown flags and unknown commands."""
+    checker = _load_checker()
+    commands = checker._load_cli_commands()
+    assert "--memory-budget" in commands["join"]
+    calls = list(checker.iter_cli_invocations(
+        "run `python -m repro join A B --stream --no-such-flag` and\n"
+        "`python -m repro bogus` but skip `python -m repro <experiment>`\n"
+    ))
+    assert calls == [
+        (1, "join", ["--stream", "--no-such-flag"]),
+        (2, "bogus", []),
+    ]
+    errors = []
+    for lineno, command, flags in calls:
+        if command not in commands:
+            errors.append(command)
+        else:
+            errors.extend(f for f in flags if f not in commands[command])
+    assert errors == ["--no-such-flag", "bogus"]
+
+
+def test_docs_cli_invocations_valid():
+    """Every CLI call documented in README/docs exists with real flags."""
+    checker = _load_checker()
+    commands = checker._load_cli_commands()
+    errors = []
+    for doc in checker.default_docs():
+        errors.extend(checker.check_cli_invocations(doc, commands))
+    assert not errors, "\n".join(errors)

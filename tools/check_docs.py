@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Documentation reference checker: fail on dangling file paths.
+"""Documentation reference checker: fail on dangling paths and CLI drift.
 
 Scans ``README.md`` and ``docs/*.md`` (or the files given on the command
 line) for references to repository files and verifies each one exists:
@@ -13,6 +13,12 @@ line) for references to repository files and verifies each one exists:
 Paths are resolved against the repository root first, then against the
 referencing document's directory.  A trailing ``/`` means the reference
 must be a directory.
+
+It also verifies every documented **CLI invocation** against the live
+argparse parser: each ``python -m repro <command> ...`` code span must
+name a real subcommand and use only flags that subcommand actually
+defines, so a renamed/removed flag in ``src/repro/cli.py`` fails the docs
+job instead of silently stranding the README's flag table.
 
 Used by the CI docs job::
 
@@ -62,6 +68,79 @@ def iter_references(text: str):
             yield lineno, target
 
 
+#: CLI invocation inside a code span or console block:
+#: ``python -m repro <command> [args...]``.
+_CLI_RE = re.compile(r"python -m repro\s+([^`\n]*)")
+
+
+def _load_cli_commands() -> dict[str, set[str]]:
+    """Map each live CLI subcommand to its accepted option strings.
+
+    Imports ``repro.cli`` with ``src/`` on the path; the argparse parser
+    itself is the source of truth, so documentation can only drift from
+    flags that really exist.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        from repro.cli import build_parser
+    finally:
+        sys.path.pop(0)
+    sub = next(
+        a for a in build_parser()._actions
+        if a.__class__.__name__ == "_SubParsersAction"
+    )
+    return {
+        name: set(parser._option_string_actions)
+        for name, parser in sub.choices.items()
+    }
+
+
+def iter_cli_invocations(text: str):
+    """Yield ``(line_number, command, flags)`` for documented CLI calls.
+
+    Placeholder spans (``python -m repro <experiment>``) and bare mentions
+    without a concrete command are skipped.
+    """
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in _CLI_RE.finditer(line):
+            tokens = match.group(1).replace("\\", " ").split()
+            command = None
+            flags: list[str] = []
+            for tok in tokens:
+                tok = tok.rstrip("`|,.;:)")
+                if "<" in tok or ">" in tok:
+                    continue
+                if tok.startswith("--"):
+                    flags.append(tok.split("=", 1)[0])
+                elif command is None and not tok.startswith("-"):
+                    command = tok
+            if command is not None:
+                yield lineno, command, flags
+
+
+def check_cli_invocations(doc: Path, commands: dict[str, set[str]]) -> list[str]:
+    """Verify a document's CLI calls against the live parser."""
+    errors = []
+    try:
+        shown = doc.relative_to(REPO_ROOT)
+    except ValueError:
+        shown = doc
+    for lineno, command, flags in iter_cli_invocations(doc.read_text()):
+        if command not in commands:
+            errors.append(
+                f"{shown}:{lineno}: documented CLI command "
+                f"`python -m repro {command}` does not exist"
+            )
+            continue
+        for flag in flags:
+            if flag not in commands[command]:
+                errors.append(
+                    f"{shown}:{lineno}: `python -m repro {command}` has no "
+                    f"`{flag}` flag"
+                )
+    return errors
+
+
 def check_file(doc: Path) -> list[str]:
     """Return error strings for the dangling references of one document."""
     errors = []
@@ -83,6 +162,11 @@ def check_file(doc: Path) -> list[str]:
 def main(argv: list[str] | None = None) -> int:
     args = sys.argv[1:] if argv is None else argv
     docs = [Path(a).resolve() for a in args] if args else default_docs()
+    try:
+        commands = _load_cli_commands()
+    except Exception as exc:  # missing numpy, broken parser, ...
+        commands = None
+        print(f"warning: CLI flag check skipped ({exc})", file=sys.stderr)
     errors: list[str] = []
     checked = 0
     for doc in docs:
@@ -91,10 +175,12 @@ def main(argv: list[str] | None = None) -> int:
             continue
         checked += 1
         errors.extend(check_file(doc))
+        if commands is not None:
+            errors.extend(check_cli_invocations(doc, commands))
     for err in errors:
         print(err, file=sys.stderr)
     print(f"checked {checked} document(s): "
-          + ("OK" if not errors else f"{len(errors)} dangling reference(s)"))
+          + ("OK" if not errors else f"{len(errors)} problem(s)"))
     return 1 if errors else 0
 
 
