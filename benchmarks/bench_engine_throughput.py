@@ -15,6 +15,9 @@ Measures, at the standard working point (n=4096):
   rectangular executor at the same tile plan (bit-identity + budget).
 * The source-backed index join (``GridIndex.from_source`` build + row
   gathers) vs the in-memory grid-indexed self-join (bit-identity).
+* The topology-resolved worker plan (``workers="auto"``: WorkerPlan
+  worker count + cache-fit tile edge) vs the former fixed serial
+  configuration, per kernel, with a bit-identity check.
 
 Writes ``BENCH_engine.json`` at the repository root (see
 docs/BENCHMARKS.md for the workflow: extend this file, never replace it).
@@ -34,7 +37,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.engine import RectTilePlan, TilePlan
+from repro.core.engine import RectTilePlan, TilePlan, WorkerPlan
 from repro.core.selectivity import epsilon_for_selectivity
 from repro.data.source import MmapNpySource, write_chunked_npy
 from repro.data.synthetic import fine_grid_dataset
@@ -357,6 +360,79 @@ def bench_candidate_batched() -> dict:
     return out
 
 
+def bench_workers(data: np.ndarray, eps: float) -> dict:
+    """Auto worker plan vs the former fixed serial configuration.
+
+    ``workers="auto"`` resolves a :class:`~repro.core.engine.WorkerPlan`
+    from the host topology: a worker count (cores / BLAS pinning /
+    ``REPRO_WORKERS``) *and* a cache-fit tile edge for kernels whose
+    callers leave ``row_block`` unset.  The baseline is each kernel's
+    former fixed engine configuration (the PR-1 ``row_block`` defaults,
+    serial dispatch), so the entry records exactly what the topology plan
+    buys on this host -- on a single-core runner the worker count
+    degenerates to 1 and the gain is the cache-fit tile edge alone.
+    ``bit_identical`` must hold: parallel dispatch commits in tile order
+    and the tile edge never changes the pair set (observed bitwise-equal
+    on the seed datasets; tests/test_workers.py pins it).
+    """
+    wp = WorkerPlan.resolve("auto")
+    n, d = data.shape
+    out: dict = {
+        "n": n,
+        "d": d,
+        "worker_plan": wp.as_dict(),
+        "kernels": {},
+    }
+    runs = {
+        "fasted": {
+            "serial": lambda: FastedKernel().self_join(
+                data, eps, row_block=2048, workers=0
+            ),
+            "auto": lambda: FastedKernel().self_join(data, eps, workers="auto"),
+            "serial_row_block": 2048,
+            "auto_row_block": FastedKernel().auto_row_block(n, d, wp),
+        },
+        "ted-join-brute": {
+            "serial": lambda: TedJoinKernel(variant="brute")
+            .self_join(data, eps, row_block=1024, workers=0)
+            .result,
+            "auto": lambda: TedJoinKernel(variant="brute")
+            .self_join(data, eps, workers="auto")
+            .result,
+            "serial_row_block": 1024,
+            "auto_row_block": TedJoinKernel(variant="brute").auto_row_block(
+                n, d, wp
+            ),
+        },
+        "gds-join": {
+            "serial": lambda: GdsJoinKernel().self_join(data, eps, workers=0).result,
+            "auto": lambda: GdsJoinKernel()
+            .self_join(data, eps, workers="auto")
+            .result,
+            "serial_row_block": None,  # candidate executor: no tile edge
+            "auto_row_block": None,
+        },
+    }
+    for name, cfg in runs.items():
+        serial_res = cfg["serial"]()
+        auto_res = cfg["auto"]()
+        identical = joins_bit_identical(serial_res, auto_res)
+        pairs = int(serial_res.pairs_i.size)
+        t_serial, t_auto = interleaved_medians(cfg["serial"], cfg["auto"], reps=5)
+        out["kernels"][name] = {
+            "serial_seconds": t_serial,
+            "auto_seconds": t_auto,
+            "speedup": t_serial / t_auto,
+            "serial_pairs_per_sec": pairs / t_serial,
+            "auto_pairs_per_sec": pairs / t_auto,
+            "serial_row_block": cfg["serial_row_block"],
+            "auto_row_block": cfg["auto_row_block"],
+            "bit_identical": identical,
+            "result_pairs": pairs,
+        }
+    return out
+
+
 def main() -> dict:
     rng = np.random.default_rng(0)
     data = rng.normal(size=(N_POINTS, JOIN_DIMS))
@@ -380,6 +456,7 @@ def main() -> dict:
         "candidate_batched": bench_candidate_batched(),
         "two_source": bench_two_source(rng, eps),
         "streaming_index": bench_streaming_index(data, eps),
+        "workers": bench_workers(data, eps),
     }
     OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))

@@ -13,6 +13,7 @@ Exposes the experiment drivers without writing any Python:
     $ python -m repro join --n 20000 --d 64 --stream --memory-budget 4
     $ python -m repro join --method gds-join --batched --selectivity 8
     $ python -m repro join A.npy B_chunks/ --stream --memory-budget 4
+    $ python -m repro join --n 20000 --workers auto
 
 Model-driven experiments run instantly at the paper's full scales; the
 data-driven ones accept ``--n`` to bound the surrogate size.  ``join``
@@ -22,7 +23,10 @@ self-join on that dataset, and with two positionals the **two-source**
 join ``A x B`` (each a ``.npy`` file or chunk directory) -- optionally
 out-of-core (``--stream`` / ``--memory-budget``, in MiB) or, for
 self-joins on the index-backed methods, with the batched candidate
-executor (``--batched``).
+executor (``--batched``).  ``--workers N`` (or ``--workers auto``) runs
+the join on the engine's worker pool -- bit-identical to serial for
+every method (``--batched --workers`` keeps batching's pair-set
+contract instead).
 """
 
 from __future__ import annotations
@@ -189,6 +193,18 @@ def _cmd_join(args) -> str:
             "error: --batched applies to index-backed self-joins "
             "(ted-join-index, gds-join, mistic)"
         )
+    workers = args.workers
+    wp = None
+    if workers:
+        # Resolve up front (covers "auto", whose REPRO_WORKERS override
+        # is read here) so a bad request fails as a clean CLI error, not
+        # a traceback mid-join; the resolved plan feeds the report line.
+        from repro.core.engine import WorkerPlan
+
+        try:
+            wp = WorkerPlan.resolve(workers)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}") from exc
     if args.eps is not None:
         eps = args.eps
     else:
@@ -218,12 +234,17 @@ def _cmd_join(args) -> str:
         f"method: {args.method}  eps={eps:.4f}"
         + (f"  (calibrated for S={args.selectivity})" if args.eps is None else ""),
     ]
+    if wp is not None:
+        lines.append(
+            f"workers: {wp.n_workers} ({wp.source}; cpu_count={wp.cpu_count}, "
+            f"blas_threads={wp.blas_threads if wp.blas_threads is not None else 'unknown'})"
+        )
     t0 = time.perf_counter()
     if stream:
         if two_source:
             result, stats = join_stream(
                 source, source_b, eps, method=args.method,
-                memory_budget_bytes=budget,
+                memory_budget_bytes=budget, workers=workers,
             )
             plan = stats.plan
             geometry = (
@@ -233,7 +254,8 @@ def _cmd_join(args) -> str:
             )
         else:
             result, stats = self_join_stream(
-                source, eps, method=args.method, memory_budget_bytes=budget
+                source, eps, method=args.method, memory_budget_bytes=budget,
+                workers=workers,
             )
             plan = stats.plan
             geometry = (
@@ -258,12 +280,12 @@ def _cmd_join(args) -> str:
         if two_source:
             result = join(
                 source.materialize(), source_b.materialize(), eps,
-                method=args.method, stream=False,
+                method=args.method, stream=False, workers=workers,
             )
         else:
             result = self_join(
                 source.materialize(), eps, method=args.method,
-                batched=args.batched, stream=False,
+                batched=args.batched, stream=False, workers=workers,
             )
         elapsed = time.perf_counter() - t0
         if args.batched:
@@ -279,6 +301,18 @@ def _cmd_join(args) -> str:
         f"({result.pairs_i.size / max(elapsed, 1e-9):,.0f} pairs/s)"
     )
     return "\n".join(lines)
+
+
+def _workers_arg(value: str):
+    """``--workers`` accepts a count or the literal ``auto``."""
+    if value == "auto":
+        return "auto"
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--workers takes an integer or 'auto', got {value!r}"
+        ) from None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -339,6 +373,11 @@ def build_parser() -> argparse.ArgumentParser:
     j.add_argument(
         "--batched", action="store_true",
         help="batched candidate executor (index-backed methods)",
+    )
+    j.add_argument(
+        "--workers", type=_workers_arg, default=0, metavar="N",
+        help="engine worker pool: a count, or 'auto' for the topology-"
+        "derived WorkerPlan (default: serial; results are bit-identical)",
     )
     j.set_defaults(fn=_cmd_join)
     return parser

@@ -25,6 +25,15 @@ streaming wherever it is defined -- the CI streaming leg runs the test
 suite that way.  The index-backed methods materialize here; their
 out-of-core modes (streamed grid/tree build + source row gathers) are the
 kernel-level ``self_join_source`` entry points.
+
+Every join accepts ``workers=`` -- ``0`` (serial, the default), an
+explicit count, or ``"auto"`` to resolve a topology-aware
+:class:`repro.core.engine.WorkerPlan` (cores, BLAS pinning,
+``REPRO_WORKERS`` override, cache-fit tile edges).  Parallel execution is
+bit-identical to serial for every method, with one set-level exception:
+``batched=True`` combined with workers carries the batched executor's
+pair-set contract (batch boundaries move with the partitioning).  The
+CLI exposes the same knob as ``--workers``.
 """
 
 from __future__ import annotations
@@ -62,6 +71,7 @@ def self_join(
     stream: bool | None = None,
     memory_budget_bytes: int | None = None,
     batched: bool = False,
+    workers: int | str = 0,
 ) -> NeighborResult:
     """Distance-similarity self-join: all pairs within ``eps``.
 
@@ -100,6 +110,17 @@ def self_join(
     batched:
         Index-backed methods only: fuse small candidate groups into padded
         batch GEMMs (same pair set, faster at small eps).
+    workers:
+        Engine worker-pool request (``repro.core.engine.WorkerPlan``):
+        ``0`` serial (the default), ``N`` for exactly N workers,
+        ``"auto"`` to resolve from core topology / BLAS pinning /
+        ``REPRO_WORKERS``.  Brute methods dispatch tiles to threads;
+        index-backed methods fan candidate groups to a fork-based process
+        pool.  Results are bit-identical to serial -- except combined
+        with ``batched=True``, which keeps the batched executor's
+        pair-*set* contract (batch boundaries move with the
+        partitioning, so FP32 low-order distance bits and pair order may
+        differ).
 
     Returns
     -------
@@ -136,6 +157,7 @@ def self_join(
             spec=spec,
             store_distances=store_distances,
             memory_budget_bytes=memory_budget_bytes,
+            workers=workers,
         )
         return result
     if not isinstance(data, np.ndarray):
@@ -147,7 +169,7 @@ def self_join(
         if precision not in (None, "fp16-32"):
             raise ValueError("FaSTED is FP16-32 only")
         return FastedKernel(spec).self_join(
-            data, eps, store_distances=store_distances
+            data, eps, store_distances=store_distances, workers=workers
         )
     if method in ("ted-join-brute", "ted-join-index"):
         from repro.kernels.tedjoin import TedJoinKernel
@@ -156,21 +178,23 @@ def self_join(
             raise ValueError("TED-Join is FP64 only")
         variant = "brute" if method.endswith("brute") else "index"
         return TedJoinKernel(spec, variant=variant).self_join(
-            data, eps, store_distances=store_distances,
+            data, eps, store_distances=store_distances, workers=workers,
             **({"batched": True} if variant == "index" and batched else {}),
         ).result
     if method == "gds-join":
         from repro.kernels.gdsjoin import GdsJoinKernel
 
         return GdsJoinKernel(spec, precision=precision or "fp32").self_join(
-            data, eps, store_distances=store_distances, batched=batched
+            data, eps, store_distances=store_distances, batched=batched,
+            workers=workers,
         ).result
     from repro.kernels.mistic import MisticKernel
 
     if precision not in (None, "fp32"):
         raise ValueError("MiSTIC is FP32 only")
     return MisticKernel(spec, seed=seed).self_join(
-        data, eps, store_distances=store_distances, batched=batched
+        data, eps, store_distances=store_distances, batched=batched,
+        workers=workers,
     ).result
 
 
@@ -183,6 +207,9 @@ def self_join_stream(
     spec: GpuSpec = DEFAULT_SPEC,
     store_distances: bool = True,
     memory_budget_bytes: int | None = None,
+    spill_threshold_bytes: int | None = None,
+    spill_dir: str | Path | None = None,
+    workers: int | str = 0,
 ):
     """Out-of-core self-join returning ``(NeighborResult, StreamStats)``.
 
@@ -191,34 +218,61 @@ def self_join_stream(
     ``python -m repro join --stream`` reports them from here.  Only
     :data:`STREAMABLE_METHODS` stream; results are bit-identical to the
     in-memory path at the same tile plan.
+
+    ``spill_threshold_bytes`` (optionally with ``spill_dir``) routes the
+    result through a disk-spilling
+    :class:`~repro.core.results.PairAccumulator`, bounding resident
+    *result* memory during accumulation exactly as :func:`join_stream`
+    does for two-source joins (the returned ``NeighborResult`` still
+    materializes).  ``workers`` overlaps tile GEMMs with the block
+    prefetch (bit-identical; see :func:`self_join`).
     """
     if method not in STREAMABLE_METHODS:
         raise ValueError(
             f"method must be one of {STREAMABLE_METHODS} to stream, got {method!r}"
         )
     source = as_source(data)
-    if method == "fasted":
-        from repro.kernels.fasted import FastedKernel
+    acc = None
+    if spill_threshold_bytes is not None:
+        acc = PairAccumulator(
+            store_distances=store_distances,
+            spill_threshold_bytes=spill_threshold_bytes,
+            spill_dir=spill_dir,
+        )
+    try:
+        if method == "fasted":
+            from repro.kernels.fasted import FastedKernel
 
-        if precision not in (None, "fp16-32"):
-            raise ValueError("FaSTED is FP16-32 only")
-        return FastedKernel(spec).self_join_stream(
+            if precision not in (None, "fp16-32"):
+                raise ValueError("FaSTED is FP16-32 only")
+            return FastedKernel(spec).self_join_stream(
+                source,
+                eps,
+                store_distances=store_distances,
+                memory_budget_bytes=memory_budget_bytes,
+                acc=acc,
+                workers=workers,
+            )
+        from repro.kernels.tedjoin import TedJoinKernel
+
+        if precision not in (None, "fp64"):
+            raise ValueError("TED-Join is FP64 only")
+        joined, stats = TedJoinKernel(spec, variant="brute").self_join_stream(
             source,
             eps,
             store_distances=store_distances,
             memory_budget_bytes=memory_budget_bytes,
+            acc=acc,
+            workers=workers,
         )
-    from repro.kernels.tedjoin import TedJoinKernel
-
-    if precision not in (None, "fp64"):
-        raise ValueError("TED-Join is FP64 only")
-    joined, stats = TedJoinKernel(spec, variant="brute").self_join_stream(
-        source,
-        eps,
-        store_distances=store_distances,
-        memory_budget_bytes=memory_budget_bytes,
-    )
-    return joined.result, stats
+        return joined.result, stats
+    except BaseException:
+        # Never strand spill chunks when the stream dies mid-join (I/O
+        # error, interrupt): the accumulator was created here, so it is
+        # cleaned up here.  Successful runs clean up in finalize.
+        if acc is not None:
+            acc.cleanup()
+        raise
 
 
 def join(
@@ -233,6 +287,7 @@ def join(
     seed: int = 0,
     stream: bool | None = None,
     memory_budget_bytes: int | None = None,
+    workers: int | str = 0,
 ) -> JoinResult:
     """Two-source distance-similarity join: pairs ``(i in A, j in B)``.
 
@@ -262,6 +317,10 @@ def join(
         Bound on resident streamed-block bytes
         (:meth:`repro.core.engine.RectTilePlan.from_budget`); implies
         ``stream=True``.
+    workers:
+        Engine worker-pool request, as for :func:`self_join` (brute
+        methods: thread tiles; index-backed: process-pool candidate
+        groups; bit-identical to serial).
 
     Returns
     -------
@@ -297,6 +356,7 @@ def join(
             spec=spec,
             store_distances=store_distances,
             memory_budget_bytes=memory_budget_bytes,
+            workers=workers,
         )
         return result
     if not isinstance(a, np.ndarray):
@@ -309,7 +369,9 @@ def join(
 
         if precision not in (None, "fp16-32"):
             raise ValueError("FaSTED is FP16-32 only")
-        return FastedKernel(spec).join(a, b, eps, store_distances=store_distances)
+        return FastedKernel(spec).join(
+            a, b, eps, store_distances=store_distances, workers=workers
+        )
     if method in ("ted-join-brute", "ted-join-index"):
         from repro.kernels.tedjoin import TedJoinKernel
 
@@ -317,20 +379,20 @@ def join(
             raise ValueError("TED-Join is FP64 only")
         variant = "brute" if method.endswith("brute") else "index"
         return TedJoinKernel(spec, variant=variant).join(
-            a, b, eps, store_distances=store_distances
+            a, b, eps, store_distances=store_distances, workers=workers
         )
     if method == "gds-join":
         from repro.kernels.gdsjoin import GdsJoinKernel
 
         return GdsJoinKernel(spec, precision=precision or "fp32").join(
-            a, b, eps, store_distances=store_distances
+            a, b, eps, store_distances=store_distances, workers=workers
         )
     from repro.kernels.mistic import MisticKernel
 
     if precision not in (None, "fp32"):
         raise ValueError("MiSTIC is FP32 only")
     return MisticKernel(spec, seed=seed).join(
-        a, b, eps, store_distances=store_distances
+        a, b, eps, store_distances=store_distances, workers=workers
     )
 
 
@@ -346,6 +408,7 @@ def join_stream(
     memory_budget_bytes: int | None = None,
     spill_threshold_bytes: int | None = None,
     spill_dir: str | Path | None = None,
+    workers: int | str = 0,
 ):
     """Out-of-core two-source join returning ``(JoinResult, StreamStats)``.
 
@@ -387,6 +450,7 @@ def join_stream(
                 store_distances=store_distances,
                 memory_budget_bytes=memory_budget_bytes,
                 acc=acc,
+                workers=workers,
             )
         from repro.kernels.tedjoin import TedJoinKernel
 
@@ -399,6 +463,7 @@ def join_stream(
             store_distances=store_distances,
             memory_budget_bytes=memory_budget_bytes,
             acc=acc,
+            workers=workers,
         )
     except BaseException:
         # Never strand spill chunks when the stream dies mid-join (I/O

@@ -20,9 +20,11 @@ Two execution shapes cover every kernel:
   commutative and BLAS dot products do not depend on the operand block's
   position, so mirroring is *bit-identical* to computing the full matrix
   (tests/test_engine.py pins this against re-implementations of the seed
-  kernels).  Tiles can optionally be dispatched to a thread pool
-  (``workers``); NumPy/BLAS release the GIL for the heavy ops, results are
-  committed in deterministic tile order either way.
+  kernels).  Tile dispatch is governed by a :class:`WorkerPlan` -- serial
+  by default, a thread pool when ``workers`` asks for one (explicitly or
+  via the topology-derived ``"auto"`` plan); NumPy/BLAS release the GIL
+  for the heavy ops, results are committed in deterministic tile order
+  either way, so parallel output is bit-identical to serial.
 
 * :func:`candidate_self_join` -- index-backed kernels.  Iterates
   ``(members, candidates)`` groups from a grid/tree index, evaluates the
@@ -60,15 +62,32 @@ lists, and hand back the accumulator so the kernel can attach its own
 metadata (padded candidate counts, short-circuit profiles) via the
 ``on_group`` hook without re-iterating the index.
 
-The timing paths of the kernels still walk their own tile geometry;
-ROADMAP lists "engine-backed timing-path reuse" as a follow-on.
+**Parallel execution** is owned by :class:`WorkerPlan`: worker counts are
+resolved from core topology (``os.cpu_count``), BLAS thread-pinning
+environment variables, and the ``REPRO_WORKERS`` override, and the plan
+also picks a cache-fit tile edge for callers that leave ``row_block``
+unset.  The tiled executors (symmetric, rectangular, both streaming
+forms) dispatch tile evaluation to a thread pool but commit results in
+strict tile order, and the candidate executors can fan groups out to a
+fork-based process pool (:func:`process_candidate_self_join`) when the
+per-group work is too fine-grained for threads -- in every case the
+output is bit-identical to serial execution.
+
+**Timing-path reuse**: the tiled kernels' ``cost()`` models derive their
+``KernelCost.n_tiles`` from the same :class:`TilePlan` geometry the
+functional executors run (``TilePlan(symmetric=False)`` is the device
+schedule: every block tile of the full grid), so modeled and executed
+tile counts can no longer drift apart -- tests/test_workers.py executes
+the functional path at the device plan and asserts the equality.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 import threading
 from collections import deque
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator
 
@@ -97,6 +116,160 @@ BlockPrepareFn = Callable[[np.ndarray], Any]
 #: ``block_sq_dists(row_state, col_state)`` returns the squared-distance
 #: block between two prepared blocks in the kernel's working precision.
 BlockDistFn = Callable[[Any, Any], np.ndarray]
+
+#: Default byte budget one distance tile (the ``row_block x row_block``
+#: d2 block plus its two operand panels) should fit in -- sized for the
+#: per-core last-level-cache slice of current server parts, where the
+#: extraction pass (mask + nonzero + gather) re-reads the tile it just
+#: wrote.  ``WorkerPlan(tile_budget_bytes=...)`` overrides it.
+TILE_CACHE_BUDGET_BYTES = 3 << 19  # 1.5 MiB
+
+#: Environment variables consulted (in order) for the BLAS thread count.
+_BLAS_THREAD_ENV = (
+    "OPENBLAS_NUM_THREADS",
+    "OMP_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+)
+
+
+def blas_thread_count() -> int | None:
+    """BLAS thread-pool width, from the pinning env vars (None: unknown).
+
+    NumPy's BLAS reads these variables at import time; when none is set
+    the library typically claims every core, which is exactly the case
+    where adding engine-level workers would oversubscribe -- the
+    :class:`WorkerPlan` heuristic keys off this distinction.
+    """
+    for name in _BLAS_THREAD_ENV:
+        raw = os.environ.get(name, "").strip()
+        if raw:
+            # OMP_NUM_THREADS accepts a per-nesting-level list ("4,2");
+            # the outermost level is the one the BLAS pool uses.
+            head = raw.split(",")[0].strip()
+            try:
+                return max(1, int(head))
+            except ValueError:
+                continue
+    return None
+
+
+@dataclass(frozen=True)
+class WorkerPlan:
+    """Resolved parallel-execution plan: worker count + tile sizing.
+
+    Every executor takes ``workers`` as an int (0/None = serial, N > 0 =
+    exactly N workers), the string ``"auto"`` / the int ``-1`` (resolve
+    from topology), or an already-resolved plan.  Resolution order for
+    ``"auto"``:
+
+    1. ``REPRO_WORKERS`` environment variable, when set (``source="env"``);
+    2. core topology: with BLAS pinned to ``t`` threads (see
+       :func:`blas_thread_count`), ``cpu_count // t`` tile workers keep
+       every core busy without oversubscribing the GEMMs; with BLAS
+       thread count unknown the library is assumed to own the cores
+       already, and at most two workers are used purely to overlap the
+       GIL-held extraction pass with the next tile's GEMM
+       (``source="auto"``).
+
+    The plan also owns **tile sizing**: :meth:`tile_rows` picks the
+    largest tile edge whose distance block plus operand panels fit
+    ``tile_budget_bytes`` -- the cache-residency knob that dominates
+    single-core throughput.  Kernels use it whenever the caller leaves
+    ``row_block=None``; the choice never changes the pair set, and on the
+    seed datasets it is bit-identical distance-for-distance too (pinned
+    by tests/test_workers.py).
+    """
+
+    n_workers: int
+    cpu_count: int
+    blas_threads: int | None
+    source: str  # "serial" | "explicit" | "env" | "auto"
+    tile_budget_bytes: int = TILE_CACHE_BUDGET_BYTES
+
+    #: Cap on topology-derived worker counts (explicit requests and the
+    #: REPRO_WORKERS override are taken verbatim).
+    MAX_AUTO_WORKERS = 8
+
+    @property
+    def parallel(self) -> bool:
+        return self.n_workers > 1
+
+    @classmethod
+    def resolve(cls, workers: "int | str | WorkerPlan | None" = 0) -> "WorkerPlan":
+        """Normalize a ``workers`` argument into a :class:`WorkerPlan`."""
+        if isinstance(workers, WorkerPlan):
+            return workers
+        cpu = os.cpu_count() or 1
+        blas = blas_thread_count()
+        if workers is None or workers == 0:
+            return cls(1, cpu, blas, "serial")
+        if isinstance(workers, str):
+            if workers != "auto":
+                raise ValueError(
+                    f"workers must be an int, 'auto', or a WorkerPlan; got {workers!r}"
+                )
+            workers = -1
+        workers = int(workers)
+        if workers > 0:
+            return cls(workers, cpu, blas, "explicit")
+        if workers != -1:
+            # Only -1 means "auto"; other negatives are almost certainly
+            # sign typos or failed arithmetic and must not silently
+            # resolve to a topology-derived count.
+            raise ValueError(
+                f"workers must be >= 0, -1/'auto', or a WorkerPlan; got {workers}"
+            )
+        env = os.environ.get("REPRO_WORKERS", "").strip()
+        if env:
+            try:
+                n = int(env)
+            except ValueError as exc:
+                raise ValueError(f"REPRO_WORKERS must be an integer, got {env!r}") from exc
+            if n < 1:
+                # Same reasoning as the explicit-argument check: a
+                # negative override is a typo, not a request for serial.
+                raise ValueError(
+                    f"REPRO_WORKERS must be a positive integer, got {env!r}"
+                )
+            return cls(n, cpu, blas, "env")
+        if blas is not None:
+            n = max(1, cpu // blas)
+        else:
+            n = 2 if cpu >= 4 else 1
+        return cls(min(n, cls.MAX_AUTO_WORKERS), cpu, blas, "auto")
+
+    def tile_rows(
+        self,
+        n: int,
+        dim: int,
+        *,
+        d2_itemsize: int = 8,
+        work_itemsize: int = 8,
+        quantum: int = 128,
+    ) -> int:
+        """Cache-fit tile edge: largest ``rows`` with
+        ``rows^2 * d2_itemsize + 2 * rows * dim * work_itemsize`` under
+        the budget, rounded down to a multiple of ``quantum`` (a kernel's
+        natural dispatch granule) and clamped to ``[1, n]``.
+        """
+        a = float(max(d2_itemsize, 1))
+        b = 2.0 * max(dim, 1) * max(work_itemsize, 1)
+        budget = float(max(self.tile_budget_bytes, 1))
+        rows = int(((b * b + 4.0 * a * budget) ** 0.5 - b) / (2.0 * a))
+        if rows >= quantum:
+            rows -= rows % quantum
+        return max(1, min(rows, max(n, 1)))
+
+    def as_dict(self) -> dict:
+        """JSON-friendly view (benchmarks and the CLI report this)."""
+        return {
+            "n_workers": self.n_workers,
+            "cpu_count": self.cpu_count,
+            "blas_threads": self.blas_threads,
+            "source": self.source,
+            "tile_budget_bytes": self.tile_budget_bytes,
+        }
 
 
 def norm_expansion_sq_dists(
@@ -165,21 +338,86 @@ def _extract_tile(
     return _extract_pairs(tile_fn(r0, r1, c0, c1), r0, c0, eps2, store_distances)
 
 
+def _run_tiles(
+    tiles: list,
+    evaluate: Callable[[Any], Any],
+    commit: Callable[[Any, Any], None],
+    n_workers: int,
+) -> None:
+    """Evaluate tiles (optionally on a thread pool) and commit in order.
+
+    The shared dispatch loop of the tiled executors: with more than one
+    worker, a bounded window (~2x workers) of tiles is kept in flight so
+    finished-but-uncommitted results never pile up, and ``commit`` runs on
+    the calling thread in strict submission order -- the determinism lever
+    that makes parallel output bit-identical to serial.
+    """
+    if n_workers > 1 and len(tiles) > 1:
+        window = 2 * int(n_workers)
+        pending: deque = deque()
+        with ThreadPoolExecutor(max_workers=int(n_workers)) as pool:
+            for tile in tiles:
+                pending.append((tile, pool.submit(evaluate, tile)))
+                if len(pending) >= window:
+                    head, fut = pending.popleft()
+                    commit(head, fut.result())
+            while pending:
+                head, fut = pending.popleft()
+                commit(head, fut.result())
+    else:
+        for tile in tiles:
+            commit(tile, evaluate(tile))
+
+
+class _InFlightWindow:
+    """Bounded in-flight tile window with in-order commit.
+
+    The streaming executors' analogue of :func:`_run_tiles`: tiles are
+    evaluated on ``pool`` (or inline when ``pool`` is None) while commits
+    run on the calling thread in strict submission order, with at most
+    ``limit`` results outstanding.  ``commit(result, *payload)`` receives
+    whatever payload rode along with the submission (block byte counts,
+    tile coordinates).
+    """
+
+    def __init__(self, pool: ThreadPoolExecutor | None, limit: int, commit) -> None:
+        self._pool = pool
+        self._limit = limit
+        self._commit = commit
+        self._pending: deque = deque()
+
+    def run(self, fn, args: tuple, payload: tuple) -> None:
+        if self._pool is None:
+            self._commit(fn(*args), *payload)
+            return
+        self._pending.append((self._pool.submit(fn, *args), payload))
+        self.drain(self._limit)
+
+    def drain(self, limit: int = 0) -> None:
+        while len(self._pending) > limit:
+            fut, payload = self._pending.popleft()
+            self._commit(fut.result(), *payload)
+
+
 def symmetric_self_join(
     n: int,
     eps2: float,
     tile_fn: TileFn,
     *,
+    plan: "TilePlan | None" = None,
     row_block: int = 2048,
     store_distances: bool = True,
-    workers: int = 0,
+    workers: "int | str | WorkerPlan | None" = 0,
 ) -> PairAccumulator:
-    """Tiled self-join over the upper triangle of the tile grid.
+    """Tiled self-join over the tile grid of a :class:`TilePlan`.
 
-    Only tiles with ``c0 >= r0`` are evaluated; for off-diagonal tiles both
-    pair directions are emitted from the one evaluation.  Diagonal tiles
-    already contain both directions and get their self-pair diagonal
-    cleared.
+    With a symmetric plan (the default) only tiles with ``c0 >= r0`` are
+    evaluated and off-diagonal tiles emit both pair directions from the
+    one evaluation; with ``plan.symmetric=False`` (the device-schedule
+    form the timing models share) every tile of the full grid is
+    evaluated and nothing is mirrored -- the two modes are bit-identical
+    because ``dist(i, j) == dist(j, i)`` holds bitwise.  Diagonal tiles
+    get their self-pair diagonal cleared either way.
 
     Parameters
     ----------
@@ -190,19 +428,30 @@ def symmetric_self_join(
         ``d2 <= eps2`` are kept, matching every kernel's seed semantics).
     tile_fn:
         Kernel numerics; see :data:`TileFn`.
+    plan:
+        Explicit tile schedule; overrides ``row_block``.  ``plan.n`` must
+        equal ``n``.
     row_block:
-        Tile edge (performance knob only -- results are identical for any
-        value).
+        Tile edge when no plan is given (performance knob only -- results
+        are identical for any value).
     store_distances:
         Track per-pair squared distances.
     workers:
-        When > 1, evaluate tiles in a thread pool of this size (off by
-        default).  BLAS/NumPy release the GIL for the heavy ops; pairs are
-        committed in tile order, so results are deterministic and identical
-        to the serial path.
+        Worker-pool request resolved via :meth:`WorkerPlan.resolve`
+        (0/None serial, N threads, ``"auto"`` for the topology plan).
+        Pairs are committed in tile order, so results are deterministic
+        and identical to the serial path.
     """
+    if plan is None:
+        plan = TilePlan(n=n, row_block=int(row_block))
+    elif plan.n != n:
+        raise ValueError(f"plan covers n={plan.n}, join has n={n}")
     acc = PairAccumulator(store_distances=store_distances)
-    tiles = list(iter_symmetric_tiles(n, row_block))
+    tiles = list(plan.tile_bounds())
+    mirror = plan.symmetric
+
+    def evaluate(tile: tuple[int, int, int, int]):
+        return _extract_tile(tile_fn, eps2, store_distances, tile)
 
     def commit(
         tile: tuple[int, int, int, int],
@@ -210,29 +459,10 @@ def symmetric_self_join(
     ) -> None:
         gi, gj, dd = extracted
         acc.append(gi, gj, dd)
-        if tile[2] != tile[0]:  # mirrored direction of an off-diagonal tile
+        if mirror and tile[2] != tile[0]:  # mirrored direction, off-diagonal
             acc.append(gj, gi, dd)
 
-    if workers and workers > 1 and len(tiles) > 1:
-        # Windowed submission: keep only ~2x workers tiles in flight so
-        # finished-but-uncommitted results never pile up (commit order is
-        # still strictly tile order -> deterministic output).
-        window = 2 * int(workers)
-        pending: deque = deque()
-        with ThreadPoolExecutor(max_workers=int(workers)) as pool:
-            for tile in tiles:
-                pending.append(
-                    (tile, pool.submit(_extract_tile, tile_fn, eps2, store_distances, tile))
-                )
-                if len(pending) >= window:
-                    head, fut = pending.popleft()
-                    commit(head, fut.result())
-            while pending:
-                head, fut = pending.popleft()
-                commit(head, fut.result())
-    else:
-        for tile in tiles:
-            commit(tile, _extract_tile(tile_fn, eps2, store_distances, tile))
+    _run_tiles(tiles, evaluate, commit, WorkerPlan.resolve(workers).n_workers)
     return acc
 
 
@@ -240,22 +470,30 @@ def symmetric_self_join(
 class TilePlan:
     """Schedule of row-block loads for an out-of-core symmetric self-join.
 
-    The plan owns the tile geometry of the streaming executor: the dataset
+    The plan owns the tile geometry of the tiled executors: the dataset
     is cut into ``ceil(n / row_block)`` row blocks, and the upper triangle
     of the block grid (``cj >= ri``) is evaluated exactly like
     :func:`iter_symmetric_tiles` does in memory -- the two paths share the
     same tile coordinates, which is half of the bit-identity argument
-    (docs/ARCHITECTURE.md has the other half).
+    (docs/ARCHITECTURE.md has the other half).  With ``symmetric=False``
+    the plan instead schedules **every** tile of the full block grid with
+    no mirroring -- the device dispatch shape (a GPU work queue issues all
+    block tiles), which the kernels' timing models share via their
+    ``tile_plan()`` / ``cost()`` methods so modeled and executed tile
+    counts cannot drift apart.
 
     A block is loaded once per *row stripe* it participates in: processing
     row block ``ri`` loads block ``ri`` (kept resident for the whole
     stripe) and then streams column blocks ``ri+1 .. nb-1`` through, each
     discarded after its tile.  Peak residency is therefore bounded by
-    :data:`RESIDENT_BLOCKS` blocks regardless of ``n``.
+    :data:`RESIDENT_BLOCKS` blocks regardless of ``n`` (streaming with
+    ``workers > 1`` keeps up to one extra column block in flight per
+    worker; see :func:`streaming_self_join`).
     """
 
     n: int
     row_block: int
+    symmetric: bool = True
 
     #: Worst-case simultaneously resident blocks: the pinned row block, the
     #: current column block, and the prefetched next block (whose raw
@@ -268,7 +506,13 @@ class TilePlan:
 
     @classmethod
     def from_budget(
-        cls, n: int, dim: int, memory_budget_bytes: int, *, itemsize: int = 8
+        cls,
+        n: int,
+        dim: int,
+        memory_budget_bytes: int,
+        *,
+        itemsize: int = 8,
+        extra_blocks: int = 0,
     ) -> "TilePlan":
         """Choose ``row_block`` so peak resident data fits the budget.
 
@@ -276,12 +520,16 @@ class TilePlan:
         float64 blocks of ``row_block`` rows, plus one spare column per row
         for the per-block norm vectors); the result pairs themselves grow
         with the join's output and are accounted separately by
-        ``PairAccumulator.nbytes``.
+        ``PairAccumulator.nbytes``.  ``extra_blocks`` widens the
+        accounting for executors that keep additional blocks alive -- the
+        streaming executors pass their in-flight worker window here, so a
+        ``memory_budget_bytes`` stays honored with ``workers > 1``.
         """
         if memory_budget_bytes <= 0:
             raise ValueError("memory_budget_bytes must be positive")
         per_row = max(1, (dim + 1) * itemsize)
-        row_block = memory_budget_bytes // (cls.RESIDENT_BLOCKS * per_row)
+        blocks = cls.RESIDENT_BLOCKS + max(0, int(extra_blocks))
+        row_block = memory_budget_bytes // (blocks * per_row)
         return cls(n=n, row_block=int(max(1, min(row_block, max(n, 1)))))
 
     @property
@@ -291,7 +539,7 @@ class TilePlan:
     @property
     def n_tiles(self) -> int:
         nb = self.n_blocks
-        return nb * (nb + 1) // 2
+        return nb * (nb + 1) // 2 if self.symmetric else nb * nb
 
     def block_bounds(self, bi: int) -> tuple[int, int]:
         """Row range ``(r0, r1)`` of block ``bi``."""
@@ -303,10 +551,27 @@ class TilePlan:
             yield self.block_bounds(bi)
 
     def tiles(self) -> Iterator[tuple[int, int]]:
-        """Upper-triangle block-index pairs ``(ri, cj)`` in execution order."""
+        """Block-index pairs ``(ri, cj)`` in execution order.
+
+        Upper triangle (``cj >= ri``) for symmetric plans, the full grid
+        row-major otherwise.
+        """
         for ri in range(self.n_blocks):
-            for cj in range(ri, self.n_blocks):
+            for cj in range(ri if self.symmetric else 0, self.n_blocks):
                 yield ri, cj
+
+    def tile_bounds(self) -> Iterator[tuple[int, int, int, int]]:
+        """Tile coordinates ``(r0, r1, c0, c1)`` in execution order.
+
+        The symmetric form yields exactly what
+        :func:`iter_symmetric_tiles` yields -- one geometry shared by the
+        in-memory executor, the streaming executor and (through the
+        kernels' ``tile_plan()``) the timing models.
+        """
+        for ri, cj in self.tiles():
+            r0, r1 = self.block_bounds(ri)
+            c0, c1 = self.block_bounds(cj)
+            yield r0, r1, c0, c1
 
     def peak_resident_bytes(self, dim: int, *, itemsize: int = 8) -> int:
         """Upper bound on simultaneously resident streamed-block bytes."""
@@ -362,6 +627,7 @@ def streaming_self_join(
     store_distances: bool = True,
     prefetch: bool = True,
     acc: PairAccumulator | None = None,
+    workers: "int | str | WorkerPlan | None" = 0,
 ) -> tuple[PairAccumulator, StreamStats]:
     """Out-of-core symmetric self-join over a :class:`~repro.data.source.DatasetSource`.
 
@@ -404,6 +670,16 @@ def streaming_self_join(
         (``PairAccumulator(spill_threshold_bytes=...)``) when the output
         itself outgrows memory.  ``store_distances`` is ignored when an
         accumulator is supplied.
+    workers:
+        Worker-pool request (:meth:`WorkerPlan.resolve`): with more than
+        one worker, tile GEMMs + extraction run on a thread pool and
+        overlap the block prefetch, with pairs committed in strict tile
+        order -- bit-identical to serial.  Each in-flight tile keeps its
+        column block alive; when the plan is derived from
+        ``memory_budget_bytes`` the extra blocks are folded into the
+        accounting (``TilePlan.from_budget(extra_blocks=...)``) so the
+        budget stays honored, while an explicit ``plan``/``row_block``
+        accepts the up-to-``workers``-blocks residency growth.
 
     Returns
     -------
@@ -411,11 +687,19 @@ def streaming_self_join(
         The accumulated pairs and the observed load/residency statistics.
     """
     n, dim = int(source.n), int(source.dim)
+    wp = WorkerPlan.resolve(workers)
     if plan is None:
         if memory_budget_bytes is not None:
-            plan = TilePlan.from_budget(n, dim, int(memory_budget_bytes))
+            # In-flight worker tiles each pin an extra column block;
+            # widen the residency accounting so the budget stays honored.
+            plan = TilePlan.from_budget(
+                n, dim, int(memory_budget_bytes),
+                extra_blocks=wp.n_workers if wp.parallel else 0,
+            )
         else:
             plan = TilePlan(n=n, row_block=int(row_block))
+    if not plan.symmetric:
+        raise ValueError("streaming_self_join requires a symmetric TilePlan")
     stats = StreamStats(plan=plan)
     if acc is None:
         acc = PairAccumulator(store_distances=store_distances)
@@ -443,6 +727,7 @@ def streaming_self_join(
         loads.append(ri)
         loads.extend(range(ri + 1, nb))
     pool = ThreadPoolExecutor(max_workers=1) if prefetch and len(loads) > 1 else None
+    gemm_pool = ThreadPoolExecutor(max_workers=wp.n_workers) if wp.parallel else None
     try:
         futures: deque = deque()
         cursor = 0
@@ -465,6 +750,24 @@ def streaming_self_join(
             schedule_next()  # keep the pipeline primed
             return blk
 
+        def eval_tile(row_state, col_state, r0: int, c0: int):
+            d2 = block_sq_dists(row_state, col_state)
+            return _extract_pairs(d2, r0, c0, eps2, store_distances)
+
+        def commit_tile(extracted, r0: int, c0: int, col_nbytes: int) -> None:
+            gi, gj, dd = extracted
+            acc.append(gi, gj, dd)
+            if c0 != r0:
+                acc.append(gj, gi, dd)
+            stats.tiles_evaluated += 1
+            if col_nbytes:
+                stats._release(col_nbytes)
+
+        # In-flight tile window (workers > 1): futures keep their column
+        # block alive until commit, and commits run here in submission
+        # order -- the same determinism lever as the in-memory executor.
+        window = _InFlightWindow(gemm_pool, wp.n_workers, commit_tile)
+
         schedule_next()
         for ri in range(nb):
             row_state, row_nbytes = next_block()
@@ -475,16 +778,17 @@ def streaming_self_join(
                 else:
                     col_state, col_nbytes = next_block()
                 c0, _c1 = plan.block_bounds(cj)
-                d2 = block_sq_dists(row_state, col_state)
-                gi, gj, dd = _extract_pairs(d2, r0, c0, eps2, store_distances)
-                acc.append(gi, gj, dd)
-                if c0 != r0:
-                    acc.append(gj, gi, dd)
-                stats.tiles_evaluated += 1
-                if col_nbytes:
-                    stats._release(col_nbytes)
+                window.run(
+                    eval_tile, (row_state, col_state, r0, c0),
+                    (r0, c0, col_nbytes),
+                )
+            # The stripe's tiles all read row_state: finish them before
+            # the pinned row block's bytes are released.
+            window.drain()
             stats._release(row_nbytes)
     finally:
+        if gemm_pool is not None:
+            gemm_pool.shutdown(wait=True)
         if pool is not None:
             pool.shutdown(wait=True)
     return acc, stats
@@ -529,18 +833,21 @@ class RectTilePlan:
         memory_budget_bytes: int,
         *,
         itemsize: int = 8,
+        extra_blocks: int = 0,
     ) -> "RectTilePlan":
         """Choose equal block edges so peak resident data fits the budget.
 
         Same accounting as :meth:`TilePlan.from_budget`: the budget covers
         the :data:`RESIDENT_BLOCKS` streamed float64 blocks (plus one spare
-        column per row for per-block norm vectors); result growth is
+        column per row for per-block norm vectors), widened by
+        ``extra_blocks`` for in-flight worker tiles; result growth is
         accounted separately by ``PairAccumulator.nbytes``.
         """
         if memory_budget_bytes <= 0:
             raise ValueError("memory_budget_bytes must be positive")
         per_row = max(1, (dim + 1) * itemsize)
-        block = memory_budget_bytes // (cls.RESIDENT_BLOCKS * per_row)
+        blocks = cls.RESIDENT_BLOCKS + max(0, int(extra_blocks))
+        block = memory_budget_bytes // (blocks * per_row)
         block = int(max(1, block))
         return cls(
             n_rows=n_rows,
@@ -603,6 +910,7 @@ def rect_join(
     col_block: int | None = None,
     store_distances: bool = True,
     acc: PairAccumulator | None = None,
+    workers: "int | str | WorkerPlan | None" = 0,
 ) -> PairAccumulator:
     """In-memory two-source join: every tile of the rectangular grid.
 
@@ -611,19 +919,29 @@ def rect_join(
     ``[r0:r1]`` of the left set and rows ``[c0:c1]`` of the right set;
     pairs are emitted in the single direction ``(i in A, j in B)`` and the
     tile diagonal is *never* cleared -- equal indices address different
-    points of the two sets.
+    points of the two sets.  ``workers`` dispatches tile evaluation to a
+    thread pool with in-order commit, exactly like the symmetric executor
+    (bit-identical to serial).
     """
     if acc is None:
         acc = PairAccumulator(store_distances=store_distances)
     store_distances = acc.store_distances
     if col_block is None:
         col_block = row_block
-    for r0, r1, c0, c1 in iter_rect_tiles(n_rows, n_cols, row_block, col_block):
-        gi, gj, dd = _extract_pairs(
+    tiles = list(iter_rect_tiles(n_rows, n_cols, row_block, col_block))
+
+    def evaluate(tile: tuple[int, int, int, int]):
+        r0, r1, c0, c1 = tile
+        return _extract_pairs(
             tile_fn(r0, r1, c0, c1), r0, c0, eps2, store_distances,
             clear_diagonal=False,
         )
+
+    def commit(_tile, extracted) -> None:
+        gi, gj, dd = extracted
         acc.append(gi, gj, dd)
+
+    _run_tiles(tiles, evaluate, commit, WorkerPlan.resolve(workers).n_workers)
     return acc
 
 
@@ -641,6 +959,7 @@ def streaming_join(
     store_distances: bool = True,
     prefetch: bool = True,
     acc: PairAccumulator | None = None,
+    workers: "int | str | WorkerPlan | None" = 0,
 ) -> tuple[PairAccumulator, StreamStats]:
     """Out-of-core two-source join over two :class:`~repro.data.source.DatasetSource`\\ s.
 
@@ -683,6 +1002,13 @@ def streaming_join(
     acc:
         Emit into this accumulator (e.g. a disk-spilling one) instead of a
         fresh in-memory accumulator.
+    workers:
+        Worker-pool request (:meth:`WorkerPlan.resolve`): tile GEMMs +
+        extraction on a thread pool, overlapped with the cross-source
+        prefetch, committed in strict tile order (bit-identical to
+        serial).  As for :func:`streaming_self_join`, budget-derived
+        plans fold the in-flight worker blocks into the residency
+        accounting; explicit plans accept the growth.
 
     Returns
     -------
@@ -695,10 +1021,14 @@ def streaming_join(
         raise ValueError(
             f"source dimensionalities disagree: {dim_a} != {dim_b}"
         )
+    wp = WorkerPlan.resolve(workers)
     if plan is None:
         if memory_budget_bytes is not None:
+            # As in streaming_self_join: in-flight worker tiles pin extra
+            # column blocks, so widen the accounting to keep the budget.
             plan = RectTilePlan.from_budget(
-                n_a, n_b, dim_a, int(memory_budget_bytes)
+                n_a, n_b, dim_a, int(memory_budget_bytes),
+                extra_blocks=wp.n_workers if wp.parallel else 0,
             )
         else:
             plan = RectTilePlan(
@@ -739,6 +1069,7 @@ def streaming_join(
         loads.append(("a", ri))
         loads.extend(("b", cj) for cj in range(nbc))
     pool = ThreadPoolExecutor(max_workers=1) if prefetch and len(loads) > 1 else None
+    gemm_pool = ThreadPoolExecutor(max_workers=wp.n_workers) if wp.parallel else None
     try:
         futures: deque = deque()
         cursor = 0
@@ -761,6 +1092,22 @@ def streaming_join(
             schedule_next()  # keep the pipeline primed
             return blk
 
+        def eval_tile(row_state, col_state, r0: int, c0: int):
+            d2 = block_sq_dists(row_state, col_state)
+            return _extract_pairs(
+                d2, r0, c0, eps2, store_distances, clear_diagonal=False
+            )
+
+        def commit_tile(extracted, col_nbytes: int) -> None:
+            gi, gj, dd = extracted
+            acc.append(gi, gj, dd)
+            stats.tiles_evaluated += 1
+            stats._release(col_nbytes)
+
+        # In-flight tile window (workers > 1); in-order commit on this
+        # thread keeps parallel output bit-identical to serial.
+        window = _InFlightWindow(gemm_pool, wp.n_workers, commit_tile)
+
         schedule_next()
         for ri in range(nbr):
             row_state, row_nbytes = next_block()
@@ -768,15 +1115,14 @@ def streaming_join(
             for cj in range(nbc):
                 col_state, col_nbytes = next_block()
                 c0, _c1 = plan.col_bounds(cj)
-                d2 = block_sq_dists(row_state, col_state)
-                gi, gj, dd = _extract_pairs(
-                    d2, r0, c0, eps2, store_distances, clear_diagonal=False
+                window.run(
+                    eval_tile, (row_state, col_state, r0, c0), (col_nbytes,)
                 )
-                acc.append(gi, gj, dd)
-                stats.tiles_evaluated += 1
-                stats._release(col_nbytes)
+            window.drain()  # stripe tiles read row_state; finish first
             stats._release(row_nbytes)
     finally:
+        if gemm_pool is not None:
+            gemm_pool.shutdown(wait=True)
         if pool is not None:
             pool.shutdown(wait=True)
     return acc, stats
@@ -790,6 +1136,7 @@ def candidate_self_join(
     store_distances: bool = True,
     candidate_chunk: int | None = None,
     on_group: Callable[[np.ndarray, np.ndarray], None] | None = None,
+    acc: PairAccumulator | None = None,
 ) -> PairAccumulator:
     """Index-backed self-join over ``(members, candidates)`` groups.
 
@@ -811,8 +1158,13 @@ def candidate_self_join(
         Statistics hook invoked once per nonempty group *before* evaluation
         -- kernels use it to tally candidate counts / sampling without a
         second index pass.
+    acc:
+        Emit into this accumulator (e.g. a disk-spilling one) instead of
+        a fresh one; ``store_distances`` is ignored when given.
     """
-    acc = PairAccumulator(store_distances=store_distances)
+    if acc is None:
+        acc = PairAccumulator(store_distances=store_distances)
+    store_distances = acc.store_distances
     for members, candidates in groups:
         if members.size == 0 or candidates.size == 0:
             continue
@@ -909,6 +1261,7 @@ def batched_candidate_self_join(
     single_elems: int = 1 << 12,
     min_fill: float = 0.35,
     on_group: Callable[[np.ndarray, np.ndarray], None] | None = None,
+    acc: PairAccumulator | None = None,
 ) -> PairAccumulator:
     """Index-backed self-join with small groups fused into padded batch GEMMs.
 
@@ -961,8 +1314,13 @@ def batched_candidate_self_join(
         work than batching saves.
     on_group:
         Statistics hook, called once per nonempty group in input order.
+    acc:
+        Emit into this accumulator instead of a fresh one
+        (``store_distances`` is ignored when given).
     """
-    acc = PairAccumulator(store_distances=store_distances)
+    if acc is None:
+        acc = PairAccumulator(store_distances=store_distances)
+    store_distances = acc.store_distances
     d = work.shape[1]
     norm_dtype = sq_norms.dtype
     # Bypassed (large) groups chunk their candidate axis like the
@@ -1044,3 +1402,198 @@ def batched_candidate_self_join(
         batch_m, batch_c, batch_fill = new_m, new_c, batch_fill + mc
     flush()
     return acc
+
+
+# ----------------------------------------------------------------------
+# Process-pool candidate execution
+# ----------------------------------------------------------------------
+#
+# The candidate executors' per-group work (tiny gathers + a microscopic
+# GEMM + mask extraction) is dominated by GIL-held Python/NumPy header
+# time, so a *thread* pool cannot speed it up.  A fork-based *process*
+# pool can: the dataset arrays are inherited copy-on-write through the
+# module-global fork state below, tasks carry only batches of group index
+# arrays, and results carry only the extracted pairs.  Batches are
+# committed in submission order, so output is bit-identical to the serial
+# per-group executor (the batched mode shares the batched executor's
+# pair-set-equality contract instead, because batch boundaries move with
+# the partitioning).
+
+#: Dataset state inherited by forked candidate workers.  Set immediately
+#: before the pool forks and cleared afterwards, under ``_FORK_LOCK``.
+_FORK_STATE: dict[str, Any] | None = None
+
+#: Serializes process-pool candidate joins within one parent process:
+#: ``ProcessPoolExecutor`` forks lazily at first submit, so without the
+#: lock a concurrent join could overwrite ``_FORK_STATE`` before this
+#: join's children fork and they would inherit the wrong dataset.
+_FORK_LOCK = threading.Lock()
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _candidate_fork_worker(batch: list) -> tuple:
+    """Pool-worker entry: evaluate one batch of ``(members, candidates)``.
+
+    Runs in a forked child; numerics and chunking mirror
+    :func:`candidate_self_join` / :func:`candidate_join` exactly (same
+    gathers, same GEMM shapes, same extraction), which is why the
+    parallel result is bit-identical to serial.
+    """
+    st = _FORK_STATE
+    acc = PairAccumulator(store_distances=st["store_distances"])
+    work_m, sq_m = st["work_m"], st["sq_m"]
+    work_c, sq_c = st["work_c"], st["sq_c"]
+    eps2 = st["eps2"]
+    drop_self = st["drop_self"]
+    store_distances = st["store_distances"]
+    if st["batched"]:
+        inner = batched_candidate_self_join(
+            batch, work_m, sq_m, eps2, store_distances=store_distances
+        )
+        return inner.arrays()
+    chunk0 = st["candidate_chunk"]
+    for members, candidates in batch:
+        wm = work_m[members]
+        sm = sq_m[members]
+        chunk = chunk0 or candidates.size
+        for c0 in range(0, candidates.size, chunk):
+            cand = candidates[c0 : c0 + chunk]
+            d2 = norm_expansion_sq_dists(sm, sq_c[cand], wm @ work_c[cand].T)
+            _emit_group_pairs(
+                acc, d2, members, cand, eps2, store_distances, drop_self=drop_self
+            )
+    return acc.arrays()
+
+
+def process_candidate_self_join(
+    groups: Iterable[tuple[np.ndarray, np.ndarray]],
+    work: np.ndarray,
+    sq_norms: np.ndarray,
+    eps2: float,
+    *,
+    store_distances: bool = True,
+    candidate_chunk: int | None = None,
+    on_group: Callable[[np.ndarray, np.ndarray], None] | None = None,
+    workers: "int | str | WorkerPlan | None" = 0,
+    group_batch: int = 64,
+    batched: bool = False,
+    drop_self: bool = True,
+    work_right: np.ndarray | None = None,
+    sq_norms_right: np.ndarray | None = None,
+    acc: PairAccumulator | None = None,
+) -> PairAccumulator:
+    """Candidate-group join fanned out to a fork-based process pool.
+
+    The process-pool sibling of :func:`candidate_self_join` (and, with
+    ``batched=True``, of :func:`batched_candidate_self_join`) for the
+    norm-expansion kernels: groups are buffered into batches of
+    ``group_batch``, each batch is evaluated in a forked worker against
+    the inherited ``work`` / ``sq_norms`` arrays, and results are
+    committed in submission order -- bit-identical to the serial
+    per-group executor (the batched mode carries the batched executor's
+    pair-*set* contract instead).  ``on_group`` fires in the parent, in
+    group order, exactly as the serial executors fire it.
+
+    Two-source joins pass the right set via ``work_right`` /
+    ``sq_norms_right`` and ``drop_self=False`` (the
+    :func:`candidate_join` convention).  When the platform cannot fork or
+    the resolved plan is serial, the evaluation runs inline with
+    identical numerics -- the function is always safe to call.
+    """
+    wp = WorkerPlan.resolve(workers)
+    if acc is None:
+        acc = PairAccumulator(store_distances=store_distances)
+    store_distances = acc.store_distances
+    work_c = work if work_right is None else work_right
+    sq_c = sq_norms if sq_norms_right is None else sq_norms_right
+
+    if not wp.parallel or not _fork_available():
+        # Inline fallback with the exact worker numerics, emitting
+        # straight into the caller's accumulator.
+        if batched:
+            if work_right is not None:
+                raise ValueError("batched process execution is self-join only")
+            return batched_candidate_self_join(
+                _observed_groups(groups, on_group), work, sq_norms, eps2,
+                store_distances=store_distances, acc=acc,
+            )
+
+        def dist(members: np.ndarray, cand: np.ndarray) -> np.ndarray:
+            return norm_expansion_sq_dists(
+                sq_norms[members], sq_c[cand], work[members] @ work_c[cand].T
+            )
+
+        runner = candidate_self_join if drop_self else candidate_join
+        return runner(
+            groups, dist, eps2,
+            store_distances=store_distances,
+            candidate_chunk=candidate_chunk,
+            on_group=on_group,
+            acc=acc,
+        )
+
+    if batched and work_right is not None:
+        raise ValueError("batched process execution is self-join only")
+
+    global _FORK_STATE
+    ctx = multiprocessing.get_context("fork")
+    with _FORK_LOCK:
+        _FORK_STATE = {
+            "work_m": work,
+            "sq_m": sq_norms,
+            "work_c": work_c,
+            "sq_c": sq_c,
+            "eps2": eps2,
+            "store_distances": store_distances,
+            "candidate_chunk": candidate_chunk,
+            "drop_self": drop_self,
+            "batched": batched,
+        }
+        try:
+            with ProcessPoolExecutor(
+                max_workers=wp.n_workers, mp_context=ctx
+            ) as pool:
+                pending: deque = deque()
+                batch: list[tuple[np.ndarray, np.ndarray]] = []
+
+                def commit_head() -> None:
+                    i, j, d = pending.popleft().result()
+                    acc.append(i, j, d if store_distances else None)
+
+                def flush() -> None:
+                    if batch:
+                        pending.append(
+                            pool.submit(_candidate_fork_worker, list(batch))
+                        )
+                        batch.clear()
+
+                for members, candidates in groups:
+                    if members.size == 0 or candidates.size == 0:
+                        continue
+                    if on_group is not None:
+                        on_group(members, candidates)
+                    batch.append((members, candidates))
+                    if len(batch) >= group_batch:
+                        flush()
+                        while len(pending) > 2 * wp.n_workers:
+                            commit_head()
+                flush()
+                while pending:
+                    commit_head()
+        finally:
+            _FORK_STATE = None
+    return acc
+
+
+def _observed_groups(
+    groups: Iterable[tuple[np.ndarray, np.ndarray]],
+    on_group: Callable[[np.ndarray, np.ndarray], None] | None,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Pass groups through, firing ``on_group`` on the nonempty ones."""
+    for members, candidates in groups:
+        if members.size and candidates.size and on_group is not None:
+            on_group(members, candidates)
+        yield members, candidates

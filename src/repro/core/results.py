@@ -26,6 +26,7 @@ out-of-core consumers process the chunks without ever concatenating).
 from __future__ import annotations
 
 import tempfile
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -195,7 +196,9 @@ class PairAccumulator:
     tests/test_two_source.py); only the resident footprint changes.
     Spilled files are removed by :meth:`cleanup` (called automatically by
     the finalizers); the directory itself is removed only when the
-    accumulator created it.
+    accumulator created it.  :meth:`append` is thread-safe -- spill
+    rotation included -- so the accumulator can sit behind the engine's
+    multi-worker executors.
 
     Parameters
     ----------
@@ -215,7 +218,7 @@ class PairAccumulator:
     __slots__ = (
         "_i", "_j", "_d", "_size", "_initial_capacity",
         "_spill_threshold", "_spill_dir", "_spill_dir_owned", "_chunks",
-        "_spilled_pairs",
+        "_spilled_pairs", "_lock",
     )
 
     def __init__(
@@ -239,6 +242,14 @@ class PairAccumulator:
         self._spill_dir_owned = False
         self._chunks: list[tuple[Path, Path, Path | None, int]] = []
         self._spilled_pairs = 0
+        # Appends mutate the buffer cursor and, past the spill threshold,
+        # rotate the whole buffer out to disk.  The engine's multi-worker
+        # executors commit from one thread, but nothing stops a caller
+        # from appending out of pool threads -- an unlocked append racing
+        # a spill rotation would interleave half-written chunks, so every
+        # append (including its potential spill) is serialized here.
+        # Uncontended lock acquisition is noise next to the bulk copies.
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return self._spilled_pairs + self._size
@@ -327,7 +338,12 @@ class PairAccumulator:
         pairs_j: np.ndarray,
         sq_dists: np.ndarray | None = None,
     ) -> None:
-        """Bulk-append parallel pair arrays (and distances when tracked)."""
+        """Bulk-append parallel pair arrays (and distances when tracked).
+
+        Thread-safe: concurrent appends (e.g. from pool threads) are
+        serialized, including any spill rotation an append triggers, so a
+        spill-enabled accumulator never interleaves chunks mid-append.
+        """
         m = len(pairs_i)
         if len(pairs_j) != m:
             raise ValueError("pairs_i and pairs_j must be parallel arrays")
@@ -335,18 +351,19 @@ class PairAccumulator:
             raise ValueError("sq_dists required (and parallel) when tracked")
         if m == 0:
             return
-        self._reserve(m)
-        s, e = self._size, self._size + m
-        self._i[s:e] = pairs_i
-        self._j[s:e] = pairs_j
-        if self._d is not None:
-            self._d[s:e] = sq_dists
-        self._size = e
-        if (
-            self._spill_threshold is not None
-            and self._size * self._pair_bytes() >= self._spill_threshold
-        ):
-            self._spill()
+        with self._lock:
+            self._reserve(m)
+            s, e = self._size, self._size + m
+            self._i[s:e] = pairs_i
+            self._j[s:e] = pairs_j
+            if self._d is not None:
+                self._d[s:e] = sq_dists
+            self._size = e
+            if (
+                self._spill_threshold is not None
+                and self._size * self._pair_bytes() >= self._spill_threshold
+            ):
+                self._spill()
 
     def iter_chunks(self):
         """Yield ``(pairs_i, pairs_j, sq_dists)`` per chunk, append order.

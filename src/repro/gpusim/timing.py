@@ -48,7 +48,16 @@ class ResourceDemand:
 
 @dataclass(frozen=True)
 class KernelCost:
-    """Whole-kernel cost description handed to :func:`resolve_timing`."""
+    """Whole-kernel cost description handed to :func:`resolve_timing`.
+
+    ``n_tiles`` is no longer free-floating: the kernels derive it (and
+    ``plan`` records the derivation) from the same
+    :class:`repro.core.engine.TilePlan` geometry their functional
+    executors run -- ``TilePlan(symmetric=False)``, the device schedule
+    that dispatches every block tile of the full grid -- so modeled and
+    executed tile counts cannot drift apart (tests/test_workers.py runs
+    the functional path at the device plan and asserts the equality).
+    """
 
     n_tiles: int
     chunks_per_tile: int
@@ -60,6 +69,9 @@ class KernelCost:
     l2_hit_rate: float
     fixed_overhead_s: float = 0.0
     bank_conflict_rate: float = 0.0
+    #: The tile schedule ``n_tiles`` was derived from (a
+    #: :class:`repro.core.engine.TilePlan`; None for hand-assembled costs).
+    plan: object | None = None
 
 
 @dataclass(frozen=True)

@@ -25,7 +25,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.gpusim.pipeline import PipelineConfig
 from repro.gpusim.spec import GpuSpec
+from repro.gpusim.timing import KernelCost, ResourceDemand
 
 #: FLOPs per dimension of one distance computation (sub, FMA).
 OPS_PER_DIM = 3.0
@@ -131,6 +133,50 @@ def cuda_kernel_seconds(
         raise ValueError("efficiency must be positive")
     work = total_candidates * dims * profile.effective_dims_factor * OPS_PER_DIM
     return work / (spec.fp32_cuda_flops * efficiency)
+
+
+def cuda_candidate_cost(
+    spec: GpuSpec,
+    dims: int,
+    *,
+    total_candidates: int,
+    profile: ShortCircuitProfile,
+    efficiency: float,
+    elem_bytes: int,
+) -> KernelCost:
+    """Measured-work :class:`KernelCost` of a short-circuiting candidate pass.
+
+    The candidate kernels (GDS-Join, MiSTIC) have no standalone tile
+    geometry to model -- the functional run *is* the work inventory.
+    ``n_tiles`` is the number of 32-lane warp work units over the
+    candidate pairs the executor actually evaluated, ``chunks_per_tile``
+    the short-circuit-weighted dimension depth, both taken from the same
+    measured statistics the kernels' ``response_time`` charges -- modeled
+    and executed work agree by construction (the candidate-kernel
+    analogue of the tiled kernels' shared ``TilePlan``).
+    """
+    warps = max(1, -(-int(total_candidates) // 32))
+    depth = max(1, int(round(dims * profile.effective_dims_factor)))
+    rate = (
+        spec.fp32_cuda_flops * efficiency / spec.boost_clock_hz / spec.sm_count
+    )
+    demand = ResourceDemand(
+        tc_cycles=32 * OPS_PER_DIM / rate,
+        smem_load_cycles=0.0,
+        issue_cycles=0.0,
+        gmem_bytes=32 * elem_bytes,  # one gathered dim per lane
+        smem_store_bytes=0.0,
+    )
+    return KernelCost(
+        n_tiles=warps,
+        chunks_per_tile=depth,
+        demand=demand,
+        epilogue_cycles=0.0,
+        pipeline=PipelineConfig(async_copy=False, depth=1),
+        grid_blocks=spec.sm_count,
+        blocks_per_sm=1,
+        l2_hit_rate=0.5,
+    )
 
 
 def grid_build_seconds(spec: GpuSpec, n_points: int, n_dims_indexed: int) -> float:

@@ -28,6 +28,8 @@ import numpy as np
 
 from repro.core.engine import (
     StreamStats,
+    TilePlan,
+    WorkerPlan,
     norm_expansion_sq_dists,
     rect_join,
     streaming_join,
@@ -118,9 +120,26 @@ class FastedConfig:
         """
         return -(-d // self.block_k) * self.block_k
 
+    def tile_plan(self, n: int) -> TilePlan:
+        """Device block-tile schedule as a shared :class:`TilePlan`.
+
+        The GPU work queue dispatches **every** ``block_points`` tile of
+        the padded full grid (nothing is mirrored on the device), which is
+        exactly ``TilePlan(symmetric=False)``: the plan covers the real
+        ``n`` rows (its last tile is the clipped remainder the device
+        zero-pads), and its tile *count* equals the padded grid's because
+        both are the ceiling division.  The timing path
+        (:meth:`FastedKernel.cost`) takes its ``n_tiles`` from this plan,
+        and the functional executor runs the very same plan
+        (``FastedKernel.self_join(plan=config.tile_plan(n))``) --
+        tests/test_workers.py pins that the two walk identical tile
+        counts.
+        """
+        return TilePlan(n=n, row_block=self.block_points, symmetric=False)
+
     def n_tiles(self, n: int) -> int:
-        edge = self.padded_points(n) // self.block_points
-        return edge * edge
+        """Block tiles in the device schedule (= ``tile_plan(n).n_tiles``)."""
+        return self.tile_plan(n).n_tiles
 
     def chunks_per_tile(self, d: int) -> int:
         return self.padded_dims(d) // self.block_k
@@ -175,21 +194,39 @@ class FastedKernel:
         """
         return norm_expansion_sq_dists(s_p, s_q, gemm_fp16_32(p_block, q_block))
 
+    def auto_row_block(
+        self, n: int, dim: int, workers: "int | str | WorkerPlan | None" = 0
+    ) -> int:
+        """Functional tile edge resolved when ``row_block=None``.
+
+        The worker plan's cache-fit edge at this kernel's working
+        itemsizes (FP32 distance tile, FP32 quantized operands) and
+        dispatch quantum (``block_points``) -- the single source of truth
+        shared by :meth:`self_join`, :meth:`join`, and the ``workers``
+        benchmark entry.
+        """
+        return WorkerPlan.resolve(workers).tile_rows(
+            n, dim, d2_itemsize=4, work_itemsize=4,
+            quantum=self.config.block_points,
+        )
+
     def self_join(
         self,
         data: np.ndarray,
         eps: float,
         *,
         store_distances: bool = True,
-        row_block: int = 2048,
-        workers: int = 0,
+        row_block: int | None = None,
+        workers: "int | str | WorkerPlan | None" = 0,
+        plan: TilePlan | None = None,
     ) -> NeighborResult:
         """Compute the distance-similarity self-join with FaSTED numerics.
 
         The tile loop runs on the shared symmetric executor
-        (:func:`repro.core.engine.symmetric_self_join`): only ``c0 >= r0``
-        tiles are evaluated and off-diagonal tiles are mirrored, exactly as
-        the GPU kernel's work queue does.
+        (:func:`repro.core.engine.symmetric_self_join`): by default only
+        ``c0 >= r0`` tiles are evaluated and off-diagonal tiles are
+        mirrored; an explicit ``plan`` (e.g. the device schedule from
+        :meth:`FastedConfig.tile_plan`) overrides the geometry.
 
         Parameters
         ----------
@@ -204,12 +241,23 @@ class FastedKernel:
             Functional blocking factor for the NumPy GEMM -- a performance
             knob only: the pair set is identical for any value (low-order
             distance bits can vary with BLAS tile-shape specialization).
+            ``None`` (the default) lets the resolved
+            :class:`~repro.core.engine.WorkerPlan` pick a cache-fit edge.
         workers:
-            Optional thread-pool width for tile dispatch (engine feature,
-            off by default; results are identical either way).
+            Worker-pool request resolved via
+            :meth:`~repro.core.engine.WorkerPlan.resolve` (0 serial, N
+            threads, ``"auto"`` for the topology plan); results are
+            bit-identical either way.
+        plan:
+            Explicit :class:`~repro.core.engine.TilePlan` to execute
+            (overrides ``row_block``); used by the timing-unification
+            tests to run the device schedule functionally.
         """
         data = np.ascontiguousarray(data, dtype=np.float64)
-        n = data.shape[0]
+        n, d = data.shape
+        wp = WorkerPlan.resolve(workers)
+        if plan is None and row_block is None:
+            row_block = self.auto_row_block(n, d, wp)
         q16 = quantize_fp16(data)  # FP32 values on the FP16 grid
         s = self.precompute_norms(data)
         # Square the radius in FP64 before rounding to FP32 so boundary
@@ -225,9 +273,10 @@ class FastedKernel:
             n,
             eps2,
             tile,
-            row_block=row_block,
+            plan=plan,
+            row_block=row_block if row_block is not None else 2048,
             store_distances=store_distances,
-            workers=workers,
+            workers=wp,
         )
         return acc.finalize(n, float(eps))
 
@@ -240,6 +289,8 @@ class FastedKernel:
         row_block: int = 2048,
         memory_budget_bytes: int | None = None,
         prefetch: bool = True,
+        acc: PairAccumulator | None = None,
+        workers: "int | str | WorkerPlan | None" = 0,
     ) -> tuple[NeighborResult, StreamStats]:
         """Out-of-core self-join with FaSTED numerics (bit-identical).
 
@@ -249,7 +300,10 @@ class FastedKernel:
         values match the resident path exactly), and only
         ``O(row_block * d)`` rows stay in memory.  Pass
         ``memory_budget_bytes`` to have the tile plan derived from a
-        resident-set budget instead of a block size.
+        resident-set budget instead of a block size, ``acc`` (e.g. a
+        disk-spilling accumulator) when the output itself outgrows memory,
+        and ``workers`` to overlap tile GEMMs with the block prefetch
+        (in-order commit; bit-identical to serial).
 
         Returns the result plus the :class:`~repro.core.engine.StreamStats`
         (blocks loaded, observed peak resident bytes).
@@ -263,7 +317,7 @@ class FastedKernel:
             qc, sc = col_state
             return norm_expansion_sq_dists(sr, sc, qr @ qc.T)
 
-        acc, stats = streaming_self_join(
+        out, stats = streaming_self_join(
             source,
             eps2,
             prepare,
@@ -272,8 +326,10 @@ class FastedKernel:
             memory_budget_bytes=memory_budget_bytes,
             store_distances=store_distances,
             prefetch=prefetch,
+            acc=acc,
+            workers=workers,
         )
-        return acc.finalize(source.n, float(eps)), stats
+        return out.finalize(source.n, float(eps)), stats
 
     # ------------------------------------------------------------------
     # Two-source joins (A x B)
@@ -296,8 +352,9 @@ class FastedKernel:
         eps: float,
         *,
         store_distances: bool = True,
-        row_block: int = 2048,
+        row_block: int | None = None,
         col_block: int | None = None,
+        workers: "int | str | WorkerPlan | None" = 0,
     ) -> JoinResult:
         """Two-source join with FaSTED numerics: pairs ``(i in A, j in B)``.
 
@@ -306,12 +363,20 @@ class FastedKernel:
         mirrored and no diagonal is cleared -- equal indices address
         different points.  ``row_block``/``col_block`` are performance
         knobs only for the pair set (FP32 low-order distance bits vary
-        with BLAS tile shapes, as for the self-join).
+        with BLAS tile shapes, as for the self-join); ``None`` lets the
+        resolved worker plan pick a cache-fit edge.  ``workers``
+        dispatches tiles to a thread pool with in-order commit
+        (bit-identical to serial).
         """
         a = np.ascontiguousarray(a, dtype=np.float64)
         b = np.ascontiguousarray(b, dtype=np.float64)
         if a.shape[1] != b.shape[1]:
             raise ValueError("A and B dimensionalities must match")
+        wp = WorkerPlan.resolve(workers)
+        if row_block is None:
+            row_block = self.auto_row_block(
+                max(a.shape[0], b.shape[0]), a.shape[1], wp
+            )
         qa, sa = self._block_state(a)
         qb, sb = self._block_state(b)
         eps2 = np.float32(float(eps) ** 2)
@@ -329,6 +394,7 @@ class FastedKernel:
             row_block=row_block,
             col_block=col_block,
             store_distances=store_distances,
+            workers=wp,
         )
         return acc.finalize_join(a.shape[0], b.shape[0], float(eps))
 
@@ -344,6 +410,7 @@ class FastedKernel:
         memory_budget_bytes: int | None = None,
         prefetch: bool = True,
         acc: PairAccumulator | None = None,
+        workers: "int | str | WorkerPlan | None" = 0,
     ) -> tuple[JoinResult, StreamStats]:
         """Out-of-core two-source join (bit-identical to :meth:`join` at
         the same tile plan).
@@ -352,7 +419,8 @@ class FastedKernel:
         are pinned stripe by stripe while B's column blocks stream
         through, with prefetch spanning both sources.  Pass ``acc`` (e.g.
         a disk-spilling :class:`~repro.core.results.PairAccumulator`) when
-        the output itself outgrows memory.
+        the output itself outgrows memory, and ``workers`` to overlap
+        tile GEMMs with the prefetch (in-order commit; bit-identical).
         """
         source_a, source_b = as_source(source_a), as_source(source_b)
         eps2 = np.float32(float(eps) ** 2)
@@ -374,6 +442,7 @@ class FastedKernel:
             store_distances=store_distances,
             prefetch=prefetch,
             acc=acc,
+            workers=workers,
         )
         return out.finalize_join(source_a.n, source_b.n, float(eps)), stats
 
@@ -469,12 +538,19 @@ class FastedKernel:
         return max(cal.TILE_LATENCY_CYCLES - hidden, cal.TILE_LATENCY_MIN_CYCLES)
 
     def cost(self, n: int, d: int) -> KernelCost:
-        """Assemble the whole-kernel cost description for |D|=n, dims=d."""
+        """Assemble the whole-kernel cost description for |D|=n, dims=d.
+
+        The tile schedule comes from the same :class:`TilePlan` geometry
+        the functional executor runs (:meth:`FastedConfig.tile_plan` --
+        the full-grid device schedule), so the modeled ``n_tiles`` can
+        never drift from what a functional run of that plan executes.
+        """
         cfg = self.config
         occ = self._occupancy()
         demand = self._demand(occ)
         chunks = cfg.chunks_per_tile(d)
-        n_tiles = cfg.n_tiles(n)
+        plan = cfg.tile_plan(n)
+        n_tiles = plan.n_tiles
         l2_hit = workqueue.analytic_l2_hit_rate(
             cfg.padded_points(n),
             cfg.padded_dims(d),
@@ -503,6 +579,7 @@ class FastedKernel:
             l2_hit_rate=l2_hit,
             fixed_overhead_s=cal.FIXED_KERNEL_OVERHEAD_S,
             bank_conflict_rate=conflict_rate,
+            plan=plan,
         )
 
     def timing(self, n: int, d: int) -> KernelTiming:

@@ -25,10 +25,12 @@ from repro.core.engine import (
     GROUP_CHUNK_ELEMS,
     StreamStats,
     TilePlan,
+    WorkerPlan,
     batched_candidate_self_join,
     candidate_join,
     candidate_self_join,
     norm_expansion_sq_dists,
+    process_candidate_self_join,
 )
 from repro.core.results import JoinResult, NeighborResult
 from repro.gpusim.spec import DEFAULT_SPEC, GpuSpec
@@ -39,8 +41,10 @@ from repro.kernels.base import (
     h2d_seconds,
     result_transfer_seconds,
 )
+from repro.gpusim.timing import KernelCost
 from repro.kernels.cudacore import (
     ShortCircuitProfile,
+    cuda_candidate_cost,
     cuda_kernel_seconds,
     grid_build_seconds,
     short_circuit_profile,
@@ -99,6 +103,7 @@ class GdsJoinKernel:
         *,
         store_distances: bool = True,
         batched: bool = False,
+        workers: "int | str | WorkerPlan | None" = 0,
     ) -> GdsJoinResult:
         """Index-supported self-join; returns result + cost statistics.
 
@@ -107,14 +112,25 @@ class GdsJoinKernel:
         bit-identical to the seed loop) or -- with ``batched=True`` --
         small neighboring cell groups fused into padded batch GEMMs
         (:func:`repro.core.engine.batched_candidate_self_join`; same pair
-        set, faster at small eps).  The candidate tally and profiling
-        sample ride along via the ``on_group`` hook either way.
+        set, faster at small eps).  ``workers`` fans the candidate groups
+        out to the engine's fork-based process pool
+        (:func:`repro.core.engine.process_candidate_self_join` -- the
+        per-group work is too fine-grained for threads); commit order is
+        group order, so the parallel result is bit-identical to serial
+        (pair-set-equal in batched mode, as for batching itself).  The
+        candidate tally and profiling sample ride along via the
+        ``on_group`` hook in every mode.
         """
         data = np.ascontiguousarray(data, dtype=np.float64)
         n = data.shape[0]
+        wp = WorkerPlan.resolve(workers)
         index = GridIndex(data, eps, n_dims=self.n_index_dims)
         work = data.astype(self._dtype)
         eps2 = self._dtype.type(float(eps) ** 2)
+        # One chunk bound for every execution branch: the fork workers
+        # mirror it, so serial and parallel chunking can never diverge
+        # (the bit-identity lever).
+        chunk = max(1, GROUP_CHUNK_ELEMS // max(data.shape[1], 1))
 
         total_candidates = 0
         sample_i, sample_j = [], []
@@ -129,7 +145,7 @@ class GdsJoinKernel:
 
         if batched:
             sq_norms = (work * work).sum(axis=1)
-            # The executor consumes size-sorted cells (better batch
+            # The executors consume size-sorted cells (better batch
             # packing), but the profiling sample must be drawn the same
             # way as the per-group path -- the first cells in *lex*
             # order -- or the short-circuit profile (and the timing model
@@ -145,15 +161,42 @@ class GdsJoinKernel:
                 nonlocal total_candidates
                 total_candidates += members.size * candidates.size
 
-            acc = batched_candidate_self_join(
-                index.iter_cells(order="size"),
+            if wp.parallel:
+                acc = process_candidate_self_join(
+                    index.iter_cells(order="size"),
+                    work,
+                    sq_norms,
+                    eps2,
+                    store_distances=store_distances,
+                    on_group=tally,
+                    workers=wp,
+                    batched=True,
+                )
+            else:
+                acc = batched_candidate_self_join(
+                    index.iter_cells(order="size"),
+                    work,
+                    sq_norms,
+                    eps2,
+                    store_distances=store_distances,
+                    on_group=tally,
+                )
+            return self._finalize(acc, data, eps, total_candidates, sample_i, sample_j, index)
+
+        if wp.parallel:
+            acc = process_candidate_self_join(
+                index.iter_cells(),
                 work,
-                sq_norms,
+                (work * work).sum(axis=1),
                 eps2,
                 store_distances=store_distances,
-                on_group=tally,
+                candidate_chunk=chunk,
+                on_group=on_group,
+                workers=wp,
             )
-            return self._finalize(acc, data, eps, total_candidates, sample_i, sample_j, index)
+            return self._finalize(
+                acc, data, eps, total_candidates, sample_i, sample_j, index
+            )
 
         # The engine chunks wide candidate lists, calling dist() several
         # times per group with the *same* members array: hoist the member
@@ -183,7 +226,7 @@ class GdsJoinKernel:
             dist,
             eps2,
             store_distances=store_distances,
-            candidate_chunk=max(1, GROUP_CHUNK_ELEMS // max(data.shape[1], 1)),
+            candidate_chunk=chunk,
             on_group=on_group,
         )
         return self._finalize(acc, data, eps, total_candidates, sample_i, sample_j, index)
@@ -279,6 +322,7 @@ class GdsJoinKernel:
         eps: float,
         *,
         store_distances: bool = True,
+        workers: "int | str | WorkerPlan | None" = 0,
     ) -> JoinResult:
         """Two-source grid join: pairs ``(i in A, j in B)`` within ``eps``.
 
@@ -287,18 +331,36 @@ class GdsJoinKernel:
         each query group is evaluated against the 3^r adjacent cells'
         B points by the two-source candidate executor
         (:func:`repro.core.engine.candidate_join` -- no self pairs exist
-        to drop).  Functional path only; timing stays self-join-scoped.
+        to drop), fanned out to the process pool when ``workers`` asks
+        for one (bit-identical, in-order commit).  Functional path only;
+        timing stays self-join-scoped.
         """
         a = np.ascontiguousarray(a, dtype=np.float64)
         b = np.ascontiguousarray(b, dtype=np.float64)
         if a.shape[1] != b.shape[1]:
             raise ValueError("A and B dimensionalities must match")
+        wp = WorkerPlan.resolve(workers)
         index = GridIndex(b, eps, n_dims=self.n_index_dims)
         wa = a.astype(self._dtype)
         wb = b.astype(self._dtype)
         sa = (wa * wa).sum(axis=1)
         sb = (wb * wb).sum(axis=1)
         eps2 = self._dtype.type(float(eps) ** 2)
+        chunk = max(1, GROUP_CHUNK_ELEMS // max(a.shape[1], 1))
+        if wp.parallel:
+            acc = process_candidate_self_join(
+                index.iter_join_groups(a),
+                wa,
+                sa,
+                eps2,
+                store_distances=store_distances,
+                candidate_chunk=chunk,
+                workers=wp,
+                drop_self=False,
+                work_right=wb,
+                sq_norms_right=sb,
+            )
+            return acc.finalize_join(a.shape[0], b.shape[0], float(eps))
 
         def dist(members: np.ndarray, cand: np.ndarray) -> np.ndarray:
             return norm_expansion_sq_dists(
@@ -310,7 +372,7 @@ class GdsJoinKernel:
             dist,
             eps2,
             store_distances=store_distances,
-            candidate_chunk=max(1, GROUP_CHUNK_ELEMS // max(a.shape[1], 1)),
+            candidate_chunk=chunk,
         )
         return acc.finalize_join(a.shape[0], b.shape[0], float(eps))
 
@@ -355,6 +417,23 @@ class GdsJoinKernel:
             total_candidates=total_candidates,
             profile=profile,
             n_indexed_dims=index.r,
+        )
+
+    def cost(
+        self, d: int, *, total_candidates: int, profile: ShortCircuitProfile
+    ) -> KernelCost:
+        """Measured-work cost view of the CUDA-core candidate pass.
+
+        Built by :func:`repro.kernels.cudacore.cuda_candidate_cost` from
+        the same measured statistics :meth:`response_time` charges, so
+        modeled and executed work agree by construction.
+        """
+        return cuda_candidate_cost(
+            self.spec, d,
+            total_candidates=total_candidates,
+            profile=profile,
+            efficiency=GDS_EFFICIENCY,
+            elem_bytes=self._dtype.itemsize,
         )
 
     def response_time(

@@ -18,10 +18,12 @@ import numpy as np
 from repro.core.engine import (
     StreamStats,
     TilePlan,
+    WorkerPlan,
     batched_candidate_self_join,
     candidate_join,
     candidate_self_join,
     norm_expansion_sq_dists,
+    process_candidate_self_join,
 )
 from repro.core.results import JoinResult, NeighborResult
 from repro.gpusim.spec import DEFAULT_SPEC, GpuSpec
@@ -32,8 +34,10 @@ from repro.kernels.base import (
     h2d_seconds,
     result_transfer_seconds,
 )
+from repro.gpusim.timing import KernelCost
 from repro.kernels.cudacore import (
     ShortCircuitProfile,
+    cuda_candidate_cost,
     cuda_kernel_seconds,
     short_circuit_profile,
 )
@@ -72,15 +76,21 @@ class MisticKernel:
         store_distances: bool = True,
         group: int = 512,
         batched: bool = False,
+        workers: "int | str | WorkerPlan | None" = 0,
     ) -> MisticResult:
         """Index-supported self-join; returns result + cost statistics.
 
         ``batched`` fuses small tree groups into padded batch GEMMs
         (:func:`repro.core.engine.batched_candidate_self_join`) -- same
         pair set, faster when ``group`` is small or eps prunes hard.
+        ``workers`` fans the tree groups out to the engine's fork-based
+        process pool (:func:`repro.core.engine.process_candidate_self_join`;
+        in-order commit, bit-identical to serial -- pair-set-equal when
+        combined with ``batched``).
         """
         data = np.ascontiguousarray(data, dtype=np.float64)
         n = data.shape[0]
+        wp = WorkerPlan.resolve(workers)
         tree = MultiSpaceTree(
             data, eps, n_levels=MISTIC_LEVELS, n_candidates=MISTIC_CANDIDATES,
             seed=self.seed,
@@ -90,7 +100,17 @@ class MisticKernel:
 
         sq_norms = np.einsum("nd,nd->n", work, work)
 
-        if batched:
+        if wp.parallel:
+            acc = process_candidate_self_join(
+                tree.iter_groups(group=group),
+                work,
+                sq_norms,
+                eps2,
+                store_distances=store_distances,
+                workers=wp,
+                batched=batched,
+            )
+        elif batched:
             acc = batched_candidate_self_join(
                 tree.iter_groups(group=group),
                 work,
@@ -227,6 +247,7 @@ class MisticKernel:
         *,
         store_distances: bool = True,
         group: int = 512,
+        workers: "int | str | WorkerPlan | None" = 0,
     ) -> JoinResult:
         """Two-source tree join: pairs ``(i in A, j in B)`` within ``eps``.
 
@@ -234,12 +255,15 @@ class MisticKernel:
         (``MultiSpaceTree.iter_join_groups`` -- coordinate floor-divides
         plus pivot rings, both valid for external points) and evaluated
         against the +-1 window candidates by the two-source candidate
-        executor.  Functional path only; timing stays self-join-scoped.
+        executor, fanned out to the process pool when ``workers`` asks
+        for one (bit-identical, in-order commit).  Functional path only;
+        timing stays self-join-scoped.
         """
         a = np.ascontiguousarray(a, dtype=np.float64)
         b = np.ascontiguousarray(b, dtype=np.float64)
         if a.shape[1] != b.shape[1]:
             raise ValueError("A and B dimensionalities must match")
+        wp = WorkerPlan.resolve(workers)
         tree = MultiSpaceTree(
             b, eps, n_levels=MISTIC_LEVELS, n_candidates=MISTIC_CANDIDATES,
             seed=self.seed,
@@ -249,6 +273,20 @@ class MisticKernel:
         sa = np.einsum("nd,nd->n", wa, wa)
         sb = np.einsum("nd,nd->n", wb, wb)
         eps2 = np.float32(float(eps) ** 2)
+
+        if wp.parallel:
+            acc = process_candidate_self_join(
+                tree.iter_join_groups(a, group=group),
+                wa,
+                sa,
+                eps2,
+                store_distances=store_distances,
+                workers=wp,
+                drop_self=False,
+                work_right=wb,
+                sq_norms_right=sb,
+            )
+            return acc.finalize_join(a.shape[0], b.shape[0], float(eps))
 
         def dist(members: np.ndarray, candidates: np.ndarray) -> np.ndarray:
             return norm_expansion_sq_dists(
@@ -262,6 +300,24 @@ class MisticKernel:
             store_distances=store_distances,
         )
         return acc.finalize_join(a.shape[0], b.shape[0], float(eps))
+
+    def cost(
+        self, d: int, *, total_candidates: int, profile: ShortCircuitProfile
+    ) -> KernelCost:
+        """Measured-work cost view of the CUDA-core candidate pass.
+
+        Built by :func:`repro.kernels.cudacore.cuda_candidate_cost` (the
+        construction shared with GDS-Join) from the same measured
+        statistics :meth:`response_time` charges, so modeled and executed
+        work agree by construction.
+        """
+        return cuda_candidate_cost(
+            self.spec, d,
+            total_candidates=total_candidates,
+            profile=profile,
+            efficiency=MISTIC_EFFICIENCY,
+            elem_bytes=4,  # FP32 lanes
+        )
 
     def response_time(
         self,

@@ -29,10 +29,12 @@ import numpy as np
 from repro.core.engine import (
     StreamStats,
     TilePlan,
+    WorkerPlan,
     batched_candidate_self_join,
     candidate_join,
     candidate_self_join,
     norm_expansion_sq_dists,
+    process_candidate_self_join,
     rect_join,
     streaming_join,
     streaming_self_join,
@@ -41,7 +43,9 @@ from repro.core.engine import (
 from repro.core.results import JoinResult, NeighborResult, PairAccumulator
 from repro.data.source import DatasetSource, as_source
 from repro.gpusim.occupancy import BlockResources, blocks_per_sm
+from repro.gpusim.pipeline import PipelineConfig
 from repro.gpusim.spec import DEFAULT_SPEC, GpuSpec
+from repro.gpusim.timing import KernelCost, ResourceDemand
 from repro.index.grid import GridIndex
 from repro.kernels.base import (
     LAUNCH_OVERHEAD_S,
@@ -135,6 +139,20 @@ class TedJoinKernel:
     # Functional path (exact FP64)
     # ------------------------------------------------------------------
 
+    def auto_row_block(
+        self, n: int, dim: int, workers: "int | str | WorkerPlan | None" = 0
+    ) -> int:
+        """Functional tile edge resolved when ``row_block=None`` (brute).
+
+        The worker plan's cache-fit edge at FP64 itemsizes, quantized to
+        the 8-point WMMA granule -- the single source of truth shared by
+        :meth:`self_join`, :meth:`join`, and the ``workers`` benchmark
+        entry.
+        """
+        return WorkerPlan.resolve(workers).tile_rows(
+            n, dim, d2_itemsize=8, work_itemsize=8, quantum=8
+        )
+
     def self_join_stream(
         self,
         source: DatasetSource,
@@ -144,6 +162,8 @@ class TedJoinKernel:
         row_block: int = 1024,
         memory_budget_bytes: int | None = None,
         prefetch: bool = True,
+        acc: PairAccumulator | None = None,
+        workers: "int | str | WorkerPlan | None" = 0,
     ) -> tuple[TedJoinResult, StreamStats]:
         """Out-of-core FP64 brute self-join (bit-identical to resident).
 
@@ -153,7 +173,9 @@ class TedJoinKernel:
         source.  Per-block state here is the contiguous FP64 block plus
         its row norms (row-local, hence value-identical to the resident
         precompute); peak residency is bounded by the
-        :class:`~repro.core.engine.TilePlan`.
+        :class:`~repro.core.engine.TilePlan`.  ``acc`` admits a
+        disk-spilling accumulator; ``workers`` overlaps tile GEMMs with
+        the block prefetch (in-order commit, bit-identical).
         """
         if self.variant != "brute":
             raise ValueError(
@@ -176,7 +198,7 @@ class TedJoinKernel:
             dc, sc = col_state
             return norm_expansion_sq_dists(sr, sc, dr @ dc.T)
 
-        acc, stats = streaming_self_join(
+        out, stats = streaming_self_join(
             source,
             eps2,
             prepare,
@@ -185,10 +207,12 @@ class TedJoinKernel:
             memory_budget_bytes=memory_budget_bytes,
             store_distances=store_distances,
             prefetch=prefetch,
+            acc=acc,
+            workers=workers,
         )
         n = source.n
         result = TedJoinResult(
-            result=acc.finalize(n, float(eps)),
+            result=out.finalize(n, float(eps)),
             total_candidates=n * n,
             profile=None,
         )
@@ -200,8 +224,10 @@ class TedJoinKernel:
         eps: float,
         *,
         store_distances: bool = True,
-        workers: int = 0,
+        workers: "int | str | WorkerPlan | None" = 0,
         batched: bool = False,
+        row_block: int | None = None,
+        plan: TilePlan | None = None,
     ) -> TedJoinResult:
         """FP64-exact self-join (norm-expansion form, as TED-Join computes).
 
@@ -210,12 +236,19 @@ class TedJoinKernel:
         dot products are position-independent in BLAS, so this is
         bit-identical to evaluating the full matrix at half the GEMM work),
         the index variant on the candidate-group executor.  ``workers``
-        parallelizes the brute variant's tile dispatch only; the index
-        variant's candidate pass is always serial.  ``batched`` routes the
-        index variant through the padded batch-GEMM executor
+        parallelizes both variants: thread-pool tile dispatch for the
+        brute variant, and the fork-based process pool
+        (:func:`repro.core.engine.process_candidate_self_join`) for the
+        index variant's candidate groups, whose per-group work is too
+        fine-grained for threads -- results are bit-identical to serial
+        either way.  ``batched`` routes the index variant through the
+        padded batch-GEMM executor
         (:func:`repro.core.engine.batched_candidate_self_join`) -- same
-        pair set, faster at small eps.  The modeled hardware cost is
-        unchanged: TED-Join itself evaluates all ``n^2`` candidates.
+        pair set, faster at small eps.  ``row_block`` (brute) defaults to
+        the worker plan's cache-fit edge; ``plan`` overrides the brute
+        tile geometry outright (e.g. the device schedule from
+        :meth:`tile_plan`).  The modeled hardware cost is unchanged:
+        TED-Join itself evaluates all ``n^2`` candidates.
 
         Raises :class:`MemoryError` when the dimensionality exceeds the
         shared-memory capacity, mirroring the hardware failure.
@@ -228,8 +261,11 @@ class TedJoinKernel:
                 f"exceeds shared memory at d={d}"
             )
         eps2 = float(eps) ** 2
+        wp = WorkerPlan.resolve(workers)
         s = (data * data).sum(axis=1)
         if self.variant == "brute":
+            if plan is None and row_block is None:
+                row_block = self.auto_row_block(n, d, wp)
 
             def tile(r0: int, r1: int, c0: int, c1: int) -> np.ndarray:
                 return norm_expansion_sq_dists(
@@ -240,9 +276,10 @@ class TedJoinKernel:
                 n,
                 eps2,
                 tile,
-                row_block=1024,
+                plan=plan,
+                row_block=row_block if row_block is not None else 1024,
                 store_distances=store_distances,
-                workers=workers,
+                workers=wp,
             )
             return TedJoinResult(
                 result=acc.finalize(n, float(eps)),
@@ -259,7 +296,18 @@ class TedJoinKernel:
             padded = (-(-members.size // 8) * 8) * (-(-candidates.size // 8) * 8)
             total_candidates += padded
 
-        if batched:
+        if wp.parallel:
+            acc = process_candidate_self_join(
+                index.iter_cells(order="size" if batched else "lex"),
+                data,
+                s,
+                eps2,
+                store_distances=store_distances,
+                on_group=on_group,
+                workers=wp,
+                batched=batched,
+            )
+        elif batched:
             acc = batched_candidate_self_join(
                 index.iter_cells(order="size"),
                 data,
@@ -299,8 +347,9 @@ class TedJoinKernel:
         eps: float,
         *,
         store_distances: bool = True,
-        row_block: int = 1024,
+        row_block: int | None = None,
         col_block: int | None = None,
+        workers: "int | str | WorkerPlan | None" = 0,
     ) -> JoinResult:
         """Two-source FP64 join: pairs ``(i in A, j in B)`` within ``eps``.
 
@@ -310,8 +359,10 @@ class TedJoinKernel:
         built over **B**, A's points dropped into it
         (``GridIndex.iter_join_groups``), candidates evaluated with the
         two-source candidate executor (no self-pair drop -- equal indices
-        address different points).  Functional path only; the timing
-        models remain self-join-scoped.
+        address different points).  ``workers`` parallelizes both: thread
+        tiles for brute, the process-pool candidate executor for index
+        (bit-identical to serial either way).  Functional path only; the
+        timing models remain self-join-scoped.
         """
         a = np.ascontiguousarray(a, dtype=np.float64)
         b = np.ascontiguousarray(b, dtype=np.float64)
@@ -324,9 +375,14 @@ class TedJoinKernel:
                 f"exceeds shared memory at d={d}"
             )
         eps2 = float(eps) ** 2
+        wp = WorkerPlan.resolve(workers)
         sa = (a * a).sum(axis=1)
         sb = (b * b).sum(axis=1)
         if self.variant == "brute":
+            if row_block is None:
+                row_block = self.auto_row_block(
+                    max(a.shape[0], b.shape[0]), d, wp
+                )
 
             def tile(r0: int, r1: int, c0: int, c1: int) -> np.ndarray:
                 return norm_expansion_sq_dists(
@@ -341,9 +397,23 @@ class TedJoinKernel:
                 row_block=row_block,
                 col_block=col_block,
                 store_distances=store_distances,
+                workers=wp,
             )
             return acc.finalize_join(a.shape[0], b.shape[0], float(eps))
         index = GridIndex(b, eps)
+        if wp.parallel:
+            acc = process_candidate_self_join(
+                index.iter_join_groups(a),
+                a,
+                sa,
+                eps2,
+                store_distances=store_distances,
+                workers=wp,
+                drop_self=False,
+                work_right=b,
+                sq_norms_right=sb,
+            )
+            return acc.finalize_join(a.shape[0], b.shape[0], float(eps))
 
         def dist(members: np.ndarray, candidates: np.ndarray) -> np.ndarray:
             return norm_expansion_sq_dists(
@@ -370,13 +440,16 @@ class TedJoinKernel:
         memory_budget_bytes: int | None = None,
         prefetch: bool = True,
         acc: PairAccumulator | None = None,
+        workers: "int | str | WorkerPlan | None" = 0,
     ) -> tuple[JoinResult, StreamStats]:
         """Out-of-core two-source FP64 join (brute variant; bit-identical
         to :meth:`join` at the same tile plan).
 
         A's row blocks pin stripe by stripe while B's column blocks stream
         through (:func:`repro.core.engine.streaming_join`); ``acc`` admits
-        a disk-spilling accumulator for outputs larger than RAM.
+        a disk-spilling accumulator for outputs larger than RAM, and
+        ``workers`` overlaps tile GEMMs with the cross-source prefetch
+        (in-order commit, bit-identical).
         """
         if self.variant != "brute":
             raise ValueError(
@@ -411,6 +484,7 @@ class TedJoinKernel:
             store_distances=store_distances,
             prefetch=prefetch,
             acc=acc,
+            workers=workers,
         )
         return out.finalize_join(source_a.n, source_b.n, float(eps)), stats
 
@@ -487,6 +561,73 @@ class TedJoinKernel:
     # ------------------------------------------------------------------
     # Timing path
     # ------------------------------------------------------------------
+
+    def tile_plan(self, n: int) -> TilePlan:
+        """Device WMMA dispatch schedule as a shared :class:`TilePlan`.
+
+        TED-Join issues every 8x8-point tile of the (8-padded) full grid
+        -- the WMMA fragment quantization the index variant's candidate
+        padding mirrors.  ``TilePlan(symmetric=False)`` expresses exactly
+        that schedule: the plan covers the real ``n`` rows (the last tile
+        is the clipped remainder the device pads to 8) and its tile count
+        equals the padded grid's.  :meth:`cost` takes its ``n_tiles``
+        from here, and the functional brute path executes the same plan
+        (``self_join(plan=kernel.tile_plan(n))``), so modeled and
+        executed tile counts cannot drift (tests/test_workers.py pins the
+        equality).
+        """
+        return TilePlan(n=n, row_block=8, symmetric=False)
+
+    def cost(self, n: int, d: int) -> KernelCost:
+        """Work-accounting cost of the brute kernel over the device plan.
+
+        ``n_tiles`` / ``chunks_per_tile`` describe the WMMA dispatch the
+        functional path executes: every tile of :meth:`tile_plan`, each
+        running ``ceil(d / 4)`` 8x8x4 FP64 fragment steps.  The demand
+        figures are derived from the calibrated efficiency curve (and the
+        Table-6 conflict degrees), but **seconds still come from**
+        :meth:`kernel_seconds` -- this cost exists so the modeled tile
+        schedule is the engine's plan, not a private geometry.
+        """
+        if not self.supports(d):
+            raise MemoryError(
+                f"TED-Join ({'modified' if self.modified else 'original'}) "
+                f"exceeds shared memory at d={d}"
+            )
+        plan = self.tile_plan(n)
+        chunks = -(-d // 4)  # 8x8x4 FP64 fragments per k-step
+        occ = max(1, self.occupancy(d))
+        active_blocks = self.spec.sm_count * occ
+        flops_per_chunk = 2.0 * 8 * 8 * 4
+        # Cycles per chunk for one block at its share of the *sustained*
+        # (efficiency-degraded) FP64 tensor throughput.
+        sustained = self.spec.fp64_tc_flops * self.efficiency(d)
+        tc_cycles = flops_per_chunk / (
+            sustained / self.spec.boost_clock_hz / active_blocks
+        )
+        degree = wmma_conflict_degree(d)
+        demand = ResourceDemand(
+            tc_cycles=tc_cycles,
+            # WMMA's rigid access patterns replay each ldmatrix-equivalent
+            # load `degree`-fold (Table 6); charged against the staged
+            # fragment bytes of one chunk.
+            smem_load_cycles=(8 + 8) * 4 * 8 * degree / 128.0,
+            issue_cycles=0.0,
+            gmem_bytes=(8 + 8) * 4 * 8,  # two 8-point, 4-dim FP64 slices
+            smem_store_bytes=(8 + 8) * 4 * 8,
+        )
+        return KernelCost(
+            n_tiles=plan.n_tiles,
+            chunks_per_tile=chunks,
+            demand=demand,
+            epilogue_cycles=0.0,
+            pipeline=PipelineConfig(async_copy=False, depth=1),
+            grid_blocks=active_blocks,
+            blocks_per_sm=occ,
+            l2_hit_rate=0.5,
+            bank_conflict_rate=(degree - 1) / degree,
+            plan=plan,
+        )
 
     def efficiency(self, d: int) -> float:
         """Fraction of FP64 tensor-core peak sustained at dimensionality d."""

@@ -71,7 +71,10 @@ def test_readme_mentions_committed_bench_entries():
     bench = json.loads((REPO_ROOT / "BENCH_engine.json").read_text())
     readme = (REPO_ROOT / "README.md").read_text()
     assert "rz_sum_squares" in readme and "rz_sum_squares" in bench
-    for key in ("streaming", "candidate_batched", "two_source", "streaming_index"):
+    for key in (
+        "streaming", "candidate_batched", "two_source", "streaming_index",
+        "workers",
+    ):
         assert key in bench, f"BENCH_engine.json lost its `{key}` entry"
     assert bench["streaming"]["bit_identical"] is True
     assert bench["streaming"]["within_budget"] is True
@@ -79,6 +82,20 @@ def test_readme_mentions_committed_bench_entries():
         k["speedup"] for k in bench["candidate_batched"]["kernels"].values()
     ]
     assert max(speedups) >= 1.3, "batched executor no longer lifts any kernel"
+
+
+def test_workers_bench_entry():
+    """The auto worker plan keeps its contracts: bit-identity everywhere,
+    and a real (>1.3x) pairs/sec lift on at least one kernel."""
+    bench = json.loads((REPO_ROOT / "BENCH_engine.json").read_text())
+    entry = bench["workers"]
+    assert entry["worker_plan"]["n_workers"] >= 1
+    assert entry["worker_plan"]["source"] in ("auto", "env")
+    for name, k in entry["kernels"].items():
+        assert k["bit_identical"] is True, f"{name} lost worker bit-identity"
+    assert max(k["speedup"] for k in entry["kernels"].values()) > 1.3, (
+        "the auto worker plan no longer lifts any kernel"
+    )
 
 
 def test_two_source_bench_entries():
@@ -110,7 +127,7 @@ def test_cli_two_source_help():
     assert positionals == ["data_a", "data_b"]
     help_text = join.format_help()
     assert "two-source join A x B" in " ".join(help_text.split())
-    for flag in ("--stream", "--memory-budget", "--batched", "--method"):
+    for flag in ("--stream", "--memory-budget", "--batched", "--method", "--workers"):
         assert flag in help_text
 
 

@@ -1,0 +1,508 @@
+"""Parallel execution subsystem: WorkerPlan, worker determinism, spill
+concurrency, and the unified timing-path tile plans.
+
+The engine's contract is that parallel execution may only change *how
+fast* the answer is produced: every worker configuration -- thread tiles,
+process-pool candidate groups, streaming overlap, spill-enabled
+accumulators -- must be bit-identical to serial execution (pair set AND
+distance bits), and every kernel's modeled tile schedule must equal the
+one the functional path executes.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import api
+from repro.core.engine import (
+    TILE_CACHE_BUDGET_BYTES,
+    TilePlan,
+    WorkerPlan,
+    symmetric_self_join,
+    streaming_self_join,
+)
+from repro.core.results import PairAccumulator
+from repro.core.selectivity import epsilon_for_selectivity
+from repro.data.source import ArraySource
+from repro.kernels.fasted import FastedKernel
+from repro.kernels.gdsjoin import GdsJoinKernel
+from repro.kernels.mistic import MisticKernel
+from repro.kernels.reference import joins_bit_identical
+from repro.kernels.tedjoin import TedJoinKernel
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = np.random.default_rng(7)
+    data = rng.normal(size=(600, 32))
+    eps = float(epsilon_for_selectivity(data, 16))
+    return data, eps
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return np.random.default_rng(8).normal(size=(250, 32))
+
+
+# ----------------------------------------------------------------------
+# WorkerPlan resolution
+# ----------------------------------------------------------------------
+
+
+class TestWorkerPlan:
+    def test_serial_default(self):
+        wp = WorkerPlan.resolve(0)
+        assert wp.n_workers == 1 and wp.source == "serial"
+        assert not wp.parallel
+        assert WorkerPlan.resolve(None).n_workers == 1
+
+    def test_explicit_counts(self):
+        assert WorkerPlan.resolve(4).n_workers == 4
+        assert WorkerPlan.resolve(4).source == "explicit"
+        assert WorkerPlan.resolve(1).parallel is False
+        assert WorkerPlan.resolve(2).parallel is True
+
+    def test_resolve_is_idempotent(self):
+        wp = WorkerPlan.resolve(3)
+        assert WorkerPlan.resolve(wp) is wp
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        wp = WorkerPlan.resolve("auto")
+        assert wp.n_workers == 3 and wp.source == "env"
+        # The override only governs "auto": explicit counts win.
+        assert WorkerPlan.resolve(5).n_workers == 5
+
+    def test_env_override_junk_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "lots")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            WorkerPlan.resolve("auto")
+
+    def test_env_override_negative_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "-4")
+        with pytest.raises(ValueError, match="positive"):
+            WorkerPlan.resolve("auto")
+
+    def test_auto_from_topology(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        wp = WorkerPlan.resolve("auto")
+        assert wp.source == "auto"
+        assert 1 <= wp.n_workers <= WorkerPlan.MAX_AUTO_WORKERS
+        if wp.blas_threads is not None:
+            assert wp.n_workers <= max(1, wp.cpu_count // wp.blas_threads)
+        assert WorkerPlan.resolve(-1).source in ("auto", "env")
+
+    def test_blas_pinning_is_read(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        monkeypatch.setenv("OPENBLAS_NUM_THREADS", "1")
+        wp = WorkerPlan.resolve("auto")
+        assert wp.blas_threads == 1
+        assert wp.n_workers == min(wp.cpu_count, WorkerPlan.MAX_AUTO_WORKERS)
+
+    def test_bad_string_raises(self):
+        with pytest.raises(ValueError, match="auto"):
+            WorkerPlan.resolve("fast")
+
+    def test_negative_counts_other_than_minus_one_raise(self):
+        # -1 is "auto"; any other negative is a sign typo, not a plan.
+        with pytest.raises(ValueError, match="workers must be"):
+            WorkerPlan.resolve(-4)
+
+    def test_tile_rows_fits_budget_and_quantum(self):
+        wp = WorkerPlan.resolve(0)
+        rows = wp.tile_rows(1 << 20, 64, d2_itemsize=4, work_itemsize=4)
+        assert rows % 128 == 0
+        assert rows * rows * 4 + 2 * rows * 64 * 4 <= TILE_CACHE_BUDGET_BYTES
+        # Caps at n; never returns zero.
+        assert wp.tile_rows(100, 64, d2_itemsize=4, work_itemsize=4) == 100
+        assert wp.tile_rows(1, 4096, d2_itemsize=8, work_itemsize=8) == 1
+        # FP64 tiles are smaller than FP32 tiles at the same budget.
+        assert wp.tile_rows(1 << 20, 64, d2_itemsize=8, work_itemsize=8) < rows
+
+    def test_as_dict_round_trip(self):
+        d = WorkerPlan.resolve(2).as_dict()
+        assert d["n_workers"] == 2 and d["source"] == "explicit"
+
+
+# ----------------------------------------------------------------------
+# Worker determinism: every kernel, every executor shape
+# ----------------------------------------------------------------------
+
+
+class TestWorkerDeterminism:
+    @pytest.mark.parametrize("workers", [2, 4, "auto"])
+    def test_fasted_threads(self, dataset, workers):
+        data, eps = dataset
+        serial = FastedKernel().self_join(data, eps)
+        assert joins_bit_identical(
+            serial, FastedKernel().self_join(data, eps, workers=workers)
+        )
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_ted_brute_threads(self, dataset, workers):
+        data, eps = dataset
+        kern = TedJoinKernel(variant="brute")
+        serial = kern.self_join(data, eps).result
+        assert joins_bit_identical(
+            serial, kern.self_join(data, eps, workers=workers).result
+        )
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_ted_index_process_pool(self, dataset, workers):
+        data, eps = dataset
+        kern = TedJoinKernel(variant="index")
+        serial = kern.self_join(data, eps)
+        parallel = kern.self_join(data, eps, workers=workers)
+        assert joins_bit_identical(serial.result, parallel.result)
+        # The timing statistics ride along unchanged.
+        assert serial.total_candidates == parallel.total_candidates
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_gds_process_pool(self, dataset, workers):
+        data, eps = dataset
+        serial = GdsJoinKernel().self_join(data, eps)
+        parallel = GdsJoinKernel().self_join(data, eps, workers=workers)
+        assert joins_bit_identical(serial.result, parallel.result)
+        assert serial.total_candidates == parallel.total_candidates
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_mistic_process_pool(self, dataset, workers):
+        data, eps = dataset
+        serial = MisticKernel().self_join(data, eps)
+        parallel = MisticKernel().self_join(data, eps, workers=workers)
+        assert joins_bit_identical(serial.result, parallel.result)
+        assert serial.total_candidates == parallel.total_candidates
+
+    def test_gds_batched_process_pool_pair_set(self, dataset):
+        # Batched + process pool carries the batched executor's contract:
+        # pair-set equality (batch boundaries move with the partitioning).
+        data, eps = dataset
+        a = GdsJoinKernel().self_join(data, eps, batched=True).result
+        b = GdsJoinKernel().self_join(data, eps, batched=True, workers=2).result
+        sa = set(zip(a.pairs_i.tolist(), a.pairs_j.tolist()))
+        sb = set(zip(b.pairs_i.tolist(), b.pairs_j.tolist()))
+        assert sa == sb
+
+    @pytest.mark.parametrize("workers", [0, 2, 4])
+    def test_streaming_fasted(self, dataset, workers):
+        data, eps = dataset
+        serial = FastedKernel().self_join(data, eps, row_block=150)
+        streamed, stats = FastedKernel().self_join_stream(
+            ArraySource(data), eps, row_block=150, workers=workers
+        )
+        assert joins_bit_identical(serial, streamed)
+        assert stats.tiles_evaluated == stats.plan.n_tiles
+
+    def test_memory_budget_honored_with_workers(self, dataset):
+        """Budget-derived plans fold the in-flight worker blocks into the
+        residency accounting, so workers cannot break the budget."""
+        data, eps = dataset
+        budget = 64 << 10
+        serial, s0 = api.self_join_stream(data, eps, memory_budget_bytes=budget)
+        parallel, s4 = api.self_join_stream(
+            data, eps, memory_budget_bytes=budget, workers=4
+        )
+        assert s0.peak_resident_bytes <= budget
+        assert s4.peak_resident_bytes <= budget
+        # The worker plan pays for its window with a smaller block edge.
+        assert s4.plan.row_block < s0.plan.row_block
+        assert np.array_equal(
+            np.sort(serial.pairs_i), np.sort(parallel.pairs_i)
+        )
+
+    @pytest.mark.parametrize("workers", [0, 2])
+    def test_streaming_ted_brute_with_spill(self, dataset, workers, tmp_path):
+        data, eps = dataset
+        kern = TedJoinKernel(variant="brute")
+        serial = kern.self_join(data, eps, row_block=150).result
+        acc = PairAccumulator(
+            spill_threshold_bytes=4096, spill_dir=tmp_path / f"sp{workers}"
+        )
+        streamed, _ = kern.self_join_stream(
+            ArraySource(data), eps, row_block=150, workers=workers, acc=acc
+        )
+        assert joins_bit_identical(serial, streamed.result)
+
+    @pytest.mark.parametrize("workers", [2, "auto"])
+    def test_two_source_all_methods(self, dataset, queries, workers):
+        data, eps = dataset
+        for method in api.METHODS:
+            serial = api.join(queries, data, eps, method=method)
+            parallel = api.join(queries, data, eps, method=method, workers=workers)
+            assert joins_bit_identical(serial, parallel), method
+
+    def test_two_source_streaming_with_spill(self, dataset, queries):
+        data, eps = dataset
+        base, _ = api.join_stream(queries, data, eps)
+        streamed, _ = api.join_stream(
+            queries, data, eps, workers=2, spill_threshold_bytes=4096,
+        )
+        assert joins_bit_identical(base, streamed)
+
+    @pytest.mark.parametrize("method", list(api.METHODS))
+    def test_api_self_join_workers(self, dataset, method):
+        data, eps = dataset
+        serial = api.self_join(data, eps, method=method)
+        parallel = api.self_join(data, eps, method=method, workers=2)
+        assert joins_bit_identical(serial, parallel)
+
+    def test_store_distances_false_paths(self, dataset):
+        data, eps = dataset
+        a = GdsJoinKernel().self_join(data, eps, store_distances=False).result
+        b = GdsJoinKernel().self_join(
+            data, eps, store_distances=False, workers=2
+        ).result
+        assert np.array_equal(a.pairs_i, b.pairs_i)
+        assert np.array_equal(a.pairs_j, b.pairs_j)
+        assert b.sq_dists.size == 0
+
+
+# ----------------------------------------------------------------------
+# Spill concurrency (the PairAccumulator race regression)
+# ----------------------------------------------------------------------
+
+
+class TestSpillConcurrency:
+    def test_concurrent_appends_never_lose_pairs(self, tmp_path):
+        """Appends from pool threads racing the spill rotation.
+
+        Before the accumulator grew its lock, two threads appending past
+        the threshold could interleave the buffer reset and drop or
+        duplicate pairs; with the lock the multiset of appended pairs is
+        always preserved (order across threads is unspecified).
+        """
+        acc = PairAccumulator(
+            spill_threshold_bytes=2048, spill_dir=tmp_path / "race"
+        )
+        n_threads, appends, width = 8, 120, 7
+
+        def hammer(k: int) -> None:
+            for t in range(appends):
+                i = np.full(width, k, dtype=np.int64)
+                j = np.arange(t, t + width, dtype=np.int64)
+                acc.append(i, j, np.full(width, float(k), np.float32))
+
+        threads = [
+            threading.Thread(target=hammer, args=(k,)) for k in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert acc.n_spill_chunks > 0  # the rotation really happened
+        i, j, d = acc.arrays()
+        assert len(acc) == i.size == n_threads * appends * width
+        for k in range(n_threads):
+            mask = i == k
+            assert mask.sum() == appends * width
+            assert np.all(d[mask] == float(k))
+        acc.cleanup()
+
+    def test_join_with_workers_and_tiny_spill(self, dataset, tmp_path):
+        """The satellite regression: workers=2 + a tiny spill threshold."""
+        data, eps = dataset
+        serial, _ = api.self_join_stream(data, eps)
+        spilled, _ = api.self_join_stream(
+            data, eps, workers=2,
+            spill_threshold_bytes=2048, spill_dir=tmp_path / "sp",
+        )
+        assert joins_bit_identical(serial, spilled)
+        # finalize() cleaned the chunks up behind itself.
+        assert not list((tmp_path / "sp").glob("spill_*"))
+
+    def test_self_join_stream_spill_threads_through(self, dataset, tmp_path):
+        """api.self_join_stream now honors spill_threshold_bytes/spill_dir."""
+        data, eps = dataset
+        base, _ = api.self_join_stream(data, eps, method="ted-join-brute")
+        spilled, _ = api.self_join_stream(
+            data, eps, method="ted-join-brute",
+            spill_threshold_bytes=2048, spill_dir=tmp_path / "ted",
+        )
+        assert joins_bit_identical(base, spilled)
+        assert not list((tmp_path / "ted").glob("spill_*"))
+
+    def test_self_join_stream_cleans_up_on_midstream_error(
+        self, dataset, tmp_path
+    ):
+        data, eps = dataset
+
+        class FailingSource(ArraySource):
+            loads = 0
+
+            def load_block(self, r0, r1):
+                type(self).loads += 1
+                if type(self).loads > 2:
+                    raise RuntimeError("disk died")
+                return super().load_block(r0, r1)
+
+        spill_dir = tmp_path / "err"
+        with pytest.raises(RuntimeError, match="disk died"):
+            api.self_join_stream(
+                FailingSource(data), eps,
+                memory_budget_bytes=64 << 10,
+                spill_threshold_bytes=512, spill_dir=spill_dir,
+            )
+        # Whatever chunks spilled before the failure were removed.
+        assert not list(spill_dir.glob("spill_*"))
+
+
+# ----------------------------------------------------------------------
+# Unified timing-path tile plans
+# ----------------------------------------------------------------------
+
+
+class TestTimingPlanUnification:
+    @pytest.mark.parametrize("n", [256, 700, 1000])
+    def test_fasted_cost_equals_executed_plan(self, n):
+        kern = FastedKernel()
+        cost = kern.cost(n, 64)
+        device_plan = TilePlan(
+            n=n, row_block=kern.config.block_points, symmetric=False
+        )
+        assert cost.n_tiles == device_plan.n_tiles
+        assert cost.plan is not None and cost.plan.n_tiles == cost.n_tiles
+        assert kern.config.n_tiles(n) == kern.config.tile_plan(n).n_tiles
+
+    def test_fasted_functional_executes_device_plan(self, dataset):
+        """Run the functional path AT the device plan: same bits, and the
+        executor evaluates exactly the modeled tile count -- using the
+        kernel's own tile_plan(), as the docstrings advertise (n=600 is
+        deliberately not a multiple of block_points)."""
+        data, eps = dataset
+        n = data.shape[0]
+        kern = FastedKernel()
+        device_plan = kern.config.tile_plan(n)
+        assert kern.cost(n, data.shape[1]).n_tiles == device_plan.n_tiles
+        base = kern.self_join(data, eps)
+        dev = kern.self_join(data, eps, plan=device_plan)
+        assert joins_bit_identical(base, dev)
+
+    def test_engine_tile_count_matches_plan(self, dataset):
+        data, eps = dataset
+        n = data.shape[0]
+        plan = TilePlan(n=n, row_block=128, symmetric=False)
+        calls = 0
+        s = (data * data).sum(axis=1)
+
+        def tile(r0, r1, c0, c1):
+            nonlocal calls
+            calls += 1
+            d2 = s[r0:r1, None] + s[None, c0:c1] - 2.0 * (
+                data[r0:r1] @ data[c0:c1].T
+            )
+            return np.maximum(d2, 0.0)
+
+        symmetric_self_join(n, float(eps) ** 2, tile, plan=plan)
+        assert calls == plan.n_tiles
+
+    @pytest.mark.parametrize("n", [160, 700])
+    def test_ted_cost_equals_executed_plan(self, n):
+        kern = TedJoinKernel(variant="brute")
+        cost = kern.cost(n, 64)
+        device_plan = TilePlan(n=n, row_block=8, symmetric=False)
+        assert cost.n_tiles == device_plan.n_tiles
+        assert cost.chunks_per_tile == -(-64 // 4)
+        # Table-6 conflict degrees survive in the cost view.
+        assert cost.bank_conflict_rate == pytest.approx(12 / 13)
+        assert kern.cost(n, 256).bank_conflict_rate == pytest.approx(3 / 4)
+
+    def test_ted_functional_executes_device_plan(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=(157, 32))  # not a multiple of the WMMA tile
+        eps = float(epsilon_for_selectivity(data, 8))
+        kern = TedJoinKernel(variant="brute")
+        base = kern.self_join(data, eps).result
+        dev = kern.self_join(data, eps, plan=kern.tile_plan(157)).result
+        assert joins_bit_identical(base, dev)
+
+    def test_ted_cost_ooms_like_the_functional_path(self):
+        kern = TedJoinKernel(modified=False)
+        with pytest.raises(MemoryError):
+            kern.cost(1000, 512)
+
+    def test_candidate_kernels_cost_from_measured_stats(self, dataset):
+        data, eps = dataset
+        g = GdsJoinKernel().self_join(data, eps)
+        cost = GdsJoinKernel().cost(
+            data.shape[1], total_candidates=g.total_candidates, profile=g.profile
+        )
+        assert cost.n_tiles == -(-g.total_candidates // 32)
+        m = MisticKernel().self_join(data, eps)
+        mcost = MisticKernel().cost(
+            data.shape[1], total_candidates=m.total_candidates, profile=m.profile
+        )
+        assert mcost.n_tiles == -(-m.total_candidates // 32)
+        assert mcost.chunks_per_tile >= 1
+
+    def test_fasted_timing_still_resolves(self):
+        t = FastedKernel().timing(4096, 64)
+        assert t.seconds > 0
+
+
+# ----------------------------------------------------------------------
+# Engine plan plumbing guards
+# ----------------------------------------------------------------------
+
+
+class TestPlanGuards:
+    def test_symmetric_executor_rejects_mismatched_plan(self):
+        with pytest.raises(ValueError, match="plan covers"):
+            symmetric_self_join(
+                100, 1.0, lambda *a: np.zeros((1, 1)),
+                plan=TilePlan(n=50, row_block=10),
+            )
+
+    def test_streaming_rejects_device_plan(self, dataset):
+        data, eps = dataset
+        with pytest.raises(ValueError, match="symmetric"):
+            streaming_self_join(
+                ArraySource(data), eps ** 2, lambda b: b, lambda r, c: None,
+                plan=TilePlan(n=data.shape[0], row_block=100, symmetric=False),
+            )
+
+    def test_full_grid_plan_counts(self):
+        plan = TilePlan(n=1000, row_block=128, symmetric=False)
+        assert plan.n_tiles == 64 == len(list(plan.tile_bounds()))
+        sym = TilePlan(n=1000, row_block=128)
+        assert sym.n_tiles == 36
+        # Symmetric tile bounds match the legacy iterator exactly.
+        from repro.core.engine import iter_symmetric_tiles
+
+        assert list(sym.tile_bounds()) == list(iter_symmetric_tiles(1000, 128))
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+class TestCli:
+    def test_workers_flag(self, capsys):
+        from repro.cli import main
+
+        main(["join", "--n", "400", "--d", "16", "--workers", "2"])
+        out = capsys.readouterr().out
+        assert "workers: 2 (explicit" in out
+
+    def test_workers_auto(self, capsys):
+        from repro.cli import main
+
+        main(["join", "--n", "400", "--d", "16", "--workers", "auto", "--stream"])
+        out = capsys.readouterr().out
+        assert "workers:" in out and "cpu_count=" in out
+
+    def test_workers_junk_rejected(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["join", "--workers", "many"])
+
+    def test_workers_auto_bad_env_is_clean_cli_error(self, monkeypatch):
+        # A malformed REPRO_WORKERS must surface as a CLI `error:`, not a
+        # mid-join ValueError traceback.
+        monkeypatch.setenv("REPRO_WORKERS", "lots")
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="error:"):
+            main(["join", "--n", "200", "--d", "8", "--workers", "auto"])
