@@ -18,6 +18,9 @@ Measures, at the standard working point (n=4096):
 * The topology-resolved worker plan (``workers="auto"``: WorkerPlan
   worker count + cache-fit tile edge) vs the former fixed serial
   configuration, per kernel, with a bit-identity check.
+* The query-serving layer: cached persisted-index range queries
+  (``repro.service``) vs rebuild-per-query, with the cached answers
+  checked bitwise against the dense brute-force reference.
 
 Writes ``BENCH_engine.json`` at the repository root (see
 docs/BENCHMARKS.md for the workflow: extend this file, never replace it).
@@ -433,6 +436,76 @@ def bench_workers(data: np.ndarray, eps: float) -> dict:
     return out
 
 
+def bench_query_service() -> dict:
+    """Cached-index serving vs rebuild-per-request (the serving-layer win).
+
+    Serving workload: clustered data (the regime grid indexes prune --
+    ``synth_dataset(clustered=True)``), one small request (8 query
+    points drawn near the data) answered over and over.  The **cold**
+    side is what every pre-serving invocation pays per request: read the
+    dataset from disk, rebuild the grid, set up the engine, answer.  The
+    **cached** side persists the index once (``repro.index.persist``)
+    and serves every request from the warm
+    :class:`~repro.service.IndexCache` engine, whose hot-cell candidate
+    LRU also skips repeat gathers.  Both sides run the identical FP64
+    engine path, and ``bit_identical`` pins the cached,
+    loaded-from-disk answers against the dense brute-force reference.
+    """
+    from repro.data.synthetic import synth_dataset
+    from repro.index.grid import GridIndex
+    from repro.index.persist import save_index
+    from repro.service import (
+        IndexCache,
+        QueryEngine,
+        brute_range_query,
+        sample_queries,
+    )
+
+    data = synth_dataset(N_POINTS, JOIN_DIMS, seed=0, clustered=True)
+    eps = float(epsilon_for_selectivity(data, SELECTIVITY))
+    nq = 8
+    queries = sample_queries(data, eps, nq, seed=7)
+
+    with tempfile.TemporaryDirectory() as td:
+        path = Path(td) / "index"
+        save_index(GridIndex(data, eps), path, data=data)
+        data_npy = path / "data.npy"
+
+        def rebuild_and_query():
+            resident = np.load(data_npy)
+            return QueryEngine(GridIndex(resident, eps), resident).range_query(
+                queries
+            )
+
+        cache = IndexCache()
+        cache.get(path)  # the one-time load the serving layer amortizes
+
+        def cached_query():
+            return cache.get(path).range_query(queries)
+
+        res = cached_query()
+        identical = joins_bit_identical(res, brute_range_query(data, queries, eps))
+        t_rebuild, t_cached = interleaved_medians(
+            rebuild_and_query, cached_query
+        )
+        cache_stats = cache.stats()
+    return {
+        "n": data.shape[0],
+        "d": data.shape[1],
+        "eps": eps,
+        "target_selectivity": SELECTIVITY,
+        "queries_per_request": nq,
+        "rebuild_seconds": t_rebuild,
+        "cached_seconds": t_cached,
+        "speedup": t_rebuild / t_cached,
+        "queries_per_sec_cold": nq / t_rebuild,
+        "queries_per_sec_cached": nq / t_cached,
+        "bit_identical": identical,
+        "result_pairs": int(res.pairs_i.size),
+        "cache": cache_stats,
+    }
+
+
 def main() -> dict:
     rng = np.random.default_rng(0)
     data = rng.normal(size=(N_POINTS, JOIN_DIMS))
@@ -457,6 +530,7 @@ def main() -> dict:
         "two_source": bench_two_source(rng, eps),
         "streaming_index": bench_streaming_index(data, eps),
         "workers": bench_workers(data, eps),
+        "query_service": bench_query_service(),
     }
     OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))

@@ -22,12 +22,15 @@ from repro.core import (
     STREAMABLE_METHODS,
     JoinResult,
     NeighborResult,
+    build_index,
     distance_error_stats,
     epsilon_for_selectivity,
     join,
     join_stream,
+    open_index,
     overlap_accuracy,
     pairwise_sq_dists,
+    query,
     self_join,
     self_join_stream,
 )
@@ -43,6 +46,9 @@ __all__ = [
     "self_join_stream",
     "join",
     "join_stream",
+    "build_index",
+    "open_index",
+    "query",
     "pairwise_sq_dists",
     "NeighborResult",
     "JoinResult",

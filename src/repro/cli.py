@@ -14,6 +14,10 @@ Exposes the experiment drivers without writing any Python:
     $ python -m repro join --method gds-join --batched --selectivity 8
     $ python -m repro join A.npy B_chunks/ --stream --memory-budget 4
     $ python -m repro join --n 20000 --workers auto
+    $ python -m repro index build my_index --data data.npy --selectivity 64
+    $ python -m repro index info my_index
+    $ python -m repro query my_index --n-queries 256
+    $ python -m repro serve --index my_index --port 8787
 
 Model-driven experiments run instantly at the paper's full scales; the
 data-driven ones accept ``--n`` to bound the surrogate size.  ``join``
@@ -27,6 +31,14 @@ executor (``--batched``).  ``--workers N`` (or ``--workers auto``) runs
 the join on the engine's worker pool -- bit-identical to serial for
 every method (``--batched --workers`` keeps batching's pair-set
 contract instead).
+
+The query-serving layer (``repro.service``) is driven by three more
+subcommands: ``index build`` persists a grid or multi-space-tree index
+(plus an embedded dataset copy) to a directory, ``index info`` inspects
+one, ``query`` answers batched range (``--eps``) or kNN (``--k``)
+queries against it, and ``serve`` exposes cached indexes over
+JSON-HTTP with micro-batched dispatch (``--self-test`` runs the
+one-shot concurrent smoke CI uses).
 """
 
 from __future__ import annotations
@@ -151,7 +163,6 @@ def _cmd_join(args) -> str:
         self_join,
         self_join_stream,
     )
-    from repro.core.selectivity import epsilon_for_selectivity
     from repro.data.source import as_source
     from repro.data.synthetic import synth_dataset
 
@@ -205,24 +216,10 @@ def _cmd_join(args) -> str:
             wp = WorkerPlan.resolve(workers)
         except ValueError as exc:
             raise SystemExit(f"error: {exc}") from exc
-    if args.eps is not None:
-        eps = args.eps
-    else:
-        # Calibrate against the set being searched: B for a two-source
-        # join (the target is matches per A point in B's density), the
-        # dataset itself for a self-join.
-        cal_src = source_b if two_source else source
-        cal = _calibration_sample(cal_src)
-        # epsilon_for_selectivity targets S neighbors *within the data it
-        # is given*; when calibrating on a subsample the quantile must be
-        # rescaled to the full cardinality or the realized selectivity
-        # would overshoot by ~n/sample.
-        target = args.selectivity
-        if cal.shape[0] < cal_src.n:
-            target = max(
-                target * (cal.shape[0] - 1) / (cal_src.n - 1), 1e-6
-            )
-        eps = float(epsilon_for_selectivity(cal, target))
+    # Calibrate against the set being searched: B for a two-source join
+    # (the target is matches per A point in B's density), the dataset
+    # itself for a self-join.
+    eps, _calibrated = _resolve_eps(args, source_b if two_source else source)
     lines = [
         (
             f"datasets: A n={source.n}, B n={source_b.n}, d={source.dim} "
@@ -303,6 +300,209 @@ def _cmd_join(args) -> str:
     return "\n".join(lines)
 
 
+def _resolve_eps(args, source) -> tuple[float, bool]:
+    """``(eps, calibrated)`` from ``--eps`` or ``--selectivity``.
+
+    The one calibration path shared by ``join``, ``index build``, and
+    anything else that targets a selectivity: ``epsilon_for_selectivity``
+    targets S neighbors *within the data it is given*, so when
+    calibrating on a subsample the quantile is rescaled to the full
+    cardinality -- otherwise the realized selectivity would overshoot by
+    ~``n / sample``.
+    """
+    from repro.core.selectivity import epsilon_for_selectivity
+
+    if args.eps is not None:
+        return float(args.eps), False
+    cal = _calibration_sample(source)
+    target = args.selectivity
+    if cal.shape[0] < source.n:
+        target = max(target * (cal.shape[0] - 1) / (source.n - 1), 1e-6)
+    return float(epsilon_for_selectivity(cal, target)), True
+
+
+def _cmd_index_build(args) -> str:
+    from repro.core.api import build_index
+    from repro.data.source import as_source
+    from repro.data.synthetic import synth_dataset
+
+    if args.data is not None:
+        source = as_source(args.data)
+    else:
+        source = as_source(
+            synth_dataset(args.n, args.d, seed=args.seed, clustered=True)
+        )
+    eps, calibrated = _resolve_eps(args, source)
+    t0 = time.perf_counter()
+    path = build_index(
+        source,
+        eps,
+        args.out,
+        kind=args.kind,
+        n_dims=args.n_dims,
+        seed=args.seed,
+        include_data=not args.no_data,
+    )
+    elapsed = time.perf_counter() - t0
+    total_bytes = sum(p.stat().st_size for p in path.iterdir())
+    return "\n".join(
+        [
+            f"dataset: n={source.n} d={source.dim} "
+            f"({source.nbytes / (1 << 20):.1f} MiB as float64)",
+            f"index: kind={args.kind}  eps={eps:.4f}"
+            + (f"  (calibrated for S={args.selectivity})" if calibrated else ""),
+            f"persisted: {path} ({total_bytes / (1 << 20):.2f} MiB"
+            + (", dataset embedded)" if not args.no_data else ")")
+            + f" in {elapsed:.3f} s",
+        ]
+    )
+
+
+def _cmd_index_info(args) -> str:
+    from repro.index.persist import load_index
+
+    loaded = load_index(args.path)
+    lines = [
+        f"index: {loaded.path}",
+        f"kind: {loaded.kind}  format v{loaded.header['version']}",
+        f"eps: {loaded.eps:.6g}",
+    ]
+    scalars = loaded.header["scalars"]
+    if loaded.kind == "grid":
+        lines.append(
+            f"points: {scalars['n_points']}  dims: {scalars['n_dims_data']} "
+            f"(indexed prefix r={scalars['r']})"
+        )
+        lines.append(f"occupied cells: {loaded.index._starts.size}")
+    else:
+        lines.append(f"points: {scalars['n_points']}  dims: {scalars['dims']}")
+        kinds = [lvl.kind for lvl in loaded.index.levels]
+        lines.append(
+            f"levels: {len(kinds)} ({kinds.count('coord')} coord, "
+            f"{kinds.count('metric')} metric)"
+        )
+    payload = sum(p.stat().st_size for p in loaded.path.iterdir())
+    lines.append(
+        "dataset: "
+        + (
+            f"{loaded.header['data']} (n={loaded.source.n})"
+            if loaded.source is not None
+            else "not stored"
+        )
+    )
+    lines.append(f"on disk: {payload / (1 << 20):.2f} MiB")
+    return "\n".join(lines)
+
+
+def _make_queries(engine, n_queries: int, seed: int):
+    """Synthetic query points near the indexed data's density."""
+    from repro.service import sample_queries
+
+    return sample_queries(engine.source, engine.eps, n_queries, seed=seed)
+
+
+def _cmd_query(args) -> str:
+    from repro.core.api import open_index
+
+    if args.eps is not None and args.k is not None:
+        raise SystemExit("error: pass --eps (range query) or --k (kNN), not both")
+    workers = args.workers
+    if workers:
+        from repro.core.engine import WorkerPlan
+
+        try:
+            WorkerPlan.resolve(workers)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}") from exc
+    try:
+        engine = open_index(args.index, workers=workers, cache=False)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    if args.queries is not None:
+        import numpy as np
+
+        queries = np.load(args.queries)
+    else:
+        queries = _make_queries(engine, args.n_queries, args.seed)
+    lines = [
+        f"index: {args.index} (kind={engine.kind}, n={engine.n_points}, "
+        f"d={engine.dim}, eps={engine.eps:.4f})",
+        f"queries: {queries.shape[0]}"
+        + ("" if args.queries is not None else f" synthetic (seed {args.seed})"),
+    ]
+    t0 = time.perf_counter()
+    if args.k is not None:
+        try:
+            res = engine.knn_query(queries, args.k)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}") from exc
+        elapsed = time.perf_counter() - t0
+        found = int((res.indices >= 0).sum())
+        lines.append(
+            f"kNN: k={args.k} -> {found} neighbors in {elapsed:.3f} s "
+            f"({queries.shape[0] / max(elapsed, 1e-9):,.0f} queries/s)"
+        )
+    else:
+        try:
+            res = engine.range_query(queries, args.eps, batched=args.batched)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}") from exc
+        elapsed = time.perf_counter() - t0
+        lines.append(
+            f"range: eps={args.eps if args.eps is not None else engine.eps:.4f} "
+            f"-> {res.pairs_i.size} pairs "
+            f"(mean matches/query {res.selectivity:.1f}) in {elapsed:.3f} s "
+            f"({queries.shape[0] / max(elapsed, 1e-9):,.0f} queries/s)"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_serve(args) -> str:
+    from repro.service import make_server, run_self_test
+
+    registry = {}
+    for item in args.index:
+        # NAME=PATH only when the prefix looks like a name (no '/'):
+        # paths may legitimately contain '=' and must not be split.
+        name, sep, rest = item.partition("=")
+        if sep and name and "/" not in name:
+            registry[name] = rest
+        else:
+            registry["default"] = item
+    if args.self_test:
+        first = next(iter(registry.values()))
+        out = run_self_test(first)
+        stats = out["stats"]
+        return (
+            f"self-test OK: {out['clients']} concurrent clients x "
+            f"{out['queries_per_client']} queries (range + kNN) matched the "
+            f"serial engine\n"
+            f"micro-batching: {stats['batches_dispatched']} engine batches "
+            f"for {stats['requests_served']} requests "
+            f"({stats['requests_coalesced']} coalesced)\n"
+            f"cache: {stats['cache']}"
+        )
+    try:
+        server = make_server(
+            registry, host=args.host, port=args.port, workers=args.workers
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    host, port = server.server_address[:2]
+    print(
+        f"serving {sorted(registry)} on http://{host}:{port} "
+        "(POST /range | /knn, GET /healthz | /stats; Ctrl-C to stop)"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+    return "server stopped"
+
+
 def _workers_arg(value: str):
     """``--workers`` accepts a count or the literal ``auto``."""
     if value == "auto":
@@ -380,6 +580,91 @@ def build_parser() -> argparse.ArgumentParser:
         "derived WorkerPlan (default: serial; results are bit-identical)",
     )
     j.set_defaults(fn=_cmd_join)
+
+    idx = sub.add_parser(
+        "index",
+        help="build or inspect persisted query indexes (the serving layer)",
+    )
+    idx_sub = idx.add_subparsers(dest="index_command", required=True)
+    ib = idx_sub.add_parser(
+        "build", help="build a grid/mstree index and persist it to a directory"
+    )
+    ib.add_argument("out", help="target index directory")
+    ib.add_argument(
+        "--data", default=None,
+        help="dataset (.npy file or chunk directory; default: synthetic)",
+    )
+    ib.add_argument("--kind", choices=("grid", "mstree"), default="grid")
+    ib.add_argument("--n", type=int, default=8192, help="synthetic dataset size")
+    ib.add_argument("--d", type=int, default=64, help="synthetic dimensionality")
+    ib.add_argument("--seed", type=int, default=0)
+    ib.add_argument("--eps", type=float, default=None, help="grid cell width")
+    ib.add_argument(
+        "--selectivity", type=int, default=64,
+        help="target mean neighbors used to calibrate eps when --eps is absent",
+    )
+    ib.add_argument(
+        "--n-dims", type=int, default=6, help="indexed dimension count (grid)"
+    )
+    ib.add_argument(
+        "--no-data", action="store_true",
+        help="do not embed a dataset copy (queries must supply data=)",
+    )
+    ib.set_defaults(fn=_cmd_index_build)
+    ii = idx_sub.add_parser("info", help="summarize a persisted index")
+    ii.add_argument("path", help="index directory")
+    ii.set_defaults(fn=_cmd_index_info)
+
+    qp = sub.add_parser(
+        "query",
+        help="batched range/kNN queries against a persisted index",
+    )
+    qp.add_argument("index", help="persisted index directory")
+    qp.add_argument(
+        "--queries", default=None,
+        help=".npy of query points (default: synthetic near the data)",
+    )
+    qp.add_argument(
+        "--n-queries", type=int, default=64, help="synthetic query count"
+    )
+    qp.add_argument("--seed", type=int, default=1)
+    qp.add_argument(
+        "--eps", type=float, default=None,
+        help="range-query radius (default: the index eps; must not exceed it)",
+    )
+    qp.add_argument(
+        "--k", type=int, default=None, help="run a kNN query instead of range"
+    )
+    qp.add_argument(
+        "--batched", action="store_true",
+        help="padded-batch-GEMM executor for the range query (pair-set contract)",
+    )
+    qp.add_argument(
+        "--workers", type=_workers_arg, default=0, metavar="N",
+        help="engine worker pool for range queries (resident datasets)",
+    )
+    qp.set_defaults(fn=_cmd_query)
+
+    sv = sub.add_parser(
+        "serve",
+        help="JSON-over-HTTP query server with micro-batching + index cache",
+    )
+    sv.add_argument(
+        "--index", action="append", required=True, metavar="[NAME=]PATH",
+        help="persisted index to register (repeatable; default name 'default')",
+    )
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=8787)
+    sv.add_argument(
+        "--workers", type=_workers_arg, default=0, metavar="N",
+        help="engine worker pool behind the dispatch loop",
+    )
+    sv.add_argument(
+        "--self-test", action="store_true",
+        help="one-shot smoke: serve on an ephemeral port, hammer it with "
+        "concurrent clients, verify against the serial engine, exit",
+    )
+    sv.set_defaults(fn=_cmd_serve)
     return parser
 
 

@@ -1249,6 +1249,293 @@ def candidate_join(
     return acc
 
 
+class _GatherView:
+    """Array-shaped facade over a gather callback.
+
+    Exposes exactly the surface the batched candidate executor touches on
+    its ``work`` / ``sq_norms`` operands -- ``shape``, ``dtype`` and
+    integer-array ``__getitem__`` -- so an on-demand row gather (e.g. a
+    :class:`SourceWorkView` over a ``DatasetSource``) can stand in for a
+    resident ndarray.
+    """
+
+    __slots__ = ("_fn", "shape", "dtype")
+
+    def __init__(self, fn, shape: tuple, dtype: np.dtype) -> None:
+        self._fn = fn
+        self.shape = shape
+        self.dtype = dtype
+
+    def __getitem__(self, idx: np.ndarray) -> np.ndarray:
+        return self._fn(idx)
+
+
+class SourceWorkView:
+    """Present a ``DatasetSource`` as the ``(work, sq_norms)`` pair the
+    candidate executors index.
+
+    Rows are gathered on demand with ``source.take`` and converted to the
+    kernel's working precision per gather -- row-local operations, so the
+    values are bit-exactly what slicing a whole-dataset precompute would
+    yield (the same lever that makes ``self_join_source`` bit-identical to
+    the in-memory joins).  A two-deep identity-keyed memo lets the norms
+    view reuse the rows the executor just gathered (the executors always
+    access ``work[idx]`` immediately before ``sq_norms[idx]``), so each
+    index array costs one ``take`` even though two views consume it; two
+    entries because a batched flush holds its member-side and
+    candidate-side gathers *simultaneously* -- which is also why both
+    stay charged to ``stats`` until evicted, keeping the residency
+    high-water mark honest about the flush's real footprint.
+
+    Parameters
+    ----------
+    source:
+        ``DatasetSource`` (or anything with ``n``/``dim``/``take``).
+    dtype:
+        Working precision rows are converted to.
+    norm:
+        ``"rowsum"`` (``(w * w).sum(axis=1)``, the GDS/TED convention) or
+        ``"einsum"`` (``np.einsum("nd,nd->n", w, w)``, MiSTIC's) --
+        mirrors each kernel's precompute reduction so gathered norms match
+        the in-memory ones bit for bit.
+    stats:
+        Optional :class:`StreamStats`; the memoized gather's bytes are
+        accounted as resident until replaced or :meth:`close`\\ d.
+    """
+
+    def __init__(self, source, dtype, *, norm: str = "rowsum", stats=None) -> None:
+        if norm not in ("rowsum", "einsum"):
+            raise ValueError("norm must be 'rowsum' or 'einsum'")
+        self._source = source
+        self._dtype = np.dtype(dtype)
+        self._norm = norm
+        self._stats = stats
+        #: (idx, rows) pairs, newest last; both batched-flush sides live.
+        self._memo: deque = deque(maxlen=2)
+        n, dim = int(source.n), int(source.dim)
+        self.work = _GatherView(self._rows, (n, dim), self._dtype)
+        self.sq_norms = _GatherView(self._norms, (n,), self._dtype)
+
+    def _rows(self, idx: np.ndarray) -> np.ndarray:
+        for held_idx, held_rows in self._memo:
+            if held_idx is idx:
+                return held_rows
+        rows = self._source.take(idx)
+        if rows.dtype != self._dtype:
+            rows = rows.astype(self._dtype)
+        if self._stats is not None:
+            self._stats._acquire(rows.nbytes)
+            if len(self._memo) == self._memo.maxlen:
+                self._stats._release(self._memo[0][1].nbytes)
+        self._memo.append((idx, rows))
+        return rows
+
+    def _norms(self, idx: np.ndarray) -> np.ndarray:
+        w = self._rows(idx)
+        if self._norm == "einsum":
+            return np.einsum("nd,nd->n", w, w)
+        return (w * w).sum(axis=1)
+
+    def close(self) -> None:
+        """Drop the memoized gathers (and release their residency charge)."""
+        if self._stats is not None:
+            for _idx, rows in self._memo:
+                self._stats._release(rows.nbytes)
+        self._memo.clear()
+
+
+def batch_params_from_stats(
+    stats,
+    *,
+    batch_elems: int | None = None,
+    max_batch_groups: int | None = None,
+    single_elems: int | None = None,
+    min_fill: float | None = None,
+) -> dict:
+    """Derive batched-executor knobs from measured index moments.
+
+    ``stats`` is a ``repro.index.grid.GridStats`` (duck-typed: the mean /
+    standard deviation of per-cell member counts and candidate-set sizes).
+    Any knob passed explicitly is taken verbatim -- the override escape
+    hatch; the rest follow the group-shape distribution:
+
+    * ``single_elems`` -- the bypass threshold scales with the typical
+      group block (``8 x mean_members x mean_group_candidates``): a group
+      several times the norm amortizes its own BLAS call, while on a
+      fine-shattered grid the static default would bypass groups that are
+      still call-overhead-bound.
+    * ``batch_elems`` -- sized to hold ~64 groups padded one standard
+      deviation above the mean, clamped to ``[2^16, 2^22]`` so a flush
+      block neither degenerates to a handful of groups nor outgrows cache.
+    * ``min_fill`` -- from the expected fill when padding to
+      ``mean + std`` per axis: homogeneous group shapes (small std) raise
+      the guard toward 0.5 (padding is cheap, demand it be tight), widely
+      dispersed shapes lower it toward 0.15 (constant flushing would cost
+      more than the padding it avoids).
+    """
+    mean_m = max(float(getattr(stats, "mean_members", 0.0)), 1.0)
+    mean_c = max(float(getattr(stats, "mean_group_candidates", 0.0)), 1.0)
+    std_m = float(getattr(stats, "std_members", 0.0))
+    std_c = float(getattr(stats, "std_group_candidates", 0.0))
+    pad_m = mean_m + std_m
+    pad_c = mean_c + std_c
+    if single_elems is None:
+        single_elems = int(min(max(1 << 12, 8.0 * mean_m * mean_c), GROUP_CHUNK_ELEMS))
+    if batch_elems is None:
+        batch_elems = int(min(max(1 << 16, 64.0 * pad_m * pad_c), 1 << 22))
+    if min_fill is None:
+        fill_est = (mean_m / pad_m) * (mean_c / pad_c)
+        min_fill = float(min(0.5, max(0.15, 0.6 * fill_est)))
+    if max_batch_groups is None:
+        max_batch_groups = 512
+    return {
+        "batch_elems": int(batch_elems),
+        "max_batch_groups": int(max_batch_groups),
+        "single_elems": int(single_elems),
+        "min_fill": float(min_fill),
+    }
+
+
+def _batched_candidate_executor(
+    groups: Iterable[tuple[np.ndarray, np.ndarray]],
+    work_m,
+    sq_m,
+    work_c,
+    sq_c,
+    eps2: float,
+    *,
+    drop_self: bool,
+    store_distances: bool = True,
+    batch_elems: int = 1 << 20,
+    max_batch_groups: int = 512,
+    single_elems: int = 1 << 12,
+    min_fill: float = 0.35,
+    on_group: Callable[[np.ndarray, np.ndarray], None] | None = None,
+    acc: PairAccumulator | None = None,
+) -> PairAccumulator:
+    """Shared padded-batch-GEMM core of the batched candidate executors.
+
+    ``work_m``/``sq_m`` back the member (query) side and ``work_c``/
+    ``sq_c`` the candidate side -- the same arrays for a self-join,
+    different sets for a two-source join.  Either side may be a resident
+    ndarray or a :class:`SourceWorkView` gather facade: the executor
+    touches only ``shape``/``dtype``/integer indexing, and all of a
+    flush's member (resp. candidate) rows are gathered through **one**
+    concatenated index per side, so a source-backed run issues one
+    ``take`` per side per flush instead of one per group.
+    """
+    if acc is None:
+        acc = PairAccumulator(store_distances=store_distances)
+    store_distances = acc.store_distances
+    d = work_m.shape[1]
+    work_dtype = work_m.dtype
+    norm_dtype = sq_m.dtype
+    # Bypassed (large) groups chunk their candidate axis like the
+    # per-group executor does, so a dense cell cannot blow up a single
+    # (members x candidates) temporary.
+    single_chunk = max(1, GROUP_CHUNK_ELEMS // max(d, 1))
+
+    def run_single(members: np.ndarray, candidates: np.ndarray) -> None:
+        wm = work_m[members]
+        sm = sq_m[members]
+        for c0 in range(0, candidates.size, single_chunk):
+            cand = candidates[c0 : c0 + single_chunk]
+            wc = work_c[cand]
+            sc = sq_c[cand]
+            d2 = norm_expansion_sq_dists(sm, sc, wm @ wc.T)
+            _emit_group_pairs(
+                acc, d2, members, cand, eps2, store_distances,
+                drop_self=drop_self,
+            )
+
+    batch: list[tuple[np.ndarray, np.ndarray]] = []
+    batch_m = batch_c = batch_fill = 0
+
+    def flush() -> None:
+        nonlocal batch, batch_m, batch_c, batch_fill
+        if not batch:
+            return
+        if len(batch) == 1:
+            run_single(*batch[0])
+            batch, batch_m, batch_c, batch_fill = [], 0, 0, 0
+            return
+        g = len(batch)
+        # One concatenated gather per side: identical row values to the
+        # former per-group gathers (row gathers are row-local), but a
+        # source-backed view pays one take() per side per flush.
+        mem_cat = np.concatenate([m for m, _ in batch])
+        cand_cat = np.concatenate([c for _, c in batch])
+        wm_all = work_m[mem_cat]
+        sm_all = sq_m[mem_cat]
+        wc_all = work_c[cand_cat]
+        sc_all = sq_c[cand_cat]
+        p = np.zeros((g, batch_m, d), dtype=work_dtype)
+        q = np.zeros((g, batch_c, d), dtype=work_dtype)
+        sm = np.full((g, batch_m), np.inf, dtype=norm_dtype)
+        sc = np.full((g, batch_c), np.inf, dtype=norm_dtype)
+        mi_idx = np.zeros((g, batch_m), dtype=np.int64)
+        cj_idx = np.zeros((g, batch_c), dtype=np.int64)
+        mo = co = 0
+        for k, (members, candidates) in enumerate(batch):
+            m, c = members.size, candidates.size
+            p[k, :m] = wm_all[mo : mo + m]
+            sm[k, :m] = sm_all[mo : mo + m]
+            mi_idx[k, :m] = members
+            q[k, :c] = wc_all[co : co + c]
+            sc[k, :c] = sc_all[co : co + c]
+            cj_idx[k, :c] = candidates
+            mo += m
+            co += c
+        gram = np.matmul(p, q.transpose(0, 2, 1))
+        # Same elementwise order as norm_expansion_sq_dists, batched.
+        t = sm[:, :, None] + sc[:, None, :]
+        np.multiply(gram, 2.0, out=gram)
+        np.subtract(t, gram, out=gram)
+        np.maximum(gram, 0.0, out=gram)
+        # Padded rows/cols have inf norms -> inf distance -> filtered here.
+        mask = gram <= eps2
+        gk, mi, cj = np.nonzero(mask)
+        gi = mi_idx[gk, mi]
+        gj = cj_idx[gk, cj]
+        if drop_self:
+            keep = gi != gj
+            gi, gj = gi[keep], gj[keep]
+            dd = (
+                gram[gk, mi, cj][keep].astype(np.float32)
+                if store_distances
+                else None
+            )
+        else:
+            dd = gram[gk, mi, cj].astype(np.float32) if store_distances else None
+        acc.append(gi, gj, dd)
+        batch, batch_m, batch_c, batch_fill = [], 0, 0, 0
+
+    for members, candidates in groups:
+        if members.size == 0 or candidates.size == 0:
+            continue
+        if on_group is not None:
+            on_group(members, candidates)
+        mc = members.size * candidates.size
+        if mc > single_elems:
+            flush()  # preserve group order across the two paths
+            run_single(members, candidates)
+            continue
+        new_m = max(batch_m, members.size)
+        new_c = max(batch_c, candidates.size)
+        padded = (len(batch) + 1) * new_m * new_c
+        if batch and (
+            padded > batch_elems
+            or len(batch) >= max_batch_groups
+            or (batch_fill + mc) < min_fill * padded
+        ):
+            flush()
+            new_m, new_c = members.size, candidates.size
+        batch.append((members, candidates))
+        batch_m, batch_c, batch_fill = new_m, new_c, batch_fill + mc
+    flush()
+    return acc
+
+
 def batched_candidate_self_join(
     groups: Iterable[tuple[np.ndarray, np.ndarray]],
     work: np.ndarray,
@@ -1289,10 +1576,13 @@ def batched_candidate_self_join(
         size-sorted groups (``GridIndex.iter_cells(order="size")``) keeps
         padding waste low.
     work:
-        ``(n, d)`` dataset in the kernel's working precision.
+        ``(n, d)`` dataset in the kernel's working precision -- a resident
+        ndarray or a :class:`SourceWorkView` ``.work`` facade for
+        source-backed (out-of-core) joins.
     sq_norms:
         ``(n,)`` squared norms of ``work`` rows, in the same precision and
-        reduction order the kernel's per-group path uses.
+        reduction order the kernel's per-group path uses (or the matching
+        ``SourceWorkView.sq_norms`` facade).
     eps2:
         Squared radius in the kernel's working precision.
     store_distances:
@@ -1317,91 +1607,64 @@ def batched_candidate_self_join(
     acc:
         Emit into this accumulator instead of a fresh one
         (``store_distances`` is ignored when given).
+
+    The knobs default to the static values above; kernels with a grid
+    index derive them from the measured group-size distribution instead
+    (:func:`batch_params_from_stats` over ``GridIndex.stats()``).
     """
-    if acc is None:
-        acc = PairAccumulator(store_distances=store_distances)
-    store_distances = acc.store_distances
-    d = work.shape[1]
-    norm_dtype = sq_norms.dtype
-    # Bypassed (large) groups chunk their candidate axis like the
-    # per-group executor does, so a dense cell cannot blow up a single
-    # (members x candidates) temporary.
-    single_chunk = max(1, GROUP_CHUNK_ELEMS // max(d, 1))
+    return _batched_candidate_executor(
+        groups, work, sq_norms, work, sq_norms, eps2,
+        drop_self=True,
+        store_distances=store_distances,
+        batch_elems=batch_elems,
+        max_batch_groups=max_batch_groups,
+        single_elems=single_elems,
+        min_fill=min_fill,
+        on_group=on_group,
+        acc=acc,
+    )
 
-    def run_single(members: np.ndarray, candidates: np.ndarray) -> None:
-        wm = work[members]
-        sm = sq_norms[members]
-        for c0 in range(0, candidates.size, single_chunk):
-            cand = candidates[c0 : c0 + single_chunk]
-            d2 = norm_expansion_sq_dists(sm, sq_norms[cand], wm @ work[cand].T)
-            _emit_group_pairs(acc, d2, members, cand, eps2, store_distances)
 
-    batch: list[tuple[np.ndarray, np.ndarray]] = []
-    batch_m = batch_c = batch_fill = 0
+def batched_candidate_join(
+    groups: Iterable[tuple[np.ndarray, np.ndarray]],
+    work_a,
+    sq_a,
+    work_b,
+    sq_b,
+    eps2: float,
+    *,
+    store_distances: bool = True,
+    batch_elems: int = 1 << 20,
+    max_batch_groups: int = 512,
+    single_elems: int = 1 << 12,
+    min_fill: float = 0.35,
+    on_group: Callable[[np.ndarray, np.ndarray], None] | None = None,
+    acc: PairAccumulator | None = None,
+) -> PairAccumulator:
+    """Two-source batched candidate executor: external queries, padded GEMMs.
 
-    def flush() -> None:
-        nonlocal batch, batch_m, batch_c, batch_fill
-        if not batch:
-            return
-        if len(batch) == 1:
-            run_single(*batch[0])
-            batch, batch_m, batch_c, batch_fill = [], 0, 0, 0
-            return
-        g = len(batch)
-        p = np.zeros((g, batch_m, d), dtype=work.dtype)
-        q = np.zeros((g, batch_c, d), dtype=work.dtype)
-        sm = np.full((g, batch_m), np.inf, dtype=norm_dtype)
-        sc = np.full((g, batch_c), np.inf, dtype=norm_dtype)
-        mi_idx = np.zeros((g, batch_m), dtype=np.int64)
-        cj_idx = np.zeros((g, batch_c), dtype=np.int64)
-        for k, (members, candidates) in enumerate(batch):
-            m, c = members.size, candidates.size
-            p[k, :m] = work[members]
-            q[k, :c] = work[candidates]
-            sm[k, :m] = sq_norms[members]
-            sc[k, :c] = sq_norms[candidates]
-            mi_idx[k, :m] = members
-            cj_idx[k, :c] = candidates
-        gram = np.matmul(p, q.transpose(0, 2, 1))
-        # Same elementwise order as norm_expansion_sq_dists, batched.
-        t = sm[:, :, None] + sc[:, None, :]
-        np.multiply(gram, 2.0, out=gram)
-        np.subtract(t, gram, out=gram)
-        np.maximum(gram, 0.0, out=gram)
-        # Padded rows/cols have inf norms -> inf distance -> filtered here.
-        mask = gram <= eps2
-        gk, mi, cj = np.nonzero(mask)
-        gi = mi_idx[gk, mi]
-        gj = cj_idx[gk, cj]
-        keep = gi != gj
-        dd = gram[gk, mi, cj][keep].astype(np.float32) if store_distances else None
-        acc.append(gi[keep], gj[keep], dd)
-        batch, batch_m, batch_c, batch_fill = [], 0, 0, 0
-
-    for members, candidates in groups:
-        if members.size == 0 or candidates.size == 0:
-            continue
-        if on_group is not None:
-            on_group(members, candidates)
-        mc = members.size * candidates.size
-        if mc > single_elems:
-            flush()  # preserve group order across the two paths
-            run_single(members, candidates)
-            continue
-        new_m = max(batch_m, members.size)
-        new_c = max(batch_c, candidates.size)
-        padded = (len(batch) + 1) * new_m * new_c
-        if batch and (
-            padded > batch_elems
-            or len(batch) >= max_batch_groups
-            or (batch_fill + mc) < min_fill * padded
-        ):
-            flush()
-            new_m, new_c = members.size, candidates.size
-        batch.append((members, candidates))
-        batch_m, batch_c, batch_fill = new_m, new_c, batch_fill + mc
-    flush()
-    return acc
+    The A x B counterpart of :func:`batched_candidate_self_join` and the
+    batched sibling of :func:`candidate_join`: ``groups`` pairs query
+    indices (into the left set, backed by ``work_a``/``sq_a``) with
+    candidate indices (into the right set, ``work_b``/``sq_b``), small
+    groups are fused into padded batch GEMMs, and -- the two-source
+    convention -- no self pairs are dropped, because equal indices address
+    different points.  This is the executor the query-serving layer
+    (``repro.service``) routes coalesced external range queries through;
+    either side accepts a :class:`SourceWorkView` for out-of-core data.
+    Same pair-set contract as the self-join form.
+    """
+    return _batched_candidate_executor(
+        groups, work_a, sq_a, work_b, sq_b, eps2,
+        drop_self=False,
+        store_distances=store_distances,
+        batch_elems=batch_elems,
+        max_batch_groups=max_batch_groups,
+        single_elems=single_elems,
+        min_fill=min_fill,
+        on_group=on_group,
+        acc=acc,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -1451,7 +1714,8 @@ def _candidate_fork_worker(batch: list) -> tuple:
     store_distances = st["store_distances"]
     if st["batched"]:
         inner = batched_candidate_self_join(
-            batch, work_m, sq_m, eps2, store_distances=store_distances
+            batch, work_m, sq_m, eps2, store_distances=store_distances,
+            **(st["batch_params"] or {}),
         )
         return inner.arrays()
     chunk0 = st["candidate_chunk"]
@@ -1480,6 +1744,7 @@ def process_candidate_self_join(
     workers: "int | str | WorkerPlan | None" = 0,
     group_batch: int = 64,
     batched: bool = False,
+    batch_params: dict | None = None,
     drop_self: bool = True,
     work_right: np.ndarray | None = None,
     sq_norms_right: np.ndarray | None = None,
@@ -1519,6 +1784,7 @@ def process_candidate_self_join(
             return batched_candidate_self_join(
                 _observed_groups(groups, on_group), work, sq_norms, eps2,
                 store_distances=store_distances, acc=acc,
+                **(batch_params or {}),
             )
 
         def dist(members: np.ndarray, cand: np.ndarray) -> np.ndarray:
@@ -1551,6 +1817,7 @@ def process_candidate_self_join(
             "candidate_chunk": candidate_chunk,
             "drop_self": drop_self,
             "batched": batched,
+            "batch_params": batch_params,
         }
         try:
             with ProcessPoolExecutor(

@@ -81,3 +81,44 @@ void rz_sum_squares_f16grid(const double *pts, long long n, long long d,
         out[i] = (float)acc;
     }
 }
+
+/* General rz_sum over raw float64 rows: the masked-truncation loop of
+ * repro/fp/rounding.py (_rz_reduce's fast path) fused with the chunk-sum
+ * pass.  Chunk sums accumulate in ascending term order, which matches the
+ * NumPy _chunk_sums reduction only for step < 8 (the caller enforces it);
+ * each chunk's RZ normalization is the low-29-bit mantissa clear, exact
+ * while every partial sum is 0 / inf-free / inside the float32 normal
+ * range.
+ *
+ * Unlike sums of squares, arbitrary inputs do not satisfy those
+ * preconditions structurally, so they are verified per chunk sum exactly
+ * as _masked_reduce_safe does: non-negative (rejects NaN too), zero or at
+ * least FLT_MIN_NORMAL (2^-126), and a finite running total below 2^128.
+ * Returns 1 with `out` filled when every row is safe; returns 0 -- `out`
+ * contents unspecified -- the moment any chunk sum leaves the safe range,
+ * and the caller falls back to the NumPy general path (which re-derives
+ * the same verdict from the same conditions). */
+long long rz_sum_f64(const double *vals, long long n, long long d,
+                     long long step, float *out) {
+    for (long long i = 0; i < n; i++) {
+        const double *row = vals + i * d;
+        double acc = 0.0;
+        double total = 0.0;
+        for (long long c = 0; c < d; c += step) {
+            long long e = c + step < d ? c + step : d;
+            double s = 0.0;
+            for (long long t = c; t < e; t++)
+                s += row[t];
+            if (!(s >= 0.0)) /* negative or NaN chunk sum */
+                return 0;
+            if (s != 0.0 && s < 0x1p-126) /* float32 subnormal range */
+                return 0;
+            total += s;
+            acc = u2d(d2u(acc + s) & 0xFFFFFFFFE0000000ULL);
+        }
+        if (!(total < 0x1p128)) /* overflow past float32 range (or inf) */
+            return 0;
+        out[i] = (float)acc;
+    }
+    return 1;
+}

@@ -1,10 +1,13 @@
 """Optional native (C) fast path for the RZ squared-norm precompute.
 
-The NumPy implementation of :func:`repro.fp.rounding.rz_sum_squares` is
-vectorized but still pays several full-array passes (FP16 cast, widening,
-einsum, truncation chain).  This module JIT-builds ``_rz_native.c`` -- a
-single fused pass over the data -- with whatever C compiler the host has,
-and exposes it through :func:`rz_sum_squares_native`.
+The NumPy implementations of :func:`repro.fp.rounding.rz_sum_squares` and
+the general :func:`repro.fp.rounding.rz_sum` are vectorized but still pay
+several full-array passes (FP16 cast, widening, chunk sums, truncation
+chain).  This module JIT-builds ``_rz_native.c`` -- one fused pass over
+the data per kernel -- with whatever C compiler the host has, and exposes
+the kernels through :func:`rz_sum_squares_native` and
+:func:`rz_sum_native` (the latter additionally bails back to NumPy when
+its masked-truncation preconditions fail; see the C header comment).
 
 Design rules:
 
@@ -127,6 +130,15 @@ def _build() -> ctypes.CDLL | None:
             ctypes.c_longlong,
             ctypes.POINTER(ctypes.c_float),
         ]
+        gen = lib.rz_sum_f64
+        gen.restype = ctypes.c_longlong
+        gen.argtypes = [
+            ctypes.POINTER(ctypes.c_double),
+            ctypes.c_longlong,
+            ctypes.c_longlong,
+            ctypes.c_longlong,
+            ctypes.POINTER(ctypes.c_float),
+        ]
         return lib
     except (OSError, AttributeError):
         return None
@@ -173,3 +185,37 @@ def rz_sum_squares_native(points: np.ndarray, step: int) -> np.ndarray | None:
     elif n:
         out[:] = 0.0
     return out
+
+
+def rz_sum_native(values: np.ndarray, step: int) -> np.ndarray | None:
+    """Fused native general ``rz_sum`` or ``None`` when unavailable.
+
+    ``values`` is the float64 array with the reduction axis last (as
+    :func:`repro.fp.rounding.rz_sum` arranges it); leading dimensions are
+    flattened for the C pass and restored on the result.  Returns ``None``
+    when the kernel is absent, the step is outside the ascending-order
+    window (see :func:`rz_sum_squares_native`), or any chunk sum leaves
+    the masked-truncation safe range -- the C kernel bails with the exact
+    per-chunk conditions of ``_masked_reduce_safe``, and the caller's
+    NumPy general path takes over.
+    """
+    lib = _get()
+    if lib is None or step < 1 or step >= 8:
+        return None
+    vals = np.ascontiguousarray(values, dtype=np.float64)
+    if vals.ndim == 0 or vals.shape[-1] == 0:
+        return None
+    lead_shape = vals.shape[:-1]
+    flat = vals.reshape(-1, vals.shape[-1])
+    out = np.empty(flat.shape[0], dtype=np.float32)
+    if flat.shape[0]:
+        ok = lib.rz_sum_f64(
+            flat.ctypes.data_as(ctypes.POINTER(ctypes.c_double)),
+            flat.shape[0],
+            flat.shape[1],
+            step,
+            out.ctypes.data_as(ctypes.POINTER(ctypes.c_float)),
+        )
+        if not ok:
+            return None
+    return out.reshape(lead_shape)

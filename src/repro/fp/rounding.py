@@ -264,7 +264,11 @@ def rz_sum(values: np.ndarray, axis: int = -1, step: int = HMMA_STEP_K) -> np.nd
     The chunk sums are precomputed in one vectorized pass and the sequential
     truncation chain runs in two ufunc calls per chunk (see the module
     docstring); results are bit-identical to the one-chunk-at-a-time seed
-    implementation for every input.
+    implementation for every input.  When the native kernel is available
+    (:mod:`repro.fp.native`), the whole reduction runs as one fused C pass
+    instead -- the C side verifies the masked-truncation preconditions per
+    chunk sum and bails back to this NumPy path (bit-identically, pinned
+    by tests/test_fp_rounding.py) whenever an input leaves the safe range.
 
     Parameters
     ----------
@@ -283,6 +287,11 @@ def rz_sum(values: np.ndarray, axis: int = -1, step: int = HMMA_STEP_K) -> np.nd
     v = np.moveaxis(np.asarray(values, dtype=np.float64), axis, -1)
     if v.shape[-1] == 0:
         return np.zeros(v.shape[:-1], dtype=np.float32)
+    from repro.fp.native import rz_sum_native
+
+    native = rz_sum_native(v, step)
+    if native is not None:
+        return native
     return _rz_reduce(_chunk_sums(v, step))
 
 

@@ -131,12 +131,24 @@ def variance_order_from_source(
 
 @dataclass
 class GridStats:
-    """Construction/query statistics consumed by the timing models."""
+    """Construction/query statistics consumed by the timing models.
+
+    The group-shape moments (``mean_members`` / ``std_members`` over
+    per-cell member counts, ``mean_group_candidates`` /
+    ``std_group_candidates`` over per-cell candidate-set sizes) also
+    drive the batched executor's derived knobs
+    (:func:`repro.core.engine.batch_params_from_stats`) and the
+    query-serving layer's kNN starting radius.
+    """
 
     n_points: int
     n_indexed_dims: int
     n_nonempty_cells: int
     total_candidates: int  # sum over points of candidate-set sizes
+    mean_members: float = 0.0  # mean points per nonempty cell
+    std_members: float = 0.0
+    mean_group_candidates: float = 0.0  # mean candidate-set size per cell
+    std_group_candidates: float = 0.0
 
     @property
     def mean_candidates(self) -> float:
@@ -429,10 +441,13 @@ class GridIndex:
                         hits.append(ci)
                 rows.append(hits)
             counts = np.array([len(h) for h in rows], dtype=np.int64)
-            self._nbr_indptr = np.concatenate(([0], np.cumsum(counts)))
+            # _nbr_cells first: the build guard checks _nbr_indptr, so a
+            # concurrent reader (serving engines share one index across
+            # threads) must never see indptr published before cells.
             self._nbr_cells = np.array(
                 [c for h in rows for c in h], dtype=np.int64
             )
+            self._nbr_indptr = np.concatenate(([0], np.cumsum(counts)))
             return
         keys, deltas = encoded
         fan = deltas.size
@@ -449,10 +464,12 @@ class GridIndex:
             # Row-major selection keeps the probe (offset-product) order
             # within each cell, matching the reference iteration order.
             hit_chunks.append(idx.reshape(b1 - b0, fan)[valid])
-        self._nbr_indptr = np.concatenate(([0], np.cumsum(counts)))
+        # Same publication order as the fallback branch: cells before
+        # indptr, so the lazy-build guard stays race-free for readers.
         self._nbr_cells = (
             np.concatenate(hit_chunks) if hit_chunks else np.empty(0, np.int64)
         )
+        self._nbr_indptr = np.concatenate(([0], np.cumsum(counts)))
 
     def _neighbor_cells(self, cell_index: int) -> np.ndarray:
         """Occupied-cell indices adjacent to one cell (itself included)."""
@@ -486,17 +503,45 @@ class GridIndex:
             self._cand_cache_elems += out.size
         return out
 
-    def candidates_of_cell(self, key: tuple[int, ...]) -> np.ndarray:
-        """Candidate indices for a cell: points in the 3^r adjacent cells.
+    def candidates_of_cell(
+        self, key: tuple[int, ...], *, reach: int = 1
+    ) -> np.ndarray:
+        """Candidate indices for a cell: points in the adjacent cells.
+
+        With the default ``reach=1`` these are the 3^r adjacent cells --
+        sound for query radii up to the cell width ``eps``.  ``reach=m``
+        widens the probe to every occupied cell within Chebyshev distance
+        ``m`` in the indexed dimensions, which is sound for radii up to
+        ``m * eps`` (a coordinate difference of at most ``m * eps`` moves
+        the floor-divided cell coordinate by at most ``m``): the expanding
+        search the query-serving layer's kNN uses.
 
         The key does not have to be occupied -- a query point can land in
-        an empty cell whose neighbors hold points.  Occupied-cell queries
-        are cached and reuse the batched adjacency; the returned array may
-        be that shared cache entry and is then read-only (copy it before
-        mutating).  Empty-cell queries probe the neighbor offsets directly
-        (unbounded key space, so no cache) and return fresh arrays.
+        an empty cell whose neighbors hold points.  Occupied-cell
+        ``reach=1`` queries are cached and reuse the batched adjacency;
+        the returned array may be that shared cache entry and is then
+        read-only (copy it before mutating).  Empty-cell and ``reach>1``
+        queries return fresh arrays (candidate *order* may differ between
+        the two paths -- probe order vs lexicographic cell order -- which
+        no consumer depends on for ``reach>1``).
         """
         key = tuple(key)
+        if reach < 1:
+            raise ValueError("reach must be >= 1")
+        if reach > 1:
+            if self.r == 0 or not len(self._cell_keys):
+                # Zero indexed dims: one cell holds everything.
+                return self._sort.copy() if len(self._cell_keys) else np.empty(0, np.int64)
+            # Chebyshev filter over the occupied cells (lexicographic
+            # order): O(C * r) per queried cell, no (2m+1)^r probe blowup.
+            key_arr = np.asarray(key, dtype=np.int64)
+            near = np.abs(self._unique - key_arr).max(axis=1) <= reach
+            hits = np.nonzero(near)[0]
+            if hits.size == 0:
+                return np.empty(0, dtype=np.int64)
+            return np.concatenate(
+                [self._sort[self._starts[b] : self._ends[b]] for b in hits]
+            )
         ci = self._cell_id.get(key)
         if ci is not None:
             return self._candidates_of_index(ci, cache=True)
@@ -539,7 +584,9 @@ class GridIndex:
             members = self._sort[self._starts[ci] : self._ends[ci]]
             yield members, self._candidates_of_index(ci, cache=False)
 
-    def iter_join_groups(self, queries, *, row_block: int = _SOURCE_ROW_BLOCK):
+    def iter_join_groups(
+        self, queries, *, row_block: int = _SOURCE_ROW_BLOCK, reach: int = 1
+    ):
         """Yield ``(query_members, candidates)`` for an external query set.
 
         The two-source (A x B) counterpart of :meth:`iter_cells`: this
@@ -552,7 +599,9 @@ class GridIndex:
         Yields ``(A-index array, B-index array)`` groups for
         :func:`repro.core.engine.candidate_join`; query cell coordinates
         are computed in streamed row blocks, so A never has to be resident
-        (the ``O(n_A)`` cell/permutation state is).
+        (the ``O(n_A)`` cell/permutation state is).  ``reach`` widens the
+        candidate probe for radii beyond one cell width (see
+        :meth:`candidates_of_cell`).
         """
         from repro.data.source import as_source
 
@@ -575,7 +624,9 @@ class GridIndex:
         qsort, starts, ends, sorted_cells = _group_by_cells(qcells)
         for s, e in zip(starts, ends):
             members = qsort[s:e]
-            yield members, self.candidates_of_cell(tuple(sorted_cells[s]))
+            yield members, self.candidates_of_cell(
+                tuple(sorted_cells[s]), reach=reach
+            )
 
     def stats(self) -> GridStats:
         """Candidate-count statistics (drives the baselines' cost models).
@@ -590,11 +641,18 @@ class GridIndex:
                 member_counts[self._nbr_cells], self._nbr_indptr[:-1]
             )
             total = int((member_counts * cand_sizes).sum())
+            mean_m, std_m = float(member_counts.mean()), float(member_counts.std())
+            mean_c, std_c = float(cand_sizes.mean()), float(cand_sizes.std())
         else:
             total = 0
+            mean_m = std_m = mean_c = std_c = 0.0
         return GridStats(
             n_points=self.n_points,
             n_indexed_dims=self.r,
             n_nonempty_cells=len(self._cell_keys),
             total_candidates=total,
+            mean_members=mean_m,
+            std_members=std_m,
+            mean_group_candidates=mean_c,
+            std_group_candidates=std_c,
         )

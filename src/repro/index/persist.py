@@ -1,0 +1,312 @@
+"""Versioned on-disk persistence for the query indexes.
+
+The batch engine rebuilds its :class:`~repro.index.grid.GridIndex` /
+:class:`~repro.index.mstree.MultiSpaceTree` from the dataset on every
+invocation -- fine for one join, hopeless for a serving workload where the
+same index answers thousands of queries.  This module gives both index
+types a build-once / query-many lifecycle:
+
+* :func:`save_index` writes an index as a **directory**: one JSON header
+  (``header.json`` -- magic, format version, index kind, scalars) plus one
+  ``.npy`` payload per index array.  The arrays saved are exactly the
+  grouped state the constructors install, so nothing is recomputed on
+  load.  A dataset can ride along -- embedded as ``data.npy`` (streamed
+  through :meth:`~repro.data.source.DatasetSource.write_npy`, never
+  materialized) or referenced by path -- because answering distance
+  queries needs the points themselves, not just the grouping.
+
+* :func:`load_index` memory-maps the payloads (``mmap=True``, the
+  default): the OS pages index arrays and dataset rows in on demand, so a
+  loaded index starts answering queries without re-reading either into
+  RAM.  ``mmap=False`` loads everything resident instead -- bit-identical
+  results either way (tests/test_service.py pins mmap vs in-RAM and
+  loaded vs freshly built).
+
+* **Versioning**: the header's ``magic`` / ``version`` are checked before
+  anything else is touched; unknown versions (and non-index directories)
+  are rejected with :class:`ValueError` rather than misinterpreted --
+  the format can evolve without old readers silently corrupting results.
+
+Bit-identity argument: the saved arrays *are* the index state (the stable
+sort permutation, cell extents, cell coordinates; per-level bins and
+pivots for the tree).  Loading installs them verbatim, so candidate
+iteration -- and therefore every query routed through the engine's
+candidate executors -- is exactly what the freshly built index yields.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.source import DatasetSource, as_source
+from repro.index.grid import GridIndex
+from repro.index.mstree import MultiSpaceTree, _Level
+
+#: Directory-format identification; bump ``FORMAT_VERSION`` on layout
+#: changes (readers reject versions they do not understand).
+MAGIC = "repro-index"
+FORMAT_VERSION = 1
+
+#: Header file name inside an index directory.
+HEADER_NAME = "header.json"
+
+#: Embedded-dataset file name inside an index directory.
+DATA_NAME = "data.npy"
+
+
+@dataclass
+class LoadedIndex:
+    """A persisted index restored from disk, plus its dataset binding.
+
+    ``index`` is a ready-to-query :class:`GridIndex` or
+    :class:`MultiSpaceTree`; ``source`` is the dataset it was built over
+    (embedded copy or referenced path) as a block/gather-addressable
+    :class:`~repro.data.source.DatasetSource`, or None when the index was
+    saved without one (the caller must then supply the data to the query
+    engine itself).
+    """
+
+    index: "GridIndex | MultiSpaceTree"
+    kind: str  # "grid" | "mstree"
+    eps: float
+    path: Path
+    source: DatasetSource | None
+    header: dict
+
+
+def _save_arrays(directory: Path, arrays: dict[str, np.ndarray]) -> dict:
+    """Write payload arrays, returning the header's name -> file map.
+
+    Existing payload files are unlinked first so a re-save writes fresh
+    inodes: live memory maps of a previously loaded index keep reading
+    the old (still-valid) data instead of seeing bytes change -- or fault
+    -- under them.
+    """
+    payload = {}
+    for name, arr in arrays.items():
+        fname = f"{name}.npy"
+        (directory / fname).unlink(missing_ok=True)
+        np.save(directory / fname, np.ascontiguousarray(arr))
+        payload[name] = fname
+    return payload
+
+
+def save_index(
+    index: "GridIndex | MultiSpaceTree",
+    path: str | Path,
+    *,
+    data=None,
+    data_path: str | Path | None = None,
+) -> Path:
+    """Persist an index (and optionally its dataset) to a directory.
+
+    Parameters
+    ----------
+    index:
+        A built :class:`GridIndex` or :class:`MultiSpaceTree`.
+    path:
+        Target directory (created; an existing index there is replaced).
+    data:
+        Dataset to **embed** as ``data.npy`` -- an ndarray, a
+        :class:`~repro.data.source.DatasetSource`, or a path coercible by
+        :func:`~repro.data.source.as_source`.  Sources are streamed in
+        row blocks, never materialized.
+    data_path:
+        Dataset to **reference** by path instead of copying (stored
+        verbatim; relative paths resolve against the index directory at
+        load time).  Mutually exclusive with ``data``.
+    """
+    if data is not None and data_path is not None:
+        raise ValueError("pass data (embed) or data_path (reference), not both")
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    stale = path / HEADER_NAME
+    if stale.exists():
+        stale.unlink()  # never leave a header describing replaced payloads
+
+    header: dict = {"magic": MAGIC, "version": FORMAT_VERSION}
+    if isinstance(index, GridIndex):
+        header["kind"] = "grid"
+        header["scalars"] = {
+            "eps": float(index.eps),
+            "n_points": int(index.n_points),
+            "n_dims_data": int(index.n_dims_data),
+            "r": int(index.r),
+        }
+        header["arrays"] = _save_arrays(
+            path,
+            {
+                "order": index.order,
+                "sort": index._sort,
+                "starts": index._starts,
+                "ends": index._ends,
+                "unique": index._unique,
+            },
+        )
+    elif isinstance(index, MultiSpaceTree):
+        header["kind"] = "mstree"
+        header["scalars"] = {
+            "eps": float(index.eps),
+            "n_points": int(index.n_points),
+            "dims": int(index.dims),
+            "construction_evaluations": int(index.construction_evaluations),
+        }
+        arrays: dict[str, np.ndarray] = {}
+        levels = []
+        for k, level in enumerate(index.levels):
+            arrays[f"level_{k:02d}_bins"] = level.bins
+            entry = {"kind": level.kind, "param": int(level.param)}
+            if level.pivot_point is not None:
+                arrays[f"level_{k:02d}_pivot"] = level.pivot_point
+                entry["pivot"] = f"level_{k:02d}_pivot"
+            levels.append(entry)
+        header["levels"] = levels
+        header["arrays"] = _save_arrays(path, arrays)
+    else:
+        raise TypeError(f"cannot persist index of type {type(index).__name__}")
+
+    if data is not None:
+        # Fresh inode for the same reason as _save_arrays.
+        (path / DATA_NAME).unlink(missing_ok=True)
+        as_source(data).write_npy(path / DATA_NAME)
+        header["data"] = DATA_NAME
+    elif data_path is not None:
+        header["data"] = str(data_path)
+
+    (path / HEADER_NAME).write_text(json.dumps(header, indent=2) + "\n")
+    # Replacing an index of a different shape (other kind, fewer tree
+    # levels) must not leave its dead payloads behind: drop every .npy
+    # the new header does not reference.
+    referenced = set(header["arrays"].values())
+    if header.get("data") == DATA_NAME:
+        referenced.add(DATA_NAME)
+    for stray in path.glob("*.npy"):
+        if stray.name not in referenced:
+            stray.unlink()
+    return path
+
+
+def read_header(path: str | Path) -> dict:
+    """Read and validate an index directory's header.
+
+    Raises :class:`ValueError` for anything that is not a compatible
+    persisted index: missing header, wrong magic, or a format version
+    this reader does not understand.
+    """
+    path = Path(path)
+    header_path = path / HEADER_NAME
+    if not header_path.is_file():
+        raise ValueError(f"{path} is not a persisted index (no {HEADER_NAME})")
+    try:
+        header = json.loads(header_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{header_path} is not valid JSON") from exc
+    if header.get("magic") != MAGIC:
+        raise ValueError(
+            f"{path}: bad magic {header.get('magic')!r} (expected {MAGIC!r})"
+        )
+    version = header.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported index format version {version!r} "
+            f"(this reader understands {FORMAT_VERSION})"
+        )
+    if header.get("kind") not in ("grid", "mstree"):
+        raise ValueError(f"{path}: unknown index kind {header.get('kind')!r}")
+    return header
+
+
+def load_index(path: str | Path, *, mmap: bool = True) -> LoadedIndex:
+    """Restore a persisted index from a directory.
+
+    ``mmap=True`` (the default) memory-maps every payload and serves an
+    embedded/referenced dataset through a mmap-backed
+    :class:`~repro.data.source.DatasetSource` -- queries gather only the
+    rows they touch, so the dataset is never re-read into RAM wholesale.
+    ``mmap=False`` loads everything resident.  Results are bit-identical
+    either way, and to the freshly built index.
+    """
+    path = Path(path)
+    header = read_header(path)
+    mode = "r" if mmap else None
+
+    def arr(name: str) -> np.ndarray:
+        return np.load(path / header["arrays"][name], mmap_mode=mode)
+
+    scalars = header["scalars"]
+    if header["kind"] == "grid":
+        index = GridIndex.__new__(GridIndex)
+        index._install(
+            eps=float(scalars["eps"]),
+            n_points=int(scalars["n_points"]),
+            n_dims_data=int(scalars["n_dims_data"]),
+            order=arr("order"),
+            r=int(scalars["r"]),
+            sort=arr("sort"),
+            starts=arr("starts"),
+            ends=arr("ends"),
+            unique=np.ascontiguousarray(arr("unique")),
+        )
+    else:
+        index = MultiSpaceTree.__new__(MultiSpaceTree)
+        index.eps = float(scalars["eps"])
+        index.n_points = int(scalars["n_points"])
+        index.dims = int(scalars["dims"])
+        index.construction_evaluations = int(
+            scalars["construction_evaluations"]
+        )
+        index.levels = []
+        for k, entry in enumerate(header["levels"]):
+            pivot = None
+            if "pivot" in entry:
+                pivot = np.asarray(
+                    np.load(path / header["arrays"][entry["pivot"]],
+                            mmap_mode=mode),
+                    dtype=np.float64,
+                )
+            index.levels.append(
+                _Level(
+                    kind=entry["kind"],
+                    param=int(entry["param"]),
+                    bins=arr(f"level_{k:02d}_bins"),
+                    pivot_point=pivot,
+                )
+            )
+
+    source: DatasetSource | None = None
+    if "data" in header:
+        data_ref = Path(header["data"])
+        if not data_ref.is_absolute():
+            data_ref = path / data_ref
+        if not data_ref.exists():
+            raise ValueError(f"{path}: referenced dataset {data_ref} is missing")
+        source = as_source(data_ref)
+        if not mmap:
+            from repro.data.source import ArraySource
+
+            source = ArraySource(source.materialize())
+
+    return LoadedIndex(
+        index=index,
+        kind=header["kind"],
+        eps=float(scalars["eps"]),
+        path=path,
+        source=source,
+        header=header,
+    )
+
+
+__all__ = [
+    "MAGIC",
+    "FORMAT_VERSION",
+    "HEADER_NAME",
+    "DATA_NAME",
+    "LoadedIndex",
+    "save_index",
+    "load_index",
+    "read_header",
+]

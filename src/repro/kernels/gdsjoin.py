@@ -23,9 +23,11 @@ import numpy as np
 
 from repro.core.engine import (
     GROUP_CHUNK_ELEMS,
+    SourceWorkView,
     StreamStats,
     TilePlan,
     WorkerPlan,
+    batch_params_from_stats,
     batched_candidate_self_join,
     candidate_join,
     candidate_self_join,
@@ -103,6 +105,7 @@ class GdsJoinKernel:
         *,
         store_distances: bool = True,
         batched: bool = False,
+        batch_params: dict | None = None,
         workers: "int | str | WorkerPlan | None" = 0,
     ) -> GdsJoinResult:
         """Index-supported self-join; returns result + cost statistics.
@@ -119,7 +122,12 @@ class GdsJoinKernel:
         group order, so the parallel result is bit-identical to serial
         (pair-set-equal in batched mode, as for batching itself).  The
         candidate tally and profiling sample ride along via the
-        ``on_group`` hook in every mode.
+        ``on_group`` hook in every mode.  Batched-executor knobs are
+        derived from the grid's measured group-size moments
+        (:func:`repro.core.engine.batch_params_from_stats` over
+        ``GridIndex.stats()``); ``batch_params`` overrides any of them
+        (``batch_elems`` / ``max_batch_groups`` / ``single_elems`` /
+        ``min_fill``) verbatim.
         """
         data = np.ascontiguousarray(data, dtype=np.float64)
         n = data.shape[0]
@@ -161,6 +169,9 @@ class GdsJoinKernel:
                 nonlocal total_candidates
                 total_candidates += members.size * candidates.size
 
+            params = batch_params_from_stats(
+                index.stats(), **(batch_params or {})
+            )
             if wp.parallel:
                 acc = process_candidate_self_join(
                     index.iter_cells(order="size"),
@@ -171,6 +182,7 @@ class GdsJoinKernel:
                     on_group=tally,
                     workers=wp,
                     batched=True,
+                    batch_params=params,
                 )
             else:
                 acc = batched_candidate_self_join(
@@ -180,6 +192,7 @@ class GdsJoinKernel:
                     eps2,
                     store_distances=store_distances,
                     on_group=tally,
+                    **params,
                 )
             return self._finalize(acc, data, eps, total_candidates, sample_i, sample_j, index)
 
@@ -239,6 +252,8 @@ class GdsJoinKernel:
         store_distances: bool = True,
         row_block: int = 65536,
         memory_budget_bytes: int | None = None,
+        batched: bool = False,
+        batch_params: dict | None = None,
     ) -> tuple[GdsJoinResult, StreamStats]:
         """Self-join against a source: out-of-core grid build + row gathers.
 
@@ -253,6 +268,15 @@ class GdsJoinKernel:
         tests/test_two_source.py).  The short-circuit profile is measured
         on the gathered sample rows, so the timing statistics ride along
         as usual.
+
+        ``batched=True`` routes the groups through the padded-batch-GEMM
+        executor with the ``take()`` gathers **batched**: a
+        :class:`~repro.core.engine.SourceWorkView` stands in for the
+        resident work arrays, so each flush issues one concatenated
+        gather per side instead of one per group -- the pair set matches
+        the per-group source path (the batched executor's usual
+        contract), with knobs derived from ``GridIndex.stats()`` and
+        overridable via ``batch_params``.
 
         Returns ``(GdsJoinResult, StreamStats)``; the stats account the
         build passes' block loads plus the executor's transient gathers.
@@ -280,6 +304,42 @@ class GdsJoinKernel:
                 take = min(candidates.size, 32)
                 sample_i.append(np.repeat(members, take))
                 sample_j.append(np.tile(candidates[:take], members.size))
+
+        if batched:
+            # Sample in lex order (as the per-group path draws it) before
+            # handing the size-sorted groups to the batched executor --
+            # same convention as the in-memory batched mode.
+            for members, candidates in index.iter_cells():
+                if len(sample_i) >= 64:
+                    break
+                if members.size and candidates.size:
+                    on_group(members, candidates)
+            total_candidates = 0  # re-tallied in full by the executor
+
+            def tally(members: np.ndarray, candidates: np.ndarray) -> None:
+                nonlocal total_candidates
+                total_candidates += members.size * candidates.size
+
+            params = batch_params_from_stats(
+                index.stats(), **(batch_params or {})
+            )
+            view = SourceWorkView(source, self._dtype, stats=stats)
+            try:
+                acc = batched_candidate_self_join(
+                    index.iter_cells(order="size"),
+                    view.work,
+                    view.sq_norms,
+                    eps2,
+                    store_distances=store_distances,
+                    on_group=tally,
+                    **params,
+                )
+            finally:
+                view.close()
+            result = self._finalize_source(
+                acc, source, eps, total_candidates, sample_i, sample_j, index
+            )
+            return result, stats
 
         # Same member-gather memoization as the in-memory path: the engine
         # chunks wide candidate lists, re-calling dist() with the same

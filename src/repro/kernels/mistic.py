@@ -16,6 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.engine import (
+    SourceWorkView,
     StreamStats,
     TilePlan,
     WorkerPlan,
@@ -168,6 +169,8 @@ class MisticKernel:
         group: int = 512,
         row_block: int = 65536,
         memory_budget_bytes: int | None = None,
+        batched: bool = False,
+        batch_params: dict | None = None,
     ) -> tuple[MisticResult, StreamStats]:
         """Self-join against a source: streamed tree build + row gathers.
 
@@ -178,7 +181,13 @@ class MisticKernel:
         on demand with ``source.take``; per-row FP32 conversion and norms
         match the in-memory precompute bit for bit, so the result is
         bit-identical to :meth:`self_join` on the materialized data
-        (pinned by tests/test_two_source.py).
+        (pinned by tests/test_two_source.py).  ``batched=True`` fuses
+        small groups into padded batch GEMMs with the ``take()`` gathers
+        batched per flush (:class:`~repro.core.engine.SourceWorkView`,
+        einsum norms matching this kernel's precompute; pair-set
+        contract).  The tree has no ``stats()`` moments, so the knobs
+        stay at the engine's static defaults unless ``batch_params``
+        overrides them.
         """
         from repro.data.source import as_source
 
@@ -193,25 +202,40 @@ class MisticKernel:
         )
         eps2 = np.float32(float(eps) ** 2)
 
-        def dist(members: np.ndarray, candidates: np.ndarray) -> np.ndarray:
-            wm = source.take(members).astype(np.float32)
-            wc = source.take(candidates).astype(np.float32)
-            stats._acquire(wm.nbytes + wc.nbytes)
+        if batched:
+            view = SourceWorkView(source, np.float32, norm="einsum", stats=stats)
             try:
-                return norm_expansion_sq_dists(
-                    np.einsum("nd,nd->n", wm, wm),
-                    np.einsum("nd,nd->n", wc, wc),
-                    wm @ wc.T,
+                acc = batched_candidate_self_join(
+                    tree.iter_groups(group=group),
+                    view.work,
+                    view.sq_norms,
+                    eps2,
+                    store_distances=store_distances,
+                    **(batch_params or {}),
                 )
             finally:
-                stats._release(wm.nbytes + wc.nbytes)
+                view.close()
+        else:
 
-        acc = candidate_self_join(
-            tree.iter_groups(group=group),
-            dist,
-            eps2,
-            store_distances=store_distances,
-        )
+            def dist(members: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+                wm = source.take(members).astype(np.float32)
+                wc = source.take(candidates).astype(np.float32)
+                stats._acquire(wm.nbytes + wc.nbytes)
+                try:
+                    return norm_expansion_sq_dists(
+                        np.einsum("nd,nd->n", wm, wm),
+                        np.einsum("nd,nd->n", wc, wc),
+                        wm @ wc.T,
+                    )
+                finally:
+                    stats._release(wm.nbytes + wc.nbytes)
+
+            acc = candidate_self_join(
+                tree.iter_groups(group=group),
+                dist,
+                eps2,
+                store_distances=store_distances,
+            )
         result = acc.finalize(n, float(eps))
         total_candidates = tree.total_candidates()
         rng = np.random.default_rng(self.seed)

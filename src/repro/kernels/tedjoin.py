@@ -27,9 +27,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.engine import (
+    SourceWorkView,
     StreamStats,
     TilePlan,
     WorkerPlan,
+    batch_params_from_stats,
     batched_candidate_self_join,
     candidate_join,
     candidate_self_join,
@@ -226,6 +228,7 @@ class TedJoinKernel:
         store_distances: bool = True,
         workers: "int | str | WorkerPlan | None" = 0,
         batched: bool = False,
+        batch_params: dict | None = None,
         row_block: int | None = None,
         plan: TilePlan | None = None,
     ) -> TedJoinResult:
@@ -244,7 +247,10 @@ class TedJoinKernel:
         either way.  ``batched`` routes the index variant through the
         padded batch-GEMM executor
         (:func:`repro.core.engine.batched_candidate_self_join`) -- same
-        pair set, faster at small eps.  ``row_block`` (brute) defaults to
+        pair set, faster at small eps, with knobs derived from the grid's
+        measured group moments
+        (:func:`repro.core.engine.batch_params_from_stats`; override any
+        of them via ``batch_params``).  ``row_block`` (brute) defaults to
         the worker plan's cache-fit edge; ``plan`` overrides the brute
         tile geometry outright (e.g. the device schedule from
         :meth:`tile_plan`).  The modeled hardware cost is unchanged:
@@ -296,6 +302,11 @@ class TedJoinKernel:
             padded = (-(-members.size // 8) * 8) * (-(-candidates.size // 8) * 8)
             total_candidates += padded
 
+        params = (
+            batch_params_from_stats(index.stats(), **(batch_params or {}))
+            if batched
+            else None
+        )
         if wp.parallel:
             acc = process_candidate_self_join(
                 index.iter_cells(order="size" if batched else "lex"),
@@ -306,6 +317,7 @@ class TedJoinKernel:
                 on_group=on_group,
                 workers=wp,
                 batched=batched,
+                batch_params=params,
             )
         elif batched:
             acc = batched_candidate_self_join(
@@ -315,6 +327,7 @@ class TedJoinKernel:
                 eps2,
                 store_distances=store_distances,
                 on_group=on_group,
+                **params,
             )
         else:
 
@@ -496,6 +509,8 @@ class TedJoinKernel:
         store_distances: bool = True,
         row_block: int = 65536,
         memory_budget_bytes: int | None = None,
+        batched: bool = False,
+        batch_params: dict | None = None,
     ) -> tuple[TedJoinResult, StreamStats]:
         """Index-variant self-join against a source (out-of-core grid build).
 
@@ -505,7 +520,11 @@ class TedJoinKernel:
         member/candidate rows on demand with ``source.take``.  Per-row
         norms and per-group GEMM shapes are unchanged, so the result is
         bit-identical to :meth:`self_join` on the materialized data
-        (pinned by tests/test_two_source.py).
+        (pinned by tests/test_two_source.py).  ``batched=True`` fuses the
+        groups into padded batch GEMMs with the ``take()`` gathers
+        batched per flush (:class:`~repro.core.engine.SourceWorkView`;
+        pair-set contract, knobs from ``GridIndex.stats()`` overridable
+        via ``batch_params``).
         """
         if self.variant != "index":
             raise ValueError(
@@ -533,24 +552,43 @@ class TedJoinKernel:
             padded = (-(-members.size // 8) * 8) * (-(-candidates.size // 8) * 8)
             total_candidates += padded
 
-        def dist(members: np.ndarray, candidates: np.ndarray) -> np.ndarray:
-            dm = source.take(members)
-            dc = source.take(candidates)
-            stats._acquire(dm.nbytes + dc.nbytes)
+        if batched:
+            params = batch_params_from_stats(
+                index.stats(), **(batch_params or {})
+            )
+            view = SourceWorkView(source, np.float64, stats=stats)
             try:
-                return norm_expansion_sq_dists(
-                    (dm * dm).sum(axis=1), (dc * dc).sum(axis=1), dm @ dc.T
+                acc = batched_candidate_self_join(
+                    index.iter_cells(order="size"),
+                    view.work,
+                    view.sq_norms,
+                    eps2,
+                    store_distances=store_distances,
+                    on_group=on_group,
+                    **params,
                 )
             finally:
-                stats._release(dm.nbytes + dc.nbytes)
+                view.close()
+        else:
 
-        acc = candidate_self_join(
-            index.iter_cells(),
-            dist,
-            eps2,
-            store_distances=store_distances,
-            on_group=on_group,
-        )
+            def dist(members: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+                dm = source.take(members)
+                dc = source.take(candidates)
+                stats._acquire(dm.nbytes + dc.nbytes)
+                try:
+                    return norm_expansion_sq_dists(
+                        (dm * dm).sum(axis=1), (dc * dc).sum(axis=1), dm @ dc.T
+                    )
+                finally:
+                    stats._release(dm.nbytes + dc.nbytes)
+
+            acc = candidate_self_join(
+                index.iter_cells(),
+                dist,
+                eps2,
+                store_distances=store_distances,
+                on_group=on_group,
+            )
         result = TedJoinResult(
             result=acc.finalize(n, float(eps)),
             total_candidates=total_candidates,

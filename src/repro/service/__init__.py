@@ -1,0 +1,36 @@
+"""Query-serving subsystem: build-once / query-many over persisted indexes.
+
+The batch layers (PRs 1-4) answer one join per invocation and rebuild
+their index every time.  This package is the serving layer on top of the
+same bit-exact machinery: :class:`QueryEngine` answers batched range and
+kNN queries against a persisted or in-memory index
+(:mod:`repro.index.persist`), :class:`IndexCache` keeps loaded indexes
+hot behind an LRU, and :class:`QueryService` coalesces concurrent small
+queries into single executor batches and exposes the whole thing over
+JSON-HTTP (``python -m repro serve``).  See the "Query serving" section
+of docs/ARCHITECTURE.md.
+"""
+
+from repro.service.query import (
+    KnnResult,
+    QueryEngine,
+    brute_range_query,
+    sample_queries,
+)
+from repro.service.server import (
+    IndexCache,
+    QueryService,
+    make_server,
+    run_self_test,
+)
+
+__all__ = [
+    "QueryEngine",
+    "KnnResult",
+    "brute_range_query",
+    "sample_queries",
+    "IndexCache",
+    "QueryService",
+    "make_server",
+    "run_self_test",
+]

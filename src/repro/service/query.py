@@ -1,0 +1,511 @@
+"""Batched range/kNN query engine over a persisted or in-memory index.
+
+The serving counterpart of the batch join API: a :class:`QueryEngine`
+binds one index (grid or multi-space tree -- freshly built, or restored
+by :mod:`repro.index.persist`) to the dataset it was built over and
+answers **external** queries through the same engine executors the joins
+run on:
+
+* :meth:`QueryEngine.range_query` -- eps-neighbors of a batch of query
+  points.  Queries are grouped by index cell (``iter_join_groups``) and
+  evaluated by :func:`repro.core.engine.candidate_join` (per-group GEMMs)
+  or :func:`repro.core.engine.batched_candidate_join` (padded batch
+  GEMMs), emitting into a :class:`~repro.core.results.PairAccumulator`.
+  At the default FP64 precision the result is **bit-identical** to the
+  dense brute-force reference (:func:`brute_range_query`) -- the same
+  contract the index-backed two-source joins carry
+  (tests/test_service.py pins it, loaded-from-disk indexes included);
+  FP32 carries the usual pair-set contract.
+
+* :meth:`QueryEngine.knn_query` -- k nearest neighbors via **expanding
+  radius**: candidates are probed at grid reach ``m`` (sound for radius
+  ``m * eps``; see ``GridIndex.candidates_of_cell``), a query resolves
+  once its k-th candidate distance is within ``m * eps`` (every point
+  that near is guaranteed to be a candidate, so the top-k is exact in
+  the working precision), and unresolved queries double ``m``.  The
+  starting reach comes from ``GridIndex.stats()``: the measured mean
+  candidate count at reach 1 is extrapolated by the ``(2m+1)^r / 3^r``
+  cell fan-out to the smallest reach expected to cover ``k``.
+
+The dataset side can stay **out of core**: a mmap-backed
+:class:`~repro.data.source.DatasetSource` (what ``load_index`` hands
+back) serves candidate rows through ``take`` gathers, touching only the
+rows queries actually hit.  ``workers=`` follows the engine convention
+(:class:`~repro.core.engine.WorkerPlan`; the fork-based candidate pool
+needs a resident dataset and is ignored for source-backed data).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.engine import (
+    GROUP_CHUNK_ELEMS,
+    SourceWorkView,
+    WorkerPlan,
+    batched_candidate_join,
+    candidate_join,
+    norm_expansion_sq_dists,
+    process_candidate_self_join,
+)
+from repro.core.results import JoinResult, PairAccumulator
+from repro.data.source import ArraySource, DatasetSource, as_source
+from repro.index.grid import GridIndex
+from repro.index.mstree import MultiSpaceTree
+from repro.index.persist import LoadedIndex, load_index
+
+#: Query rows per tree group (mirrors MultiSpaceTree.iter_join_groups).
+_TREE_GROUP = 1024
+
+#: kNN expansion cap on the derived starting reach (the loop still
+#: doubles past it when needed).
+_MAX_START_REACH = 8
+
+
+@dataclass
+class KnnResult:
+    """Batched kNN answer: per-query neighbor indices and distances.
+
+    ``indices[q]`` holds the ``k`` nearest dataset rows of query ``q`` in
+    ascending (squared distance, index) order -- the index tie-break makes
+    results deterministic; ``sq_dists`` parallels it.  When the dataset
+    has fewer than ``k`` points the tail is padded with ``-1`` indices
+    and ``+inf`` distances.
+    """
+
+    k: int
+    n_points: int
+    indices: np.ndarray  # (n_queries, k) int64, -1 padded
+    sq_dists: np.ndarray  # (n_queries, k) float32, +inf padded
+
+    @property
+    def n_queries(self) -> int:
+        return self.indices.shape[0]
+
+
+def _as_queries(queries) -> np.ndarray:
+    q = np.ascontiguousarray(np.asarray(queries, dtype=np.float64))
+    if q.ndim == 1:
+        q = q[None, :]
+    if q.ndim != 2:
+        raise ValueError("queries must be (q, d) or a single (d,) point")
+    return q
+
+
+def sample_queries(data, eps: float, n_queries: int, *, seed: int = 0) -> np.ndarray:
+    """Realistic query points: dataset rows jittered by ~``eps/4`` total.
+
+    The one definition of the synthetic serving workload shared by the
+    CLI demo (``python -m repro query``), the serve self-test, and the
+    ``query_service`` benchmark entry -- seed rows are drawn uniformly
+    and displaced by a Gaussian whose per-dimension scale shrinks with
+    ``sqrt(d)``, so queries land inside their seed row's neighborhood
+    and range answers are non-trivial.
+    """
+    src = as_source(data)
+    rng = np.random.default_rng(seed)
+    base = src.take(rng.integers(0, src.n, size=int(n_queries)))
+    scale = float(eps) / (4.0 * max(int(src.dim), 1) ** 0.5)
+    return base + rng.normal(0, scale, size=base.shape)
+
+
+def brute_range_query(
+    data,
+    queries,
+    eps: float,
+    *,
+    precision: str = "fp64",
+    store_distances: bool = True,
+    row_block: int = 1024,
+) -> JoinResult:
+    """Dense brute-force reference: eps-neighbors by full distance rows.
+
+    Computes each query block's distances to **every** dataset point via
+    the shared norm-expansion recombination in the requested working
+    precision -- the ground truth :meth:`QueryEngine.range_query` is
+    pinned against (bit-identical at FP64, pair-set at FP32).  Intended
+    for tests, benchmarks and small validation runs; it is O(q * n * d).
+    """
+    data = np.ascontiguousarray(as_source(data).materialize())
+    q = _as_queries(queries)
+    if q.shape[1] != data.shape[1]:
+        raise ValueError("query dimensionality does not match the dataset")
+    dtype = np.dtype(np.float32 if precision == "fp32" else np.float64)
+    wb = data.astype(dtype)
+    sb = (wb * wb).sum(axis=1)
+    wq = q.astype(dtype)
+    sq = (wq * wq).sum(axis=1)
+    eps2 = dtype.type(float(eps) ** 2)
+    acc = PairAccumulator(store_distances=store_distances)
+    for r0 in range(0, q.shape[0], row_block):
+        r1 = min(r0 + row_block, q.shape[0])
+        d2 = norm_expansion_sq_dists(sq[r0:r1], sb, wq[r0:r1] @ wb.T)
+        ii, jj = np.nonzero(d2 <= eps2)
+        dd = d2[ii, jj].astype(np.float32) if store_distances else None
+        acc.append(ii.astype(np.int64) + r0, jj.astype(np.int64), dd)
+    return acc.finalize_join(q.shape[0], data.shape[0], float(eps))
+
+
+class QueryEngine:
+    """Build-once / query-many engine over one index + its dataset.
+
+    Parameters
+    ----------
+    index:
+        A built :class:`GridIndex` or :class:`MultiSpaceTree`, a
+        :class:`~repro.index.persist.LoadedIndex`, or a path to a
+        persisted index directory (loaded mmap-backed).
+    data:
+        The dataset the index was built over -- ndarray,
+        :class:`~repro.data.source.DatasetSource`, or path.  Optional
+        when a persisted index carries its dataset; passing it overrides
+        the embedded one.
+    precision:
+        ``"fp64"`` (default -- range queries bit-identical to the brute
+        reference) or ``"fp32"`` (pair-set contract, half the memory
+        traffic).
+    workers:
+        Default engine worker request for queries
+        (:meth:`~repro.core.engine.WorkerPlan.resolve`); per-call
+        ``workers=`` overrides it.
+    mmap:
+        Only used when ``index`` is a path: forwarded to
+        :func:`~repro.index.persist.load_index`.
+    candidate_cache_bytes:
+        Source-backed (mmap/chunked) datasets only: budget for the
+        engine's LRU of gathered candidate blocks (rows + norms, keyed by
+        the candidate index set).  Serving workloads hit the same hot
+        cells over and over; a hit skips the ``take`` gather and the norm
+        recompute entirely, which is most of a warm query's cost.  The
+        cached values are exactly what a fresh gather produces (row-local
+        ops), so results are unchanged.  ``0`` disables the cache.
+    """
+
+    def __init__(
+        self,
+        index,
+        data=None,
+        *,
+        precision: str = "fp64",
+        workers: "int | str | WorkerPlan | None" = 0,
+        mmap: bool = True,
+        candidate_cache_bytes: int = 64 << 20,
+    ) -> None:
+        if precision not in ("fp32", "fp64"):
+            raise ValueError("precision must be 'fp32' or 'fp64'")
+        if isinstance(index, (str, Path)):
+            index = load_index(index, mmap=mmap)
+        source: DatasetSource | None = None
+        if isinstance(index, LoadedIndex):
+            source = index.source
+            index = index.index
+        if not isinstance(index, (GridIndex, MultiSpaceTree)):
+            raise TypeError(f"unsupported index type {type(index).__name__}")
+        if data is not None:
+            source = as_source(data)
+        if source is None:
+            raise ValueError(
+                "no dataset: the index was persisted without one -- pass "
+                "data= (array, source, or path)"
+            )
+        self.index = index
+        self.kind = "grid" if isinstance(index, GridIndex) else "mstree"
+        self.eps = float(index.eps)
+        self.precision = precision
+        self.dtype = np.dtype(np.float32 if precision == "fp32" else np.float64)
+        self.workers = workers
+        self.source = source
+        n = int(source.n)
+        if n != int(index.n_points):
+            raise ValueError(
+                f"dataset has {n} rows but the index covers {index.n_points}"
+            )
+        self.n_points = n
+        self.dim = int(source.dim)
+        # Resident fast path: an in-memory dataset is converted once and
+        # candidate rows are sliced; mmap/chunked sources stay on disk and
+        # are gathered per group (touched rows only).
+        self._resident = isinstance(source, ArraySource)
+        if self._resident:
+            work = source.materialize().astype(self.dtype)
+            self._work = work
+            self._sq = (work * work).sum(axis=1)
+        else:
+            self._work = self._sq = None
+        self._stats = None  # lazy GridIndex.stats() (kNN starting reach)
+        self._chunk = max(1, GROUP_CHUNK_ELEMS // max(self.dim, 1))
+        # Candidate-block LRU for source-backed data (see class docstring).
+        # Engines are shared across threads (IndexCache + the HTTP
+        # server's connection threads), so every cache mutation holds the
+        # lock; the gather itself runs outside it (a racing duplicate
+        # gather is wasted work, not corruption).
+        self._cand_cache_bytes = int(candidate_cache_bytes)
+        self._cand_cache: "OrderedDict[bytes, tuple[np.ndarray, np.ndarray]]" = (
+            OrderedDict()
+        )
+        self._cand_cache_used = 0
+        self._cand_cache_lock = threading.Lock()
+
+    def _gather_candidates(
+        self, cand: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Rows + norms of a candidate index set, LRU-cached by content.
+
+        Keying on a digest of the index bytes makes repeat queries into
+        the same cells (the serving hot path) skip both the ``take``
+        gather and the norm recompute; values are bitwise what a fresh
+        gather yields, so caching never changes an answer.  Thread-safe.
+        """
+        if self._cand_cache_bytes <= 0:
+            wc = self.source.take(cand)
+            if wc.dtype != self.dtype:
+                wc = wc.astype(self.dtype)
+            return wc, (wc * wc).sum(axis=1)
+        key = hashlib.blake2b(
+            np.ascontiguousarray(cand).tobytes(), digest_size=16
+        ).digest()
+        with self._cand_cache_lock:
+            hit = self._cand_cache.get(key)
+            if hit is not None:
+                self._cand_cache.move_to_end(key)
+                return hit
+        wc = self.source.take(cand)
+        if wc.dtype != self.dtype:
+            wc = wc.astype(self.dtype)
+        sc = (wc * wc).sum(axis=1)
+        with self._cand_cache_lock:
+            if key not in self._cand_cache:
+                self._cand_cache[key] = (wc, sc)
+                self._cand_cache_used += wc.nbytes + sc.nbytes
+            while (
+                self._cand_cache_used > self._cand_cache_bytes
+                and self._cand_cache
+            ):
+                _, (ow, os_) = self._cand_cache.popitem(last=False)
+                self._cand_cache_used -= ow.nbytes + os_.nbytes
+        return wc, sc
+
+    # ------------------------------------------------------------------
+
+    def _iter_groups(self, q: np.ndarray, reach: int = 1):
+        if self.kind == "grid":
+            return self.index.iter_join_groups(q, reach=reach)
+        return self.index.iter_join_groups(q, group=_TREE_GROUP, reach=reach)
+
+    def _query_state(self, q: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        wq = q.astype(self.dtype)
+        return wq, (wq * wq).sum(axis=1)
+
+    def _check_queries(self, queries) -> np.ndarray:
+        q = _as_queries(queries)
+        if q.shape[1] != self.dim:
+            raise ValueError(
+                f"query dimensionality {q.shape[1]} != indexed {self.dim}"
+            )
+        return q
+
+    def range_query(
+        self,
+        queries,
+        eps: float | None = None,
+        *,
+        workers: "int | str | WorkerPlan | None" = None,
+        batched: bool = False,
+        store_distances: bool = True,
+    ) -> JoinResult:
+        """eps-neighbors of each query point: pairs ``(query, data row)``.
+
+        ``eps`` defaults to the index's cell width and must not exceed it
+        (the +-1 cell / +-1 bin candidate window is only sound up to
+        there -- larger radii belong to an index built at that eps, which
+        is why the serving cache keys on the eps grid).  ``batched=True``
+        routes through the padded-batch-GEMM executor (pair-set
+        contract); the default per-group path is bit-identical to
+        :func:`brute_range_query` at FP64.  ``workers`` fans groups out
+        to the engine's fork-based candidate pool -- resident datasets
+        and the per-group path only (the two-source batched executor has
+        no process form, so ``batched=True`` runs serial); in-order
+        commit, bit-identical to serial.
+        """
+        q = self._check_queries(queries)
+        eps = self.eps if eps is None else float(eps)
+        if eps <= 0:
+            raise ValueError("eps must be positive")
+        if eps > self.eps:
+            raise ValueError(
+                f"eps={eps} exceeds the index cell width {self.eps}; "
+                "build (or load) an index at that radius"
+            )
+        # Square in float64 before any precision cast (the kernels'
+        # boundary-tie convention).
+        eps2 = self.dtype.type(float(eps) ** 2)
+        wq, sq = self._query_state(q)
+        wp = WorkerPlan.resolve(self.workers if workers is None else workers)
+        groups = self._iter_groups(q)
+
+        if self._resident:
+            work, s = self._work, self._sq
+            if wp.parallel and not batched:
+                acc = process_candidate_self_join(
+                    groups, wq, sq, eps2,
+                    store_distances=store_distances,
+                    candidate_chunk=self._chunk,
+                    workers=wp,
+                    drop_self=False,
+                    work_right=work,
+                    sq_norms_right=s,
+                )
+                return acc.finalize_join(q.shape[0], self.n_points, eps)
+            if batched:
+                acc = batched_candidate_join(
+                    groups, wq, sq, work, s, eps2,
+                    store_distances=store_distances,
+                )
+                return acc.finalize_join(q.shape[0], self.n_points, eps)
+
+            def dist(members: np.ndarray, cand: np.ndarray) -> np.ndarray:
+                return norm_expansion_sq_dists(
+                    sq[members], s[cand], wq[members] @ work[cand].T
+                )
+
+            acc = candidate_join(
+                groups, dist, eps2,
+                store_distances=store_distances,
+                candidate_chunk=self._chunk,
+            )
+            return acc.finalize_join(q.shape[0], self.n_points, eps)
+
+        # Source-backed (mmap/chunked) dataset: gather candidate rows on
+        # demand through the hot-cell LRU; norms per gather are row-local,
+        # hence bit-identical to a resident precompute.  The fork pool
+        # would re-open the source per child; stay on the gather path
+        # regardless of workers.
+        if batched:
+            view = SourceWorkView(self.source, self.dtype)
+            try:
+                acc = batched_candidate_join(
+                    groups, wq, sq, view.work, view.sq_norms, eps2,
+                    store_distances=store_distances,
+                )
+            finally:
+                view.close()
+            return acc.finalize_join(q.shape[0], self.n_points, eps)
+
+        def dist(members: np.ndarray, cand: np.ndarray) -> np.ndarray:
+            wc, sc = self._gather_candidates(cand)
+            return norm_expansion_sq_dists(sq[members], sc, wq[members] @ wc.T)
+
+        acc = candidate_join(
+            groups, dist, eps2,
+            store_distances=store_distances,
+            candidate_chunk=self._chunk,
+        )
+        return acc.finalize_join(q.shape[0], self.n_points, eps)
+
+    # ------------------------------------------------------------------
+
+    def _initial_reach(self, k: int) -> int:
+        """Smallest probe reach expected to cover ``k`` neighbors.
+
+        Grid indexes extrapolate the measured per-point candidate mean at
+        reach 1 (``GridIndex.stats()``) by the ``((2m+1)/3)^r`` growth of
+        the probe volume; trees start at 1 (their window intersection has
+        no comparable closed form).
+        """
+        if self.kind != "grid":
+            return 1
+        if self._stats is None:
+            self._stats = self.index.stats()
+        mean = max(self._stats.mean_candidates, 1e-9)
+        r = max(int(self.index.r), 1)
+        reach = 1
+        while (
+            reach < _MAX_START_REACH
+            and mean * ((2.0 * reach + 1.0) / 3.0) ** r < 4.0 * k
+        ):
+            reach += 1
+        return reach
+
+    def knn_query(self, queries, k: int) -> KnnResult:
+        """k nearest neighbors of each query point, expanding-eps search.
+
+        Distances are squared Euclidean in the engine's working precision;
+        ties break deterministically by dataset index.  Queries resolve
+        as soon as the probed reach provably covers their k-th neighbor
+        (see the module docstring); the rest re-probe at double reach,
+        degenerating to an exact brute pass when the probe reaches the
+        whole dataset.
+        """
+        q = self._check_queries(queries)
+        k = int(k)
+        if k <= 0:
+            raise ValueError("k must be positive")
+        nq = q.shape[0]
+        out_idx = np.full((nq, k), -1, dtype=np.int64)
+        out_d = np.full((nq, k), np.inf, dtype=np.float32)
+        if nq == 0 or self.n_points == 0:
+            return KnnResult(k=k, n_points=self.n_points, indices=out_idx, sq_dists=out_d)
+        kk = min(k, self.n_points)
+        wq, sq = self._query_state(q)
+
+        def fetch(cand: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+            if self._resident:
+                return self._work[cand], self._sq[cand]
+            return self._gather_candidates(cand)
+
+        unresolved = np.arange(nq)
+        reach = self._initial_reach(kk)
+        while unresolved.size:
+            radius2 = float(reach * self.eps) ** 2
+            still: list[np.ndarray] = []
+            for members, candidates in self._iter_groups(
+                q[unresolved], reach=reach
+            ):
+                gm = unresolved[members]  # global query rows
+                if candidates.size == 0:
+                    still.append(gm)
+                    continue
+                # Ascending candidate order: a stable distance sort
+                # then breaks ties by dataset index.
+                candidates = np.sort(candidates)
+                best_d = np.full((gm.size, kk), np.inf)
+                best_i = np.full((gm.size, kk), -1, dtype=np.int64)
+                chunk = max(kk, self._chunk)
+                for c0 in range(0, candidates.size, chunk):
+                    cand = candidates[c0 : c0 + chunk]
+                    wc, sc = fetch(cand)
+                    d2 = norm_expansion_sq_dists(
+                        sq[gm], sc, wq[gm] @ wc.T
+                    ).astype(np.float64, copy=False)
+                    cat_d = np.concatenate([best_d, d2], axis=1)
+                    cat_i = np.concatenate(
+                        [best_i, np.broadcast_to(cand, d2.shape)], axis=1
+                    )
+                    order = np.argsort(cat_d, axis=1, kind="stable")[:, :kk]
+                    rows = np.arange(gm.size)[:, None]
+                    best_d = cat_d[rows, order]
+                    best_i = cat_i[rows, order]
+                covered = candidates.size >= self.n_points
+                done = covered | (best_d[:, kk - 1] <= radius2)
+                sel = np.nonzero(done)[0]
+                if sel.size:
+                    out_idx[gm[sel], :kk] = best_i[sel]
+                    out_d[gm[sel], :kk] = best_d[sel].astype(np.float32)
+                if not done.all():
+                    still.append(gm[~done])
+            unresolved = (
+                np.concatenate(still) if still else np.empty(0, np.int64)
+            )
+            reach *= 2
+        return KnnResult(
+            k=k, n_points=self.n_points, indices=out_idx, sq_dists=out_d
+        )
+
+
+__all__ = ["QueryEngine", "KnnResult", "brute_range_query", "sample_queries"]

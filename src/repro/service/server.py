@@ -1,0 +1,611 @@
+"""Concurrent request layer: index cache, micro-batching, JSON-over-HTTP.
+
+Three pieces stack into the serving path:
+
+* :class:`IndexCache` -- a thread-safe LRU of loaded
+  :class:`~repro.service.query.QueryEngine`\\ s keyed by ``(resolved
+  path, eps)``: the eps ties the cache entry to the grid the index was
+  built at, so two indexes over the same dataset at different radii are
+  distinct entries.  Hits hand back the live engine (loading an index is
+  the expensive part a serving layer must amortize -- the
+  ``query_service`` benchmark entry measures exactly this against
+  rebuild-per-query).
+
+* :class:`QueryService` -- the **micro-batching queue**.  Concurrent
+  small queries against the same ``(engine, eps, kind, k)`` are drained
+  from one queue inside a short coalescing window, concatenated into a
+  single query matrix, answered by **one** executor batch, and split
+  back per request.  Batching changes only how many engine calls run --
+  at FP64 the split results are bit-identical to per-request serial
+  calls (same contract the join executors carry; tests/test_service.py
+  hammers one cached index from N threads and compares against serial).
+  Dispatch runs on one background thread; the engine call itself fans
+  out on the existing :class:`~repro.core.engine.WorkerPlan`.
+
+* :func:`make_server` -- stdlib-only JSON-over-HTTP
+  (``http.server.ThreadingHTTPServer``): ``POST /range`` and ``POST
+  /knn`` submit through the service (each HTTP connection thread is a
+  concurrent client, so the micro-batcher sees real concurrency), ``GET
+  /healthz`` and ``GET /stats`` report liveness and cache/batch
+  counters.  Only **registered** index names are served -- requests
+  cannot make the process open arbitrary filesystem paths.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+import time
+from collections import OrderedDict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.engine import WorkerPlan
+from repro.core.results import JoinResult
+from repro.index.persist import HEADER_NAME, read_header
+from repro.service.query import KnnResult, QueryEngine
+
+
+class IndexCache:
+    """Thread-safe LRU cache of :class:`QueryEngine`\\ s for persisted indexes.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum simultaneously loaded engines; the least recently used is
+        evicted past that (its mmap-backed arrays simply lose their last
+        reference).
+    mmap, precision, workers:
+        Forwarded to every :class:`QueryEngine` the cache constructs.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 4,
+        *,
+        mmap: bool = True,
+        precision: str = "fp64",
+        workers: "int | str | WorkerPlan | None" = 0,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._mmap = mmap
+        self._precision = precision
+        self._workers = workers
+        self._entries: "OrderedDict[tuple, QueryEngine]" = OrderedDict()
+        # Memo of (path, header mtime) -> eps so cache *hits* pay one
+        # stat, not a header read + JSON parse per request.
+        self._eps_memo: dict[tuple[str, int], float] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _key(self, path: str | Path) -> tuple[str, float, int]:
+        """Cache key ``(resolved path, eps, header mtime)``.
+
+        The mtime makes the key *fresh*: rebuilding an index at the same
+        path (``build_index`` rewrites the header last) changes the key,
+        so stale engines stop being served and age out of the LRU.  The
+        eps comes from a mtime-keyed memo -- the full header read (which
+        also validates magic/version) only happens the first time a
+        given on-disk state is seen.
+        """
+        resolved = Path(path).resolve()
+        try:
+            mtime = (resolved / HEADER_NAME).stat().st_mtime_ns
+        except OSError as exc:
+            raise ValueError(
+                f"{resolved} is not a persisted index (no {HEADER_NAME})"
+            ) from exc
+        probe = (str(resolved), mtime)
+        with self._lock:
+            eps = self._eps_memo.get(probe)
+        if eps is None:
+            header = read_header(resolved)
+            eps = float(header["scalars"]["eps"])
+            with self._lock:
+                if len(self._eps_memo) > 64 * max(self.capacity, 1):
+                    self._eps_memo.clear()  # stale-state entries, rebuild
+                self._eps_memo[probe] = eps
+        return str(resolved), eps, mtime
+
+    def get(self, path: str | Path) -> QueryEngine:
+        """Return the cached engine for a persisted index, loading on miss."""
+        key = self._key(path)
+        with self._lock:
+            engine = self._entries.get(key)
+            if engine is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return engine
+            self.misses += 1
+        # Load outside the lock -- the expensive part; a racing duplicate
+        # load is harmless (last writer wins, both engines are valid).
+        engine = QueryEngine(
+            key[0],
+            precision=self._precision,
+            workers=self._workers,
+            mmap=self._mmap,
+        )
+        with self._lock:
+            self._entries[key] = engine
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return engine
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "loaded": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+
+class _Pending:
+    """One in-flight request: an event the dispatcher fulfills."""
+
+    __slots__ = ("engine", "queries", "eps", "kind", "k", "_event", "_result", "_error")
+
+    def __init__(self, engine, queries, eps, kind, k) -> None:
+        self.engine = engine
+        self.queries = queries
+        self.eps = eps
+        self.kind = kind  # "range" | "knn"
+        self.k = k
+        self._event = threading.Event()
+        self._result = None
+        self._error: BaseException | None = None
+
+    def _fulfill(self, result) -> None:
+        self._result = result
+        self._event.set()
+
+    def _fail(self, exc: BaseException) -> None:
+        self._error = exc
+        self._event.set()
+
+    def result(self, timeout: float | None = None):
+        """Block until the dispatcher answers; re-raises its exception."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("query not answered within the timeout")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+
+class QueryService:
+    """Micro-batching dispatcher over cached query engines.
+
+    ``submit`` enqueues a request and returns a handle; a single
+    background thread drains the queue, coalesces compatible requests
+    (same engine, eps, query kind, and k) that arrive within
+    ``max_delay_s`` of the first -- or until ``max_batch_points`` query
+    rows are buffered -- into **one** engine call, and splits the answer
+    back per request.  Use as a context manager, or call
+    :meth:`start` / :meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        cache: IndexCache | None = None,
+        *,
+        max_batch_points: int = 4096,
+        max_delay_s: float = 0.002,
+        workers: "int | str | WorkerPlan | None" = 0,
+        precision: str = "fp64",
+        mmap: bool = True,
+        batched: bool = False,
+    ) -> None:
+        self.cache = cache or IndexCache(
+            precision=precision, workers=workers, mmap=mmap
+        )
+        self.max_batch_points = int(max_batch_points)
+        self.max_delay_s = float(max_delay_s)
+        self.workers = workers
+        self.batched = batched
+        self._queue: "queue.Queue[_Pending]" = queue.Queue()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._lifecycle_lock = threading.Lock()
+        self.batches_dispatched = 0
+        self.requests_served = 0
+        self.requests_coalesced = 0  # served in a batch with >= 2 requests
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "QueryService":
+        # Locked: concurrent first submits must not each spawn a
+        # dispatcher (two loops would split batches that should coalesce).
+        with self._lifecycle_lock:
+            if self._thread is None or not self._thread.is_alive():
+                self._stop.clear()
+                self._thread = threading.Thread(
+                    target=self._loop, name="repro-query-service", daemon=True
+                )
+                self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        # Fail anything still queued rather than leaving its waiters
+        # blocked until their own timeouts.
+        while True:
+            try:
+                pending = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            pending._fail(RuntimeError("query service stopped"))
+
+    def __enter__(self) -> "QueryService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- submission -----------------------------------------------------
+
+    def engine_for(self, index: "QueryEngine | str | Path") -> QueryEngine:
+        if isinstance(index, QueryEngine):
+            return index
+        return self.cache.get(index)
+
+    def submit(
+        self,
+        index: "QueryEngine | str | Path",
+        queries,
+        *,
+        eps: float | None = None,
+        k: int | None = None,
+    ) -> _Pending:
+        """Enqueue one range (``k=None``) or kNN query batch.
+
+        Starts the dispatcher if it is not running, so the service works
+        without an explicit :meth:`start` and a stopped service revives
+        on the next submission instead of queueing forever.
+        """
+        self.start()
+        engine = self.engine_for(index)
+        q = np.ascontiguousarray(np.asarray(queries, dtype=np.float64))
+        if q.ndim == 1:
+            q = q[None, :]
+        # Validate here, synchronously: a malformed request must fail its
+        # own submit, never poison the micro-batch it would coalesce into
+        # (the dispatcher concatenates group members blindly).
+        if q.ndim != 2 or q.shape[1] != engine.dim:
+            raise ValueError(
+                f"queries must be (q, {engine.dim}); got shape {q.shape}"
+            )
+        pending = _Pending(
+            engine,
+            q,
+            float(eps) if eps is not None else None,
+            "knn" if k is not None else "range",
+            int(k) if k is not None else None,
+        )
+        self._queue.put(pending)
+        return pending
+
+    def query(self, index, queries, *, eps=None, k=None, timeout=30.0):
+        """Blocking convenience: ``submit(...).result(timeout)``."""
+        return self.submit(index, queries, eps=eps, k=k).result(timeout)
+
+    def stats(self) -> dict:
+        return {
+            "cache": self.cache.stats(),
+            "batches_dispatched": self.batches_dispatched,
+            "requests_served": self.requests_served,
+            "requests_coalesced": self.requests_coalesced,
+        }
+
+    # -- dispatch loop --------------------------------------------------
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                first = self._queue.get(timeout=0.05)
+            except queue.Empty:
+                continue
+            batch = [first]
+            points = first.queries.shape[0]
+            deadline = time.monotonic() + self.max_delay_s
+            # Coalescing window: whatever lands in the queue while the
+            # window is open rides in this dispatch.
+            while points < self.max_batch_points:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    nxt = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                batch.append(nxt)
+                points += nxt.queries.shape[0]
+            self._dispatch(batch)
+
+    def _dispatch(self, batch: list[_Pending]) -> None:
+        groups: "OrderedDict[tuple, list[_Pending]]" = OrderedDict()
+        for req in batch:
+            key = (id(req.engine), req.eps, req.kind, req.k)
+            groups.setdefault(key, []).append(req)
+        for reqs in groups.values():
+            self.batches_dispatched += 1
+            self.requests_served += len(reqs)
+            if len(reqs) > 1:
+                self.requests_coalesced += len(reqs)
+            try:
+                self._run_group(reqs)
+            except BaseException as exc:  # propagate to every waiter
+                for req in reqs:
+                    req._fail(exc)
+
+    def _run_group(self, reqs: list[_Pending]) -> None:
+        engine = reqs[0].engine
+        cat = (
+            np.concatenate([r.queries for r in reqs])
+            if len(reqs) > 1
+            else reqs[0].queries
+        )
+        if reqs[0].kind == "knn":
+            res = engine.knn_query(cat, reqs[0].k)
+            off = 0
+            for req in reqs:
+                m = req.queries.shape[0]
+                req._fulfill(
+                    KnnResult(
+                        k=res.k,
+                        n_points=res.n_points,
+                        indices=res.indices[off : off + m],
+                        sq_dists=res.sq_dists[off : off + m],
+                    )
+                )
+                off += m
+            return
+        res = engine.range_query(cat, reqs[0].eps, workers=self.workers,
+                                 batched=self.batched)
+        off = 0
+        for req in reqs:
+            m = req.queries.shape[0]
+            sel = (res.pairs_i >= off) & (res.pairs_i < off + m)
+            sq = res.sq_dists[sel] if res.sq_dists.size else res.sq_dists
+            req._fulfill(
+                JoinResult(
+                    n_left=m,
+                    n_right=res.n_right,
+                    eps=res.eps,
+                    pairs_i=res.pairs_i[sel] - off,
+                    pairs_j=res.pairs_j[sel],
+                    sq_dists=sq,
+                )
+            )
+            off += m
+
+
+# ----------------------------------------------------------------------
+# JSON-over-HTTP front end (stdlib http.server)
+# ----------------------------------------------------------------------
+
+
+def _range_payload(res: JoinResult) -> dict:
+    """Group a range answer per query: neighbor lists + distances."""
+    order = np.lexsort((res.pairs_j, res.pairs_i))
+    pi = res.pairs_i[order]
+    pj = res.pairs_j[order]
+    counts = np.bincount(pi, minlength=res.n_left)
+    bounds = np.concatenate(([0], np.cumsum(counts)))
+    neighbors = [
+        pj[bounds[i] : bounds[i + 1]].tolist() for i in range(res.n_left)
+    ]
+    out = {"n_queries": int(res.n_left), "eps": res.eps, "neighbors": neighbors}
+    # Emit the key whenever distances are tracked -- including the
+    # zero-pair case (size 0 == 0 pairs), so the response shape does not
+    # flip on clients when a request happens to match nothing.
+    if res.sq_dists.size == res.pairs_i.size:
+        sd = res.sq_dists[order]
+        out["sq_dists"] = [
+            sd[bounds[i] : bounds[i + 1]].astype(float).tolist()
+            for i in range(res.n_left)
+        ]
+    return out
+
+
+def make_server(
+    indexes: "dict[str, str | Path]",
+    host: str = "127.0.0.1",
+    port: int = 8787,
+    *,
+    service: QueryService | None = None,
+    workers: "int | str | WorkerPlan | None" = 0,
+    precision: str = "fp64",
+) -> ThreadingHTTPServer:
+    """Build (but do not run) the JSON-over-HTTP query server.
+
+    ``indexes`` maps request-visible names to persisted index paths; the
+    paths are validated (header magic/version) eagerly so a bad registry
+    fails at startup, not on the first request.  Call
+    ``serve_forever()`` on the result (and ``shutdown()`` to stop); the
+    attached :class:`QueryService` is started with the server and
+    stopped when the server closes.
+    """
+    registry = {name: Path(p) for name, p in indexes.items()}
+    if not registry:
+        raise ValueError("at least one index must be registered")
+    for name, path in registry.items():
+        read_header(path)  # fail fast on bad registrations
+    svc = service or QueryService(workers=workers, precision=precision)
+
+    class Handler(BaseHTTPRequestHandler):
+        # Serving diagnostics go through the return payloads; the default
+        # per-request stderr line would swamp concurrent smoke runs.
+        def log_message(self, fmt, *args):  # noqa: N802 (stdlib name)
+            pass
+
+        def _send(self, code: int, payload: dict) -> None:
+            body = json.dumps(payload).encode()
+            self.send_response(code)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self) -> None:  # noqa: N802 (stdlib casing)
+            if self.path == "/healthz":
+                self._send(200, {"status": "ok", "indexes": sorted(registry)})
+            elif self.path == "/stats":
+                self._send(200, svc.stats())
+            else:
+                self._send(404, {"error": f"unknown path {self.path}"})
+
+        def do_POST(self) -> None:  # noqa: N802 (stdlib casing)
+            if self.path not in ("/range", "/knn"):
+                self._send(404, {"error": f"unknown path {self.path}"})
+                return
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+                req = json.loads(self.rfile.read(length) or b"{}")
+                name = req.get("index", "default")
+                if name not in registry:
+                    self._send(
+                        404, {"error": f"unknown index {name!r}",
+                              "indexes": sorted(registry)}
+                    )
+                    return
+                queries = np.asarray(req["queries"], dtype=np.float64)
+                if self.path == "/knn":
+                    res = svc.query(
+                        registry[name], queries, k=int(req.get("k", 1))
+                    )
+                    self._send(
+                        200,
+                        {
+                            "k": res.k,
+                            "indices": res.indices.tolist(),
+                            # Padding slots (k > n) carry +inf, which is
+                            # not valid JSON -- strict parsers reject
+                            # "Infinity"; send null there instead.
+                            "sq_dists": [
+                                [
+                                    float(x) if np.isfinite(x) else None
+                                    for x in row
+                                ]
+                                for row in res.sq_dists
+                            ],
+                        },
+                    )
+                else:
+                    res = svc.query(
+                        registry[name], queries, eps=req.get("eps")
+                    )
+                    self._send(200, _range_payload(res))
+            except (KeyError, TypeError, ValueError) as exc:
+                self._send(400, {"error": str(exc)})
+            except Exception as exc:  # noqa: BLE001 -- a JSON 500 beats a
+                # dropped connection (e.g. a dispatch TimeoutError).
+                self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    server = ThreadingHTTPServer((host, port), Handler)
+    server.service = svc  # type: ignore[attr-defined]
+    svc.start()
+    _orig_close = server.server_close
+
+    def _close() -> None:
+        svc.stop()
+        _orig_close()
+
+    server.server_close = _close  # type: ignore[method-assign]
+    return server
+
+
+def run_self_test(
+    index_path: str | Path, *, n_clients: int = 4, queries_per_client: int = 8
+) -> dict:
+    """One-shot serve smoke: spin up, hammer, verify, shut down.
+
+    Starts the HTTP server on an ephemeral port, fires ``n_clients``
+    concurrent client threads at ``/range`` and ``/knn`` for one cached
+    index, and verifies every HTTP answer against a direct serial
+    :class:`QueryEngine` call on the same points.  Returns a summary
+    dict (raises on any mismatch) -- the CI ``serve --self-test`` path.
+    """
+    import http.client
+
+    index_path = Path(index_path)
+    server = make_server({"default": index_path}, port=0)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    engine = server.service.cache.get(index_path)  # type: ignore[attr-defined]
+    from repro.service.query import sample_queries
+
+    all_queries = sample_queries(
+        engine.source, engine.eps, n_clients * queries_per_client, seed=0
+    )
+    errors: list[str] = []
+
+    def client(ci: int) -> None:
+        rows = all_queries[
+            ci * queries_per_client : (ci + 1) * queries_per_client
+        ]
+        try:
+            conn = http.client.HTTPConnection(host, port, timeout=30)
+            body = json.dumps({"index": "default", "queries": rows.tolist()})
+            conn.request("POST", "/range", body,
+                         {"Content-Type": "application/json"})
+            got = json.loads(conn.getresponse().read())
+            want = engine.range_query(rows)
+            want_sets = [set() for _ in range(rows.shape[0])]
+            for i, j in zip(want.pairs_i.tolist(), want.pairs_j.tolist()):
+                want_sets[i].add(j)
+            for i, neigh in enumerate(got["neighbors"]):
+                if set(neigh) != want_sets[i]:
+                    errors.append(f"client {ci}: range mismatch on query {i}")
+            conn.request(
+                "POST", "/knn",
+                json.dumps({"index": "default", "queries": rows.tolist(), "k": 3}),
+                {"Content-Type": "application/json"},
+            )
+            got_knn = json.loads(conn.getresponse().read())
+            want_knn = engine.knn_query(rows, 3)
+            if got_knn["indices"] != want_knn.indices.tolist():
+                errors.append(f"client {ci}: knn mismatch")
+            conn.close()
+        except Exception as exc:  # noqa: BLE001 -- surfaced in the summary
+            errors.append(f"client {ci}: {exc!r}")
+
+    threads = [
+        threading.Thread(target=client, args=(ci,)) for ci in range(n_clients)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    stats = server.service.stats()  # type: ignore[attr-defined]
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5.0)
+    if errors:
+        raise AssertionError("; ".join(errors))
+    return {
+        "clients": n_clients,
+        "queries_per_client": queries_per_client,
+        "stats": stats,
+    }
+
+
+__all__ = ["IndexCache", "QueryService", "make_server", "run_self_test"]

@@ -73,7 +73,7 @@ def test_readme_mentions_committed_bench_entries():
     assert "rz_sum_squares" in readme and "rz_sum_squares" in bench
     for key in (
         "streaming", "candidate_batched", "two_source", "streaming_index",
-        "workers",
+        "workers", "query_service",
     ):
         assert key in bench, f"BENCH_engine.json lost its `{key}` entry"
     assert bench["streaming"]["bit_identical"] is True
@@ -109,6 +109,38 @@ def test_two_source_bench_entries():
     idx = bench["streaming_index"]
     assert idx["bit_identical"] is True
     assert idx["build_blocks_loaded"] > 0
+
+
+def test_query_service_bench_entry():
+    """The serving entry keeps its contracts: bit-identity against the
+    brute reference and the 5x cached-vs-rebuild serving floor."""
+    bench = json.loads((REPO_ROOT / "BENCH_engine.json").read_text())
+    entry = bench["query_service"]
+    assert entry["bit_identical"] is True
+    assert entry["n"] == 4096 and entry["d"] == 64
+    assert entry["speedup"] >= 5.0, (
+        "cached-index serving no longer clears the 5x floor over "
+        "rebuild-per-request"
+    )
+    assert entry["cache"]["hits"] > 0
+
+
+def test_checker_resolves_nested_cli_commands():
+    """`index build` must check against the nested parser's flags."""
+    checker = _load_checker()
+    commands = checker._load_cli_commands()
+    assert "index build" in commands and "index info" in commands
+    assert "--kind" in commands["index build"]
+    nested = tuple({k.split()[0] for k in commands if " " in k})
+    calls = list(checker.iter_cli_invocations(
+        "run `python -m repro index build out --kind grid` then\n"
+        "`python -m repro index info out`\n",
+        nested,
+    ))
+    assert calls == [
+        (1, "index build", ["--kind"]),
+        (2, "index info", []),
+    ]
 
 
 def test_cli_two_source_help():

@@ -265,6 +265,69 @@ class TestNativeKernel:
         monkeypatch.setattr(native, "_tried", True)
         _assert_bits_equal(rz_sum_squares(pts), expected)
 
+    @pytest.mark.skipif(not native.available(), reason="no C compiler")
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 7))
+    @settings(max_examples=50, deadline=None)
+    def test_rz_sum_matches_oracle(self, seed, step):
+        """The general C kernel on safe (non-negative) inputs."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 30))
+        d = int(rng.integers(1, 70))
+        v = rng.uniform(0, 1e3, size=(n, d))
+        got = native.rz_sum_native(v, step)
+        assert got is not None, "non-negative normal-range input must be safe"
+        _assert_bits_equal(got, TestRzSumFastPaths._oracle_rz_sum(v, step))
+
+    @pytest.mark.skipif(not native.available(), reason="no C compiler")
+    def test_rz_sum_bails_outside_safe_range(self):
+        """Unsafe inputs return None and the NumPy fallback serves the
+        public entry with the oracle's exact bits."""
+        unsafe = [
+            np.random.default_rng(1).normal(size=(8, 33)),  # signed
+            np.array([[1.0, -1.0 + 2.0**-140, 2.0**-140, -(2.0**-141)]]),
+            np.array([[np.inf, 1.0, 2.0, 3.0]]),
+            np.array([[np.nan, 1.0, 2.0, 3.0]]),
+            np.array([[1e300, 1e300, 1e300, 1e300]]),
+        ]
+        for v in unsafe:
+            assert native.rz_sum_native(v, 4) is None
+            _assert_bits_equal(
+                rz_sum(v, step=4), TestRzSumFastPaths._oracle_rz_sum(v, 4)
+            )
+
+    @pytest.mark.skipif(not native.available(), reason="no C compiler")
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_rz_sum_public_entry_native_vs_numpy(self, seed):
+        """rz_sum must answer identically with the native kernel on and off
+        -- the same contract rz_sum_squares carries."""
+        rng = np.random.default_rng(seed)
+        shape = (int(rng.integers(1, 8)), int(rng.integers(1, 40)))
+        v = rng.uniform(0, 1e3, size=shape) * 10.0 ** rng.integers(-3, 4)
+        with_native = rz_sum(v, step=4)
+        saved_lib, saved_tried = native._lib, native._tried
+        native._lib, native._tried = None, True
+        try:
+            without_native = rz_sum(v, step=4)
+        finally:
+            native._lib, native._tried = saved_lib, saved_tried
+        _assert_bits_equal(without_native, with_native)
+
+    @pytest.mark.skipif(not native.available(), reason="no C compiler")
+    def test_rz_sum_shapes_and_steps(self):
+        """Rank handling (1-D, 3-D) and the >= 8 step guard."""
+        rng = np.random.default_rng(2)
+        one_d = rng.uniform(0, 10, size=17)
+        _assert_bits_equal(
+            rz_sum(one_d), TestRzSumFastPaths._oracle_rz_sum(one_d, 4)
+        )
+        three_d = rng.uniform(0, 10, size=(3, 4, 9))
+        _assert_bits_equal(
+            rz_sum(three_d), TestRzSumFastPaths._oracle_rz_sum(three_d, 4)
+        )
+        # Steps at or past the pairwise-reduction threshold stay on NumPy.
+        assert native.rz_sum_native(one_d[None], 8) is None
+
 
 class TestRzSum:
     def test_exact_small_integers(self):

@@ -1,0 +1,762 @@
+"""Query-serving subsystem: persistence, query engine, cache, server.
+
+The serving contracts, executable:
+
+* **Persistence round-trips** -- save/load for both index types, loaded
+  (mmap and in-RAM) indexes answering bit-identically to freshly built
+  ones, version/magic rejection.
+* **Query engine** -- ``range_query`` bit-identical to the dense
+  brute-force reference at FP64 (on loaded-from-disk indexes -- the
+  acceptance contract), pair-set at FP32/batched; ``knn_query`` exact
+  against a brute argsort, including the expanding-reach path.
+* **Serving layer** -- LRU cache accounting, micro-batch splitting, and
+  the concurrent smoke: N threads hammering one cached index through
+  the service and over HTTP must reproduce serial answers.
+"""
+
+import json
+import threading
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.api import build_index, open_index, query
+from repro.core.engine import batch_params_from_stats
+from repro.core.selectivity import epsilon_for_selectivity
+from repro.data.source import MmapNpySource, as_source
+from repro.index.grid import GridIndex
+from repro.index.mstree import MultiSpaceTree
+from repro.index.persist import (
+    FORMAT_VERSION,
+    HEADER_NAME,
+    load_index,
+    read_header,
+    save_index,
+)
+from repro.service import (
+    IndexCache,
+    KnnResult,
+    QueryEngine,
+    QueryService,
+    brute_range_query,
+    make_server,
+    run_self_test,
+)
+
+
+def _dataset(n=1500, d=24, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(0, 3.0, size=(6, d))
+    data = centers[rng.integers(0, 6, n)] + rng.normal(0, 0.7, size=(n, d))
+    eps = float(epsilon_for_selectivity(data, 16))
+    return data, eps
+
+
+def _queries(data, eps, nq=120, seed=3):
+    rng = np.random.default_rng(seed)
+    base = data[rng.integers(0, data.shape[0], size=nq)]
+    scale = eps / (4.0 * data.shape[1] ** 0.5)
+    return base + rng.normal(0, scale, size=base.shape)
+
+
+def _canon_join(res):
+    order = np.lexsort((res.pairs_j, res.pairs_i))
+    sq = res.sq_dists[order] if res.sq_dists.size else res.sq_dists
+    return res.pairs_i[order], res.pairs_j[order], sq
+
+
+def assert_joins_bit_identical(a, b):
+    ai, aj, ad = _canon_join(a)
+    bi, bj, bd = _canon_join(b)
+    np.testing.assert_array_equal(ai, bi)
+    np.testing.assert_array_equal(aj, bj)
+    assert np.array_equal(ad.view(np.uint32), bd.view(np.uint32))
+
+
+def assert_pair_sets_equal(a, b):
+    ai, aj, _ = _canon_join(a)
+    bi, bj, _ = _canon_join(b)
+    np.testing.assert_array_equal(ai, bi)
+    np.testing.assert_array_equal(aj, bj)
+
+
+def brute_knn(data, queries, k):
+    """Exact top-k by (squared distance, index) in float64."""
+    d2 = ((queries[:, None, :] - data[None, :, :]) ** 2).sum(axis=-1)
+    order = np.argsort(d2, axis=1, kind="stable")[:, :k]
+    return order
+
+
+@pytest.fixture(scope="module")
+def data_eps():
+    return _dataset()
+
+
+# ----------------------------------------------------------------------
+# Persistence round-trips
+# ----------------------------------------------------------------------
+
+
+class TestPersistence:
+    def test_grid_roundtrip_state(self, data_eps, tmp_path):
+        data, eps = data_eps
+        fresh = GridIndex(data, eps)
+        save_index(fresh, tmp_path / "g", data=data)
+        loaded = load_index(tmp_path / "g")
+        assert loaded.kind == "grid"
+        assert loaded.eps == eps
+        idx = loaded.index
+        np.testing.assert_array_equal(idx._sort, fresh._sort)
+        np.testing.assert_array_equal(idx._unique, fresh._unique)
+        np.testing.assert_array_equal(idx.order, fresh.order)
+        for (ma, ca), (mb, cb) in zip(fresh.iter_cells(), idx.iter_cells()):
+            np.testing.assert_array_equal(ma, mb)
+            np.testing.assert_array_equal(ca, cb)
+
+    def test_mstree_roundtrip_state(self, data_eps, tmp_path):
+        data, eps = data_eps
+        fresh = MultiSpaceTree(data, eps)
+        save_index(fresh, tmp_path / "t", data=data)
+        loaded = load_index(tmp_path / "t")
+        assert loaded.kind == "mstree"
+        assert len(loaded.index.levels) == len(fresh.levels)
+        for la, lb in zip(fresh.levels, loaded.index.levels):
+            assert la.kind == lb.kind and la.param == lb.param
+            np.testing.assert_array_equal(la.bins, lb.bins)
+            if la.pivot_point is not None:
+                np.testing.assert_array_equal(la.pivot_point, lb.pivot_point)
+
+    def test_loaded_query_bit_identical_to_fresh(self, data_eps, tmp_path):
+        data, eps = data_eps
+        q = _queries(data, eps)
+        for kind, index in (
+            ("grid", GridIndex(data, eps)),
+            ("mstree", MultiSpaceTree(data, eps)),
+        ):
+            save_index(index, tmp_path / kind, data=data)
+            fresh = QueryEngine(index, data).range_query(q)
+            loaded = QueryEngine(tmp_path / kind).range_query(q)
+            assert_joins_bit_identical(fresh, loaded)
+
+    def test_mmap_vs_in_ram_equivalence(self, data_eps, tmp_path):
+        data, eps = data_eps
+        q = _queries(data, eps)
+        save_index(GridIndex(data, eps), tmp_path / "g", data=data)
+        mm = QueryEngine(load_index(tmp_path / "g", mmap=True))
+        ram = QueryEngine(load_index(tmp_path / "g", mmap=False))
+        assert_joins_bit_identical(mm.range_query(q), ram.range_query(q))
+        km, kr = mm.knn_query(q, 4), ram.knn_query(q, 4)
+        np.testing.assert_array_equal(km.indices, kr.indices)
+        assert np.array_equal(
+            km.sq_dists.view(np.uint32), kr.sq_dists.view(np.uint32)
+        )
+
+    def test_version_mismatch_rejected(self, data_eps, tmp_path):
+        data, eps = data_eps
+        path = save_index(GridIndex(data, eps), tmp_path / "g", data=data)
+        header = json.loads((path / HEADER_NAME).read_text())
+        header["version"] = FORMAT_VERSION + 1
+        (path / HEADER_NAME).write_text(json.dumps(header))
+        with pytest.raises(ValueError, match="version"):
+            load_index(path)
+
+    def test_bad_magic_and_missing_header_rejected(self, data_eps, tmp_path):
+        data, eps = data_eps
+        path = save_index(GridIndex(data, eps), tmp_path / "g", data=data)
+        header = json.loads((path / HEADER_NAME).read_text())
+        header["magic"] = "not-an-index"
+        (path / HEADER_NAME).write_text(json.dumps(header))
+        with pytest.raises(ValueError, match="magic"):
+            read_header(path)
+        with pytest.raises(ValueError, match="not a persisted index"):
+            load_index(tmp_path)  # a directory without a header
+
+    def test_saved_without_data_requires_data(self, data_eps, tmp_path):
+        data, eps = data_eps
+        save_index(GridIndex(data, eps), tmp_path / "g")
+        loaded = load_index(tmp_path / "g")
+        assert loaded.source is None
+        with pytest.raises(ValueError, match="no dataset"):
+            QueryEngine(loaded)
+        q = _queries(data, eps, nq=40)
+        res = QueryEngine(loaded, data).range_query(q)
+        assert_joins_bit_identical(res, brute_range_query(data, q, eps))
+
+    def test_data_path_reference(self, data_eps, tmp_path):
+        data, eps = data_eps
+        np.save(tmp_path / "ds.npy", data)
+        save_index(
+            GridIndex(data, eps), tmp_path / "g",
+            data_path=tmp_path / "ds.npy",
+        )
+        loaded = load_index(tmp_path / "g")
+        assert isinstance(loaded.source, MmapNpySource)
+        assert loaded.source.n == data.shape[0]
+
+    def test_resave_removes_stale_payloads(self, data_eps, tmp_path):
+        """Replacing an index of a different shape leaves no dead .npy."""
+        data, eps = data_eps
+        save_index(MultiSpaceTree(data, eps), tmp_path / "g", data=data)
+        save_index(GridIndex(data, eps), tmp_path / "g", data=data)
+        names = {p.name for p in (tmp_path / "g").glob("*.npy")}
+        assert not any(n.startswith("level_") for n in names)
+        loaded = load_index(tmp_path / "g")
+        assert loaded.kind == "grid"
+        q = _queries(data, eps, nq=20)
+        assert_joins_bit_identical(
+            QueryEngine(loaded).range_query(q), brute_range_query(data, q, eps)
+        )
+
+    def test_streamed_data_embed(self, data_eps, tmp_path):
+        """Embedding from a source streams through write_npy."""
+        data, eps = data_eps
+        np.save(tmp_path / "ds.npy", data)
+        src = as_source(tmp_path / "ds.npy")
+        save_index(GridIndex(data, eps), tmp_path / "g", data=src)
+        loaded = load_index(tmp_path / "g")
+        np.testing.assert_array_equal(loaded.source.materialize(), data)
+
+
+# ----------------------------------------------------------------------
+# Query engine
+# ----------------------------------------------------------------------
+
+
+class TestRangeQuery:
+    @pytest.mark.parametrize("kind", ["grid", "mstree"])
+    def test_loaded_bit_identical_to_brute(self, data_eps, tmp_path, kind):
+        """The acceptance contract: range_query on a loaded-from-disk
+        index == dense FP64 brute force, bitwise."""
+        data, eps = data_eps
+        q = _queries(data, eps)
+        build_index(data, eps, tmp_path / kind, kind=kind)
+        res = QueryEngine(tmp_path / kind).range_query(q)
+        assert res.pairs_i.size > 0  # a vacuous comparison proves nothing
+        assert_joins_bit_identical(res, brute_range_query(data, q, eps))
+
+    def test_smaller_eps_and_validation(self, data_eps, tmp_path):
+        data, eps = data_eps
+        q = _queries(data, eps)
+        build_index(data, eps, tmp_path / "g")
+        eng = QueryEngine(tmp_path / "g")
+        small = eps * 0.6
+        assert_joins_bit_identical(
+            eng.range_query(q, small), brute_range_query(data, q, small)
+        )
+        with pytest.raises(ValueError, match="exceeds the index cell width"):
+            eng.range_query(q, eps * 1.5)
+        with pytest.raises(ValueError, match="positive"):
+            eng.range_query(q, -1.0)
+        with pytest.raises(ValueError, match="dimensionality"):
+            eng.range_query(q[:, :-1])
+
+    def test_batched_pair_set(self, data_eps, tmp_path):
+        data, eps = data_eps
+        q = _queries(data, eps)
+        build_index(data, eps, tmp_path / "g")
+        eng = QueryEngine(tmp_path / "g")
+        assert_pair_sets_equal(
+            eng.range_query(q), eng.range_query(q, batched=True)
+        )
+
+    def test_fp32_pair_set(self, data_eps, tmp_path):
+        data, eps = data_eps
+        q = _queries(data, eps)
+        build_index(data, eps, tmp_path / "g")
+        eng32 = QueryEngine(tmp_path / "g", precision="fp32")
+        ref = brute_range_query(data, q, eps, precision="fp32")
+        assert_pair_sets_equal(eng32.range_query(q), ref)
+
+    def test_workers_bit_identical(self, data_eps):
+        data, eps = data_eps
+        q = _queries(data, eps)
+        eng = QueryEngine(GridIndex(data, eps), data)
+        serial = eng.range_query(q, workers=0)
+        parallel = eng.range_query(q, workers=2)
+        assert_joins_bit_identical(serial, parallel)
+
+    def test_mmap_source_matches_resident(self, data_eps, tmp_path):
+        """Source-backed (gathered) evaluation == resident arrays."""
+        data, eps = data_eps
+        q = _queries(data, eps)
+        np.save(tmp_path / "ds.npy", data)
+        index = GridIndex(data, eps)
+        resident = QueryEngine(index, data).range_query(q)
+        gathered = QueryEngine(index, tmp_path / "ds.npy").range_query(q)
+        assert_joins_bit_identical(resident, gathered)
+
+    def test_single_point_query(self, data_eps):
+        data, eps = data_eps
+        eng = QueryEngine(GridIndex(data, eps), data)
+        res = eng.range_query(data[7])  # (d,) accepted as one query
+        assert res.n_left == 1
+        assert 7 in set(res.pairs_j.tolist())  # its own row is a match
+
+
+class TestKnnQuery:
+    @pytest.mark.parametrize("kind", ["grid", "mstree"])
+    def test_exact_vs_brute(self, data_eps, tmp_path, kind):
+        data, eps = data_eps
+        q = _queries(data, eps, nq=60)
+        build_index(data, eps, tmp_path / kind, kind=kind)
+        eng = QueryEngine(tmp_path / kind)
+        for k in (1, 5):
+            res = eng.knn_query(q, k)
+            np.testing.assert_array_equal(res.indices, brute_knn(data, q, k))
+
+    def test_far_queries_force_expansion(self, data_eps):
+        """Queries far outside the data must still resolve (reach growth)."""
+        data, eps = data_eps
+        rng = np.random.default_rng(9)
+        far = rng.normal(30.0, 1.0, size=(5, data.shape[1]))
+        eng = QueryEngine(GridIndex(data, eps), data)
+        res = eng.knn_query(far, 3)
+        np.testing.assert_array_equal(res.indices, brute_knn(data, far, 3))
+
+    def test_k_exceeding_n(self):
+        rng = np.random.default_rng(5)
+        data = rng.normal(size=(7, 4))
+        eng = QueryEngine(GridIndex(data, 1.0), data)
+        res = eng.knn_query(data[:3], 10)
+        assert res.indices.shape == (3, 10)
+        assert np.all(res.indices[:, :7] >= 0)
+        assert np.all(res.indices[:, 7:] == -1)
+        assert np.all(np.isinf(res.sq_dists[:, 7:]))
+
+    def test_self_is_nearest(self, data_eps):
+        data, eps = data_eps
+        eng = QueryEngine(GridIndex(data, eps), data)
+        res = eng.knn_query(data[:20], 1)
+        np.testing.assert_array_equal(res.indices[:, 0], np.arange(20))
+        # The norm expansion can leave ~1 ulp of cancellation residue on
+        # the self pair; "nearest" is what matters.
+        assert np.all(res.sq_dists[:, 0] <= 1e-10)
+
+    def test_invalid_k(self, data_eps):
+        data, eps = data_eps
+        eng = QueryEngine(GridIndex(data, eps), data)
+        with pytest.raises(ValueError, match="k must be positive"):
+            eng.knn_query(data[:2], 0)
+
+    def test_initial_reach_scales_with_k(self, data_eps):
+        data, eps = data_eps
+        eng = QueryEngine(GridIndex(data, eps), data)
+        assert eng._initial_reach(1) <= eng._initial_reach(500)
+
+
+# ----------------------------------------------------------------------
+# Derived batch params (satellite: stats-moment autotuning)
+# ----------------------------------------------------------------------
+
+
+class TestBatchParams:
+    def test_moments_populated(self, data_eps):
+        data, eps = data_eps
+        stats = GridIndex(data, eps).stats()
+        assert stats.mean_members > 0
+        assert stats.mean_group_candidates >= stats.mean_members
+        assert stats.std_members >= 0
+
+    def test_derived_and_override(self, data_eps):
+        data, eps = data_eps
+        stats = GridIndex(data, eps).stats()
+        derived = batch_params_from_stats(stats)
+        assert set(derived) == {
+            "batch_elems", "max_batch_groups", "single_elems", "min_fill",
+        }
+        assert 0.15 <= derived["min_fill"] <= 0.5
+        assert derived["single_elems"] >= 1 << 12
+        forced = batch_params_from_stats(stats, min_fill=0.42, batch_elems=123)
+        assert forced["min_fill"] == 0.42
+        assert forced["batch_elems"] == 123
+        assert forced["single_elems"] == derived["single_elems"]
+
+    def test_homogeneous_groups_demand_tighter_fill(self):
+        class S:  # duck-typed stats
+            mean_members = 8.0
+            std_members = 0.0
+            mean_group_candidates = 24.0
+            std_group_candidates = 0.0
+
+        class D:
+            mean_members = 8.0
+            std_members = 24.0
+            mean_group_candidates = 24.0
+            std_group_candidates = 100.0
+
+        assert (
+            batch_params_from_stats(S())["min_fill"]
+            > batch_params_from_stats(D())["min_fill"]
+        )
+
+    def test_kernel_override_changes_nothing_functionally(self, data_eps):
+        from repro.kernels.gdsjoin import GdsJoinKernel
+
+        data, eps = data_eps
+        a = GdsJoinKernel().self_join(data, eps, batched=True).result
+        b = (
+            GdsJoinKernel()
+            .self_join(
+                data, eps, batched=True,
+                batch_params={"batch_elems": 1 << 14, "min_fill": 0.2},
+            )
+            .result
+        )
+        assert_pair_sets_equal(a, b)
+
+
+# ----------------------------------------------------------------------
+# Serving layer: cache, micro-batching, HTTP
+# ----------------------------------------------------------------------
+
+
+class TestIndexCache:
+    def test_hits_misses_and_keying(self, data_eps, tmp_path):
+        data, eps = data_eps
+        build_index(data, eps, tmp_path / "a")
+        cache = IndexCache(capacity=2)
+        e1 = cache.get(tmp_path / "a")
+        e2 = cache.get(tmp_path / "a")
+        assert e1 is e2
+        assert cache.stats()["hits"] == 1 and cache.stats()["misses"] == 1
+
+    def test_lru_eviction(self, tmp_path):
+        cache = IndexCache(capacity=2)
+        paths = []
+        for i in range(3):
+            data, eps = _dataset(n=200, d=8, seed=i)
+            build_index(data, eps, tmp_path / f"i{i}")
+            paths.append(tmp_path / f"i{i}")
+        engines = [cache.get(p) for p in paths]
+        assert len(cache) == 2 and cache.evictions == 1
+        # i0 was evicted: a re-get is a miss producing a fresh engine.
+        again = cache.get(paths[0])
+        assert again is not engines[0]
+
+    def test_rejects_non_index(self, tmp_path):
+        cache = IndexCache()
+        with pytest.raises(ValueError):
+            cache.get(tmp_path)
+
+    def test_rebuild_invalidates_cache(self, tmp_path):
+        """Rebuilding at the same path must not serve the stale engine
+        (the key carries the header mtime)."""
+        data1, eps1 = _dataset(n=300, d=8, seed=1)
+        build_index(data1, eps1, tmp_path / "g")
+        cache = IndexCache()
+        e1 = cache.get(tmp_path / "g")
+        assert e1.n_points == 300
+        data2, eps2 = _dataset(n=400, d=8, seed=2)
+        build_index(data2, eps2, tmp_path / "g")
+        e2 = cache.get(tmp_path / "g")
+        assert e2 is not e1 and e2.n_points == 400
+        q = _queries(data2, eps2, nq=20, seed=6)
+        assert_joins_bit_identical(
+            e2.range_query(q), brute_range_query(data2, q, eps2)
+        )
+
+
+class TestQueryService:
+    def test_split_matches_serial(self, data_eps, tmp_path):
+        data, eps = data_eps
+        build_index(data, eps, tmp_path / "g")
+        q = _queries(data, eps, nq=48)
+        with QueryService() as svc:
+            engine = svc.cache.get(tmp_path / "g")
+            pending = [
+                svc.submit(tmp_path / "g", q[i * 12 : (i + 1) * 12])
+                for i in range(4)
+            ]
+            for i, p in enumerate(pending):
+                got = p.result(timeout=30)
+                serial = engine.range_query(q[i * 12 : (i + 1) * 12])
+                assert_joins_bit_identical(got, serial)
+
+    def test_concurrent_hammer_equals_serial(self, data_eps, tmp_path):
+        """The serve smoke: N threads against one cached index."""
+        data, eps = data_eps
+        build_index(data, eps, tmp_path / "g")
+        q = _queries(data, eps, nq=96, seed=11)
+        n_threads = 8
+        per = q.shape[0] // n_threads
+        results: list = [None] * n_threads
+        knns: list = [None] * n_threads
+        with QueryService() as svc:
+            engine = svc.cache.get(tmp_path / "g")
+
+            def hammer(i: int) -> None:
+                rows = q[i * per : (i + 1) * per]
+                results[i] = svc.query(tmp_path / "g", rows)
+                knns[i] = svc.query(tmp_path / "g", rows, k=3)
+
+            threads = [
+                threading.Thread(target=hammer, args=(i,))
+                for i in range(n_threads)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            stats = svc.stats()
+        assert stats["cache"]["misses"] == 1  # one load served everyone
+        assert stats["requests_served"] == 2 * n_threads
+        for i in range(n_threads):
+            rows = q[i * per : (i + 1) * per]
+            assert_joins_bit_identical(results[i], engine.range_query(rows))
+            np.testing.assert_array_equal(
+                knns[i].indices, engine.knn_query(rows, 3).indices
+            )
+
+    def test_submit_restarts_stopped_service(self, data_eps, tmp_path):
+        data, eps = data_eps
+        build_index(data, eps, tmp_path / "g")
+        svc = QueryService()
+        q = _queries(data, eps, nq=6)
+        try:
+            first = svc.query(tmp_path / "g", q)
+            svc.stop()
+            again = svc.query(tmp_path / "g", q)  # submit revives the loop
+            assert_joins_bit_identical(first, again)
+        finally:
+            svc.stop()
+
+    def test_error_propagates_to_waiter(self, data_eps, tmp_path):
+        data, eps = data_eps
+        build_index(data, eps, tmp_path / "g")
+        with QueryService() as svc:
+            pending = svc.submit(
+                tmp_path / "g", _queries(data, eps, nq=4), eps=eps * 10
+            )
+            with pytest.raises(ValueError, match="exceeds the index"):
+                pending.result(timeout=30)
+
+    def test_bad_dimensionality_fails_its_own_submit(self, data_eps, tmp_path):
+        """A malformed request must not poison the batch it would join."""
+        data, eps = data_eps
+        build_index(data, eps, tmp_path / "g")
+        with QueryService() as svc:
+            with pytest.raises(ValueError, match="queries must be"):
+                svc.submit(tmp_path / "g", np.zeros((2, data.shape[1] + 1)))
+            # Valid traffic is unaffected.
+            res = svc.query(tmp_path / "g", _queries(data, eps, nq=4))
+            assert res.n_left == 4
+
+
+class TestHttpServer:
+    def test_endpoints(self, data_eps, tmp_path):
+        import http.client
+
+        data, eps = data_eps
+        build_index(data, eps, tmp_path / "g")
+        server = make_server({"default": tmp_path / "g"}, port=0)
+        host, port = server.server_address[:2]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            conn = http.client.HTTPConnection(host, port, timeout=30)
+            conn.request("GET", "/healthz")
+            health = json.loads(conn.getresponse().read())
+            assert health["status"] == "ok" and health["indexes"] == ["default"]
+            q = _queries(data, eps, nq=6)
+            conn.request(
+                "POST", "/range",
+                json.dumps({"queries": q.tolist()}),
+                {"Content-Type": "application/json"},
+            )
+            got = json.loads(conn.getresponse().read())
+            engine = server.service.cache.get(tmp_path / "g")
+            want = engine.range_query(q)
+            sets = [set() for _ in range(q.shape[0])]
+            for i, j in zip(want.pairs_i.tolist(), want.pairs_j.tolist()):
+                sets[i].add(j)
+            assert [set(x) for x in got["neighbors"]] == sets
+            conn.request(
+                "POST", "/knn",
+                json.dumps({"queries": q.tolist(), "k": 2}),
+                {"Content-Type": "application/json"},
+            )
+            got_knn = json.loads(conn.getresponse().read())
+            assert got_knn["indices"] == engine.knn_query(q, 2).indices.tolist()
+            conn.request("POST", "/range", json.dumps({"index": "nope"}),
+                         {"Content-Type": "application/json"})
+            assert conn.getresponse().status == 404
+            conn.request("GET", "/stats")
+            assert json.loads(conn.getresponse().read())["requests_served"] >= 2
+            conn.close()
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    def test_strict_json_and_stable_shape(self, tmp_path):
+        """kNN padding must serialize as null (strict JSON, no Infinity)
+        and empty range answers must keep the sq_dists key."""
+        import http.client
+
+        rng = np.random.default_rng(2)
+        data = rng.normal(size=(3, 6))
+        build_index(data, 1.0, tmp_path / "g")
+        server = make_server({"default": tmp_path / "g"}, port=0)
+        host, port = server.server_address[:2]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            conn = http.client.HTTPConnection(host, port, timeout=30)
+            conn.request(
+                "POST", "/knn",
+                json.dumps({"queries": data[:1].tolist(), "k": 5}),
+                {"Content-Type": "application/json"},
+            )
+            raw = conn.getresponse().read().decode()
+            assert "Infinity" not in raw  # strict parsers reject it
+            got = json.loads(raw)
+            assert got["sq_dists"][0][3:] == [None, None]
+            far = (data[:1] + 100.0).tolist()
+            conn.request(
+                "POST", "/range", json.dumps({"queries": far}),
+                {"Content-Type": "application/json"},
+            )
+            got = json.loads(conn.getresponse().read())
+            assert got["neighbors"] == [[]]
+            assert got["sq_dists"] == [[]]  # key survives empty answers
+            conn.close()
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    def test_run_self_test(self, data_eps, tmp_path):
+        data, eps = data_eps
+        build_index(data, eps, tmp_path / "g")
+        out = run_self_test(tmp_path / "g", n_clients=3, queries_per_client=4)
+        assert out["clients"] == 3
+        assert out["stats"]["requests_served"] >= 3
+
+    def test_requires_registration(self):
+        with pytest.raises(ValueError, match="at least one index"):
+            make_server({}, port=0)
+
+
+# ----------------------------------------------------------------------
+# api-level entry points and CLI
+# ----------------------------------------------------------------------
+
+
+class TestApi:
+    def test_open_index_cached_and_query(self, data_eps, tmp_path):
+        data, eps = data_eps
+        build_index(data, eps, tmp_path / "g")
+        e1 = open_index(tmp_path / "g")
+        e2 = open_index(tmp_path / "g")
+        assert e1 is e2  # module-level LRU
+        assert open_index(tmp_path / "g", cache=False) is not e1
+        q = _queries(data, eps, nq=20)
+        res = query(tmp_path / "g", q)
+        assert_joins_bit_identical(res, brute_range_query(data, q, eps))
+        knn = query(tmp_path / "g", q, k=2)
+        assert isinstance(knn, KnnResult)
+        with pytest.raises(ValueError, match="not both"):
+            query(e1, q, eps=eps, k=2)
+
+    def test_build_index_out_of_core(self, data_eps, tmp_path):
+        """Paths build through from_source and embed by streamed copy."""
+        data, eps = data_eps
+        np.save(tmp_path / "ds.npy", data)
+        build_index(tmp_path / "ds.npy", eps, tmp_path / "g")
+        loaded = load_index(tmp_path / "g")
+        fresh = GridIndex(data, eps)
+        np.testing.assert_array_equal(loaded.index._sort, fresh._sort)
+        q = _queries(data, eps, nq=30)
+        assert_joins_bit_identical(
+            QueryEngine(loaded).range_query(q), brute_range_query(data, q, eps)
+        )
+
+    def test_build_index_validates_kind(self, data_eps, tmp_path):
+        data, eps = data_eps
+        with pytest.raises(ValueError, match="kind"):
+            build_index(data, eps, tmp_path / "g", kind="btree")
+
+    def test_build_index_data_path_reference(self, data_eps, tmp_path):
+        """data_path implies a reference; embed+reference together is a
+        contradiction and must not silently copy."""
+        data, eps = data_eps
+        np.save(tmp_path / "ds.npy", data)
+        build_index(data, eps, tmp_path / "g", data_path=tmp_path / "ds.npy")
+        loaded = load_index(tmp_path / "g")
+        assert loaded.header["data"] == str(tmp_path / "ds.npy")
+        assert not (tmp_path / "g" / "data.npy").exists()
+        with pytest.raises(ValueError, match="one or the other"):
+            build_index(
+                data, eps, tmp_path / "g2",
+                include_data=True, data_path=tmp_path / "ds.npy",
+            )
+
+
+class TestCli:
+    def _run(self, *argv):
+        from repro.cli import main
+
+        assert main(list(argv)) == 0
+
+    def test_index_build_info_query_serve(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "idx")
+        self._run(
+            "index", "build", out_dir, "--n", "600", "--d", "12",
+            "--selectivity", "8",
+        )
+        assert "persisted" in capsys.readouterr().out
+        self._run("index", "info", out_dir)
+        assert "kind: grid" in capsys.readouterr().out
+        self._run("query", out_dir, "--n-queries", "16")
+        assert "range:" in capsys.readouterr().out
+        self._run("query", out_dir, "--n-queries", "8", "--k", "2")
+        assert "kNN" in capsys.readouterr().out
+        self._run("serve", "--index", out_dir, "--self-test")
+        assert "self-test OK" in capsys.readouterr().out
+
+    def test_query_rejects_eps_and_k(self, tmp_path):
+        out_dir = str(tmp_path / "idx")
+        self._run("index", "build", out_dir, "--n", "300", "--d", "8")
+        with pytest.raises(SystemExit):
+            self._run("query", out_dir, "--eps", "0.5", "--k", "3")
+
+
+# ----------------------------------------------------------------------
+# Grid reach extension (the kNN probe widening)
+# ----------------------------------------------------------------------
+
+
+class TestGridReach:
+    def test_reach_candidates_are_supersets(self, data_eps):
+        data, eps = data_eps
+        index = GridIndex(data, eps)
+        cell = tuple(index._unique[len(index._unique) // 2])
+        r1 = set(index.candidates_of_cell(cell).tolist())
+        r2 = set(index.candidates_of_cell(cell, reach=2).tolist())
+        r3 = set(index.candidates_of_cell(cell, reach=3).tolist())
+        assert r1 <= r2 <= r3
+
+    def test_reach_soundness(self, data_eps):
+        """Every point within m*eps of a query must be a reach-m candidate."""
+        data, eps = data_eps
+        index = GridIndex(data, eps)
+        rng = np.random.default_rng(4)
+        proj = index.order[: index.r]
+        for m in (2, 3):
+            for qi in rng.integers(0, data.shape[0], size=10):
+                qpt = data[int(qi)]
+                cell = tuple(
+                    np.floor(qpt[proj] / eps).astype(np.int64).tolist()
+                )
+                cands = set(index.candidates_of_cell(cell, reach=m).tolist())
+                within = np.nonzero(
+                    ((data - qpt) ** 2).sum(axis=1) <= (m * eps) ** 2
+                )[0]
+                assert set(within.tolist()) <= cands
+
+    def test_reach_validation(self, data_eps):
+        data, eps = data_eps
+        index = GridIndex(data, eps)
+        with pytest.raises(ValueError, match="reach"):
+            index.candidates_of_cell((0,) * index.r, reach=0)

@@ -73,33 +73,50 @@ def iter_references(text: str):
 _CLI_RE = re.compile(r"python -m repro\s+([^`\n]*)")
 
 
+def _subparsers_action(parser):
+    return next(
+        (
+            a for a in parser._actions
+            if a.__class__.__name__ == "_SubParsersAction"
+        ),
+        None,
+    )
+
+
 def _load_cli_commands() -> dict[str, set[str]]:
     """Map each live CLI subcommand to its accepted option strings.
 
     Imports ``repro.cli`` with ``src/`` on the path; the argparse parser
     itself is the source of truth, so documentation can only drift from
-    flags that really exist.
+    flags that really exist.  Nested subcommands (``index build``) appear
+    as space-joined compound keys next to their parent.
     """
     sys.path.insert(0, str(REPO_ROOT / "src"))
     try:
         from repro.cli import build_parser
     finally:
         sys.path.pop(0)
-    sub = next(
-        a for a in build_parser()._actions
-        if a.__class__.__name__ == "_SubParsersAction"
-    )
-    return {
-        name: set(parser._option_string_actions)
-        for name, parser in sub.choices.items()
-    }
+    commands: dict[str, set[str]] = {}
+    sub = _subparsers_action(build_parser())
+    for name, parser in sub.choices.items():
+        commands[name] = set(parser._option_string_actions)
+        nested = _subparsers_action(parser)
+        if nested is not None:
+            for sub_name, sub_parser in nested.choices.items():
+                commands[f"{name} {sub_name}"] = set(
+                    sub_parser._option_string_actions
+                ) | set(parser._option_string_actions)
+    return commands
 
 
-def iter_cli_invocations(text: str):
+def iter_cli_invocations(text: str, nested: tuple[str, ...] = ()):
     """Yield ``(line_number, command, flags)`` for documented CLI calls.
 
     Placeholder spans (``python -m repro <experiment>``) and bare mentions
-    without a concrete command are skipped.
+    without a concrete command are skipped.  ``nested`` names commands
+    with sub-subcommands: their following bare token joins the command
+    (``index build``), so the flag check runs against the right nested
+    parser.
     """
     for lineno, line in enumerate(text.splitlines(), start=1):
         for match in _CLI_RE.finditer(line):
@@ -112,8 +129,11 @@ def iter_cli_invocations(text: str):
                     continue
                 if tok.startswith("--"):
                     flags.append(tok.split("=", 1)[0])
-                elif command is None and not tok.startswith("-"):
-                    command = tok
+                elif not tok.startswith("-"):
+                    if command is None:
+                        command = tok
+                    elif command in nested:
+                        command = f"{command} {tok}"
             if command is not None:
                 yield lineno, command, flags
 
@@ -125,7 +145,8 @@ def check_cli_invocations(doc: Path, commands: dict[str, set[str]]) -> list[str]
         shown = doc.relative_to(REPO_ROOT)
     except ValueError:
         shown = doc
-    for lineno, command, flags in iter_cli_invocations(doc.read_text()):
+    nested = tuple({k.split()[0] for k in commands if " " in k})
+    for lineno, command, flags in iter_cli_invocations(doc.read_text(), nested):
         if command not in commands:
             errors.append(
                 f"{shown}:{lineno}: documented CLI command "
