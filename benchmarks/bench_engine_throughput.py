@@ -453,7 +453,7 @@ def bench_query_service() -> dict:
     """
     from repro.data.synthetic import synth_dataset
     from repro.index.grid import GridIndex
-    from repro.index.persist import save_index
+    from repro.index.persist import read_header, save_index
     from repro.service import (
         IndexCache,
         QueryEngine,
@@ -469,7 +469,7 @@ def bench_query_service() -> dict:
     with tempfile.TemporaryDirectory() as td:
         path = Path(td) / "index"
         save_index(GridIndex(data, eps), path, data=data)
-        data_npy = path / "data.npy"
+        data_npy = path / read_header(path)["data"]  # generation-tagged
 
         def rebuild_and_query():
             resident = np.load(data_npy)
@@ -477,7 +477,9 @@ def bench_query_service() -> dict:
                 queries
             )
 
-        cache = IndexCache()
+        # Serve at the fault-tolerance default: payload integrity is
+        # stat-verified on every cache miss (verify="header").
+        cache = IndexCache(verify="header")
         cache.get(path)  # the one-time load the serving layer amortizes
 
         def cached_query():
@@ -502,6 +504,7 @@ def bench_query_service() -> dict:
         "queries_per_sec_cached": nq / t_cached,
         "bit_identical": identical,
         "result_pairs": int(res.pairs_i.size),
+        "verify": "header",
         "cache": cache_stats,
     }
 

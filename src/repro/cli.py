@@ -401,11 +401,73 @@ def _make_queries(engine, n_queries: int, seed: int):
     return sample_queries(engine.source, engine.eps, n_queries, seed=seed)
 
 
+def _cmd_query_remote(args) -> str:
+    """``query --server``: route the queries over HTTP via the retrying
+    client instead of opening the index in-process."""
+    import numpy as np
+
+    from repro.service.client import ServiceClient, ServiceUnavailable
+
+    if args.queries is None:
+        raise SystemExit(
+            "error: --server needs --queries (synthetic queries are sampled "
+            "from the local dataset, which a remote server does not expose)"
+        )
+    host, _, port = args.server.rpartition(":")
+    if not port.isdigit():
+        raise SystemExit(
+            f"error: --server must be HOST:PORT, got {args.server!r}"
+        )
+    queries = np.load(args.queries)
+    client = ServiceClient(host or "127.0.0.1", int(port), timeout=60.0)
+    lines = []
+    t0 = time.perf_counter()
+    try:
+        # The positional argument is the *remote* index name here.  A
+        # single-index server (serve --index PATH registers "default")
+        # serves whatever name the local path happens to be, so fall
+        # back to the lone registered name instead of 404ing.
+        name = args.index
+        served = client.healthz().get("indexes", [])
+        if name not in served and len(served) == 1:
+            name = served[0]
+        lines += [
+            f"index: {name!r} on http://{host or '127.0.0.1'}:{port}",
+            f"queries: {queries.shape[0]} from {args.queries}",
+        ]
+        if args.k is not None:
+            res = client.knn_query(queries.tolist(), args.k, index=name)
+            elapsed = time.perf_counter() - t0
+            found = sum(1 for row in res["indices"] for i in row if i >= 0)
+            lines.append(
+                f"kNN: k={args.k} -> {found} neighbors in {elapsed:.3f} s"
+            )
+        else:
+            res = client.range_query(
+                queries.tolist(), index=name, eps=args.eps
+            )
+            elapsed = time.perf_counter() - t0
+            pairs = sum(len(neigh) for neigh in res["neighbors"])
+            lines.append(
+                f"range: eps={res['eps']:.4f} -> {pairs} pairs in "
+                f"{elapsed:.3f} s"
+            )
+    except (ServiceUnavailable, RuntimeError) as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    finally:
+        client.close()
+    if client.retries:
+        lines.append(f"retries absorbed: {client.retries}")
+    return "\n".join(lines)
+
+
 def _cmd_query(args) -> str:
     from repro.core.api import open_index
 
     if args.eps is not None and args.k is not None:
         raise SystemExit("error: pass --eps (range query) or --k (kNN), not both")
+    if args.server is not None:
+        return _cmd_query_remote(args)
     workers = args.workers
     if workers:
         from repro.core.engine import WorkerPlan
@@ -415,7 +477,9 @@ def _cmd_query(args) -> str:
         except ValueError as exc:
             raise SystemExit(f"error: {exc}") from exc
     try:
-        engine = open_index(args.index, workers=workers, cache=False)
+        engine = open_index(
+            args.index, workers=workers, cache=False, verify=args.verify
+        )
     except ValueError as exc:
         raise SystemExit(f"error: {exc}") from exc
     if args.queries is not None:
@@ -471,7 +535,11 @@ def _cmd_serve(args) -> str:
             registry["default"] = item
     if args.self_test:
         first = next(iter(registry.values()))
-        out = run_self_test(first)
+        out = run_self_test(
+            first,
+            max_queue_depth=args.max_queue_depth,
+            verify=args.verify,
+        )
         stats = out["stats"]
         return (
             f"self-test OK: {out['clients']} concurrent clients x "
@@ -479,12 +547,15 @@ def _cmd_serve(args) -> str:
             f"serial engine\n"
             f"micro-batching: {stats['batches_dispatched']} engine batches "
             f"for {stats['requests_served']} requests "
-            f"({stats['requests_coalesced']} coalesced)\n"
+            f"({stats['requests_coalesced']} coalesced, "
+            f"{stats['requests_rejected']} rejected, "
+            f"{out['client_retries']} client retries absorbed)\n"
             f"cache: {stats['cache']}"
         )
     try:
         server = make_server(
-            registry, host=args.host, port=args.port, workers=args.workers
+            registry, host=args.host, port=args.port, workers=args.workers,
+            max_queue_depth=args.max_queue_depth, verify=args.verify,
         )
     except ValueError as exc:
         raise SystemExit(f"error: {exc}") from exc
@@ -643,6 +714,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=_workers_arg, default=0, metavar="N",
         help="engine worker pool for range queries (resident datasets)",
     )
+    qp.add_argument(
+        "--verify", choices=("off", "header", "full"), default="header",
+        help="integrity level applied when loading the index (default: "
+        "header byte-size checks; full re-hashes every payload)",
+    )
+    qp.add_argument(
+        "--server", default=None, metavar="HOST:PORT",
+        help="query a running `serve` instance over HTTP (retrying client) "
+        "instead of opening the index locally; requires --queries, and "
+        "INDEX names a registered index, not a path",
+    )
     qp.set_defaults(fn=_cmd_query)
 
     sv = sub.add_parser(
@@ -662,7 +744,17 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument(
         "--self-test", action="store_true",
         help="one-shot smoke: serve on an ephemeral port, hammer it with "
-        "concurrent clients, verify against the serial engine, exit",
+        "concurrent retrying clients, verify against the serial engine, exit",
+    )
+    sv.add_argument(
+        "--max-queue-depth", type=int, default=256, metavar="N",
+        help="admission-control bound on queued requests; past it the "
+        "server answers 429 + Retry-After immediately",
+    )
+    sv.add_argument(
+        "--verify", choices=("off", "header", "full"), default="header",
+        help="integrity level applied when the cache loads an index "
+        "(default: header byte-size checks; full re-hashes every payload)",
     )
     sv.set_defaults(fn=_cmd_serve)
     return parser

@@ -517,7 +517,7 @@ def build_index(
     seed:
         Pivot RNG seed (mstree only).
     include_data:
-        Embed a streamed ``data.npy`` copy so the index directory is
+        Embed a streamed dataset copy so the index directory is
         self-contained.  Defaults to True -- unless ``data_path`` is
         given, which implies a reference instead; passing both
         ``include_data=True`` and ``data_path`` is a contradiction and
@@ -571,23 +571,37 @@ def open_index(
     precision: str = "fp64",
     workers: int | str = 0,
     cache: bool = True,
+    verify: str = "header",
 ):
     """Open a persisted index for querying; returns a ``QueryEngine``.
 
     With ``cache=True`` (the default) engines come from a module-level
-    LRU (``repro.service.IndexCache``) keyed by ``(path, eps)``, so
-    repeated opens -- and every :func:`query` call addressed by path --
-    reuse the loaded, mmap-backed index instead of re-reading it; this is
-    the cached-index fast path the ``query_service`` benchmark entry
-    measures.  Non-default ``mmap``/``precision``/``workers`` requests
-    construct a private engine instead (the shared cache stays at the
-    default serving configuration).
+    LRU (``repro.service.IndexCache``) keyed by ``(path, eps, header
+    digest)``, so repeated opens -- and every :func:`query` call
+    addressed by path -- reuse the loaded, mmap-backed index instead of
+    re-reading it; this is the cached-index fast path the
+    ``query_service`` benchmark entry measures.  Non-default
+    ``mmap``/``precision``/``workers``/``verify`` requests construct a
+    private engine instead (the shared cache stays at the default
+    serving configuration).
+
+    ``verify`` is the integrity level applied at load
+    (:func:`repro.index.persist.load_index`): ``"header"`` (default)
+    stat-checks payload byte sizes, ``"full"`` re-hashes every payload
+    against its SHA-256, ``"off"`` skips verification.  A failed check
+    raises :class:`~repro.index.persist.CorruptIndexError` before any
+    query runs.
     """
     from repro.service import IndexCache, QueryEngine
 
-    default_config = mmap and precision == "fp64" and workers == 0
+    default_config = (
+        mmap and precision == "fp64" and workers == 0 and verify == "header"
+    )
     if not cache or not default_config:
-        return QueryEngine(path, precision=precision, workers=workers, mmap=mmap)
+        return QueryEngine(
+            path, precision=precision, workers=workers, mmap=mmap,
+            verify=verify,
+        )
     global _INDEX_CACHE
     if _INDEX_CACHE is None:
         _INDEX_CACHE = IndexCache()

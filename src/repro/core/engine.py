@@ -88,11 +88,13 @@ import os
 import threading
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator
 
 import numpy as np
 
+from repro import faults
 from repro.core.results import PairAccumulator
 
 #: ``tile_fn(r0, r1, c0, c1)`` returns the squared-distance block for points
@@ -786,11 +788,16 @@ def streaming_self_join(
             # the pinned row block's bytes are released.
             window.drain()
             stats._release(row_nbytes)
+    except BaseException:
+        # A failed stream's partial output is garbage; drop any spilled
+        # chunk files with it so prefetch/tile errors do not leak disk.
+        acc.cleanup()
+        raise
     finally:
         if gemm_pool is not None:
-            gemm_pool.shutdown(wait=True)
+            gemm_pool.shutdown(wait=True, cancel_futures=True)
         if pool is not None:
-            pool.shutdown(wait=True)
+            pool.shutdown(wait=True, cancel_futures=True)
     return acc, stats
 
 
@@ -1120,11 +1127,16 @@ def streaming_join(
                 )
             window.drain()  # stripe tiles read row_state; finish first
             stats._release(row_nbytes)
+    except BaseException:
+        # A failed stream's partial output is garbage; drop any spilled
+        # chunk files with it so prefetch/tile errors do not leak disk.
+        acc.cleanup()
+        raise
     finally:
         if gemm_pool is not None:
-            gemm_pool.shutdown(wait=True)
+            gemm_pool.shutdown(wait=True, cancel_futures=True)
         if pool is not None:
-            pool.shutdown(wait=True)
+            pool.shutdown(wait=True, cancel_futures=True)
     return acc, stats
 
 
@@ -1697,14 +1709,26 @@ def _fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
-def _candidate_fork_worker(batch: list) -> tuple:
+#: Count of group batches recovered inline after fork-pool child death
+#: (observability hook; tests assert recovery actually engaged).
+FORK_RECOVERIES = 0
+
+
+def _candidate_fork_worker(batch: list, _in_child: bool = True) -> tuple:
     """Pool-worker entry: evaluate one batch of ``(members, candidates)``.
 
     Runs in a forked child; numerics and chunking mirror
     :func:`candidate_self_join` / :func:`candidate_join` exactly (same
     gathers, same GEMM shapes, same extraction), which is why the
-    parallel result is bit-identical to serial.
+    parallel result is bit-identical to serial.  The parent calls it too
+    -- with ``_in_child=False`` -- to re-evaluate a batch whose child
+    died: same code path, so the recovered result is the one the child
+    would have produced.  The ``worker.exec`` fault point only fires on
+    the child path; the recovery path must not re-trip the fault that
+    killed the child.
     """
+    if _in_child and faults.ARMED:
+        faults.check("worker.exec")
     st = _FORK_STATE
     acc = PairAccumulator(store_distances=st["store_distances"])
     work_m, sq_m = st["work_m"], st["sq_m"]
@@ -1823,18 +1847,43 @@ def process_candidate_self_join(
             with ProcessPoolExecutor(
                 max_workers=wp.n_workers, mp_context=ctx
             ) as pool:
+                # Each pending entry keeps its batch next to its future:
+                # if a child dies (SIGKILL, OOM-kill), the pool breaks and
+                # every in-flight future raises BrokenProcessPool -- the
+                # batch is then re-evaluated *inline* on the parent via
+                # the same worker function, and commits stay in
+                # submission order, so the recovered result is
+                # bit-identical to the no-failure run (and to serial).
                 pending: deque = deque()
                 batch: list[tuple[np.ndarray, np.ndarray]] = []
 
+                def retry_inline(items: list) -> tuple:
+                    global FORK_RECOVERIES
+                    FORK_RECOVERIES += 1
+                    return _candidate_fork_worker(items, _in_child=False)
+
                 def commit_head() -> None:
-                    i, j, d = pending.popleft().result()
+                    fut, items = pending.popleft()
+                    if fut is None:
+                        i, j, d = retry_inline(items)
+                    else:
+                        try:
+                            i, j, d = fut.result()
+                        except BrokenProcessPool:
+                            i, j, d = retry_inline(items)
                     acc.append(i, j, d if store_distances else None)
 
                 def flush() -> None:
                     if batch:
-                        pending.append(
-                            pool.submit(_candidate_fork_worker, list(batch))
-                        )
+                        items = list(batch)
+                        try:
+                            fut = pool.submit(_candidate_fork_worker, items)
+                        except (BrokenProcessPool, RuntimeError):
+                            # Pool already broken/shut: queue the batch
+                            # for lazy inline evaluation at commit time
+                            # (keeps commit order and memory bounded).
+                            fut = None
+                        pending.append((fut, items))
                         batch.clear()
 
                 for members, candidates in groups:

@@ -35,6 +35,8 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import faults
+
 #: Manifest file name written next to the chunks by :func:`write_chunked_npy`.
 CHUNK_MANIFEST = "chunks.json"
 
@@ -126,11 +128,18 @@ class DatasetSource:
             del out  # close the map promptly (Windows holds the handle)
         return path
 
+    # Every concrete load_block/take funnels through one of these two
+    # validators, so they double as the `source.read` fault point: one
+    # gate covers every source kind (in-memory, mmap, chunked).
     def _check_block(self, r0: int, r1: int) -> None:
+        if faults.ARMED:
+            faults.check("source.read")
         if not (0 <= r0 <= r1 <= self.n):
             raise IndexError(f"block [{r0}:{r1}] out of range for n={self.n}")
 
     def _check_indices(self, indices: np.ndarray) -> np.ndarray:
+        if faults.ARMED:
+            faults.check("source.read")
         indices = np.asarray(indices, dtype=np.int64).ravel()
         if indices.size and (indices.min() < 0 or indices.max() >= self.n):
             raise IndexError(f"row indices out of range for n={self.n}")

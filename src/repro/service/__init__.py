@@ -11,6 +11,7 @@ JSON-HTTP (``python -m repro serve``).  See the "Query serving" section
 of docs/ARCHITECTURE.md.
 """
 
+from repro.service.client import ServiceClient, ServiceUnavailable
 from repro.service.query import (
     KnnResult,
     QueryEngine,
@@ -18,8 +19,12 @@ from repro.service.query import (
     sample_queries,
 )
 from repro.service.server import (
+    DeadlineExceeded,
     IndexCache,
     QueryService,
+    ServiceError,
+    ServiceOverloaded,
+    ServiceShuttingDown,
     make_server,
     run_self_test,
 )
@@ -31,6 +36,12 @@ __all__ = [
     "sample_queries",
     "IndexCache",
     "QueryService",
+    "ServiceError",
+    "ServiceOverloaded",
+    "ServiceShuttingDown",
+    "DeadlineExceeded",
+    "ServiceClient",
+    "ServiceUnavailable",
     "make_server",
     "run_self_test",
 ]

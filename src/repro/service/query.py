@@ -174,9 +174,13 @@ class QueryEngine:
         Default engine worker request for queries
         (:meth:`~repro.core.engine.WorkerPlan.resolve`); per-call
         ``workers=`` overrides it.
-    mmap:
+    mmap, verify:
         Only used when ``index`` is a path: forwarded to
-        :func:`~repro.index.persist.load_index`.
+        :func:`~repro.index.persist.load_index` (``verify`` is the
+        integrity level -- ``"off"``, ``"header"``, or ``"full"`` -- and
+        a failed check raises
+        :class:`~repro.index.persist.CorruptIndexError` before any query
+        can run).
     candidate_cache_bytes:
         Source-backed (mmap/chunked) datasets only: budget for the
         engine's LRU of gathered candidate blocks (rows + norms, keyed by
@@ -195,12 +199,13 @@ class QueryEngine:
         precision: str = "fp64",
         workers: "int | str | WorkerPlan | None" = 0,
         mmap: bool = True,
+        verify: str = "header",
         candidate_cache_bytes: int = 64 << 20,
     ) -> None:
         if precision not in ("fp32", "fp64"):
             raise ValueError("precision must be 'fp32' or 'fp64'")
         if isinstance(index, (str, Path)):
-            index = load_index(index, mmap=mmap)
+            index = load_index(index, mmap=mmap, verify=verify)
         source: DatasetSource | None = None
         if isinstance(index, LoadedIndex):
             source = index.source

@@ -29,10 +29,30 @@ Three pieces stack into the serving path:
   /healthz`` and ``GET /stats`` report liveness and cache/batch
   counters.  Only **registered** index names are served -- requests
   cannot make the process open arbitrary filesystem paths.
+
+Fault tolerance (see docs/ARCHITECTURE.md "Fault tolerance"):
+
+* **Admission control** -- the submission queue is bounded
+  (``max_queue_depth``); a full queue rejects *fast* with
+  :class:`ServiceOverloaded` in-process and ``429 Too Many Requests`` +
+  ``Retry-After`` over HTTP, so overload produces immediate backpressure
+  instead of unbounded memory growth and timeout storms.
+* **Deadlines** -- ``submit(..., deadline_s=...)`` attaches a
+  per-request deadline that rides into batch dispatch: a request already
+  past its deadline is *failed* with :class:`DeadlineExceeded`, never
+  executed (the engine call its batch runs is for the still-live
+  requests only).
+* **Graceful shutdown** -- :meth:`QueryService.stop` (``drain=True``)
+  fails everything still queued immediately with
+  :class:`ServiceShuttingDown` instead of leaving waiters to their own
+  timeouts; ``drain=False`` serves the queue out first.  While stopping,
+  ``/healthz`` reports ``draining`` (503) and new submissions are
+  refused.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import queue
 import threading
@@ -43,10 +63,35 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import faults
 from repro.core.engine import WorkerPlan
 from repro.core.results import JoinResult
 from repro.index.persist import HEADER_NAME, read_header
 from repro.service.query import KnnResult, QueryEngine
+
+
+class ServiceError(RuntimeError):
+    """Base class for the service's typed request-rejection errors."""
+
+
+class ServiceOverloaded(ServiceError):
+    """The bounded submission queue is full; retry after backing off.
+
+    ``retry_after`` is the suggested wait in seconds (the HTTP layer
+    forwards it as a ``Retry-After`` header on the 429 it returns).
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 0.05) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class ServiceShuttingDown(ServiceError):
+    """The service is draining; queued/new requests are refused."""
+
+
+class DeadlineExceeded(ServiceError, TimeoutError):
+    """A request's deadline passed before dispatch; it was not executed."""
 
 
 class IndexCache:
@@ -58,8 +103,10 @@ class IndexCache:
         Maximum simultaneously loaded engines; the least recently used is
         evicted past that (its mmap-backed arrays simply lose their last
         reference).
-    mmap, precision, workers:
-        Forwarded to every :class:`QueryEngine` the cache constructs.
+    mmap, precision, workers, verify:
+        Forwarded to every :class:`QueryEngine` the cache constructs
+        (``verify`` is the :func:`~repro.index.persist.load_index`
+        integrity level applied on each cache miss).
     """
 
     def __init__(
@@ -69,6 +116,7 @@ class IndexCache:
         mmap: bool = True,
         precision: str = "fp64",
         workers: "int | str | WorkerPlan | None" = 0,
+        verify: str = "header",
     ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
@@ -76,43 +124,47 @@ class IndexCache:
         self._mmap = mmap
         self._precision = precision
         self._workers = workers
+        self._verify = verify
         self._entries: "OrderedDict[tuple, QueryEngine]" = OrderedDict()
-        # Memo of (path, header mtime) -> eps so cache *hits* pay one
-        # stat, not a header read + JSON parse per request.
-        self._eps_memo: dict[tuple[str, int], float] = {}
+        # Memo of header digest -> eps so cache hits pay one small file
+        # read + hash, not a JSON parse + validation per request.
+        self._eps_memo: dict[str, float] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
-    def _key(self, path: str | Path) -> tuple[str, float, int]:
-        """Cache key ``(resolved path, eps, header mtime)``.
+    def _key(self, path: str | Path) -> tuple[str, float, str]:
+        """Cache key ``(resolved path, eps, header digest)``.
 
-        The mtime makes the key *fresh*: rebuilding an index at the same
-        path (``build_index`` rewrites the header last) changes the key,
-        so stale engines stop being served and age out of the LRU.  The
-        eps comes from a mtime-keyed memo -- the full header read (which
-        also validates magic/version) only happens the first time a
-        given on-disk state is seen.
+        The digest of the header *bytes* makes the key exact: rebuilding
+        an index at the same path commits a new header (new payload
+        checksums and generation tags), so a rewritten index is never
+        served stale -- including re-saves that land within mtime
+        granularity, which an mtime-based key would miss.  The eps comes
+        from a digest-keyed memo: the full header parse (which also
+        validates magic/version) only happens the first time a given
+        on-disk state is seen.
         """
         resolved = Path(path).resolve()
         try:
-            mtime = (resolved / HEADER_NAME).stat().st_mtime_ns
+            header_bytes = (resolved / HEADER_NAME).read_bytes()
         except OSError as exc:
             raise ValueError(
                 f"{resolved} is not a persisted index (no {HEADER_NAME})"
             ) from exc
-        probe = (str(resolved), mtime)
-        with self._lock:
-            eps = self._eps_memo.get(probe)
+        digest = hashlib.blake2b(header_bytes, digest_size=16).hexdigest()
+        # GIL-atomic read; the memo is only written under the lock, and a
+        # racing miss merely re-parses the header.
+        eps = self._eps_memo.get(digest)
         if eps is None:
             header = read_header(resolved)
             eps = float(header["scalars"]["eps"])
             with self._lock:
                 if len(self._eps_memo) > 64 * max(self.capacity, 1):
                     self._eps_memo.clear()  # stale-state entries, rebuild
-                self._eps_memo[probe] = eps
-        return str(resolved), eps, mtime
+                self._eps_memo[digest] = eps
+        return str(resolved), eps, digest
 
     def get(self, path: str | Path) -> QueryEngine:
         """Return the cached engine for a persisted index, loading on miss."""
@@ -131,6 +183,7 @@ class IndexCache:
             precision=self._precision,
             workers=self._workers,
             mmap=self._mmap,
+            verify=self._verify,
         )
         with self._lock:
             self._entries[key] = engine
@@ -156,16 +209,25 @@ class IndexCache:
 
 
 class _Pending:
-    """One in-flight request: an event the dispatcher fulfills."""
+    """One in-flight request: an event the dispatcher fulfills.
 
-    __slots__ = ("engine", "queries", "eps", "kind", "k", "_event", "_result", "_error")
+    ``deadline`` is an absolute :func:`time.monotonic` instant (or None);
+    the dispatcher fails, rather than executes, a request whose deadline
+    has already passed when its batch is dispatched.
+    """
 
-    def __init__(self, engine, queries, eps, kind, k) -> None:
+    __slots__ = (
+        "engine", "queries", "eps", "kind", "k", "deadline",
+        "_event", "_result", "_error",
+    )
+
+    def __init__(self, engine, queries, eps, kind, k, deadline=None) -> None:
         self.engine = engine
         self.queries = queries
         self.eps = eps
         self.kind = kind  # "range" | "knn"
         self.k = k
+        self.deadline = deadline
         self._event = threading.Event()
         self._result = None
         self._error: BaseException | None = None
@@ -197,6 +259,12 @@ class QueryService:
     rows are buffered -- into **one** engine call, and splits the answer
     back per request.  Use as a context manager, or call
     :meth:`start` / :meth:`stop`.
+
+    The submission queue is bounded at ``max_queue_depth`` requests: a
+    full queue makes ``submit`` raise :class:`ServiceOverloaded`
+    immediately (admission control -- reject fast, never buffer without
+    bound).  ``default_deadline_s`` attaches a deadline to every request
+    that does not bring its own.
     """
 
     def __init__(
@@ -209,21 +277,33 @@ class QueryService:
         precision: str = "fp64",
         mmap: bool = True,
         batched: bool = False,
+        max_queue_depth: int = 256,
+        default_deadline_s: float | None = None,
+        verify: str = "header",
     ) -> None:
         self.cache = cache or IndexCache(
-            precision=precision, workers=workers, mmap=mmap
+            precision=precision, workers=workers, mmap=mmap, verify=verify
         )
         self.max_batch_points = int(max_batch_points)
         self.max_delay_s = float(max_delay_s)
         self.workers = workers
         self.batched = batched
-        self._queue: "queue.Queue[_Pending]" = queue.Queue()
+        if max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        self.max_queue_depth = int(max_queue_depth)
+        self.default_deadline_s = default_deadline_s
+        self._queue: "queue.Queue[_Pending]" = queue.Queue(
+            maxsize=self.max_queue_depth
+        )
         self._stop = threading.Event()
+        self._draining = False
         self._thread: threading.Thread | None = None
         self._lifecycle_lock = threading.Lock()
         self.batches_dispatched = 0
         self.requests_served = 0
         self.requests_coalesced = 0  # served in a batch with >= 2 requests
+        self.requests_rejected = 0  # refused at admission (queue full)
+        self.requests_expired = 0  # failed at dispatch (deadline passed)
 
     # -- lifecycle ------------------------------------------------------
 
@@ -239,19 +319,47 @@ class QueryService:
                 self._thread.start()
         return self
 
-    def stop(self) -> None:
-        self._stop.set()
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
-            self._thread = None
-        # Fail anything still queued rather than leaving its waiters
-        # blocked until their own timeouts.
-        while True:
-            try:
-                pending = self._queue.get_nowait()
-            except queue.Empty:
-                break
-            pending._fail(RuntimeError("query service stopped"))
+    @property
+    def draining(self) -> bool:
+        """True while :meth:`stop` is refusing new submissions."""
+        return self._draining
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the dispatcher; never abandon a queued request.
+
+        ``drain=True`` (the default) fails everything still queued
+        immediately with :class:`ServiceShuttingDown` -- waiters get a
+        typed error now instead of sitting out their own timeouts.
+        ``drain=False`` lets the dispatcher serve the queue out first.
+        Either way new submissions are refused (``ServiceShuttingDown``)
+        until the stop completes; afterwards a submit revives the
+        service.
+        """
+        self._draining = True
+        try:
+            if not drain:
+                # Serve out what was admitted before the drain flag went
+                # up; nothing new can join the queue behind it.
+                while self._thread is not None and self._thread.is_alive():
+                    if self._queue.empty():
+                        break
+                    time.sleep(0.001)
+            self._stop.set()
+            if self._thread is not None:
+                self._thread.join(timeout=5.0)
+                self._thread = None
+            # Fail anything still queued rather than leaving its waiters
+            # blocked until their own timeouts.
+            while True:
+                try:
+                    pending = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                pending._fail(
+                    ServiceShuttingDown("query service stopped while draining")
+                )
+        finally:
+            self._draining = False
 
     def __enter__(self) -> "QueryService":
         return self.start()
@@ -273,13 +381,23 @@ class QueryService:
         *,
         eps: float | None = None,
         k: int | None = None,
+        deadline_s: float | None = None,
     ) -> _Pending:
         """Enqueue one range (``k=None``) or kNN query batch.
 
         Starts the dispatcher if it is not running, so the service works
         without an explicit :meth:`start` and a stopped service revives
         on the next submission instead of queueing forever.
+
+        Raises :class:`ServiceShuttingDown` while a :meth:`stop` is in
+        progress and :class:`ServiceOverloaded` -- immediately, without
+        blocking -- when the bounded queue is full.  ``deadline_s``
+        (falling back to ``default_deadline_s``) bounds how stale the
+        request may be when its batch dispatches: past the deadline it is
+        failed with :class:`DeadlineExceeded` instead of executed.
         """
+        if self._draining:
+            raise ServiceShuttingDown("query service is draining")
         self.start()
         engine = self.engine_for(index)
         q = np.ascontiguousarray(np.asarray(queries, dtype=np.float64))
@@ -292,14 +410,27 @@ class QueryService:
             raise ValueError(
                 f"queries must be (q, {engine.dim}); got shape {q.shape}"
             )
+        if deadline_s is None:
+            deadline_s = self.default_deadline_s
         pending = _Pending(
             engine,
             q,
             float(eps) if eps is not None else None,
             "knn" if k is not None else "range",
             int(k) if k is not None else None,
+            time.monotonic() + float(deadline_s)
+            if deadline_s is not None
+            else None,
         )
-        self._queue.put(pending)
+        try:
+            self._queue.put_nowait(pending)
+        except queue.Full:
+            self.requests_rejected += 1
+            raise ServiceOverloaded(
+                f"submission queue is full ({self.max_queue_depth} requests "
+                "queued); back off and retry",
+                retry_after=max(self.max_delay_s * 2, 0.05),
+            ) from None
         return pending
 
     def query(self, index, queries, *, eps=None, k=None, timeout=30.0):
@@ -312,6 +443,11 @@ class QueryService:
             "batches_dispatched": self.batches_dispatched,
             "requests_served": self.requests_served,
             "requests_coalesced": self.requests_coalesced,
+            "requests_rejected": self.requests_rejected,
+            "requests_expired": self.requests_expired,
+            "queue_depth": self._queue.qsize(),
+            "max_queue_depth": self.max_queue_depth,
+            "draining": self._draining,
         }
 
     # -- dispatch loop --------------------------------------------------
@@ -340,8 +476,21 @@ class QueryService:
             self._dispatch(batch)
 
     def _dispatch(self, batch: list[_Pending]) -> None:
+        now = time.monotonic()
         groups: "OrderedDict[tuple, list[_Pending]]" = OrderedDict()
         for req in batch:
+            # A request past its deadline is failed, not executed -- its
+            # waiter has given up (or will, immediately); spending an
+            # engine call on it only delays the still-live requests
+            # batched behind it.
+            if req.deadline is not None and now > req.deadline:
+                self.requests_expired += 1
+                req._fail(
+                    DeadlineExceeded(
+                        "request deadline passed before dispatch"
+                    )
+                )
+                continue
             key = (id(req.engine), req.eps, req.kind, req.k)
             groups.setdefault(key, []).append(req)
         for reqs in groups.values():
@@ -356,6 +505,8 @@ class QueryService:
                     req._fail(exc)
 
     def _run_group(self, reqs: list[_Pending]) -> None:
+        if faults.ARMED:
+            faults.check("service.dispatch")
         engine = reqs[0].engine
         cat = (
             np.concatenate([r.queries for r in reqs])
@@ -433,6 +584,9 @@ def make_server(
     service: QueryService | None = None,
     workers: "int | str | WorkerPlan | None" = 0,
     precision: str = "fp64",
+    max_queue_depth: int = 256,
+    verify: str = "header",
+    max_body_bytes: int = 8 << 20,
 ) -> ThreadingHTTPServer:
     """Build (but do not run) the JSON-over-HTTP query server.
 
@@ -442,13 +596,24 @@ def make_server(
     ``serve_forever()`` on the result (and ``shutdown()`` to stop); the
     attached :class:`QueryService` is started with the server and
     stopped when the server closes.
+
+    Every failure mode answers with well-formed JSON, never a stack
+    trace: 400 (malformed request), 404 (unknown path/index), 413 (body
+    over ``max_body_bytes``), 429 + ``Retry-After`` (admission queue
+    full), 503 (draining), 500 (anything unexpected, as
+    ``{"error": ...}``).
     """
     registry = {name: Path(p) for name, p in indexes.items()}
     if not registry:
         raise ValueError("at least one index must be registered")
     for name, path in registry.items():
         read_header(path)  # fail fast on bad registrations
-    svc = service or QueryService(workers=workers, precision=precision)
+    svc = service or QueryService(
+        workers=workers,
+        precision=precision,
+        max_queue_depth=max_queue_depth,
+        verify=verify,
+    )
 
     class Handler(BaseHTTPRequestHandler):
         # Serving diagnostics go through the return payloads; the default
@@ -456,17 +621,30 @@ def make_server(
         def log_message(self, fmt, *args):  # noqa: N802 (stdlib name)
             pass
 
-        def _send(self, code: int, payload: dict) -> None:
+        def _send(
+            self, code: int, payload: dict,
+            headers: "dict[str, str] | None" = None,
+        ) -> None:
             body = json.dumps(payload).encode()
             self.send_response(code)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
+            for key, value in (headers or {}).items():
+                self.send_header(key, value)
             self.end_headers()
             self.wfile.write(body)
 
         def do_GET(self) -> None:  # noqa: N802 (stdlib casing)
             if self.path == "/healthz":
-                self._send(200, {"status": "ok", "indexes": sorted(registry)})
+                if svc.draining:
+                    self._send(
+                        503,
+                        {"status": "draining", "indexes": sorted(registry)},
+                    )
+                else:
+                    self._send(
+                        200, {"status": "ok", "indexes": sorted(registry)}
+                    )
             elif self.path == "/stats":
                 self._send(200, svc.stats())
             else:
@@ -478,7 +656,18 @@ def make_server(
                 return
             try:
                 length = int(self.headers.get("Content-Length", "0"))
+                if length > max_body_bytes:
+                    self._send(
+                        413,
+                        {"error": f"request body of {length} bytes exceeds "
+                                  f"the {max_body_bytes} byte limit"},
+                    )
+                    return
                 req = json.loads(self.rfile.read(length) or b"{}")
+                if not isinstance(req, dict):
+                    self._send(400, {"error": "request body must be a JSON "
+                                              "object"})
+                    return
                 name = req.get("index", "default")
                 if name not in registry:
                     self._send(
@@ -513,6 +702,16 @@ def make_server(
                         registry[name], queries, eps=req.get("eps")
                     )
                     self._send(200, _range_payload(res))
+            except ServiceOverloaded as exc:
+                self._send(
+                    429,
+                    {"error": str(exc), "retry_after": exc.retry_after},
+                    headers={"Retry-After": f"{exc.retry_after:.3f}"},
+                )
+            except ServiceShuttingDown as exc:
+                self._send(503, {"error": str(exc)})
+            except DeadlineExceeded as exc:
+                self._send(504, {"error": str(exc)})
             except (KeyError, TypeError, ValueError) as exc:
                 self._send(400, {"error": str(exc)})
             except Exception as exc:  # noqa: BLE001 -- a JSON 500 beats a
@@ -533,20 +732,33 @@ def make_server(
 
 
 def run_self_test(
-    index_path: str | Path, *, n_clients: int = 4, queries_per_client: int = 8
+    index_path: str | Path,
+    *,
+    n_clients: int = 4,
+    queries_per_client: int = 8,
+    max_queue_depth: int = 256,
+    verify: str = "header",
 ) -> dict:
     """One-shot serve smoke: spin up, hammer, verify, shut down.
 
     Starts the HTTP server on an ephemeral port, fires ``n_clients``
-    concurrent client threads at ``/range`` and ``/knn`` for one cached
-    index, and verifies every HTTP answer against a direct serial
-    :class:`QueryEngine` call on the same points.  Returns a summary
-    dict (raises on any mismatch) -- the CI ``serve --self-test`` path.
+    concurrent :class:`~repro.service.client.ServiceClient` threads at
+    ``/range`` and ``/knn`` for one cached index, and verifies every
+    HTTP answer against a direct serial :class:`QueryEngine` call on the
+    same points.  The retrying client absorbs any 429s the admission
+    queue emits (CI runs this with ``service.dispatch`` delay faults
+    armed and a small ``max_queue_depth`` to force exactly that), so the
+    smoke passes iff every request ultimately lands bit-exact.  Returns
+    a summary dict (raises on any mismatch) -- the CI
+    ``serve --self-test`` path.
     """
-    import http.client
+    from repro.service.client import ServiceClient
 
     index_path = Path(index_path)
-    server = make_server({"default": index_path}, port=0)
+    server = make_server(
+        {"default": index_path}, port=0,
+        max_queue_depth=max_queue_depth, verify=verify,
+    )
     host, port = server.server_address[:2]
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
@@ -557,17 +769,15 @@ def run_self_test(
         engine.source, engine.eps, n_clients * queries_per_client, seed=0
     )
     errors: list[str] = []
+    retries = [0] * n_clients
 
     def client(ci: int) -> None:
         rows = all_queries[
             ci * queries_per_client : (ci + 1) * queries_per_client
         ]
         try:
-            conn = http.client.HTTPConnection(host, port, timeout=30)
-            body = json.dumps({"index": "default", "queries": rows.tolist()})
-            conn.request("POST", "/range", body,
-                         {"Content-Type": "application/json"})
-            got = json.loads(conn.getresponse().read())
+            sc = ServiceClient(host, port, timeout=30.0, max_attempts=8)
+            got = sc.range_query(rows.tolist(), index="default")
             want = engine.range_query(rows)
             want_sets = [set() for _ in range(rows.shape[0])]
             for i, j in zip(want.pairs_i.tolist(), want.pairs_j.tolist()):
@@ -575,16 +785,12 @@ def run_self_test(
             for i, neigh in enumerate(got["neighbors"]):
                 if set(neigh) != want_sets[i]:
                     errors.append(f"client {ci}: range mismatch on query {i}")
-            conn.request(
-                "POST", "/knn",
-                json.dumps({"index": "default", "queries": rows.tolist(), "k": 3}),
-                {"Content-Type": "application/json"},
-            )
-            got_knn = json.loads(conn.getresponse().read())
+            got_knn = sc.knn_query(rows.tolist(), k=3, index="default")
             want_knn = engine.knn_query(rows, 3)
             if got_knn["indices"] != want_knn.indices.tolist():
                 errors.append(f"client {ci}: knn mismatch")
-            conn.close()
+            retries[ci] = sc.retries
+            sc.close()
         except Exception as exc:  # noqa: BLE001 -- surfaced in the summary
             errors.append(f"client {ci}: {exc!r}")
 
@@ -604,8 +810,18 @@ def run_self_test(
     return {
         "clients": n_clients,
         "queries_per_client": queries_per_client,
+        "client_retries": sum(retries),
         "stats": stats,
     }
 
 
-__all__ = ["IndexCache", "QueryService", "make_server", "run_self_test"]
+__all__ = [
+    "IndexCache",
+    "QueryService",
+    "ServiceError",
+    "ServiceOverloaded",
+    "ServiceShuttingDown",
+    "DeadlineExceeded",
+    "make_server",
+    "run_self_test",
+]

@@ -1,0 +1,692 @@
+"""Chaos suite: every fault point driven to a typed error or a clean recovery.
+
+The fault-injection harness (:mod:`repro.faults`) is only worth having if
+each instrumented layer demonstrably survives its faults, so this module
+pins the fault-tolerance contracts end to end:
+
+* **Persistence** -- ``SIGKILL`` at any point inside ``save_index``
+  leaves either the old index or the new one fully loadable (never a torn
+  directory); corruption and truncation are caught by ``verify=`` levels
+  *before* any payload is handed to a query engine, as typed
+  :class:`~repro.index.persist.CorruptIndexError`.
+* **Execution** -- a killed fork-pool child is retried inline with
+  bit-identical results; a mid-stream source fault aborts the streaming
+  executors without leaking spill chunks.
+* **Serving** -- a full admission queue answers
+  :class:`~repro.service.ServiceOverloaded` / HTTP 429 within 50 ms,
+  ``stop(drain=True)`` fails queued waiters fast with
+  :class:`~repro.service.ServiceShuttingDown` (never abandons them), stale
+  requests die as :class:`~repro.service.DeadlineExceeded`, every HTTP
+  failure mode is well-formed JSON, and the retrying client rides out
+  transient 429s.
+
+Faults are armed programmatically per test (an autouse fixture disarms
+between tests) or via ``REPRO_FAULTS`` in subprocesses -- the same knob
+the CI chaos leg uses.
+"""
+
+import http.client
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro import faults
+from repro.core import engine
+from repro.core.api import build_index, open_index
+from repro.core.engine import (
+    norm_expansion_sq_dists,
+    process_candidate_self_join,
+    streaming_self_join,
+)
+from repro.core.results import PairAccumulator
+from repro.core.selectivity import epsilon_for_selectivity
+from repro.data.source import ArraySource
+from repro.index.grid import GridIndex
+from repro.index.persist import (
+    HEADER_NAME,
+    SAVING_SUFFIX,
+    CorruptIndexError,
+    load_index,
+    read_header,
+    verify_index,
+)
+from repro.service import (
+    DeadlineExceeded,
+    IndexCache,
+    QueryService,
+    ServiceClient,
+    ServiceOverloaded,
+    ServiceShuttingDown,
+    ServiceUnavailable,
+    make_server,
+)
+
+_SRC = str(Path(repro.__file__).resolve().parents[1])
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    """Every test starts and ends disarmed, with a reseeded fault RNG."""
+    faults.reset()
+    yield
+    faults.reset()
+
+
+@pytest.fixture(scope="module")
+def served_index(tmp_path_factory):
+    """One persisted grid index shared by the service-layer tests."""
+    rng = np.random.default_rng(7)
+    data = rng.normal(size=(500, 12))
+    eps = float(epsilon_for_selectivity(data, 8))
+    path = tmp_path_factory.mktemp("served") / "idx"
+    build_index(data, eps, path)
+    return path, data, eps
+
+
+def _subprocess_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop(faults.ENV_VAR, None)
+    return env
+
+
+# ----------------------------------------------------------------------
+# Harness mechanics
+# ----------------------------------------------------------------------
+
+
+class TestHarness:
+    def test_disarmed_by_default(self):
+        assert faults.ARMED is False
+        assert faults.active() == {}
+        assert faults.check("persist.write") is None
+
+    def test_arm_validates_inputs(self):
+        with pytest.raises(ValueError):
+            faults.arm("no.such.point", "error")
+        with pytest.raises(ValueError):
+            faults.arm("persist.write", "explode")
+        with pytest.raises(ValueError):
+            faults.arm("persist.write", "error", prob=1.5)
+
+    def test_armed_gate_tracks_spec_lifecycle(self):
+        assert faults.ARMED is False
+        faults.arm("source.read", "delay", param=0.0)
+        assert faults.ARMED is True
+        faults.disarm("source.read")
+        assert faults.ARMED is False
+
+    def test_count_bounds_firing(self):
+        faults.arm("source.read", "error", count=2)
+        for _ in range(2):
+            with pytest.raises(faults.FaultError):
+                faults.check("source.read")
+        assert faults.check("source.read") is None
+        assert faults.active()["source.read"].fired == 2
+
+    def test_after_skips_early_evaluations(self):
+        faults.arm("source.read", "error", after=2)
+        assert faults.check("source.read") is None
+        assert faults.check("source.read") is None
+        with pytest.raises(faults.FaultError):
+            faults.check("source.read")
+
+    def test_probability_is_seeded_and_roughly_honored(self):
+        faults.arm("source.read", "error", prob=0.4, seed=7)
+        fired = 0
+        for _ in range(300):
+            try:
+                faults.check("source.read")
+            except faults.FaultError:
+                fired += 1
+        assert 60 < fired < 180  # ~120 expected; wide deterministic band
+
+    def test_corrupt_kind_returns_marker(self):
+        faults.arm("persist.payload", "corrupt")
+        assert faults.check("persist.payload") == "corrupt"
+
+    def test_corrupt_file_flips_one_byte(self, tmp_path):
+        p = tmp_path / "blob"
+        payload = bytes(range(64))
+        p.write_bytes(payload)
+        faults.corrupt_file(p)
+        after = p.read_bytes()
+        assert len(after) == len(payload)
+        assert sum(a != b for a, b in zip(payload, after)) == 1
+
+    def test_env_parsing(self):
+        specs = faults.configure_from_env(
+            "persist.write:error:0.5, service.dispatch:delay:1.0:0.02"
+        )
+        assert {s.point for s in specs} == {"persist.write", "service.dispatch"}
+        assert faults.active()["persist.write"].prob == 0.5
+        assert faults.active()["service.dispatch"].param == 0.02
+        with pytest.raises(ValueError):
+            faults.configure_from_env("garbage")
+        assert faults.configure_from_env("") == []
+
+    def test_env_arms_at_import_in_subprocess(self):
+        env = _subprocess_env()
+        env[faults.ENV_VAR] = "worker.exec:error:0.25"
+        out = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "from repro import faults; import json; "
+                "print(json.dumps({p: [s.kind, s.prob] "
+                "for p, s in faults.active().items()}))",
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert out.returncode == 0, out.stderr
+        assert json.loads(out.stdout) == {"worker.exec": ["error", 0.25]}
+
+    def test_malformed_env_fails_loudly_in_subprocess(self):
+        env = _subprocess_env()
+        env[faults.ENV_VAR] = "not-a-spec"
+        out = subprocess.run(
+            [sys.executable, "-c", "import repro.faults"],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert out.returncode != 0
+        assert "ValueError" in out.stderr
+
+
+# ----------------------------------------------------------------------
+# Crash-safe persistence
+# ----------------------------------------------------------------------
+
+# Builds (deterministically, from the seed) and saves an index, with a
+# kill fault armed somewhere inside save_index.  The print never runs.
+_KILL_SAVE_SCRIPT = """
+import sys
+import numpy as np
+from repro import faults
+from repro.core.api import build_index
+from repro.core.selectivity import epsilon_for_selectivity
+
+point, after, path, seed = (
+    sys.argv[1], int(sys.argv[2]), sys.argv[3], int(sys.argv[4])
+)
+rng = np.random.default_rng(seed)
+data = rng.normal(size=(250, 8))
+eps = float(epsilon_for_selectivity(data, 8))
+faults.arm(point, "kill", after=after)
+build_index(data, eps, path)
+print("SURVIVED")
+"""
+
+#: Kill sites spanning the save: the first payload write, a mid-save
+#: payload write, and the instant before the atomic commit.
+_KILL_SITES = [("persist.payload", 0), ("persist.payload", 2), ("persist.write", 0)]
+
+
+def _save_killed_at(point, after, path, seed):
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            _KILL_SAVE_SCRIPT,
+            point,
+            str(after),
+            str(path),
+            str(seed),
+        ],
+        env=_subprocess_env(),
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == -signal.SIGKILL, (proc.returncode, proc.stderr)
+    assert "SURVIVED" not in proc.stdout
+    return proc
+
+
+def _reference_build(path, seed):
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(250, 8))
+    eps = float(epsilon_for_selectivity(data, 8))
+    build_index(data, eps, path)
+
+
+class TestCrashSafePersistence:
+    def test_kill_during_fresh_save_leaves_no_index(self, tmp_path):
+        path = tmp_path / "fresh"
+        for point, after in _KILL_SITES:
+            _save_killed_at(point, after, path, seed=1)
+            assert not path.exists()
+        # The latest interrupted attempt left staging debris behind (each
+        # save GCs its predecessors' debris on entry) ...
+        stale = list(tmp_path.glob(f"fresh{SAVING_SUFFIX}*"))
+        assert len(stale) == 1
+        # ... which the next (clean) save garbage-collects on its way in.
+        _reference_build(path, seed=1)
+        loaded = load_index(path, verify="full")
+        assert loaded.index.n_points == 250
+        assert not list(tmp_path.glob(f"fresh{SAVING_SUFFIX}*"))
+
+    def test_kill_during_replacement_keeps_old_generation(self, tmp_path):
+        path = tmp_path / "repl"
+        _reference_build(path, seed=1)
+        before = read_header(path)
+        for point, after in _KILL_SITES:
+            _save_killed_at(point, after, path, seed=2)
+            # The commit never happened: byte-identical header, payloads
+            # that still pass full checksum verification.
+            assert read_header(path) == before
+            load_index(path, verify="full")
+        # A clean replacement then commits the new generation and GCs
+        # every stale staging dir and orphaned payload.
+        _reference_build(path, seed=2)
+        after_header = read_header(path)
+        assert after_header != before
+        load_index(path, verify="full")
+        assert not list(tmp_path.glob(f"repl{SAVING_SUFFIX}*"))
+        referenced = {e["file"] for e in after_header["arrays"].values()}
+        if after_header.get("data_embedded"):
+            referenced.add(after_header["data"])
+        on_disk = {p.name for p in path.iterdir()} - {HEADER_NAME}
+        assert on_disk == referenced
+
+    @pytest.mark.parametrize("kind", ["grid", "mstree"])
+    def test_corrupt_payload_caught_by_full_verify(self, tmp_path, kind):
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=(300, 8))
+        eps = float(epsilon_for_selectivity(data, 8))
+        path = tmp_path / kind
+        build_index(data, eps, path, kind=kind)
+        header = read_header(path)
+        victim = path / next(iter(header["arrays"].values()))["file"]
+        # Flip a byte of real array data (the npy payload tail), past the
+        # npy format header: the cheap level passes, the checksum level
+        # and the loader both refuse before any payload reaches a query.
+        faults.corrupt_file(victim, offset=victim.stat().st_size - 16)
+        load_index(path, verify="header")
+        load_index(path, verify="off")
+        with pytest.raises(CorruptIndexError):
+            load_index(path, verify="full")
+        with pytest.raises(CorruptIndexError):
+            open_index(path, verify="full")
+
+    @pytest.mark.parametrize("kind", ["grid", "mstree"])
+    def test_truncated_payload_caught_by_header_verify(self, tmp_path, kind):
+        rng = np.random.default_rng(4)
+        data = rng.normal(size=(300, 8))
+        eps = float(epsilon_for_selectivity(data, 8))
+        path = tmp_path / kind
+        build_index(data, eps, path, kind=kind)
+        header = read_header(path)
+        victim = path / next(iter(header["arrays"].values()))["file"]
+        with open(victim, "r+b") as fh:
+            fh.truncate(victim.stat().st_size - 8)
+        with pytest.raises(CorruptIndexError):
+            load_index(path, verify="header")
+        with pytest.raises(CorruptIndexError):
+            load_index(path, verify="full")
+
+    def test_header_corruption_is_typed(self, tmp_path):
+        rng = np.random.default_rng(5)
+        data = rng.normal(size=(200, 6))
+        eps = float(epsilon_for_selectivity(data, 8))
+        path = tmp_path / "idx"
+        build_index(data, eps, path)
+        header_path = path / HEADER_NAME
+        good = header_path.read_bytes()
+
+        header_path.write_bytes(b"{ this is not json")
+        with pytest.raises(CorruptIndexError):
+            read_header(path)
+        header_path.write_bytes(good[: len(good) // 2])  # torn write
+        with pytest.raises(CorruptIndexError):
+            read_header(path)
+        # Wrong magic is an incompatibility, not corruption.
+        junk = json.loads(good)
+        junk["magic"] = "nope"
+        header_path.write_bytes(json.dumps(junk).encode())
+        with pytest.raises(ValueError):
+            read_header(path)
+        with pytest.raises(ValueError):
+            read_header(tmp_path / "does-not-exist")
+
+    def test_injected_payload_corruption_roundtrip(self, tmp_path):
+        """The persist.payload corrupt fault is caught by verify='full'."""
+        rng = np.random.default_rng(6)
+        data = rng.normal(size=(200, 6))
+        eps = float(epsilon_for_selectivity(data, 8))
+        path = tmp_path / "idx"
+        faults.arm("persist.payload", "corrupt", count=1)
+        build_index(data, eps, path)
+        faults.disarm()
+        verify_index(path, level="header")  # the flip preserves sizes
+        with pytest.raises(CorruptIndexError):
+            load_index(path, verify="full")
+        try:
+            load_index(path, verify="header")
+        except CorruptIndexError:
+            pass  # byte landed in an npy format header: still typed
+
+
+# ----------------------------------------------------------------------
+# Executor failure recovery
+# ----------------------------------------------------------------------
+
+
+def _chaos_dataset(seed, n=600, d=8):
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(n, d))
+    eps = float(epsilon_for_selectivity(data, 10))
+    return np.ascontiguousarray(data), eps
+
+
+class TestExecutorRecovery:
+    @pytest.mark.skipif(
+        not engine._fork_available(), reason="fork start method unavailable"
+    )
+    def test_killed_fork_children_recover_bit_identical(self):
+        data, eps = _chaos_dataset(11)
+        idx = GridIndex(data, eps, n_dims=4)
+        sq = (data * data).sum(axis=1)
+        eps2 = eps * eps
+        serial = process_candidate_self_join(
+            idx.iter_cells(), data, sq, eps2, workers=0
+        )
+        before = engine.FORK_RECOVERIES
+        faults.arm("worker.exec", "kill", prob=0.3, seed=123)
+        chaotic = process_candidate_self_join(
+            idx.iter_cells(), data, sq, eps2, workers=2, group_batch=8
+        )
+        faults.disarm()
+        assert engine.FORK_RECOVERIES > before  # children actually died
+        si, sj, sd = serial.arrays()
+        ci, cj, cd = chaotic.arrays()
+        np.testing.assert_array_equal(si, ci)
+        np.testing.assert_array_equal(sj, cj)
+        assert np.array_equal(sd.view(np.uint64), cd.view(np.uint64))
+
+    @pytest.mark.skipif(
+        not engine._fork_available(), reason="fork start method unavailable"
+    )
+    def test_worker_error_fault_propagates(self):
+        data, eps = _chaos_dataset(12, n=300)
+        idx = GridIndex(data, eps, n_dims=4)
+        sq = (data * data).sum(axis=1)
+        faults.arm("worker.exec", "error")
+        with pytest.raises(faults.FaultError):
+            process_candidate_self_join(
+                idx.iter_cells(), data, sq, eps * eps, workers=2, group_batch=8
+            )
+
+    def test_source_read_fault_propagates_and_clears(self):
+        data, _ = _chaos_dataset(13, n=200)
+        src = ArraySource(data)
+        ok = src.load_block(0, 50)
+        faults.arm("source.read", "error")
+        with pytest.raises(faults.FaultError):
+            src.load_block(0, 50)
+        faults.disarm()
+        np.testing.assert_array_equal(src.load_block(0, 50), ok)
+
+    def test_streaming_fault_cleans_up_spill_chunks(self, tmp_path):
+        data, eps = _chaos_dataset(14, n=400)
+        eps2 = eps * eps
+
+        def prepare(block):
+            return block, (block * block).sum(axis=1)
+
+        def dists(row, col):
+            return norm_expansion_sq_dists(row[1], col[1], row[0] @ col[0].T)
+
+        spill_dir = tmp_path / "spill"
+        acc = PairAccumulator(spill_threshold_bytes=2048, spill_dir=spill_dir)
+        faults.arm("source.read", "error", after=12)  # fail mid-stream
+        with pytest.raises(faults.FaultError):
+            streaming_self_join(
+                ArraySource(data), eps2, prepare, dists, row_block=40, acc=acc
+            )
+        assert not spill_dir.exists() or not any(spill_dir.iterdir())
+
+
+# ----------------------------------------------------------------------
+# Admission control, deadlines, graceful shutdown
+# ----------------------------------------------------------------------
+
+
+class TestAdmissionControl:
+    def test_overload_rejects_within_50ms(self, served_index):
+        path, data, eps = served_index
+        q = data[:4]
+        svc = QueryService(max_queue_depth=2, max_delay_s=0.001)
+        faults.arm("service.dispatch", "delay", param=0.3)
+        try:
+            handles = [svc.submit(path, q, eps=eps)]
+            time.sleep(0.08)  # dispatcher is asleep inside the first batch
+            handles += [svc.submit(path, q, eps=eps) for _ in range(2)]
+            t0 = time.monotonic()
+            with pytest.raises(ServiceOverloaded) as excinfo:
+                svc.submit(path, q, eps=eps)
+            assert time.monotonic() - t0 < 0.05
+            assert excinfo.value.retry_after > 0
+            assert svc.stats()["requests_rejected"] == 1
+            faults.disarm()
+            for h in handles:  # admitted requests are all served
+                assert h.result(timeout=10).n_left == 4
+        finally:
+            faults.disarm()
+            svc.stop()
+
+    def test_stop_drain_fails_queued_requests_fast(self, served_index):
+        path, data, eps = served_index
+        q = data[:4]
+        svc = QueryService(max_queue_depth=8)
+        faults.arm("service.dispatch", "delay", param=0.25)
+        first = svc.submit(path, q, eps=eps)
+        time.sleep(0.05)
+        queued = [svc.submit(path, q, eps=eps) for _ in range(3)]
+        stopper = threading.Thread(target=svc.stop)
+        t0 = time.monotonic()
+        stopper.start()
+        time.sleep(0.02)
+        # New submissions are refused while the stop is in progress.
+        with pytest.raises(ServiceShuttingDown):
+            svc.submit(path, q, eps=eps)
+        stopper.join(timeout=10)
+        assert not stopper.is_alive()
+        # In-flight work finished; queued waiters got a typed error
+        # promptly instead of blocking out their own timeouts.
+        assert first.result(timeout=1).n_left == 4
+        for h in queued:
+            with pytest.raises(ServiceShuttingDown):
+                h.result(timeout=1)
+        assert time.monotonic() - t0 < 5.0
+        # A later submit revives the stopped service.
+        faults.disarm()
+        res = svc.query(path, q, eps=eps, timeout=10)
+        assert res.n_left == 4
+        svc.stop()
+
+    def test_stale_requests_fail_with_deadline_exceeded(self, served_index):
+        path, data, eps = served_index
+        q = data[:4]
+        svc = QueryService()
+        faults.arm("service.dispatch", "delay", param=0.2)
+        try:
+            first = svc.submit(path, q, eps=eps)
+            time.sleep(0.05)
+            late = svc.submit(path, q, eps=eps, deadline_s=0.01)
+            with pytest.raises(DeadlineExceeded):
+                late.result(timeout=5)
+            assert svc.stats()["requests_expired"] >= 1
+            faults.disarm()
+            assert first.result(timeout=10).n_left == 4
+        finally:
+            faults.disarm()
+            svc.stop()
+
+
+# ----------------------------------------------------------------------
+# HTTP surface + retrying client
+# ----------------------------------------------------------------------
+
+
+@contextmanager
+def _serve(index_path, **kwargs):
+    server = make_server({"default": index_path}, port=0, **kwargs)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server.server_address[1]
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def _raw_post(port, path, body, timeout=30.0):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        conn.request(
+            "POST", path, body=body, headers={"Content-Type": "application/json"}
+        )
+        resp = conn.getresponse()
+        return resp.status, dict(resp.getheaders()), json.loads(resp.read())
+    finally:
+        conn.close()
+
+
+class TestHttpFaults:
+    def test_error_codes_are_wellformed_json(self, served_index):
+        path, data, eps = served_index
+        with _serve(path, max_body_bytes=4096) as port:
+            with ServiceClient(port=port) as client:
+                assert client.healthz()["status"] == "ok"
+                status, body = client.request("GET", "/nope")
+                assert status == 404 and "error" in body
+            assert _raw_post(port, "/nope", b"{}")[0] == 404
+            status, _, body = _raw_post(port, "/range", b"this is not json")
+            assert status == 400 and "error" in body
+            status, _, body = _raw_post(port, "/range", b'["not", "a", "dict"]')
+            assert status == 400 and "object" in body["error"]
+            status, _, body = _raw_post(
+                port,
+                "/range",
+                json.dumps({"index": "ghost", "queries": data[:1].tolist()}).encode(),
+            )
+            assert status == 404 and body["indexes"] == ["default"]
+            status, _, body = _raw_post(port, "/range", b" " * 8192)
+            assert status == 413 and "4096" in body["error"]
+            # An unexpected dispatcher explosion is a JSON 500, not a
+            # dropped connection or an HTML stack trace.
+            faults.arm("service.dispatch", "error", count=1)
+            status, _, body = _raw_post(
+                port,
+                "/range",
+                json.dumps({"queries": data[:2].tolist(), "eps": eps}).encode(),
+            )
+            assert status == 500 and "FaultError" in body["error"]
+            faults.disarm()
+            status, _, body = _raw_post(
+                port,
+                "/range",
+                json.dumps({"queries": data[:2].tolist(), "eps": eps}).encode(),
+            )
+            assert status == 200 and body["n_queries"] == 2
+
+    def test_overloaded_server_answers_429_within_50ms(self, served_index):
+        path, data, eps = served_index
+        payload = json.dumps({"queries": data[:2].tolist(), "eps": eps}).encode()
+        with _serve(path, max_queue_depth=1) as port:
+            faults.arm("service.dispatch", "delay", param=0.4)
+            background = []
+            results = []
+            for _ in range(2):  # one in flight + one filling the queue
+                t = threading.Thread(
+                    target=lambda: results.append(_raw_post(port, "/range", payload))
+                )
+                t.start()
+                background.append(t)
+                time.sleep(0.05)
+            t0 = time.monotonic()
+            status, headers, body = _raw_post(port, "/range", payload, timeout=5)
+            elapsed = time.monotonic() - t0
+            faults.disarm()
+            for t in background:
+                t.join(timeout=30)
+            assert status == 429
+            assert elapsed < 0.05
+            assert float(headers["Retry-After"]) > 0
+            assert body["retry_after"] > 0
+            assert [s for s, _, _ in results] == [200, 200]
+
+    def test_client_retries_through_transient_429(self, served_index):
+        path, data, eps = served_index
+        payload = json.dumps({"queries": data[:2].tolist(), "eps": eps}).encode()
+        with _serve(path, max_queue_depth=1) as port:
+            faults.arm("service.dispatch", "delay", param=0.4, count=1)
+            background = []
+            for _ in range(2):
+                t = threading.Thread(
+                    target=lambda: _raw_post(port, "/range", payload)
+                )
+                t.start()
+                background.append(t)
+                time.sleep(0.05)
+            client = ServiceClient(
+                port=port, max_attempts=10, base_delay_s=0.05, seed=1
+            )
+            res = client.range_query(data[:2].tolist(), eps=eps)
+            for t in background:
+                t.join(timeout=30)
+            assert res["n_queries"] == 2
+            assert client.retries > 0  # it was actually turned away first
+
+    def test_client_gives_up_with_typed_error(self):
+        with socket.socket() as s:  # grab a port nothing listens on
+            s.bind(("127.0.0.1", 0))
+            port = s.getsockname()[1]
+        client = ServiceClient(
+            port=port, max_attempts=2, timeout=1.0, base_delay_s=0.01
+        )
+        with pytest.raises(ServiceUnavailable):
+            client.healthz()
+        assert client.retries >= 1
+
+
+# ----------------------------------------------------------------------
+# Cache staleness (satellite regression)
+# ----------------------------------------------------------------------
+
+
+class TestCacheStaleness:
+    def test_rebuild_within_mtime_granularity_not_served_stale(self, tmp_path):
+        """The digest-keyed cache sees a rebuild even at identical mtime."""
+        path = tmp_path / "idx"
+        _reference_build(path, seed=1)
+        header_path = path / HEADER_NAME
+        st = header_path.stat()
+        cache = IndexCache(capacity=2)
+        first = cache.get(path)
+        assert cache.get(path) is first and cache.hits == 1
+        _reference_build(path, seed=2)  # in-place replacement
+        # Pin the header's timestamps back to the first generation's: an
+        # mtime-keyed cache could not tell the generations apart.
+        os.utime(header_path, (st.st_atime, st.st_mtime))
+        second = cache.get(path)
+        assert second is not first
+        assert cache.misses == 2

@@ -441,7 +441,7 @@ class TestIndexCache:
 
     def test_rebuild_invalidates_cache(self, tmp_path):
         """Rebuilding at the same path must not serve the stale engine
-        (the key carries the header mtime)."""
+        (the key carries the header content digest)."""
         data1, eps1 = _dataset(n=300, d=8, seed=1)
         build_index(data1, eps1, tmp_path / "g")
         cache = IndexCache()
@@ -685,7 +685,8 @@ class TestApi:
         build_index(data, eps, tmp_path / "g", data_path=tmp_path / "ds.npy")
         loaded = load_index(tmp_path / "g")
         assert loaded.header["data"] == str(tmp_path / "ds.npy")
-        assert not (tmp_path / "g" / "data.npy").exists()
+        assert not loaded.header.get("data_embedded")
+        assert not list((tmp_path / "g").glob("data-*.npy"))
         with pytest.raises(ValueError, match="one or the other"):
             build_index(
                 data, eps, tmp_path / "g2",
