@@ -1,0 +1,206 @@
+"""Service load benchmark: latency/throughput envelope of the query server.
+
+Drives the serving subsystem with the load generator
+(:mod:`repro.loadgen`) at the standard working point (clustered n=4096,
+d=64, selectivity 64) and records:
+
+* **RPS sweep** (open loop) -- p50/p95/p99 latency, achieved
+  throughput, and the full error breakdown (429/503/504/other/dropped)
+  at each offered rate, factors x repetitions through
+  :func:`repro.loadgen.runner.run_experiment`, plus the saturation knee.
+* **Closed loop** -- sustained throughput at fixed concurrency.
+* **HTTP observability check** -- a short run against a live ``serve``
+  endpoint, then ``/metrics`` parsed as Prometheus text and
+  cross-checked against ``/stats`` (two views of one registry: the
+  counters must agree).
+
+Writes ``BENCH_service.json`` at the repository root (see
+docs/BENCHMARKS.md: extend this file's key set, never replace entries
+with incomparable ones).  Run standalone:
+
+    PYTHONPATH=src python benchmarks/bench_service_load.py
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import tempfile
+import threading
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.api import build_index
+from repro.core.selectivity import epsilon_for_selectivity
+from repro.data.synthetic import synth_dataset
+from repro.loadgen import run_experiment, run_load, saturation_knee
+from repro.loadgen.generator import (
+    HttpTarget,
+    QuerySampler,
+    WorkloadConfig,
+)
+from repro.service import (
+    QueryEngine,
+    ServiceClient,
+    make_server,
+    parse_prometheus_text,
+)
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+N_POINTS = 4096
+JOIN_DIMS = 64
+SELECTIVITY = 64
+
+#: Open-loop sweep: offered request rates (batched range queries / s).
+SWEEP_RPS = [50.0, 100.0, 200.0, 400.0]
+SWEEP_REPS = 2
+SWEEP_DURATION_S = 1.5
+
+#: Closed loop: fixed in-flight concurrency, offered load adapts.
+CLOSED_CONCURRENCY = 4
+CLOSED_DURATION_S = 3.0
+
+
+def build_bench_index(root: Path) -> tuple[Path, float]:
+    data = synth_dataset(N_POINTS, JOIN_DIMS, seed=0, clustered=True)
+    eps = float(epsilon_for_selectivity(data, SELECTIVITY))
+    path = root / "index"
+    build_index(data, eps, path, kind="grid")
+    return path, eps
+
+
+def bench_rps_sweep(index: Path) -> dict:
+    """Open-loop RPS sweep through the experiment runner."""
+    config = {
+        "name": "bench-rps-sweep",
+        "repetitions": SWEEP_REPS,
+        "base": {
+            "mode": "open",
+            "duration_s": SWEEP_DURATION_S,
+            "concurrency": 8,
+            "batch_size": 8,
+            "range_fraction": 0.75,
+            "k": 5,
+            "zipf_s": 1.1,
+            "deadline_s": 2.0,
+            "seed": 0,
+        },
+        "factors": {"target_rps": SWEEP_RPS},
+    }
+    report = run_experiment(config, index=index)
+    return {
+        "workload": config["base"],
+        "swept_rps": SWEEP_RPS,
+        "repetitions": SWEEP_REPS,
+        "saturation_knee_rps": report["saturation_knee_rps"],
+        "rows": report["rows"],
+    }
+
+
+def bench_closed_loop(index: Path) -> dict:
+    """Sustained closed-loop throughput at fixed concurrency."""
+    from repro.loadgen.generator import run_against_service
+
+    config = WorkloadConfig(
+        mode="closed",
+        duration_s=CLOSED_DURATION_S,
+        concurrency=CLOSED_CONCURRENCY,
+        batch_size=8,
+        range_fraction=0.75,
+        k=5,
+        zipf_s=1.1,
+        seed=0,
+    )
+    result = run_against_service(index, config)
+    return result.summary()
+
+
+def bench_http_observability(index: Path) -> dict:
+    """Short HTTP run; /metrics must parse and agree with /stats."""
+    server = make_server({"default": index}, host="127.0.0.1", port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        host, port = server.server_address[0], server.server_address[1]
+        engine = QueryEngine(index)
+        config = WorkloadConfig(
+            mode="closed", duration_s=1.5, concurrency=4, batch_size=4,
+            range_fraction=0.5, k=5, seed=0,
+        )
+        sampler = QuerySampler(engine, config)
+        result = run_load(
+            config,
+            lambda: HttpTarget(host, port, index="default"),
+            sampler,
+        )
+        with ServiceClient(host, port) as client:
+            stats = client.stats()
+            families = parse_prometheus_text(client.metrics_text())
+
+        def scalar(name: str) -> float:
+            series = families.get(name, {})
+            return sum(
+                v for labels, v in series.items()
+                if not any(k == "le" for k, _ in labels)
+            )
+
+        served_stats = float(stats["requests_served"])
+        served_metrics = scalar("repro_service_requests_served_total")
+        hits_stats = float(stats["cache"]["hits"])
+        hits_metrics = scalar("repro_cache_hits_total")
+        http_5xx = sum(
+            v for labels, v in
+            families.get("repro_http_requests_total", {}).items()
+            if any(k == "status" and v2.startswith("5")
+                   for k, v2 in labels)
+        )
+        return {
+            "load": result.summary(),
+            "metrics_families": len(families),
+            "requests_served_stats": served_stats,
+            "requests_served_metrics": served_metrics,
+            "cache_hits_stats": hits_stats,
+            "cache_hits_metrics": hits_metrics,
+            "stats_metrics_agree": bool(
+                served_stats == served_metrics and hits_stats == hits_metrics
+            ),
+            "http_5xx": http_5xx,
+        }
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5.0)
+
+
+def main() -> dict:
+    with tempfile.TemporaryDirectory() as td:
+        index, eps = build_bench_index(Path(td))
+        sweep = bench_rps_sweep(index)
+        closed = bench_closed_loop(index)
+        http = bench_http_observability(index)
+    report: dict = {}
+    if OUT_PATH.exists():  # extend, never replace (docs/BENCHMARKS.md)
+        report = json.loads(OUT_PATH.read_text())
+    report["config"] = {
+        "n": N_POINTS,
+        "d": JOIN_DIMS,
+        "eps": eps,
+        "target_selectivity": SELECTIVITY,
+        "index_kind": "grid",
+        "numpy": np.__version__,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    report["rps_sweep"] = sweep
+    report["closed_loop"] = closed
+    report["http_observability"] = http
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {OUT_PATH}")
+    return report
+
+
+if __name__ == "__main__":
+    main()

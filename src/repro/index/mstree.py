@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.index.grid import (
     _SOURCE_ROW_BLOCK,
+    GridStats,
     _iter_source_blocks,
     variance_order,
     variance_order_from_source,
@@ -252,6 +253,45 @@ class MultiSpaceTree:
                 b = level.bins[members]
                 block_mask &= (level.bins >= b.min() - 1) & (level.bins <= b.max() + 1)
             yield members, np.nonzero(block_mask)[0]
+
+    def stats(self, group: int = 1024) -> GridStats:
+        """Group-shape moments, mirroring :meth:`GridIndex.stats`.
+
+        The tree's unit of work is the :meth:`iter_groups` block (the
+        grid's is the cell), so the moments are over per-group member
+        counts and candidate-set sizes: ``n_nonempty_cells`` counts
+        groups, ``n_indexed_dims`` counts partitioning levels, and
+        ``total_candidates`` is the sum over points of their group's
+        candidate-set size -- the same duck-typed contract
+        :func:`repro.core.engine.batch_params_from_stats` consumes, so
+        tree-backed batched executors get measured knobs instead of the
+        static defaults.  Returned as a :class:`GridStats` (same fields,
+        same semantics per unit of work).
+        """
+        member_counts: list[int] = []
+        cand_sizes: list[int] = []
+        total = 0
+        for members, candidates in self.iter_groups(group=group):
+            member_counts.append(int(members.size))
+            cand_sizes.append(int(candidates.size))
+            total += int(members.size) * int(candidates.size)
+        if member_counts:
+            mc = np.asarray(member_counts, dtype=np.float64)
+            cs = np.asarray(cand_sizes, dtype=np.float64)
+            mean_m, std_m = float(mc.mean()), float(mc.std())
+            mean_c, std_c = float(cs.mean()), float(cs.std())
+        else:
+            mean_m = std_m = mean_c = std_c = 0.0
+        return GridStats(
+            n_points=self.n_points,
+            n_indexed_dims=len(self.levels),
+            n_nonempty_cells=len(member_counts),
+            total_candidates=total,
+            mean_members=mean_m,
+            std_members=std_m,
+            mean_group_candidates=mean_c,
+            std_group_candidates=std_c,
+        )
 
     def query_bins(self, queries: np.ndarray) -> list[np.ndarray]:
         """Per-level bin indices of *external* query points.

@@ -20,6 +20,7 @@ from repro.core.engine import (
     StreamStats,
     TilePlan,
     WorkerPlan,
+    batch_params_from_stats,
     batched_candidate_self_join,
     candidate_join,
     candidate_self_join,
@@ -118,6 +119,7 @@ class MisticKernel:
                 sq_norms,
                 eps2,
                 store_distances=store_distances,
+                **batch_params_from_stats(tree.stats(group=group)),
             )
         else:
 
@@ -185,9 +187,11 @@ class MisticKernel:
         small groups into padded batch GEMMs with the ``take()`` gathers
         batched per flush (:class:`~repro.core.engine.SourceWorkView`,
         einsum norms matching this kernel's precompute; pair-set
-        contract).  The tree has no ``stats()`` moments, so the knobs
-        stay at the engine's static defaults unless ``batch_params``
-        overrides them.
+        contract).  The batch knobs are derived from the tree's measured
+        group-shape moments (``MultiSpaceTree.stats`` ->
+        :func:`~repro.core.engine.batch_params_from_stats`, the same
+        sizing contract the grid index uses); ``batch_params`` entries
+        override individual derived knobs.
         """
         from repro.data.source import as_source
 
@@ -211,7 +215,9 @@ class MisticKernel:
                     view.sq_norms,
                     eps2,
                     store_distances=store_distances,
-                    **(batch_params or {}),
+                    **batch_params_from_stats(
+                        tree.stats(group=group), **(batch_params or {})
+                    ),
                 )
             finally:
                 view.close()

@@ -1,0 +1,621 @@
+"""Open- and closed-loop load generation against the query service.
+
+Two loop disciplines (the distinction matters -- they measure different
+things):
+
+* **Closed loop** (``mode="closed"``): ``concurrency`` workers each
+  issue one request, wait for its answer, and immediately issue the
+  next.  Offered load adapts to service speed, so a slow service simply
+  sees fewer requests -- the right discipline for "how fast can N
+  clients go" and for deterministic tests (with one worker, a seeded
+  RNG, and an injected clock the request sequence is a pure function of
+  the config).
+* **Open loop** (``mode="open"``): arrivals follow a fixed schedule
+  (``target_rps``), independent of completions.  Latency is measured
+  from the *scheduled* arrival instant, so queueing delay under
+  saturation is charged to the request (no coordinated omission).  The
+  right discipline for "what happens at X RPS" and for finding the
+  saturation knee of an RPS sweep (:func:`saturation_knee`).
+
+The query mix (range/kNN ratio, batch size, eps/k) and the key-skew
+come from :class:`QuerySampler`: with ``zipf_s > 0`` on a grid-backed
+index, query points are drawn Zipf-skewed over grid-*cell* popularity
+ranks, so a skewed run hammers a few hot cells -- exactly the access
+pattern the engine's hot-cell candidate LRU and the service's admission
+control exist for.  Per-request outcomes stream into a
+:class:`~repro.service.metrics.LogHistogram` (HDR-style log buckets;
+p50/p95/p99 from bucket counts) plus a status breakdown
+(``ok``/``429``/``503``/``504``/``error``/``dropped``) -- no unbounded
+per-request retention unless records are requested.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass, field, fields
+
+import numpy as np
+
+from repro.service.metrics import DEFAULT_LATENCY_BUCKETS, LogHistogram
+from repro.service.server import (
+    DeadlineExceeded,
+    QueryService,
+    ServiceOverloaded,
+    ServiceShuttingDown,
+)
+
+#: Status labels a request can resolve to.  ``dropped`` is generator-side
+#: shedding: an open-loop arrival so far behind schedule that issuing it
+#: would only measure the generator's own backlog.
+STATUSES = ("ok", "429", "503", "504", "error", "dropped")
+
+
+@dataclass
+class WorkloadConfig:
+    """One load bout: loop discipline, stop condition, and query mix."""
+
+    mode: str = "closed"  # "closed" | "open"
+    duration_s: float = 5.0
+    target_rps: float = 100.0  # open-loop arrival rate
+    concurrency: int = 4  # closed-loop workers / open-loop in-flight cap
+    max_requests: int | None = None  # optional request budget
+    range_fraction: float = 1.0  # share of /range requests (rest are kNN)
+    batch_size: int = 8  # query rows per request
+    k: int = 5  # kNN neighbor count
+    eps_scale: float = 1.0  # range radius = eps_scale * index eps
+    zipf_s: float = 0.0  # cell-popularity skew exponent (0 = uniform)
+    deadline_s: float | None = None  # per-request deadline (in-process)
+    think_time_s: float = 0.0  # closed-loop pause between requests
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("closed", "open"):
+            raise ValueError(f"mode must be 'closed' or 'open', got {self.mode!r}")
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if self.target_rps <= 0:
+            raise ValueError("target_rps must be positive")
+        if self.concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        if self.max_requests is not None and self.max_requests < 1:
+            raise ValueError("max_requests must be >= 1 when given")
+        if not 0.0 <= self.range_fraction <= 1.0:
+            raise ValueError("range_fraction must be in [0, 1]")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        if not 0.0 < self.eps_scale <= 1.0:
+            raise ValueError(
+                "eps_scale must be in (0, 1] -- a range query radius must "
+                "not exceed the index eps"
+            )
+        if self.zipf_s < 0:
+            raise ValueError("zipf_s must be >= 0")
+        if self.think_time_s < 0:
+            raise ValueError("think_time_s must be >= 0")
+
+
+#: Field names a config file may set (runner validation).
+WORKLOAD_KEYS = frozenset(f.name for f in fields(WorkloadConfig))
+
+
+class QuerySampler:
+    """Deterministic query-mix sampler over an engine's indexed dataset.
+
+    A pool of ``pool_size`` query points is drawn up front: dataset rows
+    -- uniform, or Zipf-skewed over grid-cell popularity ranks
+    (``zipf_s > 0`` on a grid index: cell of rank ``r`` drawn with
+    probability proportional to ``r**-zipf_s``, then a uniform member of
+    that cell) -- jittered by ``eps/4`` like
+    :func:`~repro.service.query.sample_queries`.  Each request then
+    draws ``batch_size`` pool rows and a kind from ``range_fraction``.
+    Everything downstream of the constructor uses only the caller's RNG,
+    so per-worker seeded streams reproduce exactly.
+    """
+
+    def __init__(self, engine, config: WorkloadConfig, *,
+                 pool_size: int = 512) -> None:
+        self.config = config
+        self.eps = float(engine.eps) * config.eps_scale
+        self.k = int(config.k)
+        self.batch_size = int(config.batch_size)
+        self.range_fraction = float(config.range_fraction)
+        rng = np.random.default_rng(config.seed)
+        rows = self._draw_rows(engine, config, rng, pool_size)
+        base = engine.source.take(np.asarray(rows, dtype=np.int64))
+        jitter = rng.uniform(-engine.eps / 4.0, engine.eps / 4.0, base.shape)
+        self.pool = np.ascontiguousarray(base + jitter)
+
+    @staticmethod
+    def _draw_rows(engine, config, rng, pool_size: int) -> np.ndarray:
+        n = int(engine.n_points)
+        if config.zipf_s > 0 and getattr(engine, "kind", None) == "grid":
+            grid = engine.index
+            starts, ends, sort = grid._starts, grid._ends, grid._sort
+            counts = ends - starts
+            if counts.size:
+                order = np.argsort(counts)[::-1]  # cells by popularity
+                ranks = np.arange(1, order.size + 1, dtype=np.float64)
+                probs = ranks ** -config.zipf_s
+                probs /= probs.sum()
+                cells = rng.choice(order, size=pool_size, p=probs)
+                return np.array(
+                    [
+                        int(sort[int(rng.integers(starts[c], ends[c]))])
+                        for c in cells
+                    ],
+                    dtype=np.int64,
+                )
+        # Uniform fallback: tree indexes, no skew requested, or an
+        # (impossible in practice) empty grid.
+        return rng.integers(0, n, size=pool_size)
+
+    def make_request(self, rng) -> tuple:
+        """``(kind, queries, eps, k)`` for one request, from ``rng`` only."""
+        idx = rng.integers(0, self.pool.shape[0], size=self.batch_size)
+        queries = self.pool[idx]
+        if self.range_fraction >= 1.0 or rng.random() < self.range_fraction:
+            return "range", queries, self.eps, None
+        return "knn", queries, None, self.k
+
+
+# ----------------------------------------------------------------------
+# Targets: where a generated request goes
+# ----------------------------------------------------------------------
+
+
+class InProcessTarget:
+    """Submit through a live :class:`QueryService` in this process."""
+
+    def __init__(self, service: QueryService, index, *,
+                 timeout_s: float = 30.0) -> None:
+        self.service = service
+        self.engine = service.engine_for(index)
+        self.timeout_s = float(timeout_s)
+
+    def issue(self, kind, queries, eps, k, deadline_s) -> str:
+        try:
+            pending = self.service.submit(
+                self.engine,
+                queries,
+                eps=eps if kind == "range" else None,
+                k=k if kind == "knn" else None,
+                deadline_s=deadline_s,
+            )
+            pending.result(self.timeout_s)
+            return "ok"
+        except ServiceOverloaded:
+            return "429"
+        except DeadlineExceeded:  # before TimeoutError: it subclasses it
+            return "504"
+        except ServiceShuttingDown:
+            return "503"
+        except Exception:  # noqa: BLE001 -- any other failure is "error"
+            return "error"
+
+    def close(self) -> None:
+        pass
+
+
+class HttpTarget:
+    """Drive a running ``serve`` endpoint over HTTP.
+
+    Uses :meth:`~repro.service.client.ServiceClient.request_once` -- one
+    attempt, **no** retries -- so every 429/503 the admission layer
+    emits is *counted*, not absorbed; a load generator that silently
+    retried would report the post-backoff world and hide the knee.
+    One instance per worker thread (one underlying connection).
+    """
+
+    def __init__(self, host: str, port: int, *, index: str = "default",
+                 timeout_s: float = 30.0) -> None:
+        from repro.service.client import ServiceClient
+
+        self.client = ServiceClient(host, port, timeout=timeout_s,
+                                    max_attempts=1)
+        self.index = index
+
+    def issue(self, kind, queries, eps, k, deadline_s) -> str:
+        payload: dict = {"index": self.index, "queries": queries.tolist()}
+        if kind == "knn":
+            payload["k"] = int(k)
+            path = "/knn"
+        else:
+            if eps is not None:
+                payload["eps"] = float(eps)
+            path = "/range"
+        try:
+            status, _parsed, _retry_after = self.client.request_once(
+                "POST", path, payload
+            )
+        except Exception:  # noqa: BLE001 -- connection-level failure
+            return "error"
+        if status == 200:
+            return "ok"
+        if status in (429, 503, 504):
+            return str(status)
+        return "error"
+
+    def close(self) -> None:
+        self.client.close()
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class RequestRecord:
+    """One issued request (kept only up to the generator's record cap)."""
+
+    t_offset_s: float  # issue (closed) / scheduled-arrival (open) offset
+    latency_s: float
+    status: str
+    kind: str
+    n_queries: int
+
+
+@dataclass
+class LoadResult:
+    """Outcome of one load bout: breakdowns + streaming latency histogram."""
+
+    config: WorkloadConfig
+    duration_s: float
+    offered: int  # requests issued (every status, including dropped)
+    statuses: dict
+    latency: LogHistogram  # ok-request latency only
+    records: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> int:
+        return int(self.statuses.get("ok", 0))
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.ok / max(self.duration_s, 1e-9)
+
+    @property
+    def error_rate(self) -> float:
+        return 1.0 - self.ok / max(self.offered, 1)
+
+    def summary(self) -> dict:
+        """One flat run-table row (JSON/CSV-safe: NaN becomes None)."""
+
+        def _ms(q: float) -> "float | None":
+            v = self.latency.quantile(q) * 1e3
+            return None if math.isnan(v) else v
+
+        snap = self.latency.snapshot()
+        return {
+            "mode": self.config.mode,
+            "offered_rps": (
+                self.config.target_rps if self.config.mode == "open"
+                else self.offered / max(self.duration_s, 1e-9)
+            ),
+            "concurrency": self.config.concurrency,
+            "batch_size": self.config.batch_size,
+            "range_fraction": self.config.range_fraction,
+            "zipf_s": self.config.zipf_s,
+            "duration_s": self.duration_s,
+            "offered": self.offered,
+            "ok": self.ok,
+            "err_429": int(self.statuses.get("429", 0)),
+            "err_503": int(self.statuses.get("503", 0)),
+            "err_504": int(self.statuses.get("504", 0)),
+            "err_other": int(self.statuses.get("error", 0)),
+            "dropped": int(self.statuses.get("dropped", 0)),
+            "error_rate": self.error_rate,
+            "throughput_rps": self.throughput_rps,
+            "p50_ms": _ms(0.50),
+            "p95_ms": _ms(0.95),
+            "p99_ms": _ms(0.99),
+            "max_ms": (None if snap["count"] == 0 else snap["max"] * 1e3),
+            "mean_ms": (
+                None if snap["count"] == 0
+                else snap["sum"] / snap["count"] * 1e3
+            ),
+        }
+
+
+# ----------------------------------------------------------------------
+# The generator loops
+# ----------------------------------------------------------------------
+
+
+def run_load(
+    config: WorkloadConfig,
+    target_factory,
+    sampler: QuerySampler,
+    *,
+    clock=time.monotonic,
+    sleep=time.sleep,
+    record_limit: int = 10_000,
+) -> LoadResult:
+    """Run one load bout and aggregate its outcome.
+
+    ``target_factory()`` is called once per worker thread (targets hold
+    per-thread state such as an HTTP connection).  ``clock`` and
+    ``sleep`` are injectable so tests can drive the generator on a fake
+    clock; request *content* is deterministic regardless of timing --
+    closed-loop worker ``w`` draws from ``default_rng((seed, w))``, and
+    open-loop request ``i`` draws from ``default_rng((seed, 1 << 32, i))``,
+    so neither thread interleaving nor wall time changes what is asked.
+    """
+    if config.mode == "closed":
+        return _run_closed(config, target_factory, sampler,
+                           clock=clock, sleep=sleep, record_limit=record_limit)
+    return _run_open(config, target_factory, sampler,
+                     clock=clock, sleep=sleep, record_limit=record_limit)
+
+
+class _Collector:
+    """Thread-safe status counts + bounded records + shared histogram."""
+
+    def __init__(self, record_limit: int) -> None:
+        self.lock = threading.Lock()
+        self.statuses: dict[str, int] = {}
+        self.records: list[RequestRecord] = []
+        self.latency = LogHistogram(DEFAULT_LATENCY_BUCKETS)
+        self.record_limit = record_limit
+        self.offered = 0
+        self.crash: "BaseException | None" = None
+
+    def crashed(self, exc: BaseException) -> None:
+        """Record a worker *infrastructure* failure (factory/sampler).
+
+        Request-level failures become status counts; an exception that
+        escapes the worker loop means the harness itself is broken, and
+        silently reporting zero offered load would mask it -- the first
+        such exception re-raises from :func:`run_load` after join.
+        """
+        with self.lock:
+            if self.crash is None:
+                self.crash = exc
+
+    def add(self, record: RequestRecord) -> None:
+        with self.lock:
+            self.offered += 1
+            self.statuses[record.status] = (
+                self.statuses.get(record.status, 0) + 1
+            )
+            if len(self.records) < self.record_limit:
+                self.records.append(record)
+        if record.status == "ok":
+            self.latency.observe(record.latency_s)
+
+
+def _split_quota(total: "int | None", workers: int) -> list:
+    """Pre-split a request budget across workers (deterministic shares)."""
+    if total is None:
+        return [None] * workers
+    base, extra = divmod(int(total), workers)
+    return [base + (1 if w < extra else 0) for w in range(workers)]
+
+
+def _run_closed(config, target_factory, sampler, *, clock, sleep,
+                record_limit) -> LoadResult:
+    col = _Collector(record_limit)
+    start = clock()
+    t_end = start + config.duration_s
+    quotas = _split_quota(config.max_requests, config.concurrency)
+
+    def worker(wi: int) -> None:
+        try:
+            rng = np.random.default_rng((config.seed, wi))
+            target = target_factory()
+            issued = 0
+            try:
+                while quotas[wi] is None or issued < quotas[wi]:
+                    now = clock()
+                    if now >= t_end:
+                        break
+                    kind, queries, eps, k = sampler.make_request(rng)
+                    t0 = clock()
+                    status = target.issue(kind, queries, eps, k,
+                                          config.deadline_s)
+                    t1 = clock()
+                    col.add(RequestRecord(t0 - start, t1 - t0, status, kind,
+                                          queries.shape[0]))
+                    issued += 1
+                    if config.think_time_s > 0:
+                        sleep(config.think_time_s)
+            finally:
+                target.close()
+        except BaseException as exc:  # harness failure, not a request
+            col.crashed(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(wi,), daemon=True)
+        for wi in range(config.concurrency)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if col.crash is not None:
+        raise col.crash
+    return LoadResult(
+        config=config,
+        duration_s=max(clock() - start, 1e-9),
+        offered=col.offered,
+        statuses=col.statuses,
+        latency=col.latency,
+        records=col.records,
+    )
+
+
+def _run_open(config, target_factory, sampler, *, clock, sleep,
+              record_limit) -> LoadResult:
+    n_sched = (
+        int(config.max_requests)
+        if config.max_requests is not None
+        else max(1, int(config.duration_s * config.target_rps))
+    )
+    interval = 1.0 / config.target_rps
+    col = _Collector(record_limit)
+    next_i = [0]
+    ilock = threading.Lock()
+    start = clock()
+    # Arrivals more than one nominal duration behind schedule are shed
+    # (status "dropped"): past that point the generator would only be
+    # measuring its own backlog, and an unbounded drain could stall CI.
+    late_cancel_s = config.duration_s
+
+    def worker() -> None:
+        try:
+            target = target_factory()
+            try:
+                while True:
+                    with ilock:
+                        i = next_i[0]
+                        if i >= n_sched:
+                            return
+                        next_i[0] += 1
+                    t_sched = start + i * interval
+                    now = clock()
+                    if now < t_sched:
+                        sleep(t_sched - now)
+                    elif now - t_sched > late_cancel_s:
+                        col.add(RequestRecord(i * interval, 0.0, "dropped",
+                                              "range", 0))
+                        continue
+                    rng = np.random.default_rng((config.seed, 1 << 32, i))
+                    kind, queries, eps, k = sampler.make_request(rng)
+                    status = target.issue(kind, queries, eps, k,
+                                          config.deadline_s)
+                    done = clock()
+                    # Open-loop latency runs from the *scheduled* arrival:
+                    # time spent waiting for a free worker is queueing
+                    # delay the service caused; it is charged to the
+                    # request.
+                    col.add(RequestRecord(i * interval, done - t_sched,
+                                          status, kind, queries.shape[0]))
+            finally:
+                target.close()
+        except BaseException as exc:  # harness failure, not a request
+            col.crashed(exc)
+
+    n_workers = min(max(config.concurrency, 1), n_sched)
+    threads = [
+        threading.Thread(target=worker, daemon=True)
+        for _ in range(n_workers)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if col.crash is not None:
+        raise col.crash
+    return LoadResult(
+        config=config,
+        duration_s=max(clock() - start, 1e-9),
+        offered=col.offered,
+        statuses=col.statuses,
+        latency=col.latency,
+        records=col.records,
+    )
+
+
+# ----------------------------------------------------------------------
+# Convenience drivers + sweep analysis
+# ----------------------------------------------------------------------
+
+
+def run_against_service(
+    index_path,
+    config: WorkloadConfig,
+    *,
+    service: "QueryService | None" = None,
+    record_limit: int = 10_000,
+    **service_kwargs,
+) -> LoadResult:
+    """Load-test an in-process :class:`QueryService` over one index.
+
+    A service is created (and stopped afterwards) unless one is passed
+    in; extra keyword arguments feed the created service's constructor.
+    """
+    own = service is None
+    svc = service if service is not None else QueryService(**service_kwargs)
+    try:
+        engine = svc.engine_for(index_path)
+        sampler = QuerySampler(engine, config)
+        svc.start()
+        return run_load(
+            config,
+            lambda: InProcessTarget(svc, engine),
+            sampler,
+            record_limit=record_limit,
+        )
+    finally:
+        if own:
+            svc.stop()
+
+
+def run_against_server(
+    index_path,
+    host: str,
+    port: int,
+    config: WorkloadConfig,
+    *,
+    index_name: str = "default",
+    record_limit: int = 10_000,
+) -> LoadResult:
+    """Load-test a live ``serve`` endpoint over HTTP.
+
+    The sampler still needs the dataset, so ``index_path`` is opened
+    locally (read-only) to build the query pool; requests themselves go
+    over the wire through one non-retrying connection per worker.
+    """
+    from repro.service.query import QueryEngine
+
+    engine = QueryEngine(index_path)
+    sampler = QuerySampler(engine, config)
+    return run_load(
+        config,
+        lambda: HttpTarget(host, port, index=index_name),
+        sampler,
+        record_limit=record_limit,
+    )
+
+
+def saturation_knee(
+    rows,
+    *,
+    offered_key: str = "offered_rps",
+    achieved_key: str = "throughput_rps",
+    tolerance: float = 0.85,
+) -> "float | None":
+    """Highest offered rate whose achieved throughput kept pace.
+
+    Walking the sweep rows in ascending offered order, the knee is the
+    last rate with ``achieved >= tolerance * offered``; ``None`` when
+    even the lowest rate saturated.  Pure bucket math over the run
+    table, so it works on rows from JSON as well as live results.
+    """
+    if not 0.0 < tolerance <= 1.0:
+        raise ValueError("tolerance must be in (0, 1]")
+    knee = None
+    for row in sorted(rows, key=lambda r: float(r[offered_key])):
+        if float(row[achieved_key]) >= tolerance * float(row[offered_key]):
+            knee = float(row[offered_key])
+    return knee
+
+
+__all__ = [
+    "STATUSES",
+    "WORKLOAD_KEYS",
+    "WorkloadConfig",
+    "QuerySampler",
+    "InProcessTarget",
+    "HttpTarget",
+    "RequestRecord",
+    "LoadResult",
+    "run_load",
+    "run_against_service",
+    "run_against_server",
+    "saturation_knee",
+]

@@ -12,6 +12,12 @@ of docs/ARCHITECTURE.md.
 """
 
 from repro.service.client import ServiceClient, ServiceUnavailable
+from repro.service.metrics import (
+    LogHistogram,
+    MetricsRegistry,
+    log_buckets,
+    parse_prometheus_text,
+)
 from repro.service.query import (
     KnnResult,
     QueryEngine,
@@ -44,4 +50,8 @@ __all__ = [
     "ServiceUnavailable",
     "make_server",
     "run_self_test",
+    "MetricsRegistry",
+    "LogHistogram",
+    "log_buckets",
+    "parse_prometheus_text",
 ]

@@ -104,6 +104,50 @@ class ServiceClient:
             delay = max(delay, min(float(retry_after), self.max_delay_s))
         time.sleep(delay)
 
+    def request_once(self, method: str, path: str,
+                     payload: dict | None = None):
+        """One attempt, **no** retries: ``(status, body, retry_after)``.
+
+        The load generator uses this to *count* every 429/503 the
+        admission layer emits instead of absorbing them the way
+        :meth:`request` does -- a generator that silently retried would
+        measure the post-backoff world and hide the saturation knee.
+        The body is parsed JSON when the response says it is JSON, the
+        raw decoded text otherwise (``/metrics`` is Prometheus text).
+        Connection-level failures propagate (the stale connection is
+        dropped first so the next call starts clean).
+        """
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload)
+            headers["Content-Type"] = "application/json"
+        try:
+            conn = self._connection()
+            conn.request(method, path, body, headers)
+            resp = conn.getresponse()
+            raw = resp.read()
+            status = resp.status
+            retry_after = resp.getheader("Retry-After")
+            content_type = resp.getheader("Content-Type") or ""
+        except (OSError, http.client.HTTPException):
+            self.close()
+            raise
+        if "application/json" in content_type:
+            parsed = json.loads(raw) if raw else {}
+        else:
+            parsed = raw.decode()
+        return status, parsed, (
+            float(retry_after) if retry_after is not None else None
+        )
+
+    def metrics_text(self) -> str:
+        """``GET /metrics``: the Prometheus text exposition, unparsed."""
+        status, body, _ = self.request_once("GET", "/metrics")
+        if status != 200:
+            raise RuntimeError(f"/metrics returned HTTP {status}")
+        return body if isinstance(body, str) else json.dumps(body)
+
     def request(self, method: str, path: str, payload: dict | None = None):
         """One JSON request with retries; returns ``(status, body_dict)``.
 
@@ -111,37 +155,24 @@ class ServiceClient:
         ``max_attempts``; every other status returns to the caller
         as-is (the body is parsed JSON, ``{}`` on an empty body).
         """
-        body = None
-        headers = {}
-        if payload is not None:
-            body = json.dumps(payload)
-            headers["Content-Type"] = "application/json"
         last = "no attempt made"
         for attempt in range(self.max_attempts):
             retry_after = None
             try:
-                conn = self._connection()
-                conn.request(method, path, body, headers)
-                resp = conn.getresponse()
-                raw = resp.read()
-                status = resp.status
-                retry_after = resp.getheader("Retry-After")
+                status, parsed, retry_after = self.request_once(
+                    method, path, payload
+                )
             except (OSError, http.client.HTTPException) as exc:
                 # Connection refused/reset, timeouts, protocol hiccups:
-                # drop the connection and retry on a fresh one.
-                self.close()
+                # the connection was dropped; retry on a fresh one.
                 last = f"connection error: {exc!r}"
             else:
                 if status not in RETRYABLE_STATUSES:
-                    parsed = json.loads(raw) if raw else {}
                     return status, parsed
-                last = f"HTTP {status}: {raw[:200]!r}"
+                last = f"HTTP {status}: {str(parsed)[:200]!r}"
             if attempt + 1 < self.max_attempts:
                 self.retries += 1
-                self._backoff(
-                    attempt,
-                    float(retry_after) if retry_after is not None else None,
-                )
+                self._backoff(attempt, retry_after)
         raise ServiceUnavailable(
             f"{method} {path} failed after {self.max_attempts} attempts "
             f"(last: {last})"

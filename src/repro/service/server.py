@@ -26,9 +26,12 @@ Three pieces stack into the serving path:
   (``http.server.ThreadingHTTPServer``): ``POST /range`` and ``POST
   /knn`` submit through the service (each HTTP connection thread is a
   concurrent client, so the micro-batcher sees real concurrency), ``GET
-  /healthz`` and ``GET /stats`` report liveness and cache/batch
-  counters.  Only **registered** index names are served -- requests
-  cannot make the process open arbitrary filesystem paths.
+  /healthz`` reports liveness, and ``GET /stats`` / ``GET /metrics``
+  are the JSON and Prometheus-text views of the same
+  :class:`~repro.service.metrics.MetricsRegistry` (cache/batch/queue
+  counters plus per-endpoint HTTP totals and latency histograms).  Only
+  **registered** index names are served -- requests cannot make the
+  process open arbitrary filesystem paths.
 
 Fault tolerance (see docs/ARCHITECTURE.md "Fault tolerance"):
 
@@ -64,9 +67,15 @@ from pathlib import Path
 import numpy as np
 
 from repro import faults
+from repro.core import engine as _engine_mod
 from repro.core.engine import WorkerPlan
 from repro.core.results import JoinResult
 from repro.index.persist import HEADER_NAME, read_header
+from repro.service.metrics import (
+    BATCH_FILL_BUCKETS,
+    PROMETHEUS_CONTENT_TYPE,
+    MetricsRegistry,
+)
 from repro.service.query import KnnResult, QueryEngine
 
 
@@ -107,6 +116,11 @@ class IndexCache:
         Forwarded to every :class:`QueryEngine` the cache constructs
         (``verify`` is the :func:`~repro.index.persist.load_index`
         integrity level applied on each cache miss).
+    metrics:
+        The :class:`~repro.service.metrics.MetricsRegistry` the hit /
+        miss / eviction counters live in (one is created when absent).
+        ``hits`` / ``misses`` / ``evictions`` remain readable as
+        properties; they are views of the registry counters.
     """
 
     def __init__(
@@ -117,6 +131,7 @@ class IndexCache:
         precision: str = "fp64",
         workers: "int | str | WorkerPlan | None" = 0,
         verify: str = "header",
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
@@ -130,9 +145,42 @@ class IndexCache:
         # read + hash, not a JSON parse + validation per request.
         self._eps_memo: dict[str, float] = {}
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._c_hits = self.metrics.counter(
+            "repro_cache_hits_total",
+            "Index-cache lookups served from an already-loaded engine",
+        )
+        self._c_misses = self.metrics.counter(
+            "repro_cache_misses_total",
+            "Index-cache lookups that had to load an engine",
+        )
+        self._c_evictions = self.metrics.counter(
+            "repro_cache_evictions_total",
+            "Engines evicted past the LRU capacity",
+        )
+        # len() of a dict is GIL-atomic, so the callback can read it
+        # without taking the cache lock (no lock-order coupling between
+        # the registry and the cache).
+        self.metrics.gauge(
+            "repro_cache_loaded",
+            "Engines currently resident in the LRU",
+            fn=lambda: float(len(self._entries)),
+        )
+        self.metrics.gauge(
+            "repro_cache_capacity", "Index-cache LRU capacity"
+        ).set(float(self.capacity))
+
+    @property
+    def hits(self) -> int:
+        return int(self._c_hits.value())
+
+    @property
+    def misses(self) -> int:
+        return int(self._c_misses.value())
+
+    @property
+    def evictions(self) -> int:
+        return int(self._c_evictions.value())
 
     def _key(self, path: str | Path) -> tuple[str, float, str]:
         """Cache key ``(resolved path, eps, header digest)``.
@@ -173,9 +221,9 @@ class IndexCache:
             engine = self._entries.get(key)
             if engine is not None:
                 self._entries.move_to_end(key)
-                self.hits += 1
+                self._c_hits.inc()
                 return engine
-            self.misses += 1
+            self._c_misses.inc()
         # Load outside the lock -- the expensive part; a racing duplicate
         # load is harmless (last writer wins, both engines are valid).
         engine = QueryEngine(
@@ -190,22 +238,26 @@ class IndexCache:
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
-                self.evictions += 1
+                self._c_evictions.inc()
         return engine
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
 
+    def _stats_from(self, snap: dict) -> dict:
+        """Build the stats dict from a registry snapshot (shared-registry
+        callers reuse one snapshot for service + cache consistency)."""
+        return {
+            "capacity": self.capacity,
+            "loaded": int(snap["repro_cache_loaded"]),
+            "hits": int(snap["repro_cache_hits_total"]),
+            "misses": int(snap["repro_cache_misses_total"]),
+            "evictions": int(snap["repro_cache_evictions_total"]),
+        }
+
     def stats(self) -> dict:
-        with self._lock:
-            return {
-                "capacity": self.capacity,
-                "loaded": len(self._entries),
-                "hits": self.hits,
-                "misses": self.misses,
-                "evictions": self.evictions,
-            }
+        return self._stats_from(self.metrics.snapshot())
 
 
 class _Pending:
@@ -280,10 +332,20 @@ class QueryService:
         max_queue_depth: int = 256,
         default_deadline_s: float | None = None,
         verify: str = "header",
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
-        self.cache = cache or IndexCache(
-            precision=precision, workers=workers, mmap=mmap, verify=verify
-        )
+        # One registry backs service + cache: adopt an explicit one, else
+        # the supplied cache's, else create a fresh one -- so /stats and
+        # /metrics always read the same counters.
+        if cache is not None:
+            self.metrics = metrics if metrics is not None else cache.metrics
+            self.cache = cache
+        else:
+            self.metrics = metrics if metrics is not None else MetricsRegistry()
+            self.cache = IndexCache(
+                precision=precision, workers=workers, mmap=mmap,
+                verify=verify, metrics=self.metrics,
+            )
         self.max_batch_points = int(max_batch_points)
         self.max_delay_s = float(max_delay_s)
         self.workers = workers
@@ -299,11 +361,97 @@ class QueryService:
         self._draining = False
         self._thread: threading.Thread | None = None
         self._lifecycle_lock = threading.Lock()
-        self.batches_dispatched = 0
-        self.requests_served = 0
-        self.requests_coalesced = 0  # served in a batch with >= 2 requests
-        self.requests_rejected = 0  # refused at admission (queue full)
-        self.requests_expired = 0  # failed at dispatch (deadline passed)
+        # All mutable counters live in the registry (atomic under its
+        # lock) -- stats() takes one consistent snapshot instead of the
+        # old bare-int reads that could be torn mid-dispatch.
+        m = self.metrics
+        self._c_batches = m.counter(
+            "repro_service_batches_dispatched_total",
+            "Engine batches dispatched by the micro-batcher",
+        )
+        self._c_served = m.counter(
+            "repro_service_requests_served_total",
+            "Requests answered by a dispatched batch",
+        )
+        self._c_coalesced = m.counter(
+            "repro_service_requests_coalesced_total",
+            "Requests served in a batch with >= 2 requests",
+        )
+        self._c_rejected = m.counter(
+            "repro_service_requests_rejected_total",
+            "Requests refused at admission (bounded queue full)",
+        )
+        self._c_expired = m.counter(
+            "repro_service_requests_expired_total",
+            "Requests failed at dispatch because their deadline passed",
+        )
+        m.gauge(
+            "repro_service_queue_depth",
+            "Requests currently waiting in the submission queue",
+            fn=lambda: float(self._queue.qsize()),
+        )
+        m.gauge(
+            "repro_service_queue_capacity",
+            "Admission-control bound on queued requests",
+        ).set(float(self.max_queue_depth))
+        m.gauge(
+            "repro_service_batch_window_seconds",
+            "Micro-batch coalescing window",
+        ).set(self.max_delay_s)
+        m.gauge(
+            "repro_service_draining",
+            "1 while stop() is refusing new submissions",
+            fn=lambda: float(self._draining),
+        )
+        self._h_fill = m.histogram(
+            "repro_service_batch_fill",
+            "Requests coalesced per dispatched batch",
+            buckets=BATCH_FILL_BUCKETS,
+        )
+        self._h_dispatch = m.histogram(
+            "repro_service_dispatch_seconds",
+            "Wall time of one dispatched engine batch",
+        )
+        m.gauge(
+            "repro_fork_recoveries",
+            "Group batches recovered inline after fork-pool child death",
+            fn=lambda: float(_engine_mod.FORK_RECOVERIES),
+        )
+        m.gauge(
+            "repro_faults_armed",
+            "Fault-injection specs currently armed",
+            fn=lambda: float(len(faults.active())),
+        )
+        m.gauge(
+            "repro_faults_fired",
+            "Total injected-fault firings across armed specs",
+            fn=lambda: float(
+                sum(s.fired for s in faults.active().values())
+            ),
+        )
+
+    @property
+    def batches_dispatched(self) -> int:
+        return int(self._c_batches.value())
+
+    @property
+    def requests_served(self) -> int:
+        return int(self._c_served.value())
+
+    @property
+    def requests_coalesced(self) -> int:
+        """Requests served in a batch with >= 2 requests."""
+        return int(self._c_coalesced.value())
+
+    @property
+    def requests_rejected(self) -> int:
+        """Requests refused at admission (queue full)."""
+        return int(self._c_rejected.value())
+
+    @property
+    def requests_expired(self) -> int:
+        """Requests failed at dispatch (deadline passed)."""
+        return int(self._c_expired.value())
 
     # -- lifecycle ------------------------------------------------------
 
@@ -425,7 +573,7 @@ class QueryService:
         try:
             self._queue.put_nowait(pending)
         except queue.Full:
-            self.requests_rejected += 1
+            self._c_rejected.inc()
             raise ServiceOverloaded(
                 f"submission queue is full ({self.max_queue_depth} requests "
                 "queued); back off and retry",
@@ -438,16 +586,38 @@ class QueryService:
         return self.submit(index, queries, eps=eps, k=k).result(timeout)
 
     def stats(self) -> dict:
+        """JSON view of the metrics registry (one atomic snapshot).
+
+        The keys are unchanged from the bare-counter era; the values now
+        come from a single :meth:`MetricsRegistry.snapshot`, so the dict
+        is internally consistent and always agrees with ``/metrics``.
+        """
+        snap = self.metrics.snapshot()
+        cache_stats = (
+            self.cache._stats_from(snap)
+            if self.cache.metrics is self.metrics
+            else self.cache.stats()
+        )
         return {
-            "cache": self.cache.stats(),
-            "batches_dispatched": self.batches_dispatched,
-            "requests_served": self.requests_served,
-            "requests_coalesced": self.requests_coalesced,
-            "requests_rejected": self.requests_rejected,
-            "requests_expired": self.requests_expired,
-            "queue_depth": self._queue.qsize(),
+            "cache": cache_stats,
+            "batches_dispatched": int(
+                snap["repro_service_batches_dispatched_total"]
+            ),
+            "requests_served": int(
+                snap["repro_service_requests_served_total"]
+            ),
+            "requests_coalesced": int(
+                snap["repro_service_requests_coalesced_total"]
+            ),
+            "requests_rejected": int(
+                snap["repro_service_requests_rejected_total"]
+            ),
+            "requests_expired": int(
+                snap["repro_service_requests_expired_total"]
+            ),
+            "queue_depth": int(snap["repro_service_queue_depth"]),
             "max_queue_depth": self.max_queue_depth,
-            "draining": self._draining,
+            "draining": bool(snap["repro_service_draining"]),
         }
 
     # -- dispatch loop --------------------------------------------------
@@ -484,7 +654,7 @@ class QueryService:
             # engine call on it only delays the still-live requests
             # batched behind it.
             if req.deadline is not None and now > req.deadline:
-                self.requests_expired += 1
+                self._c_expired.inc()
                 req._fail(
                     DeadlineExceeded(
                         "request deadline passed before dispatch"
@@ -494,15 +664,21 @@ class QueryService:
             key = (id(req.engine), req.eps, req.kind, req.k)
             groups.setdefault(key, []).append(req)
         for reqs in groups.values():
-            self.batches_dispatched += 1
-            self.requests_served += len(reqs)
-            if len(reqs) > 1:
-                self.requests_coalesced += len(reqs)
+            # Grouped under the registry lock (reentrant) so a snapshot
+            # never sees the batch counted but its requests not.
+            with self.metrics.lock:
+                self._c_batches.inc()
+                self._c_served.inc(len(reqs))
+                if len(reqs) > 1:
+                    self._c_coalesced.inc(len(reqs))
+                self._h_fill.observe(float(len(reqs)))
+            t0 = time.perf_counter()
             try:
                 self._run_group(reqs)
             except BaseException as exc:  # propagate to every waiter
                 for req in reqs:
                     req._fail(exc)
+            self._h_dispatch.observe(time.perf_counter() - t0)
 
     def _run_group(self, reqs: list[_Pending]) -> None:
         if faults.ARMED:
@@ -614,6 +790,17 @@ def make_server(
         max_queue_depth=max_queue_depth,
         verify=verify,
     )
+    http_requests = svc.metrics.counter(
+        "repro_http_requests_total",
+        "HTTP requests answered, by endpoint and status code",
+        labels=("endpoint", "status"),
+    )
+    http_latency = svc.metrics.histogram(
+        "repro_http_request_seconds",
+        "HTTP request handling latency, by endpoint",
+        labels=("endpoint",),
+    )
+    known_endpoints = ("/range", "/knn", "/healthz", "/stats", "/metrics")
 
     class Handler(BaseHTTPRequestHandler):
         # Serving diagnostics go through the return payloads; the default
@@ -621,11 +808,29 @@ def make_server(
         def log_message(self, fmt, *args):  # noqa: N802 (stdlib name)
             pass
 
+        def _begin(self) -> None:
+            self._t0 = time.perf_counter()
+            # Unknown paths share one label so a scanner cannot grow the
+            # registry without bound.
+            self._endpoint = (
+                self.path.lstrip("/") if self.path in known_endpoints
+                else "other"
+            )
+
+        def _finish(self, code: int) -> None:
+            http_requests.inc(endpoint=self._endpoint, status=str(code))
+            http_latency.observe(
+                time.perf_counter() - self._t0, endpoint=self._endpoint
+            )
+
         def _send(
             self, code: int, payload: dict,
             headers: "dict[str, str] | None" = None,
         ) -> None:
             body = json.dumps(payload).encode()
+            # Counted before the body is written: a client holding the
+            # response is guaranteed to find the request in /metrics.
+            self._finish(code)
             self.send_response(code)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
@@ -635,6 +840,7 @@ def make_server(
             self.wfile.write(body)
 
         def do_GET(self) -> None:  # noqa: N802 (stdlib casing)
+            self._begin()
             if self.path == "/healthz":
                 if svc.draining:
                     self._send(
@@ -647,10 +853,22 @@ def make_server(
                     )
             elif self.path == "/stats":
                 self._send(200, svc.stats())
+            elif self.path == "/metrics":
+                # Rendered before this request is counted: the text is a
+                # snapshot taken strictly before the response completes,
+                # so counters stay monotonic across scrapes.
+                body = svc.metrics.render().encode()
+                self.send_response(200)
+                self.send_header("Content-Type", PROMETHEUS_CONTENT_TYPE)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+                self._finish(200)
             else:
                 self._send(404, {"error": f"unknown path {self.path}"})
 
         def do_POST(self) -> None:  # noqa: N802 (stdlib casing)
+            self._begin()
             if self.path not in ("/range", "/knn"):
                 self._send(404, {"error": f"unknown path {self.path}"})
                 return

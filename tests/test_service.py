@@ -344,6 +344,50 @@ class TestKnnQuery:
         eng = QueryEngine(GridIndex(data, eps), data)
         assert eng._initial_reach(1) <= eng._initial_reach(500)
 
+    def test_duplicate_points(self):
+        """Duplicated rows must all surface before any farther point."""
+        rng = np.random.default_rng(11)
+        base = rng.normal(size=(40, 6))
+        data = np.concatenate([base, base[:10]])  # rows 40..49 dup 0..9
+        eng = QueryEngine(GridIndex(data, 1.0), data)
+        res = eng.knn_query(base[:10], 2)
+        for qi in range(10):
+            got = set(res.indices[qi].tolist())
+            assert got == {qi, qi + 40}
+            assert np.all(res.sq_dists[qi] <= 1e-10)
+
+    def test_all_identical_coordinates(self):
+        """Degenerate dataset: every point in one cell at distance 0."""
+        data = np.ones((12, 5)) * 3.25
+        eng = QueryEngine(GridIndex(data, 1.0), data)
+        res = eng.knn_query(data[:4], 5)
+        assert res.indices.shape == (4, 5)
+        assert np.all(res.indices >= 0)
+        assert np.all(res.sq_dists <= 1e-10)
+        # No index repeats within a row: ties broken by identity.
+        for row in res.indices:
+            assert len(set(row.tolist())) == 5
+
+    def test_k1_single_cell_dataset(self):
+        """k=1 on a dataset that collapses into a single grid cell."""
+        rng = np.random.default_rng(7)
+        data = rng.uniform(0.0, 0.01, size=(25, 3))
+        eng = QueryEngine(GridIndex(data, 5.0), data)  # eps >> spread
+        res = eng.knn_query(data, 1)
+        np.testing.assert_array_equal(res.indices[:, 0], np.arange(25))
+
+    @pytest.mark.parametrize("kind", ["grid", "mstree"])
+    def test_k_equals_n_exact(self, data_eps, tmp_path, kind):
+        """k == n returns the full stable distance ordering, no -1 pads."""
+        rng = np.random.default_rng(13)
+        data = rng.normal(size=(30, 8))
+        build_index(data, 1.0, tmp_path / f"kn-{kind}", kind=kind)
+        eng = QueryEngine(tmp_path / f"kn-{kind}")
+        q = data[:6]
+        res = eng.knn_query(q, 30)
+        assert np.all(res.indices >= 0)
+        np.testing.assert_array_equal(res.indices, brute_knn(data, q, 30))
+
 
 # ----------------------------------------------------------------------
 # Derived batch params (satellite: stats-moment autotuning)
@@ -389,6 +433,48 @@ class TestBatchParams:
             batch_params_from_stats(S())["min_fill"]
             > batch_params_from_stats(D())["min_fill"]
         )
+
+    def test_mstree_stats_mirrors_grid_contract(self, data_eps):
+        """MultiSpaceTree.stats() emits the same GridStats shape the
+        grid does, so batch_params_from_stats works on both."""
+        from repro.index.grid import GridStats
+
+        data, eps = data_eps
+        tree = MultiSpaceTree(data, eps, seed=0)
+        stats = tree.stats(group=256)
+        assert isinstance(stats, GridStats)
+        assert stats.n_points == data.shape[0]
+        # Every point belongs to exactly one group.
+        members = [int(m.size) for m, _ in tree.iter_groups(group=256)]
+        assert sum(members) == data.shape[0]
+        assert stats.n_nonempty_cells == len(members)
+        assert stats.mean_members == pytest.approx(np.mean(members))
+        assert stats.std_members == pytest.approx(np.std(members))
+        assert stats.mean_group_candidates >= stats.mean_members
+
+    def test_mstree_stats_derive_same_knob_set_as_grid(self, data_eps):
+        data, eps = data_eps
+        from_tree = batch_params_from_stats(
+            MultiSpaceTree(data, eps, seed=0).stats()
+        )
+        from_grid = batch_params_from_stats(GridIndex(data, eps).stats())
+        assert set(from_tree) == set(from_grid)
+        # Same clamps apply to both derivations.
+        for knobs in (from_tree, from_grid):
+            assert 0.15 <= knobs["min_fill"] <= 0.5
+            assert knobs["single_elems"] >= 1 << 12
+            assert 1 << 16 <= knobs["batch_elems"] <= 1 << 22
+
+    def test_mistic_batched_uses_derived_knobs(self, data_eps):
+        """The tree-backed kernel's batched path (now knob-derived) must
+        stay pair-set-equal to the serial path."""
+        from repro.kernels.mistic import MisticKernel
+
+        data, eps = data_eps
+        data = data[:400]
+        a = MisticKernel().self_join(data, eps, batched=False).result
+        b = MisticKernel().self_join(data, eps, batched=True).result
+        assert_pair_sets_equal(a, b)
 
     def test_kernel_override_changes_nothing_functionally(self, data_eps):
         from repro.kernels.gdsjoin import GdsJoinKernel
