@@ -21,6 +21,10 @@ Measures, at the standard working point (n=4096):
 * The query-serving layer: cached persisted-index range queries
   (``repro.service``) vs rebuild-per-query, with the cached answers
   checked bitwise against the dense brute-force reference.
+* The mutable store (``repro.index.delta``): range-query latency as the
+  delta depth grows from 0 to 16 sealed segments, compaction throughput,
+  and a bit-identity pin against a from-scratch rebuild at full depth
+  and after compaction.
 
 Writes ``BENCH_engine.json`` at the repository root (see
 docs/BENCHMARKS.md for the workflow: extend this file, never replace it).
@@ -509,6 +513,109 @@ def bench_query_service() -> dict:
     }
 
 
+def bench_mutable() -> dict:
+    """Query latency vs delta depth, and compaction throughput.
+
+    A mutable store answers every query by merging its base with the
+    live delta segments, so each sealed segment adds one more layer of
+    per-query work.  The entry charts range-query latency at delta depth
+    0/1/4/16 (segments of ``seg_rows`` appended rows, sealed manually so
+    depth is exact), then folds all 16 segments into a new base
+    generation and records the compaction's row throughput plus the
+    post-compaction latency (which must return to the depth-0 regime of
+    the grown store).  ``bit_identical`` pins the depth-16 *and*
+    post-compaction answers against a :class:`~repro.service.QueryEngine`
+    rebuilt from scratch over the live rows -- the differential contract
+    tests/test_mutable.py enforces op-by-op.
+    """
+    from repro.data.synthetic import synth_dataset
+    from repro.index.delta import MutableIndex
+    from repro.index.grid import GridIndex
+    from repro.service import QueryEngine, sample_queries
+
+    n0, d, seg_rows = N_POINTS, JOIN_DIMS, 128
+    data = synth_dataset(n0, d, seed=0, clustered=True)
+    eps = float(epsilon_for_selectivity(data, SELECTIVITY))
+    nq = 8
+    queries = sample_queries(data, eps, nq, seed=7)
+    rng = np.random.default_rng(1)
+    measure_at = {0, 1, 4, 16}
+    out: dict = {
+        "n_base": n0,
+        "d": d,
+        "eps": eps,
+        "target_selectivity": SELECTIVITY,
+        "segment_rows": seg_rows,
+        "queries_per_request": nq,
+        "latency_by_depth": {},
+    }
+    appended: list = []
+    with tempfile.TemporaryDirectory() as td:
+        root = Path(td) / "mut"
+        # Seal manually so the delta depth is exactly the loop count.
+        MutableIndex.create(root, data, eps, seal_threshold=1 << 30)
+        mut = MutableIndex(root)
+        for depth in range(17):
+            if depth in measure_at:
+                t_range = median_seconds(
+                    lambda: mut.range_query(queries), reps=5
+                )
+                out["latency_by_depth"][str(depth)] = {
+                    "n_live": int(mut.n_points),
+                    "range_seconds": t_range,
+                }
+            if depth < 16:
+                rows = data[rng.integers(0, n0, seg_rows)] + rng.uniform(
+                    -eps / 4, eps / 4, (seg_rows, d)
+                )
+                appended.append(rows)
+                mut.append(rows)
+                mut.seal()
+        by_depth = out["latency_by_depth"]
+        out["overhead_depth16_vs_0"] = (
+            by_depth["16"]["range_seconds"] / by_depth["0"]["range_seconds"]
+        )
+
+        # Differential pin at full depth: no deletes, so global ids are
+        # the rebuilt row positions and the answers must match bitwise.
+        live_rows = np.concatenate([data] + appended)
+        ref = QueryEngine(GridIndex(live_rows, eps), live_rows)
+        want = ref.range_query(queries)
+        # The mutable store canonicalizes to ascending (query, id); sort
+        # the rebuilt engine's per-query candidate order the same way.
+        order = np.lexsort((want.pairs_j, want.pairs_i))
+
+        def _bits(a: np.ndarray) -> np.ndarray:
+            return a.view(np.uint32 if a.dtype == np.float32 else np.uint64)
+
+        def _matches(res) -> bool:
+            return bool(
+                np.array_equal(res.pairs_i, want.pairs_i[order])
+                and np.array_equal(res.pairs_j, want.pairs_j[order])
+                and np.array_equal(
+                    _bits(res.sq_dists), _bits(want.sq_dists[order])
+                )
+            )
+
+        got = mut.range_query(queries)
+        identical = _matches(got)
+
+        stats = mut.compact()
+        out["compaction"] = {
+            "segments_folded": stats["segments_folded"],
+            "n_live": stats["n_live"],
+            "duration_s": stats["duration_s"],
+            "rows_per_sec": stats["n_live"] / stats["duration_s"],
+        }
+        out["post_compact_range_seconds"] = median_seconds(
+            lambda: mut.range_query(queries), reps=5
+        )
+        identical = identical and _matches(mut.range_query(queries))
+        out["bit_identical"] = identical
+        out["result_pairs"] = int(got.pairs_i.size)
+    return out
+
+
 def main() -> dict:
     rng = np.random.default_rng(0)
     data = rng.normal(size=(N_POINTS, JOIN_DIMS))
@@ -534,6 +641,7 @@ def main() -> dict:
         "streaming_index": bench_streaming_index(data, eps),
         "workers": bench_workers(data, eps),
         "query_service": bench_query_service(),
+        "mutable": bench_mutable(),
     }
     OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))

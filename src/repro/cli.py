@@ -333,6 +333,8 @@ def _cmd_index_build(args) -> str:
             synth_dataset(args.n, args.d, seed=args.seed, clustered=True)
         )
     eps, calibrated = _resolve_eps(args, source)
+    if args.mutable and args.no_data:
+        raise SystemExit("error: --mutable stores embed their data; drop --no-data")
     t0 = time.perf_counter()
     path = build_index(
         source,
@@ -341,16 +343,21 @@ def _cmd_index_build(args) -> str:
         kind=args.kind,
         n_dims=args.n_dims,
         seed=args.seed,
-        include_data=not args.no_data,
+        include_data=None if args.mutable else not args.no_data,
+        mutable=args.mutable,
+        seal_threshold=args.seal_threshold,
     )
     elapsed = time.perf_counter() - t0
-    total_bytes = sum(p.stat().st_size for p in path.iterdir())
+    total_bytes = sum(
+        p.stat().st_size for p in path.rglob("*") if p.is_file()
+    )
     return "\n".join(
         [
             f"dataset: n={source.n} d={source.dim} "
             f"({source.nbytes / (1 << 20):.1f} MiB as float64)",
             f"index: kind={args.kind}  eps={eps:.4f}"
-            + (f"  (calibrated for S={args.selectivity})" if calibrated else ""),
+            + (f"  (calibrated for S={args.selectivity})" if calibrated else "")
+            + ("  [mutable]" if args.mutable else ""),
             f"persisted: {path} ({total_bytes / (1 << 20):.2f} MiB"
             + (", dataset embedded)" if not args.no_data else ")")
             + f" in {elapsed:.3f} s",
@@ -359,8 +366,11 @@ def _cmd_index_build(args) -> str:
 
 
 def _cmd_index_info(args) -> str:
+    from repro.index.delta import is_mutable_index
     from repro.index.persist import load_index
 
+    if is_mutable_index(args.path):
+        return _index_info_mutable(args.path)
     loaded = load_index(args.path)
     lines = [
         f"index: {loaded.path}",
@@ -392,6 +402,96 @@ def _cmd_index_info(args) -> str:
     )
     lines.append(f"on disk: {payload / (1 << 20):.2f} MiB")
     return "\n".join(lines)
+
+
+def _index_info_mutable(path) -> str:
+    from pathlib import Path
+
+    from repro.index.delta import MutableIndex
+
+    idx = MutableIndex(path)
+    s = idx.stats()
+    payload = sum(
+        p.stat().st_size for p in Path(path).rglob("*") if p.is_file()
+    )
+    return "\n".join(
+        [
+            f"index: {idx.path} [mutable]",
+            f"kind: {s['kind']}  eps: {s['eps']:.6g}  dim: {s['dim']}",
+            f"live rows: {s['n_live']} of {s['n_rows']} "
+            f"({s['n_tombstones']} tombstones)  next id: {s['next_id']}",
+            f"delta: {s['n_segments']} sealed segments, "
+            f"{s['buffered_rows']} buffered rows "
+            f"(seal threshold {s['seal_threshold']})",
+            f"base: {s['base']}",
+            f"on disk: {payload / (1 << 20):.2f} MiB",
+        ]
+    )
+
+
+def _cmd_index_append(args) -> str:
+    from repro.index.delta import MutableIndex
+
+    idx = MutableIndex(args.path)
+    if args.data is not None:
+        from repro.data.source import as_source
+
+        rows = as_source(args.data).materialize()
+    else:
+        from repro.service import sample_queries
+
+        rows = sample_queries(idx.source, idx.eps, args.n, seed=args.seed)
+    t0 = time.perf_counter()
+    ids = idx.append(rows)
+    # The in-memory buffer is volatile; a CLI append must outlive the
+    # process, so spill it to a sealed segment before exiting.
+    idx.seal()
+    elapsed = time.perf_counter() - t0
+    s = idx.stats()
+    return "\n".join(
+        [
+            f"appended {ids.size} rows (ids {ids[0]}..{ids[-1]}) "
+            f"in {elapsed:.3f} s",
+            f"store: {s['n_live']} live rows, {s['n_segments']} segments, "
+            f"{s['buffered_rows']} buffered",
+        ]
+    )
+
+
+def _cmd_index_delete(args) -> str:
+    from repro.index.delta import MutableIndex
+
+    try:
+        ids = [int(t) for t in args.ids.split(",") if t.strip()]
+    except ValueError:
+        raise SystemExit(
+            f"error: --ids must be comma-separated integers, got {args.ids!r}"
+        )
+    if not ids:
+        raise SystemExit("error: --ids named no rows")
+    idx = MutableIndex(args.path)
+    n = idx.delete(ids, missing=args.missing)
+    s = idx.stats()
+    return (
+        f"deleted {n} rows; {s['n_live']} live remain "
+        f"({s['n_tombstones']} tombstones)"
+    )
+
+
+def _cmd_index_compact(args) -> str:
+    from repro.index.delta import MutableIndex
+
+    idx = MutableIndex(args.path)
+    before = idx.stats()
+    out = idx.compact()
+    return "\n".join(
+        [
+            f"compacted {out['segments_folded']} segments + "
+            f"{before['n_tombstones']} tombstones in "
+            f"{out['duration_s']:.3f} s",
+            f"new base generation: {out['n_live']} live rows",
+        ]
+    )
 
 
 def _make_queries(engine, n_queries: int, seed: int):
@@ -590,6 +690,8 @@ def _cmd_loadtest(args) -> str:
             "concurrency": args.concurrency,
             "batch_size": args.batch_size,
             "range_fraction": args.range_fraction,
+            "append_fraction": args.append_fraction,
+            "delete_fraction": args.delete_fraction,
             "k": args.k,
             "zipf_s": args.zipf,
             "seed": args.seed,
@@ -844,10 +946,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-data", action="store_true",
         help="do not embed a dataset copy (queries must supply data=)",
     )
+    ib.add_argument(
+        "--mutable", action="store_true",
+        help="build an LSM-style mutable store (append/delete/compact)",
+    )
+    ib.add_argument(
+        "--seal-threshold", type=int, default=None, metavar="ROWS",
+        help="mutable only: buffered appends spill to a sealed segment "
+        "past this row count (default 4096)",
+    )
     ib.set_defaults(fn=_cmd_index_build)
     ii = idx_sub.add_parser("info", help="summarize a persisted index")
     ii.add_argument("path", help="index directory")
     ii.set_defaults(fn=_cmd_index_info)
+    ia = idx_sub.add_parser(
+        "append", help="append rows to a mutable store (sealed durable)"
+    )
+    ia.add_argument("path", help="mutable index directory")
+    ia.add_argument(
+        "--data", default=None,
+        help=".npy of rows to append (default: synthetic near the data)",
+    )
+    ia.add_argument(
+        "--n", type=int, default=64, help="synthetic row count"
+    )
+    ia.add_argument("--seed", type=int, default=1)
+    ia.set_defaults(fn=_cmd_index_append)
+    idl = idx_sub.add_parser(
+        "delete", help="tombstone rows of a mutable store by global id"
+    )
+    idl.add_argument("path", help="mutable index directory")
+    idl.add_argument(
+        "--ids", required=True, metavar="ID,ID,...",
+        help="comma-separated global row ids to delete",
+    )
+    idl.add_argument(
+        "--missing", choices=("error", "ignore"), default="error",
+        help="unknown/already-dead ids: fail the command or skip them",
+    )
+    idl.set_defaults(fn=_cmd_index_delete)
+    ic = idx_sub.add_parser(
+        "compact",
+        help="fold sealed segments + tombstones into a new base generation",
+    )
+    ic.add_argument("path", help="mutable index directory")
+    ic.set_defaults(fn=_cmd_index_compact)
 
     qp = sub.add_parser(
         "query",
@@ -959,7 +1102,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lt.add_argument(
         "--range-fraction", type=float, default=1.0, metavar="F",
-        help="share of range requests (the rest are kNN)",
+        help="share of read requests going to range (the rest are kNN)",
+    )
+    lt.add_argument(
+        "--append-fraction", type=float, default=0.0, metavar="F",
+        help="share of requests appending rows (mutable index only)",
+    )
+    lt.add_argument(
+        "--delete-fraction", type=float, default=0.0, metavar="F",
+        help="share of requests deleting own appended rows (mutable only)",
     )
     lt.add_argument("--k", type=int, default=5, help="kNN neighbor count")
     lt.add_argument(

@@ -489,6 +489,8 @@ def build_index(
     seed: int = 0,
     include_data: bool | None = None,
     data_path: str | Path | None = None,
+    mutable: bool = False,
+    seal_threshold: int | None = None,
 ) -> Path:
     """Build a query index over ``data`` and persist it to ``path``.
 
@@ -526,6 +528,17 @@ def build_index(
     data_path:
         Reference this path instead of embedding (see
         :func:`repro.index.persist.save_index`).
+    mutable:
+        Build a **mutable** LSM-style store
+        (:class:`repro.index.delta.MutableIndex`) instead of an
+        immutable index directory: appends, tombstone deletes and
+        compaction become available (``index append`` / ``index delete``
+        / ``index compact``).  Mutable stores always embed their data
+        (segments and compaction need it), so ``data_path`` and
+        ``include_data=False`` are rejected.
+    seal_threshold:
+        Mutable only: buffered appends spill to a sealed on-disk segment
+        past this row count.
     """
     from repro.index.grid import GridIndex
     from repro.index.mstree import MultiSpaceTree
@@ -533,6 +546,21 @@ def build_index(
 
     if kind not in ("grid", "mstree"):
         raise ValueError("kind must be 'grid' or 'mstree'")
+    if mutable:
+        from repro.index.delta import MutableIndex
+
+        if data_path is not None or include_data is False:
+            raise ValueError(
+                "mutable stores embed their data; data_path/"
+                "include_data=False do not apply"
+            )
+        kwargs = {"kind": kind, "n_dims": n_dims, "seed": seed}
+        if seal_threshold is not None:
+            kwargs["seal_threshold"] = int(seal_threshold)
+        MutableIndex.create(path, data, eps, **kwargs)
+        return Path(path)
+    if seal_threshold is not None:
+        raise ValueError("seal_threshold applies only with mutable=True")
     if data_path is not None:
         if include_data:
             raise ValueError(
@@ -575,6 +603,11 @@ def open_index(
 ):
     """Open a persisted index for querying; returns a ``QueryEngine``.
 
+    A mutable store (built with ``build_index(..., mutable=True)``) opens
+    as a :class:`repro.index.delta.MutableIndex` instead -- same
+    ``range_query``/``knn_query`` surface, plus ``append``/``delete``/
+    ``compact``.
+
     With ``cache=True`` (the default) engines come from a module-level
     LRU (``repro.service.IndexCache``) keyed by ``(path, eps, header
     digest)``, so repeated opens -- and every :func:`query` call
@@ -592,12 +625,18 @@ def open_index(
     raises :class:`~repro.index.persist.CorruptIndexError` before any
     query runs.
     """
+    from repro.index.delta import MutableIndex, is_mutable_index
     from repro.service import IndexCache, QueryEngine
 
     default_config = (
         mmap and precision == "fp64" and workers == 0 and verify == "header"
     )
     if not cache or not default_config:
+        if is_mutable_index(path):
+            return MutableIndex(
+                path, precision=precision, workers=workers, mmap=mmap,
+                verify=verify,
+            )
         return QueryEngine(
             path, precision=precision, workers=workers, mmap=mmap,
             verify=verify,
@@ -632,9 +671,14 @@ def query(
     range-query knobs -- requesting them for a kNN query raises rather
     than being silently ignored (the expanding search runs serially).
     """
+    from repro.index.delta import MutableIndex
     from repro.service import QueryEngine
 
-    engine = index if isinstance(index, QueryEngine) else open_index(index)
+    engine = (
+        index
+        if isinstance(index, (QueryEngine, MutableIndex))
+        else open_index(index)
+    )
     if k is not None:
         if eps is not None:
             raise ValueError("pass eps (range query) or k (kNN), not both")

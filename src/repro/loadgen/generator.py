@@ -61,7 +61,9 @@ class WorkloadConfig:
     target_rps: float = 100.0  # open-loop arrival rate
     concurrency: int = 4  # closed-loop workers / open-loop in-flight cap
     max_requests: int | None = None  # optional request budget
-    range_fraction: float = 1.0  # share of /range requests (rest are kNN)
+    range_fraction: float = 1.0  # share of *read* requests going to /range
+    append_fraction: float = 0.0  # share of requests appending rows (mutable)
+    delete_fraction: float = 0.0  # share of requests deleting rows (mutable)
     batch_size: int = 8  # query rows per request
     k: int = 5  # kNN neighbor count
     eps_scale: float = 1.0  # range radius = eps_scale * index eps
@@ -83,6 +85,14 @@ class WorkloadConfig:
             raise ValueError("max_requests must be >= 1 when given")
         if not 0.0 <= self.range_fraction <= 1.0:
             raise ValueError("range_fraction must be in [0, 1]")
+        if not 0.0 <= self.append_fraction <= 1.0:
+            raise ValueError("append_fraction must be in [0, 1]")
+        if not 0.0 <= self.delete_fraction <= 1.0:
+            raise ValueError("delete_fraction must be in [0, 1]")
+        if self.append_fraction + self.delete_fraction > 1.0:
+            raise ValueError(
+                "append_fraction + delete_fraction must not exceed 1"
+            )
         if self.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         if self.k < 1:
@@ -123,9 +133,14 @@ class QuerySampler:
         self.k = int(config.k)
         self.batch_size = int(config.batch_size)
         self.range_fraction = float(config.range_fraction)
+        self.append_fraction = float(config.append_fraction)
+        self.delete_fraction = float(config.delete_fraction)
         rng = np.random.default_rng(config.seed)
-        rows = self._draw_rows(engine, config, rng, pool_size)
-        base = engine.source.take(np.asarray(rows, dtype=np.int64))
+        # A MutableIndex samples from its *base* generation -- that is
+        # where the dataset and (for zipf) the grid occupancy live.
+        eng = getattr(engine, "base_engine", engine)
+        rows = self._draw_rows(eng, config, rng, pool_size)
+        base = eng.source.take(np.asarray(rows, dtype=np.int64))
         jitter = rng.uniform(-engine.eps / 4.0, engine.eps / 4.0, base.shape)
         self.pool = np.ascontiguousarray(base + jitter)
 
@@ -154,9 +169,21 @@ class QuerySampler:
         return rng.integers(0, n, size=pool_size)
 
     def make_request(self, rng) -> tuple:
-        """``(kind, queries, eps, k)`` for one request, from ``rng`` only."""
+        """``(kind, queries, eps, k)`` for one request, from ``rng`` only.
+
+        With a nonzero append/delete mix the mutation kind is drawn
+        first; ``queries`` then carries the rows to append (deletes also
+        get rows, so a target with nothing of its own to delete yet can
+        fall back to an append instead of wasting the slot).
+        """
         idx = rng.integers(0, self.pool.shape[0], size=self.batch_size)
         queries = self.pool[idx]
+        if self.append_fraction > 0.0 or self.delete_fraction > 0.0:
+            r = rng.random()
+            if r < self.append_fraction:
+                return "append", queries, None, None
+            if r < self.append_fraction + self.delete_fraction:
+                return "delete", queries, None, None
         if self.range_fraction >= 1.0 or rng.random() < self.range_fraction:
             return "range", queries, self.eps, None
         return "knn", queries, None, self.k
@@ -175,9 +202,29 @@ class InProcessTarget:
         self.service = service
         self.engine = service.engine_for(index)
         self.timeout_s = float(timeout_s)
+        # Ids this target appended and has not yet deleted.  Each worker
+        # deletes only rows it owns, so a mixed workload never races two
+        # workers onto the same id (which would 400 under
+        # ``missing="error"``).
+        self._ids: list[int] = []
 
     def issue(self, kind, queries, eps, k, deadline_s) -> str:
         try:
+            if kind in ("append", "delete"):
+                if kind == "delete" and self._ids:
+                    ids = [
+                        self._ids.pop()
+                        for _ in range(min(len(self._ids), queries.shape[0]))
+                    ]
+                    self.service.submit_delete(
+                        self.engine, ids, deadline_s=deadline_s
+                    ).result(self.timeout_s)
+                else:  # append, or a delete with nothing owned yet
+                    minted = self.service.submit_append(
+                        self.engine, queries, deadline_s=deadline_s
+                    ).result(self.timeout_s)
+                    self._ids.extend(int(i) for i in minted)
+                return "ok"
             pending = self.service.submit(
                 self.engine,
                 queries,
@@ -217,8 +264,11 @@ class HttpTarget:
         self.client = ServiceClient(host, port, timeout=timeout_s,
                                     max_attempts=1)
         self.index = index
+        self._ids: list[int] = []  # appended-and-not-deleted (this worker)
 
     def issue(self, kind, queries, eps, k, deadline_s) -> str:
+        if kind in ("append", "delete"):
+            return self._issue_mutation(kind, queries)
         payload: dict = {"index": self.index, "queries": queries.tolist()}
         if kind == "knn":
             payload["k"] = int(k)
@@ -234,6 +284,30 @@ class HttpTarget:
         except Exception:  # noqa: BLE001 -- connection-level failure
             return "error"
         if status == 200:
+            return "ok"
+        if status in (429, 503, 504):
+            return str(status)
+        return "error"
+
+    def _issue_mutation(self, kind, queries) -> str:
+        if kind == "delete" and self._ids:
+            ids = [
+                self._ids.pop()
+                for _ in range(min(len(self._ids), queries.shape[0]))
+            ]
+            path, payload = "/delete", {"index": self.index, "ids": ids}
+        else:  # append, or a delete with nothing owned yet
+            path = "/append"
+            payload = {"index": self.index, "rows": queries.tolist()}
+        try:
+            status, parsed, _retry_after = self.client.request_once(
+                "POST", path, payload
+            )
+        except Exception:  # noqa: BLE001 -- connection-level failure
+            return "error"
+        if status == 200:
+            if path == "/append":
+                self._ids.extend(int(i) for i in parsed.get("ids", ()))
             return "ok"
         if status in (429, 503, 504):
             return str(status)
@@ -570,9 +644,14 @@ def run_against_server(
     locally (read-only) to build the query pool; requests themselves go
     over the wire through one non-retrying connection per worker.
     """
+    from repro.index.delta import MutableIndex, is_mutable_index
     from repro.service.query import QueryEngine
 
-    engine = QueryEngine(index_path)
+    engine = (
+        MutableIndex(index_path)
+        if is_mutable_index(index_path)
+        else QueryEngine(index_path)
+    )
     sampler = QuerySampler(engine, config)
     return run_load(
         config,

@@ -204,6 +204,26 @@ class ServiceClient:
             "/knn", {"index": index, "queries": queries, "k": int(k)}
         )
 
+    def append(self, rows, *, index: str = "default") -> list:
+        """``POST /append`` to a mutable index; returns the minted ids."""
+        return self._query("/append", {"index": index, "rows": rows})["ids"]
+
+    def delete(self, ids, *, index: str = "default") -> int:
+        """``POST /delete``; returns how many rows were tombstoned."""
+        return int(
+            self._query("/delete", {"index": index, "ids": list(ids)})[
+                "deleted"
+            ]
+        )
+
+    def compact(self, *, index: str = "default") -> dict:
+        """``POST /compact``; returns the compaction summary.
+
+        A compaction already in flight answers 429, which the retry
+        loop absorbs like any other admission rejection.
+        """
+        return self._query("/compact", {"index": index})
+
     def healthz(self) -> dict:
         """``GET /healthz`` (note: 503-while-draining is retried --
         use :meth:`request` directly to observe the draining state)."""

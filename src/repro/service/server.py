@@ -70,6 +70,13 @@ from repro import faults
 from repro.core import engine as _engine_mod
 from repro.core.engine import WorkerPlan
 from repro.core.results import JoinResult
+from repro.index.delta import (
+    MANIFEST_NAME,
+    CompactionInProgress,
+    MutableIndex,
+    is_mutable_index,
+    read_manifest,
+)
 from repro.index.persist import HEADER_NAME, read_header
 from repro.service.metrics import (
     BATCH_FILL_BUCKETS,
@@ -215,7 +222,15 @@ class IndexCache:
         return str(resolved), eps, digest
 
     def get(self, path: str | Path) -> QueryEngine:
-        """Return the cached engine for a persisted index, loading on miss."""
+        """Return the cached engine for a persisted index, loading on miss.
+
+        A mutable store (a :class:`~repro.index.delta.MutableIndex`
+        root) is served through :meth:`_get_mutable` -- same LRU, but
+        with the generation-swap staleness rule instead of a digest key.
+        """
+        resolved = Path(path).resolve()
+        if (resolved / MANIFEST_NAME).is_file():
+            return self._get_mutable(resolved)
         key = self._key(path)
         with self._lock:
             engine = self._entries.get(key)
@@ -228,6 +243,49 @@ class IndexCache:
         # load is harmless (last writer wins, both engines are valid).
         engine = QueryEngine(
             key[0],
+            precision=self._precision,
+            workers=self._workers,
+            mmap=self._mmap,
+            verify=self._verify,
+        )
+        with self._lock:
+            self._entries[key] = engine
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._c_evictions.inc()
+        return engine
+
+    def _get_mutable(self, resolved: Path) -> MutableIndex:
+        """Atomic generation swap for mutable stores.
+
+        The entry is keyed by path alone and stays **hit** as long as the
+        engine's own last-committed manifest digest matches the on-disk
+        one -- a live writer engine keeps serving through its own seals,
+        deletes and compactions (its unsealed buffer must not be dropped
+        by a reload).  When the digests diverge (the store was rewritten
+        externally), the stale engine is swapped out atomically: requests
+        already holding it finish on the old generation, new lookups load
+        and see the new one.
+        """
+        digest = hashlib.blake2b(
+            (resolved / MANIFEST_NAME).read_bytes(), digest_size=16
+        ).hexdigest()
+        key = (str(resolved), "mutable")
+        with self._lock:
+            engine = self._entries.get(key)
+            if (
+                engine is not None
+                and engine.committed_state_digest == digest
+            ):
+                self._entries.move_to_end(key)
+                self._c_hits.inc()
+                return engine
+            if engine is not None:
+                del self._entries[key]
+            self._c_misses.inc()
+        engine = MutableIndex(
+            resolved,
             precision=self._precision,
             workers=self._workers,
             mmap=self._mmap,
@@ -412,6 +470,54 @@ class QueryService:
             "repro_service_dispatch_seconds",
             "Wall time of one dispatched engine batch",
         )
+        # Mutable-index traffic (see repro.index.delta).  The counters
+        # are bumped in the same grouped metrics.lock section as the
+        # dispatch counters, so a snapshot never tears a mutation apart
+        # from its request accounting; the gauges read the live shape of
+        # every cached mutable engine.
+        self._c_appends = m.counter(
+            "repro_mutable_appends_total",
+            "Append requests executed against mutable indexes",
+        )
+        self._c_rows_appended = m.counter(
+            "repro_mutable_rows_appended_total",
+            "Rows appended to mutable indexes",
+        )
+        self._c_deletes = m.counter(
+            "repro_mutable_deletes_total",
+            "Delete requests executed against mutable indexes",
+        )
+        self._c_tombstones_written = m.counter(
+            "repro_mutable_tombstones_written_total",
+            "Rows tombstoned by delete requests",
+        )
+        self._c_compactions = m.counter(
+            "repro_mutable_compactions_total",
+            "Compactions completed through the service",
+        )
+        self._h_compaction = m.histogram(
+            "repro_mutable_compaction_seconds",
+            "Wall time of one compaction (seal + rebuild + commit)",
+        )
+        m.gauge(
+            "repro_mutable_delta_depth",
+            "Delta layers (sealed segments + live buffer) summed over "
+            "cached mutable indexes",
+            fn=lambda: float(sum(
+                e.delta_depth
+                for e in list(self.cache._entries.values())
+                if isinstance(e, MutableIndex)
+            )),
+        )
+        m.gauge(
+            "repro_mutable_tombstones",
+            "Live tombstones summed over cached mutable indexes",
+            fn=lambda: float(sum(
+                e.n_tombstones
+                for e in list(self.cache._entries.values())
+                if isinstance(e, MutableIndex)
+            )),
+        )
         m.gauge(
             "repro_fork_recoveries",
             "Group batches recovered inline after fork-pool child death",
@@ -518,7 +624,7 @@ class QueryService:
     # -- submission -----------------------------------------------------
 
     def engine_for(self, index: "QueryEngine | str | Path") -> QueryEngine:
-        if isinstance(index, QueryEngine):
+        if isinstance(index, (QueryEngine, MutableIndex)):
             return index
         return self.cache.get(index)
 
@@ -584,6 +690,108 @@ class QueryService:
     def query(self, index, queries, *, eps=None, k=None, timeout=30.0):
         """Blocking convenience: ``submit(...).result(timeout)``."""
         return self.submit(index, queries, eps=eps, k=k).result(timeout)
+
+    # -- mutations ------------------------------------------------------
+
+    def _mutable_engine_for(self, index) -> MutableIndex:
+        engine = self.engine_for(index)
+        if not isinstance(engine, MutableIndex):
+            raise TypeError(
+                "index is immutable: append/delete/compact need a store "
+                "built with --mutable (see repro.index.delta)"
+            )
+        return engine
+
+    def _enqueue(self, pending: _Pending) -> _Pending:
+        try:
+            self._queue.put_nowait(pending)
+        except queue.Full:
+            self._c_rejected.inc()
+            raise ServiceOverloaded(
+                f"submission queue is full ({self.max_queue_depth} requests "
+                "queued); back off and retry",
+                retry_after=max(self.max_delay_s * 2, 0.05),
+            ) from None
+        return pending
+
+    def submit_append(self, index, rows, *, deadline_s=None) -> _Pending:
+        """Enqueue an append of ``rows`` to a mutable index.
+
+        Mutations ride the same bounded admission queue as queries (so
+        overload produces the same 429 back-pressure) but are never
+        coalesced: each executes as its own serialized engine call on the
+        dispatcher thread.  The result is the ``int64`` array of ids
+        minted for the rows.
+        """
+        if self._draining:
+            raise ServiceShuttingDown("query service is draining")
+        self.start()
+        engine = self._mutable_engine_for(index)
+        r = np.ascontiguousarray(np.asarray(rows, dtype=np.float64))
+        if r.ndim == 1:
+            r = r[None, :]
+        if r.ndim != 2 or r.shape[0] == 0 or r.shape[1] != engine.dim:
+            raise ValueError(
+                f"rows must be (n >= 1, {engine.dim}); got shape {r.shape}"
+            )
+        if deadline_s is None:
+            deadline_s = self.default_deadline_s
+        return self._enqueue(_Pending(
+            engine, r, None, "append", None,
+            time.monotonic() + float(deadline_s)
+            if deadline_s is not None
+            else None,
+        ))
+
+    def submit_delete(self, index, ids, *, deadline_s=None) -> _Pending:
+        """Enqueue a tombstone-delete of ``ids`` from a mutable index.
+
+        The result is the number of rows deleted; unknown or already
+        dead ids fail the request with :class:`ValueError` (mapped to
+        400 over HTTP) without touching the store.
+        """
+        if self._draining:
+            raise ServiceShuttingDown("query service is draining")
+        self.start()
+        engine = self._mutable_engine_for(index)
+        arr = np.asarray(ids, dtype=np.int64).ravel()
+        if arr.size == 0:
+            raise ValueError("ids must name at least one row")
+        if deadline_s is None:
+            deadline_s = self.default_deadline_s
+        return self._enqueue(_Pending(
+            engine, arr, None, "delete", None,
+            time.monotonic() + float(deadline_s)
+            if deadline_s is not None
+            else None,
+        ))
+
+    def append(self, index, rows, *, timeout=30.0):
+        """Blocking convenience: ``submit_append(...).result(timeout)``."""
+        return self.submit_append(index, rows).result(timeout)
+
+    def delete(self, index, ids, *, timeout=30.0):
+        """Blocking convenience: ``submit_delete(...).result(timeout)``."""
+        return self.submit_delete(index, ids).result(timeout)
+
+    def compact(self, index) -> dict:
+        """Fold sealed segments + tombstones into a new base generation.
+
+        Runs inline on the caller's thread (compaction is minutes-scale
+        next to the micro-batch loop; queueing it would head-of-line
+        block every query).  A compaction already in flight surfaces as
+        :class:`ServiceOverloaded` -- the HTTP layer turns that into a
+        429 with ``Retry-After``, matching admission-control semantics.
+        """
+        engine = self._mutable_engine_for(index)
+        try:
+            out = engine.compact(wait=False)
+        except CompactionInProgress as exc:
+            raise ServiceOverloaded(str(exc), retry_after=1.0) from exc
+        with self.metrics.lock:
+            self._c_compactions.inc()
+            self._h_compaction.observe(float(out["duration_s"]))
+        return out
 
     def stats(self) -> dict:
         """JSON view of the metrics registry (one atomic snapshot).
@@ -661,7 +869,12 @@ class QueryService:
                     )
                 )
                 continue
-            key = (id(req.engine), req.eps, req.kind, req.k)
+            if req.kind in ("append", "delete"):
+                # Mutations never coalesce: each is its own serialized
+                # engine call, so the op log order equals dispatch order.
+                key = (id(req),)
+            else:
+                key = (id(req.engine), req.eps, req.kind, req.k)
             groups.setdefault(key, []).append(req)
         for reqs in groups.values():
             # Grouped under the registry lock (reentrant) so a snapshot
@@ -684,6 +897,22 @@ class QueryService:
         if faults.ARMED:
             faults.check("service.dispatch")
         engine = reqs[0].engine
+        if reqs[0].kind == "append":
+            req = reqs[0]
+            ids = engine.append(req.queries)
+            with self.metrics.lock:
+                self._c_appends.inc()
+                self._c_rows_appended.inc(int(ids.size))
+            req._fulfill(ids)
+            return
+        if reqs[0].kind == "delete":
+            req = reqs[0]
+            n = engine.delete(req.queries)
+            with self.metrics.lock:
+                self._c_deletes.inc()
+                self._c_tombstones_written.inc(int(n))
+            req._fulfill(int(n))
+            return
         cat = (
             np.concatenate([r.queries for r in reqs])
             if len(reqs) > 1
@@ -783,7 +1012,12 @@ def make_server(
     if not registry:
         raise ValueError("at least one index must be registered")
     for name, path in registry.items():
-        read_header(path)  # fail fast on bad registrations
+        # Fail fast on bad registrations: mutable stores validate their
+        # manifest, immutable ones their header magic/version.
+        if is_mutable_index(path):
+            read_manifest(path)
+        else:
+            read_header(path)
     svc = service or QueryService(
         workers=workers,
         precision=precision,
@@ -800,7 +1034,10 @@ def make_server(
         "HTTP request handling latency, by endpoint",
         labels=("endpoint",),
     )
-    known_endpoints = ("/range", "/knn", "/healthz", "/stats", "/metrics")
+    known_endpoints = (
+        "/range", "/knn", "/append", "/delete", "/compact",
+        "/healthz", "/stats", "/metrics",
+    )
 
     class Handler(BaseHTTPRequestHandler):
         # Serving diagnostics go through the return payloads; the default
@@ -869,7 +1106,9 @@ def make_server(
 
         def do_POST(self) -> None:  # noqa: N802 (stdlib casing)
             self._begin()
-            if self.path not in ("/range", "/knn"):
+            if self.path not in (
+                "/range", "/knn", "/append", "/delete", "/compact"
+            ):
                 self._send(404, {"error": f"unknown path {self.path}"})
                 return
             try:
@@ -892,6 +1131,21 @@ def make_server(
                         404, {"error": f"unknown index {name!r}",
                               "indexes": sorted(registry)}
                     )
+                    return
+                if self.path == "/compact":
+                    out = svc.compact(registry[name])
+                    self._send(200, {"compacted": True, **out})
+                    return
+                if self.path == "/append":
+                    ids = svc.append(
+                        registry[name],
+                        np.asarray(req["rows"], dtype=np.float64),
+                    )
+                    self._send(200, {"ids": ids.tolist()})
+                    return
+                if self.path == "/delete":
+                    deleted = svc.delete(registry[name], req["ids"])
+                    self._send(200, {"deleted": int(deleted)})
                     return
                 queries = np.asarray(req["queries"], dtype=np.float64)
                 if self.path == "/knn":

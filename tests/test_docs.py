@@ -73,7 +73,7 @@ def test_readme_mentions_committed_bench_entries():
     assert "rz_sum_squares" in readme and "rz_sum_squares" in bench
     for key in (
         "streaming", "candidate_batched", "two_source", "streaming_index",
-        "workers", "query_service",
+        "workers", "query_service", "mutable",
     ):
         assert key in bench, f"BENCH_engine.json lost its `{key}` entry"
     assert bench["streaming"]["bit_identical"] is True
@@ -123,6 +123,28 @@ def test_query_service_bench_entry():
         "rebuild-per-request"
     )
     assert entry["cache"]["hits"] > 0
+
+
+def test_mutable_bench_entry():
+    """The mutable-store entry keeps its contracts: answers at full delta
+    depth and after compaction are bitwise-pinned against a from-scratch
+    rebuild, and compaction actually returns latency to the depth-0
+    regime (within generous noise)."""
+    bench = json.loads((REPO_ROOT / "BENCH_engine.json").read_text())
+    entry = bench["mutable"]
+    assert entry["bit_identical"] is True
+    assert entry["n_base"] == 4096 and entry["d"] == 64
+    depths = entry["latency_by_depth"]
+    assert set(depths) == {"0", "1", "4", "16"}
+    assert entry["compaction"]["segments_folded"] == 16
+    assert entry["compaction"]["rows_per_sec"] > 0
+    # Folding 16 segments back into one base must undo the per-layer
+    # merge cost: post-compaction latency lands near the depth-0 regime,
+    # far below the depth-16 one.
+    assert (
+        entry["post_compact_range_seconds"]
+        < depths["16"]["range_seconds"] / 2
+    )
 
 
 def test_checker_resolves_nested_cli_commands():

@@ -52,6 +52,7 @@ from repro.core.engine import (
 from repro.core.results import PairAccumulator
 from repro.core.selectivity import epsilon_for_selectivity
 from repro.data.source import ArraySource
+from repro.index.delta import MutableIndex, read_manifest
 from repro.index.grid import GridIndex
 from repro.index.persist import (
     HEADER_NAME,
@@ -690,3 +691,177 @@ class TestCacheStaleness:
         second = cache.get(path)
         assert second is not first
         assert cache.misses == 2
+
+
+# ----------------------------------------------------------------------
+# Mutable store chaos (LSM delta layer: seal + compaction)
+# ----------------------------------------------------------------------
+
+# Opens an existing mutable store, applies deterministic mutations, then
+# runs one seal or compaction with a kill fault armed inside it.  The
+# deletes commit *before* arming, so they are durable in every outcome;
+# the appended rows live in the volatile buffer until the sealed segment
+# (or the compacted base) commits.  The print never runs.
+_KILL_MUTABLE_SCRIPT = """
+import sys
+import numpy as np
+from repro import faults
+from repro.index.delta import MutableIndex
+
+op, point, after, path = (
+    sys.argv[1], sys.argv[2], int(sys.argv[3]), sys.argv[4]
+)
+rng = np.random.default_rng(77)
+mut = MutableIndex(path)
+mut.delete([0, 1, 2])
+mut.append(rng.normal(size=(20, 6)))
+if op == "compact":
+    mut.seal()  # commit the segment cleanly; the kill targets compaction
+faults.arm(point, "kill", after=after)
+getattr(mut, op)()
+print("SURVIVED")
+"""
+
+#: Kill sites spanning a seal or a compaction: payload writes inside the
+#: inner ``save_index`` (first and mid-save), its directory commit, and
+#: the ``state.json`` atomic replace -- the store-level commit point.
+_MUTABLE_KILL_SITES = [
+    ("persist.payload", 0),
+    ("persist.payload", 2),
+    ("persist.write", 0),
+    ("persist.write", 1),
+]
+
+
+def _mutable_store(tmp_path, n=150, d=6, seed=71):
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(n, d))
+    eps = float(epsilon_for_selectivity(data, 8))
+    root = tmp_path / "mut"
+    MutableIndex.create(root, data, eps)
+    return root, data, eps
+
+
+def _mutation_killed_at(op, point, after, root):
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            _KILL_MUTABLE_SCRIPT,
+            op,
+            point,
+            str(after),
+            str(root),
+        ],
+        env=_subprocess_env(),
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == -signal.SIGKILL, (proc.returncode, proc.stderr)
+    assert "SURVIVED" not in proc.stdout
+    return proc
+
+
+class TestMutableStoreChaos:
+    @pytest.mark.parametrize("point,after", _MUTABLE_KILL_SITES)
+    def test_kill_during_seal_reloads_old_or_new(self, tmp_path, point, after):
+        root, data, _eps = _mutable_store(tmp_path)
+        _mutation_killed_at("seal", point, after, root)
+        mut = MutableIndex(root, verify="full")
+        old = np.arange(3, 150, dtype=np.int64)
+        new = np.concatenate([old, np.arange(150, 170, dtype=np.int64)])
+        got = mut.live_ids()
+        want = old if got.size == old.size else new
+        np.testing.assert_array_equal(got, want)
+        # Deletes are durable in every outcome, and the reloaded store
+        # still answers queries without surfacing a tombstoned row.
+        res = mut.range_query(data[:5])
+        assert not np.isin(res.pairs_j, [0, 1, 2]).any()
+
+    @pytest.mark.parametrize("point,after", _MUTABLE_KILL_SITES)
+    def test_kill_during_compaction_never_half_compacted(
+        self, tmp_path, point, after
+    ):
+        root, data, eps = _mutable_store(tmp_path)
+        _mutation_killed_at("compact", point, after, root)
+        mut = MutableIndex(root, verify="full")
+        # The live set was fully durable before the kill (the segment
+        # sealed cleanly), so it is identical in the old and the new
+        # generation -- only the layering may differ, and it is never
+        # partial: one intact segment or a fully folded base.
+        rng = np.random.default_rng(77)
+        extra = rng.normal(size=(20, 6))
+        live_ids = np.concatenate(
+            [np.arange(3, 150, dtype=np.int64),
+             np.arange(150, 170, dtype=np.int64)]
+        )
+        np.testing.assert_array_equal(mut.live_ids(), live_ids)
+        assert mut.n_segments in (0, 1)
+        # Whatever generation survived answers bit-identically to a
+        # from-scratch rebuild over the live rows.
+        from repro.service.query import QueryEngine
+
+        live_rows = np.concatenate([data[3:], extra])
+        ref = QueryEngine(GridIndex(live_rows, eps, n_dims=6), live_rows)
+        qrng = np.random.default_rng(78)
+        q = data[5:15] + qrng.uniform(-eps / 8, eps / 8, (10, data.shape[1]))
+        got, want = mut.range_query(q), ref.range_query(q)
+        order = np.lexsort((want.pairs_j, want.pairs_i))
+        np.testing.assert_array_equal(got.pairs_i, want.pairs_i[order])
+        np.testing.assert_array_equal(
+            got.pairs_j, live_ids[want.pairs_j[order]]
+        )
+        np.testing.assert_array_equal(got.sq_dists, want.sq_dists[order])
+        # Reopening GC'd everything the committed manifest does not
+        # reference: no half-written generation is left to be served.
+        m = read_manifest(root)
+        dirs = {p.name for p in root.iterdir() if p.is_dir()}
+        assert dirs - {"segments"} == {m["base"]}
+        segs = (
+            {p.name for p in (root / "segments").iterdir()}
+            if (root / "segments").is_dir()
+            else set()
+        )
+        assert segs == {Path(s["dir"]).name for s in m["segments"]}
+
+    def test_corrupt_segment_payload_refused_by_full_verify(self, tmp_path):
+        root, _data, _eps = _mutable_store(tmp_path)
+        mut = MutableIndex(root)
+        mut.append(np.random.default_rng(79).normal(size=(16, 6)))
+        faults.arm("persist.payload", "corrupt", count=1)
+        mut.seal()
+        faults.disarm()
+        with pytest.raises(CorruptIndexError):
+            MutableIndex(root, verify="full")
+
+    def test_corrupt_compacted_base_refused_by_full_verify(self, tmp_path):
+        root, _data, _eps = _mutable_store(tmp_path)
+        mut = MutableIndex(root)
+        mut.delete([0, 1])
+        mut.append(np.random.default_rng(80).normal(size=(12, 6)))
+        mut.seal()
+        faults.arm("persist.payload", "corrupt", count=1)
+        # The flip lands in the freshly-built base: either compaction's
+        # own reload refuses it before the commit, or the commit goes
+        # through and the next full-verify open refuses it -- the
+        # corrupt generation is never served silently.
+        try:
+            mut.compact()
+        except CorruptIndexError:
+            faults.disarm()
+            reopened = MutableIndex(root, verify="full")
+            assert reopened.n_segments == 1  # old generation, intact
+        else:
+            faults.disarm()
+            with pytest.raises(CorruptIndexError):
+                MutableIndex(root, verify="full")
+
+    def test_corrupt_tombstone_payload_refused(self, tmp_path):
+        root, _data, _eps = _mutable_store(tmp_path)
+        mut = MutableIndex(root)
+        faults.arm("persist.payload", "corrupt", count=1)
+        mut.delete([0])  # commits a manifest with a tombstone side payload
+        faults.disarm()
+        with pytest.raises(CorruptIndexError):
+            MutableIndex(root, verify="full")
