@@ -639,10 +639,12 @@ def _cmd_serve(args) -> str:
             first,
             max_queue_depth=args.max_queue_depth,
             verify=args.verify,
+            frontend=args.frontend,
         )
         stats = out["stats"]
         return (
-            f"self-test OK: {out['clients']} concurrent clients x "
+            f"self-test OK ({out['frontend']} front end): "
+            f"{out['clients']} concurrent clients x "
             f"{out['queries_per_client']} queries (range + kNN) matched the "
             f"serial engine\n"
             f"micro-batching: {stats['batches_dispatched']} engine batches "
@@ -656,12 +658,14 @@ def _cmd_serve(args) -> str:
         server = make_server(
             registry, host=args.host, port=args.port, workers=args.workers,
             max_queue_depth=args.max_queue_depth, verify=args.verify,
+            frontend=args.frontend,
         )
     except ValueError as exc:
         raise SystemExit(f"error: {exc}") from exc
     host, port = server.server_address[:2]
     print(
         f"serving {sorted(registry)} on http://{host}:{port} "
+        f"[{args.frontend} front end] "
         "(POST /range | /knn, GET /healthz | /stats; Ctrl-C to stop)"
     )
     try:
@@ -740,7 +744,9 @@ def _cmd_loadtest(args) -> str:
         from repro.service import ServiceClient, make_server
 
         try:
-            http_server = make_server({"default": args.index}, port=0)
+            http_server = make_server(
+                {"default": args.index}, port=0, frontend=args.frontend
+            )
         except (ValueError, OSError) as exc:
             raise SystemExit(f"error: {exc}") from exc
         host, port = http_server.server_address[:2]
@@ -751,6 +757,11 @@ def _cmd_loadtest(args) -> str:
         http_thread.start()
         client = ServiceClient(host, port)
 
+    if args.driver == "async" and server is None:
+        raise SystemExit(
+            "error: --driver async drives a live HTTP endpoint; "
+            "add --http or --server HOST:PORT"
+        )
     lines = []
     try:
         try:
@@ -758,6 +769,7 @@ def _cmd_loadtest(args) -> str:
                 config,
                 index=args.index,
                 server=server,
+                driver=args.driver,
                 out_json=args.out,
                 out_csv=args.csv,
             )
@@ -1062,6 +1074,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="integrity level applied when the cache loads an index "
         "(default: header byte-size checks; full re-hashes every payload)",
     )
+    sv.add_argument(
+        "--frontend", choices=("thread", "async"), default="thread",
+        help="HTTP front end: 'thread' (one thread per connection) or "
+        "'async' (one event loop; waiting requests hold no thread). "
+        "Identical routes, contracts, and bit-identical answers",
+    )
     sv.set_defaults(fn=_cmd_serve)
 
     lt = sub.add_parser(
@@ -1135,6 +1153,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--http", action="store_true",
         help="spin up the HTTP server on an ephemeral port and drive it "
         "over the wire; checks /metrics parses and no 5xx afterwards",
+    )
+    lt.add_argument(
+        "--frontend", choices=("thread", "async"), default="thread",
+        help="HTTP front end for the --http server (see `serve --frontend`)",
+    )
+    lt.add_argument(
+        "--driver", choices=("thread", "async"), default="thread",
+        help="load-generator engine for HTTP runs: 'thread' (one worker "
+        "thread per in-flight request) or 'async' (open-loop coroutines; "
+        "hundreds in flight from one thread)",
     )
     lt.add_argument(
         "--out", default=None, metavar="PATH",

@@ -179,7 +179,7 @@ def self_join(
         variant = "brute" if method.endswith("brute") else "index"
         return TedJoinKernel(spec, variant=variant).self_join(
             data, eps, store_distances=store_distances, workers=workers,
-            **({"batched": True} if variant == "index" and batched else {}),
+            **({"batched": batched} if variant == "index" else {}),
         ).result
     if method == "gds-join":
         from repro.kernels.gdsjoin import GdsJoinKernel

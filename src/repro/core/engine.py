@@ -89,6 +89,7 @@ import threading
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+from multiprocessing import resource_tracker, shared_memory
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator
 
@@ -188,6 +189,12 @@ class WorkerPlan:
     blas_threads: int | None
     source: str  # "serial" | "explicit" | "env" | "auto"
     tile_budget_bytes: int = TILE_CACHE_BUDGET_BYTES
+    #: Process-pool start method preference: ``"auto"`` (fork where the
+    #: platform offers it, else spawn), ``"fork"``, or ``"spawn"``.  Kept
+    #: as the *preference* -- :meth:`resolved_start_method` consults
+    #: ``REPRO_START_METHOD`` at use time, so an env override set after
+    #: the plan was resolved still takes effect.
+    start_method: str = "auto"
 
     #: Cap on topology-derived worker counts (explicit requests and the
     #: REPRO_WORKERS override are taken verbatim).
@@ -263,6 +270,16 @@ class WorkerPlan:
             rows -= rows % quantum
         return max(1, min(rows, max(n, 1)))
 
+    def resolved_start_method(self) -> str:
+        """The concrete pool start method this plan will use.
+
+        Resolution order: ``REPRO_START_METHOD`` env var, then the plan's
+        ``start_method`` field, with ``"auto"`` meaning fork where the
+        platform offers it and spawn otherwise (macOS/Windows, or fork
+        disabled).  See :func:`resolve_start_method`.
+        """
+        return resolve_start_method(self.start_method)
+
     def as_dict(self) -> dict:
         """JSON-friendly view (benchmarks and the CLI report this)."""
         return {
@@ -271,6 +288,7 @@ class WorkerPlan:
             "blas_threads": self.blas_threads,
             "source": self.source,
             "tile_budget_bytes": self.tile_budget_bytes,
+            "start_method": self.resolved_start_method(),
         }
 
 
@@ -1408,6 +1426,36 @@ def batch_params_from_stats(
     }
 
 
+#: Mean group block (members x candidates) above which per-group BLAS
+#: calls amortize their own overhead and padding stops paying; below it
+#: the padded-batch executor wins (the regime the committed
+#: ``candidate_batched`` bench entry measures).
+AUTO_BATCH_ELEMS = 1 << 14
+
+#: Minimum nonempty-group count for batching: with fewer groups the
+#: flush blocks never fill and batch assembly is pure overhead.
+AUTO_BATCH_MIN_GROUPS = 32
+
+
+def auto_batched_from_stats(stats) -> bool:
+    """Should this index's group shapes ride the batched executor?
+
+    The decision rule behind the kernels' ``batched=None`` default: an
+    index whose *typical* group block (``mean_members x
+    mean_group_candidates``) is small is call-overhead-bound -- exactly
+    where padded batch GEMMs win -- provided there are enough nonempty
+    groups (:data:`AUTO_BATCH_MIN_GROUPS`) to fill the flush blocks.
+    Large typical blocks already amortize their own BLAS calls, and
+    padding them would only burn bandwidth.  Explicit ``batched=True`` /
+    ``False`` on a kernel bypasses this heuristic entirely.
+    """
+    mean_m = float(getattr(stats, "mean_members", 0.0))
+    mean_c = float(getattr(stats, "mean_group_candidates", 0.0))
+    n_groups = int(getattr(stats, "n_nonempty_cells", 0))
+    typical = mean_m * mean_c
+    return n_groups >= AUTO_BATCH_MIN_GROUPS and 0.0 < typical <= AUTO_BATCH_ELEMS
+
+
 def _batched_candidate_executor(
     groups: Iterable[tuple[np.ndarray, np.ndarray]],
     work_m,
@@ -1685,14 +1733,25 @@ def batched_candidate_join(
 #
 # The candidate executors' per-group work (tiny gathers + a microscopic
 # GEMM + mask extraction) is dominated by GIL-held Python/NumPy header
-# time, so a *thread* pool cannot speed it up.  A fork-based *process*
-# pool can: the dataset arrays are inherited copy-on-write through the
-# module-global fork state below, tasks carry only batches of group index
-# arrays, and results carry only the extracted pairs.  Batches are
-# committed in submission order, so output is bit-identical to the serial
-# per-group executor (the batched mode shares the batched executor's
-# pair-set-equality contract instead, because batch boundaries move with
-# the partitioning).
+# time, so a *thread* pool cannot speed it up.  A *process* pool can, in
+# two flavors sharing one numeric core and one submit/commit loop:
+#
+# * **fork** -- the dataset arrays are inherited copy-on-write through
+#   the module-global fork state below;
+# * **spawn** -- the dataset rows + norms are written once into named
+#   ``multiprocessing.shared_memory`` segments, each worker attaches
+#   read-only views in its initializer, and the parent unlinks the
+#   segments when the pool closes (spawn-only platforms -- macOS
+#   default, Windows -- get pool execution instead of the old inline
+#   fallback).
+#
+# Either way tasks carry only batches of group index arrays and results
+# carry only the extracted pairs.  Batches are committed in submission
+# order, so output is bit-identical to the serial per-group executor
+# (the batched mode shares the batched executor's pair-set-equality
+# contract instead, because batch boundaries move with the
+# partitioning).  :func:`resolve_start_method` picks the flavor:
+# ``REPRO_START_METHOD`` env override, else fork where available.
 
 #: Dataset state inherited by forked candidate workers.  Set immediately
 #: before the pool forks and cleared afterwards, under ``_FORK_LOCK``.
@@ -1709,27 +1768,47 @@ def _fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
-#: Count of group batches recovered inline after fork-pool child death
-#: (observability hook; tests assert recovery actually engaged).
+def resolve_start_method(preference: str | None = None) -> str:
+    """Resolve a pool start-method preference to ``"fork"`` or ``"spawn"``.
+
+    The ``REPRO_START_METHOD`` environment variable overrides
+    ``preference`` when set; ``"auto"`` (the default) picks fork where
+    the platform offers it and spawn otherwise.  Requesting fork on a
+    platform without it is an error -- silently substituting spawn would
+    hide a large per-child start-up cost behind an identical-looking
+    run.
+    """
+    env = os.environ.get("REPRO_START_METHOD", "").strip().lower()
+    raw = env or (preference or "auto").strip().lower()
+    if raw not in ("auto", "fork", "spawn"):
+        raise ValueError(
+            f"start method must be 'auto', 'fork', or 'spawn'; got {raw!r}"
+        )
+    if raw == "auto":
+        return "fork" if _fork_available() else "spawn"
+    if raw == "fork" and not _fork_available():
+        raise ValueError(
+            "the 'fork' start method is unavailable on this platform"
+        )
+    return raw
+
+
+#: Count of group batches recovered inline after pool child death
+#: (observability hook; tests assert recovery actually engaged).  Shared
+#: by the fork and spawn flavors -- what it counts is the recovery, not
+#: the start method.
 FORK_RECOVERIES = 0
 
 
-def _candidate_fork_worker(batch: list, _in_child: bool = True) -> tuple:
-    """Pool-worker entry: evaluate one batch of ``(members, candidates)``.
+def _eval_candidate_batch(st: dict, batch: list) -> tuple:
+    """Evaluate one batch of ``(members, candidates)`` against ``st``.
 
-    Runs in a forked child; numerics and chunking mirror
+    The single numeric core behind both pool flavors *and* the parent's
+    inline recovery path: numerics and chunking mirror
     :func:`candidate_self_join` / :func:`candidate_join` exactly (same
-    gathers, same GEMM shapes, same extraction), which is why the
-    parallel result is bit-identical to serial.  The parent calls it too
-    -- with ``_in_child=False`` -- to re-evaluate a batch whose child
-    died: same code path, so the recovered result is the one the child
-    would have produced.  The ``worker.exec`` fault point only fires on
-    the child path; the recovery path must not re-trip the fault that
-    killed the child.
+    gathers, same GEMM shapes, same extraction), which is why pooled
+    results are bit-identical to serial.
     """
-    if _in_child and faults.ARMED:
-        faults.check("worker.exec")
-    st = _FORK_STATE
     acc = PairAccumulator(store_distances=st["store_distances"])
     work_m, sq_m = st["work_m"], st["sq_m"]
     work_c, sq_c = st["work_c"], st["sq_c"]
@@ -1756,6 +1835,163 @@ def _candidate_fork_worker(batch: list, _in_child: bool = True) -> tuple:
     return acc.arrays()
 
 
+def _candidate_fork_worker(batch: list, _in_child: bool = True) -> tuple:
+    """Fork-pool worker entry: evaluate one batch in a forked child.
+
+    The dataset state arrives copy-on-write through ``_FORK_STATE``.
+    The ``worker.exec`` fault point only fires on the child path; the
+    parent's recovery re-evaluation must not re-trip the fault that
+    killed the child.
+    """
+    if _in_child and faults.ARMED:
+        faults.check("worker.exec")
+    return _eval_candidate_batch(_FORK_STATE, batch)
+
+
+# ----------------------------------------------------------------------
+# Spawn flavor: shared-memory dataset segments
+# ----------------------------------------------------------------------
+
+#: Dataset state attached by spawned candidate workers: task-meta
+#: scalars plus read-only views over the parent's shared-memory
+#: segments.  Set once per worker by :func:`_spawn_initializer`.
+_SPAWN_STATE: dict[str, Any] | None = None
+
+
+def _attach_shared(name: str) -> shared_memory.SharedMemory:
+    """Attach to a named segment without resource-tracker ownership.
+
+    Attaching would register the segment with the resource tracker the
+    pool workers share with the parent; since the tracker's cache is a
+    plain per-name set, the worker's registration would collide with the
+    parent's and the segment could be unlinked out from under its
+    siblings.  The parent owns each segment and unlinks it exactly once
+    when the pool closes, so worker-side registration is suppressed for
+    the duration of the attach (3.13's ``track=False`` argument, done by
+    hand for 3.11/3.12).
+    """
+    original = resource_tracker.register
+    resource_tracker.register = lambda *a, **k: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def _share_array(arr: np.ndarray) -> tuple[shared_memory.SharedMemory, tuple]:
+    """Copy ``arr`` into a fresh named segment; returns (segment, meta).
+
+    The meta triple ``(name, shape, dtype_str)`` is what the task
+    protocol ships to workers -- never the array itself.
+    """
+    arr = np.ascontiguousarray(arr)
+    seg = shared_memory.SharedMemory(create=True, size=max(arr.nbytes, 1))
+    view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
+    view[...] = arr
+    return seg, (seg.name, arr.shape, arr.dtype.str)
+
+
+def _spawn_initializer(meta: dict) -> None:
+    """Spawn-pool worker initializer: map the shared segments once.
+
+    Runs once per worker; every task afterwards ships only group index
+    arrays.  Views are marked read-only so a kernel bug cannot scribble
+    on the dataset every sibling worker is reading.  Segment handles are
+    kept on the state dict so the mappings outlive this call.
+    """
+    global _SPAWN_STATE
+    st = dict(meta["scalars"])
+    segments = []
+    for key, (seg_name, shape, dtype) in meta["arrays"].items():
+        seg = _attach_shared(seg_name)
+        segments.append(seg)
+        view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=seg.buf)
+        view.flags.writeable = False
+        st[key] = view
+    for key, other in meta["aliases"].items():
+        st[key] = st[other]
+    st["_segments"] = segments
+    _SPAWN_STATE = st
+
+
+def _candidate_spawn_worker(batch: list) -> tuple:
+    """Spawn-pool worker entry: evaluate one batch against the mapped
+    shared-memory views.  Faults arm from ``REPRO_FAULTS`` at import, so
+    the ``worker.exec`` point fires in spawned children exactly as it
+    does in forked ones."""
+    if faults.ARMED:
+        faults.check("worker.exec")
+    return _eval_candidate_batch(_SPAWN_STATE, batch)
+
+
+def _drive_pool(
+    pool: ProcessPoolExecutor,
+    worker_fn: Callable[[list], tuple],
+    state: dict,
+    groups: Iterable[tuple[np.ndarray, np.ndarray]],
+    on_group: Callable[[np.ndarray, np.ndarray], None] | None,
+    group_batch: int,
+    n_workers: int,
+    acc: PairAccumulator,
+) -> None:
+    """Submit group batches to ``pool`` and commit results in order.
+
+    Each pending entry keeps its batch next to its future: if a child
+    dies (SIGKILL, OOM-kill), the pool breaks and every in-flight future
+    raises BrokenProcessPool -- the batch is then re-evaluated *inline*
+    on the parent via :func:`_eval_candidate_batch` over ``state`` (the
+    parent's own arrays, for either flavor), and commits stay in
+    submission order, so the recovered result is bit-identical to the
+    no-failure run (and to serial).
+    """
+    store_distances = acc.store_distances
+    pending: deque = deque()
+    batch: list[tuple[np.ndarray, np.ndarray]] = []
+
+    def retry_inline(items: list) -> tuple:
+        global FORK_RECOVERIES
+        FORK_RECOVERIES += 1
+        return _eval_candidate_batch(state, items)
+
+    def commit_head() -> None:
+        fut, items = pending.popleft()
+        if fut is None:
+            i, j, d = retry_inline(items)
+        else:
+            try:
+                i, j, d = fut.result()
+            except BrokenProcessPool:
+                i, j, d = retry_inline(items)
+        acc.append(i, j, d if store_distances else None)
+
+    def flush() -> None:
+        if batch:
+            items = list(batch)
+            try:
+                fut = pool.submit(worker_fn, items)
+            except (BrokenProcessPool, RuntimeError):
+                # Pool already broken/shut: queue the batch for lazy
+                # inline evaluation at commit time (keeps commit order
+                # and memory bounded).
+                fut = None
+            pending.append((fut, items))
+            batch.clear()
+
+    for members, candidates in groups:
+        if members.size == 0 or candidates.size == 0:
+            continue
+        if on_group is not None:
+            on_group(members, candidates)
+        batch.append((members, candidates))
+        if len(batch) >= group_batch:
+            flush()
+            while len(pending) > 2 * n_workers:
+                commit_head()
+    flush()
+    while pending:
+        commit_head()
+
+
 def process_candidate_self_join(
     groups: Iterable[tuple[np.ndarray, np.ndarray]],
     work: np.ndarray,
@@ -1774,23 +2010,26 @@ def process_candidate_self_join(
     sq_norms_right: np.ndarray | None = None,
     acc: PairAccumulator | None = None,
 ) -> PairAccumulator:
-    """Candidate-group join fanned out to a fork-based process pool.
+    """Candidate-group join fanned out to a process pool.
 
     The process-pool sibling of :func:`candidate_self_join` (and, with
     ``batched=True``, of :func:`batched_candidate_self_join`) for the
     norm-expansion kernels: groups are buffered into batches of
-    ``group_batch``, each batch is evaluated in a forked worker against
-    the inherited ``work`` / ``sq_norms`` arrays, and results are
-    committed in submission order -- bit-identical to the serial
-    per-group executor (the batched mode carries the batched executor's
-    pair-*set* contract instead).  ``on_group`` fires in the parent, in
-    group order, exactly as the serial executors fire it.
+    ``group_batch``, each batch is evaluated in a pool worker against
+    the ``work`` / ``sq_norms`` arrays -- inherited copy-on-write under
+    the fork start method, mapped read-only from named shared-memory
+    segments under spawn (see :func:`resolve_start_method` /
+    ``REPRO_START_METHOD``) -- and results are committed in submission
+    order, bit-identical to the serial per-group executor (the batched
+    mode carries the batched executor's pair-*set* contract instead).
+    ``on_group`` fires in the parent, in group order, exactly as the
+    serial executors fire it.
 
     Two-source joins pass the right set via ``work_right`` /
     ``sq_norms_right`` and ``drop_self=False`` (the
-    :func:`candidate_join` convention).  When the platform cannot fork or
-    the resolved plan is serial, the evaluation runs inline with
-    identical numerics -- the function is always safe to call.
+    :func:`candidate_join` convention).  When the resolved plan is
+    serial, the evaluation runs inline with identical numerics -- the
+    function is always safe to call.
     """
     wp = WorkerPlan.resolve(workers)
     if acc is None:
@@ -1799,7 +2038,7 @@ def process_candidate_self_join(
     work_c = work if work_right is None else work_right
     sq_c = sq_norms if sq_norms_right is None else sq_norms_right
 
-    if not wp.parallel or not _fork_available():
+    if not wp.parallel:
         # Inline fallback with the exact worker numerics, emitting
         # straight into the caller's accumulator.
         if batched:
@@ -1828,79 +2067,84 @@ def process_candidate_self_join(
     if batched and work_right is not None:
         raise ValueError("batched process execution is self-join only")
 
-    global _FORK_STATE
-    ctx = multiprocessing.get_context("fork")
-    with _FORK_LOCK:
-        _FORK_STATE = {
-            "work_m": work,
-            "sq_m": sq_norms,
-            "work_c": work_c,
-            "sq_c": sq_c,
-            "eps2": eps2,
-            "store_distances": store_distances,
-            "candidate_chunk": candidate_chunk,
-            "drop_self": drop_self,
-            "batched": batched,
-            "batch_params": batch_params,
+    state = {
+        "work_m": work,
+        "sq_m": sq_norms,
+        "work_c": work_c,
+        "sq_c": sq_c,
+        "eps2": eps2,
+        "store_distances": store_distances,
+        "candidate_chunk": candidate_chunk,
+        "drop_self": drop_self,
+        "batched": batched,
+        "batch_params": batch_params,
+    }
+    method = wp.resolved_start_method()
+    if method == "fork":
+        global _FORK_STATE
+        ctx = multiprocessing.get_context("fork")
+        with _FORK_LOCK:
+            _FORK_STATE = state
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=wp.n_workers, mp_context=ctx
+                ) as pool:
+                    _drive_pool(
+                        pool, _candidate_fork_worker, state, groups,
+                        on_group, group_batch, wp.n_workers, acc,
+                    )
+            finally:
+                _FORK_STATE = None
+        return acc
+
+    # Spawn flavor: write each distinct operand array into a named
+    # shared-memory segment exactly once (a self-join's candidate side
+    # aliases its member side rather than being copied again), ship only
+    # the segment names + scalars to the pool initializer, and unlink
+    # the segments when the pool is done.  No module-global handoff, so
+    # no _FORK_LOCK: concurrent spawn joins each own their segments.
+    array_meta: dict[str, tuple] = {}
+    aliases: dict[str, str] = {}
+    segments: list[shared_memory.SharedMemory] = []
+    mapped: dict[int, str] = {}
+    try:
+        for key in ("work_m", "sq_m", "work_c", "sq_c"):
+            arr = state[key]
+            prior = mapped.get(id(arr))
+            if prior is not None:
+                aliases[key] = prior
+                continue
+            seg, meta = _share_array(arr)
+            segments.append(seg)
+            array_meta[key] = meta
+            mapped[id(arr)] = key
+        meta = {
+            "scalars": {
+                k: state[k]
+                for k in (
+                    "eps2", "store_distances", "candidate_chunk",
+                    "drop_self", "batched", "batch_params",
+                )
+            },
+            "arrays": array_meta,
+            "aliases": aliases,
         }
-        try:
-            with ProcessPoolExecutor(
-                max_workers=wp.n_workers, mp_context=ctx
-            ) as pool:
-                # Each pending entry keeps its batch next to its future:
-                # if a child dies (SIGKILL, OOM-kill), the pool breaks and
-                # every in-flight future raises BrokenProcessPool -- the
-                # batch is then re-evaluated *inline* on the parent via
-                # the same worker function, and commits stay in
-                # submission order, so the recovered result is
-                # bit-identical to the no-failure run (and to serial).
-                pending: deque = deque()
-                batch: list[tuple[np.ndarray, np.ndarray]] = []
-
-                def retry_inline(items: list) -> tuple:
-                    global FORK_RECOVERIES
-                    FORK_RECOVERIES += 1
-                    return _candidate_fork_worker(items, _in_child=False)
-
-                def commit_head() -> None:
-                    fut, items = pending.popleft()
-                    if fut is None:
-                        i, j, d = retry_inline(items)
-                    else:
-                        try:
-                            i, j, d = fut.result()
-                        except BrokenProcessPool:
-                            i, j, d = retry_inline(items)
-                    acc.append(i, j, d if store_distances else None)
-
-                def flush() -> None:
-                    if batch:
-                        items = list(batch)
-                        try:
-                            fut = pool.submit(_candidate_fork_worker, items)
-                        except (BrokenProcessPool, RuntimeError):
-                            # Pool already broken/shut: queue the batch
-                            # for lazy inline evaluation at commit time
-                            # (keeps commit order and memory bounded).
-                            fut = None
-                        pending.append((fut, items))
-                        batch.clear()
-
-                for members, candidates in groups:
-                    if members.size == 0 or candidates.size == 0:
-                        continue
-                    if on_group is not None:
-                        on_group(members, candidates)
-                    batch.append((members, candidates))
-                    if len(batch) >= group_batch:
-                        flush()
-                        while len(pending) > 2 * wp.n_workers:
-                            commit_head()
-                flush()
-                while pending:
-                    commit_head()
-        finally:
-            _FORK_STATE = None
+        ctx = multiprocessing.get_context("spawn")
+        with ProcessPoolExecutor(
+            max_workers=wp.n_workers, mp_context=ctx,
+            initializer=_spawn_initializer, initargs=(meta,),
+        ) as pool:
+            _drive_pool(
+                pool, _candidate_spawn_worker, state, groups,
+                on_group, group_batch, wp.n_workers, acc,
+            )
+    finally:
+        for seg in segments:
+            seg.close()
+            try:
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover -- already gone
+                pass
     return acc
 
 

@@ -27,6 +27,7 @@ from repro.core.engine import (
     StreamStats,
     TilePlan,
     WorkerPlan,
+    auto_batched_from_stats,
     batch_params_from_stats,
     batched_candidate_self_join,
     candidate_join,
@@ -104,19 +105,23 @@ class GdsJoinKernel:
         eps: float,
         *,
         store_distances: bool = True,
-        batched: bool = False,
+        batched: bool | None = None,
         batch_params: dict | None = None,
         workers: "int | str | WorkerPlan | None" = 0,
     ) -> GdsJoinResult:
         """Index-supported self-join; returns result + cost statistics.
 
         Runs on the shared candidate-group executors: per-group GEMMs
-        (:func:`repro.core.engine.candidate_self_join`, the default, pinned
-        bit-identical to the seed loop) or -- with ``batched=True`` --
-        small neighboring cell groups fused into padded batch GEMMs
+        (:func:`repro.core.engine.candidate_self_join`, pinned
+        bit-identical to the seed loop) or -- batched -- small
+        neighboring cell groups fused into padded batch GEMMs
         (:func:`repro.core.engine.batched_candidate_self_join`; same pair
-        set, faster at small eps).  ``workers`` fans the candidate groups
-        out to the engine's fork-based process pool
+        set, faster at small eps).  ``batched=None`` (the default) picks
+        per index shape: the grid's measured group-size moments decide
+        whether the typical group is call-overhead-bound
+        (:func:`repro.core.engine.auto_batched_from_stats`); explicit
+        ``True`` / ``False`` forces.  ``workers`` fans the candidate
+        groups out to the engine's process pool
         (:func:`repro.core.engine.process_candidate_self_join` -- the
         per-group work is too fine-grained for threads); commit order is
         group order, so the parallel result is bit-identical to serial
@@ -133,6 +138,8 @@ class GdsJoinKernel:
         n = data.shape[0]
         wp = WorkerPlan.resolve(workers)
         index = GridIndex(data, eps, n_dims=self.n_index_dims)
+        if batched is None:
+            batched = auto_batched_from_stats(index.stats())
         work = data.astype(self._dtype)
         eps2 = self._dtype.type(float(eps) ** 2)
         # One chunk bound for every execution branch: the fork workers
@@ -252,7 +259,7 @@ class GdsJoinKernel:
         store_distances: bool = True,
         row_block: int = 65536,
         memory_budget_bytes: int | None = None,
-        batched: bool = False,
+        batched: bool | None = None,
         batch_params: dict | None = None,
     ) -> tuple[GdsJoinResult, StreamStats]:
         """Self-join against a source: out-of-core grid build + row gathers.
@@ -269,8 +276,11 @@ class GdsJoinKernel:
         on the gathered sample rows, so the timing statistics ride along
         as usual.
 
-        ``batched=True`` routes the groups through the padded-batch-GEMM
-        executor with the ``take()`` gathers **batched**: a
+        ``batched=True`` (or ``None`` resolving true via
+        :func:`repro.core.engine.auto_batched_from_stats` over the
+        streamed grid's stats) routes the groups through the
+        padded-batch-GEMM executor with the ``take()`` gathers
+        **batched**: a
         :class:`~repro.core.engine.SourceWorkView` stands in for the
         resident work arrays, so each flush issues one concatenated
         gather per side instead of one per group -- the pair set matches
@@ -292,6 +302,8 @@ class GdsJoinKernel:
             source, eps, n_dims=self.n_index_dims, row_block=row_block,
             stats=stats,
         )
+        if batched is None:
+            batched = auto_batched_from_stats(index.stats())
         eps2 = self._dtype.type(float(eps) ** 2)
 
         total_candidates = 0

@@ -20,6 +20,7 @@ from repro.core.engine import (
     StreamStats,
     TilePlan,
     WorkerPlan,
+    auto_batched_from_stats,
     batch_params_from_stats,
     batched_candidate_self_join,
     candidate_join,
@@ -77,16 +78,20 @@ class MisticKernel:
         *,
         store_distances: bool = True,
         group: int = 512,
-        batched: bool = False,
+        batched: bool | None = None,
         workers: "int | str | WorkerPlan | None" = 0,
     ) -> MisticResult:
         """Index-supported self-join; returns result + cost statistics.
 
         ``batched`` fuses small tree groups into padded batch GEMMs
         (:func:`repro.core.engine.batched_candidate_self_join`) -- same
-        pair set, faster when ``group`` is small or eps prunes hard.
-        ``workers`` fans the tree groups out to the engine's fork-based
-        process pool (:func:`repro.core.engine.process_candidate_self_join`;
+        pair set, faster when ``group`` is small or eps prunes hard;
+        ``None`` (the default) resolves from the tree's measured
+        group-shape moments
+        (:func:`repro.core.engine.auto_batched_from_stats` over
+        ``MultiSpaceTree.stats``).  ``workers`` fans the tree groups out
+        to the engine's process pool
+        (:func:`repro.core.engine.process_candidate_self_join`;
         in-order commit, bit-identical to serial -- pair-set-equal when
         combined with ``batched``).
         """
@@ -97,6 +102,8 @@ class MisticKernel:
             data, eps, n_levels=MISTIC_LEVELS, n_candidates=MISTIC_CANDIDATES,
             seed=self.seed,
         )
+        if batched is None:
+            batched = auto_batched_from_stats(tree.stats(group=group))
         work = data.astype(np.float32)
         eps2 = np.float32(float(eps) ** 2)
 
@@ -171,7 +178,7 @@ class MisticKernel:
         group: int = 512,
         row_block: int = 65536,
         memory_budget_bytes: int | None = None,
-        batched: bool = False,
+        batched: bool | None = None,
         batch_params: dict | None = None,
     ) -> tuple[MisticResult, StreamStats]:
         """Self-join against a source: streamed tree build + row gathers.
@@ -204,6 +211,8 @@ class MisticKernel:
             source, eps, n_levels=MISTIC_LEVELS, n_candidates=MISTIC_CANDIDATES,
             seed=self.seed, row_block=row_block, stats=stats,
         )
+        if batched is None:
+            batched = auto_batched_from_stats(tree.stats(group=group))
         eps2 = np.float32(float(eps) ** 2)
 
         if batched:

@@ -31,6 +31,7 @@ from repro.core.engine import (
     StreamStats,
     TilePlan,
     WorkerPlan,
+    auto_batched_from_stats,
     batch_params_from_stats,
     batched_candidate_self_join,
     candidate_join,
@@ -227,7 +228,7 @@ class TedJoinKernel:
         *,
         store_distances: bool = True,
         workers: "int | str | WorkerPlan | None" = 0,
-        batched: bool = False,
+        batched: bool | None = None,
         batch_params: dict | None = None,
         row_block: int | None = None,
         plan: TilePlan | None = None,
@@ -250,7 +251,10 @@ class TedJoinKernel:
         pair set, faster at small eps, with knobs derived from the grid's
         measured group moments
         (:func:`repro.core.engine.batch_params_from_stats`; override any
-        of them via ``batch_params``).  ``row_block`` (brute) defaults to
+        of them via ``batch_params``); ``batched=None`` (the default)
+        resolves from those same moments
+        (:func:`repro.core.engine.auto_batched_from_stats`), and the
+        brute variant ignores it.  ``row_block`` (brute) defaults to
         the worker plan's cache-fit edge; ``plan`` overrides the brute
         tile geometry outright (e.g. the device schedule from
         :meth:`tile_plan`).  The modeled hardware cost is unchanged:
@@ -294,6 +298,8 @@ class TedJoinKernel:
             )
         # Index variant: grid candidates, FP64 distances, 8x8 tile padding.
         index = GridIndex(data, eps)
+        if batched is None:
+            batched = auto_batched_from_stats(index.stats())
         total_candidates = 0
 
         def on_group(members: np.ndarray, candidates: np.ndarray) -> None:
@@ -509,7 +515,7 @@ class TedJoinKernel:
         store_distances: bool = True,
         row_block: int = 65536,
         memory_budget_bytes: int | None = None,
-        batched: bool = False,
+        batched: bool | None = None,
         batch_params: dict | None = None,
     ) -> tuple[TedJoinResult, StreamStats]:
         """Index-variant self-join against a source (out-of-core grid build).
@@ -520,11 +526,13 @@ class TedJoinKernel:
         member/candidate rows on demand with ``source.take``.  Per-row
         norms and per-group GEMM shapes are unchanged, so the result is
         bit-identical to :meth:`self_join` on the materialized data
-        (pinned by tests/test_two_source.py).  ``batched=True`` fuses the
-        groups into padded batch GEMMs with the ``take()`` gathers
-        batched per flush (:class:`~repro.core.engine.SourceWorkView`;
-        pair-set contract, knobs from ``GridIndex.stats()`` overridable
-        via ``batch_params``).
+        (pinned by tests/test_two_source.py).  ``batched=True`` (or
+        ``None`` resolving true from the streamed grid's group moments)
+        fuses the groups into padded batch GEMMs with the ``take()``
+        gathers batched per flush
+        (:class:`~repro.core.engine.SourceWorkView`; pair-set contract,
+        knobs from ``GridIndex.stats()`` overridable via
+        ``batch_params``).
         """
         if self.variant != "index":
             raise ValueError(
@@ -544,6 +552,8 @@ class TedJoinKernel:
         index = GridIndex.from_source(
             source, eps, row_block=row_block, stats=stats
         )
+        if batched is None:
+            batched = auto_batched_from_stats(index.stats())
         eps2 = float(eps) ** 2
         total_candidates = 0
 

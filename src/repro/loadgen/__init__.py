@@ -21,6 +21,7 @@ from repro.loadgen.generator import (
     run_against_server,
     run_against_service,
     run_load,
+    run_load_async,
     saturation_knee,
 )
 from repro.loadgen.runner import (
@@ -37,6 +38,7 @@ __all__ = [
     "InProcessTarget",
     "HttpTarget",
     "run_load",
+    "run_load_async",
     "run_against_service",
     "run_against_server",
     "saturation_knee",

@@ -6,9 +6,12 @@ same bit-exact machinery: :class:`QueryEngine` answers batched range and
 kNN queries against a persisted or in-memory index
 (:mod:`repro.index.persist`), :class:`IndexCache` keeps loaded indexes
 hot behind an LRU, and :class:`QueryService` coalesces concurrent small
-queries into single executor batches and exposes the whole thing over
-JSON-HTTP (``python -m repro serve``).  See the "Query serving" section
-of docs/ARCHITECTURE.md.
+queries into single executor batches under an adaptive micro-batch
+window.  Two interchangeable HTTP front ends expose it over JSON
+(``python -m repro serve [--frontend thread|async]``): a keep-alive
+``ThreadingHTTPServer`` and the event-loop :class:`AsyncHTTPServer`.
+See the "Query serving" and "Async serving" sections of
+docs/ARCHITECTURE.md.
 """
 
 from repro.service.client import ServiceClient, ServiceUnavailable
@@ -25,6 +28,8 @@ from repro.service.query import (
     sample_queries,
 )
 from repro.service.server import (
+    AdaptiveWindow,
+    AsyncHTTPServer,
     DeadlineExceeded,
     IndexCache,
     QueryService,
@@ -40,6 +45,8 @@ __all__ = [
     "KnnResult",
     "brute_range_query",
     "sample_queries",
+    "AdaptiveWindow",
+    "AsyncHTTPServer",
     "IndexCache",
     "QueryService",
     "ServiceError",

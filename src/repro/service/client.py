@@ -74,6 +74,9 @@ class ServiceClient:
         self.max_delay_s = float(max_delay_s)
         self._rng = random.Random(seed)
         self._conn: http.client.HTTPConnection | None = None
+        #: Requests already served on the live connection (keep-alive
+        #: reuse depth; resets whenever the connection is replaced).
+        self._conn_uses = 0
         #: Count of retried attempts (429/503/connection errors absorbed).
         self.retries = 0
 
@@ -84,12 +87,14 @@ class ServiceClient:
             self._conn = http.client.HTTPConnection(
                 self.host, self.port, timeout=self.timeout
             )
+            self._conn_uses = 0
         return self._conn
 
     def close(self) -> None:
         if self._conn is not None:
             self._conn.close()
             self._conn = None
+            self._conn_uses = 0
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -115,17 +120,37 @@ class ServiceClient:
         The body is parsed JSON when the response says it is JSON, the
         raw decoded text otherwise (``/metrics`` is Prometheus text).
         Connection-level failures propagate (the stale connection is
-        dropped first so the next call starts clean).
+        dropped first so the next call starts clean) -- with one
+        exception: a *reused* keep-alive connection the server quietly
+        closed between requests (idle timeout, restart) gets one
+        transparent reconnect, since the failure says nothing about the
+        request itself.  A failure on a fresh connection still raises.
         """
         body = None
         headers = {}
         if payload is not None:
             body = json.dumps(payload)
             headers["Content-Type"] = "application/json"
+        for _ in range(2):
+            reused = self._conn is not None and self._conn_uses > 0
+            try:
+                conn = self._connection()
+                conn.request(method, path, body, headers)
+                resp = conn.getresponse()
+                break
+            except (
+                http.client.RemoteDisconnected,
+                ConnectionResetError,
+                BrokenPipeError,
+            ):
+                self.close()
+                if not reused:
+                    raise
+                # Stale keep-alive socket: retry once on a fresh one.
+            except (OSError, http.client.HTTPException):
+                self.close()
+                raise
         try:
-            conn = self._connection()
-            conn.request(method, path, body, headers)
-            resp = conn.getresponse()
             raw = resp.read()
             status = resp.status
             retry_after = resp.getheader("Retry-After")
@@ -133,6 +158,7 @@ class ServiceClient:
         except (OSError, http.client.HTTPException):
             self.close()
             raise
+        self._conn_uses += 1
         if "application/json" in content_type:
             parsed = json.loads(raw) if raw else {}
         else:

@@ -12,20 +12,34 @@ Three pieces stack into the serving path:
   rebuild-per-query).
 
 * :class:`QueryService` -- the **micro-batching queue**.  Concurrent
-  small queries against the same ``(engine, eps, kind, k)`` are drained
+  small queries against the same ``(engine, eps, kind)`` are drained
   from one queue inside a short coalescing window, concatenated into a
   single query matrix, answered by **one** executor batch, and split
-  back per request.  Batching changes only how many engine calls run --
-  at FP64 the split results are bit-identical to per-request serial
-  calls (same contract the join executors carry; tests/test_service.py
-  hammers one cached index from N threads and compares against serial).
-  Dispatch runs on one background thread; the engine call itself fans
-  out on the existing :class:`~repro.core.engine.WorkerPlan`.
+  back per request.  kNN requests coalesce *across different k*: the
+  batch runs once at the largest requested k and each request takes the
+  leading columns of its rows (the kNN kernel breaks distance ties by
+  index with a stable sort and pads positionally, so every smaller-k
+  answer is a strict prefix of the max-k answer).  Batching changes
+  only how many engine calls run -- at FP64 the split results are
+  bit-identical to per-request serial calls (same contract the join
+  executors carry; tests/test_service.py hammers one cached index from
+  N threads and compares against serial).  The coalescing window is
+  **adaptive** (:class:`AdaptiveWindow`): it widens toward
+  ``max_delay_s`` while requests queue behind the dispatcher and decays
+  to zero when traffic is sparse, so an idle service adds no latency
+  and a loaded one amortizes engine calls.  Dispatch runs on one
+  background thread; the engine call itself fans out on the existing
+  :class:`~repro.core.engine.WorkerPlan`.
 
-* :func:`make_server` -- stdlib-only JSON-over-HTTP
-  (``http.server.ThreadingHTTPServer``): ``POST /range`` and ``POST
-  /knn`` submit through the service (each HTTP connection thread is a
-  concurrent client, so the micro-batcher sees real concurrency), ``GET
+* :func:`make_server` -- stdlib-only JSON-over-HTTP behind one of two
+  interchangeable front ends (``frontend="thread" | "async"``): the
+  classic ``http.server.ThreadingHTTPServer`` (one thread per
+  connection, now speaking keep-alive HTTP/1.1) and an
+  ``asyncio``-based server (:class:`AsyncHTTPServer`) that holds
+  hundreds of in-flight requests on one event loop -- a request waiting
+  on the micro-batcher costs a pending callback, not a blocked thread.
+  Both serve the same routes with the same JSON contracts: ``POST
+  /range`` and ``POST /knn`` submit through the service, ``GET
   /healthz`` reports liveness, and ``GET /stats`` / ``GET /metrics``
   are the JSON and Prometheus-text views of the same
   :class:`~repro.service.metrics.MetricsRegistry` (cache/batch/queue
@@ -55,9 +69,11 @@ Fault tolerance (see docs/ARCHITECTURE.md "Fault tolerance"):
 
 from __future__ import annotations
 
+import asyncio
 import hashlib
 import json
 import queue
+import socket
 import threading
 import time
 from collections import OrderedDict
@@ -328,7 +344,7 @@ class _Pending:
 
     __slots__ = (
         "engine", "queries", "eps", "kind", "k", "deadline",
-        "_event", "_result", "_error",
+        "_event", "_result", "_error", "_callbacks", "_cb_lock",
     )
 
     def __init__(self, engine, queries, eps, kind, k, deadline=None) -> None:
@@ -341,14 +357,48 @@ class _Pending:
         self._event = threading.Event()
         self._result = None
         self._error: BaseException | None = None
+        self._callbacks: list = []
+        self._cb_lock = threading.Lock()
 
     def _fulfill(self, result) -> None:
         self._result = result
         self._event.set()
+        self._run_callbacks()
 
     def _fail(self, exc: BaseException) -> None:
         self._error = exc
         self._event.set()
+        self._run_callbacks()
+
+    def _run_callbacks(self) -> None:
+        with self._cb_lock:
+            callbacks, self._callbacks = self._callbacks, []
+        # Run outside the lock; a callback must never take down the
+        # dispatcher thread.
+        for fn in callbacks:
+            try:
+                fn(self)
+            except Exception:  # noqa: BLE001 -- isolate the dispatcher
+                pass
+
+    def add_done_callback(self, fn) -> None:
+        """Run ``fn(self)`` when the dispatcher answers (or now, if done).
+
+        This is the threadless completion hook the asyncio front end
+        rides: instead of parking a thread in :meth:`result`, it
+        registers a callback that trampolines into the event loop via
+        ``call_soon_threadsafe``.  Each callback fires exactly once, on
+        the dispatcher thread -- or inline here when the request is
+        already answered; exceptions it raises are swallowed.
+        """
+        with self._cb_lock:
+            if not self._event.is_set():
+                self._callbacks.append(fn)
+                return
+        try:
+            fn(self)
+        except Exception:  # noqa: BLE001 -- same isolation as above
+            pass
 
     def result(self, timeout: float | None = None):
         """Block until the dispatcher answers; re-raises its exception."""
@@ -359,16 +409,108 @@ class _Pending:
         return self._result
 
 
+class AdaptiveWindow:
+    """Adaptive micro-batch coalescing window: pressure widens, idle decays.
+
+    The fixed ``max_delay_s`` window taxes every sparse-traffic request
+    with the full delay while capping how much a loaded service can
+    amortize.  This controller keeps the window between 0 and ``cap_s``
+    (the configured ``max_delay_s``), steering on what each drained
+    batch *observed*:
+
+    * **widen** (x2, floored at ``cap_s / 16``) when the batch coalesced
+      two or more requests or left requests queued behind it -- arrivals
+      are outpacing dispatch, so a longer window converts queueing delay
+      into batching;
+    * **shrink** (x0.5) when a batch carried a single request with an
+      empty queue -- nobody was waiting, the window was pure added
+      latency; below ``cap_s / 64`` it snaps to 0 so an idle service
+      dispatches immediately;
+    * **reset to 0** when more than ``idle_reset_s`` passed since the
+      previous batch -- the first request after a lull never pays a
+      window tuned for a burst that ended long ago.
+
+    ``clock`` is injectable for deterministic tests.  The controller is
+    only touched from the dispatcher thread; reads of :attr:`window_s`
+    from other threads are GIL-atomic float reads.
+    """
+
+    def __init__(
+        self,
+        cap_s: float,
+        *,
+        idle_reset_s: float | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        if cap_s < 0:
+            raise ValueError("cap_s must be >= 0")
+        self.cap_s = float(cap_s)
+        #: A gap this long since the previous batch counts as a lull.
+        self.idle_reset_s = (
+            float(idle_reset_s) if idle_reset_s is not None
+            else max(50.0 * self.cap_s, 0.25)
+        )
+        self._clock = clock
+        self._window = self.cap_s
+        self._last_batch_t: float | None = None
+
+    @property
+    def window_s(self) -> float:
+        """Last computed window in seconds (0 = dispatch at once)."""
+        return self._window
+
+    def current(self) -> float:
+        """Window to apply to the batch starting *now* (idle-reset aware).
+
+        Called by the dispatcher when the first request of a batch
+        arrives: a lull longer than ``idle_reset_s`` since the previous
+        batch zeroes the window before it is paid, so the request that
+        ends an idle period dispatches immediately.
+        """
+        if self.cap_s <= 0.0:
+            return 0.0
+        if (
+            self._last_batch_t is not None
+            and self._clock() - self._last_batch_t > self.idle_reset_s
+        ):
+            self._window = 0.0
+        return self._window
+
+    def observe(self, n_requests: int, queue_depth: int) -> float:
+        """Account one drained batch; returns the window for the next one.
+
+        ``n_requests`` is how many requests the batch carried and
+        ``queue_depth`` how many were still queued when it dispatched.
+        """
+        if self.cap_s <= 0.0:
+            return 0.0
+        self._last_batch_t = self._clock()
+        if n_requests >= 2 or queue_depth > 0:
+            self._window = min(
+                self.cap_s, max(self._window * 2.0, self.cap_s / 16.0)
+            )
+        elif self._window > 0.0:
+            self._window *= 0.5
+            if self._window < self.cap_s / 64.0:
+                self._window = 0.0
+        return self._window
+
+
 class QueryService:
     """Micro-batching dispatcher over cached query engines.
 
     ``submit`` enqueues a request and returns a handle; a single
     background thread drains the queue, coalesces compatible requests
-    (same engine, eps, query kind, and k) that arrive within
-    ``max_delay_s`` of the first -- or until ``max_batch_points`` query
-    rows are buffered -- into **one** engine call, and splits the answer
-    back per request.  Use as a context manager, or call
-    :meth:`start` / :meth:`stop`.
+    (same engine, eps, and query kind -- kNN requests coalesce across
+    different k, served once at the largest k and split as per-request
+    prefixes) that arrive within the current coalescing window of the
+    first -- or until ``max_batch_points`` query rows are buffered --
+    into **one** engine call, and splits the answer back per request.
+    The window adapts between 0 and ``max_delay_s`` (see
+    :class:`AdaptiveWindow`; ``adaptive_window=False`` pins it at
+    ``max_delay_s``); its live value is exported as the
+    ``repro_service_batch_window_seconds`` gauge.  Use as a context
+    manager, or call :meth:`start` / :meth:`stop`.
 
     The submission queue is bounded at ``max_queue_depth`` requests: a
     full queue makes ``submit`` raise :class:`ServiceOverloaded`
@@ -391,6 +533,7 @@ class QueryService:
         default_deadline_s: float | None = None,
         verify: str = "header",
         metrics: "MetricsRegistry | None" = None,
+        adaptive_window: bool = True,
     ) -> None:
         # One registry backs service + cache: adopt an explicit one, else
         # the supplied cache's, else create a fresh one -- so /stats and
@@ -406,6 +549,9 @@ class QueryService:
             )
         self.max_batch_points = int(max_batch_points)
         self.max_delay_s = float(max_delay_s)
+        self.adaptive_window = bool(adaptive_window)
+        #: The live coalescing-window controller (dispatcher-thread only).
+        self.window = AdaptiveWindow(self.max_delay_s)
         self.workers = workers
         self.batched = batched
         if max_queue_depth < 1:
@@ -452,10 +598,11 @@ class QueryService:
             "repro_service_queue_capacity",
             "Admission-control bound on queued requests",
         ).set(float(self.max_queue_depth))
-        m.gauge(
+        self._g_window = m.gauge(
             "repro_service_batch_window_seconds",
-            "Micro-batch coalescing window",
-        ).set(self.max_delay_s)
+            "Micro-batch coalescing window (adaptive; 0 = immediate)",
+        )
+        self._g_window.set(self.max_delay_s)
         m.gauge(
             "repro_service_draining",
             "1 while stop() is refusing new submissions",
@@ -836,9 +983,13 @@ class QueryService:
                 first = self._queue.get(timeout=0.05)
             except queue.Empty:
                 continue
+            window = (
+                self.window.current() if self.adaptive_window
+                else self.max_delay_s
+            )
             batch = [first]
             points = first.queries.shape[0]
-            deadline = time.monotonic() + self.max_delay_s
+            deadline = time.monotonic() + window
             # Coalescing window: whatever lands in the queue while the
             # window is open rides in this dispatch.
             while points < self.max_batch_points:
@@ -851,6 +1002,12 @@ class QueryService:
                     break
                 batch.append(nxt)
                 points += nxt.queries.shape[0]
+            if self.adaptive_window:
+                # Steer on what this drain saw, then export the window
+                # the *next* batch will pay.
+                self._g_window.set(
+                    self.window.observe(len(batch), self._queue.qsize())
+                )
             self._dispatch(batch)
 
     def _dispatch(self, batch: list[_Pending]) -> None:
@@ -873,6 +1030,11 @@ class QueryService:
                 # Mutations never coalesce: each is its own serialized
                 # engine call, so the op log order equals dispatch order.
                 key = (id(req),)
+            elif req.kind == "knn":
+                # k is deliberately absent: mixed-k kNN requests share
+                # one engine call at the largest k (_run_group slices
+                # each request's prefix back out).
+                key = (id(req.engine), req.eps, req.kind)
             else:
                 key = (id(req.engine), req.eps, req.kind, req.k)
             groups.setdefault(key, []).append(req)
@@ -919,16 +1081,24 @@ class QueryService:
             else reqs[0].queries
         )
         if reqs[0].kind == "knn":
-            res = engine.knn_query(cat, reqs[0].k)
+            # Serve the whole group once at the largest requested k.
+            # Every smaller-k answer is the leading columns of its rows:
+            # the kNN kernel breaks distance ties deterministically by
+            # (distance, index) with a stable sort, so top-k is a strict
+            # prefix of top-max_k, and short-of-k padding (-1 / +inf) is
+            # positional -- the slices are bit-identical to per-request
+            # calls at each request's own k.
+            max_k = max(r.k for r in reqs)
+            res = engine.knn_query(cat, max_k)
             off = 0
             for req in reqs:
                 m = req.queries.shape[0]
                 req._fulfill(
                     KnnResult(
-                        k=res.k,
+                        k=req.k,
                         n_points=res.n_points,
-                        indices=res.indices[off : off + m],
-                        sq_dists=res.sq_dists[off : off + m],
+                        indices=res.indices[off : off + m, : req.k],
+                        sq_dists=res.sq_dists[off : off + m, : req.k],
                     )
                 )
                 off += m
@@ -981,6 +1151,506 @@ def _range_payload(res: JoinResult) -> dict:
     return out
 
 
+def _knn_payload(res: KnnResult) -> dict:
+    """JSON view of a kNN answer (strict-parser-safe distances)."""
+    return {
+        "k": res.k,
+        "indices": res.indices.tolist(),
+        # Padding slots (k > n) carry +inf, which is not valid JSON --
+        # strict parsers reject "Infinity"; send null there instead.
+        "sq_dists": [
+            [float(x) if np.isfinite(x) else None for x in row]
+            for row in res.sq_dists
+        ],
+    }
+
+
+#: Every route either front end serves.  Unknown paths share one
+#: metrics label ("other") so a scanner cannot grow the registry.
+KNOWN_ENDPOINTS = (
+    "/range", "/knn", "/append", "/delete", "/compact",
+    "/healthz", "/stats", "/metrics",
+)
+
+_POST_ENDPOINTS = ("/range", "/knn", "/append", "/delete", "/compact")
+
+
+def _get_route(svc: QueryService, registry: dict, path: str):
+    """Shared GET routing: ``(status, payload)`` for the JSON endpoints.
+
+    ``/metrics`` is not handled here: its body is Prometheus text and
+    the order it is counted in is transport-specific (rendered strictly
+    before the request is counted, so scrapes stay monotonic).
+    """
+    if path == "/healthz":
+        if svc.draining:
+            return 503, {"status": "draining", "indexes": sorted(registry)}
+        return 200, {"status": "ok", "indexes": sorted(registry)}
+    if path == "/stats":
+        return 200, svc.stats()
+    return 404, {"error": f"unknown path {path}"}
+
+
+def _post_action(svc: QueryService, registry: dict, path: str, raw: bytes):
+    """Shared POST routing: validate ``raw`` and stage the service call.
+
+    Returns one of::
+
+        ("send", status, payload, headers)   # answer immediately
+        ("compact", index_path)              # run svc.compact (blocking)
+        ("wait", kind, pending)              # await the _Pending handle
+
+    The staging split is what lets both front ends share every
+    validation and error contract while waiting their own way: the
+    threaded handler blocks in ``pending.result``, the asyncio handler
+    bridges :meth:`_Pending.add_done_callback` into its event loop.
+    Service-typed errors (overload, draining, malformed input) raise to
+    the caller, which maps them through :func:`_error_response`.
+    """
+    req = json.loads(raw or b"{}")
+    if not isinstance(req, dict):
+        return ("send", 400,
+                {"error": "request body must be a JSON object"}, None)
+    name = req.get("index", "default")
+    if name not in registry:
+        return ("send", 404,
+                {"error": f"unknown index {name!r}",
+                 "indexes": sorted(registry)}, None)
+    if path == "/compact":
+        return ("compact", registry[name])
+    if path == "/append":
+        return ("wait", "append", svc.submit_append(
+            registry[name], np.asarray(req["rows"], dtype=np.float64)
+        ))
+    if path == "/delete":
+        return ("wait", "delete", svc.submit_delete(
+            registry[name], req["ids"]
+        ))
+    queries = np.asarray(req["queries"], dtype=np.float64)
+    if path == "/knn":
+        return ("wait", "knn", svc.submit(
+            registry[name], queries, k=int(req.get("k", 1))
+        ))
+    return ("wait", "range", svc.submit(
+        registry[name], queries, eps=req.get("eps")
+    ))
+
+
+def _format_result(kind: str, res) -> dict:
+    """Shared 200-payload formatting for an awaited service result."""
+    if kind == "append":
+        return {"ids": res.tolist()}
+    if kind == "delete":
+        return {"deleted": int(res)}
+    if kind == "knn":
+        return _knn_payload(res)
+    return _range_payload(res)
+
+
+def _error_response(exc: BaseException):
+    """Map an exception to the shared JSON error contract.
+
+    The same chain the HTTP layer has always applied: admission
+    rejection -> 429 + Retry-After, draining -> 503, deadline -> 504,
+    malformed input -> 400, anything else -> a JSON 500 (a stack trace
+    never crosses the wire).  Returns ``(status, payload, headers)``.
+    """
+    if isinstance(exc, ServiceOverloaded):
+        return (429, {"error": str(exc), "retry_after": exc.retry_after},
+                {"Retry-After": f"{exc.retry_after:.3f}"})
+    if isinstance(exc, ServiceShuttingDown):
+        return 503, {"error": str(exc)}, None
+    if isinstance(exc, DeadlineExceeded):
+        return 504, {"error": str(exc)}, None
+    if isinstance(exc, (KeyError, TypeError, ValueError)):
+        return 400, {"error": str(exc)}, None
+    return 500, {"error": f"{type(exc).__name__}: {exc}"}, None
+
+
+_HTTP_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    413: "Content Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class AsyncHTTPServer:
+    """asyncio HTTP/1.1 front end with the threaded server's surface.
+
+    A stdlib-only server (``asyncio.start_server`` plus a hand-rolled
+    HTTP/1.1 parser with keep-alive) answering the exact same routes,
+    JSON contracts, and bit-identical payloads as the threaded front
+    end.  The difference is what a *waiting* request costs: the threaded
+    server parks one OS thread per in-flight request inside
+    ``_Pending.result``; here the handler coroutine registers a
+    :meth:`_Pending.add_done_callback` that trampolines the answer back
+    into the event loop, so hundreds of requests can sit in the
+    micro-batcher while the process holds a handful of threads.
+    Blocking service calls that do not ride a callback -- admission
+    itself (which may load an index from disk on a cache miss) and
+    ``/compact`` -- hop through ``loop.run_in_executor``.
+
+    The lifecycle mirrors ``ThreadingHTTPServer`` so callers stay
+    agnostic: the listening socket binds in the constructor
+    (``server_address`` is final immediately, ephemeral port included),
+    ``serve_forever()`` runs the event loop on the calling thread,
+    ``shutdown()`` is thread-safe and blocks until the loop exits, and
+    ``server_close()`` releases the socket.  On shutdown, in-flight
+    handler tasks are cancelled by the loop teardown (their sockets
+    close with it).
+
+    ``max_inflight`` bounds concurrently admitted POSTs *at the front
+    door*: past it, requests are answered 429 + ``Retry-After`` before
+    any service work, so an open-loop flood cannot pile unbounded
+    decode/dispatch work behind the event loop.
+    """
+
+    def __init__(
+        self,
+        registry: "dict[str, Path]",
+        service: QueryService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8787,
+        max_body_bytes: int = 8 << 20,
+        max_inflight: int = 512,
+    ) -> None:
+        self.registry = dict(registry)
+        self.service = service
+        self.max_body_bytes = int(max_body_bytes)
+        self.max_inflight = int(max_inflight)
+        # Bind eagerly so server_address is usable before serve_forever
+        # (tests and the CLI read the ephemeral port right after build).
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            self._sock.bind((host, port))
+            self._sock.listen(128)
+        except OSError:
+            self._sock.close()
+            raise
+        self._sock.setblocking(False)
+        self.server_address = self._sock.getsockname()
+        self._lifecycle = threading.Lock()
+        self._loop: "asyncio.AbstractEventLoop | None" = None
+        self._stop_event: "asyncio.Event | None" = None
+        self._shutdown_requested = False
+        self._stopped = threading.Event()
+        self._stopped.set()  # not serving yet
+        # Loop-confined counters (only the event loop mutates them).
+        self._inflight = 0
+        self._open_connections = 0
+        m = service.metrics
+        self._http_requests = m.counter(
+            "repro_http_requests_total",
+            "HTTP requests answered, by endpoint and status code",
+            labels=("endpoint", "status"),
+        )
+        self._http_latency = m.histogram(
+            "repro_http_request_seconds",
+            "HTTP request handling latency, by endpoint",
+            labels=("endpoint",),
+        )
+        m.gauge(
+            "repro_http_open_connections",
+            "TCP connections currently open on the async front end",
+            fn=lambda: float(self._open_connections),
+        )
+        m.gauge(
+            "repro_http_inflight_requests",
+            "POST requests currently admitted on the async front end",
+            fn=lambda: float(self._inflight),
+        )
+
+    # -- lifecycle (ThreadingHTTPServer-compatible) --------------------
+
+    def serve_forever(self, poll_interval: float = 0.5) -> None:
+        """Run the event loop on this thread until :meth:`shutdown`."""
+        self._stopped.clear()
+        try:
+            asyncio.run(self._serve())
+        finally:
+            with self._lifecycle:
+                self._loop = None
+                self._stop_event = None
+            self._stopped.set()
+
+    async def _serve(self) -> None:
+        with self._lifecycle:
+            self._loop = asyncio.get_running_loop()
+            self._stop_event = asyncio.Event()
+            if self._shutdown_requested:
+                self._stop_event.set()
+        server = await asyncio.start_server(
+            self._handle_connection, sock=self._sock
+        )
+        try:
+            await self._stop_event.wait()
+        finally:
+            server.close()
+            # Returns once the listener closes; in-flight handler tasks
+            # are cancelled by asyncio.run's teardown right after.
+            await server.wait_closed()
+
+    def shutdown(self) -> None:
+        """Thread-safe stop; blocks until ``serve_forever`` returns."""
+        with self._lifecycle:
+            self._shutdown_requested = True
+            loop, stop = self._loop, self._stop_event
+        if loop is not None and stop is not None:
+            try:
+                loop.call_soon_threadsafe(stop.set)
+            except RuntimeError:
+                pass  # the loop tore down between the check and the call
+        self._stopped.wait(timeout=10.0)
+
+    def server_close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    # -- connection handling -------------------------------------------
+
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self._open_connections += 1
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break  # clean EOF between requests
+                if line in (b"\r\n", b"\n"):
+                    continue  # stray blank line, tolerate like stdlib
+                t0 = time.perf_counter()
+                parts = line.decode("latin-1", "replace").split()
+                if len(parts) != 3 or not parts[2].upper().startswith(
+                    "HTTP/"
+                ):
+                    await self._write(
+                        writer, 400, {"error": "malformed request line"},
+                        close=True,
+                    )
+                    break
+                method, target, version = parts
+                headers: dict[str, str] = {}
+                truncated = False
+                while True:
+                    hline = await reader.readline()
+                    if hline in (b"\r\n", b"\n"):
+                        break
+                    if not hline:
+                        truncated = True
+                        break
+                    key, sep, value = (
+                        hline.decode("latin-1", "replace").partition(":")
+                    )
+                    if sep:
+                        headers[key.strip().lower()] = value.strip()
+                if truncated:
+                    break
+                conn_tokens = headers.get("connection", "").lower()
+                keep_alive = (
+                    "close" not in conn_tokens
+                    if version.upper() == "HTTP/1.1"
+                    else "keep-alive" in conn_tokens
+                )
+                must_close = await self._handle_request(
+                    reader, writer, method, target, headers, t0, keep_alive
+                )
+                if must_close or not keep_alive:
+                    break
+        except asyncio.CancelledError:
+            # Server shutdown: loop teardown cancels connection tasks.
+            # Finish quietly -- a cancelled-state task trips a noisy
+            # done-callback in Python 3.11's asyncio.streams.
+            pass
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # the peer went away mid-request
+        finally:
+            self._open_connections -= 1
+            writer.close()
+
+    async def _handle_request(
+        self, reader, writer, method, target, headers, t0, keep_alive
+    ) -> bool:
+        """Serve one parsed request.
+
+        Returns True when the connection must close afterwards (an
+        unread body after a 413 leaves the stream unframeable).
+        """
+        endpoint = (
+            target.lstrip("/") if target in KNOWN_ENDPOINTS else "other"
+        )
+        if method == "GET" and target == "/metrics":
+            body = self.service.metrics.render().encode()
+            await self._write(
+                writer, 200, body, content_type=PROMETHEUS_CONTENT_TYPE,
+                close=not keep_alive,
+            )
+            # Counted after the write, mirroring the threaded front end:
+            # the text is a snapshot from strictly before this request
+            # was counted, so scraped counters stay monotonic.
+            self._count(endpoint, 200, t0)
+            return False
+        extra: "dict[str, str] | None" = None
+        must_close = False
+        if method == "GET":
+            code, payload = _get_route(self.service, self.registry, target)
+        elif method == "POST":
+            code, payload, extra, must_close = await self._handle_post(
+                reader, target, headers
+            )
+        else:
+            code, payload = 501, {"error": f"unsupported method {method}"}
+        # Counted before the body is written -- same guarantee as the
+        # threaded front end: a client holding the response always finds
+        # its request in /metrics.
+        self._count(endpoint, code, t0)
+        await self._write(
+            writer, code, payload, headers=extra,
+            close=must_close or not keep_alive,
+        )
+        return must_close
+
+    async def _handle_post(self, reader, target, headers):
+        """Returns ``(status, payload, extra_headers, must_close)``."""
+        try:
+            length = int(headers.get("content-length", "0"))
+            if length > self.max_body_bytes:
+                # Body left unread: the stream cannot be re-framed.
+                return (
+                    413,
+                    {"error": f"request body of {length} bytes exceeds "
+                              f"the {self.max_body_bytes} byte limit"},
+                    None,
+                    True,
+                )
+            raw = await reader.readexactly(length) if length else b""
+            # Body drained first: under keep-alive, even a 404 must
+            # leave the stream positioned at the next request line.
+            if target not in _POST_ENDPOINTS:
+                return 404, {"error": f"unknown path {target}"}, None, False
+            if self._inflight >= self.max_inflight:
+                # Front-door admission: shed before any service work so
+                # a flood cannot queue unbounded decode/dispatch jobs.
+                retry_after = 0.05
+                return (
+                    429,
+                    {"error": f"{self.max_inflight} requests already in "
+                              "flight; back off and retry",
+                     "retry_after": retry_after},
+                    {"Retry-After": f"{retry_after:.3f}"},
+                    False,
+                )
+            self._inflight += 1
+            try:
+                loop = asyncio.get_running_loop()
+                # Validation + admission may decode megabytes of JSON
+                # and load an index from disk on a cache miss: off-loop.
+                action = await loop.run_in_executor(
+                    None, _post_action, self.service, self.registry,
+                    target, raw,
+                )
+                if action[0] == "send":
+                    return action[1], action[2], action[3], False
+                if action[0] == "compact":
+                    out = await loop.run_in_executor(
+                        None, self.service.compact, action[1]
+                    )
+                    return 200, {"compacted": True, **out}, None, False
+                _, kind, pending = action
+                res = await self._await_pending(pending)
+                return 200, _format_result(kind, res), None, False
+            finally:
+                self._inflight -= 1
+        except (ConnectionError, asyncio.IncompleteReadError):
+            raise  # the peer died; unwind to the connection loop
+        except Exception as exc:  # noqa: BLE001 -- shared JSON contract
+            code, payload, extra = _error_response(exc)
+            return code, payload, extra, False
+
+    async def _await_pending(self, pending: _Pending):
+        """Threadless wait on a :class:`_Pending`.
+
+        The pending's done-callback (dispatcher thread) resolves an
+        asyncio future via ``call_soon_threadsafe`` -- the asyncio
+        mirror of the 30 s ``pending.result`` the threaded handler
+        blocks in, raising the same typed errors.
+        """
+        loop = asyncio.get_running_loop()
+        fut: asyncio.Future = loop.create_future()
+
+        def _resolve(p: _Pending) -> None:
+            if fut.cancelled():
+                return
+            if p._error is not None:
+                fut.set_exception(p._error)
+            else:
+                fut.set_result(p._result)
+
+        def _bridge(p: _Pending) -> None:
+            try:
+                loop.call_soon_threadsafe(_resolve, p)
+            except RuntimeError:
+                pass  # loop already closed (shutdown mid-request)
+
+        pending.add_done_callback(_bridge)
+        try:
+            return await asyncio.wait_for(fut, timeout=30.0)
+        except TimeoutError as exc:
+            if isinstance(exc, ServiceError):
+                raise  # the service's own DeadlineExceeded -> 504
+            raise TimeoutError(
+                "query not answered within the timeout"
+            ) from None
+
+    # -- response plumbing ---------------------------------------------
+
+    def _count(self, endpoint: str, code: int, t0: float) -> None:
+        self._http_requests.inc(endpoint=endpoint, status=str(code))
+        self._http_latency.observe(
+            time.perf_counter() - t0, endpoint=endpoint
+        )
+
+    async def _write(
+        self,
+        writer: asyncio.StreamWriter,
+        code: int,
+        payload,
+        *,
+        content_type: str = "application/json",
+        headers: "dict[str, str] | None" = None,
+        close: bool = False,
+    ) -> None:
+        body = (
+            payload if isinstance(payload, bytes)
+            else json.dumps(payload).encode()
+        )
+        head = [
+            f"HTTP/1.1 {code} {_HTTP_REASONS.get(code, 'OK')}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+        ]
+        for key, value in (headers or {}).items():
+            head.append(f"{key}: {value}")
+        if close:
+            head.append("Connection: close")
+        writer.write(
+            ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
+        )
+        await writer.drain()
+
+
 def make_server(
     indexes: "dict[str, str | Path]",
     host: str = "127.0.0.1",
@@ -992,7 +1662,9 @@ def make_server(
     max_queue_depth: int = 256,
     verify: str = "header",
     max_body_bytes: int = 8 << 20,
-) -> ThreadingHTTPServer:
+    frontend: str = "thread",
+    max_inflight: "int | None" = None,
+):
     """Build (but do not run) the JSON-over-HTTP query server.
 
     ``indexes`` maps request-visible names to persisted index paths; the
@@ -1002,12 +1674,27 @@ def make_server(
     attached :class:`QueryService` is started with the server and
     stopped when the server closes.
 
+    ``frontend`` selects the transport: ``"thread"`` (the default) is
+    the keep-alive ``ThreadingHTTPServer`` -- one thread per connection;
+    ``"async"`` is :class:`AsyncHTTPServer` -- one event loop for every
+    connection, with in-flight requests parked on callbacks instead of
+    threads.  Both serve identical routes, contracts, and bit-identical
+    answers; ``serve_forever``/``shutdown``/``server_close`` behave the
+    same on either.  ``max_inflight`` bounds concurrently admitted POSTs
+    on the async front end (default ``2 * max_queue_depth + 16``);
+    ignored for the threaded one, whose thread-per-connection model is
+    bounded by the service's own admission queue.
+
     Every failure mode answers with well-formed JSON, never a stack
     trace: 400 (malformed request), 404 (unknown path/index), 413 (body
     over ``max_body_bytes``), 429 + ``Retry-After`` (admission queue
     full), 503 (draining), 500 (anything unexpected, as
     ``{"error": ...}``).
     """
+    if frontend not in ("thread", "async"):
+        raise ValueError(
+            f"frontend must be 'thread' or 'async'; got {frontend!r}"
+        )
     registry = {name: Path(p) for name, p in indexes.items()}
     if not registry:
         raise ValueError("at least one index must be registered")
@@ -1034,12 +1721,12 @@ def make_server(
         "HTTP request handling latency, by endpoint",
         labels=("endpoint",),
     )
-    known_endpoints = (
-        "/range", "/knn", "/append", "/delete", "/compact",
-        "/healthz", "/stats", "/metrics",
-    )
-
     class Handler(BaseHTTPRequestHandler):
+        # Keep-alive: clients reuse one TCP connection across requests.
+        # Content-Length is always sent, so response framing is explicit
+        # (HTTP/1.0 would close the socket after every response).
+        protocol_version = "HTTP/1.1"
+
         # Serving diagnostics go through the return payloads; the default
         # per-request stderr line would swamp concurrent smoke runs.
         def log_message(self, fmt, *args):  # noqa: N802 (stdlib name)
@@ -1050,7 +1737,7 @@ def make_server(
             # Unknown paths share one label so a scanner cannot grow the
             # registry without bound.
             self._endpoint = (
-                self.path.lstrip("/") if self.path in known_endpoints
+                self.path.lstrip("/") if self.path in KNOWN_ENDPOINTS
                 else "other"
             )
 
@@ -1078,19 +1765,7 @@ def make_server(
 
         def do_GET(self) -> None:  # noqa: N802 (stdlib casing)
             self._begin()
-            if self.path == "/healthz":
-                if svc.draining:
-                    self._send(
-                        503,
-                        {"status": "draining", "indexes": sorted(registry)},
-                    )
-                else:
-                    self._send(
-                        200, {"status": "ok", "indexes": sorted(registry)}
-                    )
-            elif self.path == "/stats":
-                self._send(200, svc.stats())
-            elif self.path == "/metrics":
+            if self.path == "/metrics":
                 # Rendered before this request is counted: the text is a
                 # snapshot taken strictly before the response completes,
                 # so counters stay monotonic across scrapes.
@@ -1101,96 +1776,59 @@ def make_server(
                 self.end_headers()
                 self.wfile.write(body)
                 self._finish(200)
-            else:
-                self._send(404, {"error": f"unknown path {self.path}"})
+                return
+            code, payload = _get_route(svc, registry, self.path)
+            self._send(code, payload)
 
         def do_POST(self) -> None:  # noqa: N802 (stdlib casing)
             self._begin()
-            if self.path not in (
-                "/range", "/knn", "/append", "/delete", "/compact"
-            ):
-                self._send(404, {"error": f"unknown path {self.path}"})
-                return
             try:
                 length = int(self.headers.get("Content-Length", "0"))
                 if length > max_body_bytes:
+                    # The oversized body is deliberately left unread, so
+                    # the connection cannot be re-framed: close it rather
+                    # than desync keep-alive parsing on the leftovers.
+                    self.close_connection = True
                     self._send(
                         413,
                         {"error": f"request body of {length} bytes exceeds "
                                   f"the {max_body_bytes} byte limit"},
+                        headers={"Connection": "close"},
                     )
                     return
-                req = json.loads(self.rfile.read(length) or b"{}")
-                if not isinstance(req, dict):
-                    self._send(400, {"error": "request body must be a JSON "
-                                              "object"})
+                raw = self.rfile.read(length)
+                # Body drained first: under keep-alive, even a 404 must
+                # leave the stream positioned at the next request line.
+                if self.path not in _POST_ENDPOINTS:
+                    self._send(404, {"error": f"unknown path {self.path}"})
                     return
-                name = req.get("index", "default")
-                if name not in registry:
-                    self._send(
-                        404, {"error": f"unknown index {name!r}",
-                              "indexes": sorted(registry)}
-                    )
-                    return
-                if self.path == "/compact":
-                    out = svc.compact(registry[name])
+                action = _post_action(svc, registry, self.path, raw)
+                if action[0] == "send":
+                    _, code, payload, headers = action
+                    self._send(code, payload, headers)
+                elif action[0] == "compact":
+                    out = svc.compact(action[1])
                     self._send(200, {"compacted": True, **out})
-                    return
-                if self.path == "/append":
-                    ids = svc.append(
-                        registry[name],
-                        np.asarray(req["rows"], dtype=np.float64),
-                    )
-                    self._send(200, {"ids": ids.tolist()})
-                    return
-                if self.path == "/delete":
-                    deleted = svc.delete(registry[name], req["ids"])
-                    self._send(200, {"deleted": int(deleted)})
-                    return
-                queries = np.asarray(req["queries"], dtype=np.float64)
-                if self.path == "/knn":
-                    res = svc.query(
-                        registry[name], queries, k=int(req.get("k", 1))
-                    )
-                    self._send(
-                        200,
-                        {
-                            "k": res.k,
-                            "indices": res.indices.tolist(),
-                            # Padding slots (k > n) carry +inf, which is
-                            # not valid JSON -- strict parsers reject
-                            # "Infinity"; send null there instead.
-                            "sq_dists": [
-                                [
-                                    float(x) if np.isfinite(x) else None
-                                    for x in row
-                                ]
-                                for row in res.sq_dists
-                            ],
-                        },
-                    )
                 else:
-                    res = svc.query(
-                        registry[name], queries, eps=req.get("eps")
-                    )
-                    self._send(200, _range_payload(res))
-            except ServiceOverloaded as exc:
-                self._send(
-                    429,
-                    {"error": str(exc), "retry_after": exc.retry_after},
-                    headers={"Retry-After": f"{exc.retry_after:.3f}"},
-                )
-            except ServiceShuttingDown as exc:
-                self._send(503, {"error": str(exc)})
-            except DeadlineExceeded as exc:
-                self._send(504, {"error": str(exc)})
-            except (KeyError, TypeError, ValueError) as exc:
-                self._send(400, {"error": str(exc)})
-            except Exception as exc:  # noqa: BLE001 -- a JSON 500 beats a
-                # dropped connection (e.g. a dispatch TimeoutError).
-                self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
+                    _, kind, pending = action
+                    res = pending.result(timeout=30.0)
+                    self._send(200, _format_result(kind, res))
+            except Exception as exc:  # noqa: BLE001 -- a JSON error beats
+                # a dropped connection (e.g. a dispatch TimeoutError).
+                code, payload, headers = _error_response(exc)
+                self._send(code, payload, headers)
 
-    server = ThreadingHTTPServer((host, port), Handler)
+    if frontend == "async":
+        server: "ThreadingHTTPServer | AsyncHTTPServer" = AsyncHTTPServer(
+            registry, svc, host=host, port=port,
+            max_body_bytes=max_body_bytes,
+            max_inflight=(
+                max_inflight if max_inflight is not None
+                else 2 * max_queue_depth + 16
+            ),
+        )
+    else:
+        server = ThreadingHTTPServer((host, port), Handler)
     server.service = svc  # type: ignore[attr-defined]
     svc.start()
     _orig_close = server.server_close
@@ -1210,10 +1848,12 @@ def run_self_test(
     queries_per_client: int = 8,
     max_queue_depth: int = 256,
     verify: str = "header",
+    frontend: str = "thread",
 ) -> dict:
     """One-shot serve smoke: spin up, hammer, verify, shut down.
 
-    Starts the HTTP server on an ephemeral port, fires ``n_clients``
+    Starts the HTTP server (threaded or async ``frontend``) on an
+    ephemeral port, fires ``n_clients``
     concurrent :class:`~repro.service.client.ServiceClient` threads at
     ``/range`` and ``/knn`` for one cached index, and verifies every
     HTTP answer against a direct serial :class:`QueryEngine` call on the
@@ -1229,7 +1869,7 @@ def run_self_test(
     index_path = Path(index_path)
     server = make_server(
         {"default": index_path}, port=0,
-        max_queue_depth=max_queue_depth, verify=verify,
+        max_queue_depth=max_queue_depth, verify=verify, frontend=frontend,
     )
     host, port = server.server_address[:2]
     thread = threading.Thread(target=server.serve_forever, daemon=True)
@@ -1283,11 +1923,14 @@ def run_self_test(
         "clients": n_clients,
         "queries_per_client": queries_per_client,
         "client_retries": sum(retries),
+        "frontend": frontend,
         "stats": stats,
     }
 
 
 __all__ = [
+    "AdaptiveWindow",
+    "AsyncHTTPServer",
     "IndexCache",
     "QueryService",
     "ServiceError",

@@ -1,0 +1,453 @@
+"""Async serving pipeline: front-end conformance, adaptive micro-batch
+window, cross-k kNN coalescing, and client connection reuse.
+
+The contract under test is interchangeability: the asyncio front end
+(``make_server(..., frontend="async")``) must serve the exact same
+routes, status codes, JSON error shapes, and bit-identical answer
+payloads as the threaded front end, and the adaptive coalescing window
+must never change *what* a request answers -- only how requests share
+executor batches.
+"""
+
+import http.client
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.api import build_index
+from repro.core.selectivity import epsilon_for_selectivity
+from repro.service import AdaptiveWindow, QueryService, ServiceClient
+from repro.service.query import QueryEngine
+from repro.service.server import _Pending, make_server
+
+
+@pytest.fixture(scope="module")
+def data_eps():
+    rng = np.random.default_rng(7)
+    centers = rng.normal(0, 5, size=(8, 16))
+    data = centers[rng.integers(0, 8, 1200)] + rng.normal(
+        0, 0.6, size=(1200, 16)
+    )
+    return np.ascontiguousarray(data), float(epsilon_for_selectivity(data, 24))
+
+
+@pytest.fixture(scope="module")
+def index_dir(data_eps, tmp_path_factory):
+    data, eps = data_eps
+    path = tmp_path_factory.mktemp("asvc") / "g"
+    build_index(data, eps, path)
+    return path
+
+
+def _serve(index_dir, frontend, **kwargs):
+    server = make_server(
+        {"default": index_dir}, port=0, frontend=frontend, **kwargs
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, thread
+
+
+def _stop(server, thread):
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5.0)
+
+
+# ----------------------------------------------------------------------
+# AdaptiveWindow (pure controller, fake clock)
+# ----------------------------------------------------------------------
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 100.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestAdaptiveWindow:
+    def test_negative_cap_raises(self):
+        with pytest.raises(ValueError):
+            AdaptiveWindow(-0.001)
+
+    def test_zero_cap_is_always_immediate(self):
+        w = AdaptiveWindow(0.0, clock=FakeClock())
+        assert w.current() == 0.0
+        assert w.observe(10, 50) == 0.0
+        assert w.current() == 0.0
+
+    def test_solo_batches_shrink_to_zero(self):
+        clk = FakeClock()
+        w = AdaptiveWindow(0.002, clock=clk)
+        assert w.current() == pytest.approx(0.002)  # starts at the cap
+        seen = []
+        for _ in range(12):
+            clk.t += 0.01
+            seen.append(w.observe(1, 0))
+        assert seen[0] == pytest.approx(0.001)  # halved
+        assert seen[-1] == 0.0  # snapped to zero below cap/64
+        assert w.current() == 0.0  # and the next batch pays nothing
+
+    def test_pressure_widens_up_to_cap(self):
+        clk = FakeClock()
+        w = AdaptiveWindow(0.002, clock=clk)
+        for _ in range(12):  # drive it to zero first
+            clk.t += 0.01
+            w.observe(1, 0)
+        assert w.current() == 0.0
+        first = w.observe(4, 0)  # coalesced batch: reopen the window
+        assert first == pytest.approx(0.002 / 16)  # floor = cap/16
+        prev, widened = first, [first]
+        for _ in range(8):
+            clk.t += 0.001
+            prev = w.observe(4, 0)
+            widened.append(prev)
+        assert prev == pytest.approx(0.002)  # doubled up to the cap...
+        assert max(widened) <= 0.002 + 1e-12  # ...and never past it
+
+    def test_queue_depth_counts_as_pressure(self):
+        clk = FakeClock()
+        w = AdaptiveWindow(0.002, clock=clk)
+        for _ in range(12):
+            clk.t += 0.01
+            w.observe(1, 0)
+        assert w.observe(1, 3) > 0.0  # solo batch, but a backlog exists
+
+    def test_idle_reset_zeroes_stale_window(self):
+        clk = FakeClock()
+        w = AdaptiveWindow(0.002, idle_reset_s=1.0, clock=clk)
+        w.observe(8, 4)
+        assert w.window_s > 0.0
+        clk.t += 0.5
+        assert w.current() > 0.0  # not idle yet
+        clk.t += 10.0
+        # The first request after a lull must not pay a window tuned
+        # for a burst that ended seconds ago.
+        assert w.current() == 0.0
+
+    def test_service_exposes_controller_and_flag(self, index_dir):
+        svc = QueryService(max_delay_s=0.004)
+        assert svc.adaptive_window is True
+        assert isinstance(svc.window, AdaptiveWindow)
+        assert svc.window.cap_s == pytest.approx(0.004)
+        pinned = QueryService(max_delay_s=0.004, adaptive_window=False)
+        assert pinned.adaptive_window is False
+
+
+# ----------------------------------------------------------------------
+# Cross-k kNN coalescing
+# ----------------------------------------------------------------------
+
+
+class TestCrossKCoalescing:
+    def test_dispatch_serves_max_k_and_splits_prefixes(
+        self, data_eps, index_dir
+    ):
+        """One engine batch answers every k; each answer is bit-identical
+        to the per-request serial call (top-k' is a prefix of top-k
+        under the stable (distance, index) order)."""
+        data, eps = data_eps
+        engine = QueryEngine(index_dir)
+        rng = np.random.default_rng(3)
+        qs = [
+            np.ascontiguousarray(
+                data[rng.integers(0, len(data), nq)]
+                + rng.normal(0, 0.05, size=(nq, data.shape[1]))
+            )
+            for nq in (3, 1, 4)
+        ]
+        ks = (1, 7, 3)
+        svc = QueryService()
+        try:
+            batch = [
+                _Pending(engine, q, None, "knn", k, None)
+                for q, k in zip(qs, ks)
+            ]
+            svc._dispatch(batch)
+            for pending, q, k in zip(batch, qs, ks):
+                got = pending.result(timeout=5.0)
+                want = engine.knn_query(q, k)
+                assert got.k == k
+                assert got.indices.shape == (q.shape[0], k)
+                np.testing.assert_array_equal(got.indices, want.indices)
+                assert np.array_equal(
+                    got.sq_dists.view(np.uint32),
+                    want.sq_dists.view(np.uint32),
+                )
+        finally:
+            svc.stop()
+
+    def test_live_coalesced_cross_k_matches_serial(self, data_eps, index_dir):
+        data, eps = data_eps
+        svc = QueryService(max_delay_s=0.25)
+        try:
+            engine = svc.engine_for(index_dir)  # warm the cache first
+            rng = np.random.default_rng(4)
+            qs = [
+                np.ascontiguousarray(
+                    data[rng.integers(0, len(data), 2)]
+                    + rng.normal(0, 0.05, size=(2, data.shape[1]))
+                )
+                for _ in range(6)
+            ]
+            ks = (1, 2, 3, 4, 5, 8)
+            svc.start()
+            pendings = [
+                svc.submit(engine, q, k=k) for q, k in zip(qs, ks)
+            ]
+            for pending, q, k in zip(pendings, qs, ks):
+                got = pending.result(timeout=10.0)
+                want = engine.knn_query(q, k)
+                assert got.k == k
+                np.testing.assert_array_equal(got.indices, want.indices)
+                assert np.array_equal(
+                    got.sq_dists.view(np.uint32),
+                    want.sq_dists.view(np.uint32),
+                )
+            # Different-k requests landed in shared engine batches: the
+            # coalesced counter moved (the 0.25 s window makes this
+            # deterministic in practice -- submissions take microseconds).
+            assert svc.stats()["requests_coalesced"] > 0
+        finally:
+            svc.stop()
+
+
+# ----------------------------------------------------------------------
+# Front-end conformance (threaded and async must be interchangeable)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("frontend", ["thread", "async"])
+class TestFrontendConformance:
+    def test_keep_alive_request_sequence(self, data_eps, index_dir, frontend):
+        """One TCP connection serves a whole mixed sequence -- including
+        error responses, which must not desync keep-alive framing."""
+        data, eps = data_eps
+        server, thread = _serve(index_dir, frontend)
+        try:
+            host, port = server.server_address[:2]
+            engine = QueryEngine(index_dir)
+            q = np.ascontiguousarray(data[:4] + 0.01)
+            conn = http.client.HTTPConnection(host, port, timeout=30)
+
+            def roundtrip(method, path, payload=None):
+                body = None if payload is None else json.dumps(payload)
+                hdrs = {} if body is None else {
+                    "Content-Type": "application/json"
+                }
+                conn.request(method, path, body, hdrs)
+                resp = conn.getresponse()
+                raw = resp.read()
+                ct = resp.getheader("Content-Type") or ""
+                return resp.status, (
+                    json.loads(raw) if "json" in ct else raw.decode()
+                )
+
+            status, health = roundtrip("GET", "/healthz")
+            assert (status, health["status"]) == (200, "ok")
+            status, got = roundtrip(
+                "POST", "/range", {"queries": q.tolist()}
+            )
+            want = engine.range_query(q)
+            sets = [set() for _ in range(q.shape[0])]
+            for i, j in zip(want.pairs_i.tolist(), want.pairs_j.tolist()):
+                sets[i].add(j)
+            assert status == 200
+            assert [set(x) for x in got["neighbors"]] == sets
+            status, got = roundtrip(
+                "POST", "/knn", {"queries": q.tolist(), "k": 3}
+            )
+            assert status == 200
+            assert got["indices"] == engine.knn_query(q, 3).indices.tolist()
+            # Error contracts, all on the SAME connection:
+            status, got = roundtrip("POST", "/range", {"index": "nope"})
+            assert status == 404 and "indexes" in got
+            status, got = roundtrip("POST", "/nope", {})
+            assert status == 404 and "unknown path" in got["error"]
+            conn.request("POST", "/range", "[1, 2]",
+                         {"Content-Type": "application/json"})
+            resp = conn.getresponse()
+            bad = json.loads(resp.read())
+            assert resp.status == 400
+            assert bad["error"] == "request body must be a JSON object"
+            status, text = roundtrip("GET", "/metrics")
+            assert status == 200
+            assert "repro_http_requests_total" in text
+            assert "repro_service_batch_window_seconds" in text
+            status, stats = roundtrip("GET", "/stats")
+            assert status == 200 and stats["requests_served"] >= 2
+            conn.close()
+        finally:
+            _stop(server, thread)
+
+    def test_oversized_body_is_413_and_closes(
+        self, index_dir, frontend
+    ):
+        server, thread = _serve(index_dir, frontend, max_body_bytes=4096)
+        try:
+            host, port = server.server_address[:2]
+            conn = http.client.HTTPConnection(host, port, timeout=30)
+            conn.request(
+                "POST", "/range", b"x",
+                {"Content-Type": "application/json",
+                 "Content-Length": str(1 << 20)},
+            )
+            resp = conn.getresponse()
+            body = json.loads(resp.read())
+            assert resp.status == 413
+            assert "exceeds" in body["error"]
+            # The unread body makes the stream unframeable: the server
+            # must say so and actually hang up.
+            assert (resp.getheader("Connection") or "").lower() == "close"
+            conn.close()
+        finally:
+            _stop(server, thread)
+
+    def test_self_test_passes(self, index_dir, frontend):
+        from repro.service.server import run_self_test
+
+        out = run_self_test(
+            index_dir, n_clients=2, queries_per_client=4, frontend=frontend
+        )
+        assert out["frontend"] == frontend
+        assert out["stats"]["requests_served"] >= 4
+
+
+class TestFrontendEquivalence:
+    def test_payloads_bitwise_equal_across_frontends(
+        self, data_eps, index_dir
+    ):
+        """The two front ends must return byte-identical JSON bodies for
+        the same queries (same engine, same formatting helpers)."""
+        data, eps = data_eps
+        q = np.ascontiguousarray(data[10:16] + 0.02)
+        bodies = {}
+        for frontend in ("thread", "async"):
+            server, thread = _serve(index_dir, frontend)
+            try:
+                host, port = server.server_address[:2]
+                conn = http.client.HTTPConnection(host, port, timeout=30)
+                per = []
+                for path, payload in (
+                    ("/range", {"queries": q.tolist()}),
+                    ("/knn", {"queries": q.tolist(), "k": 4}),
+                ):
+                    conn.request("POST", path, json.dumps(payload),
+                                 {"Content-Type": "application/json"})
+                    resp = conn.getresponse()
+                    per.append((resp.status, resp.read()))
+                conn.close()
+                bodies[frontend] = per
+            finally:
+                _stop(server, thread)
+        assert bodies["thread"] == bodies["async"]
+
+    def test_unknown_frontend_rejected(self, index_dir):
+        with pytest.raises(ValueError):
+            make_server({"default": index_dir}, port=0, frontend="gevent")
+
+
+# ----------------------------------------------------------------------
+# Client connection reuse
+# ----------------------------------------------------------------------
+
+
+class TestClientConnectionReuse:
+    def test_single_connection_across_requests(
+        self, data_eps, index_dir, monkeypatch
+    ):
+        """N requests ride ONE TCP connection (the keep-alive server +
+        client reuse regression: HTTP/1.0 responses silently forced a
+        reconnect per request)."""
+        data, eps = data_eps
+        connects = []
+        orig = http.client.HTTPConnection.connect
+
+        def counting_connect(self):
+            connects.append(1)
+            return orig(self)
+
+        monkeypatch.setattr(
+            http.client.HTTPConnection, "connect", counting_connect
+        )
+        server, thread = _serve(index_dir, "thread")
+        try:
+            host, port = server.server_address[:2]
+            with ServiceClient(host, port) as client:
+                q = data[:2].tolist()
+                for _ in range(4):
+                    client.range_query(q)
+                    client.knn_query(q, 2)
+                client.healthz()
+                client.stats()
+            assert sum(connects) == 1
+        finally:
+            _stop(server, thread)
+
+    def test_transparent_reconnect_after_server_restart(
+        self, data_eps, index_dir
+    ):
+        """A keep-alive socket the server closed between requests gets
+        one silent reconnect -- not an error, not a counted retry."""
+        data, eps = data_eps
+        server, thread = _serve(index_dir, "thread")
+        host, port = server.server_address[:2]
+        client = ServiceClient(host, port)
+        try:
+            client.range_query(data[:2].tolist())
+            _stop(server, thread)  # server goes away; client holds a socket
+            server, thread = _serve(index_dir, "thread")
+            client.host, client.port = server.server_address[:2]
+            # Stale-reuse detection kicks in: the request succeeds on a
+            # fresh connection without burning a backoff retry.
+            out = client.range_query(data[:2].tolist())
+            assert out["n_queries"] == 2
+            assert client.retries == 0
+        finally:
+            client.close()
+            _stop(server, thread)
+
+
+# ----------------------------------------------------------------------
+# Asyncio load-generator driver
+# ----------------------------------------------------------------------
+
+
+class TestAsyncLoadgenDriver:
+    def test_open_loop_against_async_frontend(self, index_dir):
+        from repro.loadgen.generator import WorkloadConfig, run_against_server
+
+        server, thread = _serve(index_dir, "async")
+        try:
+            host, port = server.server_address[:2]
+            cfg = WorkloadConfig(
+                mode="open", duration_s=0.5, target_rps=60.0,
+                concurrency=32, batch_size=2, range_fraction=0.5, seed=5,
+            )
+            res = run_against_server(
+                index_dir, host, port, cfg, driver="async"
+            )
+            s = res.summary()
+            assert s["offered"] == 30  # the full schedule was issued
+            assert s["ok"] == 30
+            assert s["err_other"] == 0 and s["dropped"] == 0
+            assert s["p99_ms"] is not None
+        finally:
+            _stop(server, thread)
+
+    def test_async_driver_is_open_loop_only(self, index_dir):
+        from repro.loadgen.generator import (
+            QuerySampler,
+            WorkloadConfig,
+            run_load_async,
+        )
+
+        engine = QueryEngine(index_dir)
+        cfg = WorkloadConfig(mode="closed", duration_s=0.1)
+        sampler = QuerySampler(engine, cfg)
+        with pytest.raises(ValueError):
+            run_load_async(cfg, "127.0.0.1", 1, sampler)

@@ -81,7 +81,11 @@ class TestKernelBitIdentity:
     def test_gds_join(self, d):
         data = _dataset(d, seed=3)
         eps = epsilon_for_selectivity(data, 24)
-        got = GdsJoinKernel().self_join(data, eps).result
+        # The seed reference IS the per-group executor; pin that path
+        # explicitly (batched=None may auto-route small-group shapes
+        # through the padded-batch executor, whose contract is pair-set
+        # equality, not seed bit-identity).
+        got = GdsJoinKernel().self_join(data, eps, batched=False).result
         ref = seed_candidate_join(
             data, eps, GridIndex(data, eps).iter_cells(), np.float32
         )
@@ -277,3 +281,75 @@ class TestPairAccumulator:
         acc.append(np.arange(5), np.arange(5), np.zeros(5, np.float32))
         assert acc.capacity >= 5
         assert len(acc) == 5
+
+
+# ----------------------------------------------------------------------
+# Auto-selection of the batched candidate executor (batched=None)
+# ----------------------------------------------------------------------
+
+
+class TestAutoBatchedSelection:
+    """``batched=None`` routes by measured group shape, never by guess."""
+
+    @staticmethod
+    def _stats(mean_m, mean_c, n_groups):
+        from types import SimpleNamespace
+
+        return SimpleNamespace(
+            mean_members=mean_m,
+            mean_group_candidates=mean_c,
+            n_nonempty_cells=n_groups,
+        )
+
+    def test_small_typical_block_batches(self):
+        from repro.core.engine import auto_batched_from_stats
+
+        assert auto_batched_from_stats(self._stats(8.0, 64.0, 200)) is True
+
+    def test_large_typical_block_stays_per_group(self):
+        from repro.core.engine import AUTO_BATCH_ELEMS, auto_batched_from_stats
+
+        big = self._stats(256.0, float(AUTO_BATCH_ELEMS), 200)
+        assert auto_batched_from_stats(big) is False
+
+    def test_threshold_is_inclusive(self):
+        from repro.core.engine import AUTO_BATCH_ELEMS, auto_batched_from_stats
+
+        at = self._stats(1.0, float(AUTO_BATCH_ELEMS), 200)
+        above = self._stats(1.0, float(AUTO_BATCH_ELEMS + 1), 200)
+        assert auto_batched_from_stats(at) is True
+        assert auto_batched_from_stats(above) is False
+
+    def test_too_few_groups_never_batch(self):
+        from repro.core.engine import AUTO_BATCH_MIN_GROUPS, auto_batched_from_stats
+
+        few = self._stats(4.0, 16.0, AUTO_BATCH_MIN_GROUPS - 1)
+        enough = self._stats(4.0, 16.0, AUTO_BATCH_MIN_GROUPS)
+        assert auto_batched_from_stats(few) is False
+        assert auto_batched_from_stats(enough) is True
+
+    def test_degenerate_empty_shape_stays_per_group(self):
+        from repro.core.engine import auto_batched_from_stats
+
+        assert auto_batched_from_stats(self._stats(0.0, 0.0, 500)) is False
+
+    def test_kernel_auto_matches_forced_choice(self):
+        """The batched=None run is bit-identical to explicitly forcing
+        whichever executor the heuristic picks for this index shape."""
+        from repro.core.engine import auto_batched_from_stats
+
+        data = _dataset(32, seed=9)
+        eps = epsilon_for_selectivity(data, 24)
+        kernel = GdsJoinKernel()
+        index = GridIndex(data, eps, n_dims=kernel.n_index_dims)
+        choice = auto_batched_from_stats(index.stats())
+        auto = kernel.self_join(data, eps).result
+        forced = kernel.self_join(data, eps, batched=choice).result
+        assert_bit_identical(auto, forced)
+        # ...and forcing the OTHER executor still yields the same pair
+        # set (distance bits may differ: padded GEMMs reassociate).
+        other = kernel.self_join(data, eps, batched=not choice).result
+        ai, aj, _ = _canon(auto)
+        oi, oj, _ = _canon(other)
+        np.testing.assert_array_equal(ai, oi)
+        np.testing.assert_array_equal(aj, oj)

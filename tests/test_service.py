@@ -666,7 +666,9 @@ class TestHttpServer:
             assert got_knn["indices"] == engine.knn_query(q, 2).indices.tolist()
             conn.request("POST", "/range", json.dumps({"index": "nope"}),
                          {"Content-Type": "application/json"})
-            assert conn.getresponse().status == 404
+            resp = conn.getresponse()
+            resp.read()  # drain: keep-alive needs the body consumed
+            assert resp.status == 404
             conn.request("GET", "/stats")
             assert json.loads(conn.getresponse().read())["requests_served"] >= 2
             conn.close()
