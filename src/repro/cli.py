@@ -622,8 +622,10 @@ def _cmd_query(args) -> str:
 
 
 def _cmd_serve(args) -> str:
+    from repro import log as _log
     from repro.service import make_server, run_self_test
 
+    _log.setup()  # structured JSON logs on stderr for the serving path
     registry = {}
     for item in args.index:
         # NAME=PATH only when the prefix looks like a name (no '/'):
@@ -640,6 +642,9 @@ def _cmd_serve(args) -> str:
             max_queue_depth=args.max_queue_depth,
             verify=args.verify,
             frontend=args.frontend,
+            trace_sample=args.trace_sample,
+            trace_log=args.trace_log,
+            slow_ms=args.slow_ms,
         )
         stats = out["stats"]
         return (
@@ -658,7 +663,8 @@ def _cmd_serve(args) -> str:
         server = make_server(
             registry, host=args.host, port=args.port, workers=args.workers,
             max_queue_depth=args.max_queue_depth, verify=args.verify,
-            frontend=args.frontend,
+            frontend=args.frontend, trace_sample=args.trace_sample,
+            trace_log=args.trace_log, slow_ms=args.slow_ms,
         )
     except ValueError as exc:
         raise SystemExit(f"error: {exc}") from exc
@@ -666,7 +672,8 @@ def _cmd_serve(args) -> str:
     print(
         f"serving {sorted(registry)} on http://{host}:{port} "
         f"[{args.frontend} front end] "
-        "(POST /range | /knn, GET /healthz | /stats; Ctrl-C to stop)"
+        "(POST /range | /knn, GET /healthz | /stats | /trace/recent; "
+        f"trace sample {args.trace_sample:g}; Ctrl-C to stop)"
     )
     try:
         server.serve_forever()
@@ -679,9 +686,11 @@ def _cmd_serve(args) -> str:
 
 
 def _cmd_loadtest(args) -> str:
+    from repro import log as _log
     from repro.loadgen import load_config, run_experiment
     from repro.service.metrics import parse_prometheus_text
 
+    _log.setup()  # structured JSON logs on stderr for the serving path
     if args.config is not None:
         try:
             config = load_config(args.config)
@@ -745,7 +754,9 @@ def _cmd_loadtest(args) -> str:
 
         try:
             http_server = make_server(
-                {"default": args.index}, port=0, frontend=args.frontend
+                {"default": args.index}, port=0, frontend=args.frontend,
+                trace_sample=args.trace_sample, trace_log=args.trace_log,
+                slow_ms=args.slow_ms,
             )
         except (ValueError, OSError) as exc:
             raise SystemExit(f"error: {exc}") from exc
@@ -831,6 +842,31 @@ def _cmd_loadtest(args) -> str:
                 )
                 if n5xx:
                     problems.append(f"server answered {int(n5xx)} 5xx")
+            if args.trace_sample > 0:
+                # Tracing smoke: the retained-trace ring must have
+                # caught the bout when sampling is armed.
+                try:
+                    status, body, _ = client.request_once(
+                        "GET", "/trace/recent"
+                    )
+                except (OSError, ValueError) as exc:
+                    status, body = None, None
+                    problems.append(f"/trace/recent failed: {exc}")
+                if isinstance(body, dict) and status == 200:
+                    n_traces = len(body.get("traces", []))
+                    lines.append(
+                        f"/trace/recent: {n_traces} retained traces "
+                        f"({body.get('traces_started', 0)} started, "
+                        f"{body.get('traces_dropped', 0)} dropped)"
+                    )
+                    if not n_traces:
+                        problems.append(
+                            "tracing armed but no traces retained"
+                        )
+                elif status is not None:
+                    problems.append(f"/trace/recent returned HTTP {status}")
+            if args.trace_log is not None:
+                lines.append(f"trace spans exported to {args.trace_log}")
         for row in report["rows"]:
             if row["err_other"]:
                 problems.append(
@@ -849,6 +885,18 @@ def _cmd_loadtest(args) -> str:
         if http_thread is not None:
             http_thread.join(timeout=5.0)
     return "\n".join(lines)
+
+
+def _cmd_trace_report(args) -> str:
+    from repro import trace as trace_mod
+
+    try:
+        spans = trace_mod.read_jsonl(args.path)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    return trace_mod.render_report(
+        spans, limit=args.limit, slow_ms=args.slow_ms
+    )
 
 
 def _workers_arg(value: str):
@@ -1080,6 +1128,22 @@ def build_parser() -> argparse.ArgumentParser:
         "'async' (one event loop; waiting requests hold no thread). "
         "Identical routes, contracts, and bit-identical answers",
     )
+    sv.add_argument(
+        "--trace-sample", type=float, default=0.0, metavar="P",
+        help="probability of retaining a request's span tree in the "
+        "in-memory ring served by /trace/recent and /trace/<id> "
+        "(error traces are always kept; 0 disables sampling)",
+    )
+    sv.add_argument(
+        "--trace-log", default=None, metavar="PATH",
+        help="append every retained trace's spans to this JSONL file "
+        "(render offline with `python -m repro trace report PATH`)",
+    )
+    sv.add_argument(
+        "--slow-ms", type=float, default=None, metavar="MS",
+        help="slow-query log: always retain traces whose root span ran "
+        "at least this long, regardless of the sampling coin",
+    )
     sv.set_defaults(fn=_cmd_serve)
 
     lt = sub.add_parser(
@@ -1173,11 +1237,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the flat run-table rows as CSV here",
     )
     lt.add_argument(
+        "--trace-sample", type=float, default=0.0, metavar="P",
+        help="trace sampling probability for the --http server; also "
+        "checks /trace/recent retained at least one trace afterwards",
+    )
+    lt.add_argument(
+        "--trace-log", default=None, metavar="PATH",
+        help="JSONL span export for the --http server (see serve)",
+    )
+    lt.add_argument(
+        "--slow-ms", type=float, default=None, metavar="MS",
+        help="slow-query retention threshold for the --http server",
+    )
+    lt.add_argument(
         "--assert-healthy", action="store_true",
         help="exit non-zero on failed requests, undefined p99, unparsable "
         "/metrics, or any server 5xx (the CI smoke contract)",
     )
     lt.set_defaults(fn=_cmd_loadtest)
+
+    tr = sub.add_parser(
+        "trace",
+        help="inspect span exports from `serve --trace-log`",
+    )
+    tr_sub = tr.add_subparsers(dest="trace_cmd", required=True)
+    trr = tr_sub.add_parser(
+        "report",
+        help="validate a span JSONL file and render per-trace trees "
+        "with total/self times",
+    )
+    trr.add_argument("path", help="JSONL file written by --trace-log")
+    trr.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="render only the last N traces",
+    )
+    trr.add_argument(
+        "--slow-ms", type=float, default=None, metavar="MS",
+        help="render only traces whose root span ran at least this long",
+    )
+    trr.set_defaults(fn=_cmd_trace_report)
     return parser
 
 

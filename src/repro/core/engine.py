@@ -86,6 +86,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import threading
+import time
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -96,7 +97,38 @@ from typing import Any, Callable, Iterable, Iterator
 import numpy as np
 
 from repro import faults
+from repro import trace as trace_mod
 from repro.core.results import PairAccumulator
+
+#: Profiling seam (re-exported from :mod:`repro.trace`): executors fetch
+#: the ambient hooks object once per call and attribute per-stage time
+#: to it -- adjacency (index group iteration), gather, gemm, rz
+#: (norm-expansion recombination), commit (pair extraction/append), and
+#: worker (pool wait).  ``current_hooks()`` returns ``None`` unless a
+#: caller installed hooks via ``use_hooks`` -- the default costs one
+#: ContextVar read per executor invocation, nothing per tile.
+TraceHooks = trace_mod.TraceHooks
+current_trace_hooks = trace_mod.current_hooks
+
+
+def _timed_groups(
+    groups: Iterable[tuple[np.ndarray, np.ndarray]], hooks: "TraceHooks"
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield groups, attributing iterator-pull time to ``adjacency``.
+
+    Candidate groups are computed lazily by the grid/tree iterators, so
+    the time spent *producing* the next group is index traversal work,
+    not kernel math -- timed here at the executor's pull site.
+    """
+    it = iter(groups)
+    while True:
+        t0 = time.perf_counter()
+        try:
+            item = next(it)
+        except StopIteration:
+            return
+        hooks.record("adjacency", time.perf_counter() - t0)
+        yield item
 
 #: ``tile_fn(r0, r1, c0, c1)`` returns the squared-distance block for points
 #: ``[r0:r1]`` x ``[c0:c1]`` in the kernel's working precision.
@@ -481,6 +513,23 @@ def symmetric_self_join(
         acc.append(gi, gj, dd)
         if mirror and tile[2] != tile[0]:  # mirrored direction, off-diagonal
             acc.append(gj, gi, dd)
+
+    hooks = trace_mod.current_hooks()
+    if hooks is not None:
+        # Wrap rather than branch per tile: `evaluate` may run on pool
+        # threads, so the hooks ride the closure, not the context.
+        base_evaluate, base_commit = evaluate, commit
+
+        def evaluate(tile):
+            t0 = time.perf_counter()
+            out = base_evaluate(tile)
+            hooks.record("gemm", time.perf_counter() - t0)
+            return out
+
+        def commit(tile, extracted):
+            t0 = time.perf_counter()
+            base_commit(tile, extracted)
+            hooks.record("commit", time.perf_counter() - t0)
 
     _run_tiles(tiles, evaluate, commit, WorkerPlan.resolve(workers).n_workers)
     return acc
@@ -1195,6 +1244,9 @@ def candidate_self_join(
     if acc is None:
         acc = PairAccumulator(store_distances=store_distances)
     store_distances = acc.store_distances
+    hooks = trace_mod.current_hooks()
+    if hooks is not None:
+        groups = _timed_groups(groups, hooks)
     for members, candidates in groups:
         if members.size == 0 or candidates.size == 0:
             continue
@@ -1203,9 +1255,13 @@ def candidate_self_join(
         chunk = candidate_chunk or candidates.size
         for c0 in range(0, candidates.size, chunk):
             cand = candidates[c0 : c0 + chunk]
+            d2 = dist_fn(members, cand)
+            t0 = time.perf_counter() if hooks is not None else 0.0
             _emit_group_pairs(
-                acc, dist_fn(members, cand), members, cand, eps2, store_distances
+                acc, d2, members, cand, eps2, store_distances
             )
+            if hooks is not None:
+                hooks.record("commit", time.perf_counter() - t0)
     return acc
 
 
@@ -1264,6 +1320,9 @@ def candidate_join(
     if acc is None:
         acc = PairAccumulator(store_distances=store_distances)
     store_distances = acc.store_distances
+    hooks = trace_mod.current_hooks()
+    if hooks is not None:
+        groups = _timed_groups(groups, hooks)
     for members, candidates in groups:
         if members.size == 0 or candidates.size == 0:
             continue
@@ -1272,10 +1331,14 @@ def candidate_join(
         chunk = candidate_chunk or candidates.size
         for c0 in range(0, candidates.size, chunk):
             cand = candidates[c0 : c0 + chunk]
+            d2 = dist_fn(members, cand)
+            t0 = time.perf_counter() if hooks is not None else 0.0
             _emit_group_pairs(
-                acc, dist_fn(members, cand), members, cand, eps2,
+                acc, d2, members, cand, eps2,
                 store_distances, drop_self=False,
             )
+            if hooks is not None:
+                hooks.record("commit", time.perf_counter() - t0)
     return acc
 
 
@@ -1487,6 +1550,7 @@ def _batched_candidate_executor(
     if acc is None:
         acc = PairAccumulator(store_distances=store_distances)
     store_distances = acc.store_distances
+    hooks = trace_mod.current_hooks()
     d = work_m.shape[1]
     work_dtype = work_m.dtype
     norm_dtype = sq_m.dtype
@@ -1496,17 +1560,41 @@ def _batched_candidate_executor(
     single_chunk = max(1, GROUP_CHUNK_ELEMS // max(d, 1))
 
     def run_single(members: np.ndarray, candidates: np.ndarray) -> None:
+        t0 = time.perf_counter() if hooks is not None else 0.0
         wm = work_m[members]
         sm = sq_m[members]
+        if hooks is not None:
+            hooks.record("gather", time.perf_counter() - t0)
         for c0 in range(0, candidates.size, single_chunk):
             cand = candidates[c0 : c0 + single_chunk]
+            if hooks is None:
+                wc = work_c[cand]
+                sc = sq_c[cand]
+                d2 = norm_expansion_sq_dists(sm, sc, wm @ wc.T)
+                _emit_group_pairs(
+                    acc, d2, members, cand, eps2, store_distances,
+                    drop_self=drop_self,
+                )
+                continue
+            # Timed flavor: identical operations, split only at the
+            # expression boundaries NumPy already evaluates in order.
+            t0 = time.perf_counter()
             wc = work_c[cand]
             sc = sq_c[cand]
-            d2 = norm_expansion_sq_dists(sm, sc, wm @ wc.T)
+            t1 = time.perf_counter()
+            gram = wm @ wc.T
+            t2 = time.perf_counter()
+            d2 = norm_expansion_sq_dists(sm, sc, gram)
+            t3 = time.perf_counter()
             _emit_group_pairs(
                 acc, d2, members, cand, eps2, store_distances,
                 drop_self=drop_self,
             )
+            t4 = time.perf_counter()
+            hooks.record("gather", t1 - t0)
+            hooks.record("gemm", t2 - t1)
+            hooks.record("rz", t3 - t2)
+            hooks.record("commit", t4 - t3)
 
     batch: list[tuple[np.ndarray, np.ndarray]] = []
     batch_m = batch_c = batch_fill = 0
@@ -1520,6 +1608,7 @@ def _batched_candidate_executor(
             batch, batch_m, batch_c, batch_fill = [], 0, 0, 0
             return
         g = len(batch)
+        t0 = time.perf_counter() if hooks is not None else 0.0
         # One concatenated gather per side: identical row values to the
         # former per-group gathers (row gathers are row-local), but a
         # source-backed view pays one take() per side per flush.
@@ -1546,12 +1635,21 @@ def _batched_candidate_executor(
             cj_idx[k, :c] = candidates
             mo += m
             co += c
+        if hooks is not None:
+            t1 = time.perf_counter()
+            hooks.record("gather", t1 - t0)
         gram = np.matmul(p, q.transpose(0, 2, 1))
+        if hooks is not None:
+            t2 = time.perf_counter()
+            hooks.record("gemm", t2 - t1)
         # Same elementwise order as norm_expansion_sq_dists, batched.
         t = sm[:, :, None] + sc[:, None, :]
         np.multiply(gram, 2.0, out=gram)
         np.subtract(t, gram, out=gram)
         np.maximum(gram, 0.0, out=gram)
+        if hooks is not None:
+            t3 = time.perf_counter()
+            hooks.record("rz", t3 - t2)
         # Padded rows/cols have inf norms -> inf distance -> filtered here.
         mask = gram <= eps2
         gk, mi, cj = np.nonzero(mask)
@@ -1568,8 +1666,12 @@ def _batched_candidate_executor(
         else:
             dd = gram[gk, mi, cj].astype(np.float32) if store_distances else None
         acc.append(gi, gj, dd)
+        if hooks is not None:
+            hooks.record("commit", time.perf_counter() - t3)
         batch, batch_m, batch_c, batch_fill = [], 0, 0, 0
 
+    if hooks is not None:
+        groups = _timed_groups(groups, hooks)
     for members, candidates in groups:
         if members.size == 0 or candidates.size == 0:
             continue
@@ -1799,6 +1901,14 @@ def resolve_start_method(preference: str | None = None) -> str:
 #: the start method.
 FORK_RECOVERIES = 0
 
+#: Cumulative spawn-pool shared-memory traffic: segments created by
+#: :func:`_share_array` and the bytes they held.  Like
+#: :data:`FORK_RECOVERIES` these are plain module counters the serving
+#: layer surfaces as registry gauges (``repro_spawn_shm_segments`` /
+#: ``repro_spawn_shm_bytes``) so ``/metrics`` covers worker-pool health.
+SPAWN_SHM_SEGMENTS = 0
+SPAWN_SHM_BYTES = 0
+
 
 def _eval_candidate_batch(st: dict, batch: list) -> tuple:
     """Evaluate one batch of ``(members, candidates)`` against ``st``.
@@ -1884,10 +1994,13 @@ def _share_array(arr: np.ndarray) -> tuple[shared_memory.SharedMemory, tuple]:
     The meta triple ``(name, shape, dtype_str)`` is what the task
     protocol ships to workers -- never the array itself.
     """
+    global SPAWN_SHM_SEGMENTS, SPAWN_SHM_BYTES
     arr = np.ascontiguousarray(arr)
     seg = shared_memory.SharedMemory(create=True, size=max(arr.nbytes, 1))
     view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
     view[...] = arr
+    SPAWN_SHM_SEGMENTS += 1
+    SPAWN_SHM_BYTES += seg.size
     return seg, (seg.name, arr.shape, arr.dtype.str)
 
 
@@ -1945,6 +2058,7 @@ def _drive_pool(
     no-failure run (and to serial).
     """
     store_distances = acc.store_distances
+    hooks = trace_mod.current_hooks()
     pending: deque = deque()
     batch: list[tuple[np.ndarray, np.ndarray]] = []
 
@@ -1955,6 +2069,7 @@ def _drive_pool(
 
     def commit_head() -> None:
         fut, items = pending.popleft()
+        t0 = time.perf_counter() if hooks is not None else 0.0
         if fut is None:
             i, j, d = retry_inline(items)
         else:
@@ -1962,7 +2077,14 @@ def _drive_pool(
                 i, j, d = fut.result()
             except BrokenProcessPool:
                 i, j, d = retry_inline(items)
+        if hooks is not None:
+            # Wall time blocked on (or recovering) the worker batch --
+            # the parent-side view of pool execution for this request.
+            t1 = time.perf_counter()
+            hooks.record("worker", t1 - t0)
         acc.append(i, j, d if store_distances else None)
+        if hooks is not None:
+            hooks.record("commit", time.perf_counter() - t1)
 
     def flush() -> None:
         if batch:
@@ -2067,6 +2189,7 @@ def process_candidate_self_join(
     if batched and work_right is not None:
         raise ValueError("batched process execution is self-join only")
 
+    hooks = trace_mod.current_hooks()
     state = {
         "work_m": work,
         "sq_m": sq_norms,
@@ -2078,6 +2201,11 @@ def process_candidate_self_join(
         "drop_self": drop_self,
         "batched": batched,
         "batch_params": batch_params,
+        # Task metadata, not numerics: workers inherit the originating
+        # request's trace id (fork: via _FORK_STATE, spawn: via the
+        # initializer scalars) so a pool batch is attributable to the
+        # request that spawned it.
+        "trace_id": hooks.trace_id if hooks is not None else None,
     }
     method = wp.resolved_start_method()
     if method == "fork":
@@ -2123,7 +2251,7 @@ def process_candidate_self_join(
                 k: state[k]
                 for k in (
                     "eps2", "store_distances", "candidate_chunk",
-                    "drop_self", "batched", "batch_params",
+                    "drop_self", "batched", "batch_params", "trace_id",
                 )
             },
             "arrays": array_meta,

@@ -40,7 +40,12 @@ from dataclasses import dataclass, field, fields
 
 import numpy as np
 
-from repro.service.metrics import DEFAULT_LATENCY_BUCKETS, LogHistogram
+from repro import trace as trace_mod
+from repro.service.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    LogHistogram,
+    parse_prometheus_text,
+)
 from repro.service.server import (
     DeadlineExceeded,
     QueryService,
@@ -267,6 +272,10 @@ class HttpTarget:
                                     max_attempts=1)
         self.index = index
         self._ids: list[int] = []  # appended-and-not-deleted (this worker)
+        #: Server-echoed ``X-Request-Id`` of the last attempt (None after
+        #: a connection-level failure) -- the generator loops copy it
+        #: into each :class:`RequestRecord`.
+        self.last_request_id: "str | None" = None
 
     def issue(self, kind, queries, eps, k, deadline_s) -> str:
         if kind in ("append", "delete"):
@@ -284,7 +293,9 @@ class HttpTarget:
                 "POST", path, payload
             )
         except Exception:  # noqa: BLE001 -- connection-level failure
+            self.last_request_id = None
             return "error"
+        self.last_request_id = self.client.last_request_id
         if status == 200:
             return "ok"
         if status in (429, 503, 504):
@@ -306,7 +317,9 @@ class HttpTarget:
                 "POST", path, payload
             )
         except Exception:  # noqa: BLE001 -- connection-level failure
+            self.last_request_id = None
             return "error"
+        self.last_request_id = self.client.last_request_id
         if status == 200:
             if path == "/append":
                 self._ids.extend(int(i) for i in parsed.get("ids", ()))
@@ -333,6 +346,10 @@ class RequestRecord:
     status: str
     kind: str
     n_queries: int
+    #: The server-echoed ``X-Request-Id`` (== its trace id); ``None`` for
+    #: in-process targets and failed connections.  Quote it to
+    #: ``GET /trace/<id>`` to pull the request's span tree.
+    request_id: "str | None" = None
 
 
 @dataclass
@@ -345,6 +362,12 @@ class LoadResult:
     statuses: dict
     latency: LogHistogram  # ok-request latency only
     records: list = field(default_factory=list)
+    #: Engine pipeline seconds per stage accumulated *during this bout*
+    #: (the ``repro_stage_seconds`` delta), attached by the convenience
+    #: drivers when the metrics are reachable; ``None`` otherwise.  When
+    #: set, :meth:`summary` grows one ``stage_<name>_seconds`` column
+    #: per stage in :data:`repro.trace.STAGES` order.
+    stages: "dict | None" = None
 
     @property
     def ok(self) -> int:
@@ -366,7 +389,7 @@ class LoadResult:
             return None if math.isnan(v) else v
 
         snap = self.latency.snapshot()
-        return {
+        row = {
             "mode": self.config.mode,
             "offered_rps": (
                 self.config.target_rps if self.config.mode == "open"
@@ -395,6 +418,14 @@ class LoadResult:
                 else snap["sum"] / snap["count"] * 1e3
             ),
         }
+        if self.stages is not None:
+            # Fixed column set in STAGES order (not just observed stages)
+            # so every row in a sweep CSV has identical headers.
+            for stage in trace_mod.STAGES:
+                row[f"stage_{stage}_seconds"] = float(
+                    self.stages.get(stage, 0.0)
+                )
+        return row
 
 
 # ----------------------------------------------------------------------
@@ -494,8 +525,10 @@ def _run_closed(config, target_factory, sampler, *, clock, sleep,
                     status = target.issue(kind, queries, eps, k,
                                           config.deadline_s)
                     t1 = clock()
-                    col.add(RequestRecord(t0 - start, t1 - t0, status, kind,
-                                          queries.shape[0]))
+                    col.add(RequestRecord(
+                        t0 - start, t1 - t0, status, kind, queries.shape[0],
+                        request_id=getattr(target, "last_request_id", None),
+                    ))
                     issued += 1
                     if config.think_time_s > 0:
                         sleep(config.think_time_s)
@@ -568,8 +601,11 @@ def _run_open(config, target_factory, sampler, *, clock, sleep,
                     # time spent waiting for a free worker is queueing
                     # delay the service caused; it is charged to the
                     # request.
-                    col.add(RequestRecord(i * interval, done - t_sched,
-                                          status, kind, queries.shape[0]))
+                    col.add(RequestRecord(
+                        i * interval, done - t_sched, status, kind,
+                        queries.shape[0],
+                        request_id=getattr(target, "last_request_id", None),
+                    ))
             finally:
                 target.close()
         except BaseException as exc:  # harness failure, not a request
@@ -621,6 +657,8 @@ class _AsyncConn:
         self._reader: "asyncio.StreamReader | None" = None
         self._writer: "asyncio.StreamWriter | None" = None
         self._uses = 0
+        #: ``X-Request-Id`` from the most recent response on this conn.
+        self.last_request_id: "str | None" = None
 
     async def close(self) -> None:
         if self._writer is not None:
@@ -682,6 +720,7 @@ class _AsyncConn:
             key, sep, value = hline.decode("latin-1", "replace").partition(":")
             if sep:
                 headers[key.strip().lower()] = value.strip()
+        self.last_request_id = headers.get("x-request-id")
         length = int(headers.get("content-length", "0"))
         raw = await self._reader.readexactly(length) if length else b""
         if "close" in headers.get("connection", "").lower():
@@ -704,6 +743,10 @@ class _AsyncHttpWorker:
         self.index = index
         self._ids: list[int] = []  # appended-and-not-deleted (this worker)
 
+    @property
+    def last_request_id(self) -> "str | None":
+        return self.conn.last_request_id
+
     async def issue(self, kind, queries, eps, k) -> str:
         if kind in ("append", "delete"):
             return await self._issue_mutation(kind, queries)
@@ -718,6 +761,7 @@ class _AsyncHttpWorker:
         try:
             status, _parsed = await self.conn.post(path, payload)
         except Exception:  # noqa: BLE001 -- connection-level failure
+            self.conn.last_request_id = None
             return "error"
         if status == 200:
             return "ok"
@@ -738,6 +782,7 @@ class _AsyncHttpWorker:
         try:
             status, parsed = await self.conn.post(path, payload)
         except Exception:  # noqa: BLE001 -- connection-level failure
+            self.conn.last_request_id = None
             return "error"
         if status == 200:
             if path == "/append" and isinstance(parsed, dict):
@@ -788,8 +833,11 @@ async def _run_open_async(config, host, port, index_name, sampler,
                 # Same rule as the thread driver: open-loop latency runs
                 # from the *scheduled* arrival, charging queueing delay
                 # to the request.
-                col.add(RequestRecord(i * interval, done - t_sched,
-                                      status, kind, queries.shape[0]))
+                col.add(RequestRecord(
+                    i * interval, done - t_sched, status, kind,
+                    queries.shape[0],
+                    request_id=target.last_request_id,
+                ))
         finally:
             await target.close()
 
@@ -841,6 +889,48 @@ def run_load_async(
 # ----------------------------------------------------------------------
 
 
+def stage_seconds_from_snapshot(metrics_snapshot: dict) -> dict:
+    """Per-stage engine seconds from a ``MetricsRegistry.snapshot()``.
+
+    Reads the ``repro_stage_seconds`` labeled histogram (keys are
+    ``"stage=<name>"`` strings mapping to per-child snapshots) and
+    returns ``{stage: total_seconds}``; empty when the metric is absent
+    or has observed nothing yet.
+    """
+    hist = metrics_snapshot.get("repro_stage_seconds")
+    out: dict[str, float] = {}
+    if isinstance(hist, dict):
+        for key, child in hist.items():
+            if key.startswith("stage=") and isinstance(child, dict):
+                out[key[len("stage="):]] = float(child.get("sum", 0.0))
+    return out
+
+
+def stage_seconds_from_text(metrics_text: str) -> dict:
+    """Per-stage engine seconds from a ``/metrics`` scrape.
+
+    Same shape as :func:`stage_seconds_from_snapshot`, sourced from the
+    ``repro_stage_seconds_sum{stage="..."}`` series in the Prometheus
+    text exposition.
+    """
+    parsed = parse_prometheus_text(metrics_text)
+    out: dict[str, float] = {}
+    for labels, value in parsed.get("repro_stage_seconds_sum", {}).items():
+        stage = dict(labels).get("stage")
+        if stage:
+            out[stage] = float(value)
+    return out
+
+
+def _stage_delta(before: dict, after: dict) -> "dict | None":
+    """Seconds accrued between two stage snapshots (None when empty)."""
+    delta = {
+        stage: max(0.0, after[stage] - before.get(stage, 0.0))
+        for stage in after
+    }
+    return delta if delta else None
+
+
 def run_against_service(
     index_path,
     config: WorkloadConfig,
@@ -860,12 +950,16 @@ def run_against_service(
         engine = svc.engine_for(index_path)
         sampler = QuerySampler(engine, config)
         svc.start()
-        return run_load(
+        before = stage_seconds_from_snapshot(svc.metrics.snapshot())
+        result = run_load(
             config,
             lambda: InProcessTarget(svc, engine),
             sampler,
             record_limit=record_limit,
         )
+        after = stage_seconds_from_snapshot(svc.metrics.snapshot())
+        result.stages = _stage_delta(before, after)
+        return result
     finally:
         if own:
             svc.stop()
@@ -900,17 +994,34 @@ def run_against_server(
         else QueryEngine(index_path)
     )
     sampler = QuerySampler(engine, config)
+
+    def _scrape() -> dict:
+        """Stage totals off ``/metrics``; empty when the scrape fails
+        (a missing scrape must not fail the bout itself)."""
+        from repro.service.client import ServiceClient
+
+        try:
+            with ServiceClient(host, port, timeout=5.0,
+                               max_attempts=1) as sc:
+                return stage_seconds_from_text(sc.metrics_text())
+        except Exception:  # noqa: BLE001 -- metrics are best-effort
+            return {}
+
+    before = _scrape()
     if driver == "async":
-        return run_load_async(
+        result = run_load_async(
             config, host, port, sampler,
             index_name=index_name, record_limit=record_limit,
         )
-    return run_load(
-        config,
-        lambda: HttpTarget(host, port, index=index_name),
-        sampler,
-        record_limit=record_limit,
-    )
+    else:
+        result = run_load(
+            config,
+            lambda: HttpTarget(host, port, index=index_name),
+            sampler,
+            record_limit=record_limit,
+        )
+    result.stages = _stage_delta(before, _scrape())
+    return result
 
 
 def saturation_knee(
@@ -949,5 +1060,7 @@ __all__ = [
     "run_load_async",
     "run_against_service",
     "run_against_server",
+    "stage_seconds_from_snapshot",
+    "stage_seconds_from_text",
     "saturation_knee",
 ]

@@ -1,0 +1,106 @@
+"""Structured JSON logging with request-id injection.
+
+The service path logs machine-parseable lines instead of ad-hoc stderr
+writes: one JSON object per line with a timestamp, level, logger name,
+message, and -- whenever a request is in flight on the emitting
+thread/task -- the ``request_id`` pulled from the ambient trace span
+(:func:`repro.trace.current_request_id`).  A log line and the trace it
+belongs to therefore correlate without any explicit plumbing at the
+call sites.
+
+Usage::
+
+    from repro import log
+    logger = log.get_logger("repro.service")   # plain stdlib Logger
+    logger.info("server listening", extra={"port": port})
+
+:func:`setup` installs the JSON handler on the ``"repro"`` root once
+(idempotent); until then records propagate to whatever logging config
+the host application chose -- importing this module never hijacks the
+global logging tree.  Extra fields pass through ``extra=`` and land as
+top-level JSON keys (stdlib-reserved attribute names excluded).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import Any, TextIO
+
+from repro import trace as _trace
+
+__all__ = ["JsonFormatter", "get_logger", "setup"]
+
+#: LogRecord attributes that are stdlib plumbing, not user payload.
+_RESERVED = frozenset(
+    (
+        "args", "asctime", "created", "exc_info", "exc_text", "filename",
+        "funcName", "levelname", "levelno", "lineno", "message", "module",
+        "msecs", "msg", "name", "pathname", "process", "processName",
+        "relativeCreated", "stack_info", "taskName", "thread", "threadName",
+    )
+)
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record; injects the ambient request id."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        entry: dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        request_id = _trace.current_request_id()
+        if request_id is not None:
+            entry["request_id"] = request_id
+        for key, value in record.__dict__.items():
+            if key in _RESERVED or key.startswith("_") or key in entry:
+                continue
+            entry[key] = (
+                value
+                if isinstance(value, (str, int, float, bool)) or value is None
+                else str(value)
+            )
+        if record.exc_info:
+            entry["exc"] = self.formatException(record.exc_info)
+        return json.dumps(entry, separators=(",", ":"), default=str)
+
+
+def get_logger(name: str = "repro") -> logging.Logger:
+    """The stdlib logger for ``name`` (conventionally ``repro.*``)."""
+    return logging.getLogger(name)
+
+
+def setup(
+    level: int | str = logging.INFO, stream: TextIO | None = None
+) -> logging.Logger:
+    """Attach the JSON handler to the ``repro`` logger tree (idempotent).
+
+    Returns the ``repro`` root logger.  Repeated calls adjust the level
+    but never stack a second handler; ``propagate`` is switched off so
+    service lines are emitted exactly once regardless of the host's
+    root-logger configuration.
+    """
+    logger = logging.getLogger("repro")
+    if isinstance(level, str):
+        level = getattr(logging, level.upper())
+    handler = next(
+        (
+            h
+            for h in logger.handlers
+            if isinstance(h.formatter, JsonFormatter)
+        ),
+        None,
+    )
+    if handler is None:
+        handler = logging.StreamHandler(
+            stream if stream is not None else sys.stderr
+        )
+        handler.setFormatter(JsonFormatter())
+        logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return logger

@@ -79,6 +79,9 @@ class ServiceClient:
         self._conn_uses = 0
         #: Count of retried attempts (429/503/connection errors absorbed).
         self.retries = 0
+        #: The ``X-Request-Id`` the server echoed on the last response
+        #: (== the server-side trace id; quote it to ``/trace/<id>``).
+        self.last_request_id: "str | None" = None
 
     # -- plumbing -------------------------------------------------------
 
@@ -155,6 +158,7 @@ class ServiceClient:
             status = resp.status
             retry_after = resp.getheader("Retry-After")
             content_type = resp.getheader("Content-Type") or ""
+            self.last_request_id = resp.getheader("X-Request-Id")
         except (OSError, http.client.HTTPException):
             self.close()
             raise

@@ -39,12 +39,14 @@ from __future__ import annotations
 
 import hashlib
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
+from repro import trace as trace_mod
 from repro.core.engine import (
     GROUP_CHUNK_ELEMS,
     SourceWorkView,
@@ -374,10 +376,29 @@ class QueryEngine:
                 )
                 return acc.finalize_join(q.shape[0], self.n_points, eps)
 
+            hooks = trace_mod.current_hooks()
+
             def dist(members: np.ndarray, cand: np.ndarray) -> np.ndarray:
-                return norm_expansion_sq_dists(
-                    sq[members], s[cand], wq[members] @ work[cand].T
-                )
+                if hooks is None:
+                    return norm_expansion_sq_dists(
+                        sq[members], s[cand], wq[members] @ work[cand].T
+                    )
+                # Timed flavor: split only at NumPy evaluation boundaries
+                # so the arithmetic stays bit-identical to the one-liner.
+                t0 = time.perf_counter()
+                sm = sq[members]
+                sc = s[cand]
+                wm = wq[members]
+                wc = work[cand]
+                t1 = time.perf_counter()
+                gram = wm @ wc.T
+                t2 = time.perf_counter()
+                d2 = norm_expansion_sq_dists(sm, sc, gram)
+                t3 = time.perf_counter()
+                hooks.record("gather", t1 - t0)
+                hooks.record("gemm", t2 - t1)
+                hooks.record("rz", t3 - t2)
+                return d2
 
             acc = candidate_join(
                 groups, dist, eps2,
@@ -402,9 +423,27 @@ class QueryEngine:
                 view.close()
             return acc.finalize_join(q.shape[0], self.n_points, eps)
 
+        hooks = trace_mod.current_hooks()
+
         def dist(members: np.ndarray, cand: np.ndarray) -> np.ndarray:
+            if hooks is None:
+                wc, sc = self._gather_candidates(cand)
+                return norm_expansion_sq_dists(
+                    sq[members], sc, wq[members] @ wc.T
+                )
+            t0 = time.perf_counter()
             wc, sc = self._gather_candidates(cand)
-            return norm_expansion_sq_dists(sq[members], sc, wq[members] @ wc.T)
+            sm = sq[members]
+            wm = wq[members]
+            t1 = time.perf_counter()
+            gram = wm @ wc.T
+            t2 = time.perf_counter()
+            d2 = norm_expansion_sq_dists(sm, sc, gram)
+            t3 = time.perf_counter()
+            hooks.record("gather", t1 - t0)
+            hooks.record("gemm", t2 - t1)
+            hooks.record("rz", t3 - t2)
+            return d2
 
         acc = candidate_join(
             groups, dist, eps2,
@@ -464,6 +503,7 @@ class QueryEngine:
                 return self._work[cand], self._sq[cand]
             return self._gather_candidates(cand)
 
+        hooks = trace_mod.current_hooks()
         unresolved = np.arange(nq)
         reach = self._initial_reach(kk)
         while unresolved.size:
@@ -484,10 +524,29 @@ class QueryEngine:
                 chunk = max(kk, self._chunk)
                 for c0 in range(0, candidates.size, chunk):
                     cand = candidates[c0 : c0 + chunk]
-                    wc, sc = fetch(cand)
-                    d2 = norm_expansion_sq_dists(
-                        sq[gm], sc, wq[gm] @ wc.T
-                    ).astype(np.float64, copy=False)
+                    if hooks is None:
+                        wc, sc = fetch(cand)
+                        d2 = norm_expansion_sq_dists(
+                            sq[gm], sc, wq[gm] @ wc.T
+                        ).astype(np.float64, copy=False)
+                    else:
+                        # Timed flavor -- same ops, same order, split at
+                        # NumPy evaluation boundaries (bit-identical).
+                        t0 = time.perf_counter()
+                        wc, sc = fetch(cand)
+                        sm = sq[gm]
+                        wm = wq[gm]
+                        t1 = time.perf_counter()
+                        gram = wm @ wc.T
+                        t2 = time.perf_counter()
+                        d2 = norm_expansion_sq_dists(sm, sc, gram).astype(
+                            np.float64, copy=False
+                        )
+                        t3 = time.perf_counter()
+                        hooks.record("gather", t1 - t0)
+                        hooks.record("gemm", t2 - t1)
+                        hooks.record("rz", t3 - t2)
+                    tm = time.perf_counter() if hooks is not None else 0.0
                     cat_d = np.concatenate([best_d, d2], axis=1)
                     cat_i = np.concatenate(
                         [best_i, np.broadcast_to(cand, d2.shape)], axis=1
@@ -496,6 +555,8 @@ class QueryEngine:
                     rows = np.arange(gm.size)[:, None]
                     best_d = cat_d[rows, order]
                     best_i = cat_i[rows, order]
+                    if hooks is not None:
+                        hooks.record("commit", time.perf_counter() - tm)
                 covered = candidates.size >= self.n_points
                 done = covered | (best_d[:, kk - 1] <= radius2)
                 sel = np.nonzero(done)[0]

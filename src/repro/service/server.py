@@ -70,6 +70,7 @@ Fault tolerance (see docs/ARCHITECTURE.md "Fault tolerance"):
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import hashlib
 import json
 import queue
@@ -83,6 +84,8 @@ from pathlib import Path
 import numpy as np
 
 from repro import faults
+from repro import log as _log
+from repro import trace as trace_mod
 from repro.core import engine as _engine_mod
 from repro.core.engine import WorkerPlan
 from repro.core.results import JoinResult
@@ -100,6 +103,8 @@ from repro.service.metrics import (
     MetricsRegistry,
 )
 from repro.service.query import KnnResult, QueryEngine
+
+_logger = _log.get_logger("repro.service.server")
 
 
 class ServiceError(RuntimeError):
@@ -257,12 +262,19 @@ class IndexCache:
             self._c_misses.inc()
         # Load outside the lock -- the expensive part; a racing duplicate
         # load is harmless (last writer wins, both engines are valid).
+        t0 = time.perf_counter()
         engine = QueryEngine(
             key[0],
             precision=self._precision,
             workers=self._workers,
             mmap=self._mmap,
             verify=self._verify,
+        )
+        # A cache miss on the request path shows up in the trace: the
+        # load+verify time is usually the whole cold-start story.
+        trace_mod.record_ambient_span(
+            "cache.load", time.perf_counter() - t0,
+            attrs={"path": key[0], "verify": self._verify},
         )
         with self._lock:
             self._entries[key] = engine
@@ -300,12 +312,17 @@ class IndexCache:
             if engine is not None:
                 del self._entries[key]
             self._c_misses.inc()
+        t0 = time.perf_counter()
         engine = MutableIndex(
             resolved,
             precision=self._precision,
             workers=self._workers,
             mmap=self._mmap,
             verify=self._verify,
+        )
+        trace_mod.record_ambient_span(
+            "cache.load", time.perf_counter() - t0,
+            attrs={"path": str(resolved), "verify": self._verify},
         )
         with self._lock:
             self._entries[key] = engine
@@ -344,6 +361,7 @@ class _Pending:
 
     __slots__ = (
         "engine", "queries", "eps", "kind", "k", "deadline",
+        "span", "submit_t",
         "_event", "_result", "_error", "_callbacks", "_cb_lock",
     )
 
@@ -354,6 +372,12 @@ class _Pending:
         self.kind = kind  # "range" | "knn"
         self.k = k
         self.deadline = deadline
+        # Trace attribution: the submitting thread/task's ambient span
+        # (the HTTP root, or None for direct library use) rides along so
+        # the dispatcher thread can attach queue-wait / dispatch / split
+        # child spans to the originating request.
+        self.span = trace_mod.current_span()
+        self.submit_t = time.perf_counter()
         self._event = threading.Event()
         self._result = None
         self._error: BaseException | None = None
@@ -534,6 +558,7 @@ class QueryService:
         verify: str = "header",
         metrics: "MetricsRegistry | None" = None,
         adaptive_window: bool = True,
+        tracer: "trace_mod.Tracer | None" = None,
     ) -> None:
         # One registry backs service + cache: adopt an explicit one, else
         # the supplied cache's, else create a fresh one -- so /stats and
@@ -547,6 +572,14 @@ class QueryService:
                 precision=precision, workers=workers, mmap=mmap,
                 verify=verify, metrics=self.metrics,
             )
+        # The tracer is always present: request ids are echoed and stage
+        # timings aggregated unconditionally; ``sample`` only decides
+        # which completed traces are *retained* for /trace endpoints.
+        # The default keeps errored traces (on_error=True) and nothing
+        # else -- pass an explicit Tracer to turn retention up.
+        self.tracer = (
+            tracer if tracer is not None else trace_mod.Tracer(sample=0.0)
+        )
         self.max_batch_points = int(max_batch_points)
         self.max_delay_s = float(max_delay_s)
         self.adaptive_window = bool(adaptive_window)
@@ -669,6 +702,43 @@ class QueryService:
             "repro_fork_recoveries",
             "Group batches recovered inline after fork-pool child death",
             fn=lambda: float(_engine_mod.FORK_RECOVERIES),
+        )
+        # Engine-level counters that live outside the registry (module
+        # globals bumped by the spawn pool) surfaced as gauges -- plain
+        # int reads are GIL-atomic, no lock coupling with the engine.
+        m.gauge(
+            "repro_spawn_shm_segments",
+            "Shared-memory segments created for spawn-pool workers",
+            fn=lambda: float(_engine_mod.SPAWN_SHM_SEGMENTS),
+        )
+        m.gauge(
+            "repro_spawn_shm_bytes",
+            "Bytes written into spawn-pool shared-memory segments",
+            fn=lambda: float(_engine_mod.SPAWN_SHM_BYTES),
+        )
+        # Per-stage engine time aggregated across every dispatched batch
+        # (fed from TraceHooks regardless of trace retention).
+        self._h_stage = m.histogram(
+            "repro_stage_seconds",
+            "Engine pipeline stage wall time per dispatched batch",
+            labels=("stage",),
+        )
+        # Tracer retention counters (ints under the tracer lock; reads
+        # here are GIL-atomic snapshots, same pattern as fork recoveries).
+        m.gauge(
+            "repro_traces_started",
+            "Root spans opened since process start",
+            fn=lambda: float(self.tracer.traces_started),
+        )
+        m.gauge(
+            "repro_traces_retained",
+            "Completed traces kept by the retention policy",
+            fn=lambda: float(self.tracer.traces_retained),
+        )
+        m.gauge(
+            "repro_traces_dropped",
+            "Completed traces discarded by the retention policy",
+            fn=lambda: float(self.tracer.traces_dropped),
         )
         m.gauge(
             "repro_faults_armed",
@@ -1048,12 +1118,71 @@ class QueryService:
                     self._c_coalesced.inc(len(reqs))
                 self._h_fill.observe(float(len(reqs)))
             t0 = time.perf_counter()
+            # The time between submit and dispatch is the queue wait
+            # (admission queue + coalescing window), attributed to each
+            # request before the engine runs.
+            for req in reqs:
+                if req.span is not None:
+                    self.tracer.record_span(
+                        "queue.wait", t0 - req.submit_t, parent=req.span,
+                        attrs={"batch_size": len(reqs)},
+                    )
             try:
                 self._run_group(reqs)
             except BaseException as exc:  # propagate to every waiter
+                dt = time.perf_counter() - t0
                 for req in reqs:
+                    if req.span is not None:
+                        # An explicit error span: the message names the
+                        # exception (injected faults carry their fault
+                        # tag), and it flips on-error retention even if
+                        # the front end never records the failure.
+                        sp = self.tracer.start_span(
+                            "engine.dispatch", parent=req.span,
+                            attrs={"batch_size": len(reqs)},
+                        )
+                        sp.record_error(exc)
+                        sp.duration_s = dt
+                        sp.finish()
                     req._fail(exc)
+                _logger.warning(
+                    "batch dispatch failed",
+                    extra={
+                        "kind": reqs[0].kind,
+                        "batch_size": len(reqs),
+                        "error": f"{type(exc).__name__}: {exc}",
+                    },
+                )
             self._h_dispatch.observe(time.perf_counter() - t0)
+
+    def _trace_exec(
+        self, reqs: list[_Pending], cat_rows: int, exec_s: float,
+        stages: dict[str, float],
+    ) -> None:
+        """Attribute one engine dispatch to every traced request in it.
+
+        Stage seconds are batch-wide (one engine call served the whole
+        group), so coalesced requests share the same numbers -- the
+        ``batch_size`` attribute says so.
+        """
+        for req in reqs:
+            if req.span is None:
+                continue
+            attrs: dict = {
+                "batch_size": len(reqs), "n_queries": cat_rows,
+            }
+            for stage, seconds in sorted(stages.items()):
+                attrs[f"stage.{stage}_s"] = seconds
+            self.tracer.record_span(
+                "engine.dispatch", exec_s, parent=req.span, attrs=attrs
+            )
+
+    def _observe_stages(self, stages: dict[str, float]) -> None:
+        if not stages:
+            return
+        with self.metrics.lock:
+            for stage, seconds in stages.items():
+                self._h_stage.observe(seconds, stage=stage)
 
     def _run_group(self, reqs: list[_Pending]) -> None:
         if faults.ARMED:
@@ -1061,7 +1190,13 @@ class QueryService:
         engine = reqs[0].engine
         if reqs[0].kind == "append":
             req = reqs[0]
+            t0 = time.perf_counter()
             ids = engine.append(req.queries)
+            if req.span is not None:
+                self.tracer.record_span(
+                    "engine.append", time.perf_counter() - t0,
+                    parent=req.span, attrs={"rows": int(ids.size)},
+                )
             with self.metrics.lock:
                 self._c_appends.inc()
                 self._c_rows_appended.inc(int(ids.size))
@@ -1069,16 +1204,40 @@ class QueryService:
             return
         if reqs[0].kind == "delete":
             req = reqs[0]
+            t0 = time.perf_counter()
             n = engine.delete(req.queries)
+            if req.span is not None:
+                self.tracer.record_span(
+                    "engine.delete", time.perf_counter() - t0,
+                    parent=req.span, attrs={"deleted": int(n)},
+                )
             with self.metrics.lock:
                 self._c_deletes.inc()
                 self._c_tombstones_written.inc(int(n))
             req._fulfill(int(n))
             return
+        t_asm = time.perf_counter()
         cat = (
             np.concatenate([r.queries for r in reqs])
             if len(reqs) > 1
             else reqs[0].queries
+        )
+        asm_s = time.perf_counter() - t_asm
+        for req in reqs:
+            if req.span is not None:
+                self.tracer.record_span(
+                    "batch.assemble", asm_s, parent=req.span,
+                    attrs={"batch_size": len(reqs)},
+                )
+        # One TraceHooks per dispatch: the executors accumulate stage
+        # seconds into it (and the process pools copy its trace id into
+        # worker task metadata).  Installed unconditionally -- the
+        # repro_stage_seconds aggregates are a metrics feature, not a
+        # sampling-gated one.
+        hooks = trace_mod.TraceHooks(
+            trace_id=next(
+                (r.span.trace_id for r in reqs if r.span is not None), None
+            )
         )
         if reqs[0].kind == "knn":
             # Serve the whole group once at the largest requested k.
@@ -1089,37 +1248,61 @@ class QueryService:
             # positional -- the slices are bit-identical to per-request
             # calls at each request's own k.
             max_k = max(r.k for r in reqs)
-            res = engine.knn_query(cat, max_k)
+            t_exec = time.perf_counter()
+            with trace_mod.use_hooks(hooks):
+                res = engine.knn_query(cat, max_k)
+            exec_s = time.perf_counter() - t_exec
+            stages = hooks.snapshot()
+            self._observe_stages(stages)
+            self._trace_exec(reqs, int(cat.shape[0]), exec_s, stages)
             off = 0
             for req in reqs:
                 m = req.queries.shape[0]
-                req._fulfill(
-                    KnnResult(
-                        k=req.k,
-                        n_points=res.n_points,
-                        indices=res.indices[off : off + m, : req.k],
-                        sq_dists=res.sq_dists[off : off + m, : req.k],
-                    )
+                t_split = time.perf_counter()
+                out = KnnResult(
+                    k=req.k,
+                    n_points=res.n_points,
+                    indices=res.indices[off : off + m, : req.k],
+                    sq_dists=res.sq_dists[off : off + m, : req.k],
                 )
+                if req.span is not None:
+                    # Recorded before _fulfill: once the waiter holds the
+                    # answer it may finish the root and seal the trace.
+                    self.tracer.record_span(
+                        "batch.split", time.perf_counter() - t_split,
+                        parent=req.span,
+                    )
+                req._fulfill(out)
                 off += m
             return
-        res = engine.range_query(cat, reqs[0].eps, workers=self.workers,
-                                 batched=self.batched)
+        t_exec = time.perf_counter()
+        with trace_mod.use_hooks(hooks):
+            res = engine.range_query(cat, reqs[0].eps, workers=self.workers,
+                                     batched=self.batched)
+        exec_s = time.perf_counter() - t_exec
+        stages = hooks.snapshot()
+        self._observe_stages(stages)
+        self._trace_exec(reqs, int(cat.shape[0]), exec_s, stages)
         off = 0
         for req in reqs:
             m = req.queries.shape[0]
+            t_split = time.perf_counter()
             sel = (res.pairs_i >= off) & (res.pairs_i < off + m)
             sq = res.sq_dists[sel] if res.sq_dists.size else res.sq_dists
-            req._fulfill(
-                JoinResult(
-                    n_left=m,
-                    n_right=res.n_right,
-                    eps=res.eps,
-                    pairs_i=res.pairs_i[sel] - off,
-                    pairs_j=res.pairs_j[sel],
-                    sq_dists=sq,
-                )
+            out = JoinResult(
+                n_left=m,
+                n_right=res.n_right,
+                eps=res.eps,
+                pairs_i=res.pairs_i[sel] - off,
+                pairs_j=res.pairs_j[sel],
+                sq_dists=sq,
             )
+            if req.span is not None:
+                self.tracer.record_span(
+                    "batch.split", time.perf_counter() - t_split,
+                    parent=req.span,
+                )
+            req._fulfill(out)
             off += m
 
 
@@ -1175,6 +1358,20 @@ KNOWN_ENDPOINTS = (
 _POST_ENDPOINTS = ("/range", "/knn", "/append", "/delete", "/compact")
 
 
+def _endpoint_label(path: str) -> str:
+    """Bounded metrics label for a request path.
+
+    Known routes map to themselves; the whole ``/trace/*`` family shares
+    one label (trace ids must not grow the registry); everything else is
+    ``"other"`` so a scanner cannot either.
+    """
+    if path in KNOWN_ENDPOINTS:
+        return path.lstrip("/")
+    if path == "/trace/recent" or path.startswith("/trace/"):
+        return "trace"
+    return "other"
+
+
 def _get_route(svc: QueryService, registry: dict, path: str):
     """Shared GET routing: ``(status, payload)`` for the JSON endpoints.
 
@@ -1188,6 +1385,20 @@ def _get_route(svc: QueryService, registry: dict, path: str):
         return 200, {"status": "ok", "indexes": sorted(registry)}
     if path == "/stats":
         return 200, svc.stats()
+    if path == "/trace/recent":
+        return 200, {
+            "traces": svc.tracer.recent(), **svc.tracer.counters()
+        }
+    if path.startswith("/trace/"):
+        trace_id = path[len("/trace/"):]
+        trace = svc.tracer.get_trace(trace_id)
+        if trace is None:
+            return 404, {
+                "error": f"no retained trace {trace_id!r} (it may have "
+                         "been dropped by sampling or rotated out of "
+                         "the ring)"
+            }
+        return 200, trace
     return 404, {"error": f"unknown path {path}"}
 
 
@@ -1438,7 +1649,7 @@ class AsyncHTTPServer:
                 ):
                     await self._write(
                         writer, 400, {"error": "malformed request line"},
-                        close=True,
+                        close=True, request_id=trace_mod.new_id(),
                     )
                     break
                 method, target, version = parts
@@ -1488,41 +1699,56 @@ class AsyncHTTPServer:
         Returns True when the connection must close afterwards (an
         unread body after a 413 leaves the stream unframeable).
         """
-        endpoint = (
-            target.lstrip("/") if target in KNOWN_ENDPOINTS else "other"
+        endpoint = _endpoint_label(target)
+        # Root span per request: honors an inbound X-Request-Id (or a
+        # W3C traceparent) and is the id echoed on the response.
+        span = self.service.tracer.start_trace(
+            f"{method} {endpoint}",
+            request_id=headers.get("x-request-id"),
+            traceparent=headers.get("traceparent"),
+            attrs={"method": method, "path": target},
         )
-        if method == "GET" and target == "/metrics":
-            body = self.service.metrics.render().encode()
+        rid = span.trace_id
+        with trace_mod.activate(span):
+            if method == "GET" and target == "/metrics":
+                body = self.service.metrics.render().encode()
+                await self._write(
+                    writer, 200, body, content_type=PROMETHEUS_CONTENT_TYPE,
+                    close=not keep_alive, request_id=rid,
+                )
+                # Counted after the write, mirroring the threaded front
+                # end: the text is a snapshot from strictly before this
+                # request was counted, so scraped counters stay
+                # monotonic.
+                self._count(endpoint, 200, t0)
+                span.set_attr("http.status", 200)
+                span.finish()
+                return False
+            extra: "dict[str, str] | None" = None
+            must_close = False
+            if method == "GET":
+                code, payload = _get_route(
+                    self.service, self.registry, target
+                )
+            elif method == "POST":
+                code, payload, extra, must_close = await self._handle_post(
+                    reader, target, headers, span
+                )
+            else:
+                code, payload = 501, {"error": f"unsupported method {method}"}
+            # Counted before the body is written -- same guarantee as the
+            # threaded front end: a client holding the response always
+            # finds its request in /metrics.
+            self._count(endpoint, code, t0)
             await self._write(
-                writer, 200, body, content_type=PROMETHEUS_CONTENT_TYPE,
-                close=not keep_alive,
+                writer, code, payload, headers=extra,
+                close=must_close or not keep_alive, request_id=rid,
             )
-            # Counted after the write, mirroring the threaded front end:
-            # the text is a snapshot from strictly before this request
-            # was counted, so scraped counters stay monotonic.
-            self._count(endpoint, 200, t0)
-            return False
-        extra: "dict[str, str] | None" = None
-        must_close = False
-        if method == "GET":
-            code, payload = _get_route(self.service, self.registry, target)
-        elif method == "POST":
-            code, payload, extra, must_close = await self._handle_post(
-                reader, target, headers
-            )
-        else:
-            code, payload = 501, {"error": f"unsupported method {method}"}
-        # Counted before the body is written -- same guarantee as the
-        # threaded front end: a client holding the response always finds
-        # its request in /metrics.
-        self._count(endpoint, code, t0)
-        await self._write(
-            writer, code, payload, headers=extra,
-            close=must_close or not keep_alive,
-        )
+        span.set_attr("http.status", code)
+        span.finish()
         return must_close
 
-    async def _handle_post(self, reader, target, headers):
+    async def _handle_post(self, reader, target, headers, span):
         """Returns ``(status, payload, extra_headers, must_close)``."""
         try:
             length = int(headers.get("content-length", "0"))
@@ -1557,9 +1783,13 @@ class AsyncHTTPServer:
                 loop = asyncio.get_running_loop()
                 # Validation + admission may decode megabytes of JSON
                 # and load an index from disk on a cache miss: off-loop.
+                # run_in_executor does NOT propagate contextvars, so the
+                # copied context carries the root span into submit()
+                # (where _Pending captures it).
+                ctx = contextvars.copy_context()
                 action = await loop.run_in_executor(
-                    None, _post_action, self.service, self.registry,
-                    target, raw,
+                    None, ctx.run, _post_action, self.service,
+                    self.registry, target, raw,
                 )
                 if action[0] == "send":
                     return action[1], action[2], action[3], False
@@ -1576,6 +1806,7 @@ class AsyncHTTPServer:
         except (ConnectionError, asyncio.IncompleteReadError):
             raise  # the peer died; unwind to the connection loop
         except Exception as exc:  # noqa: BLE001 -- shared JSON contract
+            span.record_error(exc)
             code, payload, extra = _error_response(exc)
             return code, payload, extra, False
 
@@ -1631,6 +1862,7 @@ class AsyncHTTPServer:
         content_type: str = "application/json",
         headers: "dict[str, str] | None" = None,
         close: bool = False,
+        request_id: "str | None" = None,
     ) -> None:
         body = (
             payload if isinstance(payload, bytes)
@@ -1641,6 +1873,8 @@ class AsyncHTTPServer:
             f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
         ]
+        if request_id is not None:
+            head.append(f"X-Request-Id: {request_id}")
         for key, value in (headers or {}).items():
             head.append(f"{key}: {value}")
         if close:
@@ -1664,6 +1898,9 @@ def make_server(
     max_body_bytes: int = 8 << 20,
     frontend: str = "thread",
     max_inflight: "int | None" = None,
+    trace_sample: float = 0.0,
+    trace_log: "str | Path | None" = None,
+    slow_ms: float | None = None,
 ):
     """Build (but do not run) the JSON-over-HTTP query server.
 
@@ -1690,6 +1927,16 @@ def make_server(
     over ``max_body_bytes``), 429 + ``Retry-After`` (admission queue
     full), 503 (draining), 500 (anything unexpected, as
     ``{"error": ...}``).
+
+    Tracing: every request opens a root span and every response --
+    errors included -- echoes its trace id as ``X-Request-Id``.
+    ``trace_sample`` is the probability a completed trace is *retained*
+    for ``GET /trace/recent`` / ``/trace/<id>`` (errored traces are
+    always kept); ``trace_log`` appends retained spans to a JSONL file
+    (``python -m repro trace report`` renders it); ``slow_ms`` always
+    retains traces whose root ran at least that long (the slow-query
+    log).  These knobs are ignored when an explicit ``service`` (with
+    its own tracer) is passed.
     """
     if frontend not in ("thread", "async"):
         raise ValueError(
@@ -1710,6 +1957,13 @@ def make_server(
         precision=precision,
         max_queue_depth=max_queue_depth,
         verify=verify,
+        tracer=trace_mod.Tracer(
+            sample=trace_sample,
+            jsonl_path=trace_log,
+            slow_threshold_s=(
+                float(slow_ms) / 1e3 if slow_ms is not None else None
+            ),
+        ),
     )
     http_requests = svc.metrics.counter(
         "repro_http_requests_total",
@@ -1736,9 +1990,14 @@ def make_server(
             self._t0 = time.perf_counter()
             # Unknown paths share one label so a scanner cannot grow the
             # registry without bound.
-            self._endpoint = (
-                self.path.lstrip("/") if self.path in KNOWN_ENDPOINTS
-                else "other"
+            self._endpoint = _endpoint_label(self.path)
+            # Root span per request; its trace id doubles as the
+            # X-Request-Id echoed on every response.
+            self._span = svc.tracer.start_trace(
+                f"{self.command} {self._endpoint}",
+                request_id=self.headers.get("X-Request-Id"),
+                traceparent=self.headers.get("traceparent"),
+                attrs={"method": self.command, "path": self.path},
             )
 
         def _finish(self, code: int) -> None:
@@ -1758,65 +2017,86 @@ def make_server(
             self.send_response(code)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
+            self.send_header("X-Request-Id", self._span.trace_id)
             for key, value in (headers or {}).items():
                 self.send_header(key, value)
             self.end_headers()
             self.wfile.write(body)
+            self._span.set_attr("http.status", code)
+            self._span.finish()
 
         def do_GET(self) -> None:  # noqa: N802 (stdlib casing)
             self._begin()
-            if self.path == "/metrics":
-                # Rendered before this request is counted: the text is a
-                # snapshot taken strictly before the response completes,
-                # so counters stay monotonic across scrapes.
-                body = svc.metrics.render().encode()
-                self.send_response(200)
-                self.send_header("Content-Type", PROMETHEUS_CONTENT_TYPE)
-                self.send_header("Content-Length", str(len(body)))
-                self.end_headers()
-                self.wfile.write(body)
-                self._finish(200)
-                return
-            code, payload = _get_route(svc, registry, self.path)
-            self._send(code, payload)
+            with trace_mod.activate(self._span):
+                if self.path == "/metrics":
+                    # Rendered before this request is counted: the text
+                    # is a snapshot taken strictly before the response
+                    # completes, so counters stay monotonic across
+                    # scrapes.
+                    body = svc.metrics.render().encode()
+                    self.send_response(200)
+                    self.send_header(
+                        "Content-Type", PROMETHEUS_CONTENT_TYPE
+                    )
+                    self.send_header("Content-Length", str(len(body)))
+                    self.send_header("X-Request-Id", self._span.trace_id)
+                    self.end_headers()
+                    self.wfile.write(body)
+                    self._finish(200)
+                    self._span.set_attr("http.status", 200)
+                    self._span.finish()
+                    return
+                code, payload = _get_route(svc, registry, self.path)
+                self._send(code, payload)
 
         def do_POST(self) -> None:  # noqa: N802 (stdlib casing)
             self._begin()
-            try:
-                length = int(self.headers.get("Content-Length", "0"))
-                if length > max_body_bytes:
-                    # The oversized body is deliberately left unread, so
-                    # the connection cannot be re-framed: close it rather
-                    # than desync keep-alive parsing on the leftovers.
-                    self.close_connection = True
-                    self._send(
-                        413,
-                        {"error": f"request body of {length} bytes exceeds "
-                                  f"the {max_body_bytes} byte limit"},
-                        headers={"Connection": "close"},
-                    )
-                    return
-                raw = self.rfile.read(length)
-                # Body drained first: under keep-alive, even a 404 must
-                # leave the stream positioned at the next request line.
-                if self.path not in _POST_ENDPOINTS:
-                    self._send(404, {"error": f"unknown path {self.path}"})
-                    return
-                action = _post_action(svc, registry, self.path, raw)
-                if action[0] == "send":
-                    _, code, payload, headers = action
+            # The root span is ambient for the whole handling block, so
+            # submit() (via _post_action) attributes the request's
+            # queue/dispatch/split child spans to it.
+            with trace_mod.activate(self._span):
+                try:
+                    length = int(self.headers.get("Content-Length", "0"))
+                    if length > max_body_bytes:
+                        # The oversized body is deliberately left unread,
+                        # so the connection cannot be re-framed: close it
+                        # rather than desync keep-alive parsing on the
+                        # leftovers.
+                        self.close_connection = True
+                        self._send(
+                            413,
+                            {"error": f"request body of {length} bytes "
+                                      f"exceeds the {max_body_bytes} byte "
+                                      "limit"},
+                            headers={"Connection": "close"},
+                        )
+                        return
+                    raw = self.rfile.read(length)
+                    # Body drained first: under keep-alive, even a 404
+                    # must leave the stream positioned at the next
+                    # request line.
+                    if self.path not in _POST_ENDPOINTS:
+                        self._send(
+                            404, {"error": f"unknown path {self.path}"}
+                        )
+                        return
+                    action = _post_action(svc, registry, self.path, raw)
+                    if action[0] == "send":
+                        _, code, payload, headers = action
+                        self._send(code, payload, headers)
+                    elif action[0] == "compact":
+                        out = svc.compact(action[1])
+                        self._send(200, {"compacted": True, **out})
+                    else:
+                        _, kind, pending = action
+                        res = pending.result(timeout=30.0)
+                        self._send(200, _format_result(kind, res))
+                except Exception as exc:  # noqa: BLE001 -- a JSON error
+                    # beats a dropped connection (e.g. a dispatch
+                    # TimeoutError).
+                    self._span.record_error(exc)
+                    code, payload, headers = _error_response(exc)
                     self._send(code, payload, headers)
-                elif action[0] == "compact":
-                    out = svc.compact(action[1])
-                    self._send(200, {"compacted": True, **out})
-                else:
-                    _, kind, pending = action
-                    res = pending.result(timeout=30.0)
-                    self._send(200, _format_result(kind, res))
-            except Exception as exc:  # noqa: BLE001 -- a JSON error beats
-                # a dropped connection (e.g. a dispatch TimeoutError).
-                code, payload, headers = _error_response(exc)
-                self._send(code, payload, headers)
 
     if frontend == "async":
         server: "ThreadingHTTPServer | AsyncHTTPServer" = AsyncHTTPServer(
@@ -1831,10 +2111,21 @@ def make_server(
         server = ThreadingHTTPServer((host, port), Handler)
     server.service = svc  # type: ignore[attr-defined]
     svc.start()
+    _logger.info(
+        "server built",
+        extra={
+            "frontend": frontend,
+            "indexes": ",".join(sorted(registry)),
+            "host": server.server_address[0],
+            "port": int(server.server_address[1]),
+            "trace_sample": svc.tracer.sample,
+        },
+    )
     _orig_close = server.server_close
 
     def _close() -> None:
         svc.stop()
+        svc.tracer.close()  # flush the JSONL exporter, if any
         _orig_close()
 
     server.server_close = _close  # type: ignore[method-assign]
@@ -1849,6 +2140,9 @@ def run_self_test(
     max_queue_depth: int = 256,
     verify: str = "header",
     frontend: str = "thread",
+    trace_sample: float = 0.0,
+    trace_log: "str | Path | None" = None,
+    slow_ms: "float | None" = None,
 ) -> dict:
     """One-shot serve smoke: spin up, hammer, verify, shut down.
 
@@ -1870,6 +2164,7 @@ def run_self_test(
     server = make_server(
         {"default": index_path}, port=0,
         max_queue_depth=max_queue_depth, verify=verify, frontend=frontend,
+        trace_sample=trace_sample, trace_log=trace_log, slow_ms=slow_ms,
     )
     host, port = server.server_address[:2]
     thread = threading.Thread(target=server.serve_forever, daemon=True)

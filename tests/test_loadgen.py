@@ -549,7 +549,8 @@ class TestSummary:
             "p99_ms", "max_ms", "mean_ms",
         }
         assert row["ok"] == 3
-        assert row["p50_ms"] == pytest.approx(10.0)  # bucket bound in ms
+        # rank 1.5 of (5ms, 5ms, 50ms) interpolates 3/4 into (1, 10] ms.
+        assert row["p50_ms"] == pytest.approx(7.75)
         assert row["error_rate"] == 0.0
 
     def test_empty_run_serializes_to_none(self):

@@ -1,9 +1,9 @@
 """Metrics registry + /metrics endpoint: the observability contracts.
 
-* **Bucket math, exactly** -- :class:`LogHistogram` quantiles resolve to
-  the containing bucket's upper bound, the overflow bucket to the max
-  observed value, an empty histogram to ``nan``; all pinned on
-  hand-computable bucket layouts.
+* **Bucket math, exactly** -- :class:`LogHistogram` quantiles
+  interpolate linearly within the containing bucket (clamped to the max
+  observed value), the overflow bucket resolves to the max, an empty
+  histogram to ``nan``; all pinned on hand-computable bucket layouts.
 * **Atomic snapshots** -- every serving counter lives in one registry
   behind one lock; multi-counter invariants can never be observed torn
   (the regression test hammers ``QueryService.stats()`` from a reader
@@ -64,11 +64,32 @@ class TestLogHistogram:
         h = LogHistogram((1.0, 2.0, 4.0, 8.0))
         for v in (0.5, 1.5, 3.0, 7.0):
             h.observe(v)
-        # Ranks 1..4 land in buckets 1, 2, 4, 8 respectively.
+        # Ranks 1..4 land in buckets 1, 2, 4, 8; each rank sits exactly
+        # at the top of its bucket, so interpolation resolves to the
+        # upper bound -- except p100, which clamps to the max observed.
         assert h.quantile(0.25) == 1.0
         assert h.quantile(0.50) == 2.0
         assert h.quantile(0.75) == 4.0
-        assert h.quantile(1.00) == 8.0
+        assert h.quantile(1.00) == 7.0
+
+    def test_mid_bucket_quantiles_interpolate(self):
+        # A lone 3.0 in the (2, 4] bucket: p50 must NOT read as the 4.0
+        # upper bound (the pre-interpolation overstatement).
+        h = LogHistogram((1.0, 2.0, 4.0, 8.0))
+        h.observe(3.0)
+        assert h.quantile(0.5) == 3.0  # rank 0.5 -> 2 + 2*0.5 = 3, <= max
+        # Two samples in one bucket: ranks interpolate across the width.
+        h2 = LogHistogram((4.0,))
+        h2.observe(1.0)
+        h2.observe(3.9)
+        assert h2.quantile(0.25) == pytest.approx(1.0)  # 0 + 4 * 0.5/2
+        assert h2.quantile(0.50) == pytest.approx(2.0)  # 0 + 4 * 1.0/2
+        assert h2.quantile(1.00) == pytest.approx(3.9)  # clamped to max
+
+    def test_interpolation_clamps_to_observed_max(self):
+        h = LogHistogram((1.0, 8.0))
+        h.observe(1.5)
+        assert h.quantile(0.99) == 1.5  # not the 8.0 bucket bound
 
     def test_boundary_value_counts_in_its_bucket(self):
         # bisect_left: an observation equal to a bound belongs to that
@@ -96,8 +117,8 @@ class TestLogHistogram:
     def test_low_quantile_clamps_to_first_sample(self):
         h = LogHistogram((1.0, 2.0, 4.0))
         h.observe(3.0)
-        # rank = max(1, ceil(0 * 1)) = 1 -> the only sample's bucket.
-        assert h.quantile(0.0) == 4.0
+        # rank 0 resolves to the lower bound of the only occupied bucket.
+        assert h.quantile(0.0) == 2.0
 
     def test_sum_count_max_tracked(self):
         h = LogHistogram((1.0, 10.0))

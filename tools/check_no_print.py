@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Lint: no bare ``print()`` in the serving path.
+
+The service layer emits *structured* JSON logs (``repro.log``) so that
+operators can grep/parse server output by field; a stray ``print()``
+in that path would interleave unstructured text into the same stream
+and silently break log consumers.  This checker walks the AST of every
+module under ``src/repro/service/`` plus ``src/repro/trace.py`` and
+``src/repro/log.py`` and fails on any call to the ``print`` builtin.
+
+The CLI (``src/repro/cli.py``) is exempt by construction -- it is the
+human-facing surface and *should* print -- as is everything outside the
+serving path.  ``functools.partial(print, ...)``-style indirection is
+out of scope; the lint targets the easy-to-write regression, not
+adversarial obfuscation.
+
+Used by the CI docs job::
+
+    python tools/check_no_print.py
+
+Exit status 0 when clean, 1 otherwise (each offending call is reported
+with its file and line).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Files and directories (recursive) covered by the lint.
+LINTED = (
+    "src/repro/service",
+    "src/repro/trace.py",
+    "src/repro/log.py",
+)
+
+
+def linted_files() -> list[Path]:
+    files: list[Path] = []
+    for entry in LINTED:
+        path = REPO_ROOT / entry
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.exists():
+            files.append(path)
+    return files
+
+
+def find_prints(source: str, filename: str) -> list[tuple[int, str]]:
+    """``(line, snippet)`` for every bare ``print(...)`` call."""
+    tree = ast.parse(source, filename=filename)
+    lines = source.splitlines()
+    hits: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            snippet = (
+                lines[node.lineno - 1].strip()
+                if 0 < node.lineno <= len(lines)
+                else ""
+            )
+            hits.append((node.lineno, snippet))
+    return hits
+
+
+def main(argv: list[str]) -> int:
+    targets = [Path(a) for a in argv] if argv else linted_files()
+    problems = []
+    for path in targets:
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            problems.append(f"{path}: unreadable: {exc}")
+            continue
+        try:
+            hits = find_prints(source, str(path))
+        except SyntaxError as exc:
+            problems.append(f"{path}: failed to parse: {exc}")
+            continue
+        rel = path.resolve()
+        try:
+            rel = rel.relative_to(REPO_ROOT)
+        except ValueError:
+            pass
+        for lineno, snippet in hits:
+            problems.append(
+                f"{rel}:{lineno}: bare print() in the serving path "
+                f"(use repro.log): {snippet}"
+            )
+    if problems:
+        for p in problems:
+            sys.stderr.write(p + "\n")
+        sys.stderr.write(
+            f"check_no_print: {len(problems)} problem(s) found\n"
+        )
+        return 1
+    n = len(targets)
+    sys.stderr.write(f"check_no_print: OK ({n} files clean)\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
